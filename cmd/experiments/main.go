@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulated substrate.
+//
+// Usage:
+//
+//	experiments -run table3          # one experiment
+//	experiments -run all             # everything, in paper order
+//	experiments -list                # available experiment ids
+//	experiments -run table6 -seed 7  # different randomness
+//	experiments -run all -quick      # reduced-size runs (same shapes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wpred/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment id to regenerate, or \"all\"")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		seed   = flag.Uint64("seed", 42, "randomness seed (42 reproduces EXPERIMENTS.md)")
+		quick  = flag.Bool("quick", false, "reduced-size runs: same shapes, faster")
+		format = flag.String("format", "text", "output format: text or markdown")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "markdown" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: experiments -run <id>|all [-seed N] [-quick]; -list shows ids")
+		os.Exit(2)
+	}
+
+	suite := experiments.NewSuite(*seed)
+	suite.Quick = *quick
+
+	if *run == "all" {
+		for _, r := range experiments.Runners() {
+			if err := runOne(suite, r, *format); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	r, ok := experiments.RunnerByID(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *run)
+		os.Exit(2)
+	}
+	if err := runOne(suite, r, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+		os.Exit(1)
+	}
+}
+
+func runOne(suite *experiments.Suite, r experiments.Runner, format string) error {
+	start := time.Now()
+	var out string
+	var err error
+	if format == "markdown" {
+		out, err = r.RunMarkdown(suite)
+	} else {
+		out, err = r.Run(suite)
+	}
+	if err != nil {
+		return err
+	}
+	if format == "markdown" {
+		fmt.Printf("## %s — %s\n\n%s\n", r.ID, r.Description, out)
+		return nil
+	}
+	fmt.Printf("### %s — %s (%s)\n\n%s\n", r.ID, r.Description, time.Since(start).Round(time.Millisecond), out)
+	return nil
+}

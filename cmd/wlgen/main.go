@@ -1,0 +1,114 @@
+// Command wlgen generates simulated workload telemetry and writes it as
+// JSON (the library's experiment format, consumable by `wpredict
+// -telemetry`) plus a CSV of the resource time series for external
+// tooling.
+//
+// Usage:
+//
+//	wlgen -workload TPC-C -cpus 8 -terminals 32 -out tpcc8
+//	wlgen -workload YCSB -cpus 4 -runs 3 -out -   # JSON stream to stdout
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"wpred"
+	"wpred/internal/telemetry"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "TPC-C", "workload to simulate")
+		cpus      = flag.Int("cpus", 8, "SKU CPU count")
+		memory    = flag.Int("memory", 0, "SKU memory GiB (default 8×cpus)")
+		terminals = flag.Int("terminals", 8, "concurrent terminals")
+		runs      = flag.Int("runs", 1, "repetitions")
+		seed      = flag.Uint64("seed", 42, "randomness seed")
+		out       = flag.String("out", "telemetry", "output prefix, or \"-\" for a JSON stream on stdout")
+	)
+	flag.Parse()
+
+	w, err := wpred.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(2)
+	}
+	mem := *memory
+	if mem == 0 {
+		mem = 8 * *cpus
+	}
+	sku := wpred.SKU{CPUs: *cpus, MemoryGB: mem}
+	src := wpred.NewSource(*seed)
+
+	for r := 0; r < *runs; r++ {
+		exp := wpred.Simulate(w, wpred.SimConfig{
+			SKU: sku, Terminals: *terminals, Run: r, DataGroup: r % 3,
+		}, src)
+		if err := emit(exp, *out, r); err != nil {
+			fmt.Fprintln(os.Stderr, "wlgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emit(exp *wpred.Experiment, prefix string, run int) error {
+	if prefix == "-" {
+		return telemetry.WriteExperiment(os.Stdout, exp)
+	}
+
+	jsonPath := fmt.Sprintf("%s_run%d.json", prefix, run)
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteExperiment(jf, exp); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+
+	csvPath := fmt.Sprintf("%s_run%d_resources.csv", prefix, run)
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(cf)
+	header := []string{"tick"}
+	feats := telemetry.ResourceFeatures()
+	for _, f := range feats {
+		header = append(header, f.String())
+	}
+	header = append(header, "THROUGHPUT")
+	if err := cw.Write(header); err != nil {
+		cf.Close()
+		return err
+	}
+	for t := 0; t < exp.Resources.Len(); t++ {
+		row := []string{strconv.Itoa(t)}
+		for _, f := range feats {
+			row = append(row, strconv.FormatFloat(exp.Resources.Feature(f)[t], 'g', 8, 64))
+		}
+		tp := 0.0
+		if t < len(exp.ThroughputSeries) {
+			tp = exp.ThroughputSeries[t]
+		}
+		row = append(row, strconv.FormatFloat(tp, 'g', 8, 64))
+		if err := cw.Write(row); err != nil {
+			cf.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		cf.Close()
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", jsonPath, csvPath)
+	return cf.Close()
+}

@@ -1,0 +1,86 @@
+// Command wlinfo inspects a benchmark workload definition: its Table-1
+// profile (schema counts, transaction mix, read-only share), the simulated
+// optimizer's plan for each transaction template (EXPLAIN-style), and the
+// modeled steady state across the standard SKUs.
+//
+// Usage:
+//
+//	wlinfo -workload TPC-C
+//	wlinfo -workload TPC-H -plans -terminals 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wpred"
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "TPC-C", "workload to inspect")
+		plans     = flag.Bool("plans", false, "print an EXPLAIN-style plan per transaction template")
+		terminals = flag.Int("terminals", 8, "concurrency for the steady-state table")
+		maxPlans  = flag.Int("maxplans", 10, "limit on printed plans (TPC-DS has 99, PW 520)")
+	)
+	flag.Parse()
+
+	w, err := wpred.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlinfo:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s — %v workload\n", w.Name, w.Class)
+	fmt.Printf("  tables: %d   columns: %d   indexes: %d   database: %.1f GiB\n",
+		w.Catalog.NumTables(), w.Catalog.NumColumns(), w.Catalog.NumIndexes(), w.DBSizeGB())
+	fmt.Printf("  transaction types: %d   read-only share: %.1f%%\n",
+		len(w.Txns), 100*w.ReadOnlyFraction())
+	if w.PlanOnly {
+		fmt.Println("  telemetry: plan features only (no resource tracking)")
+	}
+
+	fmt.Println("\ntransaction mix:")
+	total := 0.0
+	for _, t := range w.Txns {
+		total += t.Weight
+	}
+	shown := 0
+	for _, t := range w.Txns {
+		if shown >= *maxPlans {
+			fmt.Printf("  … and %d more templates\n", len(w.Txns)-shown)
+			break
+		}
+		kind := "read-only"
+		if !t.Query.IsReadOnly() {
+			kind = "write"
+		}
+		fmt.Printf("  %-28s %5.1f%%  %s  cpu=%.2fms io=%.1f locks=%.1f\n",
+			t.Query.Name, 100*t.Weight/total, kind, t.CPUms, t.IOops, t.LockReqs)
+		shown++
+	}
+
+	if *plans {
+		fmt.Println("\nquery plans:")
+		shown = 0
+		for _, t := range w.Txns {
+			if shown >= *maxPlans {
+				break
+			}
+			fmt.Printf("\n-- %s\n%s", t.Query.Name, simdb.ExplainQuery(t.Query, w.Catalog))
+			shown++
+		}
+	}
+
+	fmt.Printf("\nmodeled steady state (%d terminals):\n", *terminals)
+	fmt.Printf("  %-12s %12s %12s %8s %8s %10s\n", "SKU", "throughput", "latency", "cpu%", "mem%", "iops")
+	for _, sku := range telemetry.DefaultSKUs() {
+		terms := *terminals
+		ss := simdb.ComputeSteadyState(w, sku, terms)
+		fmt.Printf("  %-12s %9.1f/s %10.2fms %7.1f%% %7.1f%% %10.1f\n",
+			sku, ss.Throughput, ss.MeanLatMS, ss.CPUUtil, ss.MemUtil, ss.IOPS)
+	}
+}

@@ -1,0 +1,139 @@
+// Command wpredict runs the end-to-end pipeline on simulated telemetry: it
+// profiles a target workload on its current hardware, matches it against
+// the reference benchmarks, and predicts its throughput on a different
+// SKU.
+//
+// Usage:
+//
+//	wpredict -workload YCSB -from 2 -to 8
+//	wpredict -workload TPC-C -from 4 -to 16 -terminals 32 -seed 7
+//	wpredict -telemetry target.json -to 8      # real telemetry from wlgen-format JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wpred"
+	"wpred/internal/telemetry"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "YCSB", "target workload to simulate (see -listworkloads)")
+		telFile   = flag.String("telemetry", "", "load target experiments from a JSON stream (wlgen/library format) instead of simulating")
+		fromCPUs  = flag.Int("from", 2, "current SKU CPU count (ignored with -telemetry)")
+		toCPUs    = flag.Int("to", 8, "target SKU CPU count")
+		terminals = flag.Int("terminals", 8, "concurrent terminals")
+		seed      = flag.Uint64("seed", 42, "randomness seed")
+		listWL    = flag.Bool("listworkloads", false, "list workload names and exit")
+	)
+	flag.Parse()
+
+	if *listWL {
+		for _, n := range wpred.WorkloadNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	src := wpred.NewSource(*seed)
+
+	// Target experiments: either externally collected telemetry or a
+	// simulated run of the named benchmark.
+	var targetExps []*wpred.Experiment
+	var targetName string
+	if *telFile != "" {
+		f, err := os.Open(*telFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wpredict:", err)
+			os.Exit(2)
+		}
+		targetExps, err = telemetry.ReadExperiments(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wpredict:", err)
+			os.Exit(1)
+		}
+		if len(targetExps) == 0 {
+			fmt.Fprintln(os.Stderr, "wpredict: no experiments in", *telFile)
+			os.Exit(1)
+		}
+		targetName = targetExps[0].Workload
+	} else {
+		targetName = *workload
+	}
+
+	var fromSKU wpred.SKU
+	if len(targetExps) > 0 {
+		fromSKU = targetExps[0].SKU
+	} else {
+		fromSKU = wpred.SKU{CPUs: *fromCPUs, MemoryGB: 8 * *fromCPUs}
+	}
+	toSKU := wpred.SKU{CPUs: *toCPUs, MemoryGB: 8 * *toCPUs}
+
+	// Reference knowledge base: every standard benchmark except the
+	// target itself, profiled on both SKUs.
+	var refs []*wpred.Workload
+	for _, w := range wpred.ReferenceWorkloads() {
+		if w.Name != targetName {
+			refs = append(refs, w)
+		}
+	}
+	refExps := wpred.GenerateSuite(refs, []wpred.SKU{fromSKU, toSKU}, []int{*terminals}, 3, src)
+
+	if targetExps == nil {
+		target, err := wpred.WorkloadByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wpredict:", err)
+			os.Exit(2)
+		}
+		targetExps = wpred.GenerateSuite([]*wpred.Workload{target}, []wpred.SKU{fromSKU}, []int{*terminals}, 3, src)
+	}
+
+	p := wpred.NewPipeline(wpred.PipelineConfig{Seed: *seed})
+	if err := p.Train(refExps); err != nil {
+		fmt.Fprintln(os.Stderr, "wpredict: train:", err)
+		os.Exit(1)
+	}
+	pred, err := p.Predict(targetExps, toSKU)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wpredict: predict:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("target workload:      %s (%d experiments)\n", targetName, len(targetExps))
+	fmt.Printf("selected features:    %v\n", pred.SelectedFeatures)
+	fmt.Printf("nearest reference:    %s\n", pred.NearestReference)
+	fmt.Println("reference distances:")
+	for name, d := range pred.Distances {
+		fmt.Printf("  %-10s %.3f\n", name, d)
+	}
+	fmt.Printf("observed on %-9s %.1f req/s\n", fromSKU.String()+":", pred.ObservedThroughput)
+	fmt.Printf("predicted on %-8s %.1f req/s (factor %.2f)\n", toSKU.String()+":", pred.PredictedThroughput, pred.ScalingFactor)
+
+	// Ground truth from the simulator, for comparison (simulated targets
+	// only: real telemetry has no oracle).
+	if *telFile == "" {
+		target, err := wpred.WorkloadByName(targetName)
+		if err != nil {
+			return
+		}
+		actual := wpred.GenerateSuite([]*wpred.Workload{target}, []wpred.SKU{toSKU}, []int{*terminals}, 3, src)
+		mean := 0.0
+		for _, e := range actual {
+			mean += e.Throughput
+		}
+		mean /= float64(len(actual))
+		fmt.Printf("actual on %-11s %.1f req/s (prediction error %.1f%%)\n",
+			toSKU.String()+":", mean, 100*abs(pred.PredictedThroughput-mean)/mean)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,83 @@
+// Feature audit: run every feature-selection strategy on the same
+// telemetry and report where they agree and disagree — the §4 analysis as
+// a practitioner tool. Strategies that rank a feature highly across the
+// board identify robust workload signals; features only the
+// variance-driven strategies like are the noise traps the paper warns
+// about.
+//
+//	go run ./examples/featureaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"wpred"
+	"wpred/internal/telemetry"
+)
+
+func main() {
+	src := wpred.NewSource(42)
+	sku := wpred.SKU{CPUs: 16, MemoryGB: 128}
+
+	exps := wpred.GenerateSuite(wpred.ReferenceWorkloads(), []wpred.SKU{sku}, []int{4, 8, 32}, 3, src)
+	var subs []*wpred.Experiment
+	for _, e := range exps {
+		subs = append(subs, e.SystematicSample(10)...)
+	}
+	ds := telemetry.BuildDataset(subs, nil)
+	ds.MinMaxNormalize()
+
+	// Cheap strategies only: the audit is meant to run interactively.
+	strategies := wpred.SelectionStrategies(42)[:10]
+
+	const topK = 7
+	votes := map[telemetry.Feature]int{}
+	picks := map[telemetry.Feature][]string{}
+	for _, s := range strategies {
+		res, err := s.Evaluate(ds.X, ds.Labels)
+		if err != nil {
+			log.Fatalf("featureaudit: %s: %v", s.Name(), err)
+		}
+		cols := res.TopK(topK)
+		fmt.Printf("%-14s top-%d: ", s.Name(), topK)
+		for i, c := range cols {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			f := ds.Features[c]
+			fmt.Print(f)
+			votes[f]++
+			picks[f] = append(picks[f], s.Name())
+		}
+		fmt.Println()
+	}
+
+	type vf struct {
+		f telemetry.Feature
+		n int
+	}
+	var ranking []vf
+	for f, n := range votes {
+		ranking = append(ranking, vf{f, n})
+	}
+	sort.Slice(ranking, func(a, b int) bool {
+		if ranking[a].n != ranking[b].n {
+			return ranking[a].n > ranking[b].n
+		}
+		return ranking[a].f < ranking[b].f
+	})
+
+	fmt.Printf("\n=== consensus (how many of %d strategies put the feature in their top-%d) ===\n", len(strategies), topK)
+	for _, r := range ranking {
+		marker := ""
+		switch {
+		case r.n >= len(strategies)*3/4:
+			marker = "robust signal"
+		case r.n == 1:
+			marker = "single-strategy pick — inspect before trusting (picked by " + picks[r.f][0] + ")"
+		}
+		fmt.Printf("%2d/%2d  %-42s %s\n", r.n, len(strategies), r.f, marker)
+	}
+}

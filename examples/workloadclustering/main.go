@@ -1,0 +1,79 @@
+// Workload clustering: the §5 similarity study. Fingerprint repeated runs
+// of several benchmarks, rank every pair by similarity, and classify an
+// unknown production-style workload (the PW scenario of §5.2.3) from its
+// plan features alone.
+//
+//	go run ./examples/workloadclustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"wpred"
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/simeval"
+	"wpred/internal/telemetry"
+)
+
+func main() {
+	src := wpred.NewSource(42)
+	sku := wpred.SKU{CPUs: 16, MemoryGB: 128}
+
+	// Profile the references plus the "unknown" production workload PW
+	// (plan features only — its setup lacks resource tracking).
+	var workloads []*wpred.Workload
+	for _, name := range []string{"TPC-C", "TPC-H", "TPC-DS", "Twitter", "PW"} {
+		w, err := wpred.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads = append(workloads, w)
+	}
+	exps := wpred.GenerateSuite(workloads, []wpred.SKU{sku}, []int{8}, 3, src)
+
+	// Hist-FP over plan features with the Canberra norm — the combination
+	// the paper found most reliable for plan-only comparison.
+	builder := &fingerprint.Builder{
+		Rep:      fingerprint.HistFP,
+		Features: telemetry.PlanFeatures(),
+	}
+	if err := builder.Fit(exps); err != nil {
+		log.Fatal(err)
+	}
+	var items []simeval.Item
+	for _, e := range exps {
+		fp, err := builder.Build(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		items = append(items, simeval.Item{Workload: e.Workload, Run: e.Run, FP: fp})
+	}
+	matrix, err := simeval.ComputeMatrix(items, distance.Canberra{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== similarity quality over the benchmark runs ===")
+	fmt.Printf("1-NN accuracy: %.3f   mAP: %.3f   NDCG: %.3f\n",
+		matrix.OneNNAccuracy(), matrix.MAP(), matrix.NDCG())
+
+	fmt.Println("\n=== classifying the unknown workload PW ===")
+	report := matrix.RobustnessReport("PW")
+	sort.Slice(report, func(a, b int) bool { return report[a].Mean < report[b].Mean })
+	for _, r := range report {
+		if r.Reference == "PW" {
+			continue
+		}
+		fmt.Printf("  PW → %-8s mean distance %.3f ± %.3f\n", r.Reference, r.Mean, r.StdErr)
+	}
+	for _, r := range report {
+		if r.Reference != "PW" {
+			fmt.Printf("\nPW behaves most like %s: schedule it with the %s-class capacity plan.\n",
+				r.Reference, r.Reference)
+			break
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module wpred
+
+go 1.24

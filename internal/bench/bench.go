@@ -1,0 +1,112 @@
+// Package bench defines the six workloads of the study (Table 1 of the
+// paper): TPC-C, TPC-H, TPC-DS, Twitter, YCSB, and the production workload
+// PW. Each definition provides the catalog (tables, columns, indexes at
+// the paper's scale factors, chosen so the database sizes are roughly
+// equal), the transaction mix with its read-only share, and the scaling
+// characteristics (parallelizable fraction, lock contention, I/O
+// intensity) that drive the simulated engine in internal/simdb.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+// Names of the standard workloads.
+const (
+	TPCCName    = "TPC-C"
+	TPCHName    = "TPC-H"
+	TPCDSName   = "TPC-DS"
+	TwitterName = "Twitter"
+	YCSBName    = "YCSB"
+	PWName      = "PW"
+)
+
+var registry = map[string]func() *simdb.Workload{
+	TPCCName:    TPCC,
+	TPCHName:    TPCH,
+	TPCDSName:   TPCDS,
+	TwitterName: Twitter,
+	YCSBName:    YCSB,
+	PWName:      PW,
+}
+
+// ByName constructs the named workload; it returns an error for unknown
+// names.
+func ByName(name string) (*simdb.Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered workload names in lexical order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Standard returns the five standardized benchmarks (everything except
+// PW) in the order the paper tabulates them.
+func Standard() []*simdb.Workload {
+	return []*simdb.Workload{TPCC(), TPCH(), Twitter(), YCSB(), TPCDS()}
+}
+
+// finish normalizes a workload definition: derives execution demands from
+// the plan cost model and validates the catalog counts against Table 1.
+func finish(w *simdb.Workload, wantTables, wantColumns, wantIndexes int) *simdb.Workload {
+	if got := w.Catalog.NumTables(); got != wantTables {
+		panic(fmt.Sprintf("bench: %s has %d tables, want %d", w.Name, got, wantTables))
+	}
+	if got := w.Catalog.NumColumns(); got != wantColumns {
+		panic(fmt.Sprintf("bench: %s has %d columns, want %d", w.Name, got, wantColumns))
+	}
+	if got := w.Catalog.NumIndexes(); got != wantIndexes {
+		panic(fmt.Sprintf("bench: %s has %d indexes, want %d", w.Name, got, wantIndexes))
+	}
+	w.DeriveDemands()
+	return w
+}
+
+// RunConfig identifies one experiment in a generated suite.
+type RunConfig struct {
+	Workload  string
+	SKU       telemetry.SKU
+	Terminals int
+	Run       int
+}
+
+// GenerateSuite simulates every combination of the given workloads, SKUs,
+// terminal counts, and runs (run i is assigned data group i%3, matching
+// the study's three time-of-day executions). Workloads that always run
+// serially (TPC-H) are generated once per SKU with one terminal.
+func GenerateSuite(workloads []*simdb.Workload, skus []telemetry.SKU, terminals []int, runs int, src *telemetry.Source) []*telemetry.Experiment {
+	var out []*telemetry.Experiment
+	for _, w := range workloads {
+		terms := terminals
+		if Serial(w.Name) {
+			terms = []int{1}
+		}
+		for _, sku := range skus {
+			for _, t := range terms {
+				for r := 0; r < runs; r++ {
+					cfg := simdb.Config{SKU: sku, Terminals: t, Run: r, DataGroup: r % 3}
+					out = append(out, simdb.Simulate(w, cfg, src))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Serial reports whether the workload always runs with a single terminal
+// (TPC-H executes its 22 queries serially in the study).
+func Serial(name string) bool { return name == TPCHName }

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+// TestTable1Invariants checks every workload definition against the
+// paper's Table 1: table, column, and index counts, transaction-type
+// counts, and read-only shares.
+func TestTable1Invariants(t *testing.T) {
+	cases := []struct {
+		name                     string
+		tables, columns, indexes int
+		txnTypes                 int
+		readOnly                 float64
+		tol                      float64
+		class                    simdb.Class
+	}{
+		{TPCCName, 9, 92, 1, 5, 0.08, 0.001, simdb.Transactional},
+		{TPCHName, 8, 61, 23, 22, 1.00, 0.001, simdb.Analytical},
+		{TwitterName, 5, 18, 4, 5, 0.99, 0.001, simdb.Analytical},
+		{YCSBName, 1, 11, 0, 6, 0.50, 0.001, simdb.Mixed},
+		{TPCDSName, 24, 425, 0, 99, 1.00, 0.001, simdb.Analytical},
+	}
+	for _, c := range cases {
+		w, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Catalog.NumTables(); got != c.tables {
+			t.Errorf("%s tables = %d, want %d", c.name, got, c.tables)
+		}
+		if got := w.Catalog.NumColumns(); got != c.columns {
+			t.Errorf("%s columns = %d, want %d", c.name, got, c.columns)
+		}
+		if got := w.Catalog.NumIndexes(); got != c.indexes {
+			t.Errorf("%s indexes = %d, want %d", c.name, got, c.indexes)
+		}
+		if got := len(w.Txns); got != c.txnTypes {
+			t.Errorf("%s txn types = %d, want %d", c.name, got, c.txnTypes)
+		}
+		if got := w.ReadOnlyFraction(); math.Abs(got-c.readOnly) > c.tol {
+			t.Errorf("%s read-only share = %v, want %v", c.name, got, c.readOnly)
+		}
+		if w.Class != c.class {
+			t.Errorf("%s class = %v, want %v", c.name, w.Class, c.class)
+		}
+	}
+}
+
+func TestPWProfile(t *testing.T) {
+	w, err := ByName(PWName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Txns) < 500 {
+		t.Fatalf("PW has %d transaction types, want 500+", len(w.Txns))
+	}
+	if !w.PlanOnly {
+		t.Fatal("PW must be plan-only (no resource tracking on the production setup)")
+	}
+	ro := w.ReadOnlyFraction()
+	if ro < 0.9 || ro >= 1 {
+		t.Fatalf("PW read-only share = %v, want mostly-read", ro)
+	}
+}
+
+func TestDatabaseSizesRoughlyEqual(t *testing.T) {
+	// §2.1: scale factors chosen so the databases are roughly the same
+	// size. TPC-DS runs at scale factor 1 (the paper's choice), which is
+	// genuinely smaller; the other four must be within ~2× of each other.
+	sizes := map[string]float64{}
+	for _, name := range []string{TPCCName, TPCHName, TwitterName, YCSBName} {
+		w, _ := ByName(name)
+		sizes[name] = w.DBSizeGB()
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, s := range sizes {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi/lo > 2.0 {
+		t.Fatalf("database sizes too uneven: %v", sizes)
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	if len(Names()) != 6 {
+		t.Fatalf("Names = %v, want 6 workloads", Names())
+	}
+}
+
+func TestSerial(t *testing.T) {
+	if !Serial(TPCHName) {
+		t.Fatal("TPC-H runs serially")
+	}
+	if Serial(TPCCName) {
+		t.Fatal("TPC-C is concurrent")
+	}
+}
+
+func TestStandardSet(t *testing.T) {
+	std := Standard()
+	if len(std) != 5 {
+		t.Fatalf("Standard = %d workloads, want 5", len(std))
+	}
+	for _, w := range std {
+		if w.Name == PWName {
+			t.Fatal("PW is not a standardized benchmark")
+		}
+	}
+}
+
+func TestGenerateSuite(t *testing.T) {
+	src := telemetry.NewSource(1)
+	skus := []telemetry.SKU{{CPUs: 2, MemoryGB: 16}, {CPUs: 4, MemoryGB: 32}}
+	w1, _ := ByName(TPCCName)
+	w2, _ := ByName(TPCHName)
+	exps := GenerateSuite([]*simdb.Workload{w1, w2}, skus, []int{4, 8}, 2, src)
+	// TPC-C: 2 SKUs × 2 terminal counts × 2 runs = 8.
+	// TPC-H (serial): 2 SKUs × 1 × 2 runs = 4.
+	if len(exps) != 12 {
+		t.Fatalf("suite size = %d, want 12", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID()] {
+			t.Fatalf("duplicate experiment %s", e.ID())
+		}
+		seen[e.ID()] = true
+		if e.Workload == TPCHName && e.Terminals != 1 {
+			t.Fatal("TPC-H must run with one terminal")
+		}
+	}
+}
+
+func TestScalingContrast(t *testing.T) {
+	// The end-to-end experiment depends on TPC-C scaling like YCSB and
+	// Twitter scaling differently (§6.2.3).
+	factor := func(name string) float64 {
+		w, _ := ByName(name)
+		x2 := simdb.ComputeSteadyState(w, telemetry.SKU{CPUs: 2, MemoryGB: 16}, 8).Throughput
+		x8 := simdb.ComputeSteadyState(w, telemetry.SKU{CPUs: 8, MemoryGB: 64}, 8).Throughput
+		return x8 / x2
+	}
+	tpcc, ycsb, twitter := factor(TPCCName), factor(YCSBName), factor(TwitterName)
+	if math.Abs(tpcc-ycsb) > 0.25 {
+		t.Fatalf("TPC-C (%v) and YCSB (%v) 2→8 factors should be close", tpcc, ycsb)
+	}
+	if twitter < ycsb+0.5 {
+		t.Fatalf("Twitter factor (%v) should clearly exceed YCSB's (%v)", twitter, ycsb)
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import "wpred/internal/simdb"
+
+// TPCC constructs the TPC-C workload at scale factor 100 (100 warehouses):
+// 9 tables, 92 columns, 1 secondary index, 5 transaction types, 8%
+// read-only. The mix uses the standard weights (NewOrder 45, Payment 43,
+// OrderStatus 4, Delivery 4, StockLevel 4).
+func TPCC() *simdb.Workload {
+	const sf = 100 // warehouses
+	cat := simdb.NewCatalog(TPCCName)
+	cat.Add(&simdb.Table{Name: "warehouse", Rows: sf, Columns: simdb.MakeColumns(9, 40), Clustered: true})
+	cat.Add(&simdb.Table{Name: "district", Rows: sf * 10, Columns: simdb.MakeColumns(11, 38), Clustered: true})
+	cat.Add(&simdb.Table{Name: "customer", Rows: sf * 30000, Columns: simdb.MakeColumns(21, 28),
+		Clustered: true, Indexes: []simdb.Index{{Name: "idx_customer_name", KeyCols: 3}}})
+	cat.Add(&simdb.Table{Name: "history", Rows: sf * 30000, Columns: simdb.MakeColumns(8, 18), Clustered: false})
+	cat.Add(&simdb.Table{Name: "new_order", Rows: sf * 9000, Columns: simdb.MakeColumns(3, 8), Clustered: true})
+	cat.Add(&simdb.Table{Name: "oorder", Rows: sf * 30000, Columns: simdb.MakeColumns(8, 12), Clustered: true})
+	cat.Add(&simdb.Table{Name: "order_line", Rows: sf * 300000, Columns: simdb.MakeColumns(10, 10), Clustered: true})
+	cat.Add(&simdb.Table{Name: "item", Rows: 100000, Columns: simdb.MakeColumns(5, 30), Clustered: true})
+	cat.Add(&simdb.Table{Name: "stock", Rows: sf * 100000, Columns: simdb.MakeColumns(17, 20), Clustered: true})
+
+	point := func(table string, rows float64) simdb.TableRef {
+		return simdb.TableRef{Table: table, Selectivity: rows / cat.Table(table).Rows, UseIndex: true}
+	}
+
+	newOrder := &simdb.QueryTemplate{
+		Name: "NewOrder",
+		Refs: []simdb.TableRef{
+			point("stock", 10),
+			{Table: "item", Selectivity: 10.0 / 100000, UseIndex: true},
+		},
+		Write:     InsertKind(),
+		WriteRows: 12, // order + ~10 order lines + new_order row
+	}
+	payment := &simdb.QueryTemplate{
+		Name:      "Payment",
+		Refs:      []simdb.TableRef{point("customer", 1), point("district", 1)},
+		Write:     UpdateKind(),
+		WriteRows: 4,
+	}
+	orderStatus := &simdb.QueryTemplate{
+		Name:    "OrderStatus",
+		Refs:    []simdb.TableRef{point("customer", 1), point("order_line", 10)},
+		HasSort: true,
+	}
+	delivery := &simdb.QueryTemplate{
+		Name:      "Delivery",
+		Refs:      []simdb.TableRef{point("new_order", 10), point("order_line", 100)},
+		Write:     UpdateKind(),
+		WriteRows: 30,
+	}
+	stockLevel := &simdb.QueryTemplate{
+		Name:   "StockLevel",
+		Refs:   []simdb.TableRef{point("order_line", 200), point("stock", 200)},
+		HasAgg: true,
+	}
+
+	w := &simdb.Workload{
+		Name:    TPCCName,
+		Class:   simdb.Transactional,
+		Catalog: cat,
+		Txns: []simdb.TxnProfile{
+			{Query: newOrder, Weight: 45, ParallelFrac: 0.05},
+			{Query: payment, Weight: 43, ParallelFrac: 0.02},
+			{Query: orderStatus, Weight: 4, ParallelFrac: 0.05},
+			{Query: delivery, Weight: 4, ParallelFrac: 0.08},
+			{Query: stockLevel, Weight: 4, ParallelFrac: 0.15},
+		},
+		// TPC-C is storage- and lock-bound like most OLTP deployments: its
+		// throughput follows the SKU's I/O provisioning (sub-linear in
+		// CPUs), the same regime YCSB runs in — which is why YCSB's
+		// scaling transfers from TPC-C in the end-to-end experiment.
+		CPUScale:      0.8,
+		IOScale:       8.5,
+		LockScale:     2.2,
+		Contention:    0.12,
+		SKUQuirkSigma: 0.03,
+	}
+	return finish(w, 9, 92, 1)
+}
+
+// InsertKind, UpdateKind, DeleteKind re-export the simdb write kinds for
+// workload definitions.
+func InsertKind() simdb.WriteKind { return simdb.InsertWrite }
+
+// UpdateKind returns the update write kind.
+func UpdateKind() simdb.WriteKind { return simdb.UpdateWrite }
+
+// DeleteKind returns the delete write kind.
+func DeleteKind() simdb.WriteKind { return simdb.DeleteWrite }

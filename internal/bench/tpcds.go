@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+
+	"wpred/internal/simdb"
+)
+
+// TPCDS constructs the TPC-DS workload at scale factor 1: the real 24-table
+// schema (425 columns total), no secondary indexes, and 99 read-only query
+// templates. The templates are generated from the benchmark's structural
+// pattern — a fact-table scan joined with one to three dimensions, grouped
+// and ordered — with per-template parameters varied deterministically.
+func TPCDS() *simdb.Workload {
+	cat := simdb.NewCatalog(TPCDSName)
+	add := func(name string, rows float64, cols, width int) {
+		cat.Add(&simdb.Table{Name: name, Rows: rows, Columns: simdb.MakeColumns(cols, width), Clustered: true})
+	}
+	// Fact tables (scale factor 1 cardinalities).
+	add("store_sales", 2880404, 23, 12)
+	add("store_returns", 287514, 20, 12)
+	add("catalog_sales", 1441548, 34, 10)
+	add("catalog_returns", 144067, 27, 10)
+	add("web_sales", 719384, 34, 10)
+	add("web_returns", 71763, 24, 10)
+	add("inventory", 11745000, 4, 10)
+	// Dimension tables.
+	add("store", 12, 29, 30)
+	add("call_center", 6, 31, 30)
+	add("catalog_page", 11718, 9, 25)
+	add("web_site", 30, 26, 28)
+	add("web_page", 60, 14, 20)
+	add("warehouse", 5, 14, 25)
+	add("customer", 100000, 18, 20)
+	add("customer_address", 50000, 13, 22)
+	add("customer_demographics", 1920800, 9, 8)
+	add("date_dim", 73049, 28, 10)
+	add("household_demographics", 7200, 5, 10)
+	add("item", 18000, 22, 18)
+	add("income_band", 20, 3, 8)
+	add("promotion", 300, 19, 20)
+	add("reason", 35, 3, 15)
+	add("ship_mode", 20, 6, 15)
+	add("time_dim", 86400, 10, 10)
+
+	facts := []string{"store_sales", "catalog_sales", "web_sales", "store_returns", "catalog_returns", "web_returns", "inventory"}
+	dims := []string{"date_dim", "item", "customer", "store", "customer_address", "promotion", "customer_demographics", "household_demographics", "warehouse", "time_dim"}
+
+	txns := make([]simdb.TxnProfile, 0, 99)
+	for i := 0; i < 99; i++ {
+		fact := facts[i%len(facts)]
+		sel := []float64{0.30, 0.12, 0.05, 0.55, 0.02}[i%5]
+		refs := []simdb.TableRef{{Table: fact, Selectivity: sel}}
+		joins := 1 + i%3
+		for j := 0; j < joins; j++ {
+			d := dims[(i+j*3)%len(dims)]
+			dt := cat.Table(d)
+			refs = append(refs, simdb.TableRef{Table: d, Selectivity: 1 / dt.Rows, UseIndex: true})
+		}
+		groups := []float64{10, 100, 1000, 25, 365}[i%5]
+		q := &simdb.QueryTemplate{
+			Name:      fmt.Sprintf("query%d", i+1),
+			Refs:      refs,
+			HasAgg:    true,
+			AggGroups: groups,
+			HasSort:   i%4 != 3,
+			TopN:      100,
+		}
+		txns = append(txns, simdb.TxnProfile{Query: q, Weight: 1, ParallelFrac: 0.88})
+	}
+
+	w := &simdb.Workload{
+		Name:          TPCDSName,
+		Class:         simdb.Analytical,
+		Catalog:       cat,
+		Txns:          txns,
+		CPUScale:      1.2,
+		IOScale:       2.0,
+		Contention:    0.01,
+		SKUQuirkSigma: 0.05,
+	}
+	return finish(w, 24, 425, 0)
+}

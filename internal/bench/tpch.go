@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"wpred/internal/simdb"
+)
+
+// TPCH constructs the TPC-H workload at scale factor 10: 8 tables, 61
+// columns, 23 indexes, 22 read-only query templates. TPC-H runs serially
+// (one terminal) in the study. The queries are large scans and joins with
+// heavy aggregation, memory-hungry intermediate results, and high
+// parallelizable fractions — the profile behind the paper's observation
+// that READ_WRITE_RATIO and IOPS_TOTAL are discriminative for TPC-H.
+func TPCH() *simdb.Workload {
+	const sf = 10
+	cat := simdb.NewCatalog(TPCHName)
+	idx := func(n int) []simdb.Index {
+		out := make([]simdb.Index, n)
+		for i := range out {
+			out[i] = simdb.Index{Name: fmt.Sprintf("idx%d", i), KeyCols: 1}
+		}
+		return out
+	}
+	cat.Add(&simdb.Table{Name: "region", Rows: 5, Columns: simdb.MakeColumns(3, 40), Clustered: true})
+	cat.Add(&simdb.Table{Name: "nation", Rows: 25, Columns: simdb.MakeColumns(4, 36), Clustered: true, Indexes: idx(1)})
+	cat.Add(&simdb.Table{Name: "supplier", Rows: sf * 10000, Columns: simdb.MakeColumns(7, 22), Clustered: true, Indexes: idx(2)})
+	cat.Add(&simdb.Table{Name: "part", Rows: sf * 200000, Columns: simdb.MakeColumns(9, 17), Clustered: true, Indexes: idx(3)})
+	cat.Add(&simdb.Table{Name: "partsupp", Rows: sf * 800000, Columns: simdb.MakeColumns(5, 29), Clustered: true, Indexes: idx(3)})
+	cat.Add(&simdb.Table{Name: "customer", Rows: sf * 150000, Columns: simdb.MakeColumns(8, 24), Clustered: true, Indexes: idx(3)})
+	cat.Add(&simdb.Table{Name: "orders", Rows: sf * 1500000, Columns: simdb.MakeColumns(9, 15), Clustered: true, Indexes: idx(4)})
+	cat.Add(&simdb.Table{Name: "lineitem", Rows: sf * 6000000, Columns: simdb.MakeColumns(16, 8), Clustered: true, Indexes: idx(7)})
+
+	// The 22 templates, abstracted to their dominant access pattern:
+	// scan fraction of lineitem/orders, join depth, aggregation, sort.
+	type qspec struct {
+		name   string
+		tables []simdb.TableRef
+		agg    bool
+		groups float64
+		sort   bool
+	}
+	specs := []qspec{
+		{"Q1", []simdb.TableRef{{Table: "lineitem", Selectivity: 0.98}}, true, 4, true},
+		{"Q2", []simdb.TableRef{{Table: "partsupp", Selectivity: 0.01, UseIndex: true}, {Table: "supplier", Selectivity: 1e-5, UseIndex: true}}, false, 0, true},
+		{"Q3", []simdb.TableRef{{Table: "customer", Selectivity: 0.2}, {Table: "orders", Selectivity: 1e-6}, {Table: "lineitem", Selectivity: 2e-7}}, true, 10, true},
+		{"Q4", []simdb.TableRef{{Table: "orders", Selectivity: 0.04}}, true, 5, true},
+		{"Q5", []simdb.TableRef{{Table: "customer", Selectivity: 0.2}, {Table: "orders", Selectivity: 1e-6}, {Table: "lineitem", Selectivity: 2e-7}}, true, 5, true},
+		{"Q6", []simdb.TableRef{{Table: "lineitem", Selectivity: 0.02}}, true, 0, false},
+		{"Q7", []simdb.TableRef{{Table: "supplier", Selectivity: 0.04}, {Table: "lineitem", Selectivity: 4e-7}}, true, 4, true},
+		{"Q8", []simdb.TableRef{{Table: "part", Selectivity: 0.001}, {Table: "lineitem", Selectivity: 3e-7}}, true, 2, true},
+		{"Q9", []simdb.TableRef{{Table: "part", Selectivity: 0.05}, {Table: "lineitem", Selectivity: 5e-7}}, true, 175, true},
+		{"Q10", []simdb.TableRef{{Table: "customer", Selectivity: 1}, {Table: "orders", Selectivity: 1e-6}}, true, 20, true},
+		{"Q11", []simdb.TableRef{{Table: "partsupp", Selectivity: 0.04}}, true, 1000, true},
+		{"Q12", []simdb.TableRef{{Table: "lineitem", Selectivity: 0.01}}, true, 2, true},
+		{"Q13", []simdb.TableRef{{Table: "customer", Selectivity: 1}, {Table: "orders", Selectivity: 7e-7}}, true, 40, true},
+		{"Q14", []simdb.TableRef{{Table: "lineitem", Selectivity: 0.012}, {Table: "part", Selectivity: 5e-7}}, true, 0, false},
+		{"Q15", []simdb.TableRef{{Table: "lineitem", Selectivity: 0.04}, {Table: "supplier", Selectivity: 1e-5, UseIndex: true}}, true, 1, true},
+		{"Q16", []simdb.TableRef{{Table: "partsupp", Selectivity: 0.1}, {Table: "part", Selectivity: 5e-7}}, true, 300, true},
+		{"Q17", []simdb.TableRef{{Table: "part", Selectivity: 0.001, UseIndex: true}, {Table: "lineitem", Selectivity: 3e-8, UseIndex: true}}, true, 0, false},
+		{"Q18", []simdb.TableRef{{Table: "orders", Selectivity: 1}, {Table: "lineitem", Selectivity: 1.6e-7}}, true, 100, true},
+		{"Q19", []simdb.TableRef{{Table: "lineitem", Selectivity: 0.002}, {Table: "part", Selectivity: 5e-7, UseIndex: true}}, true, 0, false},
+		{"Q20", []simdb.TableRef{{Table: "partsupp", Selectivity: 0.005}, {Table: "lineitem", Selectivity: 1e-7}}, false, 0, true},
+		{"Q21", []simdb.TableRef{{Table: "supplier", Selectivity: 0.04}, {Table: "lineitem", Selectivity: 6e-7}, {Table: "orders", Selectivity: 1e-7, UseIndex: true}}, true, 100, true},
+		{"Q22", []simdb.TableRef{{Table: "customer", Selectivity: 0.25}, {Table: "orders", Selectivity: 6e-7}}, true, 7, true},
+	}
+
+	txns := make([]simdb.TxnProfile, 0, len(specs))
+	for _, s := range specs {
+		q := &simdb.QueryTemplate{
+			Name:      s.name,
+			Refs:      s.tables,
+			HasAgg:    s.agg,
+			AggGroups: s.groups,
+			HasSort:   s.sort,
+		}
+		txns = append(txns, simdb.TxnProfile{Query: q, Weight: 1, ParallelFrac: 0.92})
+	}
+
+	w := &simdb.Workload{
+		Name:          TPCHName,
+		Class:         simdb.Analytical,
+		Catalog:       cat,
+		Txns:          txns,
+		CPUScale:      1,
+		IOScale:       2.6, // large intermediate results spill to disk
+		Contention:    0.01,
+		SKUQuirkSigma: 0.05,
+	}
+	return finish(w, 8, 61, 23)
+}

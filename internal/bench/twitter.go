@@ -1,0 +1,68 @@
+package bench
+
+import "wpred/internal/simdb"
+
+// Twitter constructs the Twitter workload at scale factor 1600: 5 tables,
+// 18 columns, 4 indexes, 5 transaction types, 99% read-only. All reads are
+// point lookups (get a tweet by id, get 20 tweets for a user), so no
+// intermediate results materialize and I/O-related features are
+// unimportant for it — the contrast with TPC-H the paper calls out in
+// §4.3.1.
+func Twitter() *simdb.Workload {
+	const sf = 1600
+	cat := simdb.NewCatalog(TwitterName)
+	cat.Add(&simdb.Table{Name: "user_profiles", Rows: sf * 500, Columns: simdb.MakeColumns(6, 35),
+		Clustered: true, Indexes: []simdb.Index{{Name: "idx_user_followers", KeyCols: 1}}})
+	cat.Add(&simdb.Table{Name: "followers", Rows: sf * 5000, Columns: simdb.MakeColumns(2, 8), Clustered: true})
+	cat.Add(&simdb.Table{Name: "follows", Rows: sf * 5000, Columns: simdb.MakeColumns(2, 8),
+		Clustered: true, Indexes: []simdb.Index{{Name: "idx_follows_f2", KeyCols: 1}}})
+	cat.Add(&simdb.Table{Name: "tweets", Rows: sf * 18750, Columns: simdb.MakeColumns(5, 70),
+		Clustered: true, Indexes: []simdb.Index{{Name: "idx_tweets_uid", KeyCols: 1}}})
+	cat.Add(&simdb.Table{Name: "added_tweets", Rows: sf * 100, Columns: simdb.MakeColumns(3, 42),
+		Clustered: true, Indexes: []simdb.Index{{Name: "idx_added_tweets_uid", KeyCols: 1}}})
+
+	point := func(table string, rows float64) simdb.TableRef {
+		return simdb.TableRef{Table: table, Selectivity: rows / cat.Table(table).Rows, UseIndex: true}
+	}
+
+	getTweet := &simdb.QueryTemplate{Name: "GetTweet", Refs: []simdb.TableRef{point("tweets", 1)}}
+	getTweetsFromFollowing := &simdb.QueryTemplate{
+		Name: "GetTweetsFromFollowing",
+		Refs: []simdb.TableRef{point("follows", 20), point("tweets", 1)},
+	}
+	getFollowers := &simdb.QueryTemplate{
+		Name:    "GetFollowers",
+		Refs:    []simdb.TableRef{point("followers", 20), point("user_profiles", 1)},
+		TopN:    20,
+		HasSort: false,
+	}
+	getUserTweets := &simdb.QueryTemplate{
+		Name: "GetUserTweets",
+		Refs: []simdb.TableRef{point("tweets", 20)},
+		TopN: 20,
+	}
+	insertTweet := &simdb.QueryTemplate{
+		Name:      "InsertTweet",
+		Refs:      []simdb.TableRef{point("added_tweets", 1)},
+		Write:     InsertKind(),
+		WriteRows: 1,
+	}
+
+	w := &simdb.Workload{
+		Name:    TwitterName,
+		Class:   simdb.Analytical, // 99% read-only: the paper classifies it as analytical
+		Catalog: cat,
+		Txns: []simdb.TxnProfile{
+			{Query: getTweet, Weight: 1.0, ParallelFrac: 0.02},
+			{Query: getTweetsFromFollowing, Weight: 1.0, ParallelFrac: 0.05},
+			{Query: getFollowers, Weight: 7.5, ParallelFrac: 0.05},
+			{Query: getUserTweets, Weight: 89.5, ParallelFrac: 0.03},
+			{Query: insertTweet, Weight: 1.0, ParallelFrac: 0.0},
+		},
+		CPUScale:      3,
+		IOScale:       0.5, // hot working set: point lookups hit the buffer pool
+		Contention:    0.03,
+		SKUQuirkSigma: 0.055,
+	}
+	return finish(w, 5, 18, 4)
+}

@@ -1,0 +1,48 @@
+package bench
+
+import "wpred/internal/simdb"
+
+// YCSB constructs the YCSB workload at scale factor 3200 with Zipfian skew
+// 0.99: a single 11-column usertable with no secondary indexes, six
+// transaction types (Table 1 counts the core five; the end-to-end example
+// of §1 uses the full six-type mix including ReadModifyWrite), 50%
+// read-only. YCSB is the study's mixed workload: significantly more I/O
+// intensive than TPC-C (EstimateIO and EstimatedAvailableMemoryGrant gain
+// importance), while sharing write-path features with TPC-H-style
+// memory-sensitive behavior (CPU_EFFECTIVE, TableCardinality,
+// SerialDesiredMemory in the top-7).
+func YCSB() *simdb.Workload {
+	const rows = 3200 * 2500 // scale factor 3200; sized to match the other databases (§2.1)
+	cat := simdb.NewCatalog(YCSBName)
+	cat.Add(&simdb.Table{Name: "usertable", Rows: rows, Columns: simdb.MakeColumns(11, 100), Clustered: true})
+
+	key := simdb.TableRef{Table: "usertable", Selectivity: 1.0 / rows, UseIndex: true}
+	scan := simdb.TableRef{Table: "usertable", Selectivity: 900.0 / rows, UseIndex: true}
+
+	read := &simdb.QueryTemplate{Name: "ReadRecord", Refs: []simdb.TableRef{key}}
+	insert := &simdb.QueryTemplate{Name: "InsertRecord", Refs: []simdb.TableRef{key}, Write: InsertKind(), WriteRows: 1}
+	scanQ := &simdb.QueryTemplate{Name: "ScanRecord", Refs: []simdb.TableRef{scan}, TopN: 900}
+	update := &simdb.QueryTemplate{Name: "UpdateRecord", Refs: []simdb.TableRef{key}, Write: UpdateKind(), WriteRows: 1}
+	del := &simdb.QueryTemplate{Name: "DeleteRecord", Refs: []simdb.TableRef{key}, Write: DeleteKind(), WriteRows: 1}
+	rmw := &simdb.QueryTemplate{Name: "ReadModifyWriteRecord", Refs: []simdb.TableRef{key}, Write: UpdateKind(), WriteRows: 1}
+
+	w := &simdb.Workload{
+		Name:    YCSBName,
+		Class:   simdb.Mixed,
+		Catalog: cat,
+		Txns: []simdb.TxnProfile{
+			{Query: read, Weight: 45, ParallelFrac: 0.02},
+			{Query: insert, Weight: 5, ParallelFrac: 0.0},
+			{Query: scanQ, Weight: 5, ParallelFrac: 0.30},
+			{Query: update, Weight: 25, ParallelFrac: 0.0},
+			{Query: del, Weight: 5, ParallelFrac: 0.0},
+			{Query: rmw, Weight: 15, ParallelFrac: 0.0},
+		},
+		CPUScale:      5,
+		IOScale:       8, // skewed random access over a large table: I/O bound
+		LockScale:     6, // Zipf 0.99 hot keys: lock retries on contended rows
+		Contention:    0.10,
+		SKUQuirkSigma: 0.03,
+	}
+	return finish(w, 1, 11, 0)
+}

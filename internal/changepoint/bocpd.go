@@ -1,0 +1,211 @@
+// Package changepoint implements Bayesian online change-point detection
+// (Adams & MacKay 2007) for univariate series with unknown mean and
+// variance, using a Normal-Gamma conjugate prior and Student-t predictive
+// distribution. Phase-FP uses it to segment resource time series into
+// statistically homogeneous phases (§5.1.1).
+package changepoint
+
+import "math"
+
+// Detector configures BOCPD.
+type Detector struct {
+	// Hazard is the constant change-point hazard rate 1/λ (default 1/50:
+	// phases of ~50 ticks expected a priori).
+	Hazard float64
+	// Prior hyperparameters of the Normal-Gamma prior. Zero values select
+	// weakly-informative defaults (mu0 = first observation, kappa0 = 1,
+	// alpha0 = 1, beta0 = sample-scaled).
+	Mu0, Kappa0, Alpha0, Beta0 float64
+	// MinSegment suppresses change points closer than this many ticks
+	// (default 5), avoiding spurious one-tick phases.
+	MinSegment int
+	// Truncate bounds the run-length distribution support (default 400).
+	Truncate int
+}
+
+func (d Detector) withDefaults(first, spread float64) Detector {
+	if d.Hazard == 0 {
+		d.Hazard = 1.0 / 50
+	}
+	if d.Kappa0 == 0 {
+		d.Kappa0 = 1
+	}
+	if d.Alpha0 == 0 {
+		d.Alpha0 = 1
+	}
+	if d.Beta0 == 0 {
+		b := spread
+		if b <= 0 {
+			b = 1
+		}
+		d.Beta0 = b
+	}
+	if d.Mu0 == 0 {
+		d.Mu0 = first
+	}
+	if d.MinSegment == 0 {
+		d.MinSegment = 5
+	}
+	if d.Truncate == 0 {
+		d.Truncate = 400
+	}
+	return d
+}
+
+// studentLogPDF is the log density of the Student-t predictive
+// distribution with the given degrees of freedom, location, and scale.
+func studentLogPDF(x, nu, mu, sigma2 float64) float64 {
+	z := (x - mu) * (x - mu) / (nu * sigma2)
+	return lgamma((nu+1)/2) - lgamma(nu/2) -
+		0.5*math.Log(nu*math.Pi*sigma2) -
+		(nu+1)/2*math.Log1p(z)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Detect returns the change-point indices of the series (positions where a
+// new phase begins, excluding 0). The detector tracks the run-length
+// posterior online; a change point is emitted when the MAP run length
+// collapses.
+func (d Detector) Detect(series []float64) []int {
+	n := len(series)
+	if n < 2 {
+		return nil
+	}
+	// Spread estimate for the prior scale.
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	spread := 0.0
+	for _, v := range series {
+		diff := v - mean
+		spread += diff * diff
+	}
+	spread /= float64(n)
+	cfg := d.withDefaults(series[0], spread/4+1e-9)
+
+	maxRun := cfg.Truncate
+	// Per-run-length sufficient statistics.
+	type suff struct {
+		kappa, alpha, beta, mu float64
+	}
+	prior := suff{kappa: cfg.Kappa0, alpha: cfg.Alpha0, beta: cfg.Beta0, mu: cfg.Mu0}
+
+	// logR[r] is the log run-length probability for run length r.
+	logR := []float64{0}
+	stats := []suff{prior}
+	lastMAP := 0
+	var cps []int
+	lastCP := 0
+
+	logH := math.Log(cfg.Hazard)
+	log1mH := math.Log(1 - cfg.Hazard)
+
+	for t := 0; t < n; t++ {
+		x := series[t]
+		k := len(logR)
+		if k > maxRun {
+			k = maxRun
+		}
+		// Predictive probability under each run length.
+		pred := make([]float64, k)
+		for r := 0; r < k; r++ {
+			s := stats[r]
+			nu := 2 * s.alpha
+			sigma2 := s.beta * (s.kappa + 1) / (s.alpha * s.kappa)
+			pred[r] = studentLogPDF(x, nu, s.mu, sigma2)
+		}
+		// Growth and change-point probabilities.
+		newLogR := make([]float64, k+1)
+		cp := math.Inf(-1)
+		for r := 0; r < k; r++ {
+			newLogR[r+1] = logR[r] + pred[r] + log1mH
+			cp = logAdd(cp, logR[r]+pred[r]+logH)
+		}
+		newLogR[0] = cp
+		// Normalize.
+		total := math.Inf(-1)
+		for _, lv := range newLogR {
+			total = logAdd(total, lv)
+		}
+		for i := range newLogR {
+			newLogR[i] -= total
+		}
+		// Update sufficient statistics.
+		newStats := make([]suff, k+1)
+		newStats[0] = prior
+		for r := 0; r < k; r++ {
+			s := stats[r]
+			newStats[r+1] = suff{
+				kappa: s.kappa + 1,
+				alpha: s.alpha + 0.5,
+				beta:  s.beta + s.kappa*(x-s.mu)*(x-s.mu)/(2*(s.kappa+1)),
+				mu:    (s.kappa*s.mu + x) / (s.kappa + 1),
+			}
+		}
+		logR, stats = newLogR, newStats
+
+		// MAP run length; a collapse signals a change point.
+		mapR := 0
+		for r := 1; r < len(logR); r++ {
+			if logR[r] > logR[mapR] {
+				mapR = r
+			}
+		}
+		if mapR < lastMAP-2 && t-lastCP >= cfg.MinSegment {
+			cps = append(cps, t-mapR+1)
+			lastCP = t
+		}
+		lastMAP = mapR
+	}
+	// De-duplicate and clamp.
+	out := cps[:0]
+	prev := -cfg.MinSegment
+	for _, c := range cps {
+		if c <= 0 || c >= n {
+			continue
+		}
+		if c-prev >= cfg.MinSegment {
+			out = append(out, c)
+			prev = c
+		}
+	}
+	return out
+}
+
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// Segments converts change points into [start, end) phase boundaries
+// covering a series of length n.
+func Segments(cps []int, n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	var out [][2]int
+	start := 0
+	for _, c := range cps {
+		if c <= start || c >= n {
+			continue
+		}
+		out = append(out, [2]int{start, c})
+		start = c
+	}
+	out = append(out, [2]int{start, n})
+	return out
+}

@@ -1,0 +1,110 @@
+package changepoint
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func shifted(n1, n2 int, mu1, mu2, sigma float64, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, seed^3))
+	out := make([]float64, 0, n1+n2)
+	for i := 0; i < n1; i++ {
+		out = append(out, mu1+sigma*rng.NormFloat64())
+	}
+	for i := 0; i < n2; i++ {
+		out = append(out, mu2+sigma*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestDetectSingleShift(t *testing.T) {
+	series := shifted(60, 60, 10, 50, 1, 1)
+	cps := Detector{}.Detect(series)
+	if len(cps) == 0 {
+		t.Fatal("a 40σ mean shift must be detected")
+	}
+	found := false
+	for _, c := range cps {
+		if c >= 55 && c <= 66 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("change points %v do not bracket the true shift at 60", cps)
+	}
+}
+
+func TestDetectStationaryQuiet(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	series := make([]float64, 150)
+	for i := range series {
+		series[i] = 5 + 0.5*rng.NormFloat64()
+	}
+	cps := Detector{}.Detect(series)
+	if len(cps) > 2 {
+		t.Fatalf("stationary series produced %d change points: %v", len(cps), cps)
+	}
+}
+
+func TestDetectTwoShifts(t *testing.T) {
+	a := shifted(50, 50, 0, 30, 1, 4)
+	b := shifted(0, 50, 0, -20, 1, 5)
+	series := append(a, b...)
+	cps := Detector{}.Detect(series)
+	if len(cps) < 2 {
+		t.Fatalf("two large shifts, got change points %v", cps)
+	}
+}
+
+func TestDetectShortSeries(t *testing.T) {
+	d := Detector{}
+	if got := d.Detect([]float64{1}); got != nil {
+		t.Fatal("single-point series has no change points")
+	}
+	if got := d.Detect(nil); got != nil {
+		t.Fatal("empty series has no change points")
+	}
+}
+
+func TestDetectMinSegment(t *testing.T) {
+	series := shifted(40, 40, 0, 25, 1, 6)
+	cps := Detector{MinSegment: 10}.Detect(series)
+	prev := 0
+	for _, c := range cps {
+		if c-prev < 10 {
+			t.Fatalf("segments shorter than MinSegment: %v", cps)
+		}
+		prev = c
+	}
+}
+
+func TestSegments(t *testing.T) {
+	segs := Segments([]int{10, 25}, 40)
+	want := [][2]int{{0, 10}, {10, 25}, {25, 40}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segments = %v, want %v", segs, want)
+		}
+	}
+	// Coverage: segments must tile [0, n).
+	covered := 0
+	for _, s := range segs {
+		covered += s[1] - s[0]
+	}
+	if covered != 40 {
+		t.Fatalf("segments cover %d ticks, want 40", covered)
+	}
+}
+
+func TestSegmentsEdgeCases(t *testing.T) {
+	if got := Segments(nil, 0); got != nil {
+		t.Fatal("empty series has no segments")
+	}
+	segs := Segments([]int{0, 50, 10}, 20) // invalid entries ignored
+	if len(segs) != 2 || segs[0] != [2]int{0, 10} || segs[1] != [2]int{10, 20} {
+		t.Fatalf("segments = %v", segs)
+	}
+}

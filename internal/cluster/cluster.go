@@ -1,0 +1,254 @@
+// Package cluster groups workloads by their pairwise fingerprint
+// distances — the "group similar workloads and use clusters for downstream
+// prediction" use case of §2 and §5 of the paper. Because the similarity
+// component already produces a distance matrix, both algorithms here work
+// on precomputed distances: k-medoids (PAM-style) and average-linkage
+// agglomerative clustering. Quality is measured by the silhouette
+// coefficient and, against ground-truth labels, by cluster purity — the
+// paper's observation that "clustering algorithms are highly sensitive to
+// which features are used" is directly checkable with these.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Result is a clustering of n items.
+type Result struct {
+	// Assign[i] is the cluster index (0..K-1) of item i.
+	Assign []int
+	// K is the number of clusters.
+	K int
+	// Medoids holds the representative item per cluster (k-medoids only;
+	// nil for hierarchical results).
+	Medoids []int
+}
+
+func validateMatrix(d [][]float64) (int, error) {
+	n := len(d)
+	if n == 0 {
+		return 0, errors.New("cluster: empty distance matrix")
+	}
+	for i, row := range d {
+		if len(row) != n {
+			return 0, fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	return n, nil
+}
+
+// KMedoids runs PAM-style clustering on a precomputed distance matrix:
+// greedy initialization (the item minimizing total distance seeds the
+// first medoid, then farthest-first), followed by alternating assignment
+// and medoid-update passes until stable.
+func KMedoids(d [][]float64, k int) (*Result, error) {
+	n, err := validateMatrix(d)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d out of range for %d items", k, n)
+	}
+
+	// Seed 1: the most central item.
+	medoids := []int{mostCentral(d)}
+	// Seeds 2..k: farthest-first from the chosen medoids.
+	for len(medoids) < k {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			nearest := math.Inf(1)
+			for _, m := range medoids {
+				if d[i][m] < nearest {
+					nearest = d[i][m]
+				}
+			}
+			if nearest > bestD {
+				best, bestD = i, nearest
+			}
+		}
+		medoids = append(medoids, best)
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		// Assignment pass.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range medoids {
+				if d[i][m] < bestD {
+					best, bestD = c, d[i][m]
+				}
+			}
+			assign[i] = best
+		}
+		// Medoid update pass.
+		changed := false
+		for c := range medoids {
+			bestM, bestCost := medoids[c], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				cost := 0.0
+				for j := 0; j < n; j++ {
+					if assign[j] == c {
+						cost += d[i][j]
+					}
+				}
+				if cost < bestCost {
+					bestM, bestCost = i, cost
+				}
+			}
+			if bestM != medoids[c] {
+				medoids[c] = bestM
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &Result{Assign: assign, K: k, Medoids: medoids}, nil
+}
+
+func mostCentral(d [][]float64) int {
+	best, bestCost := 0, math.Inf(1)
+	for i := range d {
+		cost := 0.0
+		for j := range d {
+			cost += d[i][j]
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// Agglomerative runs average-linkage hierarchical clustering, cutting the
+// dendrogram when k clusters remain.
+func Agglomerative(d [][]float64, k int) (*Result, error) {
+	n, err := validateMatrix(d)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d out of range for %d items", k, n)
+	}
+	// Active clusters as member lists.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	linkage := func(a, b []int) float64 {
+		s := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				s += d[i][j]
+			}
+		}
+		return s / float64(len(a)*len(b))
+	}
+	for len(clusters) > k {
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if l := linkage(clusters[i], clusters[j]); l < bd {
+					bi, bj, bd = i, j, l
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	assign := make([]int, n)
+	for c, members := range clusters {
+		for _, i := range members {
+			assign[i] = c
+		}
+	}
+	return &Result{Assign: assign, K: k}, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering on
+// the distance matrix: values near 1 indicate compact, well-separated
+// clusters; values near 0 or below indicate overlap. Singleton clusters
+// contribute 0, following the usual convention.
+func Silhouette(d [][]float64, assign []int) (float64, error) {
+	n, err := validateMatrix(d)
+	if err != nil {
+		return 0, err
+	}
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d items", len(assign), n)
+	}
+	clusters := map[int][]int{}
+	for i, c := range assign {
+		clusters[c] = append(clusters[c], i)
+	}
+	if len(clusters) < 2 {
+		return 0, errors.New("cluster: silhouette needs at least two clusters")
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := clusters[assign[i]]
+		if len(own) == 1 {
+			continue // convention: silhouette 0 for singletons
+		}
+		a := 0.0
+		for _, j := range own {
+			if j != i {
+				a += d[i][j]
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for c, members := range clusters {
+			if c == assign[i] {
+				continue
+			}
+			s := 0.0
+			for _, j := range members {
+				s += d[i][j]
+			}
+			if avg := s / float64(len(members)); avg < b {
+				b = avg
+			}
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n), nil
+}
+
+// Purity measures agreement with ground-truth labels: the fraction of
+// items whose cluster's majority label matches their own.
+func Purity(assign []int, labels []string) (float64, error) {
+	if len(assign) != len(labels) {
+		return 0, fmt.Errorf("cluster: %d assignments for %d labels", len(assign), len(labels))
+	}
+	if len(assign) == 0 {
+		return 0, errors.New("cluster: empty clustering")
+	}
+	counts := map[int]map[string]int{}
+	for i, c := range assign {
+		if counts[c] == nil {
+			counts[c] = map[string]int{}
+		}
+		counts[c][labels[i]]++
+	}
+	correct := 0
+	for _, byLabel := range counts {
+		best := 0
+		for _, n := range byLabel {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign)), nil
+}

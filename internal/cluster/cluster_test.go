@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// blobsMatrix builds a distance matrix for points drawn from well-
+// separated 1-D blobs and returns the matrix plus ground-truth labels.
+func blobsMatrix(perBlob int, centers []float64, spread float64, seed uint64) ([][]float64, []string, []int) {
+	rng := rand.New(rand.NewPCG(seed, seed^9))
+	var xs []float64
+	var labels []string
+	var truth []int
+	for b, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			xs = append(xs, c+spread*rng.NormFloat64())
+			labels = append(labels, string(rune('A'+b)))
+			truth = append(truth, b)
+		}
+	}
+	n := len(xs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(xs[i] - xs[j])
+		}
+	}
+	return d, labels, truth
+}
+
+func TestKMedoidsRecoversBlobs(t *testing.T) {
+	d, labels, _ := blobsMatrix(10, []float64{0, 10, 20}, 0.5, 1)
+	res, err := KMedoids(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Purity(res.Assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("purity = %v, want 1 on separated blobs", p)
+	}
+	if len(res.Medoids) != 3 {
+		t.Fatalf("medoids = %v", res.Medoids)
+	}
+	// Medoids must belong to their own clusters.
+	for c, m := range res.Medoids {
+		if res.Assign[m] != c {
+			t.Fatalf("medoid %d assigned to cluster %d, not %d", m, res.Assign[m], c)
+		}
+	}
+}
+
+func TestAgglomerativeRecoversBlobs(t *testing.T) {
+	d, labels, _ := blobsMatrix(8, []float64{0, 10, 20, 30}, 0.5, 2)
+	res, err := Agglomerative(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Purity(res.Assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("purity = %v, want 1", p)
+	}
+}
+
+func TestSilhouetteDiscriminates(t *testing.T) {
+	d, _, truth := blobsMatrix(10, []float64{0, 10}, 0.4, 3)
+	good, err := Silhouette(d, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.8 {
+		t.Fatalf("tight blobs silhouette = %v, want > 0.8", good)
+	}
+	// A scrambled assignment must score far lower.
+	bad := make([]int, len(truth))
+	for i := range bad {
+		bad[i] = i % 2
+	}
+	poor, err := Silhouette(d, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poor >= good {
+		t.Fatalf("scrambled silhouette %v not below correct %v", poor, good)
+	}
+}
+
+func TestSilhouetteSingletons(t *testing.T) {
+	d, _, _ := blobsMatrix(1, []float64{0, 5, 10}, 0, 4)
+	// Three singleton clusters: total contribution 0.
+	s, err := Silhouette(d, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("all-singleton silhouette = %v, want 0", s)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	p, err := Purity([]int{0, 0, 1, 1}, []string{"a", "a", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.75 {
+		t.Fatalf("purity = %v, want 0.75", p)
+	}
+	if _, err := Purity([]int{0}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Fatal("empty clustering must error")
+	}
+}
+
+func TestKMedoidsKEqualsN(t *testing.T) {
+	d, _, _ := blobsMatrix(1, []float64{0, 1, 2}, 0, 5)
+	res, err := KMedoids(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Assign {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("k=n must produce n clusters, got %d", len(seen))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := KMedoids(nil, 1); err == nil {
+		t.Fatal("empty matrix must error")
+	}
+	if _, err := KMedoids([][]float64{{0, 1}}, 1); err == nil {
+		t.Fatal("non-square matrix must error")
+	}
+	d := [][]float64{{0, 1}, {1, 0}}
+	if _, err := KMedoids(d, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := KMedoids(d, 3); err == nil {
+		t.Fatal("k>n must error")
+	}
+	if _, err := Agglomerative(d, 0); err == nil {
+		t.Fatal("agglomerative k=0 must error")
+	}
+	if _, err := Silhouette(d, []int{0}); err == nil {
+		t.Fatal("assignment length mismatch must error")
+	}
+	if _, err := Silhouette(d, []int{0, 0}); err == nil {
+		t.Fatal("single cluster silhouette must error")
+	}
+}

@@ -1,0 +1,408 @@
+// Package core wires the three components into the end-to-end workload
+// resource-prediction pipeline of the paper (Figure 2): feature selection
+// over the reference telemetry, similarity computation between the target
+// workload and the references, and SKU-to-SKU scaling prediction using the
+// nearest reference's pairwise scaling model (§6.2.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wpred/internal/distance"
+	"wpred/internal/featsel"
+	"wpred/internal/fingerprint"
+	"wpred/internal/roofline"
+	"wpred/internal/scalemodel"
+	"wpred/internal/simeval"
+	"wpred/internal/telemetry"
+)
+
+// Config selects the pipeline's algorithms; the zero value reproduces the
+// paper's recommended configuration (RFE-LogReg top-7 features, Hist-FP
+// with the L2,1 norm, pairwise SVM scaling models).
+type Config struct {
+	// Selection is the feature-selection strategy (default RFE LogReg).
+	Selection featsel.Strategy
+	// TopK features to keep (default 7).
+	TopK int
+	// Representation for similarity (default Hist-FP).
+	Representation fingerprint.Representation
+	// Metric for similarity (default L2,1).
+	Metric distance.Metric
+	// Strategy for scaling models (default SVM).
+	Strategy scalemodel.Strategy
+	// Context for scaling models (default Pairwise).
+	Context scalemodel.Context
+	// Subsamples per run for scaling datasets (default 10).
+	Subsamples int
+	// RooflineClamp caps predictions with a roofline fitted on the
+	// nearest reference's observed scaling curve (Appendix B of the
+	// paper): a linear or pairwise extrapolation can never exceed the
+	// reference's saturation ceiling, scaled to the target's operating
+	// point. Off by default, matching the paper's main experiments.
+	RooflineClamp bool
+	// Seed drives every randomized component.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Selection == nil {
+		c.Selection = featsel.NewRFE(featsel.EstimatorLogReg)
+	}
+	if c.TopK == 0 {
+		c.TopK = 7
+	}
+	if c.Metric == nil {
+		c.Metric = distance.L21{}
+	}
+	if c.Subsamples == 0 {
+		c.Subsamples = 10
+	}
+	// Representation, Strategy, and Context zero values already name the
+	// paper's recommended defaults (Hist-FP, SVM, Pairwise).
+	return c
+}
+
+// Pipeline is the trained end-to-end predictor.
+type Pipeline struct {
+	cfg      Config
+	refs     []*telemetry.Experiment
+	selected []telemetry.Feature
+	classOf  map[string]string // workload → class name (for NDCG-style reporting)
+}
+
+// New returns an untrained pipeline with the given configuration.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg.withDefaults()}
+}
+
+// SelectedFeatures returns the features chosen during Train (nil before).
+func (p *Pipeline) SelectedFeatures() []telemetry.Feature {
+	return append([]telemetry.Feature(nil), p.selected...)
+}
+
+// Train runs feature selection over the reference experiments and retains
+// them as the similarity/scaling knowledge base. References should cover
+// each workload on every SKU of interest with matching runs.
+func (p *Pipeline) Train(refs []*telemetry.Experiment) error {
+	if len(refs) == 0 {
+		return errors.New("core: no reference experiments")
+	}
+	p.refs = refs
+
+	// One sub-experiment row per systematic sample, labeled by workload.
+	var subs []*telemetry.Experiment
+	for _, e := range refs {
+		subs = append(subs, e.SystematicSample(p.cfg.Subsamples)...)
+	}
+	ds := telemetry.BuildDataset(subs, nil)
+	ds.MinMaxNormalize()
+	res, err := p.cfg.Selection.Evaluate(ds.X, ds.Labels)
+	if err != nil {
+		return fmt.Errorf("core: feature selection: %w", err)
+	}
+	cols := res.TopK(p.cfg.TopK)
+	p.selected = make([]telemetry.Feature, len(cols))
+	for i, c := range cols {
+		p.selected[i] = ds.Features[c]
+	}
+	return nil
+}
+
+// Prediction is the result of an end-to-end throughput prediction.
+type Prediction struct {
+	// NearestReference is the reference workload the target matched.
+	NearestReference string
+	// Distances holds the mean normalized distance to each reference
+	// workload (smaller = more similar).
+	Distances map[string]float64
+	// FromSKU and ToSKU are the source and target hardware.
+	FromSKU, ToSKU telemetry.SKU
+	// ObservedThroughput is the target's mean measured throughput on
+	// FromSKU.
+	ObservedThroughput float64
+	// PredictedThroughput is the modeled throughput on ToSKU.
+	PredictedThroughput float64
+	// PredictedLo and PredictedHi bound the prediction with an
+	// approximate 95% interval derived from the dispersion of the
+	// reference workload's per-run scaling factors. They equal
+	// PredictedThroughput when the reference data cannot support an
+	// interval (e.g. single-context extrapolation to an unobserved SKU).
+	PredictedLo, PredictedHi float64
+	// ScalingFactor is Predicted/Observed.
+	ScalingFactor float64
+	// SelectedFeatures documents the feature subset used for similarity.
+	SelectedFeatures []telemetry.Feature
+}
+
+// Predict runs the full pipeline: fingerprint the target measurements
+// (taken on their SKU), find the most similar reference workload, fit the
+// scaling model from the target's SKU to toSKU on that reference's data,
+// and apply it to the target's observed throughput.
+func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) (*Prediction, error) {
+	if len(p.refs) == 0 {
+		return nil, errors.New("core: pipeline is not trained")
+	}
+	if len(target) == 0 {
+		return nil, errors.New("core: no target experiments")
+	}
+	fromSKU := target[0].SKU
+	for _, e := range target[1:] {
+		if e.SKU != fromSKU {
+			return nil, fmt.Errorf("core: target experiments span SKUs %s and %s", fromSKU, e.SKU)
+		}
+	}
+
+	nearest, dists, err := p.similarTo(target, fromSKU)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the nearest reference's scaling dataset. Pairwise models need
+	// the exact SKU pair; single models can use every profiled SKU and
+	// may extrapolate to target SKUs that were never observed.
+	var refSetting []*telemetry.Experiment
+	for _, e := range p.refs {
+		if e.Workload != nearest {
+			continue
+		}
+		if p.cfg.Context == scalemodel.Single || e.SKU == fromSKU || e.SKU == toSKU {
+			refSetting = append(refSetting, e)
+		}
+	}
+	src := telemetry.NewSource(p.cfg.Seed)
+	rds, err := scalemodel.FromExperiments(refSetting, p.cfg.Subsamples, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: scaling dataset for %s: %w", nearest, err)
+	}
+	fromIdx, err := rds.SKUIndex(fromSKU.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	toIdx := -1
+	if p.cfg.Context == scalemodel.Pairwise {
+		if toIdx, err = rds.SKUIndex(toSKU.CPUs); err != nil {
+			return nil, err
+		}
+	} else if idx, idxErr := rds.SKUIndex(toSKU.CPUs); idxErr == nil {
+		toIdx = idx
+	}
+
+	observed := 0.0
+	for _, e := range target {
+		observed += e.Throughput
+	}
+	observed /= float64(len(target))
+
+	var predicted float64
+	{
+		switch p.cfg.Context {
+		case scalemodel.Single:
+			m, err := scalemodel.FitSingle(p.cfg.Strategy, rds, nil, p.cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			// Rescale the reference's absolute prediction by the ratio of
+			// the target's observation to the reference's from-SKU level.
+			refAt := m.Predict(fromSKU.CPUs)
+			refTo := m.Predict(toSKU.CPUs)
+			if refAt <= 0 {
+				return nil, fmt.Errorf("core: single model predicts non-positive throughput at %s", fromSKU)
+			}
+			predicted = observed * refTo / refAt
+		case scalemodel.Pairwise:
+			m, err := scalemodel.FitPair(p.cfg.Strategy, rds, fromIdx, toIdx, nil, p.cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			// The pairwise model maps reference from-SKU throughput to
+			// to-SKU throughput; apply its scaling factor at the
+			// reference operating point to the target's observation.
+			refMean := mean(rds.Obs[fromIdx])
+			factor := m.ScalingFactor(refMean)
+			predicted = observed * factor
+		}
+	}
+
+	if p.cfg.RooflineClamp {
+		if bound, ok := p.rooflineBound(rds, fromIdx, toSKU.CPUs, observed); ok && predicted > bound {
+			predicted = bound
+		}
+	}
+
+	lo, hi := predicted, predicted
+	if toIdx >= 0 {
+		if flo, fhi, ok := factorInterval(rds, fromIdx, toIdx); ok {
+			lo, hi = observed*flo, observed*fhi
+			if predicted < lo {
+				lo = predicted
+			}
+			if predicted > hi {
+				hi = predicted
+			}
+		}
+	}
+
+	return &Prediction{
+		NearestReference:    nearest,
+		Distances:           dists,
+		FromSKU:             fromSKU,
+		ToSKU:               toSKU,
+		ObservedThroughput:  observed,
+		PredictedThroughput: predicted,
+		PredictedLo:         lo,
+		PredictedHi:         hi,
+		ScalingFactor:       predicted / observed,
+		SelectedFeatures:    p.SelectedFeatures(),
+	}, nil
+}
+
+// factorInterval computes an approximate 95% interval on the reference's
+// SKU-to-SKU scaling factor from the dispersion of the matched per-point
+// factors.
+func factorInterval(rds *scalemodel.Dataset, fromIdx, toIdx int) (lo, hi float64, ok bool) {
+	n := rds.NPoints()
+	if n < 3 {
+		return 0, 0, false
+	}
+	factors := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		from := rds.Obs[fromIdx][i]
+		if from <= 0 {
+			continue
+		}
+		factors = append(factors, rds.Obs[toIdx][i]/from)
+	}
+	if len(factors) < 3 {
+		return 0, 0, false
+	}
+	m := mean(factors)
+	variance := 0.0
+	for _, f := range factors {
+		d := f - m
+		variance += d * d
+	}
+	sd := math.Sqrt(variance / float64(len(factors)-1))
+	return m - 1.96*sd, m + 1.96*sd, true
+}
+
+// similarTo fingerprints the target alongside same-SKU references and
+// returns the nearest reference workload plus normalized mean distances.
+func (p *Pipeline) similarTo(target []*telemetry.Experiment, sku telemetry.SKU) (string, map[string]float64, error) {
+	refs := make([]*telemetry.Experiment, 0, len(p.refs))
+	for _, e := range p.refs {
+		if e.SKU == sku {
+			refs = append(refs, e)
+		}
+	}
+	if len(refs) == 0 {
+		// Fall back to all references when the SKU was never profiled.
+		refs = p.refs
+	}
+	all := append(append([]*telemetry.Experiment(nil), refs...), target...)
+
+	features := p.selected
+	if len(features) == 0 {
+		features = telemetry.AllFeatures()
+	}
+	// Plan-only targets restrict similarity to plan features.
+	planOnly := false
+	for _, e := range all {
+		if e.Resources.Len() == 0 {
+			planOnly = true
+			break
+		}
+	}
+	if planOnly {
+		kept := features[:0:0]
+		for _, f := range features {
+			if f.Kind() == telemetry.Plan {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			return "", nil, errors.New("core: plan-only target but no plan features selected")
+		}
+		features = kept
+	}
+
+	b := &fingerprint.Builder{Rep: p.cfg.Representation, Features: features}
+	if err := b.Fit(all); err != nil {
+		return "", nil, err
+	}
+	items := make([]simeval.Item, 0, len(all))
+	for _, e := range refs {
+		fp, err := b.Build(e)
+		if err != nil {
+			return "", nil, err
+		}
+		items = append(items, simeval.Item{Workload: e.Workload, Run: e.Run, FP: fp})
+	}
+	targetStart := len(items)
+	for _, e := range target {
+		fp, err := b.Build(e)
+		if err != nil {
+			return "", nil, err
+		}
+		items = append(items, simeval.Item{Workload: "\x00target", Run: e.Run, FP: fp})
+	}
+	matrix, err := simeval.ComputeMatrix(items, p.cfg.Metric)
+	if err != nil {
+		return "", nil, err
+	}
+	// Mean distance from every target item to each reference workload.
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for q := targetStart; q < len(items); q++ {
+		_, d := matrix.NearestWorkload(q)
+		for w, v := range d {
+			sums[w] += v
+			counts[w]++
+		}
+	}
+	names := make([]string, 0, len(sums))
+	for w := range sums {
+		sums[w] /= float64(counts[w])
+		names = append(names, w)
+	}
+	if len(names) == 0 {
+		return "", nil, errors.New("core: no reference workloads to compare against")
+	}
+	sort.Slice(names, func(a, b int) bool { return sums[names[a]] < sums[names[b]] })
+	return names[0], sums, nil
+}
+
+// rooflineBound fits a roofline on the reference workload's observed
+// scaling curve and scales it to the target's operating point: the
+// target's prediction may not exceed the reference's relative saturation
+// ceiling. It reports false when the reference data cannot support a fit.
+func (p *Pipeline) rooflineBound(rds *scalemodel.Dataset, fromIdx, toCPUs int, observed float64) (float64, bool) {
+	cpus := make([]float64, 0, len(rds.SKUs))
+	tput := make([]float64, 0, len(rds.SKUs))
+	for si, sku := range rds.SKUs {
+		cpus = append(cpus, float64(sku.CPUs))
+		tput = append(tput, mean(rds.Obs[si]))
+	}
+	roof, err := roofline.FitCeilings(cpus, tput, 1.05)
+	if err != nil {
+		return 0, false
+	}
+	refAtFrom := mean(rds.Obs[fromIdx])
+	if refAtFrom <= 0 {
+		return 0, false
+	}
+	// Scale the reference ceiling to the target's operating point.
+	ratio := observed / refAtFrom
+	return roof.Bound(float64(toCPUs)) * ratio, true
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,138 @@
+// Package dimred implements the dimensionality-reduction alternatives to
+// feature selection discussed in Appendix C: principal component analysis
+// (via the eigen decomposition of the covariance matrix) and truncated
+// SVD. Both transform the predictor set into a smaller component space —
+// gaining compactness at the cost of interpretability, the trade-off the
+// paper cautions about.
+package dimred
+
+import (
+	"errors"
+	"fmt"
+
+	"wpred/internal/mat"
+)
+
+// PCA projects observations onto the top-k principal components of the
+// (column-centered) data.
+type PCA struct {
+	// Components is the target dimensionality k.
+	Components int
+
+	mean     []float64
+	loadings *mat.Dense // cols × k
+	varExpl  []float64
+	fitted   bool
+}
+
+// Fit computes the principal axes of X.
+func (p *PCA) Fit(X *mat.Dense) error {
+	r, c := X.Dims()
+	if r == 0 || c == 0 {
+		return errors.New("dimred: empty design matrix")
+	}
+	k := p.Components
+	if k <= 0 || k > c {
+		k = c
+	}
+	p.Components = k
+
+	p.mean = make([]float64, c)
+	for j := 0; j < c; j++ {
+		col := X.Col(j)
+		s := 0.0
+		for _, v := range col {
+			s += v
+		}
+		p.mean[j] = s / float64(r)
+	}
+	centered := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			centered.Set(i, j, X.At(i, j)-p.mean[j])
+		}
+	}
+	cov := mat.Scale(1/float64(r), mat.Mul(centered.T(), centered))
+	vals, vecs := mat.EigenSym(cov)
+
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	p.loadings = mat.New(c, k)
+	p.varExpl = make([]float64, k)
+	for comp := 0; comp < k; comp++ {
+		p.loadings.SetCol(comp, vecs.Col(comp))
+		if total > 0 && vals[comp] > 0 {
+			p.varExpl[comp] = vals[comp] / total
+		}
+	}
+	p.fitted = true
+	return nil
+}
+
+// Transform projects X onto the fitted components.
+func (p *PCA) Transform(X *mat.Dense) (*mat.Dense, error) {
+	if !p.fitted {
+		return nil, errors.New("dimred: PCA is not fitted")
+	}
+	r, c := X.Dims()
+	if c != len(p.mean) {
+		return nil, fmt.Errorf("dimred: PCA fitted on %d features, got %d", len(p.mean), c)
+	}
+	centered := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			centered.Set(i, j, X.At(i, j)-p.mean[j])
+		}
+	}
+	return mat.Mul(centered, p.loadings), nil
+}
+
+// ExplainedVarianceRatio returns the variance fraction captured per
+// component.
+func (p *PCA) ExplainedVarianceRatio() []float64 {
+	return append([]float64(nil), p.varExpl...)
+}
+
+// TruncatedSVD projects observations onto the top-k right singular vectors
+// of the raw (uncentered) data — the sparse-friendly variant of PCA.
+type TruncatedSVD struct {
+	Components int
+
+	v      *mat.Dense // cols × k
+	fitted bool
+}
+
+// Fit computes the top singular directions of X.
+func (t *TruncatedSVD) Fit(X *mat.Dense) error {
+	r, c := X.Dims()
+	if r == 0 || c == 0 {
+		return errors.New("dimred: empty design matrix")
+	}
+	k := t.Components
+	if k <= 0 || k > c {
+		k = c
+	}
+	t.Components = k
+	_, _, v := mat.SVDThin(X)
+	t.v = mat.New(c, k)
+	for comp := 0; comp < k; comp++ {
+		t.v.SetCol(comp, v.Col(comp))
+	}
+	t.fitted = true
+	return nil
+}
+
+// Transform projects X onto the fitted directions.
+func (t *TruncatedSVD) Transform(X *mat.Dense) (*mat.Dense, error) {
+	if !t.fitted {
+		return nil, errors.New("dimred: TruncatedSVD is not fitted")
+	}
+	if X.Cols() != t.v.Rows() {
+		return nil, fmt.Errorf("dimred: TruncatedSVD fitted on %d features, got %d", t.v.Rows(), X.Cols())
+	}
+	return mat.Mul(X, t.v), nil
+}

@@ -1,0 +1,175 @@
+package dimred
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// anisotropic draws points stretched strongly along one direction.
+func anisotropic(n int, seed uint64) *mat.Dense {
+	rng := rand.New(rand.NewPCG(seed, seed^7))
+	x := mat.New(n, 3)
+	for i := 0; i < n; i++ {
+		big := rng.NormFloat64() * 10
+		x.Set(i, 0, big+rng.NormFloat64()*0.1)
+		x.Set(i, 1, big*0.5+rng.NormFloat64()*0.1)
+		x.Set(i, 2, rng.NormFloat64()*0.1)
+	}
+	return x
+}
+
+func TestPCAVarianceOrdering(t *testing.T) {
+	p := &PCA{Components: 3}
+	if err := p.Fit(anisotropic(300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ratios := p.ExplainedVarianceRatio()
+	if len(ratios) != 3 {
+		t.Fatalf("ratios = %v", ratios)
+	}
+	if ratios[0] < 0.95 {
+		t.Fatalf("first component should dominate: %v", ratios)
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > ratios[i-1]+1e-12 {
+			t.Fatalf("ratios not ordered: %v", ratios)
+		}
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("ratios sum to %v", sum)
+	}
+}
+
+func TestPCATransformShapeAndCentering(t *testing.T) {
+	x := anisotropic(100, 2)
+	p := &PCA{Components: 2}
+	if err := p.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	z, err := p.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := z.Dims()
+	if r != 100 || c != 2 {
+		t.Fatalf("transformed shape = %dx%d", r, c)
+	}
+	// Scores are centered.
+	for j := 0; j < c; j++ {
+		mean := 0.0
+		for i := 0; i < r; i++ {
+			mean += z.At(i, j)
+		}
+		mean /= float64(r)
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("component %d mean = %v", j, mean)
+		}
+	}
+}
+
+func TestPCAPreservesDistancesInFullRank(t *testing.T) {
+	x := anisotropic(50, 3)
+	p := &PCA{Components: 3}
+	if err := p.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	z, err := p.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-rank PCA is a rotation: pairwise distances survive.
+	d := func(m *mat.Dense, a, b int) float64 {
+		s := 0.0
+		for j := 0; j < m.Cols(); j++ {
+			diff := m.At(a, j) - m.At(b, j)
+			s += diff * diff
+		}
+		return math.Sqrt(s)
+	}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			if math.Abs(d(x, a, b)-d(z, a, b)) > 1e-6 {
+				t.Fatalf("distance (%d,%d) changed: %v vs %v", a, b, d(x, a, b), d(z, a, b))
+			}
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	p := &PCA{}
+	if err := p.Fit(mat.New(0, 0)); err == nil {
+		t.Fatal("empty fit must error")
+	}
+	if _, err := p.Transform(mat.New(1, 1)); err == nil {
+		t.Fatal("unfitted transform must error")
+	}
+	p2 := &PCA{Components: 2}
+	if err := p2.Fit(anisotropic(20, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Transform(mat.New(3, 5)); err == nil {
+		t.Fatal("feature-count mismatch must error")
+	}
+}
+
+func TestTruncatedSVD(t *testing.T) {
+	x := anisotropic(100, 5)
+	s := &TruncatedSVD{Components: 2}
+	if err := s.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	z, err := s.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := z.Dims()
+	if r != 100 || c != 2 {
+		t.Fatalf("transformed shape = %dx%d", r, c)
+	}
+	// The first direction must capture the dominant variance: the
+	// projection's column variance must dwarf the residual dimensions.
+	v0 := colVariance(z, 0)
+	v1 := colVariance(z, 1)
+	if v0 < 10*v1 {
+		t.Fatalf("first SVD direction too weak: %v vs %v", v0, v1)
+	}
+}
+
+func colVariance(m *mat.Dense, j int) float64 {
+	r := m.Rows()
+	mean := 0.0
+	for i := 0; i < r; i++ {
+		mean += m.At(i, j)
+	}
+	mean /= float64(r)
+	v := 0.0
+	for i := 0; i < r; i++ {
+		d := m.At(i, j) - mean
+		v += d * d
+	}
+	return v / float64(r)
+}
+
+func TestTruncatedSVDErrors(t *testing.T) {
+	s := &TruncatedSVD{}
+	if err := s.Fit(mat.New(0, 0)); err == nil {
+		t.Fatal("empty fit must error")
+	}
+	if _, err := s.Transform(mat.New(1, 1)); err == nil {
+		t.Fatal("unfitted transform must error")
+	}
+	s2 := &TruncatedSVD{Components: 1}
+	if err := s2.Fit(anisotropic(20, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Transform(mat.New(2, 9)); err == nil {
+		t.Fatal("feature-count mismatch must error")
+	}
+}

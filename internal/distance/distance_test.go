@@ -1,0 +1,219 @@
+package distance
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"wpred/internal/mat"
+)
+
+func randMatrix(r, c int, seed uint64) *mat.Dense {
+	rng := rand.New(rand.NewPCG(seed, seed^5))
+	m := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	return m
+}
+
+func TestNormKnownValues(t *testing.T) {
+	a := mat.NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := mat.NewFromRows([][]float64{{0, 2}, {3, 0}})
+	// diff = [[1,0],[0,4]]
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{L11{}, 5},
+		{L21{}, 5}, // col0: sqrt(1), col1: sqrt(16)
+		{Frobenius{}, math.Sqrt(17)},
+		{Canberra{}, 1 + 0 + 0 + 1},
+		{Chi2{}, 1 + 0 + 0 + 4}, // (1)²/1 + (4)²/4
+	}
+	for _, c := range cases {
+		got, err := c.m.Distance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", c.m.Name(), got, c.want)
+		}
+	}
+}
+
+func TestCorrelationNorm(t *testing.T) {
+	a := mat.NewFromRows([][]float64{{1, 2}, {3, 4}})
+	scaled := mat.Scale(2, a)
+	got, err := Correlation{}.Distance(a, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 1e-9 {
+		t.Fatalf("perfectly correlated matrices distance = %v, want 0", got)
+	}
+	neg := mat.Scale(-1, a)
+	got, _ = Correlation{}.Distance(a, neg)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("anti-correlated distance = %v, want 2", got)
+	}
+}
+
+func TestMetricAxioms(t *testing.T) {
+	metrics := append(Norms(), TimeSeriesMetrics()...)
+	f := func(seed uint8) bool {
+		a := randMatrix(12, 3, uint64(seed))
+		b := randMatrix(12, 3, uint64(seed)+1000)
+		for _, m := range metrics {
+			dab, err1 := m.Distance(a, b)
+			dba, err2 := m.Distance(b, a)
+			daa, err3 := m.Distance(a, a)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return false
+			}
+			if math.Abs(dab-dba) > 1e-9 { // symmetry
+				return false
+			}
+			if daa > 1e-9 { // identity
+				return false
+			}
+			if dab < -1e-12 { // non-negativity (correlation can be ~0⁻ by float error)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeMismatchErrors(t *testing.T) {
+	a := randMatrix(4, 2, 1)
+	b := randMatrix(5, 2, 2)
+	for _, m := range Norms() {
+		if _, err := m.Distance(a, b); err == nil {
+			t.Fatalf("%s must reject mismatched shapes", m.Name())
+		}
+	}
+	c := randMatrix(4, 3, 3)
+	for _, m := range TimeSeriesMetrics() {
+		if _, err := m.Distance(a, c); err == nil {
+			t.Fatalf("%s must reject mismatched dimensions", m.Name())
+		}
+	}
+}
+
+func TestDTWShiftRobustness(t *testing.T) {
+	// A time-shifted copy: DTW must rate it much closer than the
+	// Frobenius norm does (relative to an unrelated series).
+	n := 60
+	base := mat.New(n, 1)
+	shift := mat.New(n, 1)
+	noise := mat.New(n, 1)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < n; i++ {
+		base.Set(i, 0, math.Sin(float64(i)/5))
+		shift.Set(i, 0, math.Sin(float64(i+4)/5))
+		noise.Set(i, 0, rng.Float64()*2-1)
+	}
+	dtw := DTW{Dependent: true, Window: 10}
+	dShift, _ := dtw.Distance(base, shift)
+	dNoise, _ := dtw.Distance(base, noise)
+	if dShift >= dNoise {
+		t.Fatalf("DTW shifted (%v) must beat noise (%v)", dShift, dNoise)
+	}
+	fro := Frobenius{}
+	fShift, _ := fro.Distance(base, shift)
+	if dShift >= fShift {
+		t.Fatalf("DTW (%v) should absorb the shift better than Frobenius (%v)", dShift, fShift)
+	}
+}
+
+func TestDTWVariableLengths(t *testing.T) {
+	a := mat.New(30, 2)
+	b := mat.New(45, 2)
+	for i := 0; i < 30; i++ {
+		a.Set(i, 0, float64(i))
+	}
+	for i := 0; i < 45; i++ {
+		b.Set(i, 0, float64(i)*30/45)
+	}
+	for _, m := range []Metric{DTW{Dependent: true}, DTW{}, LCSS{Dependent: true}, LCSS{}} {
+		if _, err := m.Distance(a, b); err != nil {
+			t.Fatalf("%s must handle different lengths: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestDTWIndependentVsDependent(t *testing.T) {
+	a := randMatrix(20, 3, 11)
+	b := randMatrix(20, 3, 12)
+	di, err := DTW{Dependent: false}.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := DTW{Dependent: true}.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di <= 0 || dd <= 0 {
+		t.Fatal("distances must be positive for different matrices")
+	}
+	// Independent warping has more freedom: per-dimension alignment can
+	// only reduce the matching cost.
+	if di > dd*3+1 {
+		t.Fatalf("independent (%v) implausibly larger than dependent (%v)", di, dd)
+	}
+}
+
+func TestLCSSIdenticalIsZero(t *testing.T) {
+	a := randMatrix(25, 2, 13)
+	for _, m := range []Metric{LCSS{Dependent: true}, LCSS{Dependent: false}} {
+		d, err := m.Distance(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-12 {
+			t.Fatalf("%s(a,a) = %v", m.Name(), d)
+		}
+	}
+}
+
+func TestLCSSRange(t *testing.T) {
+	a := randMatrix(20, 2, 14)
+	b := randMatrix(20, 2, 15)
+	for _, m := range []Metric{LCSS{Dependent: true}, LCSS{Dependent: false}} {
+		d, err := m.Distance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 || d > 1 {
+			t.Fatalf("%s = %v outside [0,1]", m.Name(), d)
+		}
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range append(Norms(), TimeSeriesMetrics()...) {
+		if m.Name() == "" || seen[m.Name()] {
+			t.Fatalf("metric name %q duplicated or empty", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+func TestEmptySeriesErrors(t *testing.T) {
+	empty := mat.New(0, 2)
+	full := randMatrix(5, 2, 16)
+	if _, err := (DTW{}).Distance(empty, full); err == nil {
+		t.Fatal("DTW on empty series must error")
+	}
+	if _, err := (LCSS{}).Distance(empty, full); err == nil {
+		t.Fatal("LCSS on empty series must error")
+	}
+}

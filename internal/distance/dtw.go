@@ -1,0 +1,221 @@
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+)
+
+// DTW is dynamic time warping over multivariate series (rows = time,
+// columns = dimensions). The Dependent variant warps all dimensions with
+// one shared alignment using squared Euclidean point distances; the
+// independent variant (see IndependentDTW) warps each dimension separately
+// and sums the distances (Shokoohi-Yekta et al. 2016).
+type DTW struct {
+	// Dependent selects the shared-alignment variant.
+	Dependent bool
+	// Window is the Sakoe-Chiba band half-width; 0 means unconstrained.
+	Window int
+}
+
+// Name implements Metric.
+func (d DTW) Name() string {
+	if d.Dependent {
+		return "Dependent-DTW"
+	}
+	return "Independent-DTW"
+}
+
+// Distance implements Metric. Series may differ in length but must share
+// the dimension count.
+func (d DTW) Distance(a, b *mat.Dense) (float64, error) {
+	if a.Cols() != b.Cols() {
+		return 0, fmt.Errorf("distance: DTW dimension mismatch %d vs %d", a.Cols(), b.Cols())
+	}
+	if a.Rows() == 0 || b.Rows() == 0 {
+		return 0, fmt.Errorf("distance: DTW on empty series")
+	}
+	if d.Dependent {
+		return dtwCore(a.Rows(), b.Rows(), d.Window, func(i, j int) float64 {
+			ra, rb := a.RawRow(i), b.RawRow(j)
+			s := 0.0
+			for k := range ra {
+				diff := ra[k] - rb[k]
+				s += diff * diff
+			}
+			return s
+		}), nil
+	}
+	total := 0.0
+	for k := 0; k < a.Cols(); k++ {
+		ca, cb := a.Col(k), b.Col(k)
+		total += dtwCore(len(ca), len(cb), d.Window, func(i, j int) float64 {
+			diff := ca[i] - cb[j]
+			return diff * diff
+		})
+	}
+	return total, nil
+}
+
+// dtwCore runs the O(m·n) dynamic program with two rolling rows.
+func dtwCore(m, n, window int, cost func(i, j int) float64) float64 {
+	if window <= 0 {
+		window = m + n // unconstrained
+	}
+	// Ensure the band is wide enough to connect the corners.
+	if d := m - n; d < 0 {
+		if window < -d {
+			window = -d
+		}
+	} else if window < d {
+		window = d
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := i - window
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + window
+		if hi > n {
+			hi = n
+		}
+		for j := lo; j <= hi; j++ {
+			c := cost(i-1, j-1)
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[n])
+}
+
+// LCSS is the longest-common-subsequence similarity turned into a
+// distance: 1 − LCSS/min(m, n). Points match when within Epsilon in every
+// compared dimension; Delta bounds the temporal offset of matched points.
+type LCSS struct {
+	// Dependent matches all dimensions jointly; the independent variant
+	// computes a per-dimension LCSS and averages.
+	Dependent bool
+	// Epsilon is the matching tolerance on normalized values
+	// (default 0.15).
+	Epsilon float64
+	// Delta is the temporal matching window (default 10% of the longer
+	// series).
+	Delta int
+}
+
+// Name implements Metric.
+func (l LCSS) Name() string {
+	if l.Dependent {
+		return "Dependent-LCSS"
+	}
+	return "Independent-LCSS"
+}
+
+// Distance implements Metric.
+func (l LCSS) Distance(a, b *mat.Dense) (float64, error) {
+	if a.Cols() != b.Cols() {
+		return 0, fmt.Errorf("distance: LCSS dimension mismatch %d vs %d", a.Cols(), b.Cols())
+	}
+	m, n := a.Rows(), b.Rows()
+	if m == 0 || n == 0 {
+		return 0, fmt.Errorf("distance: LCSS on empty series")
+	}
+	eps := l.Epsilon
+	if eps == 0 {
+		eps = 0.15
+	}
+	delta := l.Delta
+	if delta == 0 {
+		longer := m
+		if n > longer {
+			longer = n
+		}
+		delta = longer / 10
+		if delta < 1 {
+			delta = 1
+		}
+	}
+	shorter := m
+	if n < shorter {
+		shorter = n
+	}
+	if l.Dependent {
+		match := func(i, j int) bool {
+			ra, rb := a.RawRow(i), b.RawRow(j)
+			for k := range ra {
+				if math.Abs(ra[k]-rb[k]) > eps {
+					return false
+				}
+			}
+			return true
+		}
+		lcss := lcssCore(m, n, delta, match)
+		return 1 - float64(lcss)/float64(shorter), nil
+	}
+	total := 0.0
+	for k := 0; k < a.Cols(); k++ {
+		ca, cb := a.Col(k), b.Col(k)
+		lcss := lcssCore(m, n, delta, func(i, j int) bool {
+			return math.Abs(ca[i]-cb[j]) <= eps
+		})
+		total += 1 - float64(lcss)/float64(shorter)
+	}
+	return total / float64(a.Cols()), nil
+}
+
+func lcssCore(m, n, delta int, match func(i, j int) bool) int {
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			switch {
+			case abs(i-j) <= delta && match(i-1, j-1):
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[n]
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TimeSeriesMetrics returns the four MTS-specific measures of the study.
+func TimeSeriesMetrics() []Metric {
+	return []Metric{
+		DTW{Dependent: true, Window: 40},
+		DTW{Dependent: false, Window: 40},
+		LCSS{Dependent: true},
+		LCSS{Dependent: false},
+	}
+}

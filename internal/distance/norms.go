@@ -1,0 +1,167 @@
+// Package distance implements the similarity measures of §5.1.2: the
+// matrix norms (L1,1, L2,1, Frobenius, Canberra, Chi-square, Correlation)
+// applied to equal-shape fingerprints, and the multivariate time-series
+// measures (dependent/independent DTW and LCSS) that exploit temporal
+// ordering.
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+	"wpred/internal/stat"
+)
+
+// Metric is a distance between two fingerprint matrices. Smaller means
+// more similar. Implementations may require equal shapes (norms) or only
+// equal column counts (time-series measures).
+type Metric interface {
+	// Name returns the metric's display name as used in Table 4.
+	Name() string
+	// Distance computes the dissimilarity of a and b.
+	Distance(a, b *mat.Dense) (float64, error)
+}
+
+func shapeEqual(name string, a, b *mat.Dense) error {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return fmt.Errorf("distance: %s requires equal shapes, got %dx%d vs %dx%d", name, ar, ac, br, bc)
+	}
+	return nil
+}
+
+// L11 is the entry-wise L1 norm of the difference: Σ|a−b|.
+type L11 struct{}
+
+// Name implements Metric.
+func (L11) Name() string { return "L1,1" }
+
+// Distance implements Metric.
+func (L11) Distance(a, b *mat.Dense) (float64, error) {
+	if err := shapeEqual("L1,1", a, b); err != nil {
+		return 0, err
+	}
+	da, db := a.Data(), b.Data()
+	s := 0.0
+	for i := range da {
+		s += math.Abs(da[i] - db[i])
+	}
+	return s, nil
+}
+
+// L21 is the L2,1 norm of the difference: the sum over columns of the
+// Euclidean norm of the column difference.
+type L21 struct{}
+
+// Name implements Metric.
+func (L21) Name() string { return "L2,1" }
+
+// Distance implements Metric.
+func (L21) Distance(a, b *mat.Dense) (float64, error) {
+	if err := shapeEqual("L2,1", a, b); err != nil {
+		return 0, err
+	}
+	r, c := a.Dims()
+	total := 0.0
+	for j := 0; j < c; j++ {
+		s := 0.0
+		for i := 0; i < r; i++ {
+			d := a.At(i, j) - b.At(i, j)
+			s += d * d
+		}
+		total += math.Sqrt(s)
+	}
+	return total, nil
+}
+
+// Frobenius is the Frobenius norm of the difference.
+type Frobenius struct{}
+
+// Name implements Metric.
+func (Frobenius) Name() string { return "Fro" }
+
+// Distance implements Metric.
+func (Frobenius) Distance(a, b *mat.Dense) (float64, error) {
+	if err := shapeEqual("Fro", a, b); err != nil {
+		return 0, err
+	}
+	da, db := a.Data(), b.Data()
+	s := 0.0
+	for i := range da {
+		d := da[i] - db[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Canberra is the entry-wise Canberra distance Σ |a−b| / (|a|+|b|), with
+// 0/0 terms contributing zero.
+type Canberra struct{}
+
+// Name implements Metric.
+func (Canberra) Name() string { return "Canb" }
+
+// Distance implements Metric.
+func (Canberra) Distance(a, b *mat.Dense) (float64, error) {
+	if err := shapeEqual("Canb", a, b); err != nil {
+		return 0, err
+	}
+	da, db := a.Data(), b.Data()
+	s := 0.0
+	for i := range da {
+		denom := math.Abs(da[i]) + math.Abs(db[i])
+		if denom < 1e-300 {
+			continue
+		}
+		s += math.Abs(da[i]-db[i]) / denom
+	}
+	return s, nil
+}
+
+// Chi2 is the chi-square histogram distance Σ (a−b)²/(a+b), with 0/0
+// terms contributing zero.
+type Chi2 struct{}
+
+// Name implements Metric.
+func (Chi2) Name() string { return "Chi2" }
+
+// Distance implements Metric.
+func (Chi2) Distance(a, b *mat.Dense) (float64, error) {
+	if err := shapeEqual("Chi2", a, b); err != nil {
+		return 0, err
+	}
+	da, db := a.Data(), b.Data()
+	s := 0.0
+	for i := range da {
+		denom := da[i] + db[i]
+		if math.Abs(denom) < 1e-300 {
+			continue
+		}
+		d := da[i] - db[i]
+		s += d * d / denom
+	}
+	return s, nil
+}
+
+// Correlation is 1 − Pearson correlation of the flattened matrices: zero
+// for perfectly linearly related fingerprints, up to 2 for perfectly
+// anti-correlated ones.
+type Correlation struct{}
+
+// Name implements Metric.
+func (Correlation) Name() string { return "Corr" }
+
+// Distance implements Metric.
+func (Correlation) Distance(a, b *mat.Dense) (float64, error) {
+	if err := shapeEqual("Corr", a, b); err != nil {
+		return 0, err
+	}
+	return 1 - stat.Pearson(a.Data(), b.Data()), nil
+}
+
+// Norms returns the six matrix norms of the study.
+func Norms() []Metric {
+	return []Metric{L21{}, L11{}, Frobenius{}, Canberra{}, Chi2{}, Correlation{}}
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"wpred/internal/cluster"
+	"wpred/internal/dimred"
+	"wpred/internal/distance"
+	"wpred/internal/featsel"
+	"wpred/internal/fingerprint"
+	"wpred/internal/mat"
+	"wpred/internal/simeval"
+	"wpred/internal/telemetry"
+)
+
+// AblationBinsRow is one Hist-FP bin-count evaluation.
+type AblationBinsRow struct {
+	Bins  int
+	MAP   float64
+	NDCG  float64
+	OneNN float64
+}
+
+// AblationBins sweeps the Hist-FP bucket count (the paper fixes n = 10
+// without justification) over the Table 4 item set with the combined top-7
+// features and the L2,1 norm.
+func (s *Suite) AblationBins() ([]AblationBinsRow, error) {
+	sel, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	feats := sel.Combined[:min(7, len(sel.Combined))]
+	var out []AblationBinsRow
+	for _, bins := range []int{5, 10, 20, 50} {
+		items, err := s.table4Items(fingerprint.HistFP, feats, false, bins)
+		if err != nil {
+			return nil, err
+		}
+		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationBinsRow{Bins: bins, MAP: mx.MAP(), NDCG: mx.NDCG(), OneNN: mx.OneNNAccuracy()})
+	}
+	return out, nil
+}
+
+// AblationCumulativeRow compares plain vs cumulative histogram encodings.
+type AblationCumulativeRow struct {
+	Encoding string
+	MAP      float64
+	NDCG     float64
+	OneNN    float64
+}
+
+// AblationCumulative verifies Appendix A's argument experimentally: the
+// cumulative encoding should dominate plain frequencies for similarity.
+func (s *Suite) AblationCumulative() ([]AblationCumulativeRow, error) {
+	sel, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	feats := sel.Combined[:min(7, len(sel.Combined))]
+	var out []AblationCumulativeRow
+	for _, plain := range []bool{false, true} {
+		items, err := s.table4Items(fingerprint.HistFP, feats, plain, 0)
+		if err != nil {
+			return nil, err
+		}
+		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		if err != nil {
+			return nil, err
+		}
+		name := "cumulative"
+		if plain {
+			name = "plain"
+		}
+		out = append(out, AblationCumulativeRow{Encoding: name, MAP: mx.MAP(), NDCG: mx.NDCG(), OneNN: mx.OneNNAccuracy()})
+	}
+	return out, nil
+}
+
+// AblationDimredRow compares dimensionality reduction against top-k
+// feature selection at the same dimensionality.
+type AblationDimredRow struct {
+	Method string
+	K      int
+	OneNN  float64
+}
+
+// AblationDimred contrasts PCA and truncated SVD (Appendix C) with RFE
+// top-k selection, all evaluated by leave-one-run-out 1-NN accuracy on the
+// summarized observation vectors.
+func (s *Suite) AblationDimred() ([]AblationDimredRow, error) {
+	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	var subs []*telemetry.Experiment
+	for _, e := range exps {
+		subs = append(subs, e.SystematicSample(s.Subsamples())...)
+	}
+	ds := telemetry.BuildDataset(subs, nil)
+	ds.MinMaxNormalize()
+	expIDs := make([]string, len(subs))
+	for i, e := range subs {
+		expIDs[i] = e.ID()
+	}
+
+	sel, err := featsel.NewRFE(featsel.EstimatorLogReg).Evaluate(ds.X, ds.Labels)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []AblationDimredRow
+	for _, k := range []int{3, 7, 15} {
+		// Top-k selection.
+		selDS := ds.Select(sel.TopK(k))
+		out = append(out, AblationDimredRow{Method: "RFE top-k", K: k, OneNN: vectorOneNN(selDS.X, ds.Labels, expIDs)})
+
+		// PCA.
+		pca := &dimred.PCA{Components: k}
+		if err := pca.Fit(ds.X); err != nil {
+			return nil, err
+		}
+		px, err := pca.Transform(ds.X)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationDimredRow{Method: "PCA", K: k, OneNN: vectorOneNN(px, ds.Labels, expIDs)})
+
+		// Truncated SVD.
+		svd := &dimred.TruncatedSVD{Components: k}
+		if err := svd.Fit(ds.X); err != nil {
+			return nil, err
+		}
+		sx, err := svd.Transform(ds.X)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationDimredRow{Method: "SVD", K: k, OneNN: vectorOneNN(sx, ds.Labels, expIDs)})
+	}
+	return out, nil
+}
+
+// vectorOneNN is leave-one-out 1-NN accuracy on raw observation vectors
+// with Euclidean distance, excluding candidates from the same experiment.
+func vectorOneNN(x *mat.Dense, labels []int, expIDs []string) float64 {
+	n := x.Rows()
+	if n < 2 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		best, bestD := -1, math.Inf(1)
+		ri := x.RawRow(i)
+		for j := 0; j < n; j++ {
+			if j == i || expIDs[i] == expIDs[j] {
+				continue
+			}
+			rj := x.RawRow(j)
+			d := 0.0
+			for k := range ri {
+				diff := ri[k] - rj[k]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best >= 0 && labels[best] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// AblationRankAggResult measures selection stability: per-run top-7
+// selections vs the rank-aggregated selection.
+type AblationRankAggResult struct {
+	// PerRunOverlap[r] is |top7(run r) ∩ top7(all runs)|.
+	PerRunOverlap []int
+	// PairOverlap is the mean pairwise overlap between per-run top-7 sets.
+	PairOverlap float64
+	// AggOverlap is |top7(aggregated ranks) ∩ top7(all runs)|.
+	AggOverlap int
+}
+
+// AblationRankAgg quantifies the stability gain of aggregating ranks
+// across experiments (§4.2) instead of trusting a single run.
+func (s *Suite) AblationRankAgg() (*AblationRankAggResult, error) {
+	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	strat := featsel.FANOVA{}
+
+	evalFor := func(filter func(*telemetry.Experiment) bool) (featsel.Result, error) {
+		var subs []*telemetry.Experiment
+		for _, e := range exps {
+			if filter(e) {
+				subs = append(subs, e.SystematicSample(s.Subsamples())...)
+			}
+		}
+		ds := telemetry.BuildDataset(subs, nil)
+		ds.MinMaxNormalize()
+		return strat.Evaluate(ds.X, ds.Labels)
+	}
+
+	full, err := evalFor(func(*telemetry.Experiment) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	fullTop := toSet(full.TopK(7))
+
+	var perRun []featsel.Result
+	res := &AblationRankAggResult{}
+	for r := 0; r < 3; r++ {
+		rr, err := evalFor(func(e *telemetry.Experiment) bool { return e.Run == r })
+		if err != nil {
+			return nil, err
+		}
+		perRun = append(perRun, rr)
+		res.PerRunOverlap = append(res.PerRunOverlap, overlapCount(toSet(rr.TopK(7)), fullTop))
+	}
+	pairs, total := 0, 0
+	for i := 0; i < len(perRun); i++ {
+		for j := i + 1; j < len(perRun); j++ {
+			total += overlapCount(toSet(perRun[i].TopK(7)), toSet(perRun[j].TopK(7)))
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		res.PairOverlap = float64(total) / float64(pairs)
+	}
+	agg, err := featsel.AggregateRanks(perRun)
+	if err != nil {
+		return nil, err
+	}
+	res.AggOverlap = overlapCount(toSet(agg.TopK(7)), fullTop)
+	return res, nil
+}
+
+func toSet(cols []int) map[int]bool {
+	out := map[int]bool{}
+	for _, c := range cols {
+		out[c] = true
+	}
+	return out
+}
+
+func overlapCount(a, b map[int]bool) int {
+	n := 0
+	for k := range a {
+		if b[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// AblationClusterRow reports the quality of clustering the Table 4 items
+// into workload groups under one feature subset.
+type AblationClusterRow struct {
+	Subset     string
+	Algorithm  string
+	Purity     float64
+	Silhouette float64
+}
+
+// AblationClustering quantifies the paper's §7 takeaway that "clustering
+// algorithms are highly sensitive to which features are used": k-medoids
+// and average-linkage clustering of the TPC-C/TPC-H/Twitter runs under the
+// combined top-7 subset vs. resource-only features.
+func (s *Suite) AblationClustering() ([]AblationClusterRow, error) {
+	sel, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	subsets := []subsetSpec{
+		{"comb-7", sel.Combined[:min(7, len(sel.Combined))]},
+		{"res-all", telemetry.ResourceFeatures()},
+	}
+	var out []AblationClusterRow
+	for _, sub := range subsets {
+		items, err := s.table4Items(fingerprint.HistFP, sub.feats, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		if err != nil {
+			return nil, err
+		}
+		labels := make([]string, len(items))
+		for i, it := range items {
+			labels[i] = it.Workload
+		}
+		type algo struct {
+			name string
+			run  func() (*cluster.Result, error)
+		}
+		for _, a := range []algo{
+			{"k-medoids", func() (*cluster.Result, error) { return cluster.KMedoids(mx.D, 3) }},
+			{"agglomerative", func() (*cluster.Result, error) { return cluster.Agglomerative(mx.D, 3) }},
+		} {
+			res, err := a.run()
+			if err != nil {
+				return nil, err
+			}
+			purity, err := cluster.Purity(res.Assign, labels)
+			if err != nil {
+				return nil, err
+			}
+			sil, err := cluster.Silhouette(mx.D, res.Assign)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationClusterRow{
+				Subset: sub.name, Algorithm: a.name, Purity: purity, Silhouette: sil,
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationsTable renders all four ablations into one table set.
+func (s *Suite) AblationsTable() (*Table, error) {
+	t := &Table{
+		Title:  "Ablations: design-choice sensitivity",
+		Header: []string{"Ablation", "Setting", "mAP", "NDCG", "1-NN"},
+	}
+	bins, err := s.AblationBins()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range bins {
+		t.AddRow("A1 hist bins", fmt.Sprintf("n=%d", r.Bins), f3(r.MAP), f3(r.NDCG), f3(r.OneNN))
+	}
+	cum, err := s.AblationCumulative()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range cum {
+		t.AddRow("A2 encoding", r.Encoding, f3(r.MAP), f3(r.NDCG), f3(r.OneNN))
+	}
+	dim, err := s.AblationDimred()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range dim {
+		t.AddRow("A3 dimensionality", fmt.Sprintf("%s k=%d", r.Method, r.K), "-", "-", f3(r.OneNN))
+	}
+	agg, err := s.AblationRankAgg()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("A4 rank aggregation", fmt.Sprintf("per-run∩full=%v", agg.PerRunOverlap), "-", "-", "-")
+	t.AddRow("A4 rank aggregation", fmt.Sprintf("run-pair mean overlap=%.1f", agg.PairOverlap), "-", "-", "-")
+	t.AddRow("A4 rank aggregation", fmt.Sprintf("aggregated∩full=%d", agg.AggOverlap), "-", "-", "-")
+	clu, err := s.AblationClustering()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range clu {
+		t.AddRow("A5 clustering", fmt.Sprintf("%s %s (purity=%.3f, silhouette=%.3f)",
+			r.Algorithm, r.Subset, r.Purity, r.Silhouette), "-", "-", "-")
+	}
+	return t, nil
+}

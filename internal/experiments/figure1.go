@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wpred/internal/bench"
+	"wpred/internal/scalemodel"
+	"wpred/internal/simdb"
+	"wpred/internal/stat"
+	"wpred/internal/telemetry"
+)
+
+// Figure1Result is the motivating example: per-transaction-type vs
+// workload-level latency scaling prediction for a YCSB-mix customer
+// workload, over ten prediction trials.
+type Figure1Result struct {
+	TxnTypes []string
+	// TxnAPE[t] holds the APE of the query-level prediction for type t in
+	// each trial.
+	TxnAPE [][]float64
+	// WorkloadAPE holds the workload-level prediction APE per trial.
+	WorkloadAPE []float64
+	// AggregatedAPE holds the APE of the weighted aggregate of the
+	// query-level predictions per trial.
+	AggregatedAPE []float64
+}
+
+// customerYCSB builds the customer's workload: the six YCSB transaction
+// types with a perturbed mix, the scenario of Example 1.
+func customerYCSB() *simdb.Workload {
+	// The customer runs the same YCSB application (same name, hence the
+	// same per-SKU hardware quirks) with a different transaction mix.
+	w := bench.YCSB()
+	weights := []float64{38, 8, 7, 27, 6, 14}
+	for i := range w.Txns {
+		w.Txns[i].Weight = weights[i%len(weights)]
+	}
+	return w
+}
+
+// Figure1 trains per-transaction-type and workload-level latency scaling
+// factors on the reference YCSB runs (4 → 8 CPUs) and applies them to ten
+// runs of the customer's YCSB-mix workload.
+func (s *Suite) Figure1() (*Figure1Result, error) {
+	from := telemetry.SKU{CPUs: 4, MemoryGB: 32}
+	to := telemetry.SKU{CPUs: 8, MemoryGB: 64}
+	const trials = 10
+
+	ref := s.Workload(bench.YCSBName)
+	cust := customerYCSB()
+
+	simulate := func(w *simdb.Workload, sku telemetry.SKU, run int) *telemetry.Experiment {
+		return simdb.Simulate(w, simdb.Config{
+			SKU: sku, Terminals: 8, Run: run, DataGroup: run % 3, Ticks: s.Ticks(),
+		}, s.src)
+	}
+
+	// Reference scaling factors from three YCSB runs on each SKU.
+	nTypes := len(ref.Txns)
+	refFromLat := make([]float64, nTypes)
+	refToLat := make([]float64, nTypes)
+	var refFromAll, refToAll float64
+	const refRuns = 3
+	for r := 0; r < refRuns; r++ {
+		ef := simulate(ref, from, r)
+		et := simulate(ref, to, r)
+		for i := 0; i < nTypes; i++ {
+			refFromLat[i] += ef.TxnStats[i].MeanLatMS
+			refToLat[i] += et.TxnStats[i].MeanLatMS
+		}
+		refFromAll += ef.MeanLatMS
+		refToAll += et.MeanLatMS
+	}
+	txnFactor := make([]float64, nTypes)
+	for i := 0; i < nTypes; i++ {
+		txnFactor[i] = refToLat[i] / refFromLat[i]
+	}
+	workloadFactor := refToAll / refFromAll
+
+	res := &Figure1Result{
+		TxnAPE: make([][]float64, nTypes),
+	}
+	for i := 0; i < nTypes; i++ {
+		res.TxnTypes = append(res.TxnTypes, ref.Txns[i].Query.Name)
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		// Distinct run ids keep the customer's runs independent of the
+		// reference runs above.
+		run := 10 + trial
+		cf := simulate(cust, from, run)
+		ct := simulate(cust, to, run)
+
+		weightedPred, weightedActual := 0.0, 0.0
+		for i := 0; i < nTypes; i++ {
+			pred := cf.TxnStats[i].MeanLatMS * txnFactor[i]
+			actual := ct.TxnStats[i].MeanLatMS
+			res.TxnAPE[i] = append(res.TxnAPE[i], scalemodel.APE(pred, actual))
+			weightedPred += cf.TxnStats[i].Weight * pred
+			weightedActual += ct.TxnStats[i].Weight * actual
+		}
+		res.AggregatedAPE = append(res.AggregatedAPE, scalemodel.APE(weightedPred, weightedActual))
+
+		predAll := cf.MeanLatMS * workloadFactor
+		res.WorkloadAPE = append(res.WorkloadAPE, scalemodel.APE(predAll, ct.MeanLatMS))
+	}
+	return res, nil
+}
+
+// Table renders the APE distribution summary.
+func (r *Figure1Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 1: latency-prediction APE — query-level (per type) vs workload-level",
+		Header: []string{"Predictor", "Mean APE %", "Min %", "Max %"},
+	}
+	for i, name := range r.TxnTypes {
+		lo, hi := stat.MinMax(r.TxnAPE[i])
+		t.AddRow("query-level "+name, f2(stat.Mean(r.TxnAPE[i])*100), f2(lo*100), f2(hi*100))
+	}
+	lo, hi := stat.MinMax(r.AggregatedAPE)
+	t.AddRow("query-level aggregate (weighted)", f2(stat.Mean(r.AggregatedAPE)*100), f2(lo*100), f2(hi*100))
+	lo, hi = stat.MinMax(r.WorkloadAPE)
+	t.AddRow("workload-level", f2(stat.Mean(r.WorkloadAPE)*100), f2(lo*100), f2(hi*100))
+	t.Notes = append(t.Notes, fmt.Sprintf("%d prediction trials, YCSB-mix customer workload scaling 4→8 CPUs", len(r.WorkloadAPE)))
+	return t
+}

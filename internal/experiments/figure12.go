@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wpred/internal/bench"
+	"wpred/internal/mat"
+	"wpred/internal/ml/linmodel"
+	"wpred/internal/roofline"
+	"wpred/internal/scalemodel"
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+// Figure12Point compares the plain linear model and the roofline-clamped
+// model at one CPU count.
+type Figure12Point struct {
+	CPUs        int
+	Actual      float64
+	LinearPred  float64
+	ClampedPred float64
+}
+
+// Figure12Result is the Appendix B roofline demonstration.
+type Figure12Result struct {
+	Workload string
+	Knee     float64
+	Points   []Figure12Point
+	// APE of the two models at the extrapolated SKU.
+	LinearAPE, ClampedAPE float64
+}
+
+// Figure12 demonstrates roofline-augmented prediction: a linear model fit
+// on the compute-bound region (2–8 CPUs) of a saturating workload
+// (Twitter at 8 terminals saturates once the terminals stop being the
+// bottleneck) extrapolates past the knee at 16 CPUs; clamping it with the
+// fitted roofline ceiling restores the prediction.
+func (s *Suite) Figure12() (*Figure12Result, error) {
+	w := s.Workload(bench.TwitterName)
+	cpus := []int{2, 4, 8, 16}
+	actual := make([]float64, len(cpus))
+	for i, c := range cpus {
+		ss := simdb.ComputeSteadyState(w, telemetry.SKU{CPUs: c, MemoryGB: 8 * c}, 8)
+		actual[i] = ss.Throughput
+	}
+
+	// Train on the first three SKUs only.
+	trainX := mat.NewFromRows([][]float64{{2}, {4}, {8}})
+	trainY := actual[:3]
+	lin := &linmodel.LinearRegression{}
+	if err := lin.Fit(trainX, trainY); err != nil {
+		return nil, err
+	}
+	roof, err := roofline.FitCeilings([]float64{2, 4, 8}, trainY, 1.02)
+	if err != nil {
+		return nil, err
+	}
+	clamped := &roofline.Clamped{Inner: lin, Roof: roof}
+
+	res := &Figure12Result{Workload: w.Name, Knee: roof.Knee()}
+	for i, c := range cpus {
+		x := []float64{float64(c)}
+		res.Points = append(res.Points, Figure12Point{
+			CPUs:        c,
+			Actual:      actual[i],
+			LinearPred:  lin.Predict(x),
+			ClampedPred: clamped.Predict(x),
+		})
+	}
+	last := res.Points[len(res.Points)-1]
+	res.LinearAPE = scalemodel.APE(last.LinearPred, last.Actual)
+	res.ClampedAPE = scalemodel.APE(last.ClampedPred, last.Actual)
+	return res, nil
+}
+
+// Table renders the roofline comparison.
+func (r *Figure12Result) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 12: roofline-clamped linear model (%s, knee ≈ %.1f CPUs)", r.Workload, r.Knee),
+		Header: []string{"CPUs", "Actual", "Linear", "Clamped"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.CPUs), f1(p.Actual), f1(p.LinearPred), f1(p.ClampedPred))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("extrapolation APE at 16 CPUs: linear %.1f%%, roofline-clamped %.1f%%", r.LinearAPE*100, r.ClampedAPE*100))
+	return t
+}

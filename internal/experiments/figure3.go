@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wpred/internal/bench"
+	"wpred/internal/featsel"
+	"wpred/internal/telemetry"
+)
+
+// Figure3Panel is one lasso-path plot: the top features of one workload
+// run on the 2-CPU SKU.
+type Figure3Panel struct {
+	Label    string
+	Workload string
+	Run      int
+	// Top7 features ranked by |coefficient| at the weakest regularization.
+	Top7 []telemetry.Feature
+	// Path is the full regularization path for plotting.
+	Path *featsel.WorkloadLassoPath
+}
+
+// Figure3Result holds the four panels plus the pairwise top-7 overlaps the
+// paper discusses (TPC-C run-to-run stability, TPC-C vs Twitter vs TPC-H).
+type Figure3Result struct {
+	Panels []Figure3Panel
+	// Overlap[i][j] is the number of shared top-7 features between panels
+	// i and j.
+	Overlap [][]int
+}
+
+// Figure3 computes per-workload lasso regularization paths on the 2-CPU
+// SKU: TPC-C (two separate runs), Twitter, and TPC-H. Each path regresses
+// the sub-experiment feature vectors of the workload on the sub-experiment
+// throughput.
+func (s *Suite) Figure3() (*Figure3Result, error) {
+	specs := []struct {
+		label, workload string
+		run             int
+	}{
+		{"(a) TPC-C exp-1", bench.TPCCName, 0},
+		{"(b) TPC-C exp-2", bench.TPCCName, 1},
+		{"(c) Twitter", bench.TwitterName, 0},
+		{"(d) TPC-H", bench.TPCHName, 0},
+	}
+	// All five workloads on the 2-CPU SKU form the background set each
+	// panel's workload is contrasted against.
+	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU2}, StandardTerminals, 2)
+	var subs []*telemetry.Experiment
+	for _, e := range exps {
+		subs = append(subs, e.SystematicSample(s.Subsamples())...)
+	}
+
+	res := &Figure3Result{}
+	for _, spec := range specs {
+		path, err := featsel.OneVsRestLassoPath(subs, spec.workload, spec.run, 40)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: lasso path %s: %w", spec.label, err)
+		}
+		res.Panels = append(res.Panels, Figure3Panel{
+			Label:    spec.label,
+			Workload: spec.workload,
+			Run:      spec.run,
+			Top7:     path.TopFeatures(7),
+			Path:     path,
+		})
+	}
+	n := len(res.Panels)
+	res.Overlap = make([][]int, n)
+	for i := range res.Overlap {
+		res.Overlap[i] = make([]int, n)
+		for j := range res.Overlap[i] {
+			res.Overlap[i][j] = featsel.Overlap(res.Panels[i].Path, res.Panels[j].Path, 7)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the panel feature lists and the overlap matrix.
+func (r *Figure3Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 3: Lasso-path top-7 features per workload (2-CPU SKU)",
+		Header: []string{"Panel", "Top-7 features (most important first)"},
+	}
+	for _, p := range r.Panels {
+		t.AddRow(p.Label, join(telemetry.FeatureNames(p.Top7)))
+	}
+	for i := range r.Panels {
+		for j := i + 1; j < len(r.Panels); j++ {
+			t.Notes = append(t.Notes, fmt.Sprintf("top-7 overlap %s ∩ %s = %d",
+				r.Panels[i].Label, r.Panels[j].Label, r.Overlap[i][j]))
+		}
+	}
+	return t
+}

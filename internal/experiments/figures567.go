@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"wpred/internal/bench"
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/simeval"
+	"wpred/internal/telemetry"
+)
+
+// RobustnessResult holds the Figure 5/6-style bar charts: per reference
+// workload, the mean normalized distance from the query workload with its
+// standard error, for each feature subset evaluated.
+type RobustnessResult struct {
+	Query   string
+	Figures []RobustnessFigure
+}
+
+// RobustnessFigure is one subset's bar set.
+type RobustnessFigure struct {
+	Subset string
+	Bars   []simeval.PairStat
+}
+
+// robustness computes the normalized-distance report of the query workload
+// against the Table 4 item set using Hist-FP with the L2,1 norm.
+func (s *Suite) robustness(query string, subsets []subsetSpec) (*RobustnessResult, error) {
+	res := &RobustnessResult{Query: query}
+	for _, sub := range subsets {
+		items, err := s.table4Items(fingerprint.HistFP, sub.feats, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		if err != nil {
+			return nil, err
+		}
+		res.Figures = append(res.Figures, RobustnessFigure{
+			Subset: sub.name,
+			Bars:   mx.RobustnessReport(query),
+		})
+	}
+	return res, nil
+}
+
+// Figure5 reports the Twitter workload's normalized distances (top-7 vs
+// all features), whose error bars visualize robustness.
+func (s *Suite) Figure5() (*RobustnessResult, error) {
+	sel, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	return s.robustness(bench.TwitterName, []subsetSpec{
+		{"comb-7", sel.Combined[:min(7, len(sel.Combined))]},
+		{"comb-all", telemetry.AllFeatures()},
+		{"res-all", telemetry.ResourceFeatures()},
+	})
+}
+
+// Figure6 reports the TPC-C workload's normalized distances under Hist-FP
+// with the L2,1 norm.
+func (s *Suite) Figure6() (*RobustnessResult, error) {
+	sel, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	return s.robustness(bench.TPCCName, []subsetSpec{
+		{"comb-7", sel.Combined[:min(7, len(sel.Combined))]},
+		{"comb-all", telemetry.AllFeatures()},
+	})
+}
+
+// Table renders a robustness result.
+func (r *RobustnessResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Normalized distances from %s (mean ± stderr; smaller = more similar)", r.Query),
+		Header: []string{"Subset", "Reference", "Mean", "StdErr", "N"},
+	}
+	for _, fig := range r.Figures {
+		for _, b := range fig.Bars {
+			t.AddRow(fig.Subset, b.Reference, f3(b.Mean), f3(b.StdErr), fmt.Sprintf("%d", b.N))
+		}
+	}
+	return t
+}
+
+// Figure7Result compares the production workload PW to the reference
+// benchmarks using plan features only on the 80-vcore setup.
+type Figure7Result struct {
+	// Rankings per subset: reference workloads ordered by ascending mean
+	// normalized distance from PW.
+	Subsets []Figure7Subset
+}
+
+// Figure7Subset is one feature-subset's distance ranking.
+type Figure7Subset struct {
+	Subset string
+	Bars   []simeval.PairStat
+	// Nearest is the closest reference workload.
+	Nearest string
+}
+
+// Figure7 runs the unknown-workload scenario: PW (plan features only, the
+// production setup lacked resource tracking) compared against TPC-C,
+// TPC-H, TPC-DS, and Twitter on the 80-vcore SKU using Hist-FP with the
+// Canberra norm, for top-3, top-7, and all plan features.
+func (s *Suite) Figure7() (*Figure7Result, error) {
+	sel, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	workloads := []string{bench.TPCCName, bench.TPCHName, bench.TPCDSName, bench.TwitterName, bench.PWName}
+	exps := s.Experiments(workloads, []telemetry.SKU{SKU80}, StandardTerminals[:2], 3)
+
+	subsets := []subsetSpec{
+		{"plan-3", sel.Plan[:min(3, len(sel.Plan))]},
+		{"plan-7", sel.Plan[:min(7, len(sel.Plan))]},
+		{"plan-all", telemetry.PlanFeatures()},
+	}
+	res := &Figure7Result{}
+	for _, sub := range subsets {
+		b := &fingerprint.Builder{Rep: fingerprint.HistFP, Features: sub.feats}
+		if err := b.Fit(exps); err != nil {
+			return nil, err
+		}
+		items := make([]simeval.Item, 0, len(exps))
+		for _, e := range exps {
+			fp, err := b.Build(e)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, simeval.Item{
+				Workload: e.Workload,
+				Class:    SimilarityClass(e.Workload),
+				Run:      e.Run,
+				FP:       fp,
+			})
+		}
+		mx, err := simeval.ComputeMatrix(items, distance.Canberra{})
+		if err != nil {
+			return nil, err
+		}
+		bars := mx.RobustnessReport(bench.PWName)
+		// Drop PW-to-PW bars; the ranking is over the references.
+		refs := bars[:0:0]
+		for _, b := range bars {
+			if b.Reference != bench.PWName {
+				refs = append(refs, b)
+			}
+		}
+		sort.Slice(refs, func(a, b int) bool { return refs[a].Mean < refs[b].Mean })
+		sub7 := Figure7Subset{Subset: sub.name, Bars: refs}
+		if len(refs) > 0 {
+			sub7.Nearest = refs[0].Reference
+		}
+		res.Subsets = append(res.Subsets, sub7)
+	}
+	return res, nil
+}
+
+// Table renders the PW comparison.
+func (r *Figure7Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 7: PW similarity to reference workloads (Hist-FP + Canberra, plan features, 80 vcores)",
+		Header: []string{"Subset", "Reference", "Mean distance", "StdErr", "Nearest?"},
+	}
+	for _, sub := range r.Subsets {
+		for _, b := range sub.Bars {
+			mark := ""
+			if b.Reference == sub.Nearest {
+				mark = "← nearest"
+			}
+			t.AddRow(sub.Subset, b.Reference, f3(b.Mean), f3(b.StdErr), mark)
+		}
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wpred/internal/bench"
+	"wpred/internal/scalemodel"
+	"wpred/internal/stat"
+)
+
+// ScalingCurvePoint is one SKU's observed and modeled throughput within a
+// data group.
+type ScalingCurvePoint struct {
+	CPUs         int
+	ObservedMean float64
+	SinglePred   float64
+	SingleLo     float64 // confidence band (LMM only; equals pred otherwise)
+	SingleHi     float64
+	// PairwisePred is the prediction of the pairwise model from the
+	// previous SKU (0 for the first SKU).
+	PairwisePred float64
+	// PairwiseFactor is the implied scaling factor from the previous SKU.
+	PairwiseFactor float64
+}
+
+// ScalingComparison holds one data group's single-vs-pairwise curves.
+type ScalingComparison struct {
+	Group  int
+	Points []ScalingCurvePoint
+}
+
+// ScalingFigureResult is Figure 8 (LMM) or Figure 9 (SVM).
+type ScalingFigureResult struct {
+	Strategy scalemodel.Strategy
+	Workload string
+	Groups   []ScalingComparison
+}
+
+// scalingFigure builds per-data-group single and pairwise models of TPC-C
+// throughput over the four SKUs and tabulates their predictions — the
+// comparison behind Figures 8 and 9: the single model smooths over
+// SKU-to-SKU transitions that the pairwise models capture.
+func (s *Suite) scalingFigure(strategy scalemodel.Strategy) (*ScalingFigureResult, error) {
+	w := s.Workload(bench.TPCCName)
+	ds := scalemodel.Build(w, scalemodel.BuildConfig{
+		Terminals:  32,
+		Subsamples: s.Subsamples(),
+		Ticks:      s.Ticks(),
+	}, s.src.Child(fmt.Sprintf("fig89/%v", strategy)))
+
+	res := &ScalingFigureResult{Strategy: strategy, Workload: w.Name}
+	for g := 0; g < 3; g++ {
+		var points []int
+		for i, grp := range ds.Groups {
+			if grp == g {
+				points = append(points, i)
+			}
+		}
+		if len(points) == 0 {
+			continue
+		}
+		single, err := scalemodel.FitSingle(strategy, ds, points, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cmp := ScalingComparison{Group: g}
+		for si, sku := range ds.SKUs {
+			var obs []float64
+			for _, i := range points {
+				obs = append(obs, ds.Obs[si][i])
+			}
+			pred, lo, hi := single.PredictInterval(sku.CPUs)
+			pt := ScalingCurvePoint{
+				CPUs:         sku.CPUs,
+				ObservedMean: stat.Mean(obs),
+				SinglePred:   pred,
+				SingleLo:     lo,
+				SingleHi:     hi,
+			}
+			if si > 0 {
+				pm, err := scalemodel.FitPair(strategy, ds, si-1, si, points, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				var prevObs []float64
+				for _, i := range points {
+					prevObs = append(prevObs, ds.Obs[si-1][i])
+				}
+				ref := stat.Mean(prevObs)
+				pt.PairwisePred = pm.Predict(ref)
+				if ref > 0 {
+					pt.PairwiseFactor = pt.PairwisePred / ref
+				}
+			}
+			cmp.Points = append(cmp.Points, pt)
+		}
+		res.Groups = append(res.Groups, cmp)
+	}
+	return res, nil
+}
+
+// Figure8 compares single vs pairwise LMM scaling models on TPC-C.
+func (s *Suite) Figure8() (*ScalingFigureResult, error) {
+	return s.scalingFigure(scalemodel.LMM)
+}
+
+// Figure9 repeats the comparison with SVM.
+func (s *Suite) Figure9() (*ScalingFigureResult, error) {
+	return s.scalingFigure(scalemodel.SVM)
+}
+
+// Table renders the scaling-figure comparison.
+func (r *ScalingFigureResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure %s: single vs pairwise %v scaling models (%s, 32 terminals)",
+			figNo(r.Strategy), r.Strategy, r.Workload),
+		Header: []string{"Group", "CPUs", "Observed", "Single pred", "CI lo", "CI hi", "Pairwise pred", "Pair factor"},
+	}
+	for _, g := range r.Groups {
+		for _, p := range g.Points {
+			pair, factor := "-", "-"
+			if p.PairwisePred != 0 {
+				pair, factor = f1(p.PairwisePred), f3(p.PairwiseFactor)
+			}
+			t.AddRow(fmt.Sprintf("%d", g.Group), fmt.Sprintf("%d", p.CPUs),
+				f1(p.ObservedMean), f1(p.SinglePred), f1(p.SingleLo), f1(p.SingleHi), pair, factor)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"pairwise predictions start from the previous SKU's observed mean; factors differ per transition (the variation single models smooth over)")
+	return t
+}
+
+func figNo(s scalemodel.Strategy) string {
+	if s == scalemodel.LMM {
+		return "8"
+	}
+	return "9"
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runner regenerates one table or figure.
+type Runner struct {
+	ID          string
+	Description string
+	// Tables produces the structured result tables.
+	Tables func(s *Suite) ([]*Table, error)
+}
+
+// Run renders the experiment as plain text.
+func (r Runner) Run(s *Suite) (string, error) {
+	tables, err := r.Tables(s)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.Render())
+	}
+	return b.String(), nil
+}
+
+// RunMarkdown renders the experiment as GitHub-flavored markdown.
+func (r Runner) RunMarkdown(s *Suite) (string, error) {
+	tables, err := r.Tables(s)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func one(f func(s *Suite) (*Table, error)) func(s *Suite) ([]*Table, error) {
+	return func(s *Suite) ([]*Table, error) {
+		t, err := f(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// Runners returns every experiment in presentation order.
+func Runners() []Runner {
+	return []Runner{
+		{"figure1", "per-transaction vs workload-level latency prediction APE", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure1()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure3", "per-workload lasso paths and top-7 overlap", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure3()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"table3", "feature-selection strategy accuracy and timing", one(func(s *Suite) (*Table, error) {
+			r, err := s.Table3()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure4", "accuracy-development patterns", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure4()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"table4", "similarity mechanisms: mAP / NDCG / 1-NN", one(func(s *Suite) (*Table, error) {
+			r, err := s.Table4()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"table5", "RFE-LogReg feature selections", one(func(s *Suite) (*Table, error) {
+			r, err := s.Table5()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure5", "Twitter similarity robustness", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure5()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure6", "TPC-C similarity robustness", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure6()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure7", "production workload (PW) similarity", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure7()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure8", "single vs pairwise LMM scaling models", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure8()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure9", "single vs pairwise SVM scaling models", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure9()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"table6", "modeling strategies: NRMSE and training time", one(func(s *Suite) (*Table, error) {
+			r, err := s.Table6()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure10", "YCSB similarity to references", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure10()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure11", "end-to-end YCSB prediction (incl. §6.2.3 S1→S2)", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure11()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"figure12", "roofline-clamped prediction", one(func(s *Suite) (*Table, error) {
+			r, err := s.Figure12()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
+		{"appendixA", "data-representation walkthrough (Tables 7-9)", func(s *Suite) ([]*Table, error) {
+			r, err := s.AppendixA()
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables, nil
+		}},
+		{"ablations", "bin count, encoding, dimred, rank-aggregation, clustering ablations", one(func(s *Suite) (*Table, error) {
+			return s.AblationsTable()
+		})},
+	}
+}
+
+// RunnerByID resolves one experiment id (case-insensitive).
+func RunnerByID(id string) (Runner, bool) {
+	for _, r := range Runners() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists the experiment ids.
+func IDs() []string {
+	out := make([]string, 0)
+	for _, r := range Runners() {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+// RunAll regenerates every experiment and concatenates the renderings.
+func (s *Suite) RunAll() (string, error) {
+	var b strings.Builder
+	for _, r := range Runners() {
+		out, err := r.Run(s)
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", r.ID, err)
+		}
+		b.WriteString(out)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// SortedIDs returns the ids in lexical order (for help output).
+func SortedIDs() []string {
+	ids := IDs()
+	sort.Strings(ids)
+	return ids
+}

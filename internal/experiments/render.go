@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrate: one entry point per experiment,
+// each returning a structured result plus a plain-text rendering. The
+// cmd/experiments binary and the repository benchmarks are thin callers of
+// this package. DESIGN.md carries the experiment index; EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a plain-text result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render aligns the table into a string.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown (the format
+// EXPERIMENTS.md embeds).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| ")
+	b.WriteString(strings.Join(t.Header, " | "))
+	b.WriteString(" |\n|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(row, " | "))
+		b.WriteString(" |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f4 formats a float with four decimals.
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

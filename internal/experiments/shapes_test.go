@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"testing"
+
+	"wpred/internal/bench"
+	"wpred/internal/scalemodel"
+)
+
+// The shape tests assert the paper's qualitative claims hold on the quick
+// suite — the verification targets listed in DESIGN.md.
+
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("similarity suite is slow")
+	}
+	s := NewSuite(42)
+	s.Quick = true
+	r, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Subsets) != 3 {
+		t.Fatalf("subsets = %d", len(r.Subsets))
+	}
+	for _, sub := range r.Subsets {
+		if sub.Nearest != bench.TPCHName {
+			t.Fatalf("%s: PW nearest = %s, want TPC-H (§5.2.3)", sub.Subset, sub.Nearest)
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end suite is slow")
+	}
+	s := NewSuite(42)
+	s.Quick = true
+	r, err := s.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nearest != bench.TPCCName || r.NearestS1 != bench.TPCCName {
+		t.Fatalf("nearest references = %s / %s, want TPC-C", r.Nearest, r.NearestS1)
+	}
+	if r.MAPENearest >= r.MAPETwitter {
+		t.Fatalf("the matched reference (MAPE %v) must beat the wrong one (%v)",
+			r.MAPENearest, r.MAPETwitter)
+	}
+	if r.NRMSE > 2 {
+		t.Fatalf("part-1 NRMSE = %v, want within the noise regime", r.NRMSE)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling suite is slow")
+	}
+	s := NewSuite(42)
+	s.Quick = true
+	r, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (time-of-day)", len(r.Groups))
+	}
+	for _, g := range r.Groups {
+		if len(g.Points) != 4 {
+			t.Fatalf("group %d has %d SKU points", g.Group, len(g.Points))
+		}
+		// Observed throughput increases with CPUs.
+		for i := 1; i < len(g.Points); i++ {
+			if g.Points[i].ObservedMean <= g.Points[i-1].ObservedMean*0.95 {
+				t.Fatalf("group %d throughput not rising: %v", g.Group, g.Points)
+			}
+		}
+		// LMM intervals must bracket the prediction.
+		for _, p := range g.Points {
+			if !(p.SingleLo <= p.SinglePred && p.SinglePred <= p.SingleHi) {
+				t.Fatalf("interval (%v,%v,%v) malformed", p.SingleLo, p.SinglePred, p.SingleHi)
+			}
+		}
+	}
+	// Pairwise factors must differ across transitions (the non-smooth
+	// scaling single models hide).
+	g := r.Groups[0]
+	f1 := g.Points[1].PairwiseFactor
+	f2 := g.Points[2].PairwiseFactor
+	f3 := g.Points[3].PairwiseFactor
+	if f1 == f2 && f2 == f3 {
+		t.Fatal("pairwise factors identical across transitions")
+	}
+}
+
+func TestTable6ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 6 cross-validation is slow")
+	}
+	s := NewSuite(42)
+	s.Quick = true
+	r, err := s.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 { // 6 strategies × 2 contexts
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The inverse-linear baseline must lose to every learned
+	// pairwise strategy by a wide margin.
+	for _, row := range r.Rows {
+		if row.Context == scalemodel.Pairwise && row.Mean >= r.BaseMean {
+			t.Fatalf("%v pairwise NRMSE %v not better than baseline %v",
+				row.Strategy, row.Mean, r.BaseMean)
+		}
+	}
+	// GB and SVM must be competitive (within 2× of the best pairwise row).
+	best := r.Rows[0].Mean
+	var gb, svm float64
+	for _, row := range r.Rows {
+		if row.Context != scalemodel.Pairwise {
+			continue
+		}
+		if row.Mean < best {
+			best = row.Mean
+		}
+		switch row.Strategy {
+		case scalemodel.GB:
+			gb = row.Mean
+		case scalemodel.SVM:
+			svm = row.Mean
+		}
+	}
+	if gb > 2*best || svm > 2*best {
+		t.Fatalf("GB (%v) / SVM (%v) should be near the best (%v)", gb, svm, best)
+	}
+}

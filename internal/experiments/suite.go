@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wpred/internal/bench"
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+// Suite generates and caches the simulated experiment runs the individual
+// tables and figures draw from. All randomness flows from the single seed,
+// and every workload/configuration derives an independent stream, so
+// experiments can be regenerated in any order with identical results.
+type Suite struct {
+	// Seed roots all randomness (default results in EXPERIMENTS.md use 42).
+	Seed uint64
+	// Quick shrinks the simulated runs (fewer ticks, fewer sub-samples) so
+	// the full harness finishes in seconds instead of minutes. Shapes are
+	// preserved; EXPERIMENTS.md numbers use the full setting.
+	Quick bool
+
+	src       *telemetry.Source
+	workloads map[string]*simdb.Workload
+	cache     map[string][]*telemetry.Experiment
+
+	// Per-experiment result caches (some figures derive from tables).
+	table3 *Table3Result
+	table5 *FeatureSubsets
+}
+
+// NewSuite returns a suite rooted at the seed.
+func NewSuite(seed uint64) *Suite {
+	return &Suite{
+		Seed:      seed,
+		src:       telemetry.NewSource(seed),
+		workloads: map[string]*simdb.Workload{},
+		cache:     map[string][]*telemetry.Experiment{},
+	}
+}
+
+// Ticks returns the per-run resource sample count (360 full, 120 quick).
+func (s *Suite) Ticks() int {
+	if s.Quick {
+		return 120
+	}
+	return 360
+}
+
+// Subsamples returns the per-run down-sampling factor (10 full, 5 quick).
+func (s *Suite) Subsamples() int {
+	if s.Quick {
+		return 5
+	}
+	return 10
+}
+
+// Workload returns (and caches) a benchmark definition by name.
+func (s *Suite) Workload(name string) *simdb.Workload {
+	if w, ok := s.workloads[name]; ok {
+		return w
+	}
+	w, err := bench.ByName(name)
+	if err != nil {
+		panic(err) // experiment code only uses registered names
+	}
+	s.workloads[name] = w
+	return w
+}
+
+// Experiments simulates (with caching) every combination of the given
+// workloads, SKUs, and terminal counts for the given number of runs.
+// Serial workloads (TPC-H) always run with one terminal.
+func (s *Suite) Experiments(workloads []string, skus []telemetry.SKU, terminals []int, runs int) []*telemetry.Experiment {
+	key := cacheKey(workloads, skus, terminals, runs)
+	if exps, ok := s.cache[key]; ok {
+		return exps
+	}
+	var out []*telemetry.Experiment
+	for _, name := range workloads {
+		w := s.Workload(name)
+		terms := terminals
+		if bench.Serial(name) {
+			terms = []int{1}
+		}
+		for _, sku := range skus {
+			for _, t := range terms {
+				for r := 0; r < runs; r++ {
+					cfg := simdb.Config{
+						SKU:       sku,
+						Terminals: t,
+						Run:       r,
+						DataGroup: r % 3,
+						Ticks:     s.Ticks(),
+					}
+					out = append(out, simdb.Simulate(w, cfg, s.src))
+				}
+			}
+		}
+	}
+	s.cache[key] = out
+	return out
+}
+
+func cacheKey(workloads []string, skus []telemetry.SKU, terminals []int, runs int) string {
+	var b strings.Builder
+	ws := append([]string(nil), workloads...)
+	sort.Strings(ws)
+	b.WriteString(strings.Join(ws, ","))
+	b.WriteByte('|')
+	for _, s := range skus {
+		fmt.Fprintf(&b, "%s,", s)
+	}
+	b.WriteByte('|')
+	for _, t := range terminals {
+		fmt.Fprintf(&b, "%d,", t)
+	}
+	fmt.Fprintf(&b, "|%d", runs)
+	return b.String()
+}
+
+// SKU16 is the 16-CPU hardware setting used by Table 3 and Table 4.
+var SKU16 = telemetry.SKU{CPUs: 16, MemoryGB: 128}
+
+// SKU2 is the 2-CPU setting of Figure 3.
+var SKU2 = telemetry.SKU{CPUs: 2, MemoryGB: 16}
+
+// SKU80 is the 80-vcore production setup of Figure 7.
+var SKU80 = telemetry.SKU{CPUs: 80, MemoryGB: 640}
+
+// StandardTerminals are the study's concurrency levels (4, 8, 32).
+var StandardTerminals = []int{4, 8, 32}
+
+// SimilarityClass maps each workload to its expert-judgment similarity
+// group: point-lookup-dominated OLTP workloads (TPC-C, Twitter, YCSB) vs.
+// scan-heavy decision-support workloads (TPC-H, TPC-DS, PW). This grading
+// feeds the NDCG relevance of §5.2.
+func SimilarityClass(workload string) string {
+	switch workload {
+	case bench.TPCCName, bench.TwitterName, bench.YCSBName:
+		return "point-lookup"
+	case bench.TPCHName, bench.TPCDSName, bench.PWName:
+		return "scan-heavy"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wpred/internal/bench"
+	"wpred/internal/distance"
+	"wpred/internal/featsel"
+	"wpred/internal/fingerprint"
+	"wpred/internal/simeval"
+	"wpred/internal/telemetry"
+)
+
+// Table3Ks are the top-k sizes of Table 3.
+var Table3Ks = []int{1, 3, 7, 15}
+
+// Table3Row is one strategy's accuracy/time row.
+type Table3Row struct {
+	Name string
+	// Accuracy per k in Table3Ks.
+	Accuracy []float64
+	// ElapsedSec is the strategy's selection time on the dataset.
+	ElapsedSec float64
+	// Pattern classifies the accuracy curve (Figure 4): "increasing",
+	// "peaking", or "inconclusive".
+	Pattern string
+	// Top1Feature names the strategy's single best-ranked feature.
+	Top1Feature string
+}
+
+// Table3Result holds the feature-selection strategy comparison.
+type Table3Result struct {
+	Ks   []int
+	Rows []Table3Row
+	// AllFeaturesAccuracy is the 1-NN accuracy using all 29 features
+	// (identical for every strategy).
+	AllFeaturesAccuracy float64
+}
+
+// Table3 runs the 16 feature-selection strategies plus the baseline on the
+// 16-CPU experiment suite and evaluates top-k accuracy as the paper does:
+// leave-one-out 1-NN workload identification over Hist-FP fingerprints
+// compared with the L2,1 norm.
+func (s *Suite) Table3() (*Table3Result, error) {
+	if s.table3 != nil {
+		return s.table3, nil
+	}
+	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	var subs []*telemetry.Experiment
+	for _, e := range exps {
+		subs = append(subs, e.SystematicSample(s.Subsamples())...)
+	}
+	ds := telemetry.BuildDataset(subs, nil)
+	ds.MinMaxNormalize()
+
+	res := &Table3Result{Ks: Table3Ks}
+	allAcc, err := s.similarityAccuracy(subs, telemetry.AllFeatures())
+	if err != nil {
+		return nil, err
+	}
+	res.AllFeaturesAccuracy = allAcc
+
+	for _, strat := range featsel.AllStrategies(s.Seed) {
+		start := time.Now()
+		sel, err := strat.Evaluate(ds.X, ds.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", strat.Name(), err)
+		}
+		elapsed := time.Since(start).Seconds()
+		row := Table3Row{Name: strat.Name(), ElapsedSec: elapsed}
+		for _, k := range Table3Ks {
+			cols := sel.TopK(k)
+			feats := make([]telemetry.Feature, len(cols))
+			for i, c := range cols {
+				feats[i] = ds.Features[c]
+			}
+			if len(row.Accuracy) == 0 {
+				row.Top1Feature = feats[0].String()
+			}
+			acc, err := s.similarityAccuracy(subs, feats)
+			if err != nil {
+				return nil, err
+			}
+			row.Accuracy = append(row.Accuracy, acc)
+		}
+		row.Pattern = classifyPattern(append(append([]float64(nil), row.Accuracy...), allAcc))
+		res.Rows = append(res.Rows, row)
+	}
+	s.table3 = res
+	return res, nil
+}
+
+// similarityAccuracy is the paper's accuracy measure: 1-NN workload
+// identification over Hist-FP fingerprints restricted to the given
+// features, compared with the L2,1 norm.
+func (s *Suite) similarityAccuracy(subs []*telemetry.Experiment, feats []telemetry.Feature) (float64, error) {
+	b := &fingerprint.Builder{Rep: fingerprint.HistFP, Features: feats}
+	if err := b.Fit(subs); err != nil {
+		return 0, err
+	}
+	items := make([]simeval.Item, len(subs))
+	for i, e := range subs {
+		fp, err := b.Build(e)
+		if err != nil {
+			return 0, err
+		}
+		items[i] = simeval.Item{Workload: e.Workload, Class: SimilarityClass(e.Workload), Run: e.Run, Exp: e.ID(), FP: fp}
+	}
+	m, err := simeval.ComputeMatrix(items, distance.L21{})
+	if err != nil {
+		return 0, err
+	}
+	return m.OneNNAccuracy(), nil
+}
+
+// classifyPattern labels an accuracy curve with one of Figure 4's three
+// shapes.
+func classifyPattern(acc []float64) string {
+	const eps = 0.012
+	n := len(acc)
+	if n < 2 {
+		return "inconclusive"
+	}
+	maxV, maxI := acc[0], 0
+	for i, v := range acc {
+		if v > maxV {
+			maxV, maxI = v, i
+		}
+	}
+	increasing := true
+	for i := 1; i < n; i++ {
+		if acc[i] < acc[i-1]-eps {
+			increasing = false
+			break
+		}
+	}
+	switch {
+	case increasing && maxV-acc[n-1] <= eps:
+		return "increasing"
+	case maxI > 0 && maxI < n-1 && maxV-acc[n-1] > eps && maxV-acc[0] > eps:
+		return "peaking"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Table renders the Table 3 comparison.
+func (r *Table3Result) Table() *Table {
+	t := &Table{
+		Title:  "Table 3: Feature selection strategies (1-NN accuracy and elapsed time)",
+		Header: []string{"Strategy", "top-1", "top-3", "top-7", "top-15", "all", "Time (sec)", "Pattern", "top-1 feature"},
+	}
+	for i, row := range r.Rows {
+		all := ""
+		if i == 0 {
+			all = f3(r.AllFeaturesAccuracy)
+		}
+		cells := []string{row.Name}
+		for _, a := range row.Accuracy {
+			cells = append(cells, f3(a))
+		}
+		cells = append(cells, all, fmt.Sprintf("%.3f", row.ElapsedSec), row.Pattern, row.Top1Feature)
+		t.Rows = append(t.Rows, cells)
+	}
+	t.Notes = append(t.Notes, "accuracy = leave-one-out 1-NN workload identification, Hist-FP + L2,1, 16-CPU SKU")
+	return t
+}
+
+func workloadNames5() []string {
+	return []string{bench.TPCCName, bench.TPCHName, bench.TwitterName, bench.YCSBName, bench.TPCDSName}
+}
+
+// Figure4Result groups the strategies by accuracy-curve shape.
+type Figure4Result struct {
+	Groups map[string][]string
+}
+
+// Figure4 classifies each Table 3 strategy's accuracy development curve
+// into the three generalized patterns of Figure 4.
+func (s *Suite) Figure4() (*Figure4Result, error) {
+	t3, err := s.Table3()
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure4Result{Groups: map[string][]string{}}
+	for _, row := range t3.Rows {
+		out.Groups[row.Pattern] = append(out.Groups[row.Pattern], row.Name)
+	}
+	return out, nil
+}
+
+// Table renders the Figure 4 classification.
+func (r *Figure4Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 4: Generalized accuracy development curves",
+		Header: []string{"Pattern", "Strategies"},
+	}
+	for _, p := range []string{"increasing", "peaking", "inconclusive"} {
+		t.AddRow(p, join(r.Groups[p]))
+	}
+	return t
+}
+
+func join(items []string) string {
+	out := ""
+	for i, s := range items {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

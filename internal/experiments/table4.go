@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wpred/internal/bench"
+	"wpred/internal/distance"
+	"wpred/internal/featsel"
+	"wpred/internal/fingerprint"
+	"wpred/internal/simeval"
+	"wpred/internal/telemetry"
+)
+
+// FeatureSubsets holds the RFE-LogReg selections of Table 5: the ranked
+// plan-only, resource-only, and combined feature lists.
+type FeatureSubsets struct {
+	Plan     []telemetry.Feature // ranked, best first
+	Resource []telemetry.Feature
+	Combined []telemetry.Feature
+}
+
+// Table5 runs RFE with logistic regression on the 16-CPU suite three
+// times — plan features only, resource features only, and all features —
+// and returns the ranked selections (top-7 plan, top-5 resource, top-7
+// combined in the paper's table).
+func (s *Suite) Table5() (*FeatureSubsets, error) {
+	if s.table5 != nil {
+		return s.table5, nil
+	}
+	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	var subs []*telemetry.Experiment
+	for _, e := range exps {
+		subs = append(subs, e.SystematicSample(s.Subsamples())...)
+	}
+	rank := func(feats []telemetry.Feature) ([]telemetry.Feature, error) {
+		ds := telemetry.BuildDataset(subs, feats)
+		ds.MinMaxNormalize()
+		sel, err := featsel.NewRFE(featsel.EstimatorLogReg).Evaluate(ds.X, ds.Labels)
+		if err != nil {
+			return nil, err
+		}
+		cols := sel.TopK(len(feats))
+		out := make([]telemetry.Feature, len(cols))
+		for i, c := range cols {
+			out[i] = ds.Features[c]
+		}
+		return out, nil
+	}
+	plan, err := rank(telemetry.PlanFeatures())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: plan RFE: %w", err)
+	}
+	resource, err := rank(telemetry.ResourceFeatures())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: resource RFE: %w", err)
+	}
+	combined, err := rank(telemetry.AllFeatures())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: combined RFE: %w", err)
+	}
+	s.table5 = &FeatureSubsets{Plan: plan, Resource: resource, Combined: combined}
+	return s.table5, nil
+}
+
+// Table renders Table 5.
+func (f *FeatureSubsets) Table() *Table {
+	t := &Table{
+		Title:  "Table 5: RFE-LogReg feature selections",
+		Header: []string{"Set", "Features (descending importance)"},
+	}
+	t.AddRow("Top-7 Plan", join(telemetry.FeatureNames(f.Plan[:min(7, len(f.Plan))])))
+	t.AddRow("Top-5 Resource", join(telemetry.FeatureNames(f.Resource[:min(5, len(f.Resource))])))
+	t.AddRow("Top-7 All", join(telemetry.FeatureNames(f.Combined[:min(7, len(f.Combined))])))
+	return t
+}
+
+// Table4Row is one (metric, feature subset) evaluation.
+type Table4Row struct {
+	Metric string
+	Subset string
+	MAP    float64
+	NDCG   float64
+	OneNN  float64
+}
+
+// Table4Section groups rows by data representation.
+type Table4Section struct {
+	Representation string
+	Rows           []Table4Row
+}
+
+// Table4Result is the full similarity-mechanism comparison.
+type Table4Result struct {
+	Sections []Table4Section
+}
+
+// table4Items builds the fingerprinted comparison items: the TPC-C, TPC-H,
+// and Twitter experiments of the 16-CPU setup.
+func (s *Suite) table4Items(rep fingerprint.Representation, feats []telemetry.Feature, plainFreq bool, bins int) ([]simeval.Item, error) {
+	workloads := []string{bench.TPCCName, bench.TPCHName, bench.TwitterName}
+	exps := s.Experiments(workloads, []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	b := &fingerprint.Builder{Rep: rep, Features: feats, PlainFrequency: plainFreq, Bins: bins}
+	if err := b.Fit(exps); err != nil {
+		return nil, err
+	}
+	items := make([]simeval.Item, len(exps))
+	for i, e := range exps {
+		fp, err := b.Build(e)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = simeval.Item{
+			Workload: e.Workload,
+			Class:    SimilarityClass(e.Workload),
+			Run:      e.Run,
+			FP:       fp,
+		}
+	}
+	return items, nil
+}
+
+// subsetSpec names one feature subset of Table 4.
+type subsetSpec struct {
+	name  string
+	feats []telemetry.Feature
+}
+
+func (s *Suite) table4Subsets() (map[string][]subsetSpec, error) {
+	sel, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	planAll := telemetry.PlanFeatures()
+	resAll := telemetry.ResourceFeatures()
+	return map[string][]subsetSpec{
+		"Plan": {
+			{"plan-3", sel.Plan[:min(3, len(sel.Plan))]},
+			{"plan-7", sel.Plan[:min(7, len(sel.Plan))]},
+			{"plan-all", planAll},
+		},
+		"Resource": {
+			{"res-3", sel.Resource[:min(3, len(sel.Resource))]},
+			{"res-5", sel.Resource[:min(5, len(sel.Resource))]},
+			{"res-all", resAll},
+		},
+		"Combined": {
+			{"comb-3", sel.Combined[:min(3, len(sel.Combined))]},
+			{"comb-7", sel.Combined[:min(7, len(sel.Combined))]},
+			{"comb-all", telemetry.AllFeatures()},
+		},
+	}, nil
+}
+
+// Table4 evaluates every similarity mechanism: matrix norms on MTS,
+// Hist-FP, and Phase-FP plus DTW/LCSS on MTS, across the plan-only,
+// resource-only, and combined feature subsets of Table 5.
+func (s *Suite) Table4() (*Table4Result, error) {
+	subsets, err := s.table4Subsets()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{}
+
+	evalItems := func(items []simeval.Item, metrics []distance.Metric, subset string, section *Table4Section) error {
+		for _, m := range metrics {
+			mx, err := simeval.ComputeMatrix(items, m)
+			if err != nil {
+				return err
+			}
+			section.Rows = append(section.Rows, Table4Row{
+				Metric: m.Name(),
+				Subset: subset,
+				MAP:    mx.MAP(),
+				NDCG:   mx.NDCG(),
+				OneNN:  mx.OneNNAccuracy(),
+			})
+		}
+		return nil
+	}
+
+	// MTS: resource features only, norms plus the time-series measures.
+	mtsSection := Table4Section{Representation: "MTS"}
+	mtsMetrics := append(distance.Norms(), distance.TimeSeriesMetrics()...)
+	for _, sub := range subsets["Resource"] {
+		items, err := s.table4Items(fingerprint.MTS, sub.feats, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := evalItems(items, mtsMetrics, sub.name, &mtsSection); err != nil {
+			return nil, err
+		}
+	}
+	res.Sections = append(res.Sections, mtsSection)
+
+	// Hist-FP and Phase-FP: norms over all three subset families.
+	for _, rep := range []fingerprint.Representation{fingerprint.HistFP, fingerprint.PhaseFP} {
+		section := Table4Section{Representation: rep.String()}
+		for _, family := range []string{"Plan", "Resource", "Combined"} {
+			for _, sub := range subsets[family] {
+				items, err := s.table4Items(rep, sub.feats, false, 0)
+				if err != nil {
+					return nil, err
+				}
+				if err := evalItems(items, distance.Norms(), sub.name, &section); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Sections = append(res.Sections, section)
+	}
+	return res, nil
+}
+
+// Table renders the comparison, one block per representation.
+func (r *Table4Result) Table() *Table {
+	t := &Table{
+		Title:  "Table 4: Similarity computation mechanisms (mAP / NDCG / 1-NN)",
+		Header: []string{"Representation", "Metric", "Subset", "mAP", "NDCG", "1-NN"},
+	}
+	for _, sec := range r.Sections {
+		for _, row := range sec.Rows {
+			t.AddRow(sec.Representation, row.Metric, row.Subset, f3(row.MAP), f3(row.NDCG), f3(row.OneNN))
+		}
+	}
+	t.Notes = append(t.Notes, "TPC-C / TPC-H / Twitter on the 16-CPU SKU; subsets from Table 5 (RFE LogReg)")
+	return t
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wpred/internal/bench"
+	"wpred/internal/scalemodel"
+)
+
+// Table6Setting identifies one workload column of Table 6.
+type Table6Setting struct {
+	Workload  string
+	Terminals int
+}
+
+// Table6Settings returns the paper's seven workload settings.
+func Table6Settings() []Table6Setting {
+	return []Table6Setting{
+		{bench.TPCCName, 4}, {bench.TPCCName, 8}, {bench.TPCCName, 32},
+		{bench.TwitterName, 4}, {bench.TwitterName, 8}, {bench.TwitterName, 32},
+		{bench.TPCHName, 1},
+	}
+}
+
+// Table6Row is one (strategy, context) row.
+type Table6Row struct {
+	Strategy scalemodel.Strategy
+	Context  scalemodel.Context
+	// NRMSE per setting (Table6Settings order) and the overall mean.
+	NRMSE []float64
+	Mean  float64
+	// MeanTrainSeconds is the average model-fitting time per setting.
+	MeanTrainSeconds float64
+}
+
+// Table6Result is the modeling-strategy comparison of §6.2.2.
+type Table6Result struct {
+	Settings []Table6Setting
+	Rows     []Table6Row
+	// Baseline is the inverse-linear baseline's NRMSE per setting plus
+	// mean.
+	Baseline []float64
+	BaseMean float64
+}
+
+// Table6 evaluates all six modeling strategies in both contexts over the
+// seven workload settings with 5-fold cross validation, plus the
+// inverse-linear baseline.
+func (s *Suite) Table6() (*Table6Result, error) {
+	settings := Table6Settings()
+	res := &Table6Result{Settings: settings}
+
+	// Build one dataset per setting.
+	datasets := make([]*scalemodel.Dataset, len(settings))
+	for i, set := range settings {
+		w := s.Workload(set.Workload)
+		datasets[i] = scalemodel.Build(w, scalemodel.BuildConfig{
+			Terminals:  set.Terminals,
+			Subsamples: s.Subsamples(),
+			Ticks:      s.Ticks(),
+		}, s.src.Child(fmt.Sprintf("table6/%s/%d", set.Workload, set.Terminals)))
+	}
+
+	for _, ctx := range []scalemodel.Context{scalemodel.Pairwise, scalemodel.Single} {
+		for _, strat := range scalemodel.Strategies() {
+			row := Table6Row{Strategy: strat, Context: ctx}
+			sumN, sumT := 0.0, 0.0
+			for i := range settings {
+				ev, err := scalemodel.Evaluate(strat, ctx, datasets[i], 5, s.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: table6 %v/%v on %s_%d: %w",
+						strat, ctx, settings[i].Workload, settings[i].Terminals, err)
+				}
+				row.NRMSE = append(row.NRMSE, ev.NRMSE)
+				sumN += ev.NRMSE
+				sumT += ev.TrainSeconds
+			}
+			row.Mean = sumN / float64(len(settings))
+			row.MeanTrainSeconds = sumT / float64(len(settings))
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	sumB := 0.0
+	for i := range settings {
+		b := scalemodel.EvaluateBaseline(datasets[i])
+		res.Baseline = append(res.Baseline, b.NRMSE)
+		sumB += b.NRMSE
+	}
+	res.BaseMean = sumB / float64(len(settings))
+	return res, nil
+}
+
+// Table renders Table 6.
+func (r *Table6Result) Table() *Table {
+	header := []string{"Context", "Strategy", "Train (s)"}
+	for _, s := range r.Settings {
+		header = append(header, fmt.Sprintf("%s_%d", shortName(s.Workload), s.Terminals))
+	}
+	header = append(header, "Mean")
+	t := &Table{
+		Title:  "Table 6: Mean throughput-prediction NRMSE (5-fold CV)",
+		Header: header,
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Context.String(), row.Strategy.String(), f4(row.MeanTrainSeconds)}
+		for _, n := range row.NRMSE {
+			cells = append(cells, f3(n))
+		}
+		cells = append(cells, f3(row.Mean))
+		t.Rows = append(t.Rows, cells)
+	}
+	base := []string{"-", "Baseline", "0"}
+	for _, n := range r.Baseline {
+		base = append(base, f3(n))
+	}
+	base = append(base, f3(r.BaseMean))
+	t.Rows = append(t.Rows, base)
+	t.Notes = append(t.Notes, "NRMSE normalized by the target SKU's observed throughput range; baseline = inverse-linear CPU scaling")
+	return t
+}
+
+func shortName(w string) string {
+	switch w {
+	case bench.TPCCName:
+		return "TPC-C"
+	case bench.TwitterName:
+		return "Twtr"
+	case bench.TPCHName:
+		return "TPC-H"
+	default:
+		return w
+	}
+}

@@ -1,0 +1,82 @@
+package featsel
+
+import (
+	"wpred/internal/mat"
+	"wpred/internal/ml/ensemble"
+	"wpred/internal/ml/linmodel"
+)
+
+// LassoSelector is the embedded lasso strategy: fit L1-regularized
+// regression on the class index and score features by the absolute value
+// of the standardized coefficients.
+type LassoSelector struct {
+	// Alpha is the L1 penalty (default 0.01, a mid-path value that keeps
+	// a handful of features active).
+	Alpha float64
+}
+
+// Name implements Strategy.
+func (LassoSelector) Name() string { return "Lasso" }
+
+// Evaluate implements Strategy.
+func (s LassoSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	m := &linmodel.Lasso{Alpha: alpha}
+	if err := m.Fit(X, classToFloat(y)); err != nil {
+		return Result{}, err
+	}
+	scores := m.FeatureImportances()
+	return Result{Strategy: "Lasso", Scores: scores, Ranks: RanksFromScores(scores)}, nil
+}
+
+// ElasticNetSelector combines L1 and L2 penalties (ρ = 0.5), resolving
+// lasso's arbitrary pick among correlated predictors.
+type ElasticNetSelector struct {
+	// Alpha is the combined penalty (default 0.01).
+	Alpha float64
+}
+
+// Name implements Strategy.
+func (ElasticNetSelector) Name() string { return "Elastic Net" }
+
+// Evaluate implements Strategy.
+func (s ElasticNetSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	m := linmodel.NewElasticNet(alpha, 0.5)
+	if err := m.Fit(X, classToFloat(y)); err != nil {
+		return Result{}, err
+	}
+	scores := m.FeatureImportances()
+	return Result{Strategy: "Elastic Net", Scores: scores, Ranks: RanksFromScores(scores)}, nil
+}
+
+// RandomForestSelector scores features by mean Gini-impurity reduction
+// across a bootstrap forest of classification trees.
+type RandomForestSelector struct {
+	// NTrees is the forest size (default 100).
+	NTrees int
+	// Seed makes the forest deterministic.
+	Seed uint64
+}
+
+// Name implements Strategy.
+func (RandomForestSelector) Name() string { return "RandomForest" }
+
+// Evaluate implements Strategy.
+func (s RandomForestSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	f := &ensemble.RandomForestClassifier{ForestParams: ensemble.ForestParams{
+		NTrees: s.NTrees,
+		Seed:   s.Seed,
+	}}
+	if err := f.FitClasses(X, y); err != nil {
+		return Result{}, err
+	}
+	scores := f.FeatureImportances()
+	return Result{Strategy: "RandomForest", Scores: scores, Ranks: RanksFromScores(scores)}, nil
+}

@@ -1,0 +1,143 @@
+// Package featsel implements the feature-selection component of the
+// pipeline (§4 of the paper): the filter strategies (variance threshold,
+// Pearson correlation, fANOVA, mutual-information gain), the embedded
+// strategies (lasso, elastic net, random forest), the wrapper strategies
+// (recursive feature elimination and forward/backward sequential feature
+// selection over linear, decision-tree, and logistic estimators), and the
+// random baseline — 16 strategies total, matching Table 3. It also
+// provides the score→rank conversion and the cross-experiment rank
+// aggregation used for top-k selection (§4.2).
+package featsel
+
+import (
+	"fmt"
+	"sort"
+
+	"wpred/internal/mat"
+)
+
+// Result is one strategy's output on one dataset.
+type Result struct {
+	// Strategy is the strategy's display name.
+	Strategy string
+	// Scores holds per-feature importance scores for score-based
+	// strategies; nil for rank-based (wrapper) strategies.
+	Scores []float64
+	// Ranks holds the 1-based importance rank per feature (1 = most
+	// important). Always populated.
+	Ranks []int
+	// Elapsed is populated by the harness, not the strategies.
+	Elapsed float64
+}
+
+// TopK returns the column indices of the k best-ranked features, best
+// first. k larger than the feature count returns all features.
+func (r Result) TopK(k int) []int {
+	type fr struct{ idx, rank int }
+	frs := make([]fr, len(r.Ranks))
+	for i, rank := range r.Ranks {
+		frs[i] = fr{i, rank}
+	}
+	sort.Slice(frs, func(a, b int) bool {
+		if frs[a].rank != frs[b].rank {
+			return frs[a].rank < frs[b].rank
+		}
+		return frs[a].idx < frs[b].idx
+	})
+	if k > len(frs) {
+		k = len(frs)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = frs[i].idx
+	}
+	return out
+}
+
+// Strategy scores or ranks every feature of a labeled dataset. X rows are
+// observations, y the integer class (workload) of each row.
+type Strategy interface {
+	// Name returns the strategy's display name as used in Table 3.
+	Name() string
+	// Evaluate computes the feature importance result for the dataset.
+	Evaluate(X *mat.Dense, y []int) (Result, error)
+}
+
+// RanksFromScores converts importance scores to 1-based ranks (highest
+// score → rank 1). Ties break on column order.
+func RanksFromScores(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	ranks := make([]int, len(scores))
+	for pos, col := range idx {
+		ranks[col] = pos + 1
+	}
+	return ranks
+}
+
+// AggregateRanks sums each feature's rank across results (the paper's
+// cross-experiment aggregation) and returns a combined Result whose ranks
+// order features by the rank sum, lowest (best) first.
+func AggregateRanks(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("featsel: no results to aggregate")
+	}
+	n := len(results[0].Ranks)
+	sums := make([]float64, n)
+	for _, r := range results {
+		if len(r.Ranks) != n {
+			return Result{}, fmt.Errorf("featsel: rank length mismatch %d vs %d", len(r.Ranks), n)
+		}
+		for i, rank := range r.Ranks {
+			sums[i] += float64(rank)
+		}
+	}
+	// Lower sum = better, so negate for RanksFromScores.
+	neg := make([]float64, n)
+	for i, s := range sums {
+		neg[i] = -s
+	}
+	return Result{
+		Strategy: results[0].Strategy,
+		Scores:   neg,
+		Ranks:    RanksFromScores(neg),
+	}, nil
+}
+
+// AllStrategies returns the 16 strategies of Table 3 plus the random
+// baseline, in the table's order. seed drives the strategies that involve
+// randomness (random forest, baseline).
+func AllStrategies(seed uint64) []Strategy {
+	return []Strategy{
+		VarianceThreshold{},
+		FANOVA{},
+		MutualInfoGain{},
+		PearsonCorrelation{},
+		LassoSelector{},
+		ElasticNetSelector{},
+		RandomForestSelector{Seed: seed},
+		NewRFE(EstimatorLinear),
+		NewRFE(EstimatorDecTree),
+		NewRFE(EstimatorLogReg),
+		NewSFS(EstimatorLinear, true),
+		NewSFS(EstimatorDecTree, true),
+		NewSFS(EstimatorLogReg, true),
+		NewSFS(EstimatorLinear, false),
+		NewSFS(EstimatorDecTree, false),
+		NewSFS(EstimatorLogReg, false),
+		Baseline{Seed: seed},
+	}
+}
+
+// classToFloat converts integer labels to float targets for the
+// regression-based strategies.
+func classToFloat(y []int) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = float64(v)
+	}
+	return out
+}

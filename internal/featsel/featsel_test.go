@@ -1,0 +1,222 @@
+package featsel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// syntheticDataset builds a 3-class dataset with a known feature story:
+//
+//	feature 0: cleanly separates all classes (the signal)
+//	feature 1: separates class 2 from the rest (partial signal)
+//	feature 2: pure noise with huge variance (the trap)
+//	feature 3: constant (useless)
+func syntheticDataset(n int, seed uint64) (*mat.Dense, []int) {
+	rng := rand.New(rand.NewPCG(seed, seed^21))
+	x := mat.New(n, 4)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		y[i] = cls
+		x.Set(i, 0, float64(cls)+0.05*rng.NormFloat64())
+		partial := 0.0
+		if cls == 2 {
+			partial = 1
+		}
+		x.Set(i, 1, partial+0.05*rng.NormFloat64())
+		// Bimodal label-independent noise: maximal normalized variance.
+		noise := 0.0
+		if rng.Float64() < 0.5 {
+			noise = 100
+		}
+		x.Set(i, 2, noise+rng.NormFloat64())
+		x.Set(i, 3, 5)
+	}
+	return x, y
+}
+
+func TestRanksFromScores(t *testing.T) {
+	ranks := RanksFromScores([]float64{0.1, 0.9, 0.5})
+	if ranks[1] != 1 || ranks[2] != 2 || ranks[0] != 3 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+	// Ties break by column order.
+	tied := RanksFromScores([]float64{1, 1})
+	if tied[0] != 1 || tied[1] != 2 {
+		t.Fatalf("tied ranks = %v", tied)
+	}
+}
+
+func TestResultTopK(t *testing.T) {
+	r := Result{Ranks: []int{3, 1, 2}}
+	if got := r.TopK(2); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := r.TopK(10); len(got) != 3 {
+		t.Fatalf("oversized k must cap: %v", got)
+	}
+}
+
+func TestAggregateRanks(t *testing.T) {
+	a := Result{Strategy: "s", Ranks: []int{1, 2, 3}}
+	b := Result{Strategy: "s", Ranks: []int{3, 1, 2}}
+	c := Result{Strategy: "s", Ranks: []int{2, 1, 3}}
+	agg, err := AggregateRanks([]Result{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sums: f0=6, f1=4, f2=8 → order f1, f0, f2.
+	if got := agg.TopK(3); got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("aggregated order = %v", got)
+	}
+	if _, err := AggregateRanks(nil); err == nil {
+		t.Fatal("empty aggregation must error")
+	}
+	if _, err := AggregateRanks([]Result{a, {Ranks: []int{1}}}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+// validRanking checks a rank slice is a permutation of 1..n.
+func validRanking(t *testing.T, name string, ranks []int) {
+	t.Helper()
+	seen := make([]bool, len(ranks)+1)
+	for _, r := range ranks {
+		if r < 1 || r > len(ranks) || seen[r] {
+			t.Fatalf("%s: invalid ranking %v", name, ranks)
+		}
+		seen[r] = true
+	}
+}
+
+func TestAllStrategiesProduceValidRankings(t *testing.T) {
+	x, y := syntheticDataset(90, 1)
+	for _, s := range AllStrategies(7) {
+		res, err := s.Evaluate(x, y)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Strategy != s.Name() {
+			t.Fatalf("result strategy %q != %q", res.Strategy, s.Name())
+		}
+		validRanking(t, s.Name(), res.Ranks)
+	}
+}
+
+func TestFilterStrategiesFindTheSignal(t *testing.T) {
+	x, y := syntheticDataset(120, 2)
+	for _, s := range []Strategy{FANOVA{}, MutualInfoGain{}, PearsonCorrelation{}} {
+		res, err := s.Evaluate(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ranks[0] != 1 {
+			t.Fatalf("%s: the clean signal must rank first, got ranks %v", s.Name(), res.Ranks)
+		}
+		if res.Ranks[3] != 4 {
+			t.Fatalf("%s: the constant feature must rank last, got %v", s.Name(), res.Ranks)
+		}
+	}
+}
+
+func TestVarianceFallsForTheTrap(t *testing.T) {
+	x, y := syntheticDataset(120, 3)
+	res, err := VarianceThreshold{}.Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The huge-variance noise feature wins on normalized variance over
+	// the tight class signal — §4.3.2's trap.
+	if res.Ranks[2] != 1 {
+		t.Fatalf("variance should prefer the noisy feature: %v", res.Ranks)
+	}
+}
+
+func TestEmbeddedStrategies(t *testing.T) {
+	x, y := syntheticDataset(120, 4)
+	for _, s := range []Strategy{LassoSelector{}, ElasticNetSelector{}, RandomForestSelector{Seed: 5}} {
+		res, err := s.Evaluate(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ranks[0] > 2 {
+			t.Fatalf("%s: signal feature ranked %d", s.Name(), res.Ranks[0])
+		}
+		if res.Ranks[2] <= 2 && s.Name() != "RandomForest" {
+			t.Fatalf("%s: noise feature ranked %d", s.Name(), res.Ranks[2])
+		}
+	}
+}
+
+func TestRFEKeepsSignalLongest(t *testing.T) {
+	x, y := syntheticDataset(120, 5)
+	for _, kind := range []EstimatorKind{EstimatorLinear, EstimatorDecTree, EstimatorLogReg} {
+		res, err := NewRFE(kind).Evaluate(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validRanking(t, res.Strategy, res.Ranks)
+		if res.Ranks[0] > 2 {
+			t.Fatalf("RFE %v: signal eliminated early (rank %d)", kind, res.Ranks[0])
+		}
+	}
+}
+
+func TestSFSDirections(t *testing.T) {
+	x, y := syntheticDataset(90, 6)
+	fw := NewSFS(EstimatorDecTree, true)
+	bw := NewSFS(EstimatorDecTree, false)
+	fres, err := fw.Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := bw.Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validRanking(t, fw.Name(), fres.Ranks)
+	validRanking(t, bw.Name(), bres.Ranks)
+	if fres.Ranks[0] != 1 {
+		t.Fatalf("forward SFS must add the signal first: %v", fres.Ranks)
+	}
+	if fw.Name() == bw.Name() {
+		t.Fatal("directions must have distinct names")
+	}
+}
+
+func TestBaselineDeterministic(t *testing.T) {
+	x, y := syntheticDataset(30, 7)
+	a, _ := Baseline{Seed: 3}.Evaluate(x, y)
+	b, _ := Baseline{Seed: 3}.Evaluate(x, y)
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			t.Fatal("same seed must reproduce the baseline ranking")
+		}
+	}
+	c, _ := Baseline{Seed: 4}.Evaluate(x, y)
+	diff := false
+	for i := range a.Ranks {
+		if a.Ranks[i] != c.Ranks[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestStrategyCount(t *testing.T) {
+	// Table 3 lists 16 strategies plus the baseline.
+	if got := len(AllStrategies(1)); got != 17 {
+		t.Fatalf("AllStrategies = %d, want 17", got)
+	}
+	names := map[string]bool{}
+	for _, s := range AllStrategies(1) {
+		if names[s.Name()] {
+			t.Fatalf("duplicate strategy name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}

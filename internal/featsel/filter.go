@@ -1,0 +1,89 @@
+package featsel
+
+import (
+	"wpred/internal/mat"
+	"wpred/internal/stat"
+)
+
+// VarianceThreshold scores each feature by its variance after min-max
+// normalization to [0,1] (so scales are comparable). It is the fastest
+// strategy of Table 3 — and the one most easily fooled by noisy,
+// uninformative counters such as LOCK_WAIT_ABS (§4.3.2).
+type VarianceThreshold struct{}
+
+// Name implements Strategy.
+func (VarianceThreshold) Name() string { return "Variance" }
+
+// Evaluate implements Strategy.
+func (VarianceThreshold) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	c := X.Cols()
+	scores := make([]float64, c)
+	for j := 0; j < c; j++ {
+		scores[j] = stat.Variance(stat.Normalize(X.Col(j)))
+	}
+	return Result{Strategy: "Variance", Scores: scores, Ranks: RanksFromScores(scores)}, nil
+}
+
+// PearsonCorrelation scores each feature by the absolute Pearson
+// correlation with the class index.
+type PearsonCorrelation struct{}
+
+// Name implements Strategy.
+func (PearsonCorrelation) Name() string { return "Pearson" }
+
+// Evaluate implements Strategy.
+func (PearsonCorrelation) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	c := X.Cols()
+	fy := classToFloat(y)
+	scores := make([]float64, c)
+	for j := 0; j < c; j++ {
+		r := stat.Pearson(X.Col(j), fy)
+		if r < 0 {
+			r = -r
+		}
+		scores[j] = r
+	}
+	return Result{Strategy: "Pearson", Scores: scores, Ranks: RanksFromScores(scores)}, nil
+}
+
+// FANOVA scores each feature by the one-way ANOVA F statistic across
+// classes: features whose between-workload variance dominates their
+// within-workload variance rank high.
+type FANOVA struct{}
+
+// Name implements Strategy.
+func (FANOVA) Name() string { return "fANOVA" }
+
+// Evaluate implements Strategy.
+func (FANOVA) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	c := X.Cols()
+	scores := make([]float64, c)
+	for j := 0; j < c; j++ {
+		scores[j] = stat.FStatistic(X.Col(j), y)
+	}
+	return Result{Strategy: "fANOVA", Scores: scores, Ranks: RanksFromScores(scores)}, nil
+}
+
+// MutualInfoGain scores each feature by the binned mutual information with
+// the class label.
+type MutualInfoGain struct {
+	// Bins for the feature discretization (default 16).
+	Bins int
+}
+
+// Name implements Strategy.
+func (MutualInfoGain) Name() string { return "MIGain" }
+
+// Evaluate implements Strategy.
+func (m MutualInfoGain) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	bins := m.Bins
+	if bins == 0 {
+		bins = 16
+	}
+	c := X.Cols()
+	scores := make([]float64, c)
+	for j := 0; j < c; j++ {
+		scores[j] = stat.MutualInformation(X.Col(j), y, bins)
+	}
+	return Result{Strategy: "MIGain", Scores: scores, Ranks: RanksFromScores(scores)}, nil
+}

@@ -1,0 +1,194 @@
+package featsel
+
+import (
+	"fmt"
+	"sort"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml/linmodel"
+	"wpred/internal/telemetry"
+)
+
+// WorkloadLassoPath computes the per-workload lasso regularization path of
+// Figure 3: the sub-experiment feature rows of one workload regressed on
+// the sub-experiment throughput, with coefficients traced as the penalty
+// decreases. Features that activate early (large |coefficient| at strong
+// regularization) characterize the workload.
+type WorkloadLassoPath struct {
+	Workload string
+	Features []telemetry.Feature
+	Alphas   []float64
+	// Coef[k][j] is feature j's standardized coefficient at Alphas[k].
+	Coef [][]float64
+}
+
+// ComputeWorkloadLassoPath builds the path from one workload's
+// (sub-)experiments. All experiments must belong to the same workload.
+func ComputeWorkloadLassoPath(exps []*telemetry.Experiment, nAlphas int) (*WorkloadLassoPath, error) {
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("featsel: no experiments for lasso path")
+	}
+	name := exps[0].Workload
+	feats := telemetry.AllFeatures()
+	rows := make([][]float64, 0, len(exps))
+	y := make([]float64, 0, len(exps))
+	for _, e := range exps {
+		if e.Workload != name {
+			return nil, fmt.Errorf("featsel: mixed workloads %q and %q in lasso path", name, e.Workload)
+		}
+		rows = append(rows, e.FeatureVector())
+		y = append(y, e.Throughput)
+	}
+	X := mat.NewFromRows(rows)
+	path, err := linmodel.LassoPath(X, y, nAlphas, 1e-3)
+	if err != nil {
+		return nil, err
+	}
+	out := &WorkloadLassoPath{Workload: name, Features: feats}
+	for _, p := range path {
+		out.Alphas = append(out.Alphas, p.Alpha)
+		out.Coef = append(out.Coef, p.Coef)
+	}
+	return out, nil
+}
+
+// TopFeatures returns the k features with the largest absolute coefficient
+// at the weakest regularization (the labels of Figure 3), most important
+// first.
+func (p *WorkloadLassoPath) TopFeatures(k int) []telemetry.Feature {
+	if len(p.Coef) == 0 {
+		return nil
+	}
+	last := p.Coef[len(p.Coef)-1]
+	idx := make([]int, len(last))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return abs(last[idx[a]]) > abs(last[idx[b]])
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]telemetry.Feature, 0, k)
+	for _, j := range idx[:k] {
+		if abs(last[j]) == 0 {
+			break
+		}
+		out = append(out, p.Features[j])
+	}
+	return out
+}
+
+// ActivationOrder returns features in the order they first become non-zero
+// along the path (earliest activation = most important under lasso).
+func (p *WorkloadLassoPath) ActivationOrder() []telemetry.Feature {
+	n := len(p.Features)
+	first := make([]int, n)
+	for j := 0; j < n; j++ {
+		first[j] = len(p.Coef) + 1
+		for k := range p.Coef {
+			if abs(p.Coef[k][j]) > 1e-12 {
+				first[j] = k
+				break
+			}
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return first[idx[a]] < first[idx[b]] })
+	out := make([]telemetry.Feature, 0, n)
+	for _, j := range idx {
+		if first[j] > len(p.Coef) {
+			break
+		}
+		out = append(out, p.Features[j])
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// OneVsRestLassoPath computes the lasso path that characterizes one
+// workload against the others (the Figure 3 setting): rows are the
+// sub-experiments of the given workload run (labeled 1) plus every
+// sub-experiment of the other workloads (labeled 0). Features that
+// activate with large coefficients distinguish the workload.
+func OneVsRestLassoPath(exps []*telemetry.Experiment, workload string, run int, nAlphas int) (*WorkloadLassoPath, error) {
+	feats := telemetry.AllFeatures()
+	var rows [][]float64
+	var y []float64
+	pos := 0
+	for _, e := range exps {
+		switch {
+		case e.Workload == workload && e.Run == run:
+			rows = append(rows, e.FeatureVector())
+			y = append(y, 1)
+			pos++
+		case e.Workload != workload:
+			rows = append(rows, e.FeatureVector())
+			y = append(y, 0)
+		}
+	}
+	if pos == 0 {
+		return nil, fmt.Errorf("featsel: no experiments for %s run %d", workload, run)
+	}
+	X := mat.NewFromRows(rows)
+	// Columns must be comparably scaled for the coefficients to be
+	// comparable; min-max matches the paper's preprocessing.
+	r, c := X.Dims()
+	for j := 0; j < c; j++ {
+		col := X.Col(j)
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		span := hi - lo
+		for i := 0; i < r; i++ {
+			if span < 1e-300 {
+				X.Set(i, j, 0)
+			} else {
+				X.Set(i, j, (X.At(i, j)-lo)/span)
+			}
+		}
+	}
+	path, err := linmodel.LassoPath(X, y, nAlphas, 1e-3)
+	if err != nil {
+		return nil, err
+	}
+	out := &WorkloadLassoPath{Workload: workload, Features: feats}
+	for _, p := range path {
+		out.Alphas = append(out.Alphas, p.Alpha)
+		out.Coef = append(out.Coef, p.Coef)
+	}
+	return out, nil
+}
+
+// Overlap returns how many of the top-k features two paths share — the
+// measure behind the paper's observation that conceptually similar
+// workloads share important features (Insight 1).
+func Overlap(a, b *WorkloadLassoPath, k int) int {
+	in := map[telemetry.Feature]bool{}
+	for _, f := range a.TopFeatures(k) {
+		in[f] = true
+	}
+	n := 0
+	for _, f := range b.TopFeatures(k) {
+		if in[f] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package featsel
+
+import (
+	"testing"
+
+	"wpred/internal/bench"
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+func pathExperiments(t *testing.T) []*telemetry.Experiment {
+	t.Helper()
+	src := telemetry.NewSource(11)
+	var out []*telemetry.Experiment
+	for _, name := range []string{bench.TPCCName, bench.TwitterName, bench.TPCHName} {
+		w, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		termSets := [][]int{{4, 8}}
+		if bench.Serial(name) {
+			termSets = [][]int{{1}}
+		}
+		for _, terms := range termSets[0] {
+			for r := 0; r < 2; r++ {
+				e := simdb.Simulate(w, simdb.Config{
+					SKU: telemetry.SKU{CPUs: 2, MemoryGB: 16}, Terminals: terms, Run: r, Ticks: 60,
+				}, src)
+				out = append(out, e.SystematicSample(5)...)
+			}
+		}
+	}
+	return out
+}
+
+func TestComputeWorkloadLassoPath(t *testing.T) {
+	exps := pathExperiments(t)
+	var tpcc []*telemetry.Experiment
+	for _, e := range exps {
+		if e.Workload == bench.TPCCName {
+			tpcc = append(tpcc, e)
+		}
+	}
+	p, err := ComputeWorkloadLassoPath(tpcc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Alphas) != 20 || len(p.Coef) != 20 {
+		t.Fatalf("path lengths = %d/%d", len(p.Alphas), len(p.Coef))
+	}
+	if p.Workload != bench.TPCCName {
+		t.Fatalf("workload = %q", p.Workload)
+	}
+	if len(p.TopFeatures(7)) == 0 {
+		t.Fatal("path must surface at least one feature")
+	}
+	if len(p.ActivationOrder()) == 0 {
+		t.Fatal("activation order empty")
+	}
+}
+
+func TestComputeWorkloadLassoPathRejectsMixed(t *testing.T) {
+	exps := pathExperiments(t)
+	if _, err := ComputeWorkloadLassoPath(exps, 10); err == nil {
+		t.Fatal("mixed workloads must error")
+	}
+	if _, err := ComputeWorkloadLassoPath(nil, 10); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestOneVsRestLassoPath(t *testing.T) {
+	exps := pathExperiments(t)
+	p, err := OneVsRestLassoPath(exps, bench.TPCCName, 0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopFeatures(7)
+	if len(top) == 0 {
+		t.Fatal("one-vs-rest path must select features")
+	}
+	// Stability: the two TPC-C runs must share most top features
+	// (Insight 1 of the paper).
+	p2, err := OneVsRestLassoPath(exps, bench.TPCCName, 1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Overlap(p, p2, 7) < 3 {
+		t.Fatalf("run-to-run top-7 overlap = %d, want ≥3", Overlap(p, p2, 7))
+	}
+	if _, err := OneVsRestLassoPath(exps, "missing", 0, 10); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}

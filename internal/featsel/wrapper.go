@@ -1,0 +1,264 @@
+package featsel
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml"
+	"wpred/internal/ml/linmodel"
+	"wpred/internal/ml/tree"
+)
+
+// EstimatorKind selects the model used inside the wrapper strategies,
+// matching the three estimator variants of Table 3.
+type EstimatorKind int
+
+const (
+	// EstimatorLinear regresses on the class index with OLS.
+	EstimatorLinear EstimatorKind = iota
+	// EstimatorDecTree uses a CART classifier.
+	EstimatorDecTree
+	// EstimatorLogReg uses multinomial logistic regression.
+	EstimatorLogReg
+)
+
+func (k EstimatorKind) String() string {
+	switch k {
+	case EstimatorLinear:
+		return "Linear"
+	case EstimatorDecTree:
+		return "DecTree"
+	case EstimatorLogReg:
+		return "LogReg"
+	default:
+		return fmt.Sprintf("EstimatorKind(%d)", int(k))
+	}
+}
+
+// estimator is a classifier that also exposes feature importances (RFE
+// needs the importances, SFS only the classifier).
+type estimator interface {
+	ml.Classifier
+	ml.FeatureImporter
+}
+
+func (k EstimatorKind) new() estimator {
+	switch k {
+	case EstimatorLinear:
+		return &linmodel.LinearRegression{}
+	case EstimatorDecTree:
+		return &tree.Classifier{Params: tree.Params{MaxDepth: 6}}
+	default:
+		return &linmodel.Logistic{MaxIter: 150}
+	}
+}
+
+func selectCols(X *mat.Dense, cols []int) *mat.Dense {
+	out := mat.New(X.Rows(), len(cols))
+	for jj, j := range cols {
+		out.SetCol(jj, X.Col(j))
+	}
+	return out
+}
+
+// RFE is recursive feature elimination: fit the estimator, drop the
+// feature with the lowest importance, repeat until one feature remains.
+// The elimination order yields the ranking (last survivor = rank 1).
+type RFE struct {
+	Estimator EstimatorKind
+}
+
+// NewRFE returns an RFE strategy over the given estimator.
+func NewRFE(k EstimatorKind) RFE { return RFE{Estimator: k} }
+
+// Name implements Strategy.
+func (r RFE) Name() string { return "RFE " + r.Estimator.String() }
+
+// Evaluate implements Strategy.
+func (r RFE) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	c := X.Cols()
+	remaining := make([]int, c)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	ranks := make([]int, c)
+	for len(remaining) > 1 {
+		est := r.Estimator.new()
+		if err := est.FitClasses(selectCols(X, remaining), y); err != nil {
+			return Result{}, err
+		}
+		imp := est.FeatureImportances()
+		worst := 0
+		for j := 1; j < len(imp); j++ {
+			if imp[j] < imp[worst] {
+				worst = j
+			}
+		}
+		ranks[remaining[worst]] = len(remaining)
+		remaining = append(remaining[:worst], remaining[worst+1:]...)
+	}
+	ranks[remaining[0]] = 1
+	return Result{Strategy: r.Name(), Ranks: ranks}, nil
+}
+
+// SFS is sequential feature selection: greedily add (forward) or remove
+// (backward) the feature that maximizes cross-validated accuracy. Running
+// the greedy process to completion yields a full ranking.
+type SFS struct {
+	Estimator EstimatorKind
+	// Forward selects by addition; false runs backward elimination.
+	Forward bool
+	// Folds for the cross-validated score (default 3).
+	Folds int
+	// Seed shuffles the CV folds deterministically.
+	Seed uint64
+}
+
+// NewSFS returns an SFS strategy.
+func NewSFS(k EstimatorKind, forward bool) SFS {
+	return SFS{Estimator: k, Forward: forward}
+}
+
+// Name implements Strategy.
+func (s SFS) Name() string {
+	dir := "Bw"
+	if s.Forward {
+		dir = "Fw"
+	}
+	return dir + " SFS " + s.Estimator.String()
+}
+
+// Evaluate implements Strategy.
+func (s SFS) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if s.Forward {
+		return s.forward(X, y)
+	}
+	return s.backward(X, y)
+}
+
+func (s SFS) forward(X *mat.Dense, y []int) (Result, error) {
+	c := X.Cols()
+	ranks := make([]int, c)
+	var selected []int
+	inSel := make([]bool, c)
+	for round := 1; round <= c; round++ {
+		bestF, bestScore := -1, -1.0
+		for f := 0; f < c; f++ {
+			if inSel[f] {
+				continue
+			}
+			cand := append(append([]int(nil), selected...), f)
+			score, err := s.cvAccuracy(X, y, cand)
+			if err != nil {
+				return Result{}, err
+			}
+			if score > bestScore {
+				bestF, bestScore = f, score
+			}
+		}
+		selected = append(selected, bestF)
+		inSel[bestF] = true
+		ranks[bestF] = round
+	}
+	return Result{Strategy: s.Name(), Ranks: ranks}, nil
+}
+
+func (s SFS) backward(X *mat.Dense, y []int) (Result, error) {
+	c := X.Cols()
+	ranks := make([]int, c)
+	remaining := make([]int, c)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 1 {
+		bestIdx, bestScore := -1, -1.0
+		for i := range remaining {
+			cand := make([]int, 0, len(remaining)-1)
+			cand = append(cand, remaining[:i]...)
+			cand = append(cand, remaining[i+1:]...)
+			score, err := s.cvAccuracy(X, y, cand)
+			if err != nil {
+				return Result{}, err
+			}
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		ranks[remaining[bestIdx]] = len(remaining)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	ranks[remaining[0]] = 1
+	return Result{Strategy: s.Name(), Ranks: ranks}, nil
+}
+
+// cvAccuracy is the k-fold cross-validated classification accuracy of the
+// estimator on the column subset.
+func (s SFS) cvAccuracy(X *mat.Dense, y []int, cols []int) (float64, error) {
+	folds := s.Folds
+	if folds == 0 {
+		folds = 3
+	}
+	r := X.Rows()
+	if folds > r {
+		folds = r
+	}
+	sub := selectCols(X, cols)
+	rng := rand.New(rand.NewPCG(s.Seed^0x5f5, uint64(len(cols))*0x9e37+uint64(cols[0])))
+	perm := rng.Perm(r)
+
+	correct, total := 0, 0
+	for f := 0; f < folds; f++ {
+		var trainIdx, testIdx []int
+		for pos, i := range perm {
+			if pos%folds == f {
+				testIdx = append(testIdx, i)
+			} else {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		if len(trainIdx) == 0 || len(testIdx) == 0 {
+			continue
+		}
+		trX := mat.New(len(trainIdx), len(cols))
+		trY := make([]int, len(trainIdx))
+		for k, i := range trainIdx {
+			trX.SetRow(k, sub.RawRow(i))
+			trY[k] = y[i]
+		}
+		est := s.Estimator.new()
+		if err := est.FitClasses(trX, trY); err != nil {
+			return 0, err
+		}
+		for _, i := range testIdx {
+			if est.PredictClass(sub.RawRow(i)) == y[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// Baseline assigns a random ranking — the sanity floor of Table 3.
+type Baseline struct {
+	Seed uint64
+}
+
+// Name implements Strategy.
+func (Baseline) Name() string { return "Baseline" }
+
+// Evaluate implements Strategy.
+func (b Baseline) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	c := X.Cols()
+	rng := rand.New(rand.NewPCG(b.Seed, b.Seed^0xba5eba11))
+	perm := rng.Perm(c)
+	ranks := make([]int, c)
+	for pos, col := range perm {
+		ranks[col] = pos + 1
+	}
+	return Result{Strategy: "Baseline", Ranks: ranks}, nil
+}

@@ -1,0 +1,264 @@
+// Package fingerprint implements the three data representations of §5.1.1:
+// raw multivariate time series (MTS), histogram-based fingerprinting
+// (Hist-FP: equi-width cumulative-frequency histograms over globally
+// normalized feature ranges), and phase-level statistical fingerprinting
+// (Phase-FP: BOCPD-detected phases summarized by mean, median, and
+// variance, zero-padded to a fixed phase count).
+//
+// A Builder is fitted on the full experiment set first so every experiment
+// is normalized with the same per-feature [min, max] range — without the
+// shared range, histograms of different experiments would not be
+// comparable.
+package fingerprint
+
+import (
+	"fmt"
+
+	"wpred/internal/changepoint"
+	"wpred/internal/mat"
+	"wpred/internal/stat"
+	"wpred/internal/telemetry"
+)
+
+// Representation selects the data representation.
+type Representation int
+
+const (
+	// HistFP encodes each feature's value distribution as a cumulative
+	// equi-width histogram. It is the zero value because it is the
+	// representation the paper's evaluation recommends.
+	HistFP Representation = iota
+	// MTS keeps the raw (normalized) multivariate time series.
+	MTS
+	// PhaseFP encodes per-phase statistics found by Bayesian change-point
+	// detection.
+	PhaseFP
+)
+
+func (r Representation) String() string {
+	switch r {
+	case MTS:
+		return "MTS"
+	case HistFP:
+		return "Hist-FP"
+	case PhaseFP:
+		return "Phase-FP"
+	default:
+		return fmt.Sprintf("Representation(%d)", int(r))
+	}
+}
+
+// Fingerprint is one experiment's encoded representation: a matrix with
+// one column per feature. Row semantics depend on the representation
+// (ticks for MTS, bins for Hist-FP, phase-statistics for Phase-FP).
+type Fingerprint struct {
+	Rep      Representation
+	Features []telemetry.Feature
+	M        *mat.Dense
+}
+
+// Builder constructs comparable fingerprints for a set of experiments.
+type Builder struct {
+	// Rep selects the representation.
+	Rep Representation
+	// Features are the columns of the fingerprint; defaults to all 29.
+	// MTS is only defined for resource features (plan statistics are not
+	// a time series); requesting plan features under MTS is an error at
+	// Fit time.
+	Features []telemetry.Feature
+	// Bins is the Hist-FP bucket count (default 10, the paper's n).
+	Bins int
+	// PlainFrequency switches Hist-FP from cumulative to plain relative
+	// frequencies — the inferior variant Appendix A argues against; kept
+	// for the ablation that verifies the argument.
+	PlainFrequency bool
+	// MaxPhases bounds/pads the Phase-FP phase axis (default 4).
+	MaxPhases int
+
+	lo, hi map[telemetry.Feature]float64
+	fitted bool
+}
+
+func (b *Builder) bins() int {
+	if b.Bins == 0 {
+		return 10
+	}
+	return b.Bins
+}
+
+func (b *Builder) maxPhases() int {
+	if b.MaxPhases == 0 {
+		return 4
+	}
+	return b.MaxPhases
+}
+
+// featureValues extracts the raw value sequence of one feature from an
+// experiment: the tick series for resource features, the per-observation
+// statistic sequence for plan features.
+func featureValues(e *telemetry.Experiment, f telemetry.Feature) []float64 {
+	if f.Kind() == telemetry.Resource {
+		return e.Resources.Feature(f)
+	}
+	out := make([]float64, len(e.Plans))
+	for i := range e.Plans {
+		out[i] = e.Plans[i].Value(f)
+	}
+	return out
+}
+
+// Fit computes the shared per-feature normalization ranges over the
+// experiment set.
+func (b *Builder) Fit(exps []*telemetry.Experiment) error {
+	if len(exps) == 0 {
+		return fmt.Errorf("fingerprint: no experiments to fit")
+	}
+	if len(b.Features) == 0 {
+		b.Features = telemetry.AllFeatures()
+	}
+	if b.Rep == MTS {
+		for _, f := range b.Features {
+			if f.Kind() != telemetry.Resource {
+				return fmt.Errorf("fingerprint: MTS representation is undefined for plan feature %v", f)
+			}
+		}
+	}
+	b.lo = map[telemetry.Feature]float64{}
+	b.hi = map[telemetry.Feature]float64{}
+	for _, f := range b.Features {
+		first := true
+		for _, e := range exps {
+			vals := featureValues(e, f)
+			if len(vals) == 0 {
+				continue
+			}
+			l, h := stat.MinMax(vals)
+			if first {
+				b.lo[f], b.hi[f] = l, h
+				first = false
+				continue
+			}
+			if l < b.lo[f] {
+				b.lo[f] = l
+			}
+			if h > b.hi[f] {
+				b.hi[f] = h
+			}
+		}
+		if first {
+			b.lo[f], b.hi[f] = 0, 1
+		}
+	}
+	b.fitted = true
+	return nil
+}
+
+func (b *Builder) normalize(f telemetry.Feature, vals []float64) []float64 {
+	lo, hi := b.lo[f], b.hi[f]
+	span := hi - lo
+	out := make([]float64, len(vals))
+	if span < 1e-300 {
+		return out
+	}
+	for i, v := range vals {
+		x := (v - lo) / span
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// Build encodes one experiment. Fit must have been called first.
+func (b *Builder) Build(e *telemetry.Experiment) (*Fingerprint, error) {
+	if !b.fitted {
+		return nil, fmt.Errorf("fingerprint: builder is not fitted")
+	}
+	switch b.Rep {
+	case MTS:
+		return b.buildMTS(e)
+	case HistFP:
+		return b.buildHist(e)
+	case PhaseFP:
+		return b.buildPhase(e)
+	default:
+		return nil, fmt.Errorf("fingerprint: unknown representation %v", b.Rep)
+	}
+}
+
+// BuildAll encodes every experiment.
+func (b *Builder) BuildAll(exps []*telemetry.Experiment) ([]*Fingerprint, error) {
+	out := make([]*Fingerprint, len(exps))
+	for i, e := range exps {
+		fp, err := b.Build(e)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint: %s: %w", e.ID(), err)
+		}
+		out[i] = fp
+	}
+	return out, nil
+}
+
+func (b *Builder) buildMTS(e *telemetry.Experiment) (*Fingerprint, error) {
+	n := e.Resources.Len()
+	m := mat.New(n, len(b.Features))
+	for j, f := range b.Features {
+		vals := b.normalize(f, featureValues(e, f))
+		if len(vals) != n {
+			return nil, fmt.Errorf("fingerprint: feature %v has %d ticks, want %d", f, len(vals), n)
+		}
+		m.SetCol(j, vals)
+	}
+	return &Fingerprint{Rep: MTS, Features: b.Features, M: m}, nil
+}
+
+func (b *Builder) buildHist(e *telemetry.Experiment) (*Fingerprint, error) {
+	nb := b.bins()
+	m := mat.New(nb, len(b.Features))
+	for j, f := range b.Features {
+		vals := b.normalize(f, featureValues(e, f))
+		h := stat.NewHistogram(vals, nb, 0, 1)
+		if b.PlainFrequency {
+			m.SetCol(j, h.Frequencies())
+		} else {
+			m.SetCol(j, h.Cumulative())
+		}
+	}
+	return &Fingerprint{Rep: HistFP, Features: b.Features, M: m}, nil
+}
+
+// phaseStats is the per-phase statistic count of Phase-FP: mean, median,
+// variance.
+const phaseStats = 3
+
+func (b *Builder) buildPhase(e *telemetry.Experiment) (*Fingerprint, error) {
+	maxP := b.maxPhases()
+	m := mat.New(maxP*phaseStats, len(b.Features))
+	det := changepoint.Detector{}
+	for j, f := range b.Features {
+		vals := b.normalize(f, featureValues(e, f))
+		var segs [][2]int
+		if f.Kind() == telemetry.Resource {
+			cps := det.Detect(vals)
+			segs = changepoint.Segments(cps, len(vals))
+		} else {
+			// Plan features have a single phase (§A of the paper).
+			segs = [][2]int{{0, len(vals)}}
+		}
+		if len(segs) > maxP {
+			segs = segs[:maxP]
+		}
+		for p, seg := range segs {
+			phase := vals[seg[0]:seg[1]]
+			m.Set(p*phaseStats+0, j, stat.Mean(phase))
+			m.Set(p*phaseStats+1, j, stat.Median(phase))
+			m.Set(p*phaseStats+2, j, stat.Variance(phase))
+		}
+		// Remaining phases stay zero-padded.
+	}
+	return &Fingerprint{Rep: PhaseFP, Features: b.Features, M: m}, nil
+}

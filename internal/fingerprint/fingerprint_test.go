@@ -1,0 +1,203 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/telemetry"
+)
+
+func sampleExperiment(ticks int, base float64) *telemetry.Experiment {
+	e := &telemetry.Experiment{Workload: "W", SKU: telemetry.SKU{CPUs: 4, MemoryGB: 32}}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		s := make([]float64, ticks)
+		for t := range s {
+			s[t] = base + float64(f)*10 + float64(t%5)
+		}
+		e.Resources.Samples[f] = s
+	}
+	for q := 0; q < 6; q++ {
+		var p telemetry.PlanObservation
+		p.Query = "q"
+		for j := range p.Stats {
+			p.Stats[j] = base*2 + float64(q+j)
+		}
+		e.Plans = append(e.Plans, p)
+	}
+	return e
+}
+
+func TestBuilderRequiresFit(t *testing.T) {
+	b := &Builder{Rep: HistFP}
+	if _, err := b.Build(sampleExperiment(20, 0)); err == nil {
+		t.Fatal("Build before Fit must error")
+	}
+	if err := b.Fit(nil); err == nil {
+		t.Fatal("Fit with no experiments must error")
+	}
+}
+
+func TestHistFPShapeAndCumulative(t *testing.T) {
+	exps := []*telemetry.Experiment{sampleExperiment(30, 0), sampleExperiment(30, 5)}
+	b := &Builder{Rep: HistFP}
+	if err := b.Fit(exps); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := b.Build(exps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := fp.M.Dims()
+	if r != 10 || c != telemetry.NumFeatures {
+		t.Fatalf("Hist-FP shape = %dx%d, want 10x%d", r, c, telemetry.NumFeatures)
+	}
+	// Cumulative histograms: non-decreasing, final row 1.
+	for j := 0; j < c; j++ {
+		prev := 0.0
+		for i := 0; i < r; i++ {
+			v := fp.M.At(i, j)
+			if v < prev-1e-12 {
+				t.Fatalf("column %d not cumulative", j)
+			}
+			prev = v
+		}
+		if math.Abs(fp.M.At(r-1, j)-1) > 1e-9 {
+			t.Fatalf("column %d final cumulative = %v, want 1", j, fp.M.At(r-1, j))
+		}
+	}
+}
+
+func TestHistFPPlainFrequency(t *testing.T) {
+	exps := []*telemetry.Experiment{sampleExperiment(30, 0)}
+	b := &Builder{Rep: HistFP, PlainFrequency: true}
+	if err := b.Fit(exps); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := b.Build(exps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain frequencies per column sum to 1.
+	for j := 0; j < fp.M.Cols(); j++ {
+		sum := 0.0
+		for i := 0; i < fp.M.Rows(); i++ {
+			sum += fp.M.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("column %d frequency sum = %v", j, sum)
+		}
+	}
+}
+
+func TestMTSRejectsPlanFeatures(t *testing.T) {
+	b := &Builder{Rep: MTS, Features: []telemetry.Feature{telemetry.AvgRowSize}}
+	if err := b.Fit([]*telemetry.Experiment{sampleExperiment(10, 0)}); err == nil {
+		t.Fatal("MTS over plan features must be rejected")
+	}
+}
+
+func TestMTSShapeAndNormalization(t *testing.T) {
+	exps := []*telemetry.Experiment{sampleExperiment(25, 0), sampleExperiment(25, 100)}
+	b := &Builder{Rep: MTS, Features: telemetry.ResourceFeatures()}
+	if err := b.Fit(exps); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := b.Build(exps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := fp.M.Dims()
+	if r != 25 || c != telemetry.NumResourceFeatures {
+		t.Fatalf("MTS shape = %dx%d", r, c)
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := fp.M.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("normalized value %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestSharedNormalizationRange(t *testing.T) {
+	// Two experiments with disjoint ranges: fitting on both must place
+	// the low one near 0 and the high one near 1.
+	lo := sampleExperiment(20, 0)
+	hi := sampleExperiment(20, 1000)
+	b := &Builder{Rep: MTS, Features: []telemetry.Feature{telemetry.CPUUtilization}}
+	if err := b.Fit([]*telemetry.Experiment{lo, hi}); err != nil {
+		t.Fatal(err)
+	}
+	fpLo, _ := b.Build(lo)
+	fpHi, _ := b.Build(hi)
+	if fpLo.M.At(0, 0) > 0.2 {
+		t.Fatalf("low experiment normalized to %v, want near 0", fpLo.M.At(0, 0))
+	}
+	if fpHi.M.At(0, 0) < 0.8 {
+		t.Fatalf("high experiment normalized to %v, want near 1", fpHi.M.At(0, 0))
+	}
+}
+
+func TestPhaseFPShape(t *testing.T) {
+	exps := []*telemetry.Experiment{sampleExperiment(80, 0)}
+	b := &Builder{Rep: PhaseFP, MaxPhases: 3}
+	if err := b.Fit(exps); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := b.Build(exps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := fp.M.Dims()
+	if r != 3*phaseStats || c != telemetry.NumFeatures {
+		t.Fatalf("Phase-FP shape = %dx%d, want %dx%d", r, c, 3*phaseStats, telemetry.NumFeatures)
+	}
+}
+
+func TestPhaseFPDetectsShift(t *testing.T) {
+	e := sampleExperiment(100, 0)
+	// Put a hard level shift into CPU utilization.
+	s := e.Resources.Samples[int(telemetry.CPUUtilization)]
+	for t := 50; t < 100; t++ {
+		s[t] = 90 + float64(t%3)
+	}
+	b := &Builder{Rep: PhaseFP, Features: []telemetry.Feature{telemetry.CPUUtilization}}
+	if err := b.Fit([]*telemetry.Experiment{e}); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := b.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 0 and phase 1 means must differ substantially.
+	m0 := fp.M.At(0, 0)
+	m1 := fp.M.At(phaseStats, 0)
+	if math.Abs(m0-m1) < 0.3 {
+		t.Fatalf("phase means %v and %v should reflect the shift", m0, m1)
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	exps := []*telemetry.Experiment{sampleExperiment(20, 0), sampleExperiment(20, 2)}
+	b := &Builder{Rep: HistFP}
+	if err := b.Fit(exps); err != nil {
+		t.Fatal(err)
+	}
+	fps, err := b.BuildAll(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != 2 {
+		t.Fatalf("BuildAll length = %d", len(fps))
+	}
+}
+
+func TestRepresentationString(t *testing.T) {
+	if HistFP.String() != "Hist-FP" || MTS.String() != "MTS" || PhaseFP.String() != "Phase-FP" {
+		t.Fatal("representation names wrong")
+	}
+	if Representation(9).String() == "" {
+		t.Fatal("unknown representation needs fallback")
+	}
+}

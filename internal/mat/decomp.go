@@ -1,0 +1,275 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a solve encounters a (numerically) singular
+// system.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix a such that a = L·Lᵀ.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d matrix", a.rows, a.cols))
+	}
+	n := a.rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrSingular
+				}
+				l.data[i*n+j] = math.Sqrt(sum)
+			} else {
+				l.data[i*n+j] = sum / l.data[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a·x = b for SPD a using a Cholesky factorization.
+func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveCholesky rhs length %d, want %d", len(b), n))
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * y[k]
+		}
+		y[i] = s / l.data[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x[k]
+		}
+		x[i] = s / l.data[i*n+i]
+	}
+	return x, nil
+}
+
+// SolveLeastSquares solves min‖a·x − b‖₂ via the normal equations with a
+// small ridge fallback when AᵀA is singular. Suitable for the modest,
+// well-conditioned designs used in this repository.
+func SolveLeastSquares(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.rows {
+		panic(fmt.Sprintf("mat: SolveLeastSquares rhs length %d, want %d", len(b), a.rows))
+	}
+	at := a.T()
+	ata := Mul(at, a)
+	atb := at.MulVec(b)
+	x, err := SolveCholesky(ata, atb)
+	if err == nil {
+		return x, nil
+	}
+	// Ridge fallback: add a tiny multiple of the mean diagonal.
+	n := ata.rows
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		trace += ata.data[i*n+i]
+	}
+	lambda := 1e-10 * (trace/float64(n) + 1)
+	for attempt := 0; attempt < 8; attempt++ {
+		reg := ata.Clone()
+		for i := 0; i < n; i++ {
+			reg.data[i*n+i] += lambda
+		}
+		if x, err = SolveCholesky(reg, atb); err == nil {
+			return x, nil
+		}
+		lambda *= 100
+	}
+	return nil, ErrSingular
+}
+
+// Inverse returns the inverse of a square matrix via Gauss-Jordan with
+// partial pivoting.
+func Inverse(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Inverse of non-square %dx%d matrix", a.rows, a.cols))
+	}
+	n := a.rows
+	aug := New(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(aug.data[i*2*n:i*2*n+n], a.data[i*n:(i+1)*n])
+		aug.data[i*2*n+n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, best := col, math.Abs(aug.data[col*2*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.data[r*2*n+col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			pr := aug.data[pivot*2*n : (pivot+1)*2*n]
+			cr := aug.data[col*2*n : (col+1)*2*n]
+			for k := range pr {
+				pr[k], cr[k] = cr[k], pr[k]
+			}
+		}
+		pv := aug.data[col*2*n+col]
+		crow := aug.data[col*2*n : (col+1)*2*n]
+		for k := range crow {
+			crow[k] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.data[r*2*n+col]
+			if f == 0 {
+				continue
+			}
+			rrow := aug.data[r*2*n : (r+1)*2*n]
+			for k := range rrow {
+				rrow[k] -= f * crow[k]
+			}
+		}
+	}
+	inv := New(n, n)
+	for i := 0; i < n; i++ {
+		copy(inv.data[i*n:(i+1)*n], aug.data[i*2*n+n:(i+1)*2*n])
+	}
+	return inv, nil
+}
+
+// EigenSym computes the eigen decomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// the matrix of corresponding eigenvectors (one per column).
+func EigenSym(a *Dense) (values []float64, vectors *Dense) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: EigenSym of non-square %dx%d matrix", a.rows, a.cols))
+	}
+	n := a.rows
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.data[i*n+j] * m.data[i*n+j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.data[p*n+q]
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := m.data[p*n+p]
+				aqq := m.data[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp := m.data[k*n+p]
+					akq := m.data[k*n+q]
+					m.data[k*n+p] = c*akp - s*akq
+					m.data[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := m.data[p*n+k]
+					aqk := m.data[q*n+k]
+					m.data[p*n+k] = c*apk - s*aqk
+					m.data[q*n+k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.data[k*n+p]
+					vkq := v.data[k*n+q]
+					v.data[k*n+p] = c*vkp - s*vkq
+					v.data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.data[i*n+i]
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		maxIdx := i
+		for j := i + 1; j < n; j++ {
+			if values[order[j]] > values[order[maxIdx]] {
+				maxIdx = j
+			}
+		}
+		order[i], order[maxIdx] = order[maxIdx], order[i]
+	}
+	sortedVals := make([]float64, n)
+	vectors = New(n, n)
+	for i, idx := range order {
+		sortedVals[i] = values[idx]
+		for k := 0; k < n; k++ {
+			vectors.data[k*n+i] = v.data[k*n+idx]
+		}
+	}
+	return sortedVals, vectors
+}
+
+// SVDThin computes a thin singular value decomposition a = U·diag(s)·Vᵀ via
+// the eigen decomposition of aᵀa. It returns singular values in descending
+// order, U (rows×k) and V (cols×k) with k = min(rows, cols). Singular values
+// below a relative tolerance are returned as zero with arbitrary (zero) left
+// singular vectors.
+func SVDThin(a *Dense) (s []float64, u, v *Dense) {
+	ata := Mul(a.T(), a)
+	eig, vecs := EigenSym(ata)
+	k := a.cols
+	if a.rows < k {
+		k = a.rows
+	}
+	s = make([]float64, k)
+	v = New(a.cols, k)
+	u = New(a.rows, k)
+	for i := 0; i < k; i++ {
+		ev := eig[i]
+		if ev < 0 {
+			ev = 0
+		}
+		s[i] = math.Sqrt(ev)
+		col := vecs.Col(i)
+		v.SetCol(i, col)
+		if s[i] > 1e-12 {
+			av := a.MulVec(col)
+			for r := 0; r < a.rows; r++ {
+				u.data[r*k+i] = av[r] / s[i]
+			}
+		}
+	}
+	return s, u, v
+}

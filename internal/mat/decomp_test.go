@@ -1,0 +1,196 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive-definite matrix AᵀA + I.
+func randomSPD(n int, seed uint64) *Dense {
+	a := randomMatrix(n, n, seed)
+	spd := Mul(a.T(), a)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+1)
+	}
+	return spd
+}
+
+func TestCholeskyReconstruct(t *testing.T) {
+	a := randomSPD(5, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ApproxEqual(Mul(l, l.T()), a, 1e-9) {
+		t.Fatal("L·Lᵀ != A")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky of an indefinite matrix must fail")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a := randomSPD(6, 9)
+	want := []float64{1, -2, 3, -4, 5, -6}
+	b := a.MulVec(want)
+	got, err := SolveCholesky(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-8) {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system.
+	a := NewFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	coef := []float64{3, -2}
+	b := a.MulVec(coef)
+	got, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coef {
+		if !almostEqual(got[i], coef[i], 1e-8) {
+			t.Fatalf("coef[%d] = %v, want %v", i, got[i], coef[i])
+		}
+	}
+}
+
+func TestSolveLeastSquaresMinimizesResidual(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	a := randomMatrixRNG(20, 3, rng)
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := residualNorm(a, x, b)
+	// Any perturbation of the solution must not reduce the residual.
+	for j := 0; j < 3; j++ {
+		for _, d := range []float64{-0.01, 0.01} {
+			xp := append([]float64(nil), x...)
+			xp[j] += d
+			if residualNorm(a, xp, b) < base-1e-12 {
+				t.Fatalf("perturbation (%d,%v) reduced the residual", j, d)
+			}
+		}
+	}
+}
+
+func residualNorm(a *Dense, x, b []float64) float64 {
+	pred := a.MulVec(x)
+	s := 0.0
+	for i := range b {
+		d := pred[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestInverse(t *testing.T) {
+	a := randomSPD(4, 11)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ApproxEqual(Mul(a, inv), Identity(4), 1e-9) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("Inverse of a singular matrix must fail")
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewFromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs := EigenSym(a)
+	if !almostEqual(vals[0], 3, 1e-10) || !almostEqual(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Columns must be unit vectors.
+	for j := 0; j < 2; j++ {
+		if n := Norm2(vecs.Col(j)); !almostEqual(n, 1, 1e-9) {
+			t.Fatalf("eigenvector %d norm = %v", j, n)
+		}
+	}
+}
+
+func TestEigenSymReconstruct(t *testing.T) {
+	a := randomSPD(5, 21)
+	vals, vecs := EigenSym(a)
+	// Reconstruct A = V·diag(λ)·Vᵀ.
+	d := New(5, 5)
+	for i, v := range vals {
+		d.Set(i, i, v)
+	}
+	recon := Mul(Mul(vecs, d), vecs.T())
+	if !ApproxEqual(recon, a, 1e-8) {
+		t.Fatal("V·Λ·Vᵀ != A")
+	}
+	// Descending order.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+}
+
+func TestEigenSymProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := randomSPD(4, uint64(seed)+100)
+		vals, vecs := EigenSym(a)
+		// A·v = λ·v for each pair.
+		for j := 0; j < 4; j++ {
+			av := a.MulVec(vecs.Col(j))
+			lv := ScaleVec(vals[j], vecs.Col(j))
+			for i := range av {
+				if math.Abs(av[i]-lv[i]) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDThinReconstruct(t *testing.T) {
+	a := randomMatrix(6, 4, 33)
+	s, u, v := SVDThin(a)
+	// A ≈ U·diag(s)·Vᵀ.
+	d := New(4, 4)
+	for i, sv := range s {
+		d.Set(i, i, sv)
+	}
+	recon := Mul(Mul(u, d), v.T())
+	if !ApproxEqual(recon, a, 1e-7) {
+		t.Fatal("U·Σ·Vᵀ != A")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1]+1e-12 {
+			t.Fatalf("singular values not sorted: %v", s)
+		}
+		if s[i] < 0 {
+			t.Fatalf("negative singular value: %v", s)
+		}
+	}
+}

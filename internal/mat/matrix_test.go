@@ -1,0 +1,215 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims = (%d,%d), want (3,4)", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewFromRowsAndAccessors(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if got := m.At(2, 1); got != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", got)
+	}
+	m.Set(0, 0, 9)
+	if got := m.At(0, 0); got != 9 {
+		t.Fatalf("after Set, At(0,0) = %v, want 9", got)
+	}
+	if got := m.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Row(1) = %v, want [3 4]", got)
+	}
+	if got := m.Col(0); got[0] != 9 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Col(0) = %v", got)
+	}
+}
+
+func TestRowIsCopyRawRowIsNot(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}})
+	r := m.Row(0)
+	r[0] = 100
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row must return a copy")
+	}
+	rr := m.RawRow(0)
+	rr[0] = 100
+	if m.At(0, 0) != 100 {
+		t.Fatal("RawRow must alias the backing data")
+	}
+}
+
+func TestSetRowSetCol(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	m.SetCol(0, []float64{1, 2})
+	want := NewFromRows([][]float64{{1, 0, 0}, {2, 8, 9}})
+	if !ApproxEqual(m, want, 0) {
+		t.Fatalf("got\n%v want\n%v", m, want)
+	}
+}
+
+func TestRaggedRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFromRows with ragged rows must panic")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range must panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := NewFromRows([][]float64{{19, 22}, {43, 50}})
+	if !ApproxEqual(got, want, 1e-12) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := randomMatrix(4, 4, 1)
+	if !ApproxEqual(Mul(a, Identity(4)), a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !ApproxEqual(Mul(Identity(4), a), a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := randomMatrix(3, 5, 2)
+	if !ApproxEqual(a.T().T(), a, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMulTransposeProperty(t *testing.T) {
+	// (AB)ᵀ = BᵀAᵀ for random shapes.
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 7))
+		m, k, n := 1+rng.IntN(6), 1+rng.IntN(6), 1+rng.IntN(6)
+		a := randomMatrixRNG(m, k, rng)
+		b := randomMatrixRNG(k, n, rng)
+		return ApproxEqual(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{4, 3}, {2, 1}})
+	if !ApproxEqual(Add(a, b), NewFromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Fatal("Add wrong")
+	}
+	if !ApproxEqual(Sub(Add(a, b), b), a, 1e-12) {
+		t.Fatal("A+B-B != A")
+	}
+	if !ApproxEqual(Scale(2, a), Add(a, a), 1e-12) {
+		t.Fatal("2A != A+A")
+	}
+	if !ApproxEqual(MulElem(a, b), NewFromRows([][]float64{{4, 6}, {6, 4}}), 0) {
+		t.Fatal("MulElem wrong")
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 11))
+		a := randomMatrixRNG(3, 3, rng)
+		b := randomMatrixRNG(3, 3, rng)
+		return ApproxEqual(Add(a, b), Add(b, a), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	m := NewFromRows([][]float64{{3, 4}})
+	if got := m.Frobenius(); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Frobenius = %v, want 5", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1([]float64{-1, 2, -3}); got != 6 {
+		t.Fatalf("Norm1 = %v, want 6", got)
+	}
+	if got := SubVec([]float64{5, 5}, []float64{2, 3}); got[0] != 3 || got[1] != 2 {
+		t.Fatalf("SubVec = %v", got)
+	}
+	if got := ScaleVec(2, []float64{1, -1}); got[0] != 2 || got[1] != -2 {
+		t.Fatalf("ScaleVec = %v", got)
+	}
+	dst := make([]float64, 2)
+	AxpyTo(dst, 2, []float64{1, 2}, []float64{10, 20})
+	if dst[0] != 12 || dst[1] != 24 {
+		t.Fatalf("AxpyTo = %v", dst)
+	}
+}
+
+func randomMatrix(r, c int, seed uint64) *Dense {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	return randomMatrixRNG(r, c, rng)
+}
+
+func randomMatrixRNG(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}

@@ -1,0 +1,63 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// AxpyTo stores a*x+y into dst (dst may alias y).
+func AxpyTo(dst []float64, a float64, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mat: AxpyTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a*x[i] + y[i]
+	}
+}
+
+// SubVec returns a-b as a new slice.
+func SubVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mat: SubVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// ScaleVec returns s*v as a new slice.
+func ScaleVec(s float64, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = s * x
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml/tree"
+)
+
+func sineData(n int, noise float64, seed uint64) (*mat.Dense, []float64) {
+	rng := rand.New(rand.NewPCG(seed, seed+3))
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 6
+		x.Set(i, 0, v)
+		y[i] = math.Sin(v)*3 + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func mse(pred func([]float64) float64, x *mat.Dense, y []float64) float64 {
+	s := 0.0
+	for i := range y {
+		d := pred(x.RawRow(i)) - y[i]
+		s += d * d
+	}
+	return s / float64(len(y))
+}
+
+func TestForestRegressorBeatsShallowTree(t *testing.T) {
+	xTrain, yTrain := sineData(300, 0.4, 1)
+	xTest, yTest := sineData(200, 0, 2)
+
+	stump := &tree.Regressor{Params: tree.Params{MaxDepth: 2}}
+	if err := stump.Fit(xTrain, yTrain); err != nil {
+		t.Fatal(err)
+	}
+	forest := &RandomForestRegressor{ForestParams: ForestParams{NTrees: 50, Seed: 7}}
+	if err := forest.Fit(xTrain, yTrain); err != nil {
+		t.Fatal(err)
+	}
+	if mse(forest.Predict, xTest, yTest) >= mse(stump.Predict, xTest, yTest) {
+		t.Fatal("forest should beat a depth-2 stump on smooth data")
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	x, y := sineData(100, 0.2, 4)
+	a := &RandomForestRegressor{ForestParams: ForestParams{NTrees: 10, Seed: 9}}
+	b := &RandomForestRegressor{ForestParams: ForestParams{NTrees: 10, Seed: 9}}
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{2.5}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("same seed must reproduce the forest")
+	}
+}
+
+func TestForestRegressorImportances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	n := 200
+	x := mat.New(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 4 * x.At(i, 2)
+	}
+	f := &RandomForestRegressor{ForestParams: ForestParams{NTrees: 40, Seed: 1}}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportances()
+	if imp[2] < imp[0] || imp[2] < imp[1] {
+		t.Fatalf("feature 2 must dominate: %v", imp)
+	}
+}
+
+func TestForestClassifier(t *testing.T) {
+	var rows [][]float64
+	var y []int
+	rng := rand.New(rand.NewPCG(13, 14))
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 60; i++ {
+			rows = append(rows, []float64{float64(cls)*3 + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, cls)
+		}
+	}
+	c := &RandomForestClassifier{ForestParams: ForestParams{NTrees: 30, Seed: 2}}
+	if err := c.FitClasses(mat.NewFromRows(rows), y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, r := range rows {
+		if c.PredictClass(r) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(y)); acc < 0.95 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestGradientBoostingFitsNonlinear(t *testing.T) {
+	xTrain, yTrain := sineData(300, 0.1, 21)
+	xTest, yTest := sineData(150, 0, 22)
+	gb := &GradientBoosting{NRounds: 80}
+	if err := gb.Fit(xTrain, yTrain); err != nil {
+		t.Fatal(err)
+	}
+	if gb.NumStages() != 80 {
+		t.Fatalf("stages = %d", gb.NumStages())
+	}
+	if e := mse(gb.Predict, xTest, yTest); e > 0.1 {
+		t.Fatalf("test MSE = %v, want < 0.1", e)
+	}
+}
+
+func TestGradientBoostingMoreRoundsFitTighter(t *testing.T) {
+	x, y := sineData(200, 0.05, 31)
+	few := &GradientBoosting{NRounds: 5}
+	many := &GradientBoosting{NRounds: 100}
+	if err := few.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if mse(many.Predict, x, y) >= mse(few.Predict, x, y) {
+		t.Fatal("more boosting rounds must reduce training error")
+	}
+}
+
+func TestGradientBoostingConstantBase(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{1}, {2}})
+	gb := &GradientBoosting{NRounds: 3}
+	if err := gb.Fit(x, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := gb.Predict([]float64{9}); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("constant target prediction = %v", got)
+	}
+}
+
+func TestEnsembleErrors(t *testing.T) {
+	if err := (&RandomForestRegressor{}).Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty forest fit must error")
+	}
+	if err := (&GradientBoosting{}).Fit(mat.New(2, 1), []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := (&RandomForestClassifier{}).FitClasses(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty classifier fit must error")
+	}
+}

@@ -1,0 +1,225 @@
+// Package ensemble implements the tree ensembles of the study: random
+// forests (regression and classification, with impurity-based feature
+// importances for the embedded selection strategy) and gradient-boosted
+// regression trees (the best-performing scaling-model strategy in
+// Table 6).
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml/tree"
+)
+
+// ForestParams configures a random forest.
+type ForestParams struct {
+	// NTrees is the ensemble size (default 100; the paper notes real
+	// deployments often use 1000+).
+	NTrees int
+	// MaxDepth per tree (default 12).
+	MaxDepth int
+	// MaxFeatures per split; 0 picks √c for classification and c/3 for
+	// regression.
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed uint64
+}
+
+func (p ForestParams) withDefaults() ForestParams {
+	if p.NTrees == 0 {
+		p.NTrees = 100
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 12
+	}
+	return p
+}
+
+// RandomForestRegressor averages bootstrap-trained CART regressors.
+type RandomForestRegressor struct {
+	ForestParams
+
+	trees       []*tree.Regressor
+	importances []float64
+	fitted      bool
+}
+
+// Fit trains the ensemble.
+func (f *RandomForestRegressor) Fit(X *mat.Dense, y []float64) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("ensemble: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("ensemble: empty training set")
+	}
+	p := f.ForestParams.withDefaults()
+	maxFeat := p.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = c / 3
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0xabcdef12345))
+	f.trees = make([]*tree.Regressor, p.NTrees)
+	f.importances = make([]float64, c)
+
+	bx := mat.New(r, c)
+	by := make([]float64, r)
+	for t := 0; t < p.NTrees; t++ {
+		for i := 0; i < r; i++ {
+			src := rng.IntN(r)
+			bx.SetRow(i, X.RawRow(src))
+			by[i] = y[src]
+		}
+		tr := &tree.Regressor{Params: tree.Params{
+			MaxDepth:   p.MaxDepth,
+			FeatureSel: featureSampler(rng, maxFeat),
+		}}
+		if err := tr.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees[t] = tr
+		for j, imp := range tr.FeatureImportances() {
+			f.importances[j] += imp
+		}
+	}
+	normalizeInPlace(f.importances)
+	f.fitted = true
+	return nil
+}
+
+// Predict averages the tree predictions.
+func (f *RandomForestRegressor) Predict(x []float64) float64 {
+	if !f.fitted {
+		panic(errors.New("ensemble: model is not fitted"))
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// FeatureImportances returns mean impurity-reduction importances.
+func (f *RandomForestRegressor) FeatureImportances() []float64 {
+	return append([]float64(nil), f.importances...)
+}
+
+// RandomForestClassifier majority-votes bootstrap-trained CART
+// classifiers.
+type RandomForestClassifier struct {
+	ForestParams
+
+	trees       []*tree.Classifier
+	nClasses    int
+	importances []float64
+	fitted      bool
+}
+
+// FitClasses trains the ensemble.
+func (f *RandomForestClassifier) FitClasses(X *mat.Dense, y []int) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("ensemble: %d rows but %d labels", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("ensemble: empty training set")
+	}
+	p := f.ForestParams.withDefaults()
+	maxFeat := p.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = int(math.Sqrt(float64(c)))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	f.nClasses = 0
+	for _, v := range y {
+		if v+1 > f.nClasses {
+			f.nClasses = v + 1
+		}
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0xabcdef12345))
+	f.trees = make([]*tree.Classifier, p.NTrees)
+	f.importances = make([]float64, c)
+
+	bx := mat.New(r, c)
+	by := make([]int, r)
+	for t := 0; t < p.NTrees; t++ {
+		for i := 0; i < r; i++ {
+			src := rng.IntN(r)
+			bx.SetRow(i, X.RawRow(src))
+			by[i] = y[src]
+		}
+		tr := &tree.Classifier{Params: tree.Params{
+			MaxDepth:   p.MaxDepth,
+			FeatureSel: featureSampler(rng, maxFeat),
+		}}
+		if err := tr.FitClasses(bx, by); err != nil {
+			return err
+		}
+		f.trees[t] = tr
+		for j, imp := range tr.FeatureImportances() {
+			f.importances[j] += imp
+		}
+	}
+	normalizeInPlace(f.importances)
+	f.fitted = true
+	return nil
+}
+
+// PredictClass returns the majority vote.
+func (f *RandomForestClassifier) PredictClass(x []float64) int {
+	if !f.fitted {
+		panic(errors.New("ensemble: model is not fitted"))
+	}
+	votes := make([]int, f.nClasses)
+	for _, t := range f.trees {
+		votes[t.PredictClass(x)]++
+	}
+	best, bestV := 0, -1
+	for cls, v := range votes {
+		if v > bestV {
+			best, bestV = cls, v
+		}
+	}
+	return best
+}
+
+// FeatureImportances returns mean Gini importances.
+func (f *RandomForestClassifier) FeatureImportances() []float64 {
+	return append([]float64(nil), f.importances...)
+}
+
+func featureSampler(rng *rand.Rand, k int) func(n int) []int {
+	return func(n int) []int {
+		if k >= n {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = i
+			}
+			return out
+		}
+		perm := rng.Perm(n)
+		return perm[:k]
+	}
+}
+
+func normalizeInPlace(v []float64) {
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	if total <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= total
+	}
+}

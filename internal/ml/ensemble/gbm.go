@@ -1,0 +1,102 @@
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml/tree"
+)
+
+// GradientBoosting is a stage-wise ensemble of shallow regression trees
+// fit to the residuals of the running prediction (squared-error gradient
+// boosting, Friedman 2001).
+type GradientBoosting struct {
+	// NRounds is the number of boosting stages (default 100).
+	NRounds int
+	// LearningRate shrinks each stage's contribution (default 0.1).
+	LearningRate float64
+	// MaxDepth per tree (default 3).
+	MaxDepth int
+	// Subsample, if in (0,1), trains each stage on a random fraction of
+	// rows (stochastic gradient boosting). Default 1 (use all rows).
+	Subsample float64
+	// Seed drives the subsampling.
+	Seed uint64
+
+	base   float64
+	stages []*tree.Regressor
+	fitted bool
+}
+
+func (g *GradientBoosting) params() (rounds int, lr float64, depth int) {
+	rounds = g.NRounds
+	if rounds == 0 {
+		rounds = 100
+	}
+	lr = g.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	depth = g.MaxDepth
+	if depth == 0 {
+		depth = 3
+	}
+	return rounds, lr, depth
+}
+
+// Fit trains the boosted ensemble.
+func (g *GradientBoosting) Fit(X *mat.Dense, y []float64) error {
+	r, _ := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("ensemble: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("ensemble: empty training set")
+	}
+	rounds, lr, depth := g.params()
+
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(r)
+
+	pred := make([]float64, r)
+	for i := range pred {
+		pred[i] = g.base
+	}
+	resid := make([]float64, r)
+	g.stages = g.stages[:0]
+	for round := 0; round < rounds; round++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tr := &tree.Regressor{Params: tree.Params{MaxDepth: depth}}
+		if err := tr.Fit(X, resid); err != nil {
+			return err
+		}
+		g.stages = append(g.stages, tr)
+		for i := 0; i < r; i++ {
+			pred[i] += lr * tr.Predict(X.RawRow(i))
+		}
+	}
+	g.fitted = true
+	return nil
+}
+
+// Predict sums the shrunken stage outputs.
+func (g *GradientBoosting) Predict(x []float64) float64 {
+	if !g.fitted {
+		panic(errors.New("ensemble: model is not fitted"))
+	}
+	_, lr, _ := g.params()
+	out := g.base
+	for _, tr := range g.stages {
+		out += lr * tr.Predict(x)
+	}
+	return out
+}
+
+// NumStages returns the number of fitted boosting stages.
+func (g *GradientBoosting) NumStages() int { return len(g.stages) }

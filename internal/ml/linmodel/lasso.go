@@ -1,0 +1,285 @@
+package linmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+)
+
+// Lasso is L1-regularized linear regression fit by cyclic coordinate
+// descent on standardized features. The standardization happens inside Fit
+// so coefficients are comparable across features — the property the
+// embedded feature-selection strategy relies on.
+type Lasso struct {
+	// Alpha is the L1 penalty. Zero selects a small default (0.001).
+	Alpha float64
+	// L1Ratio is used by elastic net (1 = pure lasso). Lasso leaves it 1.
+	L1Ratio float64
+	// MaxIter bounds coordinate-descent sweeps (default 1000).
+	MaxIter int
+	// Tol is the convergence tolerance on the max coefficient change
+	// (default 1e-6).
+	Tol float64
+
+	coef      []float64 // on standardized scale
+	rawCoef   []float64 // on the original scale
+	intercept float64
+	meanX     []float64
+	scaleX    []float64
+	meanY     float64
+	fitted    bool
+}
+
+func (m *Lasso) params() (alpha, l1ratio float64, maxIter int, tol float64) {
+	alpha = m.Alpha
+	if alpha == 0 {
+		alpha = 0.001
+	}
+	l1ratio = m.L1Ratio
+	if l1ratio == 0 {
+		l1ratio = 1
+	}
+	maxIter = m.MaxIter
+	if maxIter == 0 {
+		maxIter = 1000
+	}
+	tol = m.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	return alpha, l1ratio, maxIter, tol
+}
+
+func softThreshold(z, gamma float64) float64 {
+	switch {
+	case z > gamma:
+		return z - gamma
+	case z < -gamma:
+		return z + gamma
+	default:
+		return 0
+	}
+}
+
+// Fit runs coordinate descent. The objective (matching scikit-learn) is
+//
+//	1/(2n)·‖y − Xβ‖² + α·ρ·‖β‖₁ + α·(1−ρ)/2·‖β‖²
+//
+// with ρ the L1 ratio (1 for lasso).
+func (m *Lasso) Fit(X *mat.Dense, y []float64) error {
+	alpha, l1ratio, maxIter, tol := m.params()
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("linmodel: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("linmodel: empty training set")
+	}
+
+	// Standardize X, center y.
+	m.meanX = make([]float64, c)
+	m.scaleX = make([]float64, c)
+	xs := mat.New(r, c)
+	for j := 0; j < c; j++ {
+		col := X.Col(j)
+		mean := 0.0
+		for _, v := range col {
+			mean += v
+		}
+		mean /= float64(r)
+		variance := 0.0
+		for _, v := range col {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(r)
+		scale := math.Sqrt(variance)
+		if scale < 1e-12 {
+			scale = 1
+		}
+		m.meanX[j], m.scaleX[j] = mean, scale
+		for i := 0; i < r; i++ {
+			xs.Set(i, j, (col[i]-mean)/scale)
+		}
+	}
+	m.meanY = 0
+	for _, v := range y {
+		m.meanY += v
+	}
+	m.meanY /= float64(r)
+	yc := make([]float64, r)
+	for i, v := range y {
+		yc[i] = v - m.meanY
+	}
+
+	n := float64(r)
+	beta := make([]float64, c)
+	resid := append([]float64(nil), yc...) // residual = yc − Xs·beta
+	// Column squared norms (constant under standardization but compute to
+	// be safe with near-constant columns).
+	colSq := make([]float64, c)
+	for j := 0; j < c; j++ {
+		s := 0.0
+		for i := 0; i < r; i++ {
+			v := xs.At(i, j)
+			s += v * v
+		}
+		colSq[j] = s
+	}
+	l1Pen := alpha * l1ratio * n
+	l2Pen := alpha * (1 - l1ratio) * n
+
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < c; j++ {
+			if colSq[j] < 1e-18 {
+				continue
+			}
+			old := beta[j]
+			// rho = x_jᵀ(resid + x_j·beta_j)
+			rho := 0.0
+			for i := 0; i < r; i++ {
+				rho += xs.At(i, j) * resid[i]
+			}
+			rho += colSq[j] * old
+			newBeta := softThreshold(rho, l1Pen) / (colSq[j] + l2Pen)
+			if newBeta != old {
+				d := newBeta - old
+				for i := 0; i < r; i++ {
+					resid[i] -= d * xs.At(i, j)
+				}
+				beta[j] = newBeta
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+
+	m.coef = beta
+	m.rawCoef = make([]float64, c)
+	m.intercept = m.meanY
+	for j := 0; j < c; j++ {
+		m.rawCoef[j] = beta[j] / m.scaleX[j]
+		m.intercept -= m.rawCoef[j] * m.meanX[j]
+	}
+	m.fitted = true
+	return nil
+}
+
+// Predict returns the fitted response for x (original feature scale).
+func (m *Lasso) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic(ErrNotFitted)
+	}
+	return m.intercept + mat.Dot(m.rawCoef, x)
+}
+
+// Coefficients returns the standardized-scale coefficients, the ones used
+// for feature importance comparison.
+func (m *Lasso) Coefficients() []float64 {
+	return append([]float64(nil), m.coef...)
+}
+
+// FeatureImportances returns |standardized coefficient| per feature.
+func (m *Lasso) FeatureImportances() []float64 {
+	out := make([]float64, len(m.coef))
+	for i, c := range m.coef {
+		out[i] = math.Abs(c)
+	}
+	return out
+}
+
+// ElasticNet combines L1 and L2 penalties; it resolves lasso's arbitrary
+// choice among correlated predictors (§4.1.2 of the paper).
+type ElasticNet struct {
+	Lasso
+}
+
+// NewElasticNet returns an elastic net with the given penalty and mix
+// (l1ratio 0.5 is the common default).
+func NewElasticNet(alpha, l1ratio float64) *ElasticNet {
+	en := &ElasticNet{}
+	en.Alpha = alpha
+	en.L1Ratio = l1ratio
+	if en.L1Ratio == 0 {
+		en.L1Ratio = 0.5
+	}
+	return en
+}
+
+// PathPoint is one step of a lasso regularization path.
+type PathPoint struct {
+	Alpha float64
+	// Coef holds the standardized-scale coefficients at this alpha.
+	Coef []float64
+}
+
+// LassoPath computes the regularization path: coefficients at a descending
+// geometric grid of nAlphas penalties from alphaMax (the smallest penalty
+// that zeroes every coefficient) down to alphaMax·epsRatio. This is the
+// computation behind Figure 3 of the paper.
+func LassoPath(X *mat.Dense, y []float64, nAlphas int, epsRatio float64) ([]PathPoint, error) {
+	if nAlphas <= 0 {
+		nAlphas = 50
+	}
+	if epsRatio <= 0 {
+		epsRatio = 1e-3
+	}
+	r, c := X.Dims()
+	if r == 0 || c == 0 {
+		return nil, errors.New("linmodel: empty design for LassoPath")
+	}
+	// alphaMax = max_j |x_jᵀ y_c| / n on standardized features.
+	meanY := 0.0
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(r)
+	alphaMax := 0.0
+	for j := 0; j < c; j++ {
+		col := X.Col(j)
+		meanX := 0.0
+		for _, v := range col {
+			meanX += v
+		}
+		meanX /= float64(r)
+		variance := 0.0
+		for _, v := range col {
+			d := v - meanX
+			variance += d * d
+		}
+		variance /= float64(r)
+		scale := math.Sqrt(variance)
+		if scale < 1e-12 {
+			continue
+		}
+		dot := 0.0
+		for i := 0; i < r; i++ {
+			dot += (col[i] - meanX) / scale * (y[i] - meanY)
+		}
+		if a := math.Abs(dot) / float64(r); a > alphaMax {
+			alphaMax = a
+		}
+	}
+	if alphaMax == 0 {
+		alphaMax = 1
+	}
+	path := make([]PathPoint, 0, nAlphas)
+	ratio := math.Pow(epsRatio, 1/float64(nAlphas-1))
+	alpha := alphaMax
+	for k := 0; k < nAlphas; k++ {
+		m := &Lasso{Alpha: alpha}
+		if err := m.Fit(X, y); err != nil {
+			return nil, err
+		}
+		path = append(path, PathPoint{Alpha: alpha, Coef: m.Coefficients()})
+		alpha *= ratio
+	}
+	return path, nil
+}

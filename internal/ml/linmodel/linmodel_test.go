@@ -1,0 +1,255 @@
+package linmodel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+func linearData(n int, coef []float64, intercept, noise float64, seed uint64) (*mat.Dense, []float64) {
+	rng := rand.New(rand.NewPCG(seed, seed^1))
+	x := mat.New(n, len(coef))
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := intercept
+		for j := range coef {
+			xv := rng.NormFloat64() * 2
+			x.Set(i, j, xv)
+			v += coef[j] * xv
+		}
+		y[i] = v + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	want := []float64{2, -3, 0.5}
+	x, y := linearData(200, want, 7, 0, 1)
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept()-7) > 1e-8 {
+		t.Fatalf("intercept = %v, want 7", m.Intercept())
+	}
+	for j, c := range m.Coefficients() {
+		if math.Abs(c-want[j]) > 1e-8 {
+			t.Fatalf("coef[%d] = %v, want %v", j, c, want[j])
+		}
+	}
+	if p := m.Predict([]float64{1, 1, 1}); math.Abs(p-6.5) > 1e-8 {
+		t.Fatalf("Predict = %v, want 6.5", p)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	m := &LinearRegression{}
+	if err := m.Fit(mat.New(0, 2), nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if err := m.Fit(mat.New(3, 2), []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("predicting with an unfitted model must panic")
+		}
+	}()
+	(&LinearRegression{}).Predict([]float64{1, 2})
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	x, y := linearData(50, []float64{5}, 0, 0.5, 3)
+	plain := &LinearRegression{}
+	ridge := &LinearRegression{Ridge: 100}
+	if err := plain.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ridge.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.Coefficients()[0]) >= math.Abs(plain.Coefficients()[0]) {
+		t.Fatal("ridge penalty must shrink the coefficient")
+	}
+}
+
+func TestOLSClassifierRounding(t *testing.T) {
+	// Class = 0 when x<0, 2 when x>0; regression on the class index.
+	x := mat.NewFromRows([][]float64{{-2}, {-1}, {1}, {2}})
+	y := []int{0, 0, 2, 2}
+	m := &LinearRegression{}
+	if err := m.FitClasses(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PredictClass([]float64{-3}); got != 0 {
+		t.Fatalf("PredictClass(-3) = %d", got)
+	}
+	if got := m.PredictClass([]float64{3}); got < 1 {
+		t.Fatalf("PredictClass(3) = %d", got)
+	}
+	if got := m.PredictClass([]float64{100}); got > 2 {
+		t.Fatalf("PredictClass must clamp to trained classes, got %d", got)
+	}
+}
+
+func TestLassoZeroesIrrelevantFeatures(t *testing.T) {
+	// y depends only on feature 0; features 1 and 2 are noise.
+	rng := rand.New(rand.NewPCG(9, 10))
+	n := 120
+	x := mat.New(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		x.Set(i, 2, rng.NormFloat64())
+		y[i] = 4*x.At(i, 0) + 0.05*rng.NormFloat64()
+	}
+	m := &Lasso{Alpha: 0.2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	coef := m.Coefficients()
+	if math.Abs(coef[0]) < 1 {
+		t.Fatalf("relevant coefficient shrunk too hard: %v", coef)
+	}
+	if coef[1] != 0 || coef[2] != 0 {
+		t.Fatalf("irrelevant coefficients must be exactly zero: %v", coef)
+	}
+	imp := m.FeatureImportances()
+	if imp[0] <= imp[1] || imp[0] <= imp[2] {
+		t.Fatalf("importances = %v", imp)
+	}
+}
+
+func TestLassoPredictUnstandardized(t *testing.T) {
+	// Predictions must come back on the original scale.
+	x, y := linearData(100, []float64{3}, 10, 0, 4)
+	m := &Lasso{Alpha: 1e-4}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{2}); math.Abs(p-16) > 0.2 {
+		t.Fatalf("Predict(2) = %v, want ≈16", p)
+	}
+}
+
+func TestElasticNetKeepsCorrelatedPair(t *testing.T) {
+	// Two nearly identical predictors: lasso drops one arbitrarily,
+	// elastic net keeps both with similar weights.
+	rng := rand.New(rand.NewPCG(20, 21))
+	n := 150
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		x.Set(i, 0, v)
+		x.Set(i, 1, v+0.001*rng.NormFloat64())
+		y[i] = 3 * v
+	}
+	en := NewElasticNet(0.05, 0.5)
+	if err := en.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	c := en.Coefficients()
+	if c[0] == 0 || c[1] == 0 {
+		t.Fatalf("elastic net should keep both correlated predictors: %v", c)
+	}
+	if math.Abs(c[0]-c[1]) > 0.5 {
+		t.Fatalf("correlated predictors should share weight: %v", c)
+	}
+}
+
+func TestLassoPath(t *testing.T) {
+	x, y := linearData(80, []float64{5, 0.2}, 0, 0.1, 6)
+	path, err := LassoPath(x, y, 20, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 20 {
+		t.Fatalf("path length = %d", len(path))
+	}
+	// At the strongest penalty every coefficient is zero.
+	for _, c := range path[0].Coef {
+		if c != 0 {
+			t.Fatalf("alphaMax must zero all coefficients: %v", path[0].Coef)
+		}
+	}
+	// Alphas strictly decreasing.
+	for i := 1; i < len(path); i++ {
+		if path[i].Alpha >= path[i-1].Alpha {
+			t.Fatal("alphas must decrease")
+		}
+	}
+	// The strong feature activates before the weak one.
+	first := func(j int) int {
+		for k := range path {
+			if path[k].Coef[j] != 0 {
+				return k
+			}
+		}
+		return len(path)
+	}
+	if first(0) >= first(1) {
+		t.Fatalf("feature 0 (strong) should activate before feature 1: %d vs %d", first(0), first(1))
+	}
+}
+
+func TestLogisticSeparable(t *testing.T) {
+	// Three linearly separable classes on a line.
+	var rows [][]float64
+	var y []int
+	rng := rand.New(rand.NewPCG(31, 32))
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < 40; i++ {
+			rows = append(rows, []float64{float64(cls)*4 + rng.NormFloat64()*0.3, rng.NormFloat64()})
+			y = append(y, cls)
+		}
+	}
+	m := &Logistic{}
+	if err := m.FitClasses(mat.NewFromRows(rows), y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, r := range rows {
+		if m.PredictClass(r) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(y)); acc < 0.95 {
+		t.Fatalf("training accuracy = %v, want ≥0.95", acc)
+	}
+	imp := m.FeatureImportances()
+	if imp[0] <= imp[1] {
+		t.Fatalf("the discriminative feature must rank higher: %v", imp)
+	}
+}
+
+func TestLogisticErrors(t *testing.T) {
+	m := &Logistic{}
+	if err := m.FitClasses(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if err := m.FitClasses(mat.NewFromRows([][]float64{{1}}), []int{-1}); err == nil {
+		t.Fatal("negative labels must error")
+	}
+}
+
+func TestPolynomialFitsQuadratic(t *testing.T) {
+	n := 60
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i)/10 - 3
+		x.Set(i, 0, v)
+		y[i] = 2*v*v - v + 5
+	}
+	p := &Polynomial{Degree: 2}
+	if err := p.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Predict([]float64{2}); math.Abs(got-11) > 1e-6 {
+		t.Fatalf("Predict(2) = %v, want 11", got)
+	}
+}

@@ -1,0 +1,206 @@
+package linmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+)
+
+// Logistic is multinomial (softmax) logistic regression trained by
+// full-batch gradient descent with a small L2 penalty on standardized
+// features. It serves as the "LogReg" estimator of the wrapper
+// feature-selection strategies.
+type Logistic struct {
+	// L2 is the ridge penalty (default 1e-3).
+	L2 float64
+	// LearningRate for gradient descent (default 0.5).
+	LearningRate float64
+	// MaxIter bounds the descent (default 300).
+	MaxIter int
+
+	nClasses int
+	weights  *mat.Dense // nClasses × nFeatures, standardized scale
+	bias     []float64
+	meanX    []float64
+	scaleX   []float64
+	fitted   bool
+}
+
+func (m *Logistic) params() (l2, lr float64, iters int) {
+	l2 = m.L2
+	if l2 == 0 {
+		l2 = 1e-3
+	}
+	lr = m.LearningRate
+	if lr == 0 {
+		lr = 0.5
+	}
+	iters = m.MaxIter
+	if iters == 0 {
+		iters = 300
+	}
+	return l2, lr, iters
+}
+
+// FitClasses trains the softmax classifier.
+func (m *Logistic) FitClasses(X *mat.Dense, y []int) error {
+	l2, lr, iters := m.params()
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("linmodel: %d rows but %d labels", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("linmodel: empty training set")
+	}
+	m.nClasses = 0
+	for _, v := range y {
+		if v < 0 {
+			return fmt.Errorf("linmodel: negative class label %d", v)
+		}
+		if v+1 > m.nClasses {
+			m.nClasses = v + 1
+		}
+	}
+	if m.nClasses < 2 {
+		m.nClasses = 2
+	}
+
+	// Standardize.
+	m.meanX = make([]float64, c)
+	m.scaleX = make([]float64, c)
+	xs := mat.New(r, c)
+	for j := 0; j < c; j++ {
+		col := X.Col(j)
+		mean := 0.0
+		for _, v := range col {
+			mean += v
+		}
+		mean /= float64(r)
+		variance := 0.0
+		for _, v := range col {
+			d := v - mean
+			variance += d * d
+		}
+		scale := math.Sqrt(variance / float64(r))
+		if scale < 1e-12 {
+			scale = 1
+		}
+		m.meanX[j], m.scaleX[j] = mean, scale
+		for i := 0; i < r; i++ {
+			xs.Set(i, j, (col[i]-mean)/scale)
+		}
+	}
+
+	k := m.nClasses
+	m.weights = mat.New(k, c)
+	m.bias = make([]float64, k)
+	probs := mat.New(r, k)
+	gradW := mat.New(k, c)
+	gradB := make([]float64, k)
+
+	for iter := 0; iter < iters; iter++ {
+		// Forward: softmax probabilities.
+		for i := 0; i < r; i++ {
+			row := xs.RawRow(i)
+			maxLogit := math.Inf(-1)
+			logits := probs.RawRow(i)
+			for cls := 0; cls < k; cls++ {
+				l := m.bias[cls] + mat.Dot(m.weights.RawRow(cls), row)
+				logits[cls] = l
+				if l > maxLogit {
+					maxLogit = l
+				}
+			}
+			sum := 0.0
+			for cls := 0; cls < k; cls++ {
+				logits[cls] = math.Exp(logits[cls] - maxLogit)
+				sum += logits[cls]
+			}
+			for cls := 0; cls < k; cls++ {
+				logits[cls] /= sum
+			}
+		}
+		// Gradient.
+		for cls := 0; cls < k; cls++ {
+			g := gradW.RawRow(cls)
+			for j := range g {
+				g[j] = 0
+			}
+			gradB[cls] = 0
+		}
+		for i := 0; i < r; i++ {
+			row := xs.RawRow(i)
+			p := probs.RawRow(i)
+			for cls := 0; cls < k; cls++ {
+				d := p[cls]
+				if y[i] == cls {
+					d -= 1
+				}
+				g := gradW.RawRow(cls)
+				for j := range row {
+					g[j] += d * row[j]
+				}
+				gradB[cls] += d
+			}
+		}
+		inv := 1 / float64(r)
+		maxStep := 0.0
+		for cls := 0; cls < k; cls++ {
+			w := m.weights.RawRow(cls)
+			g := gradW.RawRow(cls)
+			for j := range w {
+				step := lr * (g[j]*inv + l2*w[j])
+				w[j] -= step
+				if s := math.Abs(step); s > maxStep {
+					maxStep = s
+				}
+			}
+			m.bias[cls] -= lr * gradB[cls] * inv
+		}
+		if maxStep < 1e-8 {
+			break
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// PredictClass returns the argmax class for x.
+func (m *Logistic) PredictClass(x []float64) int {
+	if !m.fitted {
+		panic(ErrNotFitted)
+	}
+	best, bestV := 0, math.Inf(-1)
+	for cls := 0; cls < m.nClasses; cls++ {
+		l := m.bias[cls]
+		w := m.weights.RawRow(cls)
+		for j := range w {
+			l += w[j] * (x[j] - m.meanX[j]) / m.scaleX[j]
+		}
+		if l > bestV {
+			best, bestV = cls, l
+		}
+	}
+	return best
+}
+
+// FeatureImportances returns the mean |weight| per feature across classes.
+func (m *Logistic) FeatureImportances() []float64 {
+	if !m.fitted {
+		panic(ErrNotFitted)
+	}
+	c := m.weights.Cols()
+	out := make([]float64, c)
+	for cls := 0; cls < m.nClasses; cls++ {
+		w := m.weights.RawRow(cls)
+		for j := range w {
+			out[j] += math.Abs(w[j])
+		}
+	}
+	for j := range out {
+		out[j] /= float64(m.nClasses)
+	}
+	return out
+}

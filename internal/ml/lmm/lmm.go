@@ -1,0 +1,266 @@
+// Package lmm implements a linear mixed-effects model with per-group
+// random intercepts and slopes, fit by expectation-maximization. It is the
+// LMM strategy of §6.1.2: fixed effects capture the population-level
+// scaling trend while the random effects absorb group-specific variation
+// (the time-of-day data groups of the study).
+package lmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+)
+
+// LMM is the mixed model y = X̃β + Z·b_g + ε with X̃ = [1 X], Z = X̃,
+// b_g ~ N(0, Ψ), ε ~ N(0, σ²).
+type LMM struct {
+	// Groups assigns each training row to a cluster; it must be set
+	// before Fit. Rows with group −1 contribute only to the fixed
+	// effects.
+	Groups []int
+	// MaxIter bounds EM (default 100).
+	MaxIter int
+	// Tol is the convergence tolerance on parameter change (default 1e-6).
+	Tol float64
+
+	beta    []float64         // fixed effects (with intercept)
+	randEff map[int][]float64 // posterior mean b̂_g per group
+	psi     *mat.Dense        // random-effect covariance
+	sigma2  float64           // residual variance
+	nAug    int               // len(beta)
+	fitted  bool
+}
+
+func (m *LMM) params() (iters int, tol float64) {
+	iters = m.MaxIter
+	if iters == 0 {
+		iters = 100
+	}
+	tol = m.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	return iters, tol
+}
+
+func augment(x []float64) []float64 {
+	out := make([]float64, len(x)+1)
+	out[0] = 1
+	copy(out[1:], x)
+	return out
+}
+
+// Fit runs EM. With no group structure (all groups identical or absent) it
+// degenerates gracefully to OLS with a vanishing random-effect covariance.
+func (m *LMM) Fit(X *mat.Dense, y []float64) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("lmm: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("lmm: empty training set")
+	}
+	groups := m.Groups
+	if len(groups) == 0 {
+		groups = make([]int, r) // single group
+	}
+	if len(groups) != r {
+		return fmt.Errorf("lmm: %d rows but %d group labels", r, len(groups))
+	}
+	iters, tol := m.params()
+	q := c + 1
+	m.nAug = q
+
+	// Group row indices.
+	rowsOf := map[int][]int{}
+	for i, g := range groups {
+		if g >= 0 {
+			rowsOf[g] = append(rowsOf[g], i)
+		}
+	}
+
+	// Design with intercept.
+	xa := mat.New(r, q)
+	for i := 0; i < r; i++ {
+		xa.SetRow(i, augment(X.RawRow(i)))
+	}
+
+	// Initialize with OLS.
+	beta, err := mat.SolveLeastSquares(xa, y)
+	if err != nil {
+		return err
+	}
+	resid := residuals(xa, y, beta)
+	sigma2 := meanSq(resid)
+	if sigma2 < 1e-12 {
+		sigma2 = 1e-12
+	}
+	psi := mat.Identity(q)
+	for i := 0; i < q; i++ {
+		psi.Set(i, i, sigma2)
+	}
+
+	bhat := map[int][]float64{}
+	for iter := 0; iter < iters; iter++ {
+		// E step per group.
+		condCov := map[int]*mat.Dense{}
+		for g, rows := range rowsOf {
+			ng := len(rows)
+			z := mat.New(ng, q)
+			rg := make([]float64, ng)
+			for k, i := range rows {
+				z.SetRow(k, xa.RawRow(i))
+				rg[k] = y[i] - mat.Dot(xa.RawRow(i), beta)
+			}
+			// V = ZΨZᵀ + σ²I
+			v := mat.Mul(mat.Mul(z, psi), z.T())
+			for i := 0; i < ng; i++ {
+				v.Set(i, i, v.At(i, i)+sigma2)
+			}
+			vInv, err := mat.Inverse(v)
+			if err != nil {
+				return fmt.Errorf("lmm: singular marginal covariance for group %d: %w", g, err)
+			}
+			pzt := mat.Mul(psi, z.T())
+			bg := mat.Mul(pzt, vInv).MulVec(rg)
+			bhat[g] = bg
+			// C = Ψ − ΨZᵀV⁻¹ZΨ
+			condCov[g] = mat.Sub(psi, mat.Mul(mat.Mul(pzt, vInv), pzt.T()))
+		}
+
+		// M step: β from residuals after subtracting random effects.
+		adj := make([]float64, r)
+		for i := 0; i < r; i++ {
+			adj[i] = y[i]
+			if bg, ok := bhat[groups[i]]; ok && groups[i] >= 0 {
+				adj[i] -= mat.Dot(xa.RawRow(i), bg)
+			}
+		}
+		newBeta, err := mat.SolveLeastSquares(xa, adj)
+		if err != nil {
+			return err
+		}
+
+		// σ² and Ψ updates.
+		sse := 0.0
+		for g, rows := range rowsOf {
+			for _, i := range rows {
+				e := y[i] - mat.Dot(xa.RawRow(i), newBeta) - mat.Dot(xa.RawRow(i), bhat[g])
+				sse += e * e
+			}
+			// Trace term: tr(Z C Zᵀ).
+			z := mat.New(len(rows), q)
+			for k, i := range rows {
+				z.SetRow(k, xa.RawRow(i))
+			}
+			zcz := mat.Mul(mat.Mul(z, condCov[g]), z.T())
+			for i := 0; i < len(rows); i++ {
+				sse += zcz.At(i, i)
+			}
+		}
+		// Rows outside any group contribute plain residuals.
+		for i, g := range groups {
+			if g < 0 {
+				e := y[i] - mat.Dot(xa.RawRow(i), newBeta)
+				sse += e * e
+			}
+		}
+		newSigma2 := sse / float64(r)
+		if newSigma2 < 1e-12 {
+			newSigma2 = 1e-12
+		}
+
+		newPsi := mat.New(q, q)
+		if len(rowsOf) > 0 {
+			for g := range rowsOf {
+				bg := bhat[g]
+				for a := 0; a < q; a++ {
+					for b := 0; b < q; b++ {
+						newPsi.Set(a, b, newPsi.At(a, b)+bg[a]*bg[b]+condCov[g].At(a, b))
+					}
+				}
+			}
+			newPsi = mat.Scale(1/float64(len(rowsOf)), newPsi)
+		}
+		// Keep Ψ from collapsing to exact singularity.
+		for i := 0; i < q; i++ {
+			newPsi.Set(i, i, newPsi.At(i, i)+1e-10)
+		}
+
+		delta := math.Abs(newSigma2 - sigma2)
+		for j := range beta {
+			delta += math.Abs(newBeta[j] - beta[j])
+		}
+		beta, sigma2, psi = newBeta, newSigma2, newPsi
+		if delta < tol {
+			break
+		}
+	}
+
+	m.beta = beta
+	m.sigma2 = sigma2
+	m.psi = psi
+	m.randEff = bhat
+	m.fitted = true
+	return nil
+}
+
+func residuals(x *mat.Dense, y, beta []float64) []float64 {
+	out := make([]float64, len(y))
+	for i := range y {
+		out[i] = y[i] - mat.Dot(x.RawRow(i), beta)
+	}
+	return out
+}
+
+func meanSq(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	if len(v) == 0 {
+		return 0
+	}
+	return s / float64(len(v))
+}
+
+// Predict returns the population-level (fixed effects only) prediction,
+// the right call for data whose group is unknown.
+func (m *LMM) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic(errors.New("lmm: model is not fitted"))
+	}
+	return mat.Dot(augment(x), m.beta)
+}
+
+// PredictGroup adds the posterior random effect of a known group; unknown
+// groups fall back to the population prediction.
+func (m *LMM) PredictGroup(x []float64, group int) float64 {
+	pred := m.Predict(x)
+	if bg, ok := m.randEff[group]; ok {
+		pred += mat.Dot(augment(x), bg)
+	}
+	return pred
+}
+
+// PredictInterval returns the population prediction with an approximate
+// 95% interval from the random-effect and residual variances — the shaded
+// band of Figure 8.
+func (m *LMM) PredictInterval(x []float64) (pred, lo, hi float64) {
+	pred = m.Predict(x)
+	xa := augment(x)
+	v := m.sigma2
+	pz := m.psi.MulVec(xa)
+	v += mat.Dot(xa, pz)
+	half := 1.96 * math.Sqrt(math.Max(v, 0))
+	return pred, pred - half, pred + half
+}
+
+// FixedEffects returns the fitted fixed-effect coefficients (intercept
+// first).
+func (m *LMM) FixedEffects() []float64 { return append([]float64(nil), m.beta...) }
+
+// ResidualVariance returns σ².
+func (m *LMM) ResidualVariance() float64 { return m.sigma2 }

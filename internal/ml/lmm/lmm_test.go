@@ -1,0 +1,121 @@
+package lmm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// groupedData draws y = 2 + 3x + b_g + ε with per-group intercept shifts.
+func groupedData(nPerGroup int, offsets []float64, seed uint64) (*mat.Dense, []float64, []int) {
+	rng := rand.New(rand.NewPCG(seed, seed*7+1))
+	n := nPerGroup * len(offsets)
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	groups := make([]int, n)
+	i := 0
+	for g, off := range offsets {
+		for k := 0; k < nPerGroup; k++ {
+			v := rng.Float64() * 10
+			x.Set(i, 0, v)
+			y[i] = 2 + 3*v + off + 0.1*rng.NormFloat64()
+			groups[i] = g
+			i++
+		}
+	}
+	return x, y, groups
+}
+
+func TestLMMRecoversFixedEffects(t *testing.T) {
+	x, y, groups := groupedData(30, []float64{-2, 0, 2}, 1)
+	m := &LMM{Groups: groups}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fe := m.FixedEffects()
+	if math.Abs(fe[1]-3) > 0.1 {
+		t.Fatalf("slope = %v, want ≈3", fe[1])
+	}
+	// Population intercept ≈ 2 (group offsets average to zero).
+	if math.Abs(fe[0]-2) > 0.7 {
+		t.Fatalf("intercept = %v, want ≈2", fe[0])
+	}
+}
+
+func TestLMMGroupPredictionBeatsPopulation(t *testing.T) {
+	x, y, groups := groupedData(30, []float64{-4, 0, 4}, 2)
+	m := &LMM{Groups: groups}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// For a point in group 0 (offset −4) the group-aware prediction must
+	// be closer than the population one.
+	probe := []float64{5}
+	truth := 2 + 3*5 - 4.0
+	pop := math.Abs(m.Predict(probe) - truth)
+	grp := math.Abs(m.PredictGroup(probe, 0) - truth)
+	if grp >= pop {
+		t.Fatalf("group prediction error %v should beat population %v", grp, pop)
+	}
+	// Unknown groups fall back to the population prediction.
+	if m.PredictGroup(probe, 99) != m.Predict(probe) {
+		t.Fatal("unknown group must fall back to fixed effects")
+	}
+}
+
+func TestLMMPredictInterval(t *testing.T) {
+	x, y, groups := groupedData(25, []float64{-3, 0, 3}, 3)
+	m := &LMM{Groups: groups}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, lo, hi := m.PredictInterval([]float64{5})
+	if !(lo < pred && pred < hi) {
+		t.Fatalf("interval (%v,%v,%v) malformed", lo, pred, hi)
+	}
+	// The group spread (±3) must be inside the 95% band.
+	if hi-lo < 3 {
+		t.Fatalf("interval width %v too narrow for the group spread", hi-lo)
+	}
+}
+
+func TestLMMWithoutGroupsDegeneratesToOLS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	n := 50
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		x.Set(i, 0, v)
+		y[i] = 1 + 2*v
+	}
+	m := &LMM{} // no groups: single cluster
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{4}); math.Abs(got-9) > 0.3 {
+		t.Fatalf("Predict(4) = %v, want ≈9", got)
+	}
+	if m.ResidualVariance() < 0 {
+		t.Fatal("negative residual variance")
+	}
+}
+
+func TestLMMErrors(t *testing.T) {
+	m := &LMM{}
+	if err := m.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	m2 := &LMM{Groups: []int{0}}
+	if err := m2.Fit(mat.NewFromRows([][]float64{{1}, {2}}), []float64{1, 2}); err == nil {
+		t.Fatal("group length mismatch must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfitted Predict must panic")
+		}
+	}()
+	(&LMM{}).Predict([]float64{1})
+}

@@ -1,0 +1,215 @@
+// Package mars implements Multivariate Adaptive Regression Splines
+// (Friedman 1991): a forward pass that greedily adds mirrored hinge pairs
+// max(0, x−t) / max(0, t−x), followed by a backward pruning pass scored by
+// generalized cross validation (GCV). The result is the piecewise-linear
+// fit the paper lists among its non-linear scaling-model strategies.
+package mars
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wpred/internal/mat"
+)
+
+// basis is one basis function: a product of hinge terms (depth 1 here —
+// additive MARS, which matches the univariate-SKU modeling task).
+type basis struct {
+	feature   int
+	knot      float64
+	mirrored  bool // true: max(0, knot−x); false: max(0, x−knot)
+	intercept bool
+}
+
+func (b basis) eval(x []float64) float64 {
+	if b.intercept {
+		return 1
+	}
+	v := x[b.feature] - b.knot
+	if b.mirrored {
+		v = -v
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MARS is the spline regressor.
+type MARS struct {
+	// MaxTerms bounds the forward pass (default 11 including the
+	// intercept).
+	MaxTerms int
+	// Penalty is the GCV cost per knot (default 3, Friedman's
+	// recommendation for additive models).
+	Penalty float64
+
+	terms  []basis
+	coef   []float64
+	fitted bool
+}
+
+func (m *MARS) params() (maxTerms int, penalty float64) {
+	maxTerms = m.MaxTerms
+	if maxTerms == 0 {
+		maxTerms = 11
+	}
+	penalty = m.Penalty
+	if penalty == 0 {
+		penalty = 3
+	}
+	return maxTerms, penalty
+}
+
+// Fit runs the forward and pruning passes.
+func (m *MARS) Fit(X *mat.Dense, y []float64) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("mars: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("mars: empty training set")
+	}
+	maxTerms, penalty := m.params()
+
+	terms := []basis{{intercept: true}}
+	// Candidate knots: distinct values per feature.
+	knots := make([][]float64, c)
+	for j := 0; j < c; j++ {
+		col := X.Col(j)
+		sort.Float64s(col)
+		uniq := col[:0]
+		for i, v := range col {
+			if i == 0 || v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		knots[j] = append([]float64(nil), uniq...)
+	}
+
+	// Forward pass: add the hinge pair that most reduces SSE.
+	for len(terms) < maxTerms {
+		bestSSE := math.Inf(1)
+		var bestPair []basis
+		for j := 0; j < c; j++ {
+			for _, t := range knots[j] {
+				cand := append(append([]basis(nil), terms...),
+					basis{feature: j, knot: t},
+					basis{feature: j, knot: t, mirrored: true})
+				_, sse, err := fitCoef(cand, X, y)
+				if err != nil {
+					continue
+				}
+				if sse < bestSSE-1e-12 {
+					bestSSE = sse
+					bestPair = cand
+				}
+			}
+		}
+		if bestPair == nil {
+			break
+		}
+		// Require meaningful improvement to avoid degenerate knots.
+		_, curSSE, err := fitCoef(terms, X, y)
+		if err == nil && bestSSE > curSSE*(1-1e-6) {
+			break
+		}
+		terms = bestPair
+	}
+
+	// Backward pruning by GCV.
+	bestTerms := terms
+	bestGCV := gcvScore(terms, X, y, penalty)
+	pruned := terms
+	for len(pruned) > 1 {
+		bestSub := []basis(nil)
+		bestSubGCV := math.Inf(1)
+		for drop := 1; drop < len(pruned); drop++ { // never drop the intercept
+			sub := make([]basis, 0, len(pruned)-1)
+			sub = append(sub, pruned[:drop]...)
+			sub = append(sub, pruned[drop+1:]...)
+			g := gcvScore(sub, X, y, penalty)
+			if g < bestSubGCV {
+				bestSubGCV = g
+				bestSub = sub
+			}
+		}
+		if bestSub == nil {
+			break
+		}
+		pruned = bestSub
+		if bestSubGCV < bestGCV {
+			bestGCV = bestSubGCV
+			bestTerms = pruned
+		}
+	}
+
+	coef, _, err := fitCoef(bestTerms, X, y)
+	if err != nil {
+		return err
+	}
+	m.terms = bestTerms
+	m.coef = coef
+	m.fitted = true
+	return nil
+}
+
+func designFor(terms []basis, X *mat.Dense) *mat.Dense {
+	r := X.Rows()
+	d := mat.New(r, len(terms))
+	for i := 0; i < r; i++ {
+		row := X.RawRow(i)
+		for k, t := range terms {
+			d.Set(i, k, t.eval(row))
+		}
+	}
+	return d
+}
+
+func fitCoef(terms []basis, X *mat.Dense, y []float64) (coef []float64, sse float64, err error) {
+	d := designFor(terms, X)
+	coef, err = mat.SolveLeastSquares(d, y)
+	if err != nil {
+		return nil, 0, err
+	}
+	pred := d.MulVec(coef)
+	for i, p := range pred {
+		diff := y[i] - p
+		sse += diff * diff
+	}
+	return coef, sse, nil
+}
+
+func gcvScore(terms []basis, X *mat.Dense, y []float64, penalty float64) float64 {
+	_, sse, err := fitCoef(terms, X, y)
+	if err != nil {
+		return math.Inf(1)
+	}
+	n := float64(len(y))
+	// Effective parameters: terms plus penalty per knot.
+	knotCount := float64(len(terms) - 1)
+	eff := float64(len(terms)) + penalty*knotCount/2
+	denom := 1 - eff/n
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return sse / n / (denom * denom)
+}
+
+// Predict evaluates the fitted spline at x.
+func (m *MARS) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic(errors.New("mars: model is not fitted"))
+	}
+	out := 0.0
+	for k, t := range m.terms {
+		out += m.coef[k] * t.eval(x)
+	}
+	return out
+}
+
+// NumTerms returns the number of basis functions after pruning (including
+// the intercept).
+func (m *MARS) NumTerms() int { return len(m.terms) }

@@ -1,0 +1,113 @@
+package mars
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+func TestMARSRecoversHinge(t *testing.T) {
+	// y = 2·max(0, x−5): MARS's native basis function.
+	n := 80
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i) / 8
+		x.Set(i, 0, v)
+		y[i] = 2 * math.Max(0, v-5)
+	}
+	m := &MARS{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 4, 6, 9} {
+		want := 2 * math.Max(0, v-5)
+		if got := m.Predict([]float64{v}); math.Abs(got-want) > 0.15 {
+			t.Fatalf("Predict(%v) = %v, want ≈%v", v, got, want)
+		}
+	}
+}
+
+func TestMARSLinearData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	n := 60
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		x.Set(i, 0, v)
+		y[i] = 4*v - 1
+	}
+	m := &MARS{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{5}); math.Abs(got-19) > 0.5 {
+		t.Fatalf("Predict(5) = %v, want ≈19", got)
+	}
+}
+
+func TestMARSPruningBoundsTerms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	n := 100
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		x.Set(i, 0, v)
+		y[i] = v + rng.NormFloat64() // linear plus noise: extra knots are spurious
+	}
+	m := &MARS{MaxTerms: 11}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTerms() > 11 {
+		t.Fatalf("terms = %d exceeds MaxTerms", m.NumTerms())
+	}
+	if m.NumTerms() < 1 {
+		t.Fatal("must keep at least the intercept")
+	}
+}
+
+func TestMARSMultiFeature(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	n := 150
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = math.Max(0, a-3) - 2*math.Max(0, 6-b)
+	}
+	m := &MARS{MaxTerms: 9}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	sse := 0.0
+	for i := 0; i < n; i++ {
+		d := m.Predict(x.RawRow(i)) - y[i]
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / float64(n)); rmse > 0.8 {
+		t.Fatalf("training RMSE = %v", rmse)
+	}
+}
+
+func TestMARSErrors(t *testing.T) {
+	m := &MARS{}
+	if err := m.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if err := m.Fit(mat.New(2, 1), []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfitted Predict must panic")
+		}
+	}()
+	(&MARS{}).Predict([]float64{1})
+}

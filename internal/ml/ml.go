@@ -1,0 +1,104 @@
+// Package ml defines the model interfaces shared by the feature-selection
+// strategies (which need estimators with feature importances) and the
+// resource-prediction component (which needs regressors). Concrete models
+// live in the subpackages linmodel, tree, ensemble, svm, mars, lmm, and
+// nnet — all implemented from scratch on the internal/mat kernel.
+package ml
+
+import (
+	"math"
+
+	"wpred/internal/mat"
+)
+
+// Regressor is a trainable single-output regression model.
+type Regressor interface {
+	// Fit trains the model on the design matrix X (rows are observations)
+	// and targets y.
+	Fit(X *mat.Dense, y []float64) error
+	// Predict returns the model output for one observation.
+	Predict(x []float64) float64
+}
+
+// Classifier is a trainable multi-class classification model.
+type Classifier interface {
+	// FitClasses trains on X with integer class labels y.
+	FitClasses(X *mat.Dense, y []int) error
+	// PredictClass returns the predicted class for one observation.
+	PredictClass(x []float64) int
+}
+
+// FeatureImporter is implemented by models that expose per-feature
+// importance scores (used by the embedded and wrapper selection
+// strategies).
+type FeatureImporter interface {
+	// FeatureImportances returns one non-negative score per input
+	// feature; higher means more important. Only valid after fitting.
+	FeatureImportances() []float64
+}
+
+// PredictBatch applies r to every row of X.
+func PredictBatch(r Regressor, X *mat.Dense) []float64 {
+	out := make([]float64, X.Rows())
+	for i := range out {
+		out[i] = r.Predict(X.RawRow(i))
+	}
+	return out
+}
+
+// Standardizer centers and scales feature columns to zero mean and unit
+// variance; constant columns are left centered with scale 1. Several
+// models standardize internally so callers can pass raw telemetry.
+type Standardizer struct {
+	Mean, Scale []float64
+}
+
+// FitStandardizer computes column statistics of X.
+func FitStandardizer(X *mat.Dense) *Standardizer {
+	r, c := X.Dims()
+	s := &Standardizer{Mean: make([]float64, c), Scale: make([]float64, c)}
+	for j := 0; j < c; j++ {
+		sum := 0.0
+		for i := 0; i < r; i++ {
+			sum += X.At(i, j)
+		}
+		m := sum / float64(r)
+		s.Mean[j] = m
+		v := 0.0
+		for i := 0; i < r; i++ {
+			d := X.At(i, j) - m
+			v += d * d
+		}
+		sc := 0.0
+		if r > 0 {
+			sc = v / float64(r)
+		}
+		if sc < 1e-24 {
+			s.Scale[j] = 1
+		} else {
+			s.Scale[j] = math.Sqrt(sc)
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of X.
+func (s *Standardizer) Transform(X *mat.Dense) *mat.Dense {
+	r, c := X.Dims()
+	out := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.Set(i, j, (X.At(i, j)-s.Mean[j])/s.Scale[j])
+		}
+	}
+	return out
+}
+
+// TransformRow standardizes a single observation.
+func (s *Standardizer) TransformRow(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.Mean[j]) / s.Scale[j]
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+func TestStandardizer(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{1, 100}, {2, 200}, {3, 300}})
+	s := FitStandardizer(x)
+	if s.Mean[0] != 2 || s.Mean[1] != 200 {
+		t.Fatalf("means = %v", s.Mean)
+	}
+	xs := s.Transform(x)
+	for j := 0; j < 2; j++ {
+		col := xs.Col(j)
+		mean, variance := 0.0, 0.0
+		for _, v := range col {
+			mean += v
+		}
+		mean /= 3
+		for _, v := range col {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= 3
+		if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("column %d not standardized: mean %v var %v", j, mean, variance)
+		}
+	}
+	row := s.TransformRow([]float64{2, 200})
+	if row[0] != 0 || row[1] != 0 {
+		t.Fatalf("TransformRow of the mean must be zero: %v", row)
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{5, 1}, {5, 2}})
+	s := FitStandardizer(x)
+	if s.Scale[0] != 1 {
+		t.Fatalf("constant column scale = %v, want 1", s.Scale[0])
+	}
+	xs := s.Transform(x)
+	if xs.At(0, 0) != 0 || xs.At(1, 0) != 0 {
+		t.Fatal("constant column must center to zero")
+	}
+}
+
+type constReg struct{ v float64 }
+
+func (c constReg) Fit(*mat.Dense, []float64) error { return nil }
+func (c constReg) Predict([]float64) float64       { return c.v }
+
+func TestPredictBatch(t *testing.T) {
+	x := mat.New(4, 2)
+	got := PredictBatch(constReg{v: 3}, x)
+	if len(got) != 4 {
+		t.Fatalf("batch length = %d", len(got))
+	}
+	for _, v := range got {
+		if v != 3 {
+			t.Fatalf("batch value = %v", v)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package nnet implements a multi-layer perceptron regressor trained with
+// Adam, matching the paper's setup (a 6-layer Scikit-Learn MLPRegressor).
+// The paper's Table 6 shows it performing far worse than the simple models
+// on the tiny scaling datasets — reproducing that failure mode requires a
+// faithful implementation, not a better-tuned one.
+package nnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml"
+)
+
+// MLP is a fully-connected feed-forward regressor with ReLU activations.
+type MLP struct {
+	// Hidden lists the hidden-layer widths; nil selects six layers of 50
+	// units (the paper specifies "6 layers"; the width keeps training
+	// tractable on the study's tiny datasets).
+	Hidden []int
+	// Epochs of full-batch Adam (default 200, Scikit-Learn's max_iter).
+	Epochs int
+	// LearningRate for Adam (default 1e-3).
+	LearningRate float64
+	// Standardize scales inputs and target to zero mean / unit variance
+	// before training. Scikit-Learn's MLPRegressor does NOT do this, and
+	// the paper's NNet rows inherit the resulting failure on raw
+	// throughput targets — so the default here is false for fidelity.
+	// Set it to true when you actually want a usable network.
+	Standardize bool
+	// Seed controls weight initialization.
+	Seed uint64
+
+	weights []*mat.Dense // per layer: out×in
+	biases  [][]float64
+	std     *ml.Standardizer
+	yMean   float64
+	yScale  float64
+	fitted  bool
+}
+
+func (m *MLP) params() (hidden []int, epochs int, lr float64) {
+	hidden = m.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{50, 50, 50, 50, 50, 50}
+	}
+	epochs = m.Epochs
+	if epochs == 0 {
+		epochs = 200
+	}
+	lr = m.LearningRate
+	if lr == 0 {
+		lr = 1e-3
+	}
+	return hidden, epochs, lr
+}
+
+// Fit trains the network with full-batch Adam on standardized inputs and
+// target.
+func (m *MLP) Fit(X *mat.Dense, y []float64) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("nnet: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("nnet: empty training set")
+	}
+	hidden, epochs, lr := m.params()
+
+	var xs *mat.Dense
+	ys := make([]float64, r)
+	if m.Standardize {
+		m.std = ml.FitStandardizer(X)
+		xs = m.std.Transform(X)
+		m.yMean, m.yScale = meanStd(y)
+		for i, v := range y {
+			ys[i] = (v - m.yMean) / m.yScale
+		}
+	} else {
+		m.std = nil
+		m.yMean, m.yScale = 0, 1
+		xs = X.Clone()
+		copy(ys, y)
+	}
+
+	sizes := append(append([]int{c}, hidden...), 1)
+	nLayers := len(sizes) - 1
+	rng := rand.New(rand.NewPCG(m.Seed, m.Seed^0x5eed))
+	m.weights = make([]*mat.Dense, nLayers)
+	m.biases = make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := mat.New(out, in)
+		scale := math.Sqrt(2 / float64(in)) // He initialization for ReLU
+		for i := 0; i < out; i++ {
+			for j := 0; j < in; j++ {
+				w.Set(i, j, rng.NormFloat64()*scale)
+			}
+		}
+		m.weights[l] = w
+		m.biases[l] = make([]float64, out)
+	}
+
+	// Adam state.
+	mw := make([]*mat.Dense, nLayers)
+	vw := make([]*mat.Dense, nLayers)
+	mb := make([][]float64, nLayers)
+	vb := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		o, in := m.weights[l].Dims()
+		mw[l], vw[l] = mat.New(o, in), mat.New(o, in)
+		mb[l], vb[l] = make([]float64, o), make([]float64, o)
+	}
+	const beta1, beta2, epsAdam = 0.9, 0.999, 1e-8
+
+	// Per-sample activation and pre-activation buffers, allocated once:
+	// the training loop below reuses them every epoch.
+	acts := make([][][]float64, r) // per sample, per layer activation
+	pre := make([][][]float64, r)  // pre-activation values
+	for i := range acts {
+		acts[i] = make([][]float64, nLayers+1)
+		pre[i] = make([][]float64, nLayers)
+		acts[i][0] = xs.RawRow(i)
+		for l := 0; l < nLayers; l++ {
+			pre[i][l] = make([]float64, sizes[l+1])
+			acts[i][l+1] = make([]float64, sizes[l+1])
+		}
+	}
+	// Back-propagation delta buffers, one per layer width.
+	deltas := make([][]float64, nLayers+1)
+	for l := 0; l <= nLayers; l++ {
+		deltas[l] = make([]float64, sizes[l])
+	}
+
+	gw := make([]*mat.Dense, nLayers)
+	gb := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		o, in := m.weights[l].Dims()
+		gw[l] = mat.New(o, in)
+		gb[l] = make([]float64, o)
+	}
+
+	step := 0
+	for epoch := 0; epoch < epochs; epoch++ {
+		// Zero gradients.
+		for l := 0; l < nLayers; l++ {
+			d := gw[l].Data()
+			for i := range d {
+				d[i] = 0
+			}
+			for i := range gb[l] {
+				gb[l][i] = 0
+			}
+		}
+		// Forward + backward, full batch.
+		for i := 0; i < r; i++ {
+			a := acts[i][0]
+			for l := 0; l < nLayers; l++ {
+				z := pre[i][l]
+				for k := range z {
+					row := m.weights[l].RawRow(k)
+					s := m.biases[l][k]
+					for j, av := range a {
+						s += row[j] * av
+					}
+					z[k] = s
+				}
+				out := acts[i][l+1]
+				if l < nLayers-1 {
+					for k, v := range z {
+						if v > 0 {
+							out[k] = v
+						} else {
+							out[k] = 0
+						}
+					}
+				} else {
+					copy(out, z) // linear output
+				}
+				a = out
+			}
+			diff := acts[i][nLayers][0] - ys[i]
+			// Backward.
+			delta := deltas[nLayers][:1]
+			delta[0] = 2 * diff / float64(r)
+			for l := nLayers - 1; l >= 0; l-- {
+				aPrev := acts[i][l]
+				g := gw[l]
+				for o := range delta {
+					row := g.RawRow(o)
+					d := delta[o]
+					for j := range aPrev {
+						row[j] += d * aPrev[j]
+					}
+					gb[l][o] += d
+				}
+				if l == 0 {
+					break
+				}
+				// Propagate through Wᵀ and the ReLU mask.
+				prevDelta := deltas[l]
+				for j := range prevDelta {
+					prevDelta[j] = 0
+				}
+				for o := range delta {
+					row := m.weights[l].RawRow(o)
+					d := delta[o]
+					for j := range prevDelta {
+						prevDelta[j] += d * row[j]
+					}
+				}
+				for j := range prevDelta {
+					if pre[i][l-1][j] <= 0 {
+						prevDelta[j] = 0
+					}
+				}
+				delta = prevDelta
+			}
+		}
+		// Adam update.
+		step++
+		bc1 := 1 - math.Pow(beta1, float64(step))
+		bc2 := 1 - math.Pow(beta2, float64(step))
+		for l := 0; l < nLayers; l++ {
+			wd, gd := m.weights[l].Data(), gw[l].Data()
+			md, vd := mw[l].Data(), vw[l].Data()
+			for k := range wd {
+				md[k] = beta1*md[k] + (1-beta1)*gd[k]
+				vd[k] = beta2*vd[k] + (1-beta2)*gd[k]*gd[k]
+				wd[k] -= lr * (md[k] / bc1) / (math.Sqrt(vd[k]/bc2) + epsAdam)
+			}
+			for k := range m.biases[l] {
+				mb[l][k] = beta1*mb[l][k] + (1-beta1)*gb[l][k]
+				vb[l][k] = beta2*vb[l][k] + (1-beta2)*gb[l][k]*gb[l][k]
+				m.biases[l][k] -= lr * (mb[l][k] / bc1) / (math.Sqrt(vb[l][k]/bc2) + epsAdam)
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+func meanStd(v []float64) (mean, std float64) {
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(v)))
+	if std < 1e-12 {
+		std = 1
+	}
+	return mean, std
+}
+
+// Predict runs a forward pass for x.
+func (m *MLP) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic(errors.New("nnet: model is not fitted"))
+	}
+	a := append([]float64(nil), x...)
+	if m.std != nil {
+		a = m.std.TransformRow(x)
+	}
+	n := len(m.weights)
+	for l := 0; l < n; l++ {
+		z := m.weights[l].MulVec(a)
+		for k := range z {
+			z[k] += m.biases[l][k]
+		}
+		if l < n-1 {
+			for k := range z {
+				if z[k] < 0 {
+					z[k] = 0
+				}
+			}
+		}
+		a = z
+	}
+	return a[0]*m.yScale + m.yMean
+}

@@ -1,0 +1,110 @@
+package nnet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+func TestMLPStandardizedFitsLinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 80
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		x.Set(i, 0, v)
+		y[i] = 3*v + 5
+	}
+	m := &MLP{Standardize: true, Epochs: 600, Hidden: []int{16, 16}, Seed: 3}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	sse := 0.0
+	for i := 0; i < n; i++ {
+		d := m.Predict(x.RawRow(i)) - y[i]
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / float64(n)); rmse > 2 {
+		t.Fatalf("standardized MLP RMSE = %v, want < 2", rmse)
+	}
+}
+
+func TestMLPRawScaleStaysFinite(t *testing.T) {
+	// The default (Scikit-Learn-faithful) configuration trains on raw
+	// scales. Even on throughput-magnitude data the forward/backward pass
+	// must stay numerically sane — the degradation the paper reports is a
+	// quality issue, not a NaN blow-up.
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 30
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 300 + rng.Float64()*80
+		x.Set(i, 0, v)
+		y[i] = 1.4*v + 5*rng.NormFloat64()
+	}
+	raw := &MLP{Seed: 7}
+	if err := raw.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		p := raw.Predict(x.RawRow(i))
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("raw-scale prediction %d = %v", i, p)
+		}
+	}
+}
+
+func TestMLPDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	n := 40
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		y[i] = x.At(i, 0) - x.At(i, 1)
+	}
+	a := &MLP{Standardize: true, Seed: 11, Epochs: 50}
+	b := &MLP{Standardize: true, Seed: 11, Epochs: 50}
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -0.2}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("same seed must reproduce the network")
+	}
+}
+
+func TestMLPDefaultsSixLayers(t *testing.T) {
+	m := &MLP{}
+	hidden, epochs, lr := m.params()
+	if len(hidden) != 6 {
+		t.Fatalf("default hidden layers = %d, want 6 (the paper's configuration)", len(hidden))
+	}
+	if epochs <= 0 || lr <= 0 {
+		t.Fatal("defaults must be positive")
+	}
+}
+
+func TestMLPErrors(t *testing.T) {
+	m := &MLP{}
+	if err := m.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if err := m.Fit(mat.New(2, 1), []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfitted Predict must panic")
+		}
+	}()
+	(&MLP{}).Predict([]float64{1})
+}

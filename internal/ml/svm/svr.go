@@ -1,0 +1,243 @@
+// Package svm implements ε-insensitive support vector regression (SVR)
+// with linear and RBF kernels. The dual problem is solved by projected
+// gradient ascent with the equality constraint handled by gradient
+// centering — simple, dependency-free, and robust for the small training
+// sets (tens of points) the scaling models of §6 are built from.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml"
+)
+
+// Kernel identifies the kernel function.
+type Kernel int
+
+const (
+	// RBF is the Gaussian kernel exp(−γ‖a−b‖²), the default.
+	RBF Kernel = iota
+	// Linear is the inner-product kernel.
+	Linear
+)
+
+// SVR is an ε-insensitive support vector regressor.
+type SVR struct {
+	// Kernel selects RBF (default) or Linear.
+	Kernel Kernel
+	// C is the box constraint (default 10).
+	C float64
+	// Epsilon is the insensitivity tube half-width on the standardized
+	// target (default 0.05).
+	Epsilon float64
+	// Gamma is the RBF width; 0 selects 1/(nFeatures·var(X)) as
+	// scikit-learn's "scale" heuristic does.
+	Gamma float64
+	// MaxIter bounds the projected-gradient iterations (default 500).
+	MaxIter int
+
+	std    *ml.Standardizer
+	sv     *mat.Dense // standardized training rows
+	beta   []float64  // α − α* per training row
+	b      float64
+	yMean  float64
+	yScale float64
+	gamma  float64
+	fitted bool
+}
+
+func (m *SVR) params() (c, eps float64, iters int) {
+	c = m.C
+	if c == 0 {
+		c = 10
+	}
+	eps = m.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	iters = m.MaxIter
+	if iters == 0 {
+		iters = 500
+	}
+	return c, eps, iters
+}
+
+func (m *SVR) kernel(a, b []float64) float64 {
+	switch m.Kernel {
+	case Linear:
+		return mat.Dot(a, b)
+	default:
+		d := 0.0
+		for i := range a {
+			diff := a[i] - b[i]
+			d += diff * diff
+		}
+		return math.Exp(-m.gamma * d)
+	}
+}
+
+// Fit solves the SVR dual on standardized features and target.
+func (m *SVR) Fit(X *mat.Dense, y []float64) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("svm: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("svm: empty training set")
+	}
+	boxC, eps, iters := m.params()
+
+	m.std = ml.FitStandardizer(X)
+	xs := m.std.Transform(X)
+
+	// Standardize the target so C and ε are scale-free.
+	m.yMean = 0
+	for _, v := range y {
+		m.yMean += v
+	}
+	m.yMean /= float64(r)
+	variance := 0.0
+	for _, v := range y {
+		d := v - m.yMean
+		variance += d * d
+	}
+	m.yScale = math.Sqrt(variance / float64(r))
+	if m.yScale < 1e-12 {
+		m.yScale = 1
+	}
+	ys := make([]float64, r)
+	for i, v := range y {
+		ys[i] = (v - m.yMean) / m.yScale
+	}
+
+	// Gamma heuristic: 1/(nFeatures · mean feature variance) on the
+	// standardized data, i.e. 1/nFeatures.
+	m.gamma = m.Gamma
+	if m.gamma == 0 {
+		m.gamma = 1 / float64(c)
+	}
+
+	// Precompute the kernel matrix.
+	K := mat.New(r, r)
+	for i := 0; i < r; i++ {
+		for j := i; j < r; j++ {
+			k := m.kernel(xs.RawRow(i), xs.RawRow(j))
+			K.Set(i, j, k)
+			K.Set(j, i, k)
+		}
+	}
+
+	// Dual variables β_i = α_i − α*_i ∈ [−C, C]. Because the target is
+	// centered (standardized), the bias is handled outside the
+	// optimization and the equality constraint Σβ = 0 can be dropped,
+	// leaving a box-constrained QP:
+	//
+	//	min ½βᵀKβ − yᵀβ + ε‖β‖₁   s.t. |β_i| ≤ C
+	//
+	// solved exactly one coordinate at a time: the 1-D subproblem has the
+	// closed form β_i = clip(soft(y_i − s_i, ε)/K_ii, ±C) with s_i the
+	// contribution of the other coordinates.
+	beta := make([]float64, r)
+	kb := make([]float64, r) // kb = K·β, maintained incrementally
+	for it := 0; it < iters; it++ {
+		maxStep := 0.0
+		for i := 0; i < r; i++ {
+			kii := K.At(i, i)
+			if kii < 1e-12 {
+				continue
+			}
+			si := kb[i] - kii*beta[i]
+			nb := softThreshold(ys[i]-si, eps) / kii
+			if nb > boxC {
+				nb = boxC
+			}
+			if nb < -boxC {
+				nb = -boxC
+			}
+			if d := nb - beta[i]; d != 0 {
+				row := K.RawRow(i)
+				for j := 0; j < r; j++ {
+					kb[j] += d * row[j]
+				}
+				beta[i] = nb
+				if ad := math.Abs(d); ad > maxStep {
+					maxStep = ad
+				}
+			}
+		}
+		if maxStep < 1e-9 {
+			break
+		}
+	}
+
+	// Bias from points strictly inside the box (free support vectors).
+	m.b = 0
+	count := 0
+	for i := 0; i < r; i++ {
+		if math.Abs(beta[i]) > 1e-8 && math.Abs(beta[i]) < boxC-1e-8 {
+			kb := mat.Dot(K.RawRow(i), beta)
+			e := eps
+			if beta[i] < 0 {
+				e = -eps
+			}
+			m.b += ys[i] - kb - e
+			count++
+		}
+	}
+	if count > 0 {
+		m.b /= float64(count)
+	} else {
+		// Fall back to mean residual.
+		for i := 0; i < r; i++ {
+			m.b += ys[i] - mat.Dot(K.RawRow(i), beta)
+		}
+		m.b /= float64(r)
+	}
+
+	m.sv = xs
+	m.beta = beta
+	m.fitted = true
+	return nil
+}
+
+func softThreshold(z, gamma float64) float64 {
+	switch {
+	case z > gamma:
+		return z - gamma
+	case z < -gamma:
+		return z + gamma
+	default:
+		return 0
+	}
+}
+
+// Predict evaluates the fitted regressor at x.
+func (m *SVR) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic(errors.New("svm: model is not fitted"))
+	}
+	xsr := m.std.TransformRow(x)
+	out := m.b
+	for i, b := range m.beta {
+		if b == 0 {
+			continue
+		}
+		out += b * m.kernel(m.sv.RawRow(i), xsr)
+	}
+	return out*m.yScale + m.yMean
+}
+
+// NumSupportVectors reports how many training points carry non-zero dual
+// weight.
+func (m *SVR) NumSupportVectors() int {
+	n := 0
+	for _, b := range m.beta {
+		if math.Abs(b) > 1e-8 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package svm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+func TestSVRLinearRecoversLine(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 60
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		x.Set(i, 0, v)
+		y[i] = 3*v + 7 + 0.05*rng.NormFloat64()
+	}
+	m := &SVR{Kernel: Linear}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{2, 5, 8} {
+		want := 3*v + 7
+		if got := m.Predict([]float64{v}); math.Abs(got-want) > 0.5 {
+			t.Fatalf("Predict(%v) = %v, want ≈%v", v, got, want)
+		}
+	}
+}
+
+func TestSVRRBFFitsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 120
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 6
+		x.Set(i, 0, v)
+		y[i] = math.Sin(v) * 4
+	}
+	m := &SVR{C: 50, Epsilon: 0.01}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	sse := 0.0
+	for i := 0; i < n; i++ {
+		d := m.Predict(x.RawRow(i)) - y[i]
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / float64(n)); rmse > 0.4 {
+		t.Fatalf("RBF training RMSE = %v, want < 0.4", rmse)
+	}
+}
+
+func TestSVREpsilonSparsity(t *testing.T) {
+	// Epsilon is measured on the standardized target (σ units): a tube of
+	// ±3σ swallows essentially every point, so almost nothing becomes a
+	// support vector and the prediction collapses to the mean.
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 50
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		y[i] = 100 + 0.01*rng.NormFloat64()
+	}
+	m := &SVR{Epsilon: 3.0}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if nsv := m.NumSupportVectors(); nsv > 5 {
+		t.Fatalf("±3σ-tube SVR has %d support vectors, want ≤5", nsv)
+	}
+	if got := m.Predict([]float64{0.5}); math.Abs(got-100) > 1 {
+		t.Fatalf("Predict = %v, want ≈100", got)
+	}
+}
+
+func TestSVRScaleInvariance(t *testing.T) {
+	// Internal standardization: the fit quality must not depend on the
+	// raw scale of x or y.
+	rng := rand.New(rand.NewPCG(7, 8))
+	n := 60
+	xs := mat.New(n, 1)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		xs.Set(i, 0, v*1e6)
+		ys[i] = v*5e4 + 1e5
+	}
+	m := &SVR{}
+	if err := m.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{0.5e6})
+	want := 0.5*5e4 + 1e5
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("Predict = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSVRErrors(t *testing.T) {
+	m := &SVR{}
+	if err := m.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if err := m.Fit(mat.New(2, 1), []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfitted Predict must panic")
+		}
+	}()
+	(&SVR{}).Predict([]float64{1})
+}

@@ -1,0 +1,403 @@
+// Package tree implements CART decision trees: a variance-reducing
+// regressor and a Gini-impurity classifier, both exposing impurity-based
+// feature importances. They are the weak learners of the ensemble package
+// and the "DecTree" estimator of the wrapper feature-selection strategies.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wpred/internal/mat"
+)
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right *node
+	value       float64 // regression prediction or encoded class
+	samples     int
+}
+
+// Params configures tree growth.
+type Params struct {
+	// MaxDepth limits tree depth (default 8).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples per leaf (default 1).
+	MinSamplesLeaf int
+	// MinSamplesSplit is the minimum samples required to split (default 2).
+	MinSamplesSplit int
+	// MaxFeatures, if positive, limits the features examined per split
+	// (set by random forests); the features are chosen by the FeatureSel
+	// callback.
+	MaxFeatures int
+	// FeatureSel returns the candidate feature indices for one split; nil
+	// means all features. Random forests plug their sampler in here.
+	FeatureSel func(n int) []int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 8
+	}
+	if p.MinSamplesLeaf == 0 {
+		p.MinSamplesLeaf = 1
+	}
+	if p.MinSamplesSplit == 0 {
+		p.MinSamplesSplit = 2
+	}
+	return p
+}
+
+// Regressor is a CART regression tree minimizing within-node variance.
+type Regressor struct {
+	Params
+
+	root        *node
+	importances []float64
+	fitted      bool
+}
+
+// Fit grows the tree on X, y.
+func (t *Regressor) Fit(X *mat.Dense, y []float64) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("tree: %d rows but %d targets", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("tree: empty training set")
+	}
+	p := t.Params.withDefaults()
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.importances = make([]float64, c)
+	t.root = t.grow(X, y, idx, 0, p)
+	normalize(t.importances)
+	t.fitted = true
+	return nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sse(y []float64, idx []int) float64 {
+	m := mean(y, idx)
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func (t *Regressor) grow(X *mat.Dense, y []float64, idx []int, depth int, p Params) *node {
+	n := &node{feature: -1, value: mean(y, idx), samples: len(idx)}
+	if depth >= p.MaxDepth || len(idx) < p.MinSamplesSplit {
+		return n
+	}
+	parentSSE := sse(y, idx)
+	if parentSSE < 1e-12 {
+		return n
+	}
+	feat, thr, gain := bestSplitReg(X, y, idx, p)
+	if feat < 0 || gain <= 1e-12 {
+		return n
+	}
+	left, right := partition(X, idx, feat, thr)
+	if len(left) < p.MinSamplesLeaf || len(right) < p.MinSamplesLeaf {
+		return n
+	}
+	t.importances[feat] += gain
+	n.feature = feat
+	n.threshold = thr
+	n.left = t.grow(X, y, left, depth+1, p)
+	n.right = t.grow(X, y, right, depth+1, p)
+	return n
+}
+
+// bestSplitReg scans candidate features for the split maximizing SSE
+// reduction, using sorted prefix sums per feature.
+func bestSplitReg(X *mat.Dense, y []float64, idx []int, p Params) (feat int, thr, gain float64) {
+	feat = -1
+	cands := candidateFeatures(X.Cols(), p)
+	// Parent statistics.
+	var sumAll, sqAll float64
+	for _, i := range idx {
+		sumAll += y[i]
+		sqAll += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	parentSSE := sqAll - sumAll*sumAll/n
+
+	type pair struct{ x, y float64 }
+	buf := make([]pair, len(idx))
+	for _, f := range cands {
+		for k, i := range idx {
+			buf[k] = pair{X.At(i, f), y[i]}
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].x < buf[b].x })
+		var sumL, sqL float64
+		for k := 0; k < len(buf)-1; k++ {
+			sumL += buf[k].y
+			sqL += buf[k].y * buf[k].y
+			if buf[k].x == buf[k+1].x {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < p.MinSamplesLeaf || int(nr) < p.MinSamplesLeaf {
+				continue
+			}
+			sumR := sumAll - sumL
+			sqR := sqAll - sqL
+			sseL := sqL - sumL*sumL/nl
+			sseR := sqR - sumR*sumR/nr
+			g := parentSSE - sseL - sseR
+			if g > gain {
+				gain = g
+				feat = f
+				thr = (buf[k].x + buf[k+1].x) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+func partition(X *mat.Dense, idx []int, feat int, thr float64) (left, right []int) {
+	for _, i := range idx {
+		if X.At(i, feat) <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+func candidateFeatures(c int, p Params) []int {
+	if p.FeatureSel != nil {
+		return p.FeatureSel(c)
+	}
+	out := make([]int, c)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Predict walks the tree for x.
+func (t *Regressor) Predict(x []float64) float64 {
+	if !t.fitted {
+		panic(errors.New("tree: model is not fitted"))
+	}
+	n := t.root
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// FeatureImportances returns normalized impurity-reduction importances.
+func (t *Regressor) FeatureImportances() []float64 {
+	return append([]float64(nil), t.importances...)
+}
+
+// Depth returns the depth of the fitted tree (0 for a stump).
+func (t *Regressor) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func normalize(v []float64) {
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	if total <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= total
+	}
+}
+
+// Classifier is a CART classification tree using Gini impurity.
+type Classifier struct {
+	Params
+
+	root        *node
+	nClasses    int
+	importances []float64
+	fitted      bool
+}
+
+// FitClasses grows the classification tree.
+func (t *Classifier) FitClasses(X *mat.Dense, y []int) error {
+	r, c := X.Dims()
+	if r != len(y) {
+		return fmt.Errorf("tree: %d rows but %d labels", r, len(y))
+	}
+	if r == 0 {
+		return errors.New("tree: empty training set")
+	}
+	t.nClasses = 0
+	for _, v := range y {
+		if v+1 > t.nClasses {
+			t.nClasses = v + 1
+		}
+	}
+	p := t.Params.withDefaults()
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	t.importances = make([]float64, c)
+	t.root = t.growClf(X, y, idx, 0, p)
+	normalize(t.importances)
+	t.fitted = true
+	return nil
+}
+
+func majority(y []int, idx []int, k int) int {
+	counts := make([]int, k)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestC := 0, -1
+	for cls, c := range counts {
+		if c > bestC {
+			best, bestC = cls, c
+		}
+	}
+	return best
+}
+
+func gini(counts []int, n float64) float64 {
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}
+
+func (t *Classifier) growClf(X *mat.Dense, y []int, idx []int, d int, p Params) *node {
+	n := &node{feature: -1, value: float64(majority(y, idx, t.nClasses)), samples: len(idx)}
+	if d >= p.MaxDepth || len(idx) < p.MinSamplesSplit {
+		return n
+	}
+	pure := true
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			pure = false
+			break
+		}
+	}
+	if pure {
+		return n
+	}
+	feat, thr, gain := t.bestSplitClf(X, y, idx, p)
+	if feat < 0 || gain <= 1e-12 {
+		return n
+	}
+	left, right := partition(X, idx, feat, thr)
+	if len(left) < p.MinSamplesLeaf || len(right) < p.MinSamplesLeaf {
+		return n
+	}
+	t.importances[feat] += gain * float64(len(idx))
+	n.feature = feat
+	n.threshold = thr
+	n.left = t.growClf(X, y, left, d+1, p)
+	n.right = t.growClf(X, y, right, d+1, p)
+	return n
+}
+
+func (t *Classifier) bestSplitClf(X *mat.Dense, y []int, idx []int, p Params) (feat int, thr, gain float64) {
+	feat = -1
+	cands := candidateFeatures(X.Cols(), p)
+	n := float64(len(idx))
+	parentCounts := make([]int, t.nClasses)
+	for _, i := range idx {
+		parentCounts[y[i]]++
+	}
+	parentGini := gini(parentCounts, n)
+
+	type pair struct {
+		x   float64
+		cls int
+	}
+	buf := make([]pair, len(idx))
+	leftCounts := make([]int, t.nClasses)
+	rightCounts := make([]int, t.nClasses)
+	for _, f := range cands {
+		for k, i := range idx {
+			buf[k] = pair{X.At(i, f), y[i]}
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].x < buf[b].x })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		copy(rightCounts, parentCounts)
+		for k := 0; k < len(buf)-1; k++ {
+			leftCounts[buf[k].cls]++
+			rightCounts[buf[k].cls]--
+			if buf[k].x == buf[k+1].x {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < p.MinSamplesLeaf || int(nr) < p.MinSamplesLeaf {
+				continue
+			}
+			g := parentGini - nl/n*gini(leftCounts, nl) - nr/n*gini(rightCounts, nr)
+			if g > gain {
+				gain = g
+				feat = f
+				thr = (buf[k].x + buf[k+1].x) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+// PredictClass walks the tree for x.
+func (t *Classifier) PredictClass(x []float64) int {
+	if !t.fitted {
+		panic(errors.New("tree: model is not fitted"))
+	}
+	n := t.root
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return int(n.value)
+}
+
+// FeatureImportances returns normalized Gini-based importances.
+func (t *Classifier) FeatureImportances() []float64 {
+	return append([]float64(nil), t.importances...)
+}

@@ -1,0 +1,175 @@
+package tree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+func TestRegressorStepFunction(t *testing.T) {
+	// y = 10 for x<0, 20 for x≥0: one split suffices.
+	x := mat.NewFromRows([][]float64{{-3}, {-2}, {-1}, {1}, {2}, {3}})
+	y := []float64{10, 10, 10, 20, 20, 20}
+	tr := &Regressor{}
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{-5}); got != 10 {
+		t.Fatalf("Predict(-5) = %v, want 10", got)
+	}
+	if got := tr.Predict([]float64{5}); got != 20 {
+		t.Fatalf("Predict(5) = %v, want 20", got)
+	}
+	if d := tr.Depth(); d != 1 {
+		t.Fatalf("Depth = %d, want 1", d)
+	}
+}
+
+func TestRegressorConstantTarget(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{1}, {2}, {3}})
+	tr := &Regressor{}
+	if err := tr.Fit(x, []float64{7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Fatal("constant target must yield a leaf")
+	}
+	if got := tr.Predict([]float64{9}); got != 7 {
+		t.Fatalf("Predict = %v, want 7", got)
+	}
+}
+
+func TestRegressorDepthLimit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 200
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 10
+		x.Set(i, 0, v)
+		y[i] = math.Sin(v) * 5
+	}
+	tr := &Regressor{Params: Params{MaxDepth: 2}}
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 2 {
+		t.Fatalf("Depth = %d exceeds MaxDepth 2", d)
+	}
+}
+
+func TestRegressorImportances(t *testing.T) {
+	// Only feature 1 matters.
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 150
+	x := mat.New(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 5 * x.At(i, 1)
+	}
+	tr := &Regressor{}
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportances()
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances must sum to 1, got %v", sum)
+	}
+	if imp[1] < imp[0] || imp[1] < imp[2] {
+		t.Fatalf("feature 1 must dominate: %v", imp)
+	}
+}
+
+func TestRegressorMinSamplesLeaf(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{1}, {2}, {3}, {4}})
+	y := []float64{1, 2, 3, 4}
+	tr := &Regressor{Params: Params{MinSamplesLeaf: 2}}
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// With min leaf 2 and 4 samples, at most one split.
+	if tr.Depth() > 1 {
+		t.Fatalf("Depth = %d, want ≤1", tr.Depth())
+	}
+}
+
+func TestRegressorErrors(t *testing.T) {
+	tr := &Regressor{}
+	if err := tr.Fit(mat.New(0, 1), nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if err := tr.Fit(mat.New(2, 1), []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfitted Predict must panic")
+		}
+	}()
+	(&Regressor{}).Predict([]float64{1})
+}
+
+func TestClassifierSeparable(t *testing.T) {
+	var rows [][]float64
+	var y []int
+	rng := rand.New(rand.NewPCG(5, 6))
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < 30; i++ {
+			rows = append(rows, []float64{float64(cls) + rng.NormFloat64()*0.1, rng.NormFloat64()})
+			y = append(y, cls)
+		}
+	}
+	c := &Classifier{}
+	if err := c.FitClasses(mat.NewFromRows(rows), y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, r := range rows {
+		if c.PredictClass(r) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(y)); acc < 0.98 {
+		t.Fatalf("training accuracy = %v", acc)
+	}
+	imp := c.FeatureImportances()
+	if imp[0] <= imp[1] {
+		t.Fatalf("discriminative feature must dominate: %v", imp)
+	}
+}
+
+func TestClassifierPureNode(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{1}, {2}, {3}})
+	c := &Classifier{}
+	if err := c.FitClasses(x, []int{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PredictClass([]float64{10}); got != 1 {
+		t.Fatalf("pure-class prediction = %d", got)
+	}
+}
+
+func TestClassifierNestedIntervals(t *testing.T) {
+	// class 0 for x < 0.3 or x ≥ 0.7, class 1 in between: needs two
+	// splits on the same feature.
+	rows := [][]float64{{0.1}, {0.15}, {0.2}, {0.4}, {0.5}, {0.55}, {0.6}, {0.8}, {0.9}, {0.95}}
+	y := []int{0, 0, 0, 1, 1, 1, 1, 0, 0, 0}
+	c := &Classifier{}
+	if err := c.FitClasses(mat.NewFromRows(rows), y); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if c.PredictClass(r) != y[i] {
+			t.Fatalf("row %d (x=%v) misclassified", i, r[0])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package roofline implements the Roofline-style performance model of
+// Appendix B: piecewise-linear throughput ceilings (compute-bound slope,
+// memory-bound plateau) and the combination of a fitted linear model with
+// those ceilings, which fixes linear extrapolation past the hardware knee.
+// A Ridgeline-style multi-resource extension generalizes the ceiling to
+// several resource dimensions.
+package roofline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml"
+)
+
+// Model is a single-resource roofline: throughput grows linearly with the
+// scaled resource (CPUs) at SlopePerCPU until the memory-bound ceiling
+// Ceiling caps it.
+type Model struct {
+	// SlopePerCPU is the compute-bound throughput gain per CPU.
+	SlopePerCPU float64
+	// Ceiling is the memory-bound throughput plateau.
+	Ceiling float64
+}
+
+// Bound returns the roofline ceiling at the given CPU count.
+func (m Model) Bound(cpus float64) float64 {
+	return math.Min(m.SlopePerCPU*cpus, m.Ceiling)
+}
+
+// Knee returns the CPU count where the workload transitions from
+// compute-bound to memory-bound.
+func (m Model) Knee() float64 {
+	if m.SlopePerCPU <= 0 {
+		return math.Inf(1)
+	}
+	return m.Ceiling / m.SlopePerCPU
+}
+
+// FitCeilings estimates the roofline from (cpus, throughput) observations:
+// the slope from the steepest observed throughput-per-CPU ratio and the
+// ceiling from the maximum observed throughput, each inflated by the given
+// headroom factor (default 1.05 when headroom ≤ 0) since observations sit
+// at or below the true ceiling.
+func FitCeilings(cpus, throughput []float64, headroom float64) (Model, error) {
+	if len(cpus) != len(throughput) || len(cpus) == 0 {
+		return Model{}, errors.New("roofline: need matching non-empty cpus and throughput")
+	}
+	if headroom <= 0 {
+		headroom = 1.05
+	}
+	var m Model
+	for i := range cpus {
+		if cpus[i] <= 0 {
+			return Model{}, fmt.Errorf("roofline: non-positive CPU count %v", cpus[i])
+		}
+		if s := throughput[i] / cpus[i]; s > m.SlopePerCPU {
+			m.SlopePerCPU = s
+		}
+		if throughput[i] > m.Ceiling {
+			m.Ceiling = throughput[i]
+		}
+	}
+	m.SlopePerCPU *= headroom
+	m.Ceiling *= headroom
+	return m, nil
+}
+
+// Clamped combines any fitted regressor with a roofline: predictions are
+// capped by the ceiling, producing the piecewise-linear blue line of
+// Figure 12. It implements ml.Regressor over a single CPU-count feature.
+type Clamped struct {
+	// Inner is the unconstrained model (typically linear regression).
+	Inner ml.Regressor
+	// Roof caps the predictions.
+	Roof Model
+}
+
+// Fit trains the inner model; the roofline itself is fitted separately
+// (from hardware characterization, not the regression data).
+func (c *Clamped) Fit(X *mat.Dense, y []float64) error {
+	if c.Inner == nil {
+		return errors.New("roofline: Clamped has no inner model")
+	}
+	return c.Inner.Fit(X, y)
+}
+
+// Predict returns min(inner prediction, roofline bound at x[0] CPUs).
+func (c *Clamped) Predict(x []float64) float64 {
+	p := c.Inner.Predict(x)
+	return math.Min(p, c.Roof.Bound(x[0]))
+}
+
+// Ridgeline is the multi-resource extension (Checconi et al. 2022): each
+// resource dimension contributes its own ceiling; the effective bound is
+// the minimum across dimensions.
+type Ridgeline struct {
+	// Ceilings maps resource names to per-unit slopes and plateaus.
+	Dims []RidgeDim
+}
+
+// RidgeDim is one resource dimension of a ridgeline.
+type RidgeDim struct {
+	Name    string
+	Slope   float64 // throughput per unit of the resource
+	Ceiling float64
+}
+
+// Bound returns the minimum ceiling across dimensions for the given
+// resource quantities (one per dimension, matching Dims order).
+func (r Ridgeline) Bound(amounts []float64) (float64, error) {
+	if len(amounts) != len(r.Dims) {
+		return 0, fmt.Errorf("roofline: ridgeline has %d dims but got %d amounts", len(r.Dims), len(amounts))
+	}
+	bound := math.Inf(1)
+	for i, d := range r.Dims {
+		b := math.Min(d.Slope*amounts[i], d.Ceiling)
+		if b < bound {
+			bound = b
+		}
+	}
+	return bound, nil
+}

@@ -1,0 +1,113 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml/linmodel"
+)
+
+func TestModelBoundAndKnee(t *testing.T) {
+	m := Model{SlopePerCPU: 100, Ceiling: 350}
+	if got := m.Bound(2); got != 200 {
+		t.Fatalf("compute-bound region Bound(2) = %v", got)
+	}
+	if got := m.Bound(10); got != 350 {
+		t.Fatalf("memory-bound region Bound(10) = %v", got)
+	}
+	if got := m.Knee(); got != 3.5 {
+		t.Fatalf("Knee = %v, want 3.5", got)
+	}
+	if k := (Model{Ceiling: 10}).Knee(); !math.IsInf(k, 1) {
+		t.Fatal("zero slope must yield an infinite knee")
+	}
+}
+
+func TestFitCeilings(t *testing.T) {
+	cpus := []float64{1, 2, 3, 4}
+	tput := []float64{95, 190, 280, 285} // saturates near 3 CPUs
+	m, err := FitCeilings(cpus, tput, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SlopePerCPU < 95 || m.SlopePerCPU > 96 {
+		t.Fatalf("slope = %v", m.SlopePerCPU)
+	}
+	if m.Ceiling != 285 {
+		t.Fatalf("ceiling = %v", m.Ceiling)
+	}
+	if _, err := FitCeilings(nil, nil, 1); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := FitCeilings([]float64{0}, []float64{1}, 1); err == nil {
+		t.Fatal("non-positive CPU count must error")
+	}
+	if _, err := FitCeilings([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+}
+
+func TestClampedFixesExtrapolation(t *testing.T) {
+	// Linear data until 3 CPUs, flat after (the Figure 12 scenario).
+	cpus := []float64{1, 2, 3}
+	tput := []float64{100, 200, 300}
+	lin := &linmodel.LinearRegression{}
+	x := mat.NewFromRows([][]float64{{1}, {2}, {3}})
+	if err := lin.Fit(x, tput); err != nil {
+		t.Fatal(err)
+	}
+	roof, err := FitCeilings(cpus, tput, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped := &Clamped{Inner: lin, Roof: roof}
+	// Beyond the knee the roofline holds the prediction at the ceiling.
+	if got := clamped.Predict([]float64{6}); got != 300 {
+		t.Fatalf("clamped Predict(6) = %v, want ceiling 300", got)
+	}
+	if lin.Predict([]float64{6}) <= 300 {
+		t.Fatal("the unclamped model should overpredict beyond the knee")
+	}
+	// Inside the compute-bound region the linear model passes through.
+	if got := clamped.Predict([]float64{2}); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("clamped Predict(2) = %v, want 200", got)
+	}
+}
+
+func TestClampedFit(t *testing.T) {
+	c := &Clamped{}
+	if err := c.Fit(mat.New(1, 1), []float64{1}); err == nil {
+		t.Fatal("Clamped without inner model must error on Fit")
+	}
+	c.Inner = &linmodel.LinearRegression{}
+	c.Roof = Model{SlopePerCPU: 1, Ceiling: 100}
+	if err := c.Fit(mat.NewFromRows([][]float64{{1}, {2}}), []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeline(t *testing.T) {
+	r := Ridgeline{Dims: []RidgeDim{
+		{Name: "cpu", Slope: 100, Ceiling: 1000},
+		{Name: "memory", Slope: 10, Ceiling: 400},
+	}}
+	got, err := r.Bound([]float64{4, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cpu bound: min(400, 1000) = 400; memory: min(1000, 400) = 400 → 400.
+	if got != 400 {
+		t.Fatalf("ridgeline bound = %v, want 400", got)
+	}
+	got, err = r.Bound([]float64{2, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 200 { // cpu is the binding constraint now
+		t.Fatalf("ridgeline bound = %v, want 200", got)
+	}
+	if _, err := r.Bound([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}

@@ -1,0 +1,161 @@
+package scalemodel
+
+import (
+	"fmt"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml"
+	"wpred/internal/ml/lmm"
+)
+
+// Context enumerates the two modeling contexts of §6.1.1.
+type Context int
+
+const (
+	// Pairwise fits one model per ordered SKU pair, mapping the observed
+	// throughput on the source SKU to the throughput on the target SKU.
+	// It is the zero value because it is the context the paper's
+	// takeaways recommend.
+	Pairwise Context = iota
+	// Single fits one comprehensive model of throughput as a function of
+	// the SKU (CPU count), covering all hardware configurations at once.
+	Single
+)
+
+func (c Context) String() string {
+	if c == Single {
+		return "Single"
+	}
+	return "Pairwise"
+}
+
+// SingleModel is the single-context scaling model: x = SKU CPU count,
+// y = throughput.
+type SingleModel struct {
+	Strategy Strategy
+	model    ml.Regressor
+}
+
+// FitSingle trains a single-context model on the dataset rows selected by
+// points (nil = all points) across every SKU.
+func FitSingle(s Strategy, ds *Dataset, points []int, seed uint64) (*SingleModel, error) {
+	if points == nil {
+		points = allPoints(ds)
+	}
+	var rows [][]float64
+	var y []float64
+	var groups []int
+	for si, sku := range ds.SKUs {
+		for _, i := range points {
+			rows = append(rows, []float64{float64(sku.CPUs)})
+			y = append(y, ds.Obs[si][i])
+			groups = append(groups, ds.Groups[i])
+		}
+	}
+	m := s.newModel(seed, groups)
+	if err := m.Fit(mat.NewFromRows(rows), y); err != nil {
+		return nil, fmt.Errorf("scalemodel: single %v fit: %w", s, err)
+	}
+	return &SingleModel{Strategy: s, model: m}, nil
+}
+
+// Predict returns the modeled throughput at the given CPU count.
+func (m *SingleModel) Predict(cpus int) float64 {
+	return m.model.Predict([]float64{float64(cpus)})
+}
+
+// PredictInterval returns the prediction with a 95% interval when the
+// underlying strategy supports one (LMM); other strategies return the
+// point prediction with a zero-width interval.
+func (m *SingleModel) PredictInterval(cpus int) (pred, lo, hi float64) {
+	if l, ok := m.model.(*lmm.LMM); ok {
+		return l.PredictInterval([]float64{float64(cpus)})
+	}
+	p := m.Predict(cpus)
+	return p, p, p
+}
+
+// PairModel maps observed throughput on the From SKU to predicted
+// throughput on the To SKU.
+type PairModel struct {
+	Strategy Strategy
+	FromSKU  int // index into the dataset's SKUs
+	ToSKU    int
+	model    ml.Regressor
+}
+
+// FitPair trains a pairwise scaling model between two SKU indices on the
+// selected points (nil = all).
+func FitPair(s Strategy, ds *Dataset, from, to int, points []int, seed uint64) (*PairModel, error) {
+	if from < 0 || from >= len(ds.SKUs) || to < 0 || to >= len(ds.SKUs) {
+		return nil, fmt.Errorf("scalemodel: SKU index out of range (%d, %d)", from, to)
+	}
+	if points == nil {
+		points = allPoints(ds)
+	}
+	rows := make([][]float64, 0, len(points))
+	y := make([]float64, 0, len(points))
+	groups := make([]int, 0, len(points))
+	for _, i := range points {
+		rows = append(rows, []float64{ds.Obs[from][i]})
+		y = append(y, ds.Obs[to][i])
+		groups = append(groups, ds.Groups[i])
+	}
+	m := s.newModel(seed, groups)
+	if err := m.Fit(mat.NewFromRows(rows), y); err != nil {
+		return nil, fmt.Errorf("scalemodel: pair %v fit: %w", s, err)
+	}
+	return &PairModel{Strategy: s, FromSKU: from, ToSKU: to, model: m}, nil
+}
+
+// Predict maps an observed source-SKU throughput to the target SKU.
+func (m *PairModel) Predict(fromThroughput float64) float64 {
+	return m.model.Predict([]float64{fromThroughput})
+}
+
+// PredictInterval mirrors SingleModel.PredictInterval for pairwise LMMs.
+func (m *PairModel) PredictInterval(fromThroughput float64) (pred, lo, hi float64) {
+	if l, ok := m.model.(*lmm.LMM); ok {
+		return l.PredictInterval([]float64{fromThroughput})
+	}
+	p := m.Predict(fromThroughput)
+	return p, p, p
+}
+
+// ScalingFactor is the model's implied multiplicative factor at a
+// reference source throughput.
+func (m *PairModel) ScalingFactor(refThroughput float64) float64 {
+	if refThroughput == 0 {
+		return 0
+	}
+	return m.Predict(refThroughput) / refThroughput
+}
+
+// UpwardPairs returns all (from, to) SKU index pairs with increasing CPU
+// count — the "six combinations scaling up between 2, 4, 8, and 16 CPUs"
+// of Table 6 when four SKUs are present.
+func UpwardPairs(ds *Dataset) [][2]int {
+	var out [][2]int
+	for i := range ds.SKUs {
+		for j := range ds.SKUs {
+			if ds.SKUs[j].CPUs > ds.SKUs[i].CPUs {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// InverseLinearBaseline predicts the target throughput assuming latency
+// scales inversely with CPUs: doubling the CPUs doubles throughput.
+func InverseLinearBaseline(ds *Dataset, from, to int, fromThroughput float64) float64 {
+	return fromThroughput * float64(ds.SKUs[to].CPUs) / float64(ds.SKUs[from].CPUs)
+}
+
+func allPoints(ds *Dataset) []int {
+	out := make([]int, ds.NPoints())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

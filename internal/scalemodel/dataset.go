@@ -1,0 +1,114 @@
+package scalemodel
+
+import (
+	"fmt"
+
+	"wpred/internal/simdb"
+	"wpred/internal/stat"
+	"wpred/internal/telemetry"
+)
+
+// Dataset holds the matched throughput observations of one workload
+// setting (workload + terminal count) across SKUs: Obs[s][i] is the
+// throughput of data point i on SKU s. Data points are matched across
+// SKUs — point i on every SKU comes from the same (run, sub-sample)
+// combination, the structure pairwise models train on.
+type Dataset struct {
+	Workload  string
+	Terminals int
+	SKUs      []telemetry.SKU
+	Obs       [][]float64 // len(SKUs) × nPoints
+	Groups    []int       // data group (time of day) per point
+}
+
+// NPoints returns the number of matched data points per SKU.
+func (d *Dataset) NPoints() int {
+	if len(d.Obs) == 0 {
+		return 0
+	}
+	return len(d.Obs[0])
+}
+
+// SKUIndex returns the index of the SKU with the given CPU count, or an
+// error if absent.
+func (d *Dataset) SKUIndex(cpus int) (int, error) {
+	for i, s := range d.SKUs {
+		if s.CPUs == cpus {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("scalemodel: no SKU with %d CPUs in dataset %s", cpus, d.Workload)
+}
+
+// BuildConfig parameterizes dataset generation.
+type BuildConfig struct {
+	SKUs       []telemetry.SKU
+	Terminals  int
+	Runs       int // default 3 (one per data group)
+	Subsamples int // default 10 (paper's down-sampling factor)
+	Ticks      int // experiment length (default simdb's 360)
+}
+
+func (c BuildConfig) withDefaults() BuildConfig {
+	if len(c.SKUs) == 0 {
+		c.SKUs = telemetry.DefaultSKUs()
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Subsamples == 0 {
+		c.Subsamples = 10
+	}
+	return c
+}
+
+// Build simulates the workload on every SKU and produces the matched
+// observation matrix: each run's throughput series is down-sampled (random
+// sampling without replacement, §6.2) into Subsamples smaller series whose
+// means are the data points — Runs×Subsamples points per SKU.
+func Build(w *simdb.Workload, cfg BuildConfig, src *telemetry.Source) *Dataset {
+	cfg = cfg.withDefaults()
+	ds := &Dataset{Workload: w.Name, Terminals: cfg.Terminals, SKUs: cfg.SKUs}
+	n := cfg.Runs * cfg.Subsamples
+	ds.Groups = make([]int, n)
+	for r := 0; r < cfg.Runs; r++ {
+		for s := 0; s < cfg.Subsamples; s++ {
+			ds.Groups[r*cfg.Subsamples+s] = r % 3
+		}
+	}
+	for _, sku := range cfg.SKUs {
+		points := make([]float64, 0, n)
+		for r := 0; r < cfg.Runs; r++ {
+			exp := simdb.Simulate(w, simdb.Config{
+				SKU:       sku,
+				Terminals: cfg.Terminals,
+				Run:       r,
+				DataGroup: r % 3,
+				Ticks:     cfg.Ticks,
+			}, src)
+			points = append(points, Downsample(exp.ThroughputSeries, cfg.Subsamples, src.Child(fmt.Sprintf("ds/%s/%s/%d", w.Name, sku, r)))...)
+		}
+		ds.Obs = append(ds.Obs, points)
+	}
+	return ds
+}
+
+// Downsample splits a series into k random-sampled (without replacement)
+// sub-series and returns their means — the paper's data augmentation that
+// turns one run into ten training observations.
+func Downsample(series []float64, k int, src *telemetry.Source) []float64 {
+	n := len(series)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	perm := src.Perm(n)
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		var sub []float64
+		for pos := i; pos < n; pos += k {
+			sub = append(sub, series[perm[pos]])
+		}
+		out[i] = stat.Mean(sub)
+	}
+	return out
+}

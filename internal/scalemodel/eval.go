@@ -1,0 +1,168 @@
+package scalemodel
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// EvalResult is the cross-validated error of one (strategy, context) on
+// one workload setting.
+type EvalResult struct {
+	Strategy  Strategy
+	Context   Context
+	Workload  string
+	Terminals int
+	// NRMSE is the mean test NRMSE over the upward SKU pairs.
+	NRMSE float64
+	// TrainSeconds is the cumulative model-fitting time.
+	TrainSeconds float64
+}
+
+// KFold returns k (train, test) index splits of n points, shuffled
+// deterministically by seed.
+func KFold(n, k int, seed uint64) (trains, tests [][]int) {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xf01d))
+	perm := rng.Perm(n)
+	trains = make([][]int, k)
+	tests = make([][]int, k)
+	for pos, i := range perm {
+		f := pos % k
+		tests[f] = append(tests[f], i)
+	}
+	for f := 0; f < k; f++ {
+		inTest := make(map[int]bool, len(tests[f]))
+		for _, i := range tests[f] {
+			inTest[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if !inTest[i] {
+				trains[f] = append(trains[f], i)
+			}
+		}
+	}
+	return trains, tests
+}
+
+// Evaluate runs 5-fold cross validation of the strategy in the given
+// context over every upward SKU pair of the dataset and returns the mean
+// test NRMSE (normalized by the target SKU's observed throughput range,
+// Table 6's metric) plus the cumulative training time (summed across
+// fits, so it stays comparable between strategies even though the fits
+// run in parallel).
+func Evaluate(s Strategy, ctx Context, ds *Dataset, folds int, seed uint64) (EvalResult, error) {
+	if folds == 0 {
+		folds = 5
+	}
+	res := EvalResult{Strategy: s, Context: ctx, Workload: ds.Workload, Terminals: ds.Terminals}
+	trains, tests := KFold(ds.NPoints(), folds, seed)
+	pairs := UpwardPairs(ds)
+
+	type task struct{ pair, fold int }
+	var tasks []task
+	for p := range pairs {
+		for f := range trains {
+			tasks = append(tasks, task{p, f})
+		}
+	}
+	// Every fit uses an explicit (seed, fold) randomness source, so the
+	// parallel execution is exactly as deterministic as the serial one.
+	nrmse := make([]float64, len(tasks))
+	durs := make([]time.Duration, len(tasks))
+	errs := make([]error, len(tasks))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				tk := tasks[ti]
+				from, to := pairs[tk.pair][0], pairs[tk.pair][1]
+				denom := ValueRange(ds.Obs[to])
+				var pred, actual []float64
+				t0 := time.Now()
+				switch ctx {
+				case Single:
+					m, err := FitSingle(s, ds, trains[tk.fold], seed+uint64(tk.fold))
+					if err != nil {
+						errs[ti] = err
+						continue
+					}
+					durs[ti] = time.Since(t0)
+					for _, i := range tests[tk.fold] {
+						pred = append(pred, m.Predict(ds.SKUs[to].CPUs))
+						actual = append(actual, ds.Obs[to][i])
+					}
+				case Pairwise:
+					m, err := FitPair(s, ds, from, to, trains[tk.fold], seed+uint64(tk.fold))
+					if err != nil {
+						errs[ti] = err
+						continue
+					}
+					durs[ti] = time.Since(t0)
+					for _, i := range tests[tk.fold] {
+						pred = append(pred, m.Predict(ds.Obs[from][i]))
+						actual = append(actual, ds.Obs[to][i])
+					}
+				}
+				nrmse[ti] = NRMSE(pred, actual, denom)
+			}
+		}()
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+
+	sumNRMSE := 0.0
+	trainDur := time.Duration(0)
+	for ti := range tasks {
+		if errs[ti] != nil {
+			return res, errs[ti]
+		}
+		sumNRMSE += nrmse[ti]
+		trainDur += durs[ti]
+	}
+	if len(pairs) > 0 {
+		res.NRMSE = sumNRMSE / float64(len(tasks)) // mean over pair×fold
+	}
+	res.TrainSeconds = trainDur.Seconds()
+	return res, nil
+}
+
+// EvaluateBaseline computes the inverse-linear baseline's mean NRMSE over
+// the upward pairs (no training, no folds — the baseline has no
+// parameters).
+func EvaluateBaseline(ds *Dataset) EvalResult {
+	res := EvalResult{Context: Pairwise, Workload: ds.Workload, Terminals: ds.Terminals}
+	pairs := UpwardPairs(ds)
+	sum := 0.0
+	for _, pair := range pairs {
+		from, to := pair[0], pair[1]
+		denom := ValueRange(ds.Obs[to])
+		var pred, actual []float64
+		for i := 0; i < ds.NPoints(); i++ {
+			pred = append(pred, InverseLinearBaseline(ds, from, to, ds.Obs[from][i]))
+			actual = append(actual, ds.Obs[to][i])
+		}
+		sum += NRMSE(pred, actual, denom)
+	}
+	if len(pairs) > 0 {
+		res.NRMSE = sum / float64(len(pairs))
+	}
+	return res
+}

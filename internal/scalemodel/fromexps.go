@@ -1,0 +1,87 @@
+package scalemodel
+
+import (
+	"fmt"
+	"sort"
+
+	"wpred/internal/telemetry"
+)
+
+// FromExperiments assembles a Dataset from already-collected experiments of
+// one workload setting: the experiments must share workload and terminal
+// count, cover each SKU with the same set of runs, and carry throughput
+// series (plan-only workloads cannot form scaling datasets). Each run's
+// series is down-sampled into subsamples points, matched across SKUs by
+// (run, sub-sample index).
+func FromExperiments(exps []*telemetry.Experiment, subsamples int, src *telemetry.Source) (*Dataset, error) {
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("scalemodel: no experiments")
+	}
+	if subsamples <= 0 {
+		subsamples = 10
+	}
+	wl, terms := exps[0].Workload, exps[0].Terminals
+	bySKU := map[telemetry.SKU]map[int]*telemetry.Experiment{}
+	for _, e := range exps {
+		if e.Workload != wl || e.Terminals != terms {
+			return nil, fmt.Errorf("scalemodel: mixed settings %s/t%d vs %s/t%d", wl, terms, e.Workload, e.Terminals)
+		}
+		if len(e.ThroughputSeries) == 0 {
+			return nil, fmt.Errorf("scalemodel: experiment %s has no throughput series", e.ID())
+		}
+		if bySKU[e.SKU] == nil {
+			bySKU[e.SKU] = map[int]*telemetry.Experiment{}
+		}
+		if _, dup := bySKU[e.SKU][e.Run]; dup {
+			return nil, fmt.Errorf("scalemodel: duplicate run %d for %s on %s", e.Run, wl, e.SKU)
+		}
+		bySKU[e.SKU][e.Run] = e
+	}
+
+	skus := make([]telemetry.SKU, 0, len(bySKU))
+	for s := range bySKU {
+		skus = append(skus, s)
+	}
+	sort.Slice(skus, func(a, b int) bool {
+		if skus[a].CPUs != skus[b].CPUs {
+			return skus[a].CPUs < skus[b].CPUs
+		}
+		return skus[a].MemoryGB < skus[b].MemoryGB
+	})
+
+	// Runs must match across SKUs for point matching.
+	var runs []int
+	for r := range bySKU[skus[0]] {
+		runs = append(runs, r)
+	}
+	sort.Ints(runs)
+	for _, s := range skus[1:] {
+		if len(bySKU[s]) != len(runs) {
+			return nil, fmt.Errorf("scalemodel: SKU %s has %d runs, want %d", s, len(bySKU[s]), len(runs))
+		}
+		for _, r := range runs {
+			if bySKU[s][r] == nil {
+				return nil, fmt.Errorf("scalemodel: SKU %s is missing run %d", s, r)
+			}
+		}
+	}
+
+	ds := &Dataset{Workload: wl, Terminals: terms, SKUs: skus}
+	ds.Groups = make([]int, 0, len(runs)*subsamples)
+	for _, r := range runs {
+		group := bySKU[skus[0]][r].DataGroup
+		for s := 0; s < subsamples; s++ {
+			ds.Groups = append(ds.Groups, group)
+		}
+	}
+	for _, sku := range skus {
+		var points []float64
+		for _, r := range runs {
+			e := bySKU[sku][r]
+			points = append(points, Downsample(e.ThroughputSeries, subsamples,
+				src.Child(fmt.Sprintf("dsx/%s/%s/%d", wl, sku, r)))...)
+		}
+		ds.Obs = append(ds.Obs, points)
+	}
+	return ds, nil
+}

@@ -1,0 +1,79 @@
+package scalemodel
+
+import (
+	"testing"
+
+	"wpred/internal/bench"
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+func simulateRuns(t *testing.T, name string, skus []telemetry.SKU, runs int) []*telemetry.Experiment {
+	t.Helper()
+	w, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := telemetry.NewSource(8)
+	var out []*telemetry.Experiment
+	for _, sku := range skus {
+		for r := 0; r < runs; r++ {
+			out = append(out, simdb.Simulate(w, simdb.Config{
+				SKU: sku, Terminals: 8, Run: r, DataGroup: r % 3, Ticks: 50,
+			}, src))
+		}
+	}
+	return out
+}
+
+func TestFromExperiments(t *testing.T) {
+	skus := []telemetry.SKU{{CPUs: 2, MemoryGB: 16}, {CPUs: 8, MemoryGB: 64}}
+	exps := simulateRuns(t, bench.TPCCName, skus, 3)
+	ds, err := FromExperiments(exps, 5, telemetry.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.SKUs) != 2 {
+		t.Fatalf("SKUs = %d", len(ds.SKUs))
+	}
+	if ds.SKUs[0].CPUs != 2 || ds.SKUs[1].CPUs != 8 {
+		t.Fatalf("SKUs not sorted: %v", ds.SKUs)
+	}
+	if ds.NPoints() != 15 {
+		t.Fatalf("NPoints = %d, want 15", ds.NPoints())
+	}
+}
+
+func TestFromExperimentsErrors(t *testing.T) {
+	src := telemetry.NewSource(10)
+	if _, err := FromExperiments(nil, 5, src); err == nil {
+		t.Fatal("no experiments must error")
+	}
+
+	skus := []telemetry.SKU{{CPUs: 2, MemoryGB: 16}}
+	mixed := simulateRuns(t, bench.TPCCName, skus, 1)
+	mixed = append(mixed, simulateRuns(t, bench.TwitterName, skus, 1)...)
+	if _, err := FromExperiments(mixed, 5, src); err == nil {
+		t.Fatal("mixed workloads must error")
+	}
+
+	dup := simulateRuns(t, bench.TPCCName, skus, 1)
+	dup = append(dup, dup[0])
+	if _, err := FromExperiments(dup, 5, src); err == nil {
+		t.Fatal("duplicate runs must error")
+	}
+
+	// Unequal run coverage across SKUs.
+	uneven := simulateRuns(t, bench.TPCCName, skus, 2)
+	uneven = append(uneven, simulateRuns(t, bench.TPCCName, []telemetry.SKU{{CPUs: 8, MemoryGB: 64}}, 1)...)
+	if _, err := FromExperiments(uneven, 5, src); err == nil {
+		t.Fatal("uneven run coverage must error")
+	}
+
+	// Plan-only workload has no throughput series.
+	w, _ := bench.ByName(bench.PWName)
+	pw := simdb.Simulate(w, simdb.Config{SKU: skus[0], Ticks: 20}, src)
+	if _, err := FromExperiments([]*telemetry.Experiment{pw}, 5, src); err == nil {
+		t.Fatal("plan-only experiments must error")
+	}
+}

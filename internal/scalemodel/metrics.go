@@ -1,0 +1,79 @@
+// Package scalemodel implements the workload resource-prediction component
+// (§6): the two modeling contexts (a single model over all SKUs vs.
+// pairwise SKU-to-SKU scaling models), the six modeling strategies
+// (regression, SVM, LMM, gradient boosting, MARS, neural network), the
+// naive inverse-linear baseline, k-fold cross validation, and the error
+// metrics (NRMSE, MAPE, APE).
+package scalemodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE is the root mean squared error of predictions against actuals.
+func RMSE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("scalemodel: RMSE length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// NRMSE is the RMSE normalized by the given value range (max−min of the
+// observed target values for the setting). The paper's Table 6 normalizes
+// by the observed throughput value range, which is why a biased predictor
+// on a low-variance setting can exceed 1 by orders of magnitude.
+func NRMSE(pred, actual []float64, valueRange float64) float64 {
+	if valueRange <= 0 {
+		valueRange = 1
+	}
+	return RMSE(pred, actual) / valueRange
+}
+
+// APE is the absolute percentage error of a single prediction.
+func APE(pred, actual float64) float64 {
+	if actual == 0 {
+		return math.Abs(pred)
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// MAPE is the mean absolute percentage error.
+func MAPE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("scalemodel: MAPE length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += APE(pred[i], actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// ValueRange returns max(v)−min(v), or 0 for empty input.
+func ValueRange(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

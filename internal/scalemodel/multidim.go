@@ -1,0 +1,50 @@
+package scalemodel
+
+import (
+	"fmt"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml"
+)
+
+// MultiDimModel is the multi-dimensional single-context model the paper's
+// future-work discussion calls for (§7): throughput as a function of
+// several SKU dimensions (CPUs and memory here) instead of the CPU count
+// alone. It lets the model distinguish SKUs that differ in memory at equal
+// core counts.
+type MultiDimModel struct {
+	Strategy Strategy
+	model    ml.Regressor
+}
+
+// FitMultiDim trains a single-context model over [CPUs, MemoryGB] feature
+// vectors on the dataset rows selected by points (nil = all points).
+func FitMultiDim(s Strategy, ds *Dataset, points []int, seed uint64) (*MultiDimModel, error) {
+	if points == nil {
+		points = allPoints(ds)
+	}
+	var rows [][]float64
+	var y []float64
+	var groups []int
+	for si, sku := range ds.SKUs {
+		for _, i := range points {
+			rows = append(rows, []float64{float64(sku.CPUs), float64(sku.MemoryGB)})
+			y = append(y, ds.Obs[si][i])
+			groups = append(groups, ds.Groups[i])
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("scalemodel: no training rows for multi-dimensional model")
+	}
+	m := s.newModel(seed, groups)
+	if err := m.Fit(mat.NewFromRows(rows), y); err != nil {
+		return nil, fmt.Errorf("scalemodel: multi-dim %v fit: %w", s, err)
+	}
+	return &MultiDimModel{Strategy: s, model: m}, nil
+}
+
+// Predict returns the modeled throughput for an arbitrary SKU, including
+// configurations never observed during training.
+func (m *MultiDimModel) Predict(cpus, memoryGB int) float64 {
+	return m.model.Predict([]float64{float64(cpus), float64(memoryGB)})
+}

@@ -1,0 +1,56 @@
+package scalemodel
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/bench"
+	"wpred/internal/telemetry"
+)
+
+func TestMultiDimModel(t *testing.T) {
+	w, err := bench.ByName(bench.YCSBName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SKUs varying in both CPUs and memory, as §6.2.3's S1/S2 do.
+	skus := []telemetry.SKU{
+		{CPUs: 2, MemoryGB: 16},
+		{CPUs: 4, MemoryGB: 32},
+		{CPUs: 8, MemoryGB: 64},
+		{CPUs: 16, MemoryGB: 128},
+	}
+	ds := Build(w, BuildConfig{SKUs: skus, Terminals: 8, Subsamples: 5, Ticks: 60}, telemetry.NewSource(17))
+
+	m, err := FitMultiDim(SVM, ds, nil, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions at the training SKUs must track the observed means.
+	for si, sku := range skus {
+		obs := 0.0
+		for _, v := range ds.Obs[si] {
+			obs += v
+		}
+		obs /= float64(len(ds.Obs[si]))
+		pred := m.Predict(sku.CPUs, sku.MemoryGB)
+		if math.Abs(pred-obs)/obs > 0.30 {
+			t.Fatalf("SKU %v: predicted %v vs observed %v", sku, pred, obs)
+		}
+	}
+	// An interpolated SKU (6 CPUs / 48 GB) must land between its
+	// neighbors.
+	mid := m.Predict(6, 48)
+	lo := m.Predict(4, 32)
+	hi := m.Predict(8, 64)
+	if mid < math.Min(lo, hi)*0.8 || mid > math.Max(lo, hi)*1.2 {
+		t.Fatalf("interpolated prediction %v outside (%v, %v)", mid, lo, hi)
+	}
+}
+
+func TestFitMultiDimErrors(t *testing.T) {
+	ds := &Dataset{Workload: "x"}
+	if _, err := FitMultiDim(Regression, ds, nil, 1); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+}

@@ -1,0 +1,274 @@
+package scalemodel
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/bench"
+	"wpred/internal/telemetry"
+)
+
+func TestMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	actual := []float64{1, 2, 5}
+	if got := RMSE(pred, actual); math.Abs(got-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if got := NRMSE(pred, actual, 2); math.Abs(got-math.Sqrt(4.0/3)/2) > 1e-12 {
+		t.Fatalf("NRMSE = %v", got)
+	}
+	if got := NRMSE(pred, actual, 0); got != RMSE(pred, actual) {
+		t.Fatal("zero range must fall back to 1")
+	}
+	if got := APE(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("APE = %v", got)
+	}
+	if got := APE(5, 0); got != 5 {
+		t.Fatalf("APE with zero actual = %v", got)
+	}
+	if got := MAPE([]float64{110, 90}, []float64{100, 100}); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v", got)
+	}
+	if got := ValueRange([]float64{3, 9, 5}); got != 6 {
+		t.Fatalf("ValueRange = %v", got)
+	}
+	if ValueRange(nil) != 0 {
+		t.Fatal("empty range must be 0")
+	}
+}
+
+func TestMetricsPanicOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestKFold(t *testing.T) {
+	trains, tests := KFold(30, 5, 7)
+	if len(trains) != 5 || len(tests) != 5 {
+		t.Fatalf("fold counts = %d/%d", len(trains), len(tests))
+	}
+	seen := map[int]int{}
+	for f := 0; f < 5; f++ {
+		if len(trains[f])+len(tests[f]) != 30 {
+			t.Fatal("train+test must cover all points")
+		}
+		inTest := map[int]bool{}
+		for _, i := range tests[f] {
+			seen[i]++
+			inTest[i] = true
+		}
+		for _, i := range trains[f] {
+			if inTest[i] {
+				t.Fatal("train and test overlap")
+			}
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("point %d appears in %d test folds", i, seen[i])
+		}
+	}
+	// Determinism.
+	t2, _ := KFold(30, 5, 7)
+	for f := range t2 {
+		for k := range t2[f] {
+			if t2[f][k] != trains[f][k] {
+				t.Fatal("same seed must reproduce folds")
+			}
+		}
+	}
+}
+
+func TestKFoldSmallN(t *testing.T) {
+	trains, tests := KFold(3, 5, 1)
+	if len(tests) != 3 {
+		t.Fatalf("folds must cap at n, got %d", len(tests))
+	}
+	_ = trains
+}
+
+func buildTPCC(t *testing.T) *Dataset {
+	t.Helper()
+	w, err := bench.ByName(bench.TPCCName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(w, BuildConfig{Terminals: 8, Subsamples: 5, Ticks: 60}, telemetry.NewSource(3))
+}
+
+func TestBuildDataset(t *testing.T) {
+	ds := buildTPCC(t)
+	if len(ds.SKUs) != 4 {
+		t.Fatalf("SKUs = %d", len(ds.SKUs))
+	}
+	if ds.NPoints() != 15 { // 3 runs × 5 subsamples
+		t.Fatalf("NPoints = %d, want 15", ds.NPoints())
+	}
+	if len(ds.Groups) != 15 {
+		t.Fatalf("Groups = %d", len(ds.Groups))
+	}
+	for si := range ds.SKUs {
+		if len(ds.Obs[si]) != 15 {
+			t.Fatalf("SKU %d has %d points", si, len(ds.Obs[si]))
+		}
+		for _, v := range ds.Obs[si] {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("bad observation %v", v)
+			}
+		}
+	}
+	if _, err := ds.SKUIndex(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.SKUIndex(99); err == nil {
+		t.Fatal("unknown SKU must error")
+	}
+}
+
+func TestUpwardPairs(t *testing.T) {
+	ds := buildTPCC(t)
+	pairs := UpwardPairs(ds)
+	if len(pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6 (the paper's six upward combinations)", len(pairs))
+	}
+	for _, p := range pairs {
+		if ds.SKUs[p[1]].CPUs <= ds.SKUs[p[0]].CPUs {
+			t.Fatalf("pair %v is not upward", p)
+		}
+	}
+}
+
+func TestSingleAndPairModels(t *testing.T) {
+	ds := buildTPCC(t)
+	single, err := FitSingle(Regression, ds, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted trend must increase with CPUs for this workload.
+	if single.Predict(16) <= single.Predict(2) {
+		t.Fatal("single model must capture the upward trend")
+	}
+
+	pm, err := FitPair(Regression, ds, 0, 2, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := ds.Obs[0][0]
+	factor := pm.ScalingFactor(from)
+	if factor < 1 || factor > 4 {
+		t.Fatalf("2→8 CPU scaling factor = %v implausible", factor)
+	}
+	if pm.ScalingFactor(0) != 0 {
+		t.Fatal("zero reference throughput must yield factor 0")
+	}
+}
+
+func TestFitPairIndexValidation(t *testing.T) {
+	ds := buildTPCC(t)
+	if _, err := FitPair(Regression, ds, -1, 0, nil, 1); err == nil {
+		t.Fatal("negative index must error")
+	}
+	if _, err := FitPair(Regression, ds, 0, 9, nil, 1); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+func TestPredictIntervalLMM(t *testing.T) {
+	ds := buildTPCC(t)
+	m, err := FitSingle(LMM, ds, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, lo, hi := m.PredictInterval(8)
+	if !(lo < pred && pred < hi) {
+		t.Fatalf("LMM interval (%v, %v, %v) malformed", lo, pred, hi)
+	}
+	// Non-LMM strategies return a zero-width interval.
+	m2, err := FitSingle(Regression, ds, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, l2, h2 := m2.PredictInterval(8)
+	if p2 != l2 || p2 != h2 {
+		t.Fatal("non-LMM interval must be degenerate")
+	}
+}
+
+func TestInverseLinearBaseline(t *testing.T) {
+	ds := buildTPCC(t)
+	got := InverseLinearBaseline(ds, 0, 2, 100) // 2 → 8 CPUs
+	if got != 400 {
+		t.Fatalf("baseline = %v, want 400", got)
+	}
+}
+
+func TestEvaluateAllStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model cross-validation is slow")
+	}
+	ds := buildTPCC(t)
+	for _, s := range Strategies() {
+		if s == NNet && testing.Short() {
+			continue
+		}
+		for _, ctx := range []Context{Pairwise, Single} {
+			res, err := Evaluate(s, ctx, ds, 3, 1)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", s, ctx, err)
+			}
+			if res.NRMSE < 0 || math.IsNaN(res.NRMSE) {
+				t.Fatalf("%v/%v NRMSE = %v", s, ctx, res.NRMSE)
+			}
+			if res.TrainSeconds < 0 {
+				t.Fatalf("negative training time")
+			}
+		}
+	}
+	base := EvaluateBaseline(ds)
+	if base.NRMSE <= 0 {
+		t.Fatalf("baseline NRMSE = %v", base.NRMSE)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	for _, s := range Strategies() {
+		if s.String() == "" {
+			t.Fatal("strategy must have a name")
+		}
+		back, ok := StrategyByName(s.String())
+		if !ok || back != s {
+			t.Fatalf("round trip failed for %v", s)
+		}
+	}
+	if _, ok := StrategyByName("nope"); ok {
+		t.Fatal("unknown strategy name must not resolve")
+	}
+	if Pairwise.String() != "Pairwise" || Single.String() != "Single" {
+		t.Fatal("context names wrong")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	src := telemetry.NewSource(4)
+	points := Downsample(series, 10, src)
+	if len(points) != 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Each sub-series mean must be near the grand mean 49.5.
+	for _, p := range points {
+		if p < 30 || p > 70 {
+			t.Fatalf("sub-series mean %v implausible", p)
+		}
+	}
+	if Downsample(nil, 5, src) != nil {
+		t.Fatal("empty series yields no points")
+	}
+}

@@ -1,0 +1,90 @@
+package scalemodel
+
+import (
+	"fmt"
+
+	"wpred/internal/ml"
+	"wpred/internal/ml/ensemble"
+	"wpred/internal/ml/linmodel"
+	"wpred/internal/ml/lmm"
+	"wpred/internal/ml/mars"
+	"wpred/internal/ml/nnet"
+	"wpred/internal/ml/svm"
+)
+
+// Strategy enumerates the six modeling strategies of §6.1.2.
+type Strategy int
+
+const (
+	// SVM is ε-insensitive support vector regression (RBF kernel). It is
+	// the zero value because it is the strategy §6.3 recommends for
+	// deployment (close to GB in error, 10–40× faster to train).
+	SVM Strategy = iota
+	// Regression is ordinary linear regression.
+	Regression
+	// LMM is the linear mixed-effects model with per-data-group random
+	// effects.
+	LMM
+	// GB is gradient-boosted regression trees.
+	GB
+	// MARS is multivariate adaptive regression splines.
+	MARS
+	// NNet is the 6-layer multi-layer perceptron regressor.
+	NNet
+)
+
+// Strategies returns all six in Table 6 order.
+func Strategies() []Strategy {
+	return []Strategy{Regression, SVM, LMM, GB, MARS, NNet}
+}
+
+func (s Strategy) String() string {
+	switch s {
+	case Regression:
+		return "Regression"
+	case SVM:
+		return "SVM"
+	case LMM:
+		return "LMM"
+	case GB:
+		return "GB"
+	case MARS:
+		return "MARS"
+	case NNet:
+		return "NNet"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// StrategyByName resolves a display name; it reports false for unknown
+// names.
+func StrategyByName(name string) (Strategy, bool) {
+	for _, s := range Strategies() {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// newModel instantiates the strategy's regressor. groups carries the
+// per-training-row data-group labels; only LMM uses them.
+func (s Strategy) newModel(seed uint64, groups []int) ml.Regressor {
+	switch s {
+	case Regression:
+		return &linmodel.LinearRegression{}
+	case SVM:
+		return &svm.SVR{C: 10, Epsilon: 0.05}
+	case LMM:
+		return &lmm.LMM{Groups: groups, MaxIter: 60}
+	case GB:
+		return &ensemble.GradientBoosting{NRounds: 100, MaxDepth: 3, LearningRate: 0.1, Seed: seed}
+	case MARS:
+		return &mars.MARS{MaxTerms: 5}
+	case NNet:
+		return &nnet.MLP{Seed: seed}
+	default:
+		panic(fmt.Sprintf("scalemodel: unknown strategy %v", s))
+	}
+}

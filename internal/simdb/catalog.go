@@ -1,0 +1,131 @@
+// Package simdb simulates the relational database engine the paper
+// measured (a local SQL Server instance driven by BenchBase). It is not a
+// query processor — the study never looks at query results — but a
+// telemetry generator with the same observable surface: a catalog, a
+// cost-based plan generator that emits the 22 plan statistics of Table 2
+// for every query template, and a concurrency- and SKU-aware execution
+// model that emits throughput, per-transaction latency, and the 7 resource
+// counters as time series.
+//
+// The cost model follows the classic page/row cost structure (sequential
+// page reads, index seeks as log₂(pages) + leaf pages, hash/sort memory
+// grants proportional to input bytes), so plan statistics differ across
+// workloads for the same physical reasons they differ on a real engine:
+// point lookups produce small plans with tiny grants, analytical scans
+// produce expensive, memory-hungry plans, and write statements produce
+// extra lock and log work.
+package simdb
+
+import "fmt"
+
+// PageSize is the assumed on-disk page size in bytes (SQL Server's 8 KiB).
+const PageSize = 8192
+
+// Column describes one table column.
+type Column struct {
+	Name  string
+	Bytes int // average stored width
+}
+
+// Index describes a secondary index over a table.
+type Index struct {
+	Name    string
+	KeyCols int // number of key columns
+}
+
+// Table describes a base table: cardinality, row width, and indexes.
+type Table struct {
+	Name    string
+	Rows    float64 // cardinality at the configured scale factor
+	Columns []Column
+	Indexes []Index
+	// Clustered reports whether the table has a clustered primary key
+	// (enables cheap point lookups even with no secondary indexes).
+	Clustered bool
+}
+
+// RowBytes returns the average row width in bytes.
+func (t *Table) RowBytes() float64 {
+	total := 0
+	for _, c := range t.Columns {
+		total += c.Bytes
+	}
+	if total == 0 {
+		total = 64
+	}
+	return float64(total)
+}
+
+// Pages returns the number of data pages the table occupies.
+func (t *Table) Pages() float64 {
+	rowsPerPage := float64(PageSize) / t.RowBytes()
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	p := t.Rows / rowsPerPage
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	Name   string
+	Tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog(name string) *Catalog {
+	return &Catalog{Name: name, Tables: map[string]*Table{}}
+}
+
+// Add inserts a table; it panics on duplicate names (a programming error in
+// a workload definition).
+func (c *Catalog) Add(t *Table) {
+	if _, dup := c.Tables[t.Name]; dup {
+		panic(fmt.Sprintf("simdb: duplicate table %q in catalog %q", t.Name, c.Name))
+	}
+	c.Tables[t.Name] = t
+}
+
+// Table looks up a table by name; it panics if absent (query templates are
+// static and validated at construction).
+func (c *Catalog) Table(name string) *Table {
+	t, ok := c.Tables[name]
+	if !ok {
+		panic(fmt.Sprintf("simdb: unknown table %q in catalog %q", name, c.Name))
+	}
+	return t
+}
+
+// NumTables returns the number of tables.
+func (c *Catalog) NumTables() int { return len(c.Tables) }
+
+// NumColumns returns the total column count across tables.
+func (c *Catalog) NumColumns() int {
+	n := 0
+	for _, t := range c.Tables {
+		n += len(t.Columns)
+	}
+	return n
+}
+
+// NumIndexes returns the total secondary index count across tables.
+func (c *Catalog) NumIndexes() int {
+	n := 0
+	for _, t := range c.Tables {
+		n += len(t.Indexes)
+	}
+	return n
+}
+
+// MakeColumns is a convenience for workload definitions: n columns of the
+// given average width, named col0..col{n-1}.
+func MakeColumns(n, width int) []Column {
+	cols := make([]Column, n)
+	for i := range cols {
+		cols[i] = Column{Name: fmt.Sprintf("col%d", i), Bytes: width}
+	}
+	return cols
+}

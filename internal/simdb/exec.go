@@ -1,0 +1,243 @@
+package simdb
+
+import (
+	"fmt"
+	"math"
+
+	"wpred/internal/telemetry"
+)
+
+// Config parameterizes one simulated experiment run.
+type Config struct {
+	SKU             telemetry.SKU
+	Terminals       int // concurrent terminals (1 for serial workloads)
+	Run             int // repetition index, 0..2 in the study
+	DataGroup       int // time-of-day group, 0..2
+	Ticks           int // resource samples (default 360: one hour at 10 s)
+	PlanObsPerQuery int // plan observations per template (default 3)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ticks == 0 {
+		c.Ticks = 360
+	}
+	if c.PlanObsPerQuery == 0 {
+		c.PlanObsPerQuery = 3
+	}
+	if c.Terminals == 0 {
+		c.Terminals = 1
+	}
+	return c
+}
+
+// SteadyState holds the deterministic operating point of a workload on a
+// SKU before noise: the quantities the samplers fluctuate around.
+type SteadyState struct {
+	Throughput float64 // transactions per second
+	MeanLatMS  float64
+	CPUUtil    float64 // percent
+	CPUEff     float64 // percent
+	MemUtil    float64 // percent
+	IOPS       float64
+	RWRatio    float64
+	LockReq    float64
+	LockWait   float64
+	TxnLatMS   []float64 // per transaction type
+	TxnTput    []float64
+}
+
+// effectiveDOP returns the degree of parallelism a transaction achieves.
+func effectiveDOP(t *TxnProfile, sku telemetry.SKU) float64 {
+	dop := float64(availableDOP(sku))
+	if dop < 1 {
+		dop = 1
+	}
+	// Amdahl's law with an 85% parallel efficiency.
+	p := t.ParallelFrac
+	speedup := 1 / ((1 - p) + p/(1+(dop-1)*0.85))
+	return speedup
+}
+
+// ioCapacity models the storage path provisioned with the SKU: larger
+// instances come with proportionally more IOPS, as cloud SKU families do.
+func ioCapacity(sku telemetry.SKU) float64 {
+	return 9000 + 1100*float64(sku.CPUs)
+}
+
+// ComputeSteadyState evaluates the closed-system bottleneck model for
+// workload w on the given SKU with the given number of terminals:
+//
+//	X = min( N/S̄,  CPU capacity / D_cpu,  IO capacity / D_io ) / contention
+//
+// where S̄ is the mean per-transaction service time, D_cpu and D_io the
+// mean per-transaction resource demands, and the contention factor grows
+// with write share, concurrency, and utilization (lock waits).
+func ComputeSteadyState(w *Workload, sku telemetry.SKU, terminals int) SteadyState {
+	if len(w.Txns) == 0 {
+		panic(fmt.Sprintf("simdb: workload %q has no transactions", w.Name))
+	}
+	weights := w.normalizedWeights()
+	n := float64(terminals)
+	if n < 1 {
+		n = 1
+	}
+
+	var (
+		dCPU, dIO, dLock     float64 // mean demands per txn
+		meanService          float64 // ms, with parallelism applied
+		reads, writes, memMB float64
+		serviceMS            = make([]float64, len(w.Txns))
+	)
+	for i := range w.Txns {
+		t := &w.Txns[i]
+		speedup := effectiveDOP(t, sku)
+		ioMS := t.IOops * 0.05 // 0.05 ms per physical IO on the simulated device
+		serviceMS[i] = t.CPUms/speedup + ioMS + 0.2
+		meanService += weights[i] * serviceMS[i]
+		dCPU += weights[i] * t.CPUms
+		dIO += weights[i] * t.IOops
+		dLock += weights[i] * t.LockReqs
+		memMB += weights[i] * t.MemMB
+		plan := BuildPlan(t.Query, w.Catalog)
+		reads += weights[i] * plan.TotalRowsRead()
+		if !t.Query.IsReadOnly() {
+			writes += weights[i] * math.Max(t.Query.WriteRows, 1)
+		}
+	}
+
+	cpuCapMS := float64(sku.CPUs) * 1000 // CPU-ms available per second
+	xTerm := n * 1000 / meanService
+	xCPU := cpuCapMS / dCPU
+	xIO := ioCapacity(sku) / math.Max(dIO, 1e-9)
+	x := math.Min(xTerm, math.Min(xCPU, xIO))
+
+	util := x * dCPU / cpuCapMS
+	writeShare := 1 - w.ReadOnlyFraction()
+	contention := 1 + w.Contention*writeShare*math.Log1p(n-1)*util
+	x /= contention
+
+	lat := n * 1000 / x // closed-system response time, ms
+
+	ss := SteadyState{
+		Throughput: x,
+		MeanLatMS:  lat,
+		TxnLatMS:   make([]float64, len(w.Txns)),
+		TxnTput:    make([]float64, len(w.Txns)),
+	}
+	inflate := lat / meanService
+	for i := range w.Txns {
+		ss.TxnLatMS[i] = serviceMS[i] * inflate
+		ss.TxnTput[i] = x * weights[i]
+	}
+
+	util = x * dCPU / cpuCapMS // recompute at the contended throughput
+	ss.CPUUtil = math.Min(util*100, 98)
+	ss.CPUEff = ss.CPUUtil * (0.96 - 0.30*writeShare*util)
+	working := math.Min(w.DBSizeGB(), float64(sku.MemoryGB)*0.85)
+	queryMem := x * memMB / 1024 * meanService / 1000 // concurrent grants, GB
+	const systemGB = 2.5                              // engine + OS baseline
+	ss.MemUtil = math.Min((systemGB+working+queryMem)/float64(sku.MemoryGB)*100, 97)
+	ss.IOPS = x * dIO
+	// Background engine writes (checkpoints, statistics maintenance) put
+	// a floor under the write rate, so the ratio stays finite and
+	// workload-dependent even for read-only workloads.
+	const backgroundWrites = 0.3
+	ss.RWRatio = reads / (writes + backgroundWrites)
+	ss.LockReq = x * dLock
+	ss.LockWait = 18 + 140*w.Contention*writeShare*util*math.Log1p(n)
+	return ss
+}
+
+// skuQuirk returns the fixed multiplicative effect of running workload w on
+// a SKU with the given CPU count. It is derived from the root source, so it
+// is identical across runs and data groups — a property of the
+// (workload, hardware) pair, like NUMA effects or scheduler behavior on a
+// real machine. These quirks are what make scaling piecewise rather than
+// smooth, the observation behind the paper's pairwise-model recommendation.
+func skuQuirk(w *Workload, cpus int, root *telemetry.Source) float64 {
+	sigma := w.SKUQuirkSigma
+	if sigma == 0 {
+		sigma = 0.05
+	}
+	u := root.Child(fmt.Sprintf("quirk/%s/%d", w.Name, cpus)).Float64()
+	return 1 + sigma*(2*u-1)
+}
+
+// groupFactor is the time-of-day effect on throughput: the cloud host is
+// busier at some times than others.
+var groupFactors = [3]float64{0.97, 1.00, 1.035}
+
+// Simulate runs workload w under cfg and returns the full experiment
+// telemetry: resource-counter time series, plan-statistic observations,
+// and performance results. root is the experiment-suite randomness source;
+// Simulate derives independent child streams per experiment, so simulating
+// additional experiments never perturbs existing ones.
+func Simulate(w *Workload, cfg Config, root *telemetry.Source) *telemetry.Experiment {
+	cfg = cfg.withDefaults()
+	ss := ComputeSteadyState(w, cfg.SKU, cfg.Terminals)
+
+	quirk := skuQuirk(w, cfg.SKU.CPUs, root)
+	gf := groupFactors[cfg.DataGroup%3]
+	src := root.Child(fmt.Sprintf("exp/%s/%s/t%d/r%d/g%d", w.Name, cfg.SKU, cfg.Terminals, cfg.Run, cfg.DataGroup))
+	runNoise := src.LogNormal(1, 0.025)
+
+	// Multi-tenant interference: occasionally a noisy neighbor inflates
+	// the resource counters and depresses throughput, putting the run
+	// visibly off its workload's usual profile. These rare events are why
+	// similarity accuracy saturates below 1.0 even with good features.
+	interference := 1.0
+	if src.Float64() < 0.08 {
+		interference = 1.3 + 0.6*src.Float64()
+	}
+
+	// Interference distorts the observed counters far more than the
+	// database's own throughput (the neighbor burns the shared resources
+	// the counters see; the engine mostly keeps its reservation).
+	scale := quirk * gf * runNoise / (1 + 0.15*(interference-1))
+	exp := &telemetry.Experiment{
+		Workload:   w.Name,
+		SKU:        cfg.SKU,
+		Terminals:  cfg.Terminals,
+		Run:        cfg.Run,
+		DataGroup:  cfg.DataGroup,
+		Throughput: ss.Throughput * scale,
+		// The workload-level latency aggregates every transaction in the
+		// run, so its measurement noise is far smaller than the per-type
+		// estimates below.
+		MeanLatMS: ss.MeanLatMS / scale * src.LogNormal(1, 0.015),
+	}
+	weights := w.normalizedWeights()
+	for i := range w.Txns {
+		exp.TxnStats = append(exp.TxnStats, telemetry.TxnMetrics{
+			Name:   w.Txns[i].Query.Name,
+			Weight: weights[i],
+			// Per-type latency estimates come from far fewer samples than
+			// the workload aggregate, so they carry visibly more
+			// measurement noise — the effect behind Figure 1.
+			MeanLatMS:  ss.TxnLatMS[i] / scale * src.LogNormal(1, 0.07),
+			Throughput: ss.TxnTput[i] * scale,
+		})
+	}
+
+	if !w.PlanOnly {
+		sampleResources(w, cfg, ss, scale, interference, src, exp)
+	}
+
+	pressure := ss.MemUtil / 100
+	// Per-run plan drift: statistics refreshes move the optimizer's
+	// estimates a little between runs, so plan observations cluster per
+	// run rather than collapsing onto one point per workload.
+	var drift [telemetry.NumPlanFeatures]float64
+	for i := range drift {
+		drift[i] = src.LogNormal(1, 0.16)
+	}
+	for obs := 0; obs < cfg.PlanObsPerQuery; obs++ {
+		for i := range w.Txns {
+			exp.Plans = append(exp.Plans, telemetry.PlanObservation{
+				Query: w.Txns[i].Query.Name,
+				Stats: PlanStatsDrifted(w.Txns[i].Query, w.Catalog, cfg.SKU, pressure, src, &drift),
+			})
+		}
+	}
+	return exp
+}

@@ -1,0 +1,206 @@
+package simdb
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/telemetry"
+)
+
+func testWorkload() *Workload {
+	c := testCatalog()
+	w := &Workload{
+		Name:    "test-wl",
+		Class:   Mixed,
+		Catalog: c,
+		Txns: []TxnProfile{
+			{Query: &QueryTemplate{Name: "read", Refs: []TableRef{{Table: "small", Selectivity: 0.01, UseIndex: true}}}, Weight: 70, ParallelFrac: 0.05},
+			{Query: &QueryTemplate{Name: "write", Refs: []TableRef{{Table: "small", Selectivity: 0.01, UseIndex: true}}, Write: UpdateWrite, WriteRows: 1}, Weight: 30},
+		},
+		Contention: 0.1,
+	}
+	w.DeriveDemands()
+	return w
+}
+
+func TestDeriveDemandsFillsZeroFields(t *testing.T) {
+	w := testWorkload()
+	for i, txn := range w.Txns {
+		if txn.CPUms <= 0 || txn.IOops <= 0 || txn.MemMB <= 0 || txn.LockReqs <= 0 {
+			t.Fatalf("txn %d demands not derived: %+v", i, txn)
+		}
+	}
+	// Explicit values must be preserved.
+	w2 := testWorkload()
+	w2.Txns[0].CPUms = 42
+	w2.DeriveDemands()
+	if w2.Txns[0].CPUms != 42 {
+		t.Fatal("explicit demand overwritten")
+	}
+}
+
+func TestReadOnlyFraction(t *testing.T) {
+	w := testWorkload()
+	if got := w.ReadOnlyFraction(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("ReadOnlyFraction = %v, want 0.7", got)
+	}
+}
+
+func TestComputeSteadyStateSanity(t *testing.T) {
+	w := testWorkload()
+	for _, sku := range telemetry.DefaultSKUs() {
+		ss := ComputeSteadyState(w, sku, 8)
+		if ss.Throughput <= 0 || math.IsNaN(ss.Throughput) {
+			t.Fatalf("throughput = %v on %v", ss.Throughput, sku)
+		}
+		if ss.MeanLatMS <= 0 {
+			t.Fatalf("latency = %v", ss.MeanLatMS)
+		}
+		if ss.CPUUtil < 0 || ss.CPUUtil > 100 || ss.MemUtil < 0 || ss.MemUtil > 100 {
+			t.Fatalf("utilizations out of range: cpu %v mem %v", ss.CPUUtil, ss.MemUtil)
+		}
+		if ss.CPUEff > ss.CPUUtil {
+			t.Fatal("effective CPU cannot exceed utilization")
+		}
+		if len(ss.TxnLatMS) != 2 || len(ss.TxnTput) != 2 {
+			t.Fatal("per-transaction metrics missing")
+		}
+	}
+}
+
+func TestSteadyStateThroughputNonDecreasingInCPUs(t *testing.T) {
+	w := testWorkload()
+	prev := 0.0
+	for _, sku := range telemetry.DefaultSKUs() {
+		x := ComputeSteadyState(w, sku, 32).Throughput
+		if x < prev*0.999 {
+			t.Fatalf("throughput decreased with more CPUs: %v after %v", x, prev)
+		}
+		prev = x
+	}
+}
+
+func TestSteadyStateLittleLaw(t *testing.T) {
+	// Closed system: X · R = N.
+	w := testWorkload()
+	ss := ComputeSteadyState(w, telemetry.SKU{CPUs: 4, MemoryGB: 32}, 16)
+	if got := ss.Throughput * ss.MeanLatMS / 1000; math.Abs(got-16) > 1e-6 {
+		t.Fatalf("X·R = %v, want 16 terminals", got)
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	w := testWorkload()
+	cfg := Config{SKU: telemetry.SKU{CPUs: 4, MemoryGB: 32}, Terminals: 8, Ticks: 60}
+	a := Simulate(w, cfg, telemetry.NewSource(5))
+	b := Simulate(testWorkload(), cfg, telemetry.NewSource(5))
+	if a.Throughput != b.Throughput {
+		t.Fatal("same seed must reproduce throughput")
+	}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		for i := range a.Resources.Samples[f] {
+			if a.Resources.Samples[f][i] != b.Resources.Samples[f][i] {
+				t.Fatal("same seed must reproduce the resource series")
+			}
+		}
+	}
+	c := Simulate(w, cfg, telemetry.NewSource(6))
+	if a.Throughput == c.Throughput {
+		t.Fatal("different seed should perturb throughput")
+	}
+}
+
+func TestSimulateShape(t *testing.T) {
+	w := testWorkload()
+	e := Simulate(w, Config{SKU: telemetry.SKU{CPUs: 8, MemoryGB: 64}, Terminals: 8, Ticks: 90, PlanObsPerQuery: 4}, telemetry.NewSource(1))
+	if e.Resources.Len() != 90 {
+		t.Fatalf("ticks = %d, want 90", e.Resources.Len())
+	}
+	if len(e.ThroughputSeries) != 90 {
+		t.Fatalf("throughput series = %d", len(e.ThroughputSeries))
+	}
+	if len(e.Plans) != 4*len(w.Txns) {
+		t.Fatalf("plans = %d, want %d", len(e.Plans), 4*len(w.Txns))
+	}
+	if len(e.TxnStats) != len(w.Txns) {
+		t.Fatalf("txn stats = %d", len(e.TxnStats))
+	}
+	wsum := 0.0
+	for _, ts := range e.TxnStats {
+		wsum += ts.Weight
+		if ts.MeanLatMS <= 0 || ts.Throughput <= 0 {
+			t.Fatalf("bad txn stats: %+v", ts)
+		}
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("txn weights sum to %v", wsum)
+	}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		for i, v := range e.Resources.Samples[f] {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("resource %d tick %d = %v", f, i, v)
+			}
+		}
+	}
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	w := testWorkload()
+	e := Simulate(w, Config{SKU: telemetry.SKU{CPUs: 2, MemoryGB: 16}}, telemetry.NewSource(2))
+	if e.Resources.Len() != 360 {
+		t.Fatalf("default ticks = %d, want 360", e.Resources.Len())
+	}
+	if e.Terminals != 1 {
+		t.Fatalf("default terminals = %d, want 1", e.Terminals)
+	}
+	if len(e.Plans) != 3*len(w.Txns) {
+		t.Fatalf("default plan observations = %d", len(e.Plans))
+	}
+}
+
+func TestSimulatePlanOnly(t *testing.T) {
+	w := testWorkload()
+	w.PlanOnly = true
+	e := Simulate(w, Config{SKU: telemetry.SKU{CPUs: 4, MemoryGB: 32}, Ticks: 50}, telemetry.NewSource(3))
+	if e.Resources.Len() != 0 {
+		t.Fatal("plan-only workload must not emit resource series")
+	}
+	if len(e.ThroughputSeries) != 0 {
+		t.Fatal("plan-only workload must not emit a throughput series")
+	}
+	if len(e.Plans) == 0 {
+		t.Fatal("plan-only workload must still emit plan observations")
+	}
+}
+
+func TestSKUQuirkStableAcrossRuns(t *testing.T) {
+	w := testWorkload()
+	root := telemetry.NewSource(9)
+	q1 := skuQuirk(w, 8, root)
+	q2 := skuQuirk(w, 8, root)
+	if q1 != q2 {
+		t.Fatal("quirk must be a fixed (workload, SKU) property")
+	}
+	if skuQuirk(w, 2, root) == q1 {
+		t.Fatal("quirk should differ across CPU counts")
+	}
+	if q1 < 0.9 || q1 > 1.1 {
+		t.Fatalf("quirk = %v outside plausible bounds", q1)
+	}
+}
+
+func TestWorkloadClassString(t *testing.T) {
+	if Transactional.String() != "transactional" || Analytical.String() != "analytical" || Mixed.String() != "mixed" {
+		t.Fatal("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class needs fallback")
+	}
+}
+
+func TestDBSizeGB(t *testing.T) {
+	w := testWorkload()
+	if s := w.DBSizeGB(); s <= 0 {
+		t.Fatalf("DBSizeGB = %v", s)
+	}
+}

@@ -1,0 +1,69 @@
+package simdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan tree in an EXPLAIN-like indented format with
+// per-operator estimates, e.g.
+//
+//	Sort  (rows=10 cpu=0.0332 mem=12.4KB)
+//	└── HashAggregate  (rows=10 cpu=1.8970 mem=880.0KB)
+//	    └── SeqScan  (rows=60000 read=60000 io=1.8750 cpu=9.4860)
+//
+// It exists for debugging workload definitions and for the telemetry
+// generator's documentation; the pipeline itself never parses it.
+func Explain(root *PlanNode) string {
+	var b strings.Builder
+	explainNode(&b, root, "", true, true)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n *PlanNode, prefix string, isLast, isRoot bool) {
+	if !isRoot {
+		connector := "├── "
+		if isLast {
+			connector = "└── "
+		}
+		b.WriteString(prefix)
+		b.WriteString(connector)
+	}
+	b.WriteString(n.Op.String())
+	b.WriteString("  (")
+	fmt.Fprintf(b, "rows=%.0f", n.EstRows)
+	if n.RowsRead > 0 && n.RowsRead != n.EstRows {
+		fmt.Fprintf(b, " read=%.0f", n.RowsRead)
+	}
+	if n.EstIO > 0 {
+		fmt.Fprintf(b, " io=%.4f", n.EstIO)
+	}
+	if n.EstCPU > 0 {
+		fmt.Fprintf(b, " cpu=%.4f", n.EstCPU)
+	}
+	if n.EstMemKB > 0 {
+		fmt.Fprintf(b, " mem=%.1fKB", n.EstMemKB)
+	}
+	if n.Rebinds > 0 {
+		fmt.Fprintf(b, " rebinds=%.0f", n.Rebinds)
+	}
+	b.WriteString(")\n")
+
+	childPrefix := prefix
+	if !isRoot {
+		if isLast {
+			childPrefix += "    "
+		} else {
+			childPrefix += "│   "
+		}
+	}
+	for i, ch := range n.Children {
+		explainNode(b, ch, childPrefix, i == len(n.Children)-1, false)
+	}
+}
+
+// ExplainQuery builds and renders the plan for a template against a
+// catalog.
+func ExplainQuery(q *QueryTemplate, cat *Catalog) string {
+	return Explain(BuildPlan(q, cat))
+}

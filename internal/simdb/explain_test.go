@@ -1,0 +1,61 @@
+package simdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainRendersTree(t *testing.T) {
+	c := testCatalog()
+	q := &QueryTemplate{
+		Name: "q",
+		Refs: []TableRef{
+			{Table: "big", Selectivity: 0.3},
+			{Table: "heap", Selectivity: 1e-4},
+		},
+		HasAgg:    true,
+		AggGroups: 20,
+		HasSort:   true,
+	}
+	out := ExplainQuery(q, c)
+	for _, want := range []string{"Sort", "HashAggregate", "HashJoin", "SeqScan", "rows=", "└──"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation depth must grow with tree depth.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("Explain produced %d lines:\n%s", len(lines), out)
+	}
+	if strings.HasPrefix(lines[0], " ") {
+		t.Fatal("root must not be indented")
+	}
+	if !strings.Contains(lines[len(lines)-1], "Scan") {
+		t.Fatalf("deepest line should be a scan:\n%s", out)
+	}
+}
+
+func TestExplainPointLookup(t *testing.T) {
+	c := testCatalog()
+	q := &QueryTemplate{Name: "pt", Refs: []TableRef{{Table: "small", Selectivity: 0.01, UseIndex: true}}}
+	out := ExplainQuery(q, c)
+	if !strings.HasPrefix(out, "IndexSeek") {
+		t.Fatalf("point lookup plan:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("single-operator plan must be one line:\n%s", out)
+	}
+}
+
+func TestExplainNestedLoopsShowsRebinds(t *testing.T) {
+	c := testCatalog()
+	q := &QueryTemplate{Name: "nl", Refs: []TableRef{
+		{Table: "small", Selectivity: 0.05, UseIndex: true},
+		{Table: "big", Selectivity: 1e-7, UseIndex: true},
+	}}
+	out := ExplainQuery(q, c)
+	if !strings.Contains(out, "NestedLoops") || !strings.Contains(out, "rebinds=") {
+		t.Fatalf("nested loops plan must report rebinds:\n%s", out)
+	}
+}

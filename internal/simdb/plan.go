@@ -1,0 +1,473 @@
+package simdb
+
+import (
+	"fmt"
+	"math"
+
+	"wpred/internal/telemetry"
+)
+
+// OpKind enumerates the physical operators of the simulated plan tree.
+type OpKind int
+
+const (
+	OpSeqScan OpKind = iota
+	OpIndexSeek
+	OpKeyLookup
+	OpFilter
+	OpNestedLoops
+	OpHashJoin
+	OpSort
+	OpHashAggregate
+	OpStreamAggregate
+	OpComputeScalar
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpTop
+)
+
+var opNames = [...]string{
+	OpSeqScan:         "SeqScan",
+	OpIndexSeek:       "IndexSeek",
+	OpKeyLookup:       "KeyLookup",
+	OpFilter:          "Filter",
+	OpNestedLoops:     "NestedLoops",
+	OpHashJoin:        "HashJoin",
+	OpSort:            "Sort",
+	OpHashAggregate:   "HashAggregate",
+	OpStreamAggregate: "StreamAggregate",
+	OpComputeScalar:   "ComputeScalar",
+	OpInsert:          "Insert",
+	OpUpdate:          "Update",
+	OpDelete:          "Delete",
+	OpTop:             "Top",
+}
+
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opNames) {
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+	return opNames[k]
+}
+
+// PlanNode is one operator in a physical plan with its cost estimates.
+// Costs use SQL Server-flavored units: EstIO/EstCPU are abstract optimizer
+// cost units (pages·ioUnit, rows·cpuUnit); EstMemKB is the operator's
+// memory grant request.
+type PlanNode struct {
+	Op       OpKind
+	Children []*PlanNode
+	EstRows  float64 // rows the operator outputs
+	RowsRead float64 // rows examined before filtering (scans)
+	EstIO    float64
+	EstCPU   float64
+	EstMemKB float64
+	RowBytes float64 // width of the output rows
+	Rebinds  float64 // inner-side re-executions (nested loops)
+	Rewinds  float64
+}
+
+// Optimizer cost constants, matching the classic SQL Server flavor.
+const (
+	ioUnitPerPage = 0.003125  // cost units per sequential page read
+	ioUnitRandom  = 0.003125  // cost units per random page read (same unit, more pages touched per row)
+	cpuUnitPerRow = 0.0001581 // cost units per row processed
+	seekBaseCost  = 0.0038    // fixed cost of one index seek
+)
+
+// SubtreeCost returns the total cost (IO+CPU) of the subtree rooted at n.
+func (n *PlanNode) SubtreeCost() float64 {
+	c := n.EstIO + n.EstCPU
+	for _, ch := range n.Children {
+		c += ch.SubtreeCost()
+	}
+	return c
+}
+
+// TotalIO sums EstIO over the subtree.
+func (n *PlanNode) TotalIO() float64 {
+	c := n.EstIO
+	for _, ch := range n.Children {
+		c += ch.TotalIO()
+	}
+	return c
+}
+
+// TotalCPU sums EstCPU over the subtree.
+func (n *PlanNode) TotalCPU() float64 {
+	c := n.EstCPU
+	for _, ch := range n.Children {
+		c += ch.TotalCPU()
+	}
+	return c
+}
+
+// TotalMemKB sums the memory grants over the subtree.
+func (n *PlanNode) TotalMemKB() float64 {
+	c := n.EstMemKB
+	for _, ch := range n.Children {
+		c += ch.TotalMemKB()
+	}
+	return c
+}
+
+// TotalRowsRead sums RowsRead over the subtree.
+func (n *PlanNode) TotalRowsRead() float64 {
+	c := n.RowsRead
+	for _, ch := range n.Children {
+		c += ch.TotalRowsRead()
+	}
+	return c
+}
+
+// NumNodes counts operators in the subtree.
+func (n *PlanNode) NumNodes() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.NumNodes()
+	}
+	return c
+}
+
+func (n *PlanNode) totalRebinds() float64 {
+	c := n.Rebinds
+	for _, ch := range n.Children {
+		c += ch.totalRebinds()
+	}
+	return c
+}
+
+func (n *PlanNode) totalRewinds() float64 {
+	c := n.Rewinds
+	for _, ch := range n.Children {
+		c += ch.totalRewinds()
+	}
+	return c
+}
+
+// TableRef describes how a query template touches one table.
+type TableRef struct {
+	Table       string
+	Selectivity float64 // fraction of rows selected
+	UseIndex    bool    // whether an index (or clustered key) serves the predicate
+}
+
+// QueryTemplate is the static description of one query/transaction
+// statement. The plan generator turns it into an operator tree against the
+// catalog and derives the 22 plan statistics from that tree.
+type QueryTemplate struct {
+	Name       string
+	Refs       []TableRef // tables accessed; first is the driving table
+	HasSort    bool       // ORDER BY requiring a sort operator
+	HasAgg     bool       // GROUP BY / aggregation
+	AggGroups  float64    // output groups for aggregation (0 = scalar agg)
+	Write      WriteKind  // kind of write, if any
+	WriteRows  float64    // rows written per execution
+	OutputRows float64    // override for final output rows (0 = derive)
+	TopN       float64    // LIMIT/TOP clause (0 = none)
+}
+
+// WriteKind classifies a template's write behavior.
+type WriteKind int
+
+const (
+	ReadOnly WriteKind = iota
+	InsertWrite
+	UpdateWrite
+	DeleteWrite
+)
+
+// IsReadOnly reports whether the template performs no writes.
+func (q *QueryTemplate) IsReadOnly() bool { return q.Write == ReadOnly }
+
+// BuildPlan constructs the physical plan tree for q against the catalog.
+// The construction mirrors a textbook optimizer: index seeks when a usable
+// index exists and the predicate is selective, sequential scans otherwise;
+// nested loops joins when the inner side is indexed and the outer side is
+// small, hash joins otherwise; sorts and aggregates on top; write operators
+// as the root for DML.
+func BuildPlan(q *QueryTemplate, cat *Catalog) *PlanNode {
+	if len(q.Refs) == 0 {
+		panic(fmt.Sprintf("simdb: query template %q references no tables", q.Name))
+	}
+	node := accessPath(q.Refs[0], cat)
+	// Join the remaining tables left-deep.
+	for _, ref := range q.Refs[1:] {
+		inner := accessPath(ref, cat)
+		node = joinNodes(node, inner, cat.Table(ref.Table), ref)
+	}
+	if q.HasAgg {
+		node = aggNode(node, q.AggGroups)
+	}
+	if q.HasSort {
+		node = sortNode(node)
+	}
+	if q.TopN > 0 && q.TopN < node.EstRows {
+		node = &PlanNode{Op: OpTop, Children: []*PlanNode{node}, EstRows: q.TopN, EstCPU: q.TopN * cpuUnitPerRow, RowBytes: node.RowBytes}
+	}
+	if q.OutputRows > 0 {
+		node.EstRows = q.OutputRows
+	}
+	switch q.Write {
+	case InsertWrite, UpdateWrite, DeleteWrite:
+		node = writeNode(q, node, cat)
+	}
+	return node
+}
+
+func accessPath(ref TableRef, cat *Catalog) *PlanNode {
+	t := cat.Table(ref.Table)
+	outRows := t.Rows * ref.Selectivity
+	if outRows < 1 {
+		outRows = 1
+	}
+	if ref.UseIndex && (len(t.Indexes) > 0 || t.Clustered) {
+		// Index seek: B-tree descent plus leaf pages proportional to the
+		// selected rows.
+		leafPages := math.Ceil(outRows * t.RowBytes() / PageSize)
+		depth := math.Max(1, math.Log2(t.Pages()+1)/2)
+		return &PlanNode{
+			Op:       OpIndexSeek,
+			EstRows:  outRows,
+			RowsRead: outRows,
+			EstIO:    seekBaseCost + (depth+leafPages)*ioUnitRandom,
+			EstCPU:   outRows * cpuUnitPerRow,
+			RowBytes: t.RowBytes(),
+		}
+	}
+	// Sequential scan reads every page and filters.
+	scan := &PlanNode{
+		Op:       OpSeqScan,
+		EstRows:  outRows,
+		RowsRead: t.Rows,
+		EstIO:    t.Pages() * ioUnitPerPage,
+		EstCPU:   t.Rows * cpuUnitPerRow,
+		RowBytes: t.RowBytes(),
+	}
+	if ref.Selectivity < 1 {
+		return &PlanNode{
+			Op:       OpFilter,
+			Children: []*PlanNode{scan},
+			EstRows:  outRows,
+			EstCPU:   t.Rows * cpuUnitPerRow * 0.1,
+			RowBytes: t.RowBytes(),
+		}
+	}
+	return scan
+}
+
+func joinNodes(outer, inner *PlanNode, innerTable *Table, ref TableRef) *PlanNode {
+	outRows := outer.EstRows * math.Max(ref.Selectivity, 1e-9) * innerTable.Rows
+	if outRows < 1 {
+		outRows = 1
+	}
+	rowBytes := outer.RowBytes + inner.RowBytes
+	// Nested loops when the outer is small and the inner is seekable.
+	if outer.EstRows <= 128 && (ref.UseIndex && (len(innerTable.Indexes) > 0 || innerTable.Clustered)) {
+		inner.Rebinds = math.Max(outer.EstRows-1, 0)
+		return &PlanNode{
+			Op:       OpNestedLoops,
+			Children: []*PlanNode{outer, inner},
+			EstRows:  outRows,
+			EstCPU:   outer.EstRows * inner.EstRows * cpuUnitPerRow * 0.5,
+			EstIO:    outer.EstRows * seekBaseCost,
+			RowBytes: rowBytes,
+		}
+	}
+	// Hash join: build on the smaller input.
+	build := inner
+	if outer.EstRows < inner.EstRows {
+		build = outer
+	}
+	memKB := build.EstRows * build.RowBytes / 1024 * 1.2
+	return &PlanNode{
+		Op:       OpHashJoin,
+		Children: []*PlanNode{outer, inner},
+		EstRows:  outRows,
+		EstCPU:   (outer.EstRows + inner.EstRows) * cpuUnitPerRow * 1.5,
+		EstMemKB: memKB,
+		RowBytes: rowBytes,
+	}
+}
+
+func aggNode(child *PlanNode, groups float64) *PlanNode {
+	if groups <= 0 {
+		groups = 1
+	}
+	memKB := child.EstRows * child.RowBytes / 1024 * 0.6
+	op := OpHashAggregate
+	if groups <= 4 {
+		op = OpStreamAggregate
+		memKB = 64
+	}
+	return &PlanNode{
+		Op:       op,
+		Children: []*PlanNode{child},
+		EstRows:  groups,
+		EstCPU:   child.EstRows * cpuUnitPerRow * 2,
+		EstMemKB: memKB,
+		RowBytes: math.Max(child.RowBytes*0.4, 16),
+	}
+}
+
+func sortNode(child *PlanNode) *PlanNode {
+	n := math.Max(child.EstRows, 2)
+	return &PlanNode{
+		Op:       OpSort,
+		Children: []*PlanNode{child},
+		EstRows:  child.EstRows,
+		EstCPU:   n * math.Log2(n) * cpuUnitPerRow * 1.2,
+		EstMemKB: child.EstRows * child.RowBytes / 1024 * 1.1,
+		RowBytes: child.RowBytes,
+	}
+}
+
+func writeNode(q *QueryTemplate, child *PlanNode, cat *Catalog) *PlanNode {
+	t := cat.Table(q.Refs[0].Table)
+	rows := q.WriteRows
+	if rows <= 0 {
+		rows = math.Min(child.EstRows, 1)
+	}
+	var op OpKind
+	switch q.Write {
+	case InsertWrite:
+		op = OpInsert
+	case UpdateWrite:
+		op = OpUpdate
+	default:
+		op = OpDelete
+	}
+	// Writes touch index pages per affected row plus log writes.
+	idxFactor := float64(len(t.Indexes)) + 1
+	return &PlanNode{
+		Op:       op,
+		Children: []*PlanNode{child},
+		EstRows:  rows,
+		EstIO:    rows * idxFactor * ioUnitRandom * 2,
+		EstCPU:   rows * cpuUnitPerRow * 3,
+		RowBytes: t.RowBytes(),
+	}
+}
+
+// PlanStats derives the 22 plan statistics of Table 2 from a built plan,
+// the SKU it would execute on, the memory pressure of the running workload
+// (0..1; it shrinks the available memory grant the way concurrent grants
+// do on a live server), and an observation-noise source. The Est*
+// statistics are optimizer outputs and therefore nearly deterministic;
+// compile-time and runtime-grant statistics jitter across observations the
+// way a live server's do.
+func PlanStats(q *QueryTemplate, cat *Catalog, sku telemetry.SKU, memPressure float64, src noiseSource) [telemetry.NumPlanFeatures]float64 {
+	return PlanStatsDrifted(q, cat, sku, memPressure, src, nil)
+}
+
+// PlanStatsDrifted is PlanStats with an optional per-feature multiplicative
+// drift vector. Simulate draws one drift per experiment (modeling
+// statistics refreshes and plan-cache churn between runs), so plan
+// observations cluster per run rather than per workload.
+func PlanStatsDrifted(q *QueryTemplate, cat *Catalog, sku telemetry.SKU, memPressure float64, src noiseSource, drift *[telemetry.NumPlanFeatures]float64) [telemetry.NumPlanFeatures]float64 {
+	root := BuildPlan(q, cat)
+	var out [telemetry.NumPlanFeatures]float64
+
+	nodes := float64(root.NumNodes())
+	maxCard := 0.0
+	for _, ref := range q.Refs {
+		if r := cat.Table(ref.Table).Rows; r > maxCard {
+			maxCard = r
+		}
+	}
+	totalMemKB := root.TotalMemKB()
+	desiredKB := totalMemKB * 1.15
+	requiredKB := math.Max(totalMemKB*0.35, 24)
+	if memPressure < 0 {
+		memPressure = 0
+	}
+	if memPressure > 1 {
+		memPressure = 1
+	}
+	// The grant pool shrinks under concurrent memory pressure.
+	availGrantKB := float64(sku.MemoryGB) * 1024 * 1024 * 0.75 * (1 - 0.6*memPressure)
+	grantedKB := math.Min(desiredKB, availGrantKB)
+	if grantedKB < requiredKB {
+		grantedKB = requiredKB
+	}
+
+	set := func(f telemetry.Feature, v float64) {
+		out[int(f)-telemetry.NumResourceFeatures] = v
+	}
+
+	est := func(v float64) float64 { return v * src.LogNormal(1, 0.04) }    // optimizer stats: small drift (stats refreshes)
+	rt := func(v float64) float64 { return v * src.LogNormal(1, 0.08) }     // runtime stats: visible jitter
+	compile := func(v float64) float64 { return v * src.LogNormal(1, 0.1) } // compilation: noisy
+
+	set(telemetry.StatementEstRows, est(root.EstRows))
+	set(telemetry.StatementSubTreeCost, est(root.SubtreeCost()))
+	set(telemetry.CompileCPU, compile(nodes*0.9+2))
+	set(telemetry.TableCardinality, est(maxCard))
+	set(telemetry.SerialDesiredMemory, est(desiredKB))
+	set(telemetry.SerialRequiredMemory, est(requiredKB))
+	set(telemetry.MaxCompileMemory, compile(nodes*110+420))
+	set(telemetry.EstimateRebinds, est(root.totalRebinds()))
+	set(telemetry.EstimateRewinds, est(root.totalRewinds()))
+	set(telemetry.EstimatedPagesCached, est(math.Min(rootPages(q, cat), float64(sku.MemoryGB)*1024*1024/8)))
+	set(telemetry.EstimatedAvailableDOP, float64(availableDOP(sku)))
+	set(telemetry.EstimatedAvailableMemoryGrant, est(availGrantKB))
+	set(telemetry.CachedPlanSize, rt(nodes*14+30))
+	set(telemetry.AvgRowSize, est(root.RowBytes))
+	set(telemetry.CompileMemory, compile(nodes*75+180))
+	set(telemetry.EstimateRows, est(meanOperatorRows(root)))
+	set(telemetry.EstimateIO, est(root.TotalIO()))
+	set(telemetry.CompileTime, compile(nodes*0.8+1.5))
+	set(telemetry.GrantedMemory, rt(grantedKB))
+	set(telemetry.EstimateCPU, est(root.TotalCPU()))
+	set(telemetry.MaxUsedMemory, rt(grantedKB*0.82))
+	set(telemetry.EstimatedRowsRead, est(root.TotalRowsRead()))
+	if drift != nil {
+		for i := range out {
+			// The available degree of parallelism is a hard property of
+			// the SKU, not an estimate — it never drifts.
+			if telemetry.Feature(i+telemetry.NumResourceFeatures) == telemetry.EstimatedAvailableDOP {
+				continue
+			}
+			out[i] *= drift[i]
+		}
+	}
+	return out
+}
+
+// noiseSource is the subset of telemetry.Source the plan generator needs;
+// declared locally so tests can substitute a deterministic stub.
+type noiseSource interface {
+	LogNormal(mu, sigma float64) float64
+}
+
+func rootPages(q *QueryTemplate, cat *Catalog) float64 {
+	p := 0.0
+	for _, ref := range q.Refs {
+		p += cat.Table(ref.Table).Pages() * math.Min(ref.Selectivity*4+0.05, 1)
+	}
+	return p
+}
+
+func meanOperatorRows(root *PlanNode) float64 {
+	sum, n := 0.0, 0
+	var walk func(*PlanNode)
+	walk = func(node *PlanNode) {
+		sum += node.EstRows
+		n++
+		for _, ch := range node.Children {
+			walk(ch)
+		}
+	}
+	walk(root)
+	return sum / float64(n)
+}
+
+// availableDOP mirrors SQL Server's default max degree of parallelism
+// guidance: all cores up to 8, capped at 8 beyond.
+func availableDOP(sku telemetry.SKU) int {
+	if sku.CPUs <= 8 {
+		return sku.CPUs
+	}
+	return 8
+}

@@ -1,0 +1,79 @@
+package simdb
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"wpred/internal/telemetry"
+)
+
+// TestPlanCostMonotoneInSelectivity: for a fixed table, raising the
+// selectivity must never reduce the estimated output rows or the total
+// subtree cost.
+func TestPlanCostMonotoneInSelectivity(t *testing.T) {
+	c := testCatalog()
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 77))
+		s1 := rng.Float64()
+		s2 := rng.Float64()
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		mk := func(sel float64) *PlanNode {
+			return BuildPlan(&QueryTemplate{Name: "q", Refs: []TableRef{{Table: "big", Selectivity: sel}}}, c)
+		}
+		lo, hi := mk(s1), mk(s2)
+		return lo.EstRows <= hi.EstRows+1e-9 && lo.SubtreeCost() <= hi.SubtreeCost()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanStatsAlwaysFinite: arbitrary selectivities, SKUs, and pressure
+// values must never produce NaN, infinite, or negative statistics.
+func TestPlanStatsAlwaysFinite(t *testing.T) {
+	c := testCatalog()
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 99))
+		q := &QueryTemplate{
+			Name:      "q",
+			Refs:      []TableRef{{Table: "big", Selectivity: rng.Float64(), UseIndex: rng.IntN(2) == 0}},
+			HasAgg:    rng.IntN(2) == 0,
+			AggGroups: float64(rng.IntN(500)),
+			HasSort:   rng.IntN(2) == 0,
+		}
+		sku := telemetry.SKU{CPUs: 1 + rng.IntN(64), MemoryGB: 1 + rng.IntN(512)}
+		stats := PlanStats(q, c, sku, rng.Float64()*2-0.5, fixedNoise{})
+		for _, v := range stats {
+			if v < 0 || v != v { // negative or NaN
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyStateScaleInvariants: throughput must be positive and Little's
+// law must hold for arbitrary SKUs and terminal counts.
+func TestSteadyStateScaleInvariants(t *testing.T) {
+	w := testWorkload()
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 111))
+		sku := telemetry.SKU{CPUs: 1 + rng.IntN(32), MemoryGB: 4 + rng.IntN(256)}
+		terms := 1 + rng.IntN(64)
+		ss := ComputeSteadyState(w, sku, terms)
+		if ss.Throughput <= 0 || ss.MeanLatMS <= 0 {
+			return false
+		}
+		littles := ss.Throughput * ss.MeanLatMS / 1000
+		return littles > float64(terms)*0.999 && littles < float64(terms)*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

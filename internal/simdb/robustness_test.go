@@ -1,0 +1,144 @@
+package simdb
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/telemetry"
+)
+
+// TestExtremeConfigurations injects degenerate hardware and concurrency
+// settings: the simulator must stay finite and positive everywhere rather
+// than dividing by zero or saturating into NaN.
+func TestExtremeConfigurations(t *testing.T) {
+	w := testWorkload()
+	cases := []struct {
+		sku   telemetry.SKU
+		terms int
+	}{
+		{telemetry.SKU{CPUs: 1, MemoryGB: 1}, 1},
+		{telemetry.SKU{CPUs: 1, MemoryGB: 1}, 1000},
+		{telemetry.SKU{CPUs: 128, MemoryGB: 2048}, 1},
+		{telemetry.SKU{CPUs: 128, MemoryGB: 2048}, 1000},
+		{telemetry.SKU{CPUs: 2, MemoryGB: 4096}, 64},
+	}
+	for _, c := range cases {
+		ss := ComputeSteadyState(w, c.sku, c.terms)
+		check := func(name string, v float64) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%v t=%d: %s = %v", c.sku, c.terms, name, v)
+			}
+		}
+		check("throughput", ss.Throughput)
+		check("latency", ss.MeanLatMS)
+		check("cpu", ss.CPUUtil)
+		check("mem", ss.MemUtil)
+		check("iops", ss.IOPS)
+		check("rw", ss.RWRatio)
+		check("lockreq", ss.LockReq)
+		check("lockwait", ss.LockWait)
+		if ss.CPUUtil > 100 || ss.MemUtil > 100 {
+			t.Fatalf("%v t=%d: utilization out of range", c.sku, c.terms)
+		}
+	}
+}
+
+// TestMoreTerminalsNeverHurtMuch verifies the closed-system model's
+// monotonicity: adding terminals can saturate but must not collapse
+// throughput by more than the contention model allows.
+func TestMoreTerminalsNeverHurtMuch(t *testing.T) {
+	w := testWorkload()
+	sku := telemetry.SKU{CPUs: 8, MemoryGB: 64}
+	prev := 0.0
+	for _, terms := range []int{1, 2, 4, 8, 16, 32, 64} {
+		x := ComputeSteadyState(w, sku, terms).Throughput
+		if x < prev*0.7 {
+			t.Fatalf("throughput collapsed from %v to %v at %d terminals", prev, x, terms)
+		}
+		if x > prev {
+			prev = x
+		}
+	}
+}
+
+// TestSimulateTinyRun exercises a 1-tick experiment — the warm-up and
+// checkpoint logic must not index out of range.
+func TestSimulateTinyRun(t *testing.T) {
+	w := testWorkload()
+	e := Simulate(w, Config{SKU: telemetry.SKU{CPUs: 2, MemoryGB: 16}, Terminals: 2, Ticks: 1}, telemetry.NewSource(31))
+	if e.Resources.Len() != 1 {
+		t.Fatalf("ticks = %d", e.Resources.Len())
+	}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		if v := e.Resources.Samples[f][0]; math.IsNaN(v) || v < 0 {
+			t.Fatalf("feature %d = %v", f, v)
+		}
+	}
+}
+
+// TestInterferenceBounded: even when the interference event fires, the
+// simulated utilization and throughput stay within physical limits across
+// many runs.
+func TestInterferenceBounded(t *testing.T) {
+	w := testWorkload()
+	src := telemetry.NewSource(33)
+	for r := 0; r < 60; r++ {
+		e := Simulate(w, Config{SKU: telemetry.SKU{CPUs: 4, MemoryGB: 32}, Terminals: 8, Run: r, Ticks: 30}, src)
+		if e.Throughput <= 0 {
+			t.Fatalf("run %d throughput = %v", r, e.Throughput)
+		}
+		for _, v := range e.Resources.Samples[int(telemetry.CPUUtilization)] {
+			if v > 100 {
+				t.Fatalf("run %d CPU utilization %v > 100", r, v)
+			}
+		}
+	}
+}
+
+// TestAnalyticalPhaseShift: analytical workloads carry the mid-run level
+// shift Phase-FP depends on; the second half of the run must sit visibly
+// above the first half on memory utilization.
+func TestAnalyticalPhaseShift(t *testing.T) {
+	w := testWorkload()
+	w.Class = Analytical
+	e := Simulate(w, Config{SKU: telemetry.SKU{CPUs: 8, MemoryGB: 64}, Terminals: 4, Ticks: 200}, telemetry.NewSource(34))
+	s := e.Resources.Samples[int(telemetry.MemUtilization)]
+	firstHalf, secondHalf := 0.0, 0.0
+	for t := 40; t < 100; t++ { // skip warm-up
+		firstHalf += s[t]
+	}
+	for t := 100; t < 160; t++ {
+		secondHalf += s[t]
+	}
+	if secondHalf <= firstHalf*1.02 {
+		t.Fatalf("no analytical phase shift: %v vs %v", firstHalf/60, secondHalf/60)
+	}
+}
+
+// TestCheckpointBursts: write-heavy workloads must show periodic IOPS
+// spikes (the checkpoint pattern the sampler injects).
+func TestCheckpointBursts(t *testing.T) {
+	w := testWorkload() // 30% writes > the 20% burst threshold
+	e := Simulate(w, Config{SKU: telemetry.SKU{CPUs: 8, MemoryGB: 64}, Terminals: 8, Ticks: 240}, telemetry.NewSource(35))
+	iops := e.Resources.Samples[int(telemetry.IOPSTotal)]
+	// Compare checkpoint ticks (t%60 in [0,5)) against the rest.
+	var burst, steady []float64
+	for t := 60; t < 240; t++ {
+		if t%60 < 5 {
+			burst = append(burst, iops[t])
+		} else {
+			steady = append(steady, iops[t])
+		}
+	}
+	if mean(burst) < mean(steady)*1.3 {
+		t.Fatalf("no checkpoint bursts: burst %v vs steady %v", mean(burst), mean(steady))
+	}
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,126 @@
+package simdb
+
+import (
+	"math"
+
+	"wpred/internal/telemetry"
+)
+
+// sampleResources fills the experiment's resource time series. Each counter
+// fluctuates around its steady-state value with:
+//
+//   - a warm-up ramp over the first ~3 minutes (buffer pool filling),
+//   - AR(1) measurement noise,
+//   - periodic checkpoint bursts on the I/O path for write-heavy
+//     workloads,
+//   - a mid-run level shift on memory/CPU for analytical workloads (query
+//     mix phases) — this is what gives the Bayesian change-point detector
+//     of Phase-FP real phases to find,
+//   - and a near-workload-independent, very noisy lock-wait counter. Lock
+//     waits have the highest variance of any counter but overlap heavily
+//     across workloads, which is exactly the trap the paper observes
+//     variance-driven selection strategies falling into (§4.3.2).
+func sampleResources(w *Workload, cfg Config, ss SteadyState, scale, interference float64, src *telemetry.Source, exp *telemetry.Experiment) {
+	out := &exp.Resources
+	ticks := cfg.Ticks
+	for f := range out.Samples {
+		out.Samples[f] = make([]float64, ticks)
+	}
+	exp.ThroughputSeries = make([]float64, ticks)
+	tputNoise := 0.0
+
+	writeShare := 1 - w.ReadOnlyFraction()
+
+	// Per-feature AR(1) noise parameters and state, in a fixed order so
+	// the random stream (and thus the whole experiment) is reproducible.
+	type channel struct {
+		feature    telemetry.Feature
+		mean       float64
+		rho, sigma float64
+		state      float64
+	}
+	channels := []*channel{
+		{feature: telemetry.CPUUtilization, mean: math.Min(ss.CPUUtil*scale*interference, 99), rho: 0.6, sigma: 0.035},
+		{feature: telemetry.CPUEffective, mean: math.Min(ss.CPUEff*scale, 99), rho: 0.6, sigma: 0.045},
+		{feature: telemetry.MemUtilization, mean: ss.MemUtil, rho: 0.9, sigma: 0.03},
+		{feature: telemetry.IOPSTotal, mean: ss.IOPS * scale * interference, rho: 0.5, sigma: 0.07},
+		{feature: telemetry.ReadWriteRatio, mean: ss.RWRatio, rho: 0.4, sigma: 0.12},
+		{feature: telemetry.LockReqAbs, mean: ss.LockReq * scale, rho: 0.5, sigma: 0.06},
+	}
+
+	// Lock-wait behavior shifts regime from run to run (victim selection,
+	// scheduler timing): the counter has the highest variance of any
+	// feature yet carries almost no workload signal — the trap that
+	// catches variance-driven selection strategies and, when included,
+	// dilutes all-features similarity (the overfitting dip of §4.3.2).
+	lockRegime := src.LogNormal(1, 0.7)
+
+	warmup := ticks / 20 // ~5% of the run
+	if warmup < 6 {
+		warmup = 6
+	}
+	shiftTick := ticks / 2
+
+	for t := 0; t < ticks; t++ {
+		phase := 1.0
+		if t < warmup {
+			phase = 0.62 + 0.38*float64(t)/float64(warmup)
+		}
+		checkpoint := 1.0
+		if writeShare > 0.2 && ticks >= 60 && t%60 < 5 && t >= warmup {
+			checkpoint = 1.8 // periodic checkpoint flush burst
+		}
+		analyticShift := 1.0
+		if w.Class == Analytical && t >= shiftTick {
+			analyticShift = 1.12 // second half of the run: heavier templates
+		}
+
+		for _, ch := range channels {
+			ch.state = ch.rho*ch.state + ch.sigma*src.NormFloat64()
+			v := ch.mean * (1 + ch.state)
+			switch ch.feature {
+			case telemetry.CPUUtilization, telemetry.CPUEffective:
+				v *= phase
+				if w.Class == Analytical {
+					v *= analyticShift
+				}
+				if v > 100 {
+					v = 100
+				}
+			case telemetry.MemUtilization:
+				v *= 0.8 + 0.2*phase // buffer pool fills during warm-up
+				if w.Class == Analytical {
+					v *= analyticShift
+				}
+				if v > 100 {
+					v = 100
+				}
+			case telemetry.IOPSTotal:
+				v *= phase * checkpoint
+			case telemetry.LockReqAbs:
+				v *= phase
+			}
+			if v < 0 {
+				v = 0
+			}
+			out.Samples[int(ch.feature)][t] = v
+		}
+
+		// Lock waits: mean differs only mildly across workloads, variance
+		// dominates everywhere.
+		base := ss.LockWait * interference * lockRegime
+		lw := src.Normal(base, base*1.6+45)
+		if lw < 0 {
+			lw = -lw
+		}
+		out.Samples[int(telemetry.LockWaitAbs)][t] = lw
+
+		// Per-tick throughput around the experiment-level value.
+		tputNoise = 0.55*tputNoise + 0.03*src.NormFloat64()
+		tp := exp.Throughput * phase * (1 + tputNoise)
+		if tp < 0 {
+			tp = 0
+		}
+		exp.ThroughputSeries[t] = tp
+	}
+}

@@ -1,0 +1,214 @@
+package simdb
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/telemetry"
+)
+
+func testCatalog() *Catalog {
+	c := NewCatalog("test")
+	c.Add(&Table{Name: "big", Rows: 1e7, Columns: MakeColumns(10, 20), Clustered: true})
+	c.Add(&Table{Name: "small", Rows: 100, Columns: MakeColumns(4, 25), Clustered: true,
+		Indexes: []Index{{Name: "i1", KeyCols: 1}}})
+	c.Add(&Table{Name: "heap", Rows: 5000, Columns: MakeColumns(3, 30)})
+	return c
+}
+
+func TestCatalogCounts(t *testing.T) {
+	c := testCatalog()
+	if c.NumTables() != 3 {
+		t.Fatalf("NumTables = %d", c.NumTables())
+	}
+	if c.NumColumns() != 17 {
+		t.Fatalf("NumColumns = %d", c.NumColumns())
+	}
+	if c.NumIndexes() != 1 {
+		t.Fatalf("NumIndexes = %d", c.NumIndexes())
+	}
+}
+
+func TestCatalogDuplicatePanics(t *testing.T) {
+	c := testCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate table must panic")
+		}
+	}()
+	c.Add(&Table{Name: "big", Rows: 1})
+}
+
+func TestCatalogUnknownTablePanics(t *testing.T) {
+	c := testCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown table must panic")
+		}
+	}()
+	c.Table("missing")
+}
+
+func TestTableGeometry(t *testing.T) {
+	tab := &Table{Name: "t", Rows: 1000, Columns: MakeColumns(2, 100)}
+	if tab.RowBytes() != 200 {
+		t.Fatalf("RowBytes = %v", tab.RowBytes())
+	}
+	// 8192/200 = 40.96 rows/page → 1000/40.96 ≈ 24.4 pages.
+	if p := tab.Pages(); p < 24 || p > 25 {
+		t.Fatalf("Pages = %v", p)
+	}
+	empty := &Table{Name: "e", Rows: 0.5}
+	if empty.Pages() < 1 {
+		t.Fatal("Pages must be at least 1")
+	}
+}
+
+func TestBuildPlanAccessPaths(t *testing.T) {
+	c := testCatalog()
+	seek := BuildPlan(&QueryTemplate{Name: "pt", Refs: []TableRef{{Table: "small", Selectivity: 0.01, UseIndex: true}}}, c)
+	if seek.Op != OpIndexSeek {
+		t.Fatalf("selective indexed access = %v, want IndexSeek", seek.Op)
+	}
+	scan := BuildPlan(&QueryTemplate{Name: "scan", Refs: []TableRef{{Table: "big", Selectivity: 1}}}, c)
+	if scan.Op != OpSeqScan {
+		t.Fatalf("full scan = %v, want SeqScan", scan.Op)
+	}
+	filtered := BuildPlan(&QueryTemplate{Name: "f", Refs: []TableRef{{Table: "big", Selectivity: 0.5}}}, c)
+	if filtered.Op != OpFilter {
+		t.Fatalf("selective unindexed access = %v, want Filter over scan", filtered.Op)
+	}
+	if filtered.EstRows >= filtered.Children[0].RowsRead {
+		t.Fatal("filter must reduce rows")
+	}
+}
+
+func TestBuildPlanJoinChoice(t *testing.T) {
+	c := testCatalog()
+	// Small outer with indexed inner → nested loops.
+	nl := BuildPlan(&QueryTemplate{Name: "nl", Refs: []TableRef{
+		{Table: "small", Selectivity: 0.05, UseIndex: true},
+		{Table: "big", Selectivity: 1e-7, UseIndex: true},
+	}}, c)
+	if nl.Op != OpNestedLoops {
+		t.Fatalf("small-outer indexed join = %v, want NestedLoops", nl.Op)
+	}
+	if nl.totalRebinds() == 0 {
+		t.Fatal("nested loops must produce rebinds")
+	}
+	// Large unindexed join → hash join.
+	hj := BuildPlan(&QueryTemplate{Name: "hj", Refs: []TableRef{
+		{Table: "big", Selectivity: 0.5},
+		{Table: "heap", Selectivity: 1e-4},
+	}}, c)
+	if hj.Op != OpHashJoin {
+		t.Fatalf("large join = %v, want HashJoin", hj.Op)
+	}
+	if hj.EstMemKB <= 0 {
+		t.Fatal("hash join must request memory")
+	}
+}
+
+func TestBuildPlanAggSortWrite(t *testing.T) {
+	c := testCatalog()
+	agg := BuildPlan(&QueryTemplate{Name: "agg", Refs: []TableRef{{Table: "big", Selectivity: 1}},
+		HasAgg: true, AggGroups: 100}, c)
+	if agg.Op != OpHashAggregate {
+		t.Fatalf("many-group agg = %v, want HashAggregate", agg.Op)
+	}
+	scalar := BuildPlan(&QueryTemplate{Name: "s", Refs: []TableRef{{Table: "big", Selectivity: 1}},
+		HasAgg: true}, c)
+	if scalar.Op != OpStreamAggregate {
+		t.Fatalf("scalar agg = %v, want StreamAggregate", scalar.Op)
+	}
+	sorted := BuildPlan(&QueryTemplate{Name: "o", Refs: []TableRef{{Table: "heap", Selectivity: 1}},
+		HasSort: true}, c)
+	if sorted.Op != OpSort {
+		t.Fatalf("ordered query = %v, want Sort on top", sorted.Op)
+	}
+	ins := BuildPlan(&QueryTemplate{Name: "i", Refs: []TableRef{{Table: "small", Selectivity: 0.01, UseIndex: true}},
+		Write: InsertWrite, WriteRows: 5}, c)
+	if ins.Op != OpInsert || ins.EstRows != 5 {
+		t.Fatalf("insert plan = %v rows %v", ins.Op, ins.EstRows)
+	}
+	top := BuildPlan(&QueryTemplate{Name: "t", Refs: []TableRef{{Table: "big", Selectivity: 1}}, TopN: 10}, c)
+	if top.Op != OpTop || top.EstRows != 10 {
+		t.Fatalf("TopN plan = %v rows %v", top.Op, top.EstRows)
+	}
+}
+
+func TestPlanCostsMonotone(t *testing.T) {
+	c := testCatalog()
+	small := BuildPlan(&QueryTemplate{Name: "a", Refs: []TableRef{{Table: "heap", Selectivity: 1}}}, c)
+	big := BuildPlan(&QueryTemplate{Name: "b", Refs: []TableRef{{Table: "big", Selectivity: 1}}}, c)
+	if big.SubtreeCost() <= small.SubtreeCost() {
+		t.Fatal("scanning the bigger table must cost more")
+	}
+	if big.TotalIO() <= small.TotalIO() || big.TotalCPU() <= small.TotalCPU() {
+		t.Fatal("IO and CPU must grow with table size")
+	}
+}
+
+type fixedNoise struct{}
+
+func (fixedNoise) LogNormal(mu, sigma float64) float64 { return mu }
+
+func TestPlanStats(t *testing.T) {
+	c := testCatalog()
+	q := &QueryTemplate{Name: "q", Refs: []TableRef{{Table: "big", Selectivity: 0.3}}, HasAgg: true, AggGroups: 50, HasSort: true}
+	sku := telemetry.SKU{CPUs: 8, MemoryGB: 64}
+	stats := PlanStats(q, c, sku, 0.5, fixedNoise{})
+	get := func(f telemetry.Feature) float64 {
+		return stats[int(f)-telemetry.NumResourceFeatures]
+	}
+	if get(telemetry.TableCardinality) != 1e7 {
+		t.Fatalf("TableCardinality = %v", get(telemetry.TableCardinality))
+	}
+	if get(telemetry.EstimatedAvailableDOP) != 8 {
+		t.Fatalf("DOP = %v, want 8", get(telemetry.EstimatedAvailableDOP))
+	}
+	if get(telemetry.StatementEstRows) != 50 {
+		t.Fatalf("StatementEstRows = %v, want 50 groups", get(telemetry.StatementEstRows))
+	}
+	if get(telemetry.GrantedMemory) < get(telemetry.SerialRequiredMemory) {
+		t.Fatal("granted memory below required")
+	}
+	if get(telemetry.MaxUsedMemory) > get(telemetry.GrantedMemory) {
+		t.Fatal("used memory above granted")
+	}
+	for i, v := range stats {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("stat %d = %v", i, v)
+		}
+	}
+}
+
+func TestPlanStatsMemoryPressure(t *testing.T) {
+	c := testCatalog()
+	q := &QueryTemplate{Name: "q", Refs: []TableRef{{Table: "small", Selectivity: 0.1, UseIndex: true}}}
+	sku := telemetry.SKU{CPUs: 4, MemoryGB: 32}
+	lo := PlanStats(q, c, sku, 0, fixedNoise{})
+	hi := PlanStats(q, c, sku, 1, fixedNoise{})
+	idx := int(telemetry.EstimatedAvailableMemoryGrant) - telemetry.NumResourceFeatures
+	if hi[idx] >= lo[idx] {
+		t.Fatal("memory pressure must shrink the available grant")
+	}
+}
+
+func TestAvailableDOPCap(t *testing.T) {
+	if availableDOP(telemetry.SKU{CPUs: 4}) != 4 {
+		t.Fatal("DOP below the cap must equal CPUs")
+	}
+	if availableDOP(telemetry.SKU{CPUs: 16}) != 8 {
+		t.Fatal("DOP must cap at 8")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpSeqScan.String() != "SeqScan" || OpHashJoin.String() != "HashJoin" {
+		t.Fatal("operator names wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown op needs fallback name")
+	}
+}

@@ -1,0 +1,172 @@
+package simdb
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class categorizes workloads the way §2 of the paper does.
+type Class int
+
+const (
+	Transactional Class = iota
+	Analytical
+	Mixed
+)
+
+func (c Class) String() string {
+	switch c {
+	case Transactional:
+		return "transactional"
+	case Analytical:
+		return "analytical"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// TxnProfile couples a query template with its share of the transaction mix
+// and its execution demands. Demands default to values derived from the
+// template's plan (see DeriveDemands) scaled by the workload's demand
+// multipliers, so the plan statistics and the runtime behavior stay
+// mutually consistent.
+type TxnProfile struct {
+	Query  *QueryTemplate
+	Weight float64 // fraction of the mix (weights are normalized at use)
+
+	// Execution demands per execution. Zero values are filled in by
+	// DeriveDemands from the plan cost model.
+	CPUms    float64 // CPU milliseconds at degree of parallelism 1
+	IOops    float64 // physical I/O operations
+	MemMB    float64 // transient working memory
+	LockReqs float64 // lock manager requests
+
+	// ParallelFrac is the Amdahl-parallelizable fraction of the CPU work
+	// (≈0 for point lookups, ≈0.9 for large scans).
+	ParallelFrac float64
+}
+
+// Workload is a complete benchmark definition: catalog, transaction mix,
+// and the scaling characteristics of §6. bench constructs one per
+// benchmark (TPC-C, TPC-H, TPC-DS, Twitter, YCSB, PW).
+type Workload struct {
+	Name    string
+	Class   Class
+	Catalog *Catalog
+	Txns    []TxnProfile
+
+	// Demand multipliers applied when deriving demands from plan costs;
+	// they encode engine-level effects the plan cost model abstracts away
+	// (cache hit ratios, logging overhead).
+	CPUScale  float64 // default 1
+	IOScale   float64 // default 1
+	LockScale float64 // default 1
+
+	// Contention is the lock-contention coefficient of the closed-system
+	// model: write-heavy workloads lose throughput as terminals grow.
+	Contention float64
+
+	// SKUQuirkSigma controls the per-(workload, CPU-count) fixed effect
+	// that makes SKU-to-SKU transitions non-smooth — the phenomenon that
+	// makes pairwise scaling models outperform single models (§6.2.1).
+	SKUQuirkSigma float64
+
+	// PlanOnly marks workloads (the production workload PW) for which
+	// resource tracking is unavailable; Simulate leaves the resource
+	// series empty.
+	PlanOnly bool
+}
+
+// normalizedWeights returns the mix weights normalized to sum to 1.
+func (w *Workload) normalizedWeights() []float64 {
+	total := 0.0
+	for _, t := range w.Txns {
+		total += t.Weight
+	}
+	out := make([]float64, len(w.Txns))
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(w.Txns))
+		}
+		return out
+	}
+	for i, t := range w.Txns {
+		out[i] = t.Weight / total
+	}
+	return out
+}
+
+// ReadOnlyFraction returns the weighted share of read-only transactions.
+func (w *Workload) ReadOnlyFraction() float64 {
+	ws := w.normalizedWeights()
+	frac := 0.0
+	for i, t := range w.Txns {
+		if t.Query.IsReadOnly() {
+			frac += ws[i]
+		}
+	}
+	return frac
+}
+
+// cpuScale returns the CPU demand multiplier (default 1).
+func (w *Workload) cpuScale() float64 {
+	if w.CPUScale == 0 {
+		return 1
+	}
+	return w.CPUScale
+}
+
+func (w *Workload) ioScale() float64 {
+	if w.IOScale == 0 {
+		return 1
+	}
+	return w.IOScale
+}
+
+func (w *Workload) lockScale() float64 {
+	if w.LockScale == 0 {
+		return 1
+	}
+	return w.LockScale
+}
+
+// DeriveDemands fills in zero demand fields of every transaction profile
+// from its plan: CPU time proportional to the plan's CPU cost plus a fixed
+// per-statement overhead, I/O operations proportional to the plan's page
+// reads discounted by a buffer-cache hit ratio, lock requests from rows
+// touched and written. Explicitly set fields are preserved.
+func (w *Workload) DeriveDemands() {
+	for i := range w.Txns {
+		t := &w.Txns[i]
+		plan := BuildPlan(t.Query, w.Catalog)
+		if t.CPUms == 0 {
+			t.CPUms = (0.35 + plan.TotalCPU()*9) * w.cpuScale()
+		}
+		if t.IOops == 0 {
+			pages := plan.TotalIO() / ioUnitPerPage
+			const cacheHit = 0.90
+			t.IOops = (pages*(1-cacheHit) + 0.5) * w.ioScale()
+		}
+		if t.MemMB == 0 {
+			t.MemMB = plan.TotalMemKB()/1024 + 0.1
+		}
+		if t.LockReqs == 0 {
+			writes := 0.0
+			if !t.Query.IsReadOnly() {
+				writes = math.Max(t.Query.WriteRows, 1)
+			}
+			t.LockReqs = (plan.TotalRowsRead()*0.02 + writes*6 + 1) * w.lockScale()
+		}
+	}
+}
+
+// DBSizeGB returns the total base-table size in GiB.
+func (w *Workload) DBSizeGB() float64 {
+	pages := 0.0
+	for _, t := range w.Catalog.Tables {
+		pages += t.Pages()
+	}
+	return pages * PageSize / (1 << 30)
+}

@@ -1,0 +1,66 @@
+package stat
+
+// Histogram is an equi-width frequency histogram over a fixed value range.
+type Histogram struct {
+	Lo, Hi float64   // value range covered by the bins
+	Counts []float64 // raw counts per bin
+}
+
+// NewHistogram bins xs into n equi-width buckets over [lo, hi]. Values
+// outside the range are clamped into the first/last bucket, matching the
+// paper's min-max normalized setting where out-of-range values only occur
+// through clamping of unseen data.
+func NewHistogram(xs []float64, n int, lo, hi float64) *Histogram {
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, n)}
+	if n == 0 {
+		return h
+	}
+	span := hi - lo
+	for _, x := range xs {
+		var b int
+		if span < 1e-300 {
+			b = 0
+		} else {
+			b = int((x - lo) / span * float64(n))
+		}
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// Frequencies returns the relative frequency per bin (sums to 1 for
+// non-empty input).
+func (h *Histogram) Frequencies() []float64 {
+	total := 0.0
+	for _, c := range h.Counts {
+		total += c
+	}
+	out := make([]float64, len(h.Counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = c / total
+	}
+	return out
+}
+
+// Cumulative returns the cumulative relative frequency per bin; the final
+// bin is 1 for non-empty input. This is the representation Hist-FP uses:
+// cumulative distributions make entry-wise distances shape-aware (see
+// Appendix A of the paper).
+func (h *Histogram) Cumulative() []float64 {
+	freq := h.Frequencies()
+	run := 0.0
+	for i, f := range freq {
+		run += f
+		freq[i] = run
+	}
+	return freq
+}

@@ -1,0 +1,89 @@
+package stat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramPlacement(t *testing.T) {
+	// 0 → bin 0; 0.1 → bin 1; 0.5 → bin 5; 0.9 → bin 9; 1.0 clamps to
+	// bin 9.
+	h := NewHistogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 10, 0, 1)
+	want := map[int]float64{0: 1, 1: 1, 5: 1, 9: 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bin %d count = %v, want %v", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram([]float64{-5, 10}, 4, 0, 1)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("out-of-range values must clamp to edge bins: %v", h.Counts)
+	}
+}
+
+func TestHistogramConstantRange(t *testing.T) {
+	h := NewHistogram([]float64{3, 3, 3}, 5, 3, 3)
+	if h.Counts[0] != 3 {
+		t.Fatalf("degenerate range must place everything in bin 0: %v", h.Counts)
+	}
+}
+
+func TestFrequenciesSumToOne(t *testing.T) {
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 9))
+		xs := make([]float64, 1+rng.IntN(50))
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		freq := NewHistogram(xs, 10, 0, 1).Frequencies()
+		sum := 0.0
+		for _, v := range freq {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCumulativeProperties(t *testing.T) {
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 13))
+		xs := make([]float64, 1+rng.IntN(50))
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		cum := NewHistogram(xs, 10, 0, 1).Cumulative()
+		prev := 0.0
+		for _, v := range cum {
+			if v < prev-1e-12 {
+				return false // must be non-decreasing
+			}
+			prev = v
+		}
+		return math.Abs(cum[len(cum)-1]-1) < 1e-9 // last bin = 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram(nil, 5, 0, 1)
+	for _, v := range h.Frequencies() {
+		if v != 0 {
+			t.Fatal("empty histogram frequencies must be zero")
+		}
+	}
+	for _, v := range h.Cumulative() {
+		if v != 0 {
+			t.Fatal("empty histogram cumulative must be zero")
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package stat provides the descriptive statistics, association measures,
+// and histogram utilities shared by the feature-selection strategies, the
+// fingerprint representations, and the evaluation metrics.
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// SampleVariance returns the unbiased (n-1) variance of xs.
+func SampleVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean of xs.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return math.Sqrt(SampleVariance(xs) / float64(len(xs)))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Normalize maps xs into [0,1] using its own min/max. A constant slice maps
+// to all zeros. The result is a new slice.
+func Normalize(xs []float64) []float64 {
+	lo, hi := MinMax(xs)
+	out := make([]float64, len(xs))
+	if hi-lo < 1e-300 {
+		return out
+	}
+	span := hi - lo
+	for i, x := range xs {
+		out[i] = (x - lo) / span
+	}
+	return out
+}
+
+// Covariance returns the population covariance of xs and ys.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n)
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys.
+// It returns 0 when either input is constant.
+func Pearson(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx < 1e-300 || sy < 1e-300 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Spearman returns the Spearman rank correlation of xs and ys.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Rank(xs), Rank(ys))
+}
+
+// Rank returns the fractional ranks of xs (average rank for ties), 1-based.
+func Rank(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// FStatistic computes the one-way ANOVA F statistic for the samples grouped
+// by label: between-group mean square over within-group mean square. Labels
+// identify the group of each observation. It returns 0 when the statistic
+// is undefined (fewer than two groups, or zero within-group variance with
+// zero between-group variance) and +Inf when the groups are perfectly
+// separated.
+func FStatistic(values []float64, labels []int) float64 {
+	if len(values) != len(labels) || len(values) == 0 {
+		return 0
+	}
+	groups := map[int][]float64{}
+	for i, v := range values {
+		groups[labels[i]] = append(groups[labels[i]], v)
+	}
+	k := len(groups)
+	n := len(values)
+	if k < 2 || n <= k {
+		return 0
+	}
+	grand := Mean(values)
+	ssb, ssw := 0.0, 0.0
+	for _, g := range groups {
+		gm := Mean(g)
+		d := gm - grand
+		ssb += float64(len(g)) * d * d
+		for _, v := range g {
+			dv := v - gm
+			ssw += dv * dv
+		}
+	}
+	msb := ssb / float64(k-1)
+	msw := ssw / float64(n-k)
+	if msw < 1e-300 {
+		if msb < 1e-300 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return msb / msw
+}
+
+// MutualInformation estimates the mutual information (in nats) between a
+// continuous feature and an integer class label by binning the feature into
+// bins equi-width buckets.
+func MutualInformation(values []float64, labels []int, bins int) float64 {
+	n := len(values)
+	if n == 0 || n != len(labels) || bins < 1 {
+		return 0
+	}
+	lo, hi := MinMax(values)
+	if hi-lo < 1e-300 {
+		return 0 // constant feature carries no information
+	}
+	span := hi - lo
+	binOf := func(v float64) int {
+		b := int((v - lo) / span * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	joint := map[[2]int]int{}
+	px := make([]int, bins)
+	py := map[int]int{}
+	for i, v := range values {
+		b := binOf(v)
+		joint[[2]int{b, labels[i]}]++
+		px[b]++
+		py[labels[i]]++
+	}
+	mi := 0.0
+	fn := float64(n)
+	for key, c := range joint {
+		pxy := float64(c) / fn
+		pxv := float64(px[key[0]]) / fn
+		pyv := float64(py[key[1]]) / fn
+		mi += pxy * math.Log(pxy/(pxv*pyv))
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// Entropy returns the Shannon entropy (nats) of the empirical distribution
+// of integer labels.
+func Entropy(labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	h := 0.0
+	n := float64(len(labels))
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}

@@ -1,0 +1,213 @@
+package stat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := SampleVariance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("SampleVariance = %v, want %v", got, 32.0/7)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty inputs must yield 0")
+	}
+	if Variance([]float64{5}) != 0 || StdErr([]float64{5}) != 0 {
+		t.Fatal("single observation has no variance")
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %v, want 2.5", got)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("Q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("Q0.5 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("Q0.25 = %v", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 3))
+		xs := make([]float64, 1+rng.IntN(30))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+	n := Normalize([]float64{0, 5, 10})
+	if n[0] != 0 || n[1] != 0.5 || n[2] != 1 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	if c := Normalize([]float64{4, 4, 4}); c[0] != 0 || c[1] != 0 {
+		t.Fatal("constant slice must normalize to zeros")
+	}
+}
+
+func TestNormalizeRangeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		for _, v := range Normalize(xs) {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v, want 1", got)
+	}
+	if got := Pearson(x, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anti-correlation = %v, want -1", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant input correlation = %v, want 0", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman of monotone data = %v, want 1", got)
+	}
+}
+
+func TestRankTies(t *testing.T) {
+	got := Rank([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rank = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFStatistic(t *testing.T) {
+	// Well-separated groups → large F.
+	vals := []float64{1, 1.1, 0.9, 10, 10.1, 9.9}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	if got := FStatistic(vals, labels); got < 100 {
+		t.Fatalf("separated groups F = %v, want large", got)
+	}
+	// Identical distributions → small F.
+	mixed := []float64{1, 2, 3, 1, 2, 3}
+	if got := FStatistic(mixed, labels); got > 1e-9 {
+		t.Fatalf("identical groups F = %v, want ~0", got)
+	}
+	// One group or empty input is undefined.
+	if FStatistic(vals, []int{0, 0, 0, 0, 0, 0}) != 0 {
+		t.Fatal("single group must yield 0")
+	}
+	if FStatistic(nil, nil) != 0 {
+		t.Fatal("empty input must yield 0")
+	}
+	// Perfect separation with zero within-variance → +Inf.
+	if got := FStatistic([]float64{1, 1, 2, 2}, []int{0, 0, 1, 1}); !math.IsInf(got, 1) {
+		t.Fatalf("perfectly separated constant groups = %v, want +Inf", got)
+	}
+}
+
+func TestMutualInformation(t *testing.T) {
+	// Feature equals the label → high MI; independent noise → near zero.
+	n := 400
+	rng := rand.New(rand.NewPCG(1, 2))
+	dep := make([]float64, n)
+	indep := make([]float64, n)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 2
+		dep[i] = float64(labels[i]) + 0.01*rng.NormFloat64()
+		indep[i] = rng.NormFloat64()
+	}
+	hi := MutualInformation(dep, labels, 8)
+	lo := MutualInformation(indep, labels, 8)
+	if hi < 0.5 {
+		t.Fatalf("dependent MI = %v, want > 0.5", hi)
+	}
+	if lo > 0.1 {
+		t.Fatalf("independent MI = %v, want < 0.1", lo)
+	}
+	if MutualInformation([]float64{1, 1, 1}, []int{0, 1, 0}, 4) != 0 {
+		t.Fatal("constant feature must carry zero information")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]int{0, 0, 0}); got != 0 {
+		t.Fatalf("deterministic entropy = %v, want 0", got)
+	}
+	if got := Entropy([]int{0, 1}); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("fair coin entropy = %v, want ln2", got)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if got := Covariance(x, x); math.Abs(got-Variance(x)) > 1e-12 {
+		t.Fatal("Cov(x,x) != Var(x)")
+	}
+	if Covariance(x, []float64{1, 2}) != 0 {
+		t.Fatal("mismatched lengths must yield 0")
+	}
+}

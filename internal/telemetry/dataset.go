@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"wpred/internal/mat"
+)
+
+// Dataset is the labeled design matrix feature selection works on: one row
+// per (sub-)experiment, one column per feature, plus the workload label of
+// each row.
+type Dataset struct {
+	Features []Feature  // column order
+	X        *mat.Dense // rows × len(Features)
+	Labels   []int      // workload class per row
+	Classes  []string   // class index → workload name
+}
+
+// BuildDataset summarizes experiments into a labeled dataset, one row per
+// experiment, using Experiment.FeatureVector. Class indices are assigned in
+// first-seen order.
+func BuildDataset(exps []*Experiment, features []Feature) *Dataset {
+	if len(features) == 0 {
+		features = AllFeatures()
+	}
+	ds := &Dataset{Features: append([]Feature(nil), features...)}
+	classOf := map[string]int{}
+	rows := make([][]float64, 0, len(exps))
+	for _, e := range exps {
+		full := e.FeatureVector()
+		row := make([]float64, len(features))
+		for j, f := range features {
+			row[j] = full[int(f)]
+		}
+		rows = append(rows, row)
+		c, ok := classOf[e.Workload]
+		if !ok {
+			c = len(ds.Classes)
+			classOf[e.Workload] = c
+			ds.Classes = append(ds.Classes, e.Workload)
+		}
+		ds.Labels = append(ds.Labels, c)
+	}
+	ds.X = mat.NewFromRows(rows)
+	return ds
+}
+
+// Column returns a copy of feature column j.
+func (d *Dataset) Column(j int) []float64 { return d.X.Col(j) }
+
+// NumRows returns the number of observations.
+func (d *Dataset) NumRows() int { return d.X.Rows() }
+
+// NumFeatures returns the number of feature columns.
+func (d *Dataset) NumFeatures() int { return d.X.Cols() }
+
+// Select returns a new dataset restricted to the given column indices (in
+// the given order). Labels and classes are shared.
+func (d *Dataset) Select(cols []int) *Dataset {
+	out := &Dataset{
+		Features: make([]Feature, len(cols)),
+		X:        mat.New(d.X.Rows(), len(cols)),
+		Labels:   d.Labels,
+		Classes:  d.Classes,
+	}
+	for jj, j := range cols {
+		if j < 0 || j >= d.X.Cols() {
+			panic(fmt.Sprintf("telemetry: Select column %d out of range", j))
+		}
+		out.Features[jj] = d.Features[j]
+		out.X.SetCol(jj, d.X.Col(j))
+	}
+	return out
+}
+
+// MinMaxNormalize scales every column into [0,1] in place using per-column
+// min/max, the normalization the paper applies before histogramming and
+// similarity computation. It returns the per-column (lo, hi) ranges so the
+// same scaling can be applied to unseen data.
+func (d *Dataset) MinMaxNormalize() (lo, hi []float64) {
+	r, c := d.X.Dims()
+	lo = make([]float64, c)
+	hi = make([]float64, c)
+	for j := 0; j < c; j++ {
+		col := d.X.Col(j)
+		l, h := col[0], col[0]
+		for _, v := range col[1:] {
+			if v < l {
+				l = v
+			}
+			if v > h {
+				h = v
+			}
+		}
+		lo[j], hi[j] = l, h
+		span := h - l
+		for i := 0; i < r; i++ {
+			if span < 1e-300 {
+				d.X.Set(i, j, 0)
+			} else {
+				d.X.Set(i, j, (d.X.At(i, j)-l)/span)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// ClassName returns the workload name for class c.
+func (d *Dataset) ClassName(c int) string {
+	if c < 0 || c >= len(d.Classes) {
+		return fmt.Sprintf("class-%d", c)
+	}
+	return d.Classes[c]
+}
+
+// SortedClasses returns the class names in lexical order (for stable
+// reporting).
+func (d *Dataset) SortedClasses() []string {
+	out := append([]string(nil), d.Classes...)
+	sort.Strings(out)
+	return out
+}

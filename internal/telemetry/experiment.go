@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"wpred/internal/mat"
+)
+
+// SKU describes a hardware configuration (stock keeping unit). The study
+// varies the CPU count (2, 4, 8, 16) and, in the multi-dimensional
+// experiment of §6.2.3, memory.
+type SKU struct {
+	CPUs     int
+	MemoryGB int
+}
+
+// String renders the SKU, e.g. "8cpu/64gb".
+func (s SKU) String() string {
+	if s.MemoryGB == 0 {
+		return fmt.Sprintf("%dcpu", s.CPUs)
+	}
+	return fmt.Sprintf("%dcpu/%dgb", s.CPUs, s.MemoryGB)
+}
+
+// DefaultSKUs are the four single-dimension configurations of the study
+// (2, 4, 8, 16 CPUs), each with memory proportional to the core count the
+// way cloud SKU families scale.
+func DefaultSKUs() []SKU {
+	return []SKU{{CPUs: 2, MemoryGB: 16}, {CPUs: 4, MemoryGB: 32}, {CPUs: 8, MemoryGB: 64}, {CPUs: 16, MemoryGB: 128}}
+}
+
+// ResourceSeries is the multivariate time series of the 7 resource
+// counters: Samples[f][t] is the value of resource feature f at tick t.
+// Feature indices follow the catalog order (CPUUtilization..LockWaitAbs).
+type ResourceSeries struct {
+	Samples [NumResourceFeatures][]float64
+}
+
+// Len returns the number of ticks in the series (0 if empty).
+func (rs *ResourceSeries) Len() int { return len(rs.Samples[0]) }
+
+// Feature returns the series of resource feature f.
+func (rs *ResourceSeries) Feature(f Feature) []float64 {
+	if f.Kind() != Resource {
+		panic(fmt.Sprintf("telemetry: %v is not a resource feature", f))
+	}
+	return rs.Samples[int(f)]
+}
+
+// Matrix returns the series as a ticks×7 matrix (one column per resource
+// feature in catalog order).
+func (rs *ResourceSeries) Matrix() *mat.Dense {
+	n := rs.Len()
+	m := mat.New(n, NumResourceFeatures)
+	for f := 0; f < NumResourceFeatures; f++ {
+		for t := 0; t < n; t++ {
+			m.Set(t, f, rs.Samples[f][t])
+		}
+	}
+	return m
+}
+
+// PlanObservation holds the 22 plan statistics captured for one query
+// execution, plus the query template it came from.
+type PlanObservation struct {
+	Query string
+	Stats [NumPlanFeatures]float64
+}
+
+// Value returns the plan statistic for feature f.
+func (p *PlanObservation) Value(f Feature) float64 {
+	if f.Kind() != Plan {
+		panic(fmt.Sprintf("telemetry: %v is not a plan feature", f))
+	}
+	return p.Stats[int(f)-NumResourceFeatures]
+}
+
+// TxnMetrics records the measured performance of one transaction type
+// within an experiment.
+type TxnMetrics struct {
+	Name       string
+	Weight     float64 // fraction of the mix
+	MeanLatMS  float64 // mean latency in milliseconds
+	Throughput float64 // transactions per second attributable to this type
+}
+
+// Experiment is one execution of a workload on a SKU: the unit the whole
+// pipeline consumes. It corresponds to a one-hour BenchBase run in the
+// paper's setup.
+type Experiment struct {
+	Workload  string // workload name, e.g. "TPC-C"
+	SKU       SKU
+	Terminals int // concurrent terminals (1 for TPC-H)
+	Run       int // repetition index (0..2): the paper runs each config 3×
+	DataGroup int // time-of-day group (0..2), §6.2's grouping
+
+	Resources ResourceSeries    // 1-per-10s counters over the run
+	Plans     []PlanObservation // ≥3 observations per query template
+
+	// ThroughputSeries is the per-tick throughput estimate aligned with
+	// the resource series; §6.2's data augmentation down-samples it into
+	// ten smaller series per run. Empty for plan-only workloads.
+	ThroughputSeries []float64
+
+	Throughput float64      // requests/second over the run
+	MeanLatMS  float64      // workload-level mean latency
+	TxnStats   []TxnMetrics // per-transaction-type breakdown
+}
+
+// ID renders a compact identifier such as "TPC-C/8cpu/t32/r1".
+func (e *Experiment) ID() string {
+	return fmt.Sprintf("%s/%s/t%d/r%d", e.Workload, e.SKU, e.Terminals, e.Run)
+}
+
+// FeatureVector summarizes the experiment as one row of all 29 features:
+// resource counters are averaged over the time series and plan statistics
+// are averaged across query observations. This is the observation format
+// used for feature selection, where each (sub-)experiment contributes one
+// labeled row.
+func (e *Experiment) FeatureVector() []float64 {
+	v := make([]float64, NumFeatures)
+	for f := 0; f < NumResourceFeatures; f++ {
+		s := e.Resources.Samples[f]
+		if len(s) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, x := range s {
+			sum += x
+		}
+		v[f] = sum / float64(len(s))
+	}
+	if len(e.Plans) > 0 {
+		for _, p := range e.Plans {
+			for j, x := range p.Stats {
+				v[NumResourceFeatures+j] += x
+			}
+		}
+		for j := NumResourceFeatures; j < NumFeatures; j++ {
+			v[j] /= float64(len(e.Plans))
+		}
+	}
+	return v
+}
+
+// PlanMatrix returns the plan observations as a queries×22 matrix.
+func (e *Experiment) PlanMatrix() *mat.Dense {
+	m := mat.New(len(e.Plans), NumPlanFeatures)
+	for i, p := range e.Plans {
+		for j, x := range p.Stats {
+			m.Set(i, j, x)
+		}
+	}
+	return m
+}
+
+// SystematicSample splits the experiment into k sub-experiments by
+// systematic sampling: sub-experiment i receives resource ticks i, i+k,
+// i+2k, … and every plan observation whose index ≡ i (mod k) when there are
+// enough observations, otherwise all plan observations. The paper uses
+// k=10 to turn each one-hour run into ten training observations.
+func (e *Experiment) SystematicSample(k int) []*Experiment {
+	if k <= 1 {
+		return []*Experiment{e}
+	}
+	out := make([]*Experiment, k)
+	n := e.Resources.Len()
+	for i := 0; i < k; i++ {
+		sub := &Experiment{
+			Workload:   e.Workload,
+			SKU:        e.SKU,
+			Terminals:  e.Terminals,
+			Run:        e.Run,
+			DataGroup:  e.DataGroup,
+			Throughput: e.Throughput,
+			MeanLatMS:  e.MeanLatMS,
+			TxnStats:   e.TxnStats,
+		}
+		for f := 0; f < NumResourceFeatures; f++ {
+			src := e.Resources.Samples[f]
+			var dst []float64
+			for t := i; t < n; t += k {
+				dst = append(dst, src[t])
+			}
+			sub.Resources.Samples[f] = dst
+		}
+		if len(e.ThroughputSeries) > 0 {
+			sum := 0.0
+			for t := i; t < len(e.ThroughputSeries); t += k {
+				sub.ThroughputSeries = append(sub.ThroughputSeries, e.ThroughputSeries[t])
+				sum += e.ThroughputSeries[t]
+			}
+			if len(sub.ThroughputSeries) > 0 {
+				sub.Throughput = sum / float64(len(sub.ThroughputSeries))
+			}
+		}
+		// Each sub-experiment observes only the plan captures that fall in
+		// its sampling window — a short window sees a subset of the
+		// query templates, which is what spreads plan fingerprints within
+		// a workload.
+		if len(e.Plans) >= k {
+			for j := i; j < len(e.Plans); j += k {
+				sub.Plans = append(sub.Plans, e.Plans[j])
+			}
+		} else {
+			sub.Plans = append([]PlanObservation(nil), e.Plans...)
+		}
+		out[i] = sub
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonExperiment is the stable on-disk representation of an Experiment.
+// Feature values are keyed by their Table 2 names, so files remain
+// readable if the catalog order ever changes.
+type jsonExperiment struct {
+	Workload   string  `json:"workload"`
+	CPUs       int     `json:"cpus"`
+	MemoryGB   int     `json:"memory_gb"`
+	Terminals  int     `json:"terminals"`
+	Run        int     `json:"run"`
+	DataGroup  int     `json:"data_group"`
+	Throughput float64 `json:"throughput"`
+	MeanLatMS  float64 `json:"mean_latency_ms"`
+
+	Resources        map[string][]float64 `json:"resources,omitempty"`
+	ThroughputSeries []float64            `json:"throughput_series,omitempty"`
+	Plans            []jsonPlanObs        `json:"plans,omitempty"`
+	TxnStats         []TxnMetrics         `json:"txn_stats,omitempty"`
+}
+
+type jsonPlanObs struct {
+	Query string             `json:"query"`
+	Stats map[string]float64 `json:"stats"`
+}
+
+// WriteExperiment serializes one experiment as JSON.
+func WriteExperiment(w io.Writer, e *Experiment) error {
+	je := jsonExperiment{
+		Workload:         e.Workload,
+		CPUs:             e.SKU.CPUs,
+		MemoryGB:         e.SKU.MemoryGB,
+		Terminals:        e.Terminals,
+		Run:              e.Run,
+		DataGroup:        e.DataGroup,
+		Throughput:       e.Throughput,
+		MeanLatMS:        e.MeanLatMS,
+		ThroughputSeries: e.ThroughputSeries,
+		TxnStats:         e.TxnStats,
+	}
+	if e.Resources.Len() > 0 {
+		je.Resources = map[string][]float64{}
+		for _, f := range ResourceFeatures() {
+			je.Resources[f.String()] = e.Resources.Feature(f)
+		}
+	}
+	for _, p := range e.Plans {
+		jp := jsonPlanObs{Query: p.Query, Stats: map[string]float64{}}
+		for _, f := range PlanFeatures() {
+			jp.Stats[f.String()] = p.Value(f)
+		}
+		je.Plans = append(je.Plans, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(je)
+}
+
+// ReadExperiment parses one experiment from JSON. Unknown feature names
+// are rejected rather than silently dropped, so telemetry produced by a
+// newer catalog fails loudly.
+func ReadExperiment(r io.Reader) (*Experiment, error) {
+	var je jsonExperiment
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&je); err != nil {
+		return nil, fmt.Errorf("telemetry: decode experiment: %w", err)
+	}
+	e := &Experiment{
+		Workload:         je.Workload,
+		SKU:              SKU{CPUs: je.CPUs, MemoryGB: je.MemoryGB},
+		Terminals:        je.Terminals,
+		Run:              je.Run,
+		DataGroup:        je.DataGroup,
+		Throughput:       je.Throughput,
+		MeanLatMS:        je.MeanLatMS,
+		ThroughputSeries: je.ThroughputSeries,
+		TxnStats:         je.TxnStats,
+	}
+	var ticks int
+	for name, series := range je.Resources {
+		f, ok := FeatureByName(name)
+		if !ok || f.Kind() != Resource {
+			return nil, fmt.Errorf("telemetry: unknown resource feature %q", name)
+		}
+		e.Resources.Samples[int(f)] = series
+		if ticks == 0 {
+			ticks = len(series)
+		} else if len(series) != ticks {
+			return nil, fmt.Errorf("telemetry: resource feature %q has %d ticks, want %d", name, len(series), ticks)
+		}
+	}
+	if len(je.Resources) > 0 && len(je.Resources) != NumResourceFeatures {
+		return nil, fmt.Errorf("telemetry: experiment has %d resource series, want %d", len(je.Resources), NumResourceFeatures)
+	}
+	for _, jp := range je.Plans {
+		var p PlanObservation
+		p.Query = jp.Query
+		for name, v := range jp.Stats {
+			f, ok := FeatureByName(name)
+			if !ok || f.Kind() != Plan {
+				return nil, fmt.Errorf("telemetry: unknown plan feature %q", name)
+			}
+			p.Stats[int(f)-NumResourceFeatures] = v
+		}
+		e.Plans = append(e.Plans, p)
+	}
+	return e, nil
+}
+
+// WriteExperiments serializes a list of experiments as a JSON array
+// stream (one document per experiment).
+func WriteExperiments(w io.Writer, exps []*Experiment) error {
+	for _, e := range exps {
+		if err := WriteExperiment(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadExperiments parses a stream of experiment documents until EOF.
+func ReadExperiments(r io.Reader) ([]*Experiment, error) {
+	dec := json.NewDecoder(r)
+	var out []*Experiment
+	for {
+		var je jsonExperiment
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: decode experiment %d: %w", len(out), err)
+		}
+		// Round-trip through the single-document reader for validation.
+		buf, err := json.Marshal(je)
+		if err != nil {
+			return nil, err
+		}
+		e, err := ReadExperiment(bytes.NewReader(buf))
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: experiment %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentJSONRoundTrip(t *testing.T) {
+	e := makeExperiment(12, 4)
+	e.TxnStats = []TxnMetrics{{Name: "q", Weight: 1, MeanLatMS: 2.5, Throughput: 100}}
+	var buf bytes.Buffer
+	if err := WriteExperiment(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExperiment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != e.Workload || got.SKU != e.SKU || got.Terminals != e.Terminals {
+		t.Fatalf("identity fields lost: %+v", got)
+	}
+	if got.Throughput != e.Throughput || got.MeanLatMS != e.MeanLatMS {
+		t.Fatal("performance fields lost")
+	}
+	if got.Resources.Len() != 12 {
+		t.Fatalf("resource ticks = %d", got.Resources.Len())
+	}
+	for f := 0; f < NumResourceFeatures; f++ {
+		for i := range e.Resources.Samples[f] {
+			if got.Resources.Samples[f][i] != e.Resources.Samples[f][i] {
+				t.Fatalf("resource feature %d tick %d differs", f, i)
+			}
+		}
+	}
+	if len(got.Plans) != 4 {
+		t.Fatalf("plans = %d", len(got.Plans))
+	}
+	for q := range e.Plans {
+		for j := range e.Plans[q].Stats {
+			if got.Plans[q].Stats[j] != e.Plans[q].Stats[j] {
+				t.Fatalf("plan %d stat %d differs", q, j)
+			}
+		}
+	}
+	if len(got.ThroughputSeries) != 12 {
+		t.Fatalf("throughput series = %d", len(got.ThroughputSeries))
+	}
+	if len(got.TxnStats) != 1 || got.TxnStats[0].Name != "q" {
+		t.Fatal("txn stats lost")
+	}
+}
+
+func TestExperimentJSONPlanOnly(t *testing.T) {
+	e := makeExperiment(0, 2)
+	for f := range e.Resources.Samples {
+		e.Resources.Samples[f] = nil
+	}
+	e.ThroughputSeries = nil
+	var buf bytes.Buffer
+	if err := WriteExperiment(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExperiment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Resources.Len() != 0 {
+		t.Fatal("plan-only experiment must stay plan-only")
+	}
+	if len(got.Plans) != 2 {
+		t.Fatalf("plans = %d", len(got.Plans))
+	}
+}
+
+func TestReadExperimentRejectsUnknownFeatures(t *testing.T) {
+	doc := `{"workload":"X","cpus":2,"memory_gb":16,"resources":{"BOGUS":[1,2]}}`
+	if _, err := ReadExperiment(strings.NewReader(doc)); err == nil {
+		t.Fatal("unknown resource feature must be rejected")
+	}
+	doc2 := `{"workload":"X","cpus":2,"plans":[{"query":"q","stats":{"NOPE":1}}]}`
+	if _, err := ReadExperiment(strings.NewReader(doc2)); err == nil {
+		t.Fatal("unknown plan feature must be rejected")
+	}
+}
+
+func TestReadExperimentRejectsRaggedResources(t *testing.T) {
+	e := makeExperiment(5, 1)
+	var buf bytes.Buffer
+	if err := WriteExperiment(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.Replace(buf.String(), "\"CPU_UTILIZATION\": [", "\"CPU_UTILIZATION\": [99,", 1)
+	if _, err := ReadExperiment(strings.NewReader(s)); err == nil {
+		t.Fatal("ragged resource series must be rejected")
+	}
+}
+
+func TestReadWriteExperimentsStream(t *testing.T) {
+	a := makeExperiment(6, 2)
+	b := makeExperiment(6, 2)
+	b.Workload = "Y"
+	var buf bytes.Buffer
+	if err := WriteExperiments(&buf, []*Experiment{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExperiments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Workload != "W" || got[1].Workload != "Y" {
+		t.Fatalf("stream round trip = %d experiments", len(got))
+	}
+	// Empty stream is fine.
+	empty, err := ReadExperiments(strings.NewReader(""))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty stream: %v, %d", err, len(empty))
+	}
+	// Garbage fails loudly.
+	if _, err := ReadExperiments(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed stream must error")
+	}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a splittable deterministic randomness source. Every experiment
+// generator derives an independent child stream from a (seed, name) pair,
+// so adding or re-ordering experiments never perturbs the samples other
+// experiments draw. This is what makes the committed EXPERIMENTS.md numbers
+// reproducible.
+type Source struct {
+	seed uint64
+	rng  *rand.Rand
+}
+
+// NewSource returns a source rooted at seed.
+func NewSource(seed uint64) *Source {
+	return &Source{seed: seed, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Child derives an independent stream identified by name.
+func (s *Source) Child(name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	child := s.seed ^ h.Sum64()
+	return NewSource(child*0x2545f4914f6cdd1d + 0x632be59bd9b4e019)
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// IntN returns a uniform integer in [0,n).
+func (s *Source) IntN(n int) int { return s.rng.IntN(n) }
+
+// NormFloat64 returns a standard normal sample.
+func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// Normal returns a sample from N(mu, sigma²).
+func (s *Source) Normal(mu, sigma float64) float64 {
+	return mu + sigma*s.rng.NormFloat64()
+}
+
+// LogNormal returns a sample whose logarithm is N(ln mu, sigma²)-ish:
+// mu·exp(sigma·Z − sigma²/2), so the mean stays approximately mu.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	return mu * math.Exp(sigma*s.rng.NormFloat64()-sigma*sigma/2)
+}
+
+// PositiveNormal returns max(0, N(mu, sigma²)).
+func (s *Source) PositiveNormal(mu, sigma float64) float64 {
+	v := s.Normal(mu, sigma)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Perm returns a random permutation of n elements.
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle shuffles n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }

@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFeatureCatalog(t *testing.T) {
+	if NumFeatures != 29 {
+		t.Fatalf("NumFeatures = %d, want 29 (Table 2)", NumFeatures)
+	}
+	if NumResourceFeatures != 7 {
+		t.Fatalf("NumResourceFeatures = %d, want 7", NumResourceFeatures)
+	}
+	if NumPlanFeatures != 22 {
+		t.Fatalf("NumPlanFeatures = %d, want 22", NumPlanFeatures)
+	}
+	if len(AllFeatures()) != 29 || len(ResourceFeatures()) != 7 || len(PlanFeatures()) != 22 {
+		t.Fatal("feature list lengths inconsistent")
+	}
+}
+
+func TestFeatureKinds(t *testing.T) {
+	for _, f := range ResourceFeatures() {
+		if f.Kind() != Resource {
+			t.Fatalf("%v must be a resource feature", f)
+		}
+	}
+	for _, f := range PlanFeatures() {
+		if f.Kind() != Plan {
+			t.Fatalf("%v must be a plan feature", f)
+		}
+	}
+	if Resource.String() != "resource" || Plan.String() != "plan" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestFeatureNamesUniqueAndRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range AllFeatures() {
+		name := f.String()
+		if seen[name] {
+			t.Fatalf("duplicate feature name %q", name)
+		}
+		seen[name] = true
+		got, ok := FeatureByName(name)
+		if !ok || got != f {
+			t.Fatalf("FeatureByName(%q) = (%v,%v), want (%v,true)", name, got, ok, f)
+		}
+	}
+	if _, ok := FeatureByName("NOPE"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+	if Feature(-1).String() == "" || Feature(999).String() == "" {
+		t.Fatal("out-of-range features need a fallback name")
+	}
+}
+
+func TestSKUString(t *testing.T) {
+	if got := (SKU{CPUs: 8}).String(); got != "8cpu" {
+		t.Fatalf("SKU string = %q", got)
+	}
+	if got := (SKU{CPUs: 8, MemoryGB: 64}).String(); got != "8cpu/64gb" {
+		t.Fatalf("SKU string = %q", got)
+	}
+	if len(DefaultSKUs()) != 4 {
+		t.Fatal("the study uses four SKUs")
+	}
+}
+
+func makeExperiment(ticks, templates int) *Experiment {
+	e := &Experiment{Workload: "W", SKU: SKU{CPUs: 4, MemoryGB: 32}, Terminals: 8, Run: 1}
+	for f := 0; f < NumResourceFeatures; f++ {
+		s := make([]float64, ticks)
+		for t := range s {
+			s[t] = float64(f*1000 + t)
+		}
+		e.Resources.Samples[f] = s
+	}
+	e.ThroughputSeries = make([]float64, ticks)
+	for t := range e.ThroughputSeries {
+		e.ThroughputSeries[t] = 100 + float64(t%7)
+	}
+	for q := 0; q < templates; q++ {
+		var p PlanObservation
+		p.Query = "q"
+		for j := range p.Stats {
+			p.Stats[j] = float64(q + j)
+		}
+		e.Plans = append(e.Plans, p)
+	}
+	return e
+}
+
+func TestFeatureVector(t *testing.T) {
+	e := makeExperiment(10, 3)
+	v := e.FeatureVector()
+	if len(v) != NumFeatures {
+		t.Fatalf("FeatureVector length = %d", len(v))
+	}
+	// Resource feature 0: mean of 0..9 = 4.5.
+	if v[0] != 4.5 {
+		t.Fatalf("resource mean = %v, want 4.5", v[0])
+	}
+	// Plan feature j: mean over q of (q+j) = 1+j.
+	if v[NumResourceFeatures] != 1 {
+		t.Fatalf("plan mean = %v, want 1", v[NumResourceFeatures])
+	}
+}
+
+func TestSystematicSamplePartitions(t *testing.T) {
+	e := makeExperiment(100, 20)
+	subs := e.SystematicSample(10)
+	if len(subs) != 10 {
+		t.Fatalf("got %d sub-experiments, want 10", len(subs))
+	}
+	totalTicks, totalPlans := 0, 0
+	for _, s := range subs {
+		totalTicks += s.Resources.Len()
+		totalPlans += len(s.Plans)
+		if s.Workload != e.Workload || s.SKU != e.SKU {
+			t.Fatal("sub-experiment must inherit identity fields")
+		}
+	}
+	if totalTicks != 100 {
+		t.Fatalf("resource ticks not partitioned: %d", totalTicks)
+	}
+	if totalPlans != 20 {
+		t.Fatalf("plan observations not partitioned: %d", totalPlans)
+	}
+}
+
+func TestSystematicSampleSmallPlansKeepAll(t *testing.T) {
+	e := makeExperiment(40, 3) // fewer plans than k
+	subs := e.SystematicSample(10)
+	for _, s := range subs {
+		if len(s.Plans) != 3 {
+			t.Fatalf("each sub-experiment should keep all %d plans, got %d", 3, len(s.Plans))
+		}
+	}
+}
+
+func TestSystematicSampleThroughput(t *testing.T) {
+	e := makeExperiment(100, 20)
+	subs := e.SystematicSample(10)
+	for _, s := range subs {
+		if len(s.ThroughputSeries) != 10 {
+			t.Fatalf("throughput series length = %d, want 10", len(s.ThroughputSeries))
+		}
+		if s.Throughput < 100 || s.Throughput > 107 {
+			t.Fatalf("sub-experiment throughput = %v out of range", s.Throughput)
+		}
+	}
+}
+
+func TestSystematicSampleIdentityForK1(t *testing.T) {
+	e := makeExperiment(10, 2)
+	subs := e.SystematicSample(1)
+	if len(subs) != 1 || subs[0] != e {
+		t.Fatal("k ≤ 1 must return the original experiment")
+	}
+}
+
+func TestBuildDatasetAndSelect(t *testing.T) {
+	a := makeExperiment(10, 2)
+	b := makeExperiment(10, 2)
+	b.Workload = "X"
+	ds := BuildDataset([]*Experiment{a, b, a}, nil)
+	if ds.NumRows() != 3 || ds.NumFeatures() != NumFeatures {
+		t.Fatalf("dataset dims = (%d,%d)", ds.NumRows(), ds.NumFeatures())
+	}
+	if ds.Labels[0] != 0 || ds.Labels[1] != 1 || ds.Labels[2] != 0 {
+		t.Fatalf("labels = %v", ds.Labels)
+	}
+	if ds.ClassName(0) != "W" || ds.ClassName(1) != "X" {
+		t.Fatal("class names wrong")
+	}
+	if ds.ClassName(9) == "" {
+		t.Fatal("out-of-range class needs fallback")
+	}
+	sel := ds.Select([]int{2, 0})
+	if sel.NumFeatures() != 2 || sel.Features[0] != Feature(2) || sel.Features[1] != Feature(0) {
+		t.Fatalf("Select features = %v", sel.Features)
+	}
+	if sel.X.At(0, 1) != ds.X.At(0, 0) {
+		t.Fatal("Select must reorder columns")
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	a := makeExperiment(10, 2)
+	b := makeExperiment(10, 2)
+	for f := range b.Resources.Samples {
+		for i := range b.Resources.Samples[f] {
+			b.Resources.Samples[f][i] *= 3
+		}
+	}
+	ds := BuildDataset([]*Experiment{a, b}, nil)
+	lo, hi := ds.MinMaxNormalize()
+	if len(lo) != NumFeatures || len(hi) != NumFeatures {
+		t.Fatal("range vectors wrong length")
+	}
+	for i := 0; i < ds.NumRows(); i++ {
+		for j := 0; j < ds.NumFeatures(); j++ {
+			v := ds.X.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("normalized value %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(7).Child("x")
+	b := NewSource(7).Child("x")
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed and name must reproduce the stream")
+		}
+	}
+	c := NewSource(7).Child("y")
+	d := NewSource(7).Child("x")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different names must yield different streams")
+	}
+}
+
+func TestSourceDistributions(t *testing.T) {
+	src := NewSource(1)
+	for i := 0; i < 1000; i++ {
+		if v := src.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := src.PositiveNormal(0, 1); v < 0 {
+			t.Fatalf("PositiveNormal negative: %v", v)
+		}
+		if v := src.LogNormal(5, 0.1); v <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", v)
+		}
+	}
+	if src.LogNormal(0, 1) != 0 {
+		t.Fatal("LogNormal of non-positive mean must be 0")
+	}
+	// LogNormal mean preservation (approximately).
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += src.LogNormal(10, 0.2)
+	}
+	if mean := sum / n; mean < 9.5 || mean > 10.5 {
+		t.Fatalf("LogNormal mean = %v, want ≈10", mean)
+	}
+}
+
+func TestSourcePermProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		src := NewSource(uint64(seed))
+		p := src.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
