@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race verify fuzz experiments
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# verify is the tier-1 gate (see ROADMAP.md): every change must pass it.
+verify: build vet race
+
+# fuzz runs the telemetry decoder fuzzer for a short burst beyond the
+# committed seed corpus.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadExperiments -fuzztime 30s ./internal/telemetry/
+
+# experiments regenerates every table and figure at the committed seed.
+experiments:
+	$(GO) run ./cmd/experiments -run all

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"wpred/internal/bench"
 	"wpred/internal/experiments"
 )
 
@@ -26,11 +27,23 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "randomness seed (42 reproduces EXPERIMENTS.md)")
 		quick  = flag.Bool("quick", false, "reduced-size runs: same shapes, faster")
 		format = flag.String("format", "text", "output format: text or markdown")
+		target = flag.String("target", "", "robustness experiment target workload (default YCSB)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "markdown" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+	if *target != "" {
+		w, err := bench.ByName(*target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if w.PlanOnly {
+			fmt.Fprintf(os.Stderr, "experiments: workload %q is plan-only and cannot be a robustness target\n", *target)
+			os.Exit(2)
+		}
 	}
 
 	if *list {
@@ -46,6 +59,7 @@ func main() {
 
 	suite := experiments.NewSuite(*seed)
 	suite.Quick = *quick
+	suite.RobustnessTarget = *target
 
 	if *run == "all" {
 		for _, r := range experiments.Runners() {

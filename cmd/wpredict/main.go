@@ -97,7 +97,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wpredict: train:", err)
 		os.Exit(1)
 	}
+	warnDropped(p)
 	pred, err := p.Predict(targetExps, toSKU)
+	warnDropped(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wpredict: predict:", err)
 		os.Exit(1)
@@ -129,6 +131,19 @@ func main() {
 		fmt.Printf("actual on %-11s %.1f req/s (prediction error %.1f%%)\n",
 			toSKU.String()+":", mean, 100*abs(pred.PredictedThroughput-mean)/mean)
 	}
+}
+
+// warned counts dropped-experiment warnings already printed, so each
+// sanitization rejection is reported once across Train and Predict.
+var warned int
+
+func warnDropped(p *wpred.Pipeline) {
+	dropped := p.Dropped()
+	for _, d := range dropped[warned:] {
+		fmt.Fprintf(os.Stderr, "wpredict: warning: dropped %s (%s, %s): %s\n",
+			d.ID, d.Workload, d.Stage, d.Report)
+	}
+	warned = len(dropped)
 }
 
 func abs(v float64) float64 {

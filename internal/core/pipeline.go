@@ -44,6 +44,14 @@ type Config struct {
 	// reference's saturation ceiling, scaled to the target's operating
 	// point. Off by default, matching the paper's main experiments.
 	RooflineClamp bool
+	// Sanitize tunes the corruption detection applied to every reference
+	// and target experiment (zero value = telemetry defaults). Clean
+	// telemetry passes through value-identical, so sanitization never
+	// perturbs results on pristine inputs.
+	Sanitize telemetry.SanitizePolicy
+	// MinValidRefs is the smallest number of usable reference experiments
+	// Train accepts after sanitization (default 2).
+	MinValidRefs int
 	// Seed drives every randomized component.
 	Seed uint64
 }
@@ -61,9 +69,25 @@ func (c Config) withDefaults() Config {
 	if c.Subsamples == 0 {
 		c.Subsamples = 10
 	}
+	if c.MinValidRefs == 0 {
+		c.MinValidRefs = 2
+	}
 	// Representation, Strategy, and Context zero values already name the
 	// paper's recommended defaults (Hist-FP, SVM, Pairwise).
 	return c
+}
+
+// DroppedExperiment records one input experiment the pipeline rejected
+// during sanitization, with the corruption accounting that justified it.
+type DroppedExperiment struct {
+	// ID is the experiment's identifier.
+	ID string
+	// Workload names the experiment's workload.
+	Workload string
+	// Stage is "train" or "predict".
+	Stage string
+	// Report details the corruption found.
+	Report *telemetry.CorruptionReport
 }
 
 // Pipeline is the trained end-to-end predictor.
@@ -71,6 +95,7 @@ type Pipeline struct {
 	cfg      Config
 	refs     []*telemetry.Experiment
 	selected []telemetry.Feature
+	dropped  []DroppedExperiment
 	classOf  map[string]string // workload → class name (for NDCG-style reporting)
 }
 
@@ -84,18 +109,53 @@ func (p *Pipeline) SelectedFeatures() []telemetry.Feature {
 	return append([]telemetry.Feature(nil), p.selected...)
 }
 
-// Train runs feature selection over the reference experiments and retains
-// them as the similarity/scaling knowledge base. References should cover
-// each workload on every SKU of interest with matching runs.
+// Dropped returns every experiment rejected since the last Train — the
+// degradation accounting for both training references and prediction
+// targets. The slice resets on Train and grows on each Predict.
+func (p *Pipeline) Dropped() []DroppedExperiment {
+	return append([]DroppedExperiment(nil), p.dropped...)
+}
+
+// sanitize runs the corruption pass over a batch, recording rejections
+// under the given stage, and returns the usable sanitized experiments.
+func (p *Pipeline) sanitize(exps []*telemetry.Experiment, stage string) []*telemetry.Experiment {
+	kept := make([]*telemetry.Experiment, 0, len(exps))
+	for _, e := range exps {
+		s, rep := telemetry.Sanitize(e, p.cfg.Sanitize)
+		if !rep.Usable() {
+			p.dropped = append(p.dropped, DroppedExperiment{
+				ID: rep.ID, Workload: e.Workload, Stage: stage, Report: rep,
+			})
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}
+
+// Train sanitizes the reference experiments, drops unusable ones (see
+// Dropped), runs feature selection over the survivors, and retains them as
+// the similarity/scaling knowledge base. References should cover each
+// workload on every SKU of interest with matching runs. Train fails with
+// ErrTooFewReferences only when fewer than Config.MinValidRefs references
+// survive sanitization.
 func (p *Pipeline) Train(refs []*telemetry.Experiment) error {
 	if len(refs) == 0 {
-		return errors.New("core: no reference experiments")
+		return ErrNoReferences
 	}
-	p.refs = refs
+	p.dropped = nil
+	kept := p.sanitize(refs, "train")
+	if len(kept) < p.cfg.MinValidRefs {
+		return &InsufficientReferencesError{
+			Usable: len(kept), Total: len(refs), Min: p.cfg.MinValidRefs,
+			Dropped: p.Dropped(),
+		}
+	}
+	p.refs = kept
 
 	// One sub-experiment row per systematic sample, labeled by workload.
 	var subs []*telemetry.Experiment
-	for _, e := range refs {
+	for _, e := range p.refs {
 		subs = append(subs, e.SystematicSample(p.cfg.Subsamples)...)
 	}
 	ds := telemetry.BuildDataset(subs, nil)
@@ -138,32 +198,70 @@ type Prediction struct {
 	SelectedFeatures []telemetry.Feature
 }
 
-// Predict runs the full pipeline: fingerprint the target measurements
-// (taken on their SKU), find the most similar reference workload, fit the
-// scaling model from the target's SKU to toSKU on that reference's data,
-// and apply it to the target's observed throughput.
+// Predict runs the full pipeline: sanitize the target measurements (taken
+// on their SKU), fingerprint them, find the most similar reference
+// workload, fit the scaling model from the target's SKU to toSKU on that
+// reference's data, and apply it to the target's observed throughput.
+//
+// Predict degrades rather than aborts on dirty inputs: unusable target
+// experiments are dropped (see Dropped) as long as at least one survives,
+// and when the nearest reference cannot supply a scaling dataset for the
+// SKU pair — for example because its runs were rejected during Train —
+// the next-nearest reference is used instead.
 func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) (*Prediction, error) {
 	if len(p.refs) == 0 {
-		return nil, errors.New("core: pipeline is not trained")
+		return nil, ErrNotTrained
 	}
 	if len(target) == 0 {
-		return nil, errors.New("core: no target experiments")
+		return nil, ErrNoTargets
 	}
-	fromSKU := target[0].SKU
-	for _, e := range target[1:] {
+	usable := p.sanitize(target, "predict")
+	if len(usable) == 0 {
+		return nil, fmt.Errorf("%w: sanitization rejected all %d", ErrNoUsableTargets, len(target))
+	}
+	fromSKU := usable[0].SKU
+	for _, e := range usable[1:] {
 		if e.SKU != fromSKU {
-			return nil, fmt.Errorf("core: target experiments span SKUs %s and %s", fromSKU, e.SKU)
+			return nil, fmt.Errorf("%w: %s and %s", ErrMixedSKUs, fromSKU, e.SKU)
 		}
 	}
 
-	nearest, dists, err := p.similarTo(target, fromSKU)
+	ranked, dists, err := p.similarTo(usable, fromSKU)
 	if err != nil {
 		return nil, err
 	}
 
-	// Build the nearest reference's scaling dataset. Pairwise models need
-	// the exact SKU pair; single models can use every profiled SKU and
-	// may extrapolate to target SKUs that were never observed.
+	observed := 0.0
+	for _, e := range usable {
+		observed += e.Throughput
+	}
+	observed /= float64(len(usable))
+
+	var lastErr error
+	for _, nearest := range ranked {
+		pred, err := p.scaleVia(nearest, fromSKU, toSKU, observed)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pred.NearestReference = nearest
+		pred.Distances = dists
+		pred.FromSKU, pred.ToSKU = fromSKU, toSKU
+		pred.ObservedThroughput = observed
+		pred.ScalingFactor = pred.PredictedThroughput / observed
+		pred.SelectedFeatures = p.SelectedFeatures()
+		return pred, nil
+	}
+	return nil, fmt.Errorf("%w (tried %d candidates): %v", ErrNoScalingReference, len(ranked), lastErr)
+}
+
+// scaleVia fits the named reference workload's scaling model for the SKU
+// pair and applies it to the observed throughput, filling the prediction
+// fields the scaling stage owns (throughput and interval).
+func (p *Pipeline) scaleVia(nearest string, fromSKU, toSKU telemetry.SKU, observed float64) (*Prediction, error) {
+	// Build the reference's scaling dataset. Pairwise models need the
+	// exact SKU pair; single models can use every profiled SKU and may
+	// extrapolate to target SKUs that were never observed.
 	var refSetting []*telemetry.Experiment
 	for _, e := range p.refs {
 		if e.Workload != nearest {
@@ -191,40 +289,32 @@ func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) 
 		toIdx = idx
 	}
 
-	observed := 0.0
-	for _, e := range target {
-		observed += e.Throughput
-	}
-	observed /= float64(len(target))
-
 	var predicted float64
-	{
-		switch p.cfg.Context {
-		case scalemodel.Single:
-			m, err := scalemodel.FitSingle(p.cfg.Strategy, rds, nil, p.cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			// Rescale the reference's absolute prediction by the ratio of
-			// the target's observation to the reference's from-SKU level.
-			refAt := m.Predict(fromSKU.CPUs)
-			refTo := m.Predict(toSKU.CPUs)
-			if refAt <= 0 {
-				return nil, fmt.Errorf("core: single model predicts non-positive throughput at %s", fromSKU)
-			}
-			predicted = observed * refTo / refAt
-		case scalemodel.Pairwise:
-			m, err := scalemodel.FitPair(p.cfg.Strategy, rds, fromIdx, toIdx, nil, p.cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			// The pairwise model maps reference from-SKU throughput to
-			// to-SKU throughput; apply its scaling factor at the
-			// reference operating point to the target's observation.
-			refMean := mean(rds.Obs[fromIdx])
-			factor := m.ScalingFactor(refMean)
-			predicted = observed * factor
+	switch p.cfg.Context {
+	case scalemodel.Single:
+		m, err := scalemodel.FitSingle(p.cfg.Strategy, rds, nil, p.cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		// Rescale the reference's absolute prediction by the ratio of
+		// the target's observation to the reference's from-SKU level.
+		refAt := m.Predict(fromSKU.CPUs)
+		refTo := m.Predict(toSKU.CPUs)
+		if refAt <= 0 {
+			return nil, fmt.Errorf("core: single model predicts non-positive throughput at %s", fromSKU)
+		}
+		predicted = observed * refTo / refAt
+	case scalemodel.Pairwise:
+		m, err := scalemodel.FitPair(p.cfg.Strategy, rds, fromIdx, toIdx, nil, p.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// The pairwise model maps reference from-SKU throughput to
+		// to-SKU throughput; apply its scaling factor at the
+		// reference operating point to the target's observation.
+		refMean := mean(rds.Obs[fromIdx])
+		factor := m.ScalingFactor(refMean)
+		predicted = observed * factor
 	}
 
 	if p.cfg.RooflineClamp {
@@ -245,19 +335,7 @@ func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) 
 			}
 		}
 	}
-
-	return &Prediction{
-		NearestReference:    nearest,
-		Distances:           dists,
-		FromSKU:             fromSKU,
-		ToSKU:               toSKU,
-		ObservedThroughput:  observed,
-		PredictedThroughput: predicted,
-		PredictedLo:         lo,
-		PredictedHi:         hi,
-		ScalingFactor:       predicted / observed,
-		SelectedFeatures:    p.SelectedFeatures(),
-	}, nil
+	return &Prediction{PredictedThroughput: predicted, PredictedLo: lo, PredictedHi: hi}, nil
 }
 
 // factorInterval computes an approximate 95% interval on the reference's
@@ -290,8 +368,10 @@ func factorInterval(rds *scalemodel.Dataset, fromIdx, toIdx int) (lo, hi float64
 }
 
 // similarTo fingerprints the target alongside same-SKU references and
-// returns the nearest reference workload plus normalized mean distances.
-func (p *Pipeline) similarTo(target []*telemetry.Experiment, sku telemetry.SKU) (string, map[string]float64, error) {
+// returns every reference workload ranked by ascending mean normalized
+// distance, plus the distance map itself. Predict walks the ranking so a
+// reference with unusable scaling data degrades to the next-nearest.
+func (p *Pipeline) similarTo(target []*telemetry.Experiment, sku telemetry.SKU) ([]string, map[string]float64, error) {
 	refs := make([]*telemetry.Experiment, 0, len(p.refs))
 	for _, e := range p.refs {
 		if e.SKU == sku {
@@ -324,20 +404,20 @@ func (p *Pipeline) similarTo(target []*telemetry.Experiment, sku telemetry.SKU) 
 			}
 		}
 		if len(kept) == 0 {
-			return "", nil, errors.New("core: plan-only target but no plan features selected")
+			return nil, nil, errors.New("core: plan-only target but no plan features selected")
 		}
 		features = kept
 	}
 
 	b := &fingerprint.Builder{Rep: p.cfg.Representation, Features: features}
 	if err := b.Fit(all); err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
 	items := make([]simeval.Item, 0, len(all))
 	for _, e := range refs {
 		fp, err := b.Build(e)
 		if err != nil {
-			return "", nil, err
+			return nil, nil, err
 		}
 		items = append(items, simeval.Item{Workload: e.Workload, Run: e.Run, FP: fp})
 	}
@@ -345,13 +425,13 @@ func (p *Pipeline) similarTo(target []*telemetry.Experiment, sku telemetry.SKU) 
 	for _, e := range target {
 		fp, err := b.Build(e)
 		if err != nil {
-			return "", nil, err
+			return nil, nil, err
 		}
 		items = append(items, simeval.Item{Workload: "\x00target", Run: e.Run, FP: fp})
 	}
 	matrix, err := simeval.ComputeMatrix(items, p.cfg.Metric)
 	if err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
 	// Mean distance from every target item to each reference workload.
 	sums := map[string]float64{}
@@ -369,10 +449,10 @@ func (p *Pipeline) similarTo(target []*telemetry.Experiment, sku telemetry.SKU) 
 		names = append(names, w)
 	}
 	if len(names) == 0 {
-		return "", nil, errors.New("core: no reference workloads to compare against")
+		return nil, nil, errors.New("core: no reference workloads to compare against")
 	}
 	sort.Slice(names, func(a, b int) bool { return sums[names[a]] < sums[names[b]] })
-	return names[0], sums, nil
+	return names, sums, nil
 }
 
 // rooflineBound fits a roofline on the reference workload's observed

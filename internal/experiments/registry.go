@@ -169,6 +169,13 @@ func Runners() []Runner {
 		{"ablations", "bin count, encoding, dimred, rank-aggregation, clustering ablations", one(func(s *Suite) (*Table, error) {
 			return s.AblationsTable()
 		})},
+		{"robustness", "graceful degradation under injected telemetry faults", one(func(s *Suite) (*Table, error) {
+			r, err := s.Robustness()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
 	}
 }
 

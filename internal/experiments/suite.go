@@ -21,6 +21,9 @@ type Suite struct {
 	// the full harness finishes in seconds instead of minutes. Shapes are
 	// preserved; EXPERIMENTS.md numbers use the full setting.
 	Quick bool
+	// RobustnessTarget overrides the workload predicted by the robustness
+	// experiment (default YCSB). Must be a resource-bearing benchmark.
+	RobustnessTarget string
 
 	src       *telemetry.Source
 	workloads map[string]*simdb.Workload

@@ -1,0 +1,267 @@
+// Package faults deterministically corrupts simulated telemetry so the
+// pipeline's graceful-degradation path can be exercised and measured.
+// Production counter streams are never pristine: scrapes are missed,
+// agents report NaN or stuck values, runs truncate mid-observation, and
+// samples arrive twice. Each fault model here reproduces one of those
+// failure shapes at a configurable rate, driven by the same splittable
+// randomness source as the simulator, so a corrupted suite is exactly as
+// reproducible as a clean one.
+package faults
+
+import (
+	"math"
+
+	"wpred/internal/telemetry"
+)
+
+// Model corrupts one experiment in place at the given rate. Rate is
+// model-specific but always scales monotonically: 0 means untouched and
+// 0.25 means severe corruption. Implementations draw all randomness from
+// src so injection is deterministic.
+type Model interface {
+	// Name identifies the model in reports and experiment tables.
+	Name() string
+	// Apply corrupts e in place. It must be a no-op when rate <= 0.
+	Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source)
+}
+
+// AllModels returns every fault model, in reporting order.
+func AllModels() []Model {
+	return []Model{
+		DroppedTicks{},
+		ValueCorruption{},
+		Flatline{},
+		TruncatedRun{},
+		DuplicatedSamples{},
+		CounterDropout{},
+		AmplitudeNoise{},
+	}
+}
+
+// Injector applies a set of fault models to experiment batches. Randomness
+// derives from (Seed, experiment ID, model name), so corrupting one
+// experiment never depends on batch order or on which other experiments
+// are present — the property that keeps degradation sweeps reproducible.
+type Injector struct {
+	// Seed roots the corruption randomness.
+	Seed uint64
+	// Rate is the per-model fault rate (see each model's semantics).
+	Rate float64
+	// Models are applied in order; nil means AllModels().
+	Models []Model
+}
+
+// Corrupt returns corrupted deep copies of the experiments; the inputs are
+// never mutated. At Rate <= 0 the copies are value-identical clones.
+func (in *Injector) Corrupt(exps []*telemetry.Experiment) []*telemetry.Experiment {
+	models := in.Models
+	if models == nil {
+		models = AllModels()
+	}
+	out := make([]*telemetry.Experiment, len(exps))
+	for i, e := range exps {
+		c := e.Clone()
+		if in.Rate > 0 {
+			root := telemetry.NewSource(in.Seed).Child("faults/" + e.ID())
+			for _, m := range models {
+				m.Apply(c, in.Rate, root.Child(m.Name()))
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// DroppedTicks simulates missed scrapes: each tick is lost with
+// probability rate, blanking every counter (and the aligned throughput
+// sample) to NaN. Short losses are recoverable by interpolation; bursts
+// force the sanitizer to excise the region.
+type DroppedTicks struct{}
+
+// Name implements Model.
+func (DroppedTicks) Name() string { return "dropped-ticks" }
+
+// Apply implements Model.
+func (DroppedTicks) Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source) {
+	n := e.Resources.Len()
+	aligned := len(e.ThroughputSeries) == n
+	for t := 0; t < n; t++ {
+		if src.Float64() >= rate {
+			continue
+		}
+		for f := 0; f < telemetry.NumResourceFeatures; f++ {
+			e.Resources.Samples[f][t] = math.NaN()
+		}
+		if aligned {
+			e.ThroughputSeries[t] = math.NaN()
+		}
+	}
+}
+
+// ValueCorruption flips individual counter cells to NaN, +Inf, or -Inf
+// with probability rate each — the classic garbage-sample fault.
+type ValueCorruption struct{}
+
+// Name implements Model.
+func (ValueCorruption) Name() string { return "nan-values" }
+
+// Apply implements Model.
+func (ValueCorruption) Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source) {
+	garbage := [3]float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		s := e.Resources.Samples[f]
+		for t := range s {
+			if src.Float64() < rate {
+				s[t] = garbage[src.IntN(3)]
+			}
+		}
+	}
+}
+
+// Flatline simulates a stuck counter: with probability rate per counter,
+// the stream holds its last honest value over a window covering 10–30% of
+// the run.
+type Flatline struct{}
+
+// Name implements Model.
+func (Flatline) Name() string { return "flatline" }
+
+// Apply implements Model.
+func (Flatline) Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source) {
+	n := e.Resources.Len()
+	if n == 0 {
+		return
+	}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		if src.Float64() >= rate {
+			continue
+		}
+		start := int(float64(n) * (0.2 + 0.5*src.Float64()))
+		length := int(float64(n) * (0.1 + 0.2*src.Float64()))
+		s := e.Resources.Samples[f]
+		for t := start + 1; t < start+length && t < n; t++ {
+			s[t] = s[start]
+		}
+	}
+}
+
+// TruncatedRun cuts the tail of the run: when rate > 0 the experiment
+// loses between 0.5× and 1.5× rate of its ticks (and the aligned
+// throughput samples), modeling workloads that drift away or die
+// mid-observation.
+type TruncatedRun struct{}
+
+// Name implements Model.
+func (TruncatedRun) Name() string { return "truncated-run" }
+
+// Apply implements Model.
+func (TruncatedRun) Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source) {
+	n := e.Resources.Len()
+	if n == 0 || rate <= 0 {
+		return
+	}
+	cut := rate * (0.5 + src.Float64())
+	keep := n - int(float64(n)*cut)
+	if keep < 1 {
+		keep = 1
+	}
+	aligned := len(e.ThroughputSeries) == n
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		e.Resources.Samples[f] = e.Resources.Samples[f][:keep]
+	}
+	if aligned {
+		e.ThroughputSeries = e.ThroughputSeries[:keep]
+	}
+}
+
+// DuplicatedSamples re-delivers ticks: each tick is emitted twice with
+// probability rate, shifting everything after it — the at-least-once
+// delivery fault of telemetry queues.
+type DuplicatedSamples struct{}
+
+// Name implements Model.
+func (DuplicatedSamples) Name() string { return "duplicated-samples" }
+
+// Apply implements Model.
+func (DuplicatedSamples) Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source) {
+	n := e.Resources.Len()
+	if n == 0 {
+		return
+	}
+	dup := make([]bool, n)
+	extra := 0
+	for t := range dup {
+		if src.Float64() < rate {
+			dup[t] = true
+			extra++
+		}
+	}
+	if extra == 0 {
+		return
+	}
+	aligned := len(e.ThroughputSeries) == n
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		e.Resources.Samples[f] = duplicate(e.Resources.Samples[f], dup, extra)
+	}
+	if aligned {
+		e.ThroughputSeries = duplicate(e.ThroughputSeries, dup, extra)
+	}
+}
+
+func duplicate(s []float64, dup []bool, extra int) []float64 {
+	out := make([]float64, 0, len(s)+extra)
+	for t, v := range s {
+		out = append(out, v)
+		if dup[t] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CounterDropout kills whole counter streams: with probability rate per
+// counter, every sample becomes NaN — an agent that stopped exporting one
+// metric entirely.
+type CounterDropout struct{}
+
+// Name implements Model.
+func (CounterDropout) Name() string { return "counter-dropout" }
+
+// Apply implements Model.
+func (CounterDropout) Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source) {
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		if src.Float64() >= rate {
+			continue
+		}
+		s := e.Resources.Samples[f]
+		for t := range s {
+			s[t] = math.NaN()
+		}
+	}
+}
+
+// AmplitudeNoise perturbs every counter and throughput sample by relative
+// Gaussian noise with σ = rate. Unlike the other models it leaves values
+// finite, so sanitization passes it through — it measures how prediction
+// error grows with undetectable measurement noise.
+type AmplitudeNoise struct{}
+
+// Name implements Model.
+func (AmplitudeNoise) Name() string { return "amplitude-noise" }
+
+// Apply implements Model.
+func (AmplitudeNoise) Apply(e *telemetry.Experiment, rate float64, src *telemetry.Source) {
+	perturb := func(s []float64) {
+		for t := range s {
+			v := s[t] * (1 + rate*src.NormFloat64())
+			if v < 0 {
+				v = 0
+			}
+			s[t] = v
+		}
+	}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		perturb(e.Resources.Samples[f])
+	}
+	perturb(e.ThroughputSeries)
+}

@@ -1,0 +1,284 @@
+package faults_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"wpred/internal/bench"
+	"wpred/internal/faults"
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+func simExp(t *testing.T, name string, run int, seed uint64) *telemetry.Experiment {
+	t.Helper()
+	w, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := 8
+	if bench.Serial(name) {
+		terms = 1
+	}
+	return simdb.Simulate(w, simdb.Config{
+		SKU: telemetry.SKU{CPUs: 4, MemoryGB: 32}, Terminals: terms, Run: run, Ticks: 60,
+	}, telemetry.NewSource(seed))
+}
+
+// sameSeries compares float series treating NaN as equal to NaN —
+// reflect.DeepEqual cannot compare corrupted telemetry.
+func sameSeries(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameExp(a, b *telemetry.Experiment) bool {
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		if !sameSeries(a.Resources.Samples[f], b.Resources.Samples[f]) {
+			return false
+		}
+	}
+	return sameSeries(a.ThroughputSeries, b.ThroughputSeries) &&
+		a.Workload == b.Workload && a.SKU == b.SKU &&
+		a.Throughput == b.Throughput && a.MeanLatMS == b.MeanLatMS &&
+		reflect.DeepEqual(a.Plans, b.Plans) && reflect.DeepEqual(a.TxnStats, b.TxnStats)
+}
+
+func finiteCells(e *telemetry.Experiment) (finite, total int) {
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		for _, v := range e.Resources.Samples[f] {
+			total++
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				finite++
+			}
+		}
+	}
+	return finite, total
+}
+
+func TestZeroRateIsIdentity(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	in := &faults.Injector{Seed: 1, Rate: 0}
+	out := in.Corrupt([]*telemetry.Experiment{e})
+	if !reflect.DeepEqual(out[0], e) {
+		t.Fatal("rate 0 must return a value-identical clone")
+	}
+	if out[0] == e {
+		t.Fatal("Corrupt must clone, not alias, its inputs")
+	}
+}
+
+func TestCorruptIsDeterministic(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	a := (&faults.Injector{Seed: 3, Rate: 0.25}).Corrupt([]*telemetry.Experiment{e})
+	b := (&faults.Injector{Seed: 3, Rate: 0.25}).Corrupt([]*telemetry.Experiment{e})
+	if !sameExp(a[0], b[0]) {
+		t.Fatal("same seed must corrupt identically")
+	}
+	c := (&faults.Injector{Seed: 4, Rate: 0.25}).Corrupt([]*telemetry.Experiment{e})
+	if sameExp(a[0], c[0]) {
+		t.Fatal("different seed should corrupt differently")
+	}
+}
+
+func TestCorruptDoesNotMutateInput(t *testing.T) {
+	e := simExp(t, bench.TwitterName, 1, 7)
+	pristine := e.Clone()
+	(&faults.Injector{Seed: 3, Rate: 0.25}).Corrupt([]*telemetry.Experiment{e})
+	if !reflect.DeepEqual(e, pristine) {
+		t.Fatal("Corrupt mutated its input")
+	}
+}
+
+func TestCorruptIsOrderIndependent(t *testing.T) {
+	e1 := simExp(t, bench.TPCCName, 0, 7)
+	e2 := simExp(t, bench.TwitterName, 0, 8)
+	in := &faults.Injector{Seed: 3, Rate: 0.1}
+	fwd := in.Corrupt([]*telemetry.Experiment{e1, e2})
+	rev := in.Corrupt([]*telemetry.Experiment{e2, e1})
+	if !sameExp(fwd[0], rev[1]) || !sameExp(fwd[1], rev[0]) {
+		t.Fatal("corruption of one experiment must not depend on batch order")
+	}
+}
+
+func TestDroppedTicksBlanksWholeTicks(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	out := (&faults.Injector{Seed: 3, Rate: 0.3, Models: []faults.Model{faults.DroppedTicks{}}}).
+		Corrupt([]*telemetry.Experiment{e})[0]
+	dropped := 0
+	for tick := 0; tick < out.Resources.Len(); tick++ {
+		nan := 0
+		for f := 0; f < telemetry.NumResourceFeatures; f++ {
+			if math.IsNaN(out.Resources.Samples[f][tick]) {
+				nan++
+			}
+		}
+		switch nan {
+		case 0:
+		case telemetry.NumResourceFeatures:
+			dropped++
+			if !math.IsNaN(out.ThroughputSeries[tick]) {
+				t.Fatalf("tick %d dropped but throughput sample survived", tick)
+			}
+		default:
+			t.Fatalf("tick %d partially dropped (%d/%d counters)", tick, nan, telemetry.NumResourceFeatures)
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("rate 0.3 over 60 ticks dropped nothing")
+	}
+}
+
+func TestValueCorruptionFlipsCells(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	out := (&faults.Injector{Seed: 3, Rate: 0.3, Models: []faults.Model{faults.ValueCorruption{}}}).
+		Corrupt([]*telemetry.Experiment{e})[0]
+	fin, total := finiteCells(out)
+	if fin == total {
+		t.Fatal("rate 0.3 corrupted no cells")
+	}
+	if fin == 0 {
+		t.Fatal("rate 0.3 should leave most cells intact")
+	}
+}
+
+func TestFlatlineSticksCounters(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	out := (&faults.Injector{Seed: 3, Rate: 1, Models: []faults.Model{faults.Flatline{}}}).
+		Corrupt([]*telemetry.Experiment{e})[0]
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		s := out.Resources.Samples[f]
+		longest, run := 1, 1
+		for tick := 1; tick < len(s); tick++ {
+			if s[tick] == s[tick-1] {
+				run++
+			} else {
+				run = 1
+			}
+			if run > longest {
+				longest = run
+			}
+		}
+		if longest < 6 { // window is ≥10% of a 60-tick run
+			t.Fatalf("counter %d: longest identical run %d, want a flatline ≥6", f, longest)
+		}
+	}
+}
+
+func TestTruncatedRunShortens(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	n := e.Resources.Len()
+	out := (&faults.Injector{Seed: 3, Rate: 0.2, Models: []faults.Model{faults.TruncatedRun{}}}).
+		Corrupt([]*telemetry.Experiment{e})[0]
+	if out.Resources.Len() >= n {
+		t.Fatalf("run not truncated: %d ticks", out.Resources.Len())
+	}
+	if len(out.ThroughputSeries) != out.Resources.Len() {
+		t.Fatal("throughput series must truncate in lockstep")
+	}
+}
+
+func TestDuplicatedSamplesRedeliver(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	n := e.Resources.Len()
+	out := (&faults.Injector{Seed: 3, Rate: 0.3, Models: []faults.Model{faults.DuplicatedSamples{}}}).
+		Corrupt([]*telemetry.Experiment{e})[0]
+	if out.Resources.Len() <= n {
+		t.Fatalf("no samples duplicated: %d ticks", out.Resources.Len())
+	}
+	if len(out.ThroughputSeries) != out.Resources.Len() {
+		t.Fatal("throughput series must duplicate in lockstep")
+	}
+	// At least one tick must be a full-vector repeat of its predecessor.
+	found := false
+	for tick := 1; tick < out.Resources.Len() && !found; tick++ {
+		same := true
+		for f := 0; f < telemetry.NumResourceFeatures; f++ {
+			if out.Resources.Samples[f][tick] != out.Resources.Samples[f][tick-1] {
+				same = false
+				break
+			}
+		}
+		found = same && out.ThroughputSeries[tick] == out.ThroughputSeries[tick-1]
+	}
+	if !found {
+		t.Fatal("no consecutive duplicate tick found")
+	}
+}
+
+func TestCounterDropoutKillsStreams(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	out := (&faults.Injector{Seed: 3, Rate: 1, Models: []faults.Model{faults.CounterDropout{}}}).
+		Corrupt([]*telemetry.Experiment{e})[0]
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		for tick, v := range out.Resources.Samples[f] {
+			if !math.IsNaN(v) {
+				t.Fatalf("counter %d tick %d survived rate-1 dropout: %v", f, tick, v)
+			}
+		}
+	}
+}
+
+func TestAmplitudeNoiseStaysFinite(t *testing.T) {
+	e := simExp(t, bench.TPCCName, 0, 7)
+	out := (&faults.Injector{Seed: 3, Rate: 0.1, Models: []faults.Model{faults.AmplitudeNoise{}}}).
+		Corrupt([]*telemetry.Experiment{e})[0]
+	if out.Resources.Len() != e.Resources.Len() {
+		t.Fatal("amplitude noise must not change the tick count")
+	}
+	fin, total := finiteCells(out)
+	if fin != total {
+		t.Fatal("amplitude noise must keep every cell finite")
+	}
+	if reflect.DeepEqual(out.Resources, e.Resources) {
+		t.Fatal("amplitude noise changed nothing")
+	}
+	for f := 0; f < telemetry.NumResourceFeatures; f++ {
+		for tick, v := range out.Resources.Samples[f] {
+			if v < 0 {
+				t.Fatalf("counter %d tick %d went negative: %v", f, tick, v)
+			}
+		}
+	}
+}
+
+// TestCleanSimulationsValidateClean pins the false-positive rate of the
+// sanitizer at zero on pristine simulator output: saturation plateaus,
+// idle counters, and repeated values must never be flagged as faults.
+func TestCleanSimulationsValidateClean(t *testing.T) {
+	for _, name := range []string{bench.TPCCName, bench.TwitterName, bench.TPCHName, bench.YCSBName, bench.TPCDSName} {
+		for run := 0; run < 2; run++ {
+			e := simExp(t, name, run, 7)
+			rep := telemetry.Validate(e, telemetry.SanitizePolicy{})
+			if !rep.Clean() {
+				t.Errorf("clean %s run %d reported dirty: %v", name, run, rep)
+			}
+		}
+	}
+}
+
+// TestSanitizeRecoversModerateFaults checks the repair path end to end:
+// at a 5% fault rate the sanitized experiment stays usable.
+func TestSanitizeRecoversModerateFaults(t *testing.T) {
+	for _, m := range faults.AllModels() {
+		e := simExp(t, bench.TPCCName, 0, 7)
+		out := (&faults.Injector{Seed: 3, Rate: 0.05, Models: []faults.Model{m}}).
+			Corrupt([]*telemetry.Experiment{e})[0]
+		s, rep := telemetry.Sanitize(out, telemetry.SanitizePolicy{})
+		if !rep.Usable() {
+			t.Errorf("%s at 5%%: rejected (%s)", m.Name(), rep.RejectReason)
+			continue
+		}
+		if fin, total := finiteCells(s); fin != total {
+			t.Errorf("%s at 5%%: %d non-finite cells survived sanitization", m.Name(), total-fin)
+		}
+	}
+}

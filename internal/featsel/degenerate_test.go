@@ -1,0 +1,83 @@
+package featsel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// degenerateDataset builds a small classification dataset where column 0
+// carries class signal, column 1 is constant (zero variance), and column 2
+// is weak noise-free structure — enough rows for 3-fold CV.
+func degenerateDataset() (*mat.Dense, []int) {
+	rows := [][]float64{
+		{0.1, 5, 0.3}, {0.2, 5, 0.1}, {0.15, 5, 0.2}, {0.12, 5, 0.25},
+		{0.9, 5, 0.8}, {0.8, 5, 0.9}, {0.85, 5, 0.7}, {0.95, 5, 0.75},
+		{0.5, 5, 0.45}, {0.45, 5, 0.55}, {0.55, 5, 0.5}, {0.48, 5, 0.6},
+	}
+	y := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	return mat.NewFromRows(rows), y
+}
+
+// TestStrategiesHandleConstantColumn runs every strategy against a dataset
+// with a zero-variance column: the result must carry finite scores and a
+// valid rank permutation — never NaN ranks.
+func TestStrategiesHandleConstantColumn(t *testing.T) {
+	for _, s := range AllStrategies(5) {
+		t.Run(s.Name(), func(t *testing.T) {
+			X, y := degenerateDataset()
+			res, err := s.Evaluate(X, y)
+			if err != nil {
+				t.Fatalf("constant column must not fail: %v", err)
+			}
+			for j, score := range res.Scores {
+				if math.IsNaN(score) || math.IsInf(score, 0) {
+					t.Fatalf("score[%d] = %v, want finite", j, score)
+				}
+			}
+			if len(res.Ranks) != X.Cols() {
+				t.Fatalf("got %d ranks, want %d", len(res.Ranks), X.Cols())
+			}
+			seen := make([]bool, X.Cols())
+			for _, r := range res.Ranks {
+				if r < 1 || r > X.Cols() || seen[r-1] {
+					t.Fatalf("ranks %v are not a permutation of 1..%d", res.Ranks, X.Cols())
+				}
+				seen[r-1] = true
+			}
+		})
+	}
+}
+
+// TestStrategiesRejectNonFiniteCells runs every strategy against datasets
+// containing a NaN or Inf cell: each must return a clean descriptive error,
+// never panic and never emit a ranking.
+func TestStrategiesRejectNonFiniteCells(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		for _, s := range AllStrategies(5) {
+			t.Run(s.Name(), func(t *testing.T) {
+				X, y := degenerateDataset()
+				X.Set(3, 2, bad)
+				res, err := s.Evaluate(X, y)
+				if err == nil {
+					t.Fatalf("non-finite cell must be rejected, got result %v", res.Ranks)
+				}
+				if !strings.Contains(err.Error(), "non-finite") {
+					t.Fatalf("error %q should name the non-finite cell", err)
+				}
+			})
+		}
+	}
+}
+
+func TestRanksFromScoresNaNSortsLast(t *testing.T) {
+	ranks := RanksFromScores([]float64{0.5, math.NaN(), 0.9, math.NaN()})
+	if ranks[2] != 1 || ranks[0] != 2 {
+		t.Fatalf("finite scores misranked: %v", ranks)
+	}
+	if ranks[1] < 3 || ranks[3] < 3 {
+		t.Fatalf("NaN scores must rank last: %v", ranks)
+	}
+}

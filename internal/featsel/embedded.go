@@ -20,6 +20,9 @@ func (LassoSelector) Name() string { return "Lasso" }
 
 // Evaluate implements Strategy.
 func (s LassoSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	alpha := s.Alpha
 	if alpha == 0 {
 		alpha = 0.01
@@ -28,7 +31,7 @@ func (s LassoSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
 	if err := m.Fit(X, classToFloat(y)); err != nil {
 		return Result{}, err
 	}
-	scores := m.FeatureImportances()
+	scores := finiteScores(m.FeatureImportances())
 	return Result{Strategy: "Lasso", Scores: scores, Ranks: RanksFromScores(scores)}, nil
 }
 
@@ -44,6 +47,9 @@ func (ElasticNetSelector) Name() string { return "Elastic Net" }
 
 // Evaluate implements Strategy.
 func (s ElasticNetSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	alpha := s.Alpha
 	if alpha == 0 {
 		alpha = 0.01
@@ -52,7 +58,7 @@ func (s ElasticNetSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
 	if err := m.Fit(X, classToFloat(y)); err != nil {
 		return Result{}, err
 	}
-	scores := m.FeatureImportances()
+	scores := finiteScores(m.FeatureImportances())
 	return Result{Strategy: "Elastic Net", Scores: scores, Ranks: RanksFromScores(scores)}, nil
 }
 
@@ -70,6 +76,9 @@ func (RandomForestSelector) Name() string { return "RandomForest" }
 
 // Evaluate implements Strategy.
 func (s RandomForestSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	f := &ensemble.RandomForestClassifier{ForestParams: ensemble.ForestParams{
 		NTrees: s.NTrees,
 		Seed:   s.Seed,
@@ -77,6 +86,6 @@ func (s RandomForestSelector) Evaluate(X *mat.Dense, y []int) (Result, error) {
 	if err := f.FitClasses(X, y); err != nil {
 		return Result{}, err
 	}
-	scores := f.FeatureImportances()
+	scores := finiteScores(f.FeatureImportances())
 	return Result{Strategy: "RandomForest", Scores: scores, Ranks: RanksFromScores(scores)}, nil
 }

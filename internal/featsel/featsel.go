@@ -11,10 +11,39 @@ package featsel
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"wpred/internal/mat"
 )
+
+// CheckFinite rejects datasets containing NaN or ±Inf cells with a clean
+// error naming the first offender. Every strategy calls it before scoring:
+// a single garbage cell would otherwise poison distance sums, coefficient
+// fits, or impurity splits into silent NaN rankings.
+func CheckFinite(X *mat.Dense) error {
+	for i := 0; i < X.Rows(); i++ {
+		for j := 0; j < X.Cols(); j++ {
+			if v := X.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("featsel: non-finite value %v at row %d, column %d — sanitize telemetry before feature selection", v, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// finiteScores clamps non-finite importance scores to 0 (the worst score):
+// a zero-variance column can yield NaN from a 0/0 correlation or F
+// statistic, and such a column carries no signal, so it ranks last rather
+// than poisoning the whole ranking.
+func finiteScores(scores []float64) []float64 {
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			scores[i] = 0
+		}
+	}
+	return scores
+}
 
 // Result is one strategy's output on one dataset.
 type Result struct {
@@ -64,13 +93,23 @@ type Strategy interface {
 }
 
 // RanksFromScores converts importance scores to 1-based ranks (highest
-// score → rank 1). Ties break on column order.
+// score → rank 1). Ties break on column order; NaN scores sort last so a
+// degenerate score can never claim a top rank.
 func RanksFromScores(scores []float64) []int {
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if math.IsNaN(sb) {
+			return !math.IsNaN(sa)
+		}
+		if math.IsNaN(sa) {
+			return false
+		}
+		return sa > sb
+	})
 	ranks := make([]int, len(scores))
 	for pos, col := range idx {
 		ranks[col] = pos + 1

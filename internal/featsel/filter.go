@@ -16,11 +16,15 @@ func (VarianceThreshold) Name() string { return "Variance" }
 
 // Evaluate implements Strategy.
 func (VarianceThreshold) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	c := X.Cols()
 	scores := make([]float64, c)
 	for j := 0; j < c; j++ {
 		scores[j] = stat.Variance(stat.Normalize(X.Col(j)))
 	}
+	scores = finiteScores(scores)
 	return Result{Strategy: "Variance", Scores: scores, Ranks: RanksFromScores(scores)}, nil
 }
 
@@ -33,6 +37,9 @@ func (PearsonCorrelation) Name() string { return "Pearson" }
 
 // Evaluate implements Strategy.
 func (PearsonCorrelation) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	c := X.Cols()
 	fy := classToFloat(y)
 	scores := make([]float64, c)
@@ -43,6 +50,7 @@ func (PearsonCorrelation) Evaluate(X *mat.Dense, y []int) (Result, error) {
 		}
 		scores[j] = r
 	}
+	scores = finiteScores(scores)
 	return Result{Strategy: "Pearson", Scores: scores, Ranks: RanksFromScores(scores)}, nil
 }
 
@@ -56,11 +64,15 @@ func (FANOVA) Name() string { return "fANOVA" }
 
 // Evaluate implements Strategy.
 func (FANOVA) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	c := X.Cols()
 	scores := make([]float64, c)
 	for j := 0; j < c; j++ {
 		scores[j] = stat.FStatistic(X.Col(j), y)
 	}
+	scores = finiteScores(scores)
 	return Result{Strategy: "fANOVA", Scores: scores, Ranks: RanksFromScores(scores)}, nil
 }
 
@@ -76,6 +88,9 @@ func (MutualInfoGain) Name() string { return "MIGain" }
 
 // Evaluate implements Strategy.
 func (m MutualInfoGain) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	bins := m.Bins
 	if bins == 0 {
 		bins = 16
@@ -85,5 +100,6 @@ func (m MutualInfoGain) Evaluate(X *mat.Dense, y []int) (Result, error) {
 	for j := 0; j < c; j++ {
 		scores[j] = stat.MutualInformation(X.Col(j), y, bins)
 	}
+	scores = finiteScores(scores)
 	return Result{Strategy: "MIGain", Scores: scores, Ranks: RanksFromScores(scores)}, nil
 }

@@ -77,6 +77,9 @@ func (r RFE) Name() string { return "RFE " + r.Estimator.String() }
 
 // Evaluate implements Strategy.
 func (r RFE) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	c := X.Cols()
 	remaining := make([]int, c)
 	for i := range remaining {
@@ -131,6 +134,9 @@ func (s SFS) Name() string {
 
 // Evaluate implements Strategy.
 func (s SFS) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	if s.Forward {
 		return s.forward(X, y)
 	}
@@ -253,6 +259,9 @@ func (Baseline) Name() string { return "Baseline" }
 
 // Evaluate implements Strategy.
 func (b Baseline) Evaluate(X *mat.Dense, y []int) (Result, error) {
+	if err := CheckFinite(X); err != nil {
+		return Result{}, err
+	}
 	c := X.Cols()
 	rng := rand.New(rand.NewPCG(b.Seed, b.Seed^0xba5eba11))
 	perm := rng.Perm(c)

@@ -112,6 +112,21 @@ func (e *Experiment) ID() string {
 	return fmt.Sprintf("%s/%s/t%d/r%d", e.Workload, e.SKU, e.Terminals, e.Run)
 }
 
+// Clone returns a deep copy of the experiment: mutating the copy's series,
+// plans, or transaction stats never touches the original. Fault injection
+// and sanitization both operate on clones so shared experiment caches stay
+// pristine.
+func (e *Experiment) Clone() *Experiment {
+	c := *e
+	for f := range e.Resources.Samples {
+		c.Resources.Samples[f] = append([]float64(nil), e.Resources.Samples[f]...)
+	}
+	c.ThroughputSeries = append([]float64(nil), e.ThroughputSeries...)
+	c.Plans = append([]PlanObservation(nil), e.Plans...)
+	c.TxnStats = append([]TxnMetrics(nil), e.TxnStats...)
+	return &c
+}
+
 // FeatureVector summarizes the experiment as one row of all 29 features:
 // resource counters are averaged over the time series and plan statistics
 // are averaged across query observations. This is the observation format

@@ -1,0 +1,422 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SanitizePolicy tunes the corruption detection and repair thresholds of
+// Sanitize. The zero value selects the defaults, which every pipeline
+// entry point uses unless configured otherwise.
+type SanitizePolicy struct {
+	// MaxGap is the longest run of missing (NaN/Inf) ticks repaired by
+	// linear interpolation; longer gaps are excised instead (default 3).
+	MaxGap int
+	// MinValidFraction rejects an experiment when fewer than this fraction
+	// of its observed ticks survive sanitization (default 0.5).
+	MinValidFraction float64
+	// MinTicks rejects a resource-bearing experiment with fewer surviving
+	// ticks than this, regardless of fraction (default 24 — enough for the
+	// 10-bin histograms the similarity stage builds).
+	MinTicks int
+	// FlatlineRun is the shortest run of identical non-zero samples treated
+	// as a stuck counter (default 8). Runs pegged at the clamp rails (0 or
+	// 100) are legitimate saturation, not faults, and are never flagged;
+	// neither is a counter that is constant over the whole series.
+	FlatlineRun int
+	// MinCounterValid is the smallest finite fraction below which a whole
+	// counter stream is declared dead and zero-filled rather than imputed
+	// (default 0.25).
+	MinCounterValid float64
+}
+
+func (p SanitizePolicy) withDefaults() SanitizePolicy {
+	if p.MaxGap == 0 {
+		p.MaxGap = 3
+	}
+	if p.MinValidFraction == 0 {
+		p.MinValidFraction = 0.5
+	}
+	if p.MinTicks == 0 {
+		p.MinTicks = 24
+	}
+	if p.FlatlineRun == 0 {
+		p.FlatlineRun = 8
+	}
+	if p.MinCounterValid == 0 {
+		p.MinCounterValid = 0.25
+	}
+	return p
+}
+
+// CorruptionReport itemizes everything Sanitize detected and repaired in
+// one experiment. A zero count in every field means the input was pristine.
+type CorruptionReport struct {
+	// ID is the experiment's identifier (Experiment.ID).
+	ID string
+	// Ticks is the resource-series length as observed (before repair).
+	Ticks int
+	// ValidTicks is the series length after repair and excision.
+	ValidTicks int
+	// NonFinite counts NaN/±Inf resource cells found in the input.
+	NonFinite int
+	// Imputed counts cells repaired by interpolation (short gaps).
+	Imputed int
+	// DuplicateTicks counts exact consecutive duplicate ticks removed.
+	DuplicateTicks int
+	// FlatlineTicks counts stuck-counter cells excised.
+	FlatlineTicks int
+	// DeadCounters counts counter streams zero-filled for lack of data.
+	DeadCounters int
+	// PlanCells counts non-finite plan statistics clamped to zero.
+	PlanCells int
+	// Clamped counts non-finite scalar summaries (throughput, latency)
+	// replaced by a derived or zero value.
+	Clamped int
+	// RejectReason is non-empty when the experiment is unusable.
+	RejectReason string
+}
+
+// Usable reports whether the experiment survived sanitization.
+func (r *CorruptionReport) Usable() bool { return r.RejectReason == "" }
+
+// Clean reports whether sanitization found nothing to repair: the output
+// experiment is value-identical to the input.
+func (r *CorruptionReport) Clean() bool {
+	return r.NonFinite == 0 && r.Imputed == 0 && r.DuplicateTicks == 0 &&
+		r.FlatlineTicks == 0 && r.DeadCounters == 0 && r.PlanCells == 0 &&
+		r.Clamped == 0 && r.RejectReason == "" && r.ValidTicks == r.Ticks
+}
+
+// String renders a compact one-line summary of the findings.
+func (r *CorruptionReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("%s: clean (%d ticks)", r.ID, r.Ticks)
+	}
+	var parts []string
+	add := func(n int, what string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, what))
+		}
+	}
+	add(r.NonFinite, "non-finite cells")
+	add(r.DuplicateTicks, "duplicate ticks")
+	add(r.FlatlineTicks, "flatlined cells")
+	add(r.DeadCounters, "dead counters")
+	add(r.Imputed, "imputed cells")
+	add(r.PlanCells, "clamped plan stats")
+	add(r.Clamped, "clamped scalars")
+	s := fmt.Sprintf("%s: %d/%d ticks valid", r.ID, r.ValidTicks, r.Ticks)
+	if len(parts) > 0 {
+		s += ", " + strings.Join(parts, ", ")
+	}
+	if r.RejectReason != "" {
+		s += " — rejected: " + r.RejectReason
+	}
+	return s
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Sanitize detects and repairs corruption in one experiment and reports
+// what it found. The input is never mutated; the returned experiment is a
+// clone. Repairs, in order:
+//
+//  1. Exact consecutive duplicate ticks (all counters and the aligned
+//     throughput sample identical) are removed.
+//  2. Stuck ("flatlined") counters — runs of ≥ FlatlineRun identical
+//     non-zero samples away from the 0/100 clamp rails — are excised.
+//  3. Non-finite cells: counters with under MinCounterValid finite samples
+//     are zero-filled (dead); gaps of up to MaxGap ticks are repaired by
+//     linear interpolation; longer gaps are excised.
+//  4. Ticks still missing any counter after repair are dropped from every
+//     series, keeping the experiment NaN-free end to end.
+//  5. Non-finite throughput samples, scalar summaries, and plan statistics
+//     are interpolated, derived, or clamped to zero.
+//
+// The experiment is rejected (report.Usable() == false) when fewer than
+// MinTicks or MinValidFraction of its ticks survive, or when it carries no
+// telemetry at all. Clean inputs pass through value-identical.
+func Sanitize(e *Experiment, pol SanitizePolicy) (*Experiment, *CorruptionReport) {
+	pol = pol.withDefaults()
+	c := e.Clone()
+	rep := &CorruptionReport{ID: e.ID(), Ticks: e.Resources.Len()}
+
+	if rep.Ticks == 0 {
+		// Plan-only experiment (e.g. the production workload PW).
+		sanitizePlans(c, rep)
+		sanitizeScalars(c, rep)
+		if len(c.Plans) == 0 {
+			rep.RejectReason = "no telemetry: no resource ticks and no plan observations"
+		}
+		return c, rep
+	}
+
+	dropDuplicateTicks(c, rep)
+	for f := 0; f < NumResourceFeatures; f++ {
+		s := c.Resources.Samples[f]
+		for _, v := range s {
+			if !finite(v) {
+				rep.NonFinite++
+			}
+		}
+		exciseFlatlines(s, pol, rep)
+		repairCounter(s, pol, rep)
+	}
+	dropInvalidTicks(c, rep)
+
+	repairSeries(c.ThroughputSeries, pol, rep)
+	c.ThroughputSeries = compactFinite(c.ThroughputSeries)
+	sanitizeScalars(c, rep)
+	sanitizePlans(c, rep)
+
+	if rep.ValidTicks < pol.MinTicks {
+		rep.RejectReason = fmt.Sprintf("only %d valid ticks (minimum %d)", rep.ValidTicks, pol.MinTicks)
+	} else if frac := float64(rep.ValidTicks) / float64(rep.Ticks); frac < pol.MinValidFraction {
+		rep.RejectReason = fmt.Sprintf("only %.0f%% of ticks valid (minimum %.0f%%)",
+			100*frac, 100*pol.MinValidFraction)
+	}
+	return c, rep
+}
+
+// Validate detects corruption without repairing: it returns the report
+// Sanitize would produce, leaving the experiment untouched.
+func Validate(e *Experiment, pol SanitizePolicy) *CorruptionReport {
+	_, rep := Sanitize(e, pol)
+	return rep
+}
+
+// SanitizeAll sanitizes every experiment and partitions the results into
+// usable experiments and the full report list (one per input, in order).
+func SanitizeAll(exps []*Experiment, pol SanitizePolicy) ([]*Experiment, []*CorruptionReport) {
+	kept := make([]*Experiment, 0, len(exps))
+	reports := make([]*CorruptionReport, 0, len(exps))
+	for _, e := range exps {
+		s, rep := Sanitize(e, pol)
+		reports = append(reports, rep)
+		if rep.Usable() {
+			kept = append(kept, s)
+		}
+	}
+	return kept, reports
+}
+
+// dropDuplicateTicks removes tick t when every counter (and the aligned
+// throughput sample, if the series match) exactly equals tick t-1. Real
+// counters carry continuous measurement noise, so exact full-vector
+// repeats only arise from duplicated delivery.
+func dropDuplicateTicks(c *Experiment, rep *CorruptionReport) {
+	n := c.Resources.Len()
+	aligned := len(c.ThroughputSeries) == n
+	keep := make([]bool, n)
+	keep[0] = true
+	for t := 1; t < n; t++ {
+		dup := true
+		for f := 0; f < NumResourceFeatures && dup; f++ {
+			s := c.Resources.Samples[f]
+			// NaN never equals NaN; compare bit-for-bit via ==, treating
+			// two NaNs as equal so duplicated corrupt ticks also collapse.
+			if s[t] != s[t-1] && !(math.IsNaN(s[t]) && math.IsNaN(s[t-1])) {
+				dup = false
+			}
+		}
+		if dup && aligned && c.ThroughputSeries[t] != c.ThroughputSeries[t-1] {
+			dup = false
+		}
+		keep[t] = !dup
+		if dup {
+			rep.DuplicateTicks++
+		}
+	}
+	if rep.DuplicateTicks == 0 {
+		return
+	}
+	for f := 0; f < NumResourceFeatures; f++ {
+		c.Resources.Samples[f] = compactMask(c.Resources.Samples[f], keep)
+	}
+	if aligned {
+		c.ThroughputSeries = compactMask(c.ThroughputSeries, keep)
+	}
+}
+
+// exciseFlatlines blanks runs of ≥ FlatlineRun identical samples to NaN,
+// keeping the first sample of each run (the last honest reading before the
+// counter stuck). Zero runs, rail-clamped runs (100), and whole-series
+// constants are legitimate and left alone.
+func exciseFlatlines(s []float64, pol SanitizePolicy, rep *CorruptionReport) {
+	n := len(s)
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && s[end] == s[start] {
+			end++
+		}
+		runLen := end - start
+		if runLen >= pol.FlatlineRun && runLen < n && finite(s[start]) &&
+			s[start] != 0 && s[start] != 100 {
+			for t := start + 1; t < end; t++ {
+				s[t] = math.NaN()
+				rep.FlatlineTicks++
+			}
+		}
+		start = end
+	}
+}
+
+// repairCounter fixes one counter stream in place: a mostly-missing stream
+// is zero-filled (dead), short gaps are linearly interpolated (interior)
+// or extended from the nearest finite neighbor (edges), and longer gaps
+// stay missing for dropInvalidTicks to excise.
+func repairCounter(s []float64, pol SanitizePolicy, rep *CorruptionReport) {
+	n := len(s)
+	nFinite := 0
+	for _, v := range s {
+		if finite(v) {
+			nFinite++
+		}
+	}
+	if nFinite == n {
+		return
+	}
+	if float64(nFinite) < pol.MinCounterValid*float64(n) {
+		for t := range s {
+			s[t] = 0
+		}
+		rep.DeadCounters++
+		return
+	}
+	rep.Imputed += imputeGaps(s, pol.MaxGap)
+}
+
+// imputeGaps repairs non-finite gaps of up to maxGap samples: interior
+// gaps by linear interpolation, leading/trailing gaps by extending the
+// nearest finite neighbor. Longer gaps stay missing. Returns the repaired
+// sample count.
+func imputeGaps(s []float64, maxGap int) int {
+	n, imputed := len(s), 0
+	for start := 0; start < n; {
+		if finite(s[start]) {
+			start++
+			continue
+		}
+		end := start
+		for end < n && !finite(s[end]) {
+			end++
+		}
+		if end-start <= maxGap && end-start < n {
+			switch {
+			case start == 0: // leading gap: extend backwards
+				for t := start; t < end; t++ {
+					s[t] = s[end]
+				}
+			case end == n: // trailing gap: extend forwards
+				for t := start; t < end; t++ {
+					s[t] = s[start-1]
+				}
+			default: // interior gap: linear interpolation
+				lo, hi := s[start-1], s[end]
+				span := float64(end - start + 1)
+				for t := start; t < end; t++ {
+					frac := float64(t-start+1) / span
+					s[t] = lo + (hi-lo)*frac
+				}
+			}
+			imputed += end - start
+		}
+		start = end
+	}
+	return imputed
+}
+
+// dropInvalidTicks removes every tick that still misses any counter, so
+// downstream consumers (feature vectors, histograms, DTW) never see NaN.
+// The aligned throughput series is masked identically.
+func dropInvalidTicks(c *Experiment, rep *CorruptionReport) {
+	n := c.Resources.Len()
+	aligned := len(c.ThroughputSeries) == n
+	keep := make([]bool, n)
+	rep.ValidTicks = 0
+	for t := 0; t < n; t++ {
+		ok := true
+		for f := 0; f < NumResourceFeatures; f++ {
+			if !finite(c.Resources.Samples[f][t]) {
+				ok = false
+				break
+			}
+		}
+		keep[t] = ok
+		if ok {
+			rep.ValidTicks++
+		}
+	}
+	if rep.ValidTicks == n {
+		return
+	}
+	for f := 0; f < NumResourceFeatures; f++ {
+		c.Resources.Samples[f] = compactMask(c.Resources.Samples[f], keep)
+	}
+	if aligned {
+		c.ThroughputSeries = compactMask(c.ThroughputSeries, keep)
+	}
+}
+
+// repairSeries interpolates short non-finite gaps in a standalone series
+// (the throughput estimates); remaining misses are compacted away by the
+// caller rather than excised tick-aligned. Unlike counters, a mostly-dead
+// throughput series is never zero-filled — fabricated zero throughput
+// would poison the scaling stage.
+func repairSeries(s []float64, pol SanitizePolicy, rep *CorruptionReport) {
+	if len(s) == 0 {
+		return
+	}
+	rep.Imputed += imputeGaps(s, pol.MaxGap)
+}
+
+func compactFinite(s []float64) []float64 {
+	out := s[:0]
+	for _, v := range s {
+		if finite(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func compactMask(s []float64, keep []bool) []float64 {
+	out := s[:0]
+	for t, v := range s {
+		if keep[t] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sanitizeScalars(c *Experiment, rep *CorruptionReport) {
+	if !finite(c.Throughput) {
+		c.Throughput = 0
+		if len(c.ThroughputSeries) > 0 {
+			sum := 0.0
+			for _, v := range c.ThroughputSeries {
+				sum += v
+			}
+			c.Throughput = sum / float64(len(c.ThroughputSeries))
+		}
+		rep.Clamped++
+	}
+	if !finite(c.MeanLatMS) {
+		c.MeanLatMS = 0
+		rep.Clamped++
+	}
+}
+
+func sanitizePlans(c *Experiment, rep *CorruptionReport) {
+	for i := range c.Plans {
+		for j, v := range c.Plans[i].Stats {
+			if !finite(v) {
+				c.Plans[i].Stats[j] = 0
+				rep.PlanCells++
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// cleanExp builds a synthetic pristine experiment: every counter strictly
+// increasing (no accidental duplicates or flatlines) with an aligned
+// throughput series and two plan observations.
+func cleanExp(n int) *Experiment {
+	e := &Experiment{
+		Workload:   "W",
+		SKU:        SKU{CPUs: 2, MemoryGB: 16},
+		Terminals:  8,
+		Throughput: 520,
+		MeanLatMS:  4,
+	}
+	for f := 0; f < NumResourceFeatures; f++ {
+		s := make([]float64, n)
+		for t := range s {
+			s[t] = 10*float64(f+1) + 0.25*float64(t)
+		}
+		e.Resources.Samples[f] = s
+	}
+	e.ThroughputSeries = make([]float64, n)
+	for t := range e.ThroughputSeries {
+		e.ThroughputSeries[t] = 500 + float64(t)
+	}
+	e.Plans = []PlanObservation{{Query: "q1"}, {Query: "q2"}}
+	for i := range e.Plans {
+		for j := range e.Plans[i].Stats {
+			e.Plans[i].Stats[j] = float64(i + j)
+		}
+	}
+	return e
+}
+
+func TestSanitizeCleanPassThrough(t *testing.T) {
+	e := cleanExp(48)
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if !rep.Clean() {
+		t.Fatalf("clean input reported dirty: %v", rep)
+	}
+	if !rep.Usable() {
+		t.Fatalf("clean input rejected: %v", rep.RejectReason)
+	}
+	if !reflect.DeepEqual(out, cleanExp(48)) {
+		t.Fatal("clean input must pass through value-identical")
+	}
+	if !strings.Contains(rep.String(), "clean") {
+		t.Fatalf("report string %q should say clean", rep.String())
+	}
+}
+
+func TestSanitizeRejectsEmptyExperiment(t *testing.T) {
+	_, rep := Sanitize(&Experiment{Workload: "W"}, SanitizePolicy{})
+	if rep.Usable() {
+		t.Fatal("experiment without any telemetry must be rejected")
+	}
+	if !strings.Contains(rep.RejectReason, "no telemetry") {
+		t.Fatalf("reason = %q", rep.RejectReason)
+	}
+}
+
+func TestSanitizePlanOnly(t *testing.T) {
+	e := cleanExp(0)
+	for f := range e.Resources.Samples {
+		e.Resources.Samples[f] = nil
+	}
+	e.ThroughputSeries = nil
+	e.Plans[1].Stats[3] = math.NaN()
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if !rep.Usable() {
+		t.Fatalf("plan-only experiment rejected: %v", rep.RejectReason)
+	}
+	if rep.PlanCells != 1 {
+		t.Fatalf("PlanCells = %d, want 1", rep.PlanCells)
+	}
+	if out.Plans[1].Stats[3] != 0 {
+		t.Fatalf("NaN plan stat not clamped: %v", out.Plans[1].Stats[3])
+	}
+}
+
+func TestSanitizeInterpolatesShortGap(t *testing.T) {
+	e := cleanExp(48)
+	e.Resources.Samples[2][10] = math.NaN()
+	e.Resources.Samples[2][11] = math.Inf(1)
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if !rep.Usable() || rep.ValidTicks != 48 {
+		t.Fatalf("short gap must be repaired in place: %v", rep)
+	}
+	if rep.NonFinite != 2 || rep.Imputed != 2 {
+		t.Fatalf("NonFinite=%d Imputed=%d, want 2/2", rep.NonFinite, rep.Imputed)
+	}
+	// The clean series is linear, so interpolation reproduces it exactly.
+	for _, tick := range []int{10, 11} {
+		want := 10*3 + 0.25*float64(tick)
+		if math.Abs(out.Resources.Samples[2][tick]-want) > 1e-9 {
+			t.Fatalf("tick %d interpolated to %v, want %v", tick, out.Resources.Samples[2][tick], want)
+		}
+	}
+}
+
+func TestSanitizeExtendsEdgeGaps(t *testing.T) {
+	e := cleanExp(48)
+	e.Resources.Samples[0][0] = math.NaN()
+	e.Resources.Samples[0][47] = math.NaN()
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if rep.ValidTicks != 48 || rep.Imputed != 2 {
+		t.Fatalf("edge gaps must be repaired: %v", rep)
+	}
+	if out.Resources.Samples[0][0] != out.Resources.Samples[0][1] {
+		t.Fatal("leading gap must extend the first finite sample backwards")
+	}
+	if out.Resources.Samples[0][47] != out.Resources.Samples[0][46] {
+		t.Fatal("trailing gap must extend the last finite sample forwards")
+	}
+}
+
+func TestSanitizeExcisesLongGap(t *testing.T) {
+	e := cleanExp(48)
+	for tick := 20; tick < 25; tick++ { // 5 > MaxGap(3)
+		e.Resources.Samples[0][tick] = math.NaN()
+	}
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if !rep.Usable() {
+		t.Fatalf("rejected: %v", rep.RejectReason)
+	}
+	if rep.ValidTicks != 43 {
+		t.Fatalf("ValidTicks = %d, want 43", rep.ValidTicks)
+	}
+	for f := 0; f < NumResourceFeatures; f++ {
+		if len(out.Resources.Samples[f]) != 43 {
+			t.Fatalf("counter %d length %d, want 43", f, len(out.Resources.Samples[f]))
+		}
+		for tick, v := range out.Resources.Samples[f] {
+			if !finite(v) {
+				t.Fatalf("counter %d tick %d still non-finite", f, tick)
+			}
+		}
+	}
+	if len(out.ThroughputSeries) != 43 {
+		t.Fatalf("aligned throughput series length %d, want 43", len(out.ThroughputSeries))
+	}
+}
+
+func TestSanitizeDeadCounter(t *testing.T) {
+	e := cleanExp(48)
+	for tick := 3; tick < 48; tick++ { // 3/48 finite < MinCounterValid(0.25)
+		e.Resources.Samples[4][tick] = math.NaN()
+	}
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if rep.DeadCounters != 1 {
+		t.Fatalf("DeadCounters = %d, want 1", rep.DeadCounters)
+	}
+	if rep.ValidTicks != 48 {
+		t.Fatalf("dead counter must be zero-filled, not excised: ValidTicks=%d", rep.ValidTicks)
+	}
+	for tick, v := range out.Resources.Samples[4] {
+		if v != 0 {
+			t.Fatalf("dead counter tick %d = %v, want 0", tick, v)
+		}
+	}
+}
+
+func TestSanitizeExcisesFlatlines(t *testing.T) {
+	e := cleanExp(48)
+	for tick := 12; tick < 24; tick++ { // 12 identical ≥ FlatlineRun(8)
+		e.Resources.Samples[1][tick] = 55.5
+	}
+	_, rep := Sanitize(e, SanitizePolicy{})
+	if rep.FlatlineTicks != 11 { // first sample of the run is kept
+		t.Fatalf("FlatlineTicks = %d, want 11", rep.FlatlineTicks)
+	}
+	// The 11-tick hole exceeds MaxGap, so the region is excised.
+	if rep.ValidTicks != 37 {
+		t.Fatalf("ValidTicks = %d, want 37", rep.ValidTicks)
+	}
+}
+
+func TestSanitizeFlatlineRailsAndConstantsAreLegitimate(t *testing.T) {
+	e := cleanExp(48)
+	for tick := 12; tick < 30; tick++ {
+		e.Resources.Samples[0][tick] = 100 // CPU pegged at the clamp rail
+		e.Resources.Samples[2][tick] = 0   // idle counter
+	}
+	for tick := range e.Resources.Samples[5] {
+		e.Resources.Samples[5][tick] = 42 // constant over the whole series
+	}
+	_, rep := Sanitize(e, SanitizePolicy{})
+	if rep.FlatlineTicks != 0 {
+		t.Fatalf("rails/constants flagged as flatlines: %d", rep.FlatlineTicks)
+	}
+	if !rep.Usable() || rep.ValidTicks != 48 {
+		t.Fatalf("rails/constants must survive intact: %v", rep)
+	}
+}
+
+func TestSanitizeDropsDuplicateTicks(t *testing.T) {
+	e := cleanExp(48)
+	for f := 0; f < NumResourceFeatures; f++ {
+		e.Resources.Samples[f][5] = e.Resources.Samples[f][4]
+	}
+	e.ThroughputSeries[5] = e.ThroughputSeries[4]
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if rep.DuplicateTicks != 1 {
+		t.Fatalf("DuplicateTicks = %d, want 1", rep.DuplicateTicks)
+	}
+	if rep.ValidTicks != 47 || len(out.ThroughputSeries) != 47 {
+		t.Fatalf("duplicate not removed: %d ticks, %d throughput samples",
+			rep.ValidTicks, len(out.ThroughputSeries))
+	}
+}
+
+func TestSanitizePartialTickRepeatIsNotDuplicate(t *testing.T) {
+	e := cleanExp(48)
+	// One counter repeating is measurement coincidence, not re-delivery.
+	e.Resources.Samples[3][9] = e.Resources.Samples[3][8]
+	_, rep := Sanitize(e, SanitizePolicy{})
+	if rep.DuplicateTicks != 0 {
+		t.Fatalf("partial repeat flagged as duplicate tick")
+	}
+}
+
+func TestSanitizeRejectsTooFewTicks(t *testing.T) {
+	_, rep := Sanitize(cleanExp(10), SanitizePolicy{}) // < MinTicks(24)
+	if rep.Usable() {
+		t.Fatal("10-tick run must be rejected")
+	}
+	if !strings.Contains(rep.RejectReason, "valid ticks") {
+		t.Fatalf("reason = %q", rep.RejectReason)
+	}
+}
+
+func TestSanitizeRejectsLowValidFraction(t *testing.T) {
+	e := cleanExp(100)
+	for f := 0; f < NumResourceFeatures; f++ {
+		for tick := 0; tick < 60; tick++ {
+			e.Resources.Samples[f][tick] = math.NaN()
+		}
+	}
+	_, rep := Sanitize(e, SanitizePolicy{})
+	if rep.Usable() {
+		t.Fatal("40% valid ticks must be rejected (minimum 50%)")
+	}
+	if !strings.Contains(rep.RejectReason, "%") {
+		t.Fatalf("reason = %q", rep.RejectReason)
+	}
+}
+
+func TestSanitizeScalarClamping(t *testing.T) {
+	e := cleanExp(48)
+	e.Throughput = math.NaN()
+	e.MeanLatMS = math.Inf(-1)
+	out, rep := Sanitize(e, SanitizePolicy{})
+	if rep.Clamped != 2 {
+		t.Fatalf("Clamped = %d, want 2", rep.Clamped)
+	}
+	// Derived from the mean of the throughput series (500..547).
+	if math.Abs(out.Throughput-523.5) > 1e-9 {
+		t.Fatalf("Throughput = %v, want series mean 523.5", out.Throughput)
+	}
+	if out.MeanLatMS != 0 {
+		t.Fatalf("MeanLatMS = %v, want 0", out.MeanLatMS)
+	}
+}
+
+func TestValidateLeavesInputUntouched(t *testing.T) {
+	e := cleanExp(48)
+	e.Resources.Samples[0][7] = math.NaN()
+	rep := Validate(e, SanitizePolicy{})
+	if rep.NonFinite != 1 {
+		t.Fatalf("NonFinite = %d, want 1", rep.NonFinite)
+	}
+	if !math.IsNaN(e.Resources.Samples[0][7]) {
+		t.Fatal("Validate must not mutate the experiment")
+	}
+}
+
+func TestSanitizeAllPartitions(t *testing.T) {
+	good := cleanExp(48)
+	bad := cleanExp(10)
+	kept, reports := SanitizeAll([]*Experiment{good, bad}, SanitizePolicy{})
+	if len(kept) != 1 || len(reports) != 2 {
+		t.Fatalf("kept %d / reports %d, want 1/2", len(kept), len(reports))
+	}
+	if !reports[0].Usable() || reports[1].Usable() {
+		t.Fatal("wrong partition")
+	}
+}

@@ -63,6 +63,19 @@ type (
 	PipelineConfig = core.Config
 	// Prediction is an end-to-end prediction result.
 	Prediction = core.Prediction
+	// DroppedExperiment records an input the pipeline rejected during
+	// sanitization, with the corruption report explaining why.
+	DroppedExperiment = core.DroppedExperiment
+	// InsufficientReferencesError reports Train failing because sanitization
+	// left fewer usable references than PipelineConfig.MinValidRefs.
+	InsufficientReferencesError = core.InsufficientReferencesError
+
+	// SanitizePolicy tunes telemetry validation thresholds; the zero value
+	// applies the defaults.
+	SanitizePolicy = telemetry.SanitizePolicy
+	// CorruptionReport itemizes the defects found (and repaired) in one
+	// experiment's telemetry.
+	CorruptionReport = telemetry.CorruptionReport
 
 	// SelectionStrategy is a feature-selection strategy (Table 3).
 	SelectionStrategy = featsel.Strategy
@@ -99,6 +112,30 @@ const (
 	Pairwise = scalemodel.Pairwise
 	Single   = scalemodel.Single
 )
+
+// Pipeline sentinel errors, for errors.Is tests against Train/Predict
+// failures.
+var (
+	ErrNotTrained         = core.ErrNotTrained
+	ErrNoReferences       = core.ErrNoReferences
+	ErrNoTargets          = core.ErrNoTargets
+	ErrMixedSKUs          = core.ErrMixedSKUs
+	ErrTooFewReferences   = core.ErrTooFewReferences
+	ErrNoUsableTargets    = core.ErrNoUsableTargets
+	ErrNoScalingReference = core.ErrNoScalingReference
+)
+
+// Sanitize returns a repaired copy of one experiment's telemetry (short
+// gaps imputed, non-finite cells dropped, duplicated ticks removed,
+// flatlines excised) plus a report of what it found; Usable() on the
+// report says whether the experiment should still be trusted.
+func Sanitize(e *Experiment, p SanitizePolicy) (*Experiment, *CorruptionReport) {
+	return telemetry.Sanitize(e, p)
+}
+
+// Validate is Sanitize without mutation: it reports an experiment's
+// defects, leaving the telemetry untouched.
+func Validate(e *Experiment, p SanitizePolicy) *CorruptionReport { return telemetry.Validate(e, p) }
 
 // NewPipeline returns an untrained pipeline.
 func NewPipeline(cfg PipelineConfig) *Pipeline { return core.New(cfg) }
