@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fuzz experiments
+.PHONY: build test vet race verify fuzz experiments bench
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,9 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # verify is the tier-1 gate (see ROADMAP.md): every change must pass it.
+# The race step also stress-tests internal/parallel under contention
+# (TestStressContention) and runs the -j determinism tests, so data races
+# in the worker pool and the suite's shared caches are exercised here.
 verify: build vet race
 
 # fuzz runs the telemetry decoder fuzzer for a short burst beyond the
@@ -25,3 +28,10 @@ fuzz:
 # experiments regenerates every table and figure at the committed seed.
 experiments:
 	$(GO) run ./cmd/experiments -run all
+
+# bench snapshots every micro- and macro-benchmark into BENCH.json
+# (median over 6 runs). Compare against a previous snapshot with
+#   go run ./cmd/benchdiff BENCH.json.old BENCH.json
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 6 -timeout 120m ./... | tee BENCH.txt
+	$(GO) run ./cmd/benchdiff -parse BENCH.txt -o BENCH.json

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, ns, bytes, allocs, ok := parseBenchLine(
+		"BenchmarkDTWDistance/windowed_dependent-8   \t    1000\t   1234.5 ns/op\t  2048 B/op\t      12 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if name != "BenchmarkDTWDistance/windowed_dependent-8" || ns != 1234.5 || bytes != 2048 || allocs != 12 {
+		t.Fatalf("got %q ns=%v B=%v allocs=%v", name, ns, bytes, allocs)
+	}
+
+	name, ns, bytes, allocs, ok = parseBenchLine("BenchmarkPlain-4\t500\t99 ns/op")
+	if !ok || ns != 99 || bytes != -1 || allocs != -1 {
+		t.Fatalf("no-benchmem line: ok=%v ns=%v B=%v allocs=%v", ok, ns, bytes, allocs)
+	}
+	_ = name
+
+	for _, bad := range []string{
+		"ok  \twpred/internal/distance\t0.004s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken-8 not a number ns/op",
+	} {
+		if _, _, _, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("line %q should not parse", bad)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	if got := medianOr(nil, -1); got != -1 {
+		t.Fatalf("empty fallback = %v", got)
+	}
+}

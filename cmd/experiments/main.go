@@ -8,6 +8,11 @@
 //	experiments -list                # available experiment ids
 //	experiments -run table6 -seed 7  # different randomness
 //	experiments -run all -quick      # reduced-size runs (same shapes)
+//	experiments -run all -j 1        # serial execution (default: GOMAXPROCS)
+//
+// With -run all the experiments execute concurrently, bounded by -j
+// workers; outputs are still printed in paper order and are byte-identical
+// to a serial run (per-experiment timings go to stderr, not stdout).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"wpred/internal/bench"
 	"wpred/internal/experiments"
+	"wpred/internal/parallel"
 )
 
 func main() {
@@ -28,12 +34,18 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced-size runs: same shapes, faster")
 		format = flag.String("format", "text", "output format: text or markdown")
 		target = flag.String("target", "", "robustness experiment target workload (default YCSB)")
+		jobs   = flag.Int("j", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "markdown" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
 		os.Exit(2)
 	}
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -j must be >= 0, got %d\n", *jobs)
+		os.Exit(2)
+	}
+	parallel.SetMaxWorkers(*jobs)
 	if *target != "" {
 		w, err := bench.ByName(*target)
 		if err != nil {
@@ -53,7 +65,7 @@ func main() {
 		return
 	}
 	if *run == "" {
-		fmt.Fprintln(os.Stderr, "usage: experiments -run <id>|all [-seed N] [-quick]; -list shows ids")
+		fmt.Fprintln(os.Stderr, "usage: experiments -run <id>|all [-seed N] [-quick] [-j N]; -list shows ids")
 		os.Exit(2)
 	}
 
@@ -62,11 +74,16 @@ func main() {
 	suite.RobustnessTarget = *target
 
 	if *run == "all" {
-		for _, r := range experiments.Runners() {
-			if err := runOne(suite, r, *format); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
-				os.Exit(1)
-			}
+		runners := experiments.Runners()
+		outs, err := parallel.Map(len(runners), func(i int) (string, error) {
+			return renderOne(suite, runners[i], *format)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		for _, out := range outs {
+			fmt.Print(out)
 		}
 		return
 	}
@@ -75,13 +92,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *run)
 		os.Exit(2)
 	}
-	if err := runOne(suite, r, *format); err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+	out, err := renderOne(suite, r, *format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Print(out)
 }
 
-func runOne(suite *experiments.Suite, r experiments.Runner, format string) error {
+// renderOne runs one experiment and returns its formatted block. Wall-clock
+// timing goes to stderr so stdout stays deterministic across -j settings.
+func renderOne(suite *experiments.Suite, r experiments.Runner, format string) (string, error) {
 	start := time.Now()
 	var out string
 	var err error
@@ -91,12 +112,11 @@ func runOne(suite *experiments.Suite, r experiments.Runner, format string) error
 		out, err = r.Run(suite)
 	}
 	if err != nil {
-		return err
+		return "", fmt.Errorf("%s: %w", r.ID, err)
 	}
+	fmt.Fprintf(os.Stderr, "experiments: %s finished in %s\n", r.ID, time.Since(start).Round(time.Millisecond))
 	if format == "markdown" {
-		fmt.Printf("## %s — %s\n\n%s\n", r.ID, r.Description, out)
-		return nil
+		return fmt.Sprintf("## %s — %s\n\n%s\n", r.ID, r.Description, out), nil
 	}
-	fmt.Printf("### %s — %s (%s)\n\n%s\n", r.ID, r.Description, time.Since(start).Round(time.Millisecond), out)
-	return nil
+	return fmt.Sprintf("### %s — %s\n\n%s\n", r.ID, r.Description, out), nil
 }

@@ -36,8 +36,13 @@ func (d DTW) Distance(a, b *mat.Dense) (float64, error) {
 	if a.Rows() == 0 || b.Rows() == 0 {
 		return 0, fmt.Errorf("distance: DTW on empty series")
 	}
+	// One pair of DP rows serves the whole call: O(m) scratch instead of
+	// per-dimension allocations. The independent variant additionally
+	// reuses two column buffers across dimensions.
+	prev := make([]float64, b.Rows()+1)
+	cur := make([]float64, b.Rows()+1)
 	if d.Dependent {
-		return dtwCore(a.Rows(), b.Rows(), d.Window, func(i, j int) float64 {
+		return dtwCore(a.Rows(), b.Rows(), d.Window, prev, cur, func(i, j int) float64 {
 			ra, rb := a.RawRow(i), b.RawRow(j)
 			s := 0.0
 			for k := range ra {
@@ -47,10 +52,13 @@ func (d DTW) Distance(a, b *mat.Dense) (float64, error) {
 			return s
 		}), nil
 	}
+	ca := make([]float64, a.Rows())
+	cb := make([]float64, b.Rows())
 	total := 0.0
 	for k := 0; k < a.Cols(); k++ {
-		ca, cb := a.Col(k), b.Col(k)
-		total += dtwCore(len(ca), len(cb), d.Window, func(i, j int) float64 {
+		a.ColInto(ca, k)
+		b.ColInto(cb, k)
+		total += dtwCore(len(ca), len(cb), d.Window, prev, cur, func(i, j int) float64 {
 			diff := ca[i] - cb[j]
 			return diff * diff
 		})
@@ -58,8 +66,10 @@ func (d DTW) Distance(a, b *mat.Dense) (float64, error) {
 	return total, nil
 }
 
-// dtwCore runs the O(m·n) dynamic program with two rolling rows.
-func dtwCore(m, n, window int, cost func(i, j int) float64) float64 {
+// dtwCore runs the O(m·n) dynamic program over caller-provided rolling
+// rows (each of length n+1), so repeated calls share O(m) scratch instead
+// of allocating per invocation.
+func dtwCore(m, n, window int, prev, cur []float64, cost func(i, j int) float64) float64 {
 	if window <= 0 {
 		window = m + n // unconstrained
 	}
@@ -72,8 +82,6 @@ func dtwCore(m, n, window int, cost func(i, j int) float64) float64 {
 		window = d
 	}
 	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
 	for j := range prev {
 		prev[j] = inf
 	}

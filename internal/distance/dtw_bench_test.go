@@ -1,0 +1,51 @@
+package distance
+
+import (
+	"math"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// benchSeries builds a deterministic multivariate series: smooth
+// per-dimension oscillations with a phase offset, the same shape the
+// MTS fingerprints feed into DTW.
+func benchSeries(rows, cols int, phase float64) *mat.Dense {
+	data := make([][]float64, rows)
+	for i := range data {
+		r := make([]float64, cols)
+		for j := range r {
+			r[j] = math.Sin(phase+float64(i)*0.1+float64(j)) + 0.01*float64(i%7)
+		}
+		data[i] = r
+	}
+	return mat.NewFromRows(data)
+}
+
+// BenchmarkDTWDistanceVariants covers the four DTW configurations used in
+// the suite: Sakoe-Chiba windowed (the Table 4 setting) and unconstrained,
+// each in the dependent (shared alignment) and independent (per-dimension)
+// variants. ReportAllocs tracks the rolling-buffer scratch reuse.
+func BenchmarkDTWDistanceVariants(b *testing.B) {
+	x := benchSeries(120, 8, 0)
+	y := benchSeries(120, 8, 1.3)
+	cases := []struct {
+		name string
+		m    DTW
+	}{
+		{"windowed_dependent", DTW{Dependent: true, Window: 40}},
+		{"windowed_independent", DTW{Dependent: false, Window: 40}},
+		{"unconstrained_dependent", DTW{Dependent: true}},
+		{"unconstrained_independent", DTW{Dependent: false}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.m.Distance(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

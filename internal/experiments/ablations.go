@@ -10,7 +10,6 @@ import (
 	"wpred/internal/featsel"
 	"wpred/internal/fingerprint"
 	"wpred/internal/mat"
-	"wpred/internal/simeval"
 	"wpred/internal/telemetry"
 )
 
@@ -33,11 +32,11 @@ func (s *Suite) AblationBins() ([]AblationBinsRow, error) {
 	feats := sel.Combined[:min(7, len(sel.Combined))]
 	var out []AblationBinsRow
 	for _, bins := range []int{5, 10, 20, 50} {
-		items, err := s.table4Items(fingerprint.HistFP, feats, false, bins)
+		items, ns, err := s.table4Items(fingerprint.HistFP, feats, false, bins)
 		if err != nil {
 			return nil, err
 		}
-		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		mx, err := s.simMatrix(ns, items, distance.L21{})
 		if err != nil {
 			return nil, err
 		}
@@ -64,11 +63,11 @@ func (s *Suite) AblationCumulative() ([]AblationCumulativeRow, error) {
 	feats := sel.Combined[:min(7, len(sel.Combined))]
 	var out []AblationCumulativeRow
 	for _, plain := range []bool{false, true} {
-		items, err := s.table4Items(fingerprint.HistFP, feats, plain, 0)
+		items, ns, err := s.table4Items(fingerprint.HistFP, feats, plain, 0)
 		if err != nil {
 			return nil, err
 		}
-		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		mx, err := s.simMatrix(ns, items, distance.L21{})
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +92,10 @@ type AblationDimredRow struct {
 // top-k selection, all evaluated by leave-one-run-out 1-NN accuracy on the
 // summarized observation vectors.
 func (s *Suite) AblationDimred() ([]AblationDimredRow, error) {
-	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	exps, err := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	if err != nil {
+		return nil, err
+	}
 	var subs []*telemetry.Experiment
 	for _, e := range exps {
 		subs = append(subs, e.SystematicSample(s.Subsamples())...)
@@ -187,7 +189,10 @@ type AblationRankAggResult struct {
 // AblationRankAgg quantifies the stability gain of aggregating ranks
 // across experiments (§4.2) instead of trusting a single run.
 func (s *Suite) AblationRankAgg() (*AblationRankAggResult, error) {
-	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	exps, err := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
+	if err != nil {
+		return nil, err
+	}
 	strat := featsel.FANOVA{}
 
 	evalFor := func(filter func(*telemetry.Experiment) bool) (featsel.Result, error) {
@@ -278,11 +283,11 @@ func (s *Suite) AblationClustering() ([]AblationClusterRow, error) {
 	}
 	var out []AblationClusterRow
 	for _, sub := range subsets {
-		items, err := s.table4Items(fingerprint.HistFP, sub.feats, false, 0)
+		items, ns, err := s.table4Items(fingerprint.HistFP, sub.feats, false, 0)
 		if err != nil {
 			return nil, err
 		}
-		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		mx, err := s.simMatrix(ns, items, distance.L21{})
 		if err != nil {
 			return nil, err
 		}

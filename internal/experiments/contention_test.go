@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"wpred/internal/parallel"
+)
+
+// TestSuiteContention drives the cheap experiments concurrently against
+// one shared quick suite at 8 workers, so `make verify`'s race detector
+// exercises the memo maps, the pairwise-distance cache, and the nested
+// pool fan-out under real contention. The heavyweight runners (table3,
+// table6) are left out to keep the race build fast; they share the same
+// code paths.
+func TestSuiteContention(t *testing.T) {
+	prev := parallel.SetMaxWorkers(8)
+	defer parallel.SetMaxWorkers(prev)
+	s := NewSuite(42)
+	s.Quick = true
+	ids := []string{
+		"figure1", "figure3", "table4", "table5", "figure5", "figure6",
+		"figure7", "figure8", "figure9", "figure10", "figure11", "figure12",
+		"appendixA", "ablations",
+	}
+	if err := parallel.ForEach(len(ids), func(i int) error {
+		r, ok := RunnerByID(ids[i])
+		if !ok {
+			return fmt.Errorf("unknown runner %q", ids[i])
+		}
+		out, err := r.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ids[i], err)
+		}
+		if out == "" {
+			return fmt.Errorf("%s: empty rendering", ids[i])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Figures 5/6 revisit Table 4's Hist-FP matrices: the shared pairwise
+	// cache must have served real hits under the concurrent load.
+	if hits, _ := s.PairCacheStats(); hits == 0 {
+		t.Fatal("pairwise-distance cache saw no hits across concurrent experiments")
+	}
+}

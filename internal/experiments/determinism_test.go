@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/parallel"
+	"wpred/internal/telemetry"
+)
+
+// maskedHeaders lists the wall-clock columns of the rendered tables
+// (Table 3's strategy timing, Table 6's training time). Their cells are
+// the one part of the suite output that legitimately varies between runs,
+// so the determinism tests blank them before comparing.
+var maskedHeaders = []string{"Time (sec)", "Train (s)"}
+
+// maskTimingColumns blanks every cell under a wall-clock header. Columns
+// are right-aligned, so a cell ends exactly where its header ends; the
+// cell's characters are replaced by spaces, leaving the rest of the line
+// byte-for-byte intact.
+func maskTimingColumns(text string) string {
+	lines := strings.Split(text, "\n")
+	for i := 1; i < len(lines); i++ {
+		if !isDivider(lines[i]) {
+			continue
+		}
+		header := lines[i-1]
+		var ends []int
+		for _, h := range maskedHeaders {
+			if p := strings.Index(header, h); p >= 0 {
+				ends = append(ends, p+len(h))
+			}
+		}
+		if len(ends) == 0 {
+			continue
+		}
+		for j := i + 1; j < len(lines); j++ {
+			if lines[j] == "" || strings.HasPrefix(lines[j], "note:") {
+				break
+			}
+			for _, end := range ends {
+				lines[j] = blankTokenEndingAt(lines[j], end)
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func isDivider(l string) bool {
+	if l == "" {
+		return false
+	}
+	for _, r := range l {
+		if r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// blankTokenEndingAt replaces the non-space run ending at byte offset end
+// with spaces.
+func blankTokenEndingAt(line string, end int) string {
+	if end > len(line) {
+		end = len(line)
+	}
+	start := end
+	for start > 0 && line[start-1] != ' ' {
+		start--
+	}
+	return line[:start] + strings.Repeat(" ", end-start) + line[end:]
+}
+
+func TestMaskTimingColumns(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"Strategy", "acc", "Time (sec)"},
+	}
+	tbl.AddRow("fast", "0.9", "0.010")
+	tbl.AddRow("slow one", "0.8", "123.456")
+	a := tbl.Render()
+	tbl.Rows = nil
+	tbl.AddRow("fast", "0.9", "9.999")
+	tbl.AddRow("slow one", "0.8", "0.001")
+	b := tbl.Render()
+	if a == b {
+		t.Fatal("renders should differ before masking")
+	}
+	if maskTimingColumns(a) != maskTimingColumns(b) {
+		t.Fatalf("masked renders differ:\n%q\nvs\n%q", maskTimingColumns(a), maskTimingColumns(b))
+	}
+	if !strings.Contains(maskTimingColumns(a), "slow one  0.8") {
+		t.Fatalf("non-timing cells must survive masking:\n%s", maskTimingColumns(a))
+	}
+}
+
+// TestSimMatrixDeterministicAndCached checks the pairwise hot path both
+// ways the tentpole promises: the distance matrix is bit-identical at 1
+// and 8 workers, and a second request for the same (namespace, metric) is
+// served entirely from the suite's pairwise-distance cache.
+func TestSimMatrixDeterministicAndCached(t *testing.T) {
+	buildMatrix := func(workers int) (*Suite, [][]float64) {
+		prev := parallel.SetMaxWorkers(workers)
+		defer parallel.SetMaxWorkers(prev)
+		s := NewSuite(42)
+		s.Quick = true
+		items, ns, err := s.table4Items(fingerprint.HistFP, telemetry.ResourceFeatures(), false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx, err := s.simMatrix(ns, items, distance.L21{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		npairs := len(items) * (len(items) - 1) / 2
+		if hits, misses := s.PairCacheStats(); hits != 0 || misses != npairs {
+			t.Fatalf("first matrix at %d workers: hits=%d misses=%d, want 0/%d", workers, hits, misses, npairs)
+		}
+		again, err := s.simMatrix(ns, items, distance.L21{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits, misses := s.PairCacheStats(); hits != npairs || misses != npairs {
+			t.Fatalf("second matrix at %d workers: hits=%d misses=%d, want %d/%d", workers, hits, misses, npairs, npairs)
+		}
+		for i := range mx.D {
+			for j := range mx.D[i] {
+				if mx.D[i][j] != again.D[i][j] {
+					t.Fatalf("cached matrix diverged at (%d,%d): %v vs %v", i, j, mx.D[i][j], again.D[i][j])
+				}
+			}
+		}
+		return s, mx.D
+	}
+
+	_, serial := buildMatrix(1)
+	_, wide := buildMatrix(8)
+	for i := range serial {
+		for j := range serial[i] {
+			if serial[i][j] != wide[i][j] {
+				t.Fatalf("matrix differs at (%d,%d): %v serial vs %v with 8 workers",
+					i, j, serial[i][j], wide[i][j])
+			}
+		}
+	}
+}
+
+// runAllAt regenerates the entire quick suite on a fresh Suite with the
+// given worker-pool size.
+func runAllAt(t *testing.T, workers int) string {
+	t.Helper()
+	prev := parallel.SetMaxWorkers(workers)
+	defer parallel.SetMaxWorkers(prev)
+	s := NewSuite(42)
+	s.Quick = true
+	out, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunAllDeterministicAcrossWorkers is the end-to-end determinism
+// guarantee: the full -run all -quick text is byte-identical whether the
+// suite fans out over eight workers or runs serially, once the wall-clock
+// timing columns are masked.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("two full quick-suite runs exceed the race-detector time budget; the per-package determinism tests cover the pooled paths under race")
+	}
+	if testing.Short() {
+		t.Skip("two full quick-suite runs are slow")
+	}
+	serial := maskTimingColumns(runAllAt(t, 1))
+	wide := maskTimingColumns(runAllAt(t, 8))
+	if serial == wide {
+		return
+	}
+	sl, wl := strings.Split(serial, "\n"), strings.Split(wide, "\n")
+	for i := range sl {
+		if i >= len(wl) || sl[i] != wl[i] {
+			w := "<missing>"
+			if i < len(wl) {
+				w = wl[i]
+			}
+			t.Fatalf("output diverges at line %d:\nserial: %q\n8 workers: %q", i+1, sl[i], w)
+		}
+	}
+	t.Fatalf("outputs differ in length: %d vs %d lines", len(sl), len(wl))
+}

@@ -23,8 +23,14 @@ type Figure10Result struct {
 // end-to-end scenario) using the pipeline's selected top-7 features.
 func (s *Suite) Figure10() (*Figure10Result, error) {
 	refs := []string{bench.TPCCName, bench.TwitterName, bench.TPCHName, bench.TPCDSName}
-	refExps := s.Experiments(refs, []telemetry.SKU{SKU2}, []int{8}, 3)
-	target := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{SKU2}, []int{8}, 3)
+	refExps, err := s.Experiments(refs, []telemetry.SKU{SKU2}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
+	target, err := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{SKU2}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
 
 	p := core.New(core.Config{Seed: s.Seed, Subsamples: s.Subsamples()})
 	if err := p.Train(refExps); err != nil {
@@ -91,9 +97,18 @@ func (s *Suite) Figure11() (*Figure11Result, error) {
 	sku8 := telemetry.SKU{CPUs: 8, MemoryGB: 64}
 
 	// Part 1: scale YCSB 2 → 8 CPUs.
-	refExps := s.Experiments(refs, []telemetry.SKU{sku2, sku8}, []int{8}, 3)
-	target2 := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{sku2}, []int{8}, 3)
-	actual8 := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{sku8}, []int{8}, 3)
+	refExps, err := s.Experiments(refs, []telemetry.SKU{sku2, sku8}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
+	target2, err := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{sku2}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
+	actual8, err := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{sku8}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
 
 	p := core.New(core.Config{Seed: s.Seed, Subsamples: s.Subsamples()})
 	if err := p.Train(refExps); err != nil {
@@ -126,9 +141,18 @@ func (s *Suite) Figure11() (*Figure11Result, error) {
 	// Part 2: S1 (4 CPU / 32 GB) → S2 (8 CPU / 64 GB).
 	s1 := telemetry.SKU{CPUs: 4, MemoryGB: 32}
 	s2 := telemetry.SKU{CPUs: 8, MemoryGB: 64}
-	refExpsB := s.Experiments(refs, []telemetry.SKU{s1, s2}, []int{8}, 3)
-	targetS1 := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{s1}, []int{8}, 3)
-	actualS2 := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{s2}, []int{8}, 3)
+	refExpsB, err := s.Experiments(refs, []telemetry.SKU{s1, s2}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
+	targetS1, err := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{s1}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
+	actualS2, err := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{s2}, []int{8}, 3)
+	if err != nil {
+		return nil, err
+	}
 
 	pb := core.New(core.Config{Seed: s.Seed, Subsamples: s.Subsamples()})
 	if err := pb.Train(refExpsB); err != nil {

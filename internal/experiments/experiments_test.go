@@ -99,12 +99,21 @@ func TestSimilarityClass(t *testing.T) {
 func TestSuiteCaching(t *testing.T) {
 	s := NewSuite(1)
 	s.Quick = true
-	a := s.Experiments([]string{bench.TPCCName}, []telemetry.SKU{SKU2}, []int{4}, 1)
-	b := s.Experiments([]string{bench.TPCCName}, []telemetry.SKU{SKU2}, []int{4}, 1)
+	a, err := s.Experiments([]string{bench.TPCCName}, []telemetry.SKU{SKU2}, []int{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Experiments([]string{bench.TPCCName}, []telemetry.SKU{SKU2}, []int{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
 		t.Fatal("identical requests must be served from the cache")
 	}
-	c := s.Experiments([]string{bench.TPCCName}, []telemetry.SKU{SKU2}, []int{8}, 1)
+	c, err := s.Experiments([]string{bench.TPCCName}, []telemetry.SKU{SKU2}, []int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c[0] == a[0] {
 		t.Fatal("different requests must not share cache entries")
 	}

@@ -46,7 +46,10 @@ func (s *Suite) Figure1() (*Figure1Result, error) {
 	to := telemetry.SKU{CPUs: 8, MemoryGB: 64}
 	const trials = 10
 
-	ref := s.Workload(bench.YCSBName)
+	ref, err := s.Workload(bench.YCSBName)
+	if err != nil {
+		return nil, err
+	}
 	cust := customerYCSB()
 
 	simulate := func(w *simdb.Workload, sku telemetry.SKU, run int) *telemetry.Experiment {

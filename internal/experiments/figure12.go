@@ -36,7 +36,10 @@ type Figure12Result struct {
 // bottleneck) extrapolates past the knee at 16 CPUs; clamping it with the
 // fitted roofline ceiling restores the prediction.
 func (s *Suite) Figure12() (*Figure12Result, error) {
-	w := s.Workload(bench.TwitterName)
+	w, err := s.Workload(bench.TwitterName)
+	if err != nil {
+		return nil, err
+	}
 	cpus := []int{2, 4, 8, 16}
 	actual := make([]float64, len(cpus))
 	for i, c := range cpus {

@@ -45,7 +45,10 @@ func (s *Suite) Figure3() (*Figure3Result, error) {
 	}
 	// All five workloads on the 2-CPU SKU form the background set each
 	// panel's workload is contrasted against.
-	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU2}, StandardTerminals, 2)
+	exps, err := s.Experiments(workloadNames5(), []telemetry.SKU{SKU2}, StandardTerminals, 2)
+	if err != nil {
+		return nil, err
+	}
 	var subs []*telemetry.Experiment
 	for _, e := range exps {
 		subs = append(subs, e.SystematicSample(s.Subsamples())...)

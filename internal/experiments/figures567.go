@@ -30,11 +30,13 @@ type RobustnessFigure struct {
 func (s *Suite) robustness(query string, subsets []subsetSpec) (*RobustnessResult, error) {
 	res := &RobustnessResult{Query: query}
 	for _, sub := range subsets {
-		items, err := s.table4Items(fingerprint.HistFP, sub.feats, false, 0)
+		items, ns, err := s.table4Items(fingerprint.HistFP, sub.feats, false, 0)
 		if err != nil {
 			return nil, err
 		}
-		mx, err := simeval.ComputeMatrix(items, distance.L21{})
+		// Subsets that Table 4 already evaluated are served from the
+		// suite's pairwise-distance cache; no L2,1 distance is recomputed.
+		mx, err := s.simMatrix(ns, items, distance.L21{})
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +115,10 @@ func (s *Suite) Figure7() (*Figure7Result, error) {
 		return nil, err
 	}
 	workloads := []string{bench.TPCCName, bench.TPCHName, bench.TPCDSName, bench.TwitterName, bench.PWName}
-	exps := s.Experiments(workloads, []telemetry.SKU{SKU80}, StandardTerminals[:2], 3)
+	exps, err := s.Experiments(workloads, []telemetry.SKU{SKU80}, StandardTerminals[:2], 3)
+	if err != nil {
+		return nil, err
+	}
 
 	subsets := []subsetSpec{
 		{"plan-3", sel.Plan[:min(3, len(sel.Plan))]},
@@ -122,24 +127,31 @@ func (s *Suite) Figure7() (*Figure7Result, error) {
 	}
 	res := &Figure7Result{}
 	for _, sub := range subsets {
-		b := &fingerprint.Builder{Rep: fingerprint.HistFP, Features: sub.feats}
-		if err := b.Fit(exps); err != nil {
-			return nil, err
-		}
-		items := make([]simeval.Item, 0, len(exps))
-		for _, e := range exps {
-			fp, err := b.Build(e)
-			if err != nil {
+		ns := itemsKey("figure7", fingerprint.HistFP, sub.feats, false, 0)
+		items, err := memoDo(&s.items, ns, func() ([]simeval.Item, error) {
+			b := &fingerprint.Builder{Rep: fingerprint.HistFP, Features: sub.feats}
+			if err := b.Fit(exps); err != nil {
 				return nil, err
 			}
-			items = append(items, simeval.Item{
-				Workload: e.Workload,
-				Class:    SimilarityClass(e.Workload),
-				Run:      e.Run,
-				FP:       fp,
-			})
+			items := make([]simeval.Item, 0, len(exps))
+			for _, e := range exps {
+				fp, err := b.Build(e)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, simeval.Item{
+					Workload: e.Workload,
+					Class:    SimilarityClass(e.Workload),
+					Run:      e.Run,
+					FP:       fp,
+				})
+			}
+			return items, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		mx, err := simeval.ComputeMatrix(items, distance.Canberra{})
+		mx, err := s.simMatrix(ns, items, distance.Canberra{})
 		if err != nil {
 			return nil, err
 		}

@@ -41,7 +41,10 @@ type ScalingFigureResult struct {
 // comparison behind Figures 8 and 9: the single model smooths over
 // SKU-to-SKU transitions that the pairwise models capture.
 func (s *Suite) scalingFigure(strategy scalemodel.Strategy) (*ScalingFigureResult, error) {
-	w := s.Workload(bench.TPCCName)
+	w, err := s.Workload(bench.TPCCName)
+	if err != nil {
+		return nil, err
+	}
 	ds := scalemodel.Build(w, scalemodel.BuildConfig{
 		Terminals:  32,
 		Subsamples: s.Subsamples(),

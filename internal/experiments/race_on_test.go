@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this binary was built with the race
+// detector; the full-suite determinism comparison skips under it (see
+// TestRunAllDeterministicAcrossWorkers).
+const raceEnabled = true

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"wpred/internal/parallel"
 )
 
 // Runner regenerates one table or figure.
@@ -199,13 +201,24 @@ func IDs() []string {
 }
 
 // RunAll regenerates every experiment and concatenates the renderings.
+// Runners execute concurrently (bounded by parallel.MaxWorkers), but the
+// outputs are collected by index and concatenated in presentation order,
+// so the result is identical to a serial run. On failure the error
+// reported is the one a serial run would have hit first.
 func (s *Suite) RunAll() (string, error) {
-	var b strings.Builder
-	for _, r := range Runners() {
-		out, err := r.Run(s)
+	runners := Runners()
+	outs, err := parallel.Map(len(runners), func(i int) (string, error) {
+		out, err := runners[i].Run(s)
 		if err != nil {
-			return "", fmt.Errorf("experiments: %s: %w", r.ID, err)
+			return "", fmt.Errorf("experiments: %s: %w", runners[i].ID, err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, out := range outs {
 		b.WriteString(out)
 		b.WriteByte('\n')
 	}

@@ -75,9 +75,18 @@ func (s *Suite) Robustness() (*FaultSweepResult, error) {
 	sku2 := telemetry.SKU{CPUs: 2, MemoryGB: 16}
 	sku8 := telemetry.SKU{CPUs: 8, MemoryGB: 64}
 	terms := []int{8}
-	refExps := s.Experiments(refs, []telemetry.SKU{sku2, sku8}, terms, 3)
-	targetExps := s.Experiments([]string{target}, []telemetry.SKU{sku2}, terms, 3)
-	actualExps := s.Experiments([]string{target}, []telemetry.SKU{sku8}, terms, 3)
+	refExps, err := s.Experiments(refs, []telemetry.SKU{sku2, sku8}, terms, 3)
+	if err != nil {
+		return nil, err
+	}
+	targetExps, err := s.Experiments([]string{target}, []telemetry.SKU{sku2}, terms, 3)
+	if err != nil {
+		return nil, err
+	}
+	actualExps, err := s.Experiments([]string{target}, []telemetry.SKU{sku8}, terms, 3)
+	if err != nil {
+		return nil, err
+	}
 
 	var obs []float64
 	for _, e := range actualExps {

@@ -19,8 +19,14 @@ func TestRobustnessZeroRateReproducesCleanPrediction(t *testing.T) {
 	sku2 := telemetry.SKU{CPUs: 2, MemoryGB: 16}
 	sku8 := telemetry.SKU{CPUs: 8, MemoryGB: 64}
 	refs := []string{bench.TPCCName, bench.TwitterName, bench.TPCHName}
-	refExps := s.Experiments(refs, []telemetry.SKU{sku2, sku8}, []int{8}, 3)
-	target := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{sku2}, []int{8}, 3)
+	refExps, err := s.Experiments(refs, []telemetry.SKU{sku2, sku8}, []int{8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := s.Experiments([]string{bench.YCSBName}, []telemetry.SKU{sku2}, []int{8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	predict := func(re, te []*telemetry.Experiment) *core.Prediction {
 		p := core.New(core.Config{Seed: 42, Subsamples: s.Subsamples()})

@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"wpred/internal/bench"
+	"wpred/internal/distance"
 	"wpred/internal/simdb"
+	"wpred/internal/simeval"
 	"wpred/internal/telemetry"
 )
 
 // Suite generates and caches the simulated experiment runs the individual
 // tables and figures draw from. All randomness flows from the single seed,
 // and every workload/configuration derives an independent stream, so
-// experiments can be regenerated in any order with identical results.
+// experiments can be regenerated in any order — serially or fanned out
+// across the parallel worker pool — with identical results. All methods
+// are safe for concurrent use; concurrent requests for the same cached
+// artifact share one computation.
 type Suite struct {
 	// Seed roots all randomness (default results in EXPERIMENTS.md use 42).
 	Seed uint64
@@ -25,13 +31,25 @@ type Suite struct {
 	// experiment (default YCSB). Must be a resource-bearing benchmark.
 	RobustnessTarget string
 
-	src       *telemetry.Source
-	workloads map[string]*simdb.Workload
-	cache     map[string][]*telemetry.Experiment
+	src *telemetry.Source
 
-	// Per-experiment result caches (some figures derive from tables).
-	table3 *Table3Result
-	table5 *FeatureSubsets
+	mu        sync.Mutex
+	workloads map[string]*simdb.Workload
+
+	// Per-artifact memo maps: simulated experiment sets, fingerprinted
+	// item sets, and the two table results figures derive from. Each
+	// entry computes once, even under the suite-level fan-out of
+	// cmd/experiments -run all.
+	exps  memoMap[[]*telemetry.Experiment]
+	items memoMap[[]simeval.Item]
+	t3    memoMap[*Table3Result]
+	t5    memoMap[*FeatureSubsets]
+
+	// pairDist memoizes individual pairwise distances, keyed by
+	// (item-set namespace, metric, pair): experiments that revisit a
+	// distance matrix another experiment already computed (Figures 5/6
+	// re-evaluating Table 4 subsets) skip every metric evaluation.
+	pairDist *simeval.PairCache
 }
 
 // NewSuite returns a suite rooted at the seed.
@@ -40,8 +58,37 @@ func NewSuite(seed uint64) *Suite {
 		Seed:      seed,
 		src:       telemetry.NewSource(seed),
 		workloads: map[string]*simdb.Workload{},
-		cache:     map[string][]*telemetry.Experiment{},
+		pairDist:  simeval.NewPairCache(),
 	}
+}
+
+// memoMap memoizes keyed computations with per-key in-flight
+// deduplication: concurrent callers of the same key block on one
+// computation and share its result. The zero value is ready to use.
+type memoMap[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func memoDo[T any](mm *memoMap[T], key string, f func() (T, error)) (T, error) {
+	mm.mu.Lock()
+	if mm.m == nil {
+		mm.m = map[string]*memoEntry[T]{}
+	}
+	e := mm.m[key]
+	if e == nil {
+		e = &memoEntry[T]{}
+		mm.m[key] = e
+	}
+	mm.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
 }
 
 // Ticks returns the per-run resource sample count (360 full, 120 quick).
@@ -60,51 +107,72 @@ func (s *Suite) Subsamples() int {
 	return 10
 }
 
-// Workload returns (and caches) a benchmark definition by name.
-func (s *Suite) Workload(name string) *simdb.Workload {
+// Workload returns (and caches) a benchmark definition by name. Unknown
+// names return an error so library callers get a clean failure instead of
+// a panic.
+func (s *Suite) Workload(name string) (*simdb.Workload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if w, ok := s.workloads[name]; ok {
-		return w
+		return w, nil
 	}
 	w, err := bench.ByName(name)
 	if err != nil {
-		panic(err) // experiment code only uses registered names
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	s.workloads[name] = w
-	return w
+	return w, nil
 }
 
 // Experiments simulates (with caching) every combination of the given
 // workloads, SKUs, and terminal counts for the given number of runs.
 // Serial workloads (TPC-H) always run with one terminal.
-func (s *Suite) Experiments(workloads []string, skus []telemetry.SKU, terminals []int, runs int) []*telemetry.Experiment {
+func (s *Suite) Experiments(workloads []string, skus []telemetry.SKU, terminals []int, runs int) ([]*telemetry.Experiment, error) {
 	key := cacheKey(workloads, skus, terminals, runs)
-	if exps, ok := s.cache[key]; ok {
-		return exps
-	}
-	var out []*telemetry.Experiment
-	for _, name := range workloads {
-		w := s.Workload(name)
-		terms := terminals
-		if bench.Serial(name) {
-			terms = []int{1}
-		}
-		for _, sku := range skus {
-			for _, t := range terms {
-				for r := 0; r < runs; r++ {
-					cfg := simdb.Config{
-						SKU:       sku,
-						Terminals: t,
-						Run:       r,
-						DataGroup: r % 3,
-						Ticks:     s.Ticks(),
+	return memoDo(&s.exps, key, func() ([]*telemetry.Experiment, error) {
+		var out []*telemetry.Experiment
+		for _, name := range workloads {
+			w, err := s.Workload(name)
+			if err != nil {
+				return nil, err
+			}
+			terms := terminals
+			if bench.Serial(name) {
+				terms = []int{1}
+			}
+			for _, sku := range skus {
+				for _, t := range terms {
+					for r := 0; r < runs; r++ {
+						cfg := simdb.Config{
+							SKU:       sku,
+							Terminals: t,
+							Run:       r,
+							DataGroup: r % 3,
+							Ticks:     s.Ticks(),
+						}
+						out = append(out, simdb.Simulate(w, cfg, s.src))
 					}
-					out = append(out, simdb.Simulate(w, cfg, s.src))
 				}
 			}
 		}
-	}
-	s.cache[key] = out
-	return out
+		return out, nil
+	})
+}
+
+// simMatrix computes the pairwise distance matrix of an item set under one
+// metric, backed by the suite's pairwise-distance cache. The namespace
+// must uniquely identify the item set and its fingerprint configuration
+// (use the key from table4Items/itemsKey): any experiment that re-requests
+// a (namespace, metric) pair reuses the earlier distance instead of
+// re-running the metric, so only the O(n²) cache lookups repeat.
+func (s *Suite) simMatrix(ns string, items []simeval.Item, m distance.Metric) (*simeval.Matrix, error) {
+	return simeval.ComputeMatrixCached(items, m, s.pairDist, ns)
+}
+
+// PairCacheStats exposes the pairwise-distance cache counters (tests
+// assert that figure reuse actually hits).
+func (s *Suite) PairCacheStats() (hits, misses int) {
+	return s.pairDist.Stats()
 }
 
 func cacheKey(workloads []string, skus []telemetry.SKU, terminals []int, runs int) string {

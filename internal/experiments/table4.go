@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"wpred/internal/bench"
 	"wpred/internal/distance"
@@ -24,42 +25,43 @@ type FeatureSubsets struct {
 // and returns the ranked selections (top-7 plan, top-5 resource, top-7
 // combined in the paper's table).
 func (s *Suite) Table5() (*FeatureSubsets, error) {
-	if s.table5 != nil {
-		return s.table5, nil
-	}
-	exps := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
-	var subs []*telemetry.Experiment
-	for _, e := range exps {
-		subs = append(subs, e.SystematicSample(s.Subsamples())...)
-	}
-	rank := func(feats []telemetry.Feature) ([]telemetry.Feature, error) {
-		ds := telemetry.BuildDataset(subs, feats)
-		ds.MinMaxNormalize()
-		sel, err := featsel.NewRFE(featsel.EstimatorLogReg).Evaluate(ds.X, ds.Labels)
+	return memoDo(&s.t5, "", func() (*FeatureSubsets, error) {
+		exps, err := s.Experiments(workloadNames5(), []telemetry.SKU{SKU16}, StandardTerminals, 3)
 		if err != nil {
 			return nil, err
 		}
-		cols := sel.TopK(len(feats))
-		out := make([]telemetry.Feature, len(cols))
-		for i, c := range cols {
-			out[i] = ds.Features[c]
+		var subs []*telemetry.Experiment
+		for _, e := range exps {
+			subs = append(subs, e.SystematicSample(s.Subsamples())...)
 		}
-		return out, nil
-	}
-	plan, err := rank(telemetry.PlanFeatures())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: plan RFE: %w", err)
-	}
-	resource, err := rank(telemetry.ResourceFeatures())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: resource RFE: %w", err)
-	}
-	combined, err := rank(telemetry.AllFeatures())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: combined RFE: %w", err)
-	}
-	s.table5 = &FeatureSubsets{Plan: plan, Resource: resource, Combined: combined}
-	return s.table5, nil
+		rank := func(feats []telemetry.Feature) ([]telemetry.Feature, error) {
+			ds := telemetry.BuildDataset(subs, feats)
+			ds.MinMaxNormalize()
+			sel, err := featsel.NewRFE(featsel.EstimatorLogReg).Evaluate(ds.X, ds.Labels)
+			if err != nil {
+				return nil, err
+			}
+			cols := sel.TopK(len(feats))
+			out := make([]telemetry.Feature, len(cols))
+			for i, c := range cols {
+				out[i] = ds.Features[c]
+			}
+			return out, nil
+		}
+		plan, err := rank(telemetry.PlanFeatures())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: plan RFE: %w", err)
+		}
+		resource, err := rank(telemetry.ResourceFeatures())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resource RFE: %w", err)
+		}
+		combined, err := rank(telemetry.AllFeatures())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: combined RFE: %w", err)
+		}
+		return &FeatureSubsets{Plan: plan, Resource: resource, Combined: combined}, nil
+	})
 }
 
 // Table renders Table 5.
@@ -94,29 +96,47 @@ type Table4Result struct {
 	Sections []Table4Section
 }
 
-// table4Items builds the fingerprinted comparison items: the TPC-C, TPC-H,
-// and Twitter experiments of the 16-CPU setup.
-func (s *Suite) table4Items(rep fingerprint.Representation, feats []telemetry.Feature, plainFreq bool, bins int) ([]simeval.Item, error) {
-	workloads := []string{bench.TPCCName, bench.TPCHName, bench.TwitterName}
-	exps := s.Experiments(workloads, []telemetry.SKU{SKU16}, StandardTerminals, 3)
-	b := &fingerprint.Builder{Rep: rep, Features: feats, PlainFrequency: plainFreq, Bins: bins}
-	if err := b.Fit(exps); err != nil {
-		return nil, err
-	}
-	items := make([]simeval.Item, len(exps))
-	for i, e := range exps {
-		fp, err := b.Build(e)
+// itemsKey identifies a fingerprinted item set: the construction site
+// (which fixes the experiment set) plus everything that shapes the
+// fingerprints. It keys both the item memo and the pairwise-distance
+// cache namespace.
+func itemsKey(site string, rep fingerprint.Representation, feats []telemetry.Feature, plainFreq bool, bins int) string {
+	return fmt.Sprintf("%s|%s|%s|plain=%v|bins=%d",
+		site, rep, strings.Join(telemetry.FeatureNames(feats), ","), plainFreq, bins)
+}
+
+// table4Items builds (and memoizes) the fingerprinted comparison items:
+// the TPC-C, TPC-H, and Twitter experiments of the 16-CPU setup. The
+// memoized key is returned alongside so callers can namespace distance
+// matrices computed over the set.
+func (s *Suite) table4Items(rep fingerprint.Representation, feats []telemetry.Feature, plainFreq bool, bins int) ([]simeval.Item, string, error) {
+	key := itemsKey("table4", rep, feats, plainFreq, bins)
+	items, err := memoDo(&s.items, key, func() ([]simeval.Item, error) {
+		workloads := []string{bench.TPCCName, bench.TPCHName, bench.TwitterName}
+		exps, err := s.Experiments(workloads, []telemetry.SKU{SKU16}, StandardTerminals, 3)
 		if err != nil {
 			return nil, err
 		}
-		items[i] = simeval.Item{
-			Workload: e.Workload,
-			Class:    SimilarityClass(e.Workload),
-			Run:      e.Run,
-			FP:       fp,
+		b := &fingerprint.Builder{Rep: rep, Features: feats, PlainFrequency: plainFreq, Bins: bins}
+		if err := b.Fit(exps); err != nil {
+			return nil, err
 		}
-	}
-	return items, nil
+		items := make([]simeval.Item, len(exps))
+		for i, e := range exps {
+			fp, err := b.Build(e)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = simeval.Item{
+				Workload: e.Workload,
+				Class:    SimilarityClass(e.Workload),
+				Run:      e.Run,
+				FP:       fp,
+			}
+		}
+		return items, nil
+	})
+	return items, key, err
 }
 
 // subsetSpec names one feature subset of Table 4.
@@ -161,9 +181,9 @@ func (s *Suite) Table4() (*Table4Result, error) {
 	}
 	res := &Table4Result{}
 
-	evalItems := func(items []simeval.Item, metrics []distance.Metric, subset string, section *Table4Section) error {
+	evalItems := func(items []simeval.Item, ns string, metrics []distance.Metric, subset string, section *Table4Section) error {
 		for _, m := range metrics {
-			mx, err := simeval.ComputeMatrix(items, m)
+			mx, err := s.simMatrix(ns, items, m)
 			if err != nil {
 				return err
 			}
@@ -182,11 +202,11 @@ func (s *Suite) Table4() (*Table4Result, error) {
 	mtsSection := Table4Section{Representation: "MTS"}
 	mtsMetrics := append(distance.Norms(), distance.TimeSeriesMetrics()...)
 	for _, sub := range subsets["Resource"] {
-		items, err := s.table4Items(fingerprint.MTS, sub.feats, false, 0)
+		items, ns, err := s.table4Items(fingerprint.MTS, sub.feats, false, 0)
 		if err != nil {
 			return nil, err
 		}
-		if err := evalItems(items, mtsMetrics, sub.name, &mtsSection); err != nil {
+		if err := evalItems(items, ns, mtsMetrics, sub.name, &mtsSection); err != nil {
 			return nil, err
 		}
 	}
@@ -197,11 +217,11 @@ func (s *Suite) Table4() (*Table4Result, error) {
 		section := Table4Section{Representation: rep.String()}
 		for _, family := range []string{"Plan", "Resource", "Combined"} {
 			for _, sub := range subsets[family] {
-				items, err := s.table4Items(rep, sub.feats, false, 0)
+				items, ns, err := s.table4Items(rep, sub.feats, false, 0)
 				if err != nil {
 					return nil, err
 				}
-				if err := evalItems(items, distance.Norms(), sub.name, &section); err != nil {
+				if err := evalItems(items, ns, distance.Norms(), sub.name, &section); err != nil {
 					return nil, err
 				}
 			}

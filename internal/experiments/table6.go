@@ -53,7 +53,10 @@ func (s *Suite) Table6() (*Table6Result, error) {
 	// Build one dataset per setting.
 	datasets := make([]*scalemodel.Dataset, len(settings))
 	for i, set := range settings {
-		w := s.Workload(set.Workload)
+		w, err := s.Workload(set.Workload)
+		if err != nil {
+			return nil, err
+		}
 		datasets[i] = scalemodel.Build(w, scalemodel.BuildConfig{
 			Terminals:  set.Terminals,
 			Subsamples: s.Subsamples(),

@@ -1,0 +1,48 @@
+package featsel
+
+import (
+	"testing"
+
+	"wpred/internal/parallel"
+)
+
+// evalAtWorkers runs one strategy with a fixed worker-pool size.
+func evalAtWorkers(t *testing.T, s Strategy, workers int) Result {
+	t.Helper()
+	prev := parallel.SetMaxWorkers(workers)
+	defer parallel.SetMaxWorkers(prev)
+	X, y := syntheticDataset(60, 9)
+	res, err := s.Evaluate(X, y)
+	if err != nil {
+		t.Fatalf("%s at %d workers: %v", s.Name(), workers, err)
+	}
+	return res
+}
+
+// TestWrapperDeterministicAcrossWorkers asserts the wrapper strategies
+// rank features identically whether the candidate retrain sweep runs
+// serially or on eight workers: scores land by candidate index and the
+// argmax scans in index order with strict >, so ties resolve exactly as
+// in a serial sweep.
+func TestWrapperDeterministicAcrossWorkers(t *testing.T) {
+	strategies := []Strategy{
+		NewSFS(EstimatorLinear, true),
+		NewSFS(EstimatorLinear, false),
+		NewSFS(EstimatorDecTree, true),
+		NewSFS(EstimatorLogReg, false),
+		NewRFE(EstimatorLinear),
+	}
+	for _, s := range strategies {
+		serial := evalAtWorkers(t, s, 1)
+		wide := evalAtWorkers(t, s, 8)
+		if len(serial.Ranks) != len(wide.Ranks) {
+			t.Fatalf("%s: rank lengths %d vs %d", s.Name(), len(serial.Ranks), len(wide.Ranks))
+		}
+		for f := range serial.Ranks {
+			if serial.Ranks[f] != wide.Ranks[f] {
+				t.Fatalf("%s: feature %d ranked %d serially but %d with 8 workers",
+					s.Name(), f, serial.Ranks[f], wide.Ranks[f])
+			}
+		}
+	}
+}

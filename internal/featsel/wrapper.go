@@ -8,6 +8,7 @@ import (
 	"wpred/internal/ml"
 	"wpred/internal/ml/linmodel"
 	"wpred/internal/ml/tree"
+	"wpred/internal/parallel"
 )
 
 // EstimatorKind selects the model used inside the wrapper strategies,
@@ -143,24 +144,33 @@ func (s SFS) Evaluate(X *mat.Dense, y []int) (Result, error) {
 	return s.backward(X, y)
 }
 
+// Candidate retrains within one greedy round are independent, so both SFS
+// directions score them on the parallel worker pool. Scores land by
+// candidate index and the argmax scans in index order with a strict >, so
+// ties break toward the lowest index — exactly the serial selection.
+// (RFE above stays serial: each elimination refit depends on the previous
+// round's survivor set, so there is nothing to fan out within one run.)
+
 func (s SFS) forward(X *mat.Dense, y []int) (Result, error) {
 	c := X.Cols()
 	ranks := make([]int, c)
 	var selected []int
 	inSel := make([]bool, c)
 	for round := 1; round <= c; round++ {
-		bestF, bestScore := -1, -1.0
-		for f := 0; f < c; f++ {
+		scores, err := parallel.Map(c, func(f int) (float64, error) {
 			if inSel[f] {
-				continue
+				return -1, nil // never beats a real candidate score (≥ 0)
 			}
 			cand := append(append([]int(nil), selected...), f)
-			score, err := s.cvAccuracy(X, y, cand)
-			if err != nil {
-				return Result{}, err
-			}
-			if score > bestScore {
-				bestF, bestScore = f, score
+			return s.cvAccuracy(X, y, cand)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		bestF, bestScore := -1, -1.0
+		for f := 0; f < c; f++ {
+			if !inSel[f] && scores[f] > bestScore {
+				bestF, bestScore = f, scores[f]
 			}
 		}
 		selected = append(selected, bestF)
@@ -178,15 +188,18 @@ func (s SFS) backward(X *mat.Dense, y []int) (Result, error) {
 		remaining[i] = i
 	}
 	for len(remaining) > 1 {
+		rem := remaining
+		scores, err := parallel.Map(len(rem), func(i int) (float64, error) {
+			cand := make([]int, 0, len(rem)-1)
+			cand = append(cand, rem[:i]...)
+			cand = append(cand, rem[i+1:]...)
+			return s.cvAccuracy(X, y, cand)
+		})
+		if err != nil {
+			return Result{}, err
+		}
 		bestIdx, bestScore := -1, -1.0
-		for i := range remaining {
-			cand := make([]int, 0, len(remaining)-1)
-			cand = append(cand, remaining[:i]...)
-			cand = append(cand, remaining[i+1:]...)
-			score, err := s.cvAccuracy(X, y, cand)
-			if err != nil {
-				return Result{}, err
-			}
+		for i, score := range scores {
 			if score > bestScore {
 				bestIdx, bestScore = i, score
 			}

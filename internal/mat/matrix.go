@@ -117,6 +117,22 @@ func (m *Dense) Col(j int) []float64 {
 	return out
 }
 
+// ColInto copies column j into dst (length rows) and returns dst. It is
+// the allocation-free form of Col for hot loops that reuse a scratch
+// buffer.
+func (m *Dense) ColInto(dst []float64, j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: column %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: ColInto buffer length %d, want %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
+	return dst
+}
+
 // SetRow copies v into row i.
 func (m *Dense) SetRow(i int, v []float64) {
 	if len(v) != m.cols {

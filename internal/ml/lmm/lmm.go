@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"wpred/internal/mat"
 )
@@ -73,13 +74,20 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 	q := c + 1
 	m.nAug = q
 
-	// Group row indices.
+	// Group row indices. The EM loop iterates groups in sorted order:
+	// float accumulation over randomized map order would make repeated
+	// fits differ in the last bits.
 	rowsOf := map[int][]int{}
 	for i, g := range groups {
 		if g >= 0 {
 			rowsOf[g] = append(rowsOf[g], i)
 		}
 	}
+	groupIDs := make([]int, 0, len(rowsOf))
+	for g := range rowsOf {
+		groupIDs = append(groupIDs, g)
+	}
+	sort.Ints(groupIDs)
 
 	// Design with intercept.
 	xa := mat.New(r, q)
@@ -106,7 +114,8 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 	for iter := 0; iter < iters; iter++ {
 		// E step per group.
 		condCov := map[int]*mat.Dense{}
-		for g, rows := range rowsOf {
+		for _, g := range groupIDs {
+			rows := rowsOf[g]
 			ng := len(rows)
 			z := mat.New(ng, q)
 			rg := make([]float64, ng)
@@ -145,7 +154,8 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 
 		// σ² and Ψ updates.
 		sse := 0.0
-		for g, rows := range rowsOf {
+		for _, g := range groupIDs {
+			rows := rowsOf[g]
 			for _, i := range rows {
 				e := y[i] - mat.Dot(xa.RawRow(i), newBeta) - mat.Dot(xa.RawRow(i), bhat[g])
 				sse += e * e
@@ -174,7 +184,7 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 
 		newPsi := mat.New(q, q)
 		if len(rowsOf) > 0 {
-			for g := range rowsOf {
+			for _, g := range groupIDs {
 				bg := bhat[g]
 				for a := 0; a < q; a++ {
 					for b := 0; b < q; b++ {

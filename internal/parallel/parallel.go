@@ -1,0 +1,130 @@
+// Package parallel is the bounded, deterministic fan-out primitive used by
+// every embarrassingly-parallel hot path in this repository: pairwise
+// distance-matrix construction, wrapper feature-selection retrain loops,
+// k-fold evaluation, and the suite-level experiment fan-out.
+//
+// Determinism is the design constraint. Map and ForEach collect results by
+// index, so the output of a parallel run is bit-identical to the serial
+// one regardless of scheduling — the robustness chaos tests assert
+// bit-for-bit reproducibility, and EXPERIMENTS.md numbers must not depend
+// on the worker count. Errors are deterministic too: the error returned is
+// always the one produced by the lowest failing index, exactly the error a
+// serial left-to-right loop would have surfaced.
+//
+// The worker bound is a process-wide setting (SetMaxWorkers, wired to the
+// -j flag of cmd/experiments). The default is GOMAXPROCS; a bound of 1
+// runs every call inline with no goroutines, preserving the pre-parallel
+// serial behaviour exactly. Calls may nest (a suite-level fan-out whose
+// runners fan out over distance pairs); each call bounds only its own
+// workers, which keeps the implementation simple and is harmless for the
+// CPU-bound workloads here.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers is the process-wide worker bound; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers bounds the concurrency of every subsequent Map/ForEach
+// call. n <= 0 restores the default (GOMAXPROCS at call time). It returns
+// the previous setting so tests can restore it.
+func SetMaxWorkers(n int) int {
+	prev := int(maxWorkers.Load())
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int64(n))
+	return prev
+}
+
+// MaxWorkers reports the current worker bound.
+func MaxWorkers() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map invokes fn(i) for every i in [0, n) on up to MaxWorkers goroutines
+// and returns the results ordered by index. The slice is identical to what
+// a serial loop would produce. On error, Map returns the error of the
+// lowest failing index (the serial first error); indexes above a failing
+// one may be skipped, and fn may still be invoked for indexes between a
+// failure and earlier pending work, so fn must not rely on never running
+// after a sibling fails. fn must be safe for concurrent invocation on
+// distinct indexes.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	// firstErr tracks the lowest failing index; n means "none". Workers
+	// short-circuit indexes above it but still run lower ones, so the
+	// reported error matches the serial first-error exactly.
+	var firstErr atomic.Int64
+	firstErr.Store(int64(n))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				if i > firstErr.Load() {
+					continue // short-circuit past the lowest known failure
+				}
+				v, err := fn(int(i))
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if i >= cur || firstErr.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if fe := firstErr.Load(); fe < int64(n) {
+		return nil, errs[fe]
+	}
+	return out, nil
+}
+
+// ForEach invokes fn(i) for every i in [0, n) with the same scheduling,
+// bounding, and first-error semantics as Map. Callers typically write
+// results into caller-owned slices by index, which preserves determinism.
+func ForEach(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

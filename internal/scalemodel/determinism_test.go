@@ -1,0 +1,33 @@
+package scalemodel
+
+import (
+	"testing"
+
+	"wpred/internal/parallel"
+)
+
+// TestEvaluateDeterministicAcrossWorkers asserts k-fold cross validation
+// returns bit-identical NRMSE whether the fold×pair tasks run serially or
+// on eight workers. TrainSeconds is wall clock and deliberately excluded.
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model cross-validation is slow")
+	}
+	ds := buildTPCC(t)
+	for _, strat := range []Strategy{Regression, SVM, LMM} {
+		run := func(workers int) float64 {
+			prev := parallel.SetMaxWorkers(workers)
+			defer parallel.SetMaxWorkers(prev)
+			res, err := Evaluate(strat, Pairwise, ds, 3, 1)
+			if err != nil {
+				t.Fatalf("%v at %d workers: %v", strat, workers, err)
+			}
+			return res.NRMSE
+		}
+		serial := run(1)
+		wide := run(8)
+		if serial != wide {
+			t.Fatalf("%v: NRMSE %v serial vs %v with 8 workers", strat, serial, wide)
+		}
+	}
+}

@@ -2,9 +2,9 @@ package scalemodel
 
 import (
 	"math/rand/v2"
-	"runtime"
-	"sync"
 	"time"
+
+	"wpred/internal/parallel"
 )
 
 // EvalResult is the cross-validated error of one (strategy, context) on
@@ -72,68 +72,48 @@ func Evaluate(s Strategy, ctx Context, ds *Dataset, folds int, seed uint64) (Eva
 			tasks = append(tasks, task{p, f})
 		}
 	}
-	// Every fit uses an explicit (seed, fold) randomness source, so the
-	// parallel execution is exactly as deterministic as the serial one.
+	// Every fit uses an explicit (seed, fold) randomness source and writes
+	// its result by task index, so the pooled execution is exactly as
+	// deterministic as a serial loop.
 	nrmse := make([]float64, len(tasks))
 	durs := make([]time.Duration, len(tasks))
-	errs := make([]error, len(tasks))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range next {
-				tk := tasks[ti]
-				from, to := pairs[tk.pair][0], pairs[tk.pair][1]
-				denom := ValueRange(ds.Obs[to])
-				var pred, actual []float64
-				t0 := time.Now()
-				switch ctx {
-				case Single:
-					m, err := FitSingle(s, ds, trains[tk.fold], seed+uint64(tk.fold))
-					if err != nil {
-						errs[ti] = err
-						continue
-					}
-					durs[ti] = time.Since(t0)
-					for _, i := range tests[tk.fold] {
-						pred = append(pred, m.Predict(ds.SKUs[to].CPUs))
-						actual = append(actual, ds.Obs[to][i])
-					}
-				case Pairwise:
-					m, err := FitPair(s, ds, from, to, trains[tk.fold], seed+uint64(tk.fold))
-					if err != nil {
-						errs[ti] = err
-						continue
-					}
-					durs[ti] = time.Since(t0)
-					for _, i := range tests[tk.fold] {
-						pred = append(pred, m.Predict(ds.Obs[from][i]))
-						actual = append(actual, ds.Obs[to][i])
-					}
-				}
-				nrmse[ti] = NRMSE(pred, actual, denom)
+	if err := parallel.ForEach(len(tasks), func(ti int) error {
+		tk := tasks[ti]
+		from, to := pairs[tk.pair][0], pairs[tk.pair][1]
+		denom := ValueRange(ds.Obs[to])
+		var pred, actual []float64
+		t0 := time.Now()
+		switch ctx {
+		case Single:
+			m, err := FitSingle(s, ds, trains[tk.fold], seed+uint64(tk.fold))
+			if err != nil {
+				return err
 			}
-		}()
+			durs[ti] = time.Since(t0)
+			for _, i := range tests[tk.fold] {
+				pred = append(pred, m.Predict(ds.SKUs[to].CPUs))
+				actual = append(actual, ds.Obs[to][i])
+			}
+		case Pairwise:
+			m, err := FitPair(s, ds, from, to, trains[tk.fold], seed+uint64(tk.fold))
+			if err != nil {
+				return err
+			}
+			durs[ti] = time.Since(t0)
+			for _, i := range tests[tk.fold] {
+				pred = append(pred, m.Predict(ds.Obs[from][i]))
+				actual = append(actual, ds.Obs[to][i])
+			}
+		}
+		nrmse[ti] = NRMSE(pred, actual, denom)
+		return nil
+	}); err != nil {
+		return res, err
 	}
-	for ti := range tasks {
-		next <- ti
-	}
-	close(next)
-	wg.Wait()
 
 	sumNRMSE := 0.0
 	trainDur := time.Duration(0)
 	for ti := range tasks {
-		if errs[ti] != nil {
-			return res, errs[ti]
-		}
 		sumNRMSE += nrmse[ti]
 		trainDur += durs[ti]
 	}

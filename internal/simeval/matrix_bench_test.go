@@ -1,0 +1,76 @@
+package simeval
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/mat"
+	"wpred/internal/parallel"
+)
+
+// benchItems builds n deterministic MTS-fingerprinted items (120 ticks ×
+// 8 dimensions, like the suite's windowed-DTW inputs).
+func benchItems(n int) []Item {
+	items := make([]Item, n)
+	for it := range items {
+		rows := make([][]float64, 120)
+		for i := range rows {
+			r := make([]float64, 8)
+			for j := range r {
+				r[j] = math.Sin(float64(it)*0.7+float64(i)*0.1+float64(j)) + 0.01*float64((i+it)%5)
+			}
+			rows[i] = r
+		}
+		items[it] = Item{
+			Workload: fmt.Sprintf("w%d", it%4),
+			Run:      it / 4,
+			FP:       &fingerprint.Fingerprint{Rep: fingerprint.MTS, M: mat.NewFromRows(rows)},
+		}
+	}
+	return items
+}
+
+// BenchmarkComputeMatrixDTW measures the pairwise distance-matrix hot path
+// (the dominant cost of Table 4 and Figures 5–7) at 1 worker and at the
+// pool default, so the parallel speedup shows up in BENCH.json diffs.
+func BenchmarkComputeMatrixDTW(b *testing.B) {
+	items := benchItems(16)
+	m := distance.DTW{Dependent: true, Window: 40}
+	for _, workers := range []int{1, 0} {
+		name := "j=default"
+		if workers == 1 {
+			name = "j=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := parallel.SetMaxWorkers(workers)
+			defer parallel.SetMaxWorkers(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeMatrix(items, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComputeMatrixCached measures the fully warm cache path: every
+// pair is served from the PairCache, no metric evaluations at all.
+func BenchmarkComputeMatrixCached(b *testing.B) {
+	items := benchItems(16)
+	m := distance.DTW{Dependent: true, Window: 40}
+	cache := NewPairCache()
+	if _, err := ComputeMatrixCached(items, m, cache, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeMatrixCached(items, m, cache, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

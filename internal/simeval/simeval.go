@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"wpred/internal/distance"
 	"wpred/internal/fingerprint"
+	"wpred/internal/parallel"
 	"wpred/internal/stat"
 )
 
@@ -48,22 +50,103 @@ type Matrix struct {
 	D     [][]float64
 }
 
-// ComputeMatrix evaluates the metric on every item pair.
+// PairCache memoizes pairwise distances across matrix computations. Keys
+// combine a caller-chosen namespace (identifying the item set and its
+// representation — metric distances are only reusable between identically
+// fingerprinted item sets), the metric name, and the experiment pair, so
+// figures that revisit a matrix another experiment already computed skip
+// the O(n²·DTW) recomputation entirely. Safe for concurrent use.
+type PairCache struct {
+	mu           sync.RWMutex
+	m            map[pairKey]float64
+	hits, misses int
+}
+
+type pairKey struct {
+	ns, metric string
+	i, j       int
+}
+
+// NewPairCache returns an empty cache.
+func NewPairCache() *PairCache {
+	return &PairCache{m: map[pairKey]float64{}}
+}
+
+func (c *PairCache) lookup(k pairKey) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *PairCache) store(k pairKey, v float64) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// Stats reports cache hits and misses (for tests and capacity planning).
+func (c *PairCache) Stats() (hits, misses int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// ComputeMatrix evaluates the metric on every item pair. The upper
+// triangle fans out over the parallel worker pool; results land by pair
+// index, so the matrix is bit-identical to a serial computation.
 func ComputeMatrix(items []Item, m distance.Metric) (*Matrix, error) {
+	return ComputeMatrixCached(items, m, nil, "")
+}
+
+// ComputeMatrixCached is ComputeMatrix with a pairwise-distance cache. The
+// namespace must uniquely identify the item set and its fingerprint
+// configuration; callers that cannot guarantee that must pass a nil cache.
+func ComputeMatrixCached(items []Item, m distance.Metric, cache *PairCache, ns string) (*Matrix, error) {
 	n := len(items)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
+	// Linearize the strict upper triangle: pair p ↦ (rows[p], cols[p]).
+	npairs := n * (n - 1) / 2
+	rows := make([]int, npairs)
+	cols := make([]int, npairs)
+	p := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v, err := m.Distance(items[i].FP.M, items[j].FP.M)
-			if err != nil {
-				return nil, fmt.Errorf("simeval: %s(%s,%s): %w", m.Name(), items[i].Workload, items[j].Workload, err)
-			}
-			d[i][j] = v
-			d[j][i] = v
+			rows[p], cols[p] = i, j
+			p++
 		}
+	}
+	vals, err := parallel.Map(npairs, func(p int) (float64, error) {
+		i, j := rows[p], cols[p]
+		key := pairKey{ns: ns, metric: m.Name(), i: i, j: j}
+		if cache != nil {
+			if v, ok := cache.lookup(key); ok {
+				return v, nil
+			}
+		}
+		v, err := m.Distance(items[i].FP.M, items[j].FP.M)
+		if err != nil {
+			return 0, fmt.Errorf("simeval: %s(%s,%s): %w", m.Name(), items[i].Workload, items[j].Workload, err)
+		}
+		if cache != nil {
+			cache.store(key, v)
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, v := range vals {
+		d[rows[p]][cols[p]] = v
+		d[cols[p]][rows[p]] = v
 	}
 	return &Matrix{Items: items, D: d}, nil
 }
