@@ -52,7 +52,8 @@ func (p *PCA) Fit(X *mat.Dense) error {
 			centered.Set(i, j, X.At(i, j)-p.mean[j])
 		}
 	}
-	cov := mat.Scale(1/float64(r), mat.Mul(centered.T(), centered))
+	cov := mat.SymRankKInto(mat.New(c, c), centered)
+	mat.ScaleInto(cov, 1/float64(r), cov)
 	vals, vecs := mat.EigenSym(cov)
 
 	total := 0.0

@@ -64,13 +64,21 @@ func (L21) Distance(a, b *mat.Dense) (float64, error) {
 		return 0, err
 	}
 	r, c := a.Dims()
-	total := 0.0
-	for j := 0; j < c; j++ {
-		s := 0.0
-		for i := 0; i < r; i++ {
-			d := a.At(i, j) - b.At(i, j)
-			s += d * d
+	// One row-major pass with per-column accumulators instead of c
+	// strided column walks through At: for each column the squared terms
+	// still arrive in ascending row order, so the result is bit-identical
+	// to the column-major loop.
+	acc := make([]float64, c)
+	da, db := a.Data(), b.Data()
+	for i := 0; i < r; i++ {
+		ra, rb := da[i*c:(i+1)*c], db[i*c:(i+1)*c]
+		for j, av := range ra {
+			d := av - rb[j]
+			acc[j] += d * d
 		}
+	}
+	total := 0.0
+	for _, s := range acc {
 		total += math.Sqrt(s)
 	}
 	return total, nil

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml/linmodel"
+	"wpred/internal/ml/lmm"
+	"wpred/internal/ml/nnet"
+	"wpred/internal/parallel"
+)
+
+// kernelFitResults fits the three workspace-backed models whose hot paths
+// run on the in-place kernel layer (OLS normal equations, the LMM EM loop,
+// MLP training) across the worker pool, one model instance — hence one
+// mat.Workspace — per task, and returns every fitted coefficient.
+func kernelFitResults(t *testing.T, workers int) [][]float64 {
+	t.Helper()
+	prev := parallel.SetMaxWorkers(workers)
+	defer parallel.SetMaxWorkers(prev)
+
+	const tasks = 8
+	out, err := parallel.Map(tasks, func(task int) ([]float64, error) {
+		rng := rand.New(rand.NewPCG(uint64(task), 99))
+		n, c := 40+task, 4
+		X := mat.New(n, c)
+		y := make([]float64, n)
+		groups := make([]int, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < c; j++ {
+				X.Set(i, j, rng.NormFloat64())
+			}
+			y[i] = rng.NormFloat64() + X.At(i, 0)
+			groups[i] = i % 3
+		}
+
+		var coefs []float64
+		ols := &linmodel.LinearRegression{}
+		mixed := &lmm.LMM{Groups: groups, MaxIter: 10}
+		net := &nnet.MLP{Hidden: []int{8}, Epochs: 5, Standardize: true, Seed: uint64(task)}
+		// Fit each model twice on its own instance: the second fit runs on
+		// recycled workspace buffers and must reproduce the first exactly.
+		for rep := 0; rep < 2; rep++ {
+			if err := ols.Fit(X, y); err != nil {
+				return nil, err
+			}
+			coefs = append(coefs, ols.Intercept())
+			coefs = append(coefs, ols.Coefficients()...)
+			if err := mixed.Fit(X, y); err != nil {
+				return nil, err
+			}
+			coefs = append(coefs, mixed.ResidualVariance())
+			coefs = append(coefs, mixed.FixedEffects()...)
+			if err := net.Fit(X, y); err != nil {
+				return nil, err
+			}
+			coefs = append(coefs, net.Predict(X.RawRow(0)))
+		}
+		return coefs, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, coefs := range out {
+		half := len(coefs) / 2
+		for i := 0; i < half; i++ {
+			if coefs[i] != coefs[half+i] {
+				t.Fatalf("refit on recycled workspace diverged at %d: %v vs %v", i, coefs[i], coefs[half+i])
+			}
+		}
+	}
+	return out
+}
+
+// TestKernelFitsDeterministicAcrossWorkers extends the determinism
+// guarantee to the kernel layer: model fits built on the in-place kernels
+// (MulInto, SymRankKInto, CholSolveInto, workspace buffers) are
+// bit-identical whether the pool runs 1 or 8 workers, and whether a model
+// fits on fresh or recycled workspace storage.
+func TestKernelFitsDeterministicAcrossWorkers(t *testing.T) {
+	serial := kernelFitResults(t, 1)
+	wide := kernelFitResults(t, 8)
+	if len(serial) != len(wide) {
+		t.Fatalf("task count differs: %d vs %d", len(serial), len(wide))
+	}
+	for task := range serial {
+		if len(serial[task]) != len(wide[task]) {
+			t.Fatalf("task %d result length differs", task)
+		}
+		for i := range serial[task] {
+			if serial[task][i] != wide[task][i] {
+				t.Fatalf("task %d coefficient %d differs: %v serial vs %v with 8 workers",
+					task, i, serial[task][i], wide[task][i])
+			}
+		}
+	}
+}

@@ -13,11 +13,26 @@ var ErrSingular = errors.New("mat: matrix is singular to working precision")
 // Cholesky computes the lower-triangular factor L of a symmetric
 // positive-definite matrix a such that a = L·Lᵀ.
 func Cholesky(a *Dense) (*Dense, error) {
+	l := New(a.rows, a.rows)
+	if err := CholeskyInto(l, a); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInto is the allocation-free Cholesky: it writes the
+// lower-triangular factor of a into l (l.rows×l.cols must equal a's) and
+// zeroes l's strict upper triangle. Only a's lower triangle is read, so
+// Gram matrices whose mirrored upper halves carry signed-zero noise (see
+// SymRankKInto) factor identically. l must not overlap a.
+func CholeskyInto(l, a *Dense) error {
 	if a.rows != a.cols {
 		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d matrix", a.rows, a.cols))
 	}
 	n := a.rows
-	l := New(n, n)
+	if l.rows != n || l.cols != n {
+		panic(fmt.Sprintf("mat: CholeskyInto dst %dx%d, want %dx%d", l.rows, l.cols, n, n))
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			sum := a.data[i*n+j]
@@ -26,15 +41,50 @@ func Cholesky(a *Dense) (*Dense, error) {
 			}
 			if i == j {
 				if sum <= 0 {
-					return nil, ErrSingular
+					return ErrSingular
 				}
 				l.data[i*n+j] = math.Sqrt(sum)
 			} else {
 				l.data[i*n+j] = sum / l.data[j*n+j]
 			}
 		}
+		for j := i + 1; j < n; j++ {
+			l.data[i*n+j] = 0
+		}
 	}
-	return l, nil
+	return nil
+}
+
+// CholSolveInto solves L·Lᵀ·x = b given a Cholesky factor l, writing the
+// solution into x using y as forward-substitution scratch (both length n).
+// Factoring once with CholeskyInto and back-substituting many times is how
+// the LMM M step solves the same normal equations every EM iteration
+// without refactoring.
+func CholSolveInto(x []float64, l *Dense, b, y []float64) []float64 {
+	n := l.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: CholSolveInto rhs length %d, want %d", len(b), n))
+	}
+	if len(x) != n || len(y) != n {
+		panic(fmt.Sprintf("mat: CholSolveInto buffer lengths %d/%d, want %d", len(x), len(y), n))
+	}
+	// Forward substitution L·y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * y[k]
+		}
+		y[i] = s / l.data[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x[k]
+		}
+		x[i] = s / l.data[i*n+i]
+	}
+	return x
 }
 
 // SolveCholesky solves a·x = b for SPD a using a Cholesky factorization.
@@ -47,24 +97,9 @@ func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
 	if len(b) != n {
 		panic(fmt.Sprintf("mat: SolveCholesky rhs length %d, want %d", len(b), n))
 	}
-	// Forward substitution L·y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= l.data[i*n+k] * y[k]
-		}
-		y[i] = s / l.data[i*n+i]
-	}
-	// Back substitution Lᵀ·x = y.
 	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= l.data[k*n+i] * x[k]
-		}
-		x[i] = s / l.data[i*n+i]
-	}
+	y := make([]float64, n)
+	CholSolveInto(x, l, b, y)
 	return x, nil
 }
 
@@ -72,44 +107,87 @@ func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
 // small ridge fallback when AᵀA is singular. Suitable for the modest,
 // well-conditioned designs used in this repository.
 func SolveLeastSquares(a *Dense, b []float64) ([]float64, error) {
+	x := make([]float64, a.cols)
+	var ws Workspace
+	if err := SolveLeastSquaresInto(x, a, b, &ws); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveLeastSquaresInto is the allocation-free SolveLeastSquares: the
+// normal-equation matrix, right-hand side, and factor all come from ws,
+// and the solution is written into x (length a.cols). Bit-identical to
+// SolveLeastSquares: the Gram matrix's lower triangle — all the Cholesky
+// path reads — matches Mul(a.T(), a) exactly.
+func SolveLeastSquaresInto(x []float64, a *Dense, b []float64, ws *Workspace) error {
 	if len(b) != a.rows {
 		panic(fmt.Sprintf("mat: SolveLeastSquares rhs length %d, want %d", len(b), a.rows))
 	}
-	at := a.T()
-	ata := Mul(at, a)
-	atb := at.MulVec(b)
-	x, err := SolveCholesky(ata, atb)
-	if err == nil {
-		return x, nil
+	n := a.cols
+	if len(x) != n {
+		panic(fmt.Sprintf("mat: SolveLeastSquaresInto dst length %d, want %d", len(x), n))
+	}
+	ata := ws.GetMatrix(n, n)
+	defer ws.PutMatrix(ata)
+	SymRankKInto(ata, a)
+	atb := ws.GetVector(n)
+	defer ws.PutVector(atb)
+	MulTransVecInto(atb, a, b)
+	l := ws.GetMatrix(n, n)
+	defer ws.PutMatrix(l)
+	y := ws.GetVector(n)
+	defer ws.PutVector(y)
+	if err := CholeskyInto(l, ata); err == nil {
+		CholSolveInto(x, l, atb, y)
+		return nil
 	}
 	// Ridge fallback: add a tiny multiple of the mean diagonal.
-	n := ata.rows
 	trace := 0.0
 	for i := 0; i < n; i++ {
 		trace += ata.data[i*n+i]
 	}
 	lambda := 1e-10 * (trace/float64(n) + 1)
+	reg := ws.GetMatrix(n, n)
+	defer ws.PutMatrix(reg)
 	for attempt := 0; attempt < 8; attempt++ {
-		reg := ata.Clone()
+		copy(reg.data, ata.data)
 		for i := 0; i < n; i++ {
 			reg.data[i*n+i] += lambda
 		}
-		if x, err = SolveCholesky(reg, atb); err == nil {
-			return x, nil
+		if err := CholeskyInto(l, reg); err == nil {
+			CholSolveInto(x, l, atb, y)
+			return nil
 		}
 		lambda *= 100
 	}
-	return nil, ErrSingular
+	return ErrSingular
 }
 
 // Inverse returns the inverse of a square matrix via Gauss-Jordan with
 // partial pivoting.
 func Inverse(a *Dense) (*Dense, error) {
+	inv := New(a.rows, a.rows)
+	var ws Workspace
+	if err := InverseInto(inv, a, &ws); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InverseInto is the allocation-free Inverse: the Gauss-Jordan augmented
+// matrix comes from ws and the result is written into dst (same shape as
+// a, no overlap with a). Bit-identical to Inverse.
+func InverseInto(dst, a *Dense, ws *Workspace) error {
 	if a.rows != a.cols {
 		panic(fmt.Sprintf("mat: Inverse of non-square %dx%d matrix", a.rows, a.cols))
 	}
 	n := a.rows
-	aug := New(n, 2*n)
+	if dst.rows != n || dst.cols != n {
+		panic(fmt.Sprintf("mat: InverseInto dst %dx%d, want %dx%d", dst.rows, dst.cols, n, n))
+	}
+	aug := ws.GetMatrix(n, 2*n)
+	defer ws.PutMatrix(aug)
 	for i := 0; i < n; i++ {
 		copy(aug.data[i*2*n:i*2*n+n], a.data[i*n:(i+1)*n])
 		aug.data[i*2*n+n+i] = 1
@@ -123,7 +201,7 @@ func Inverse(a *Dense) (*Dense, error) {
 			}
 		}
 		if best < 1e-14 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if pivot != col {
 			pr := aug.data[pivot*2*n : (pivot+1)*2*n]
@@ -151,11 +229,10 @@ func Inverse(a *Dense) (*Dense, error) {
 			}
 		}
 	}
-	inv := New(n, n)
 	for i := 0; i < n; i++ {
-		copy(inv.data[i*n:(i+1)*n], aug.data[i*2*n+n:(i+1)*2*n])
+		copy(dst.data[i*n:(i+1)*n], aug.data[i*2*n+n:(i+1)*2*n])
 	}
-	return inv, nil
+	return nil
 }
 
 // EigenSym computes the eigen decomposition of a symmetric matrix using the
@@ -247,7 +324,7 @@ func EigenSym(a *Dense) (values []float64, vectors *Dense) {
 // below a relative tolerance are returned as zero with arbitrary (zero) left
 // singular vectors.
 func SVDThin(a *Dense) (s []float64, u, v *Dense) {
-	ata := Mul(a.T(), a)
+	ata := SymRankKInto(New(a.cols, a.cols), a)
 	eig, vecs := EigenSym(ata)
 	k := a.cols
 	if a.rows < k {

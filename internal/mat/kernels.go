@@ -1,0 +1,257 @@
+package mat
+
+import "fmt"
+
+// This file is the in-place kernel layer: allocation-free counterparts of
+// the allocating operations in matrix.go, used by the model-fit hot paths
+// (normal equations, the LMM EM loop, MLP training, SVR Gram builds).
+//
+// Every kernel is pinned to the exact per-element summation order of its
+// allocating counterpart — i-k-j traversal, ascending k, and Mul's skip of
+// zero left-hand factors — so swapping a call site from Mul to MulInto is
+// bit-identical, not merely approximately equal. Cache blocking below only
+// retiles the (i,j) iteration space; for any fixed output element the k
+// contributions still arrive in ascending order, which is why blocking is
+// compatible with the determinism guarantee. See "Kernel layer" in
+// DESIGN.md for the full ownership and ordering rules.
+
+// Cache-blocking tile sizes for MulInto: blockK rows of b (one k-panel)
+// and blockJ output columns (one j-panel) are kept hot together. 64×256
+// float64s ≈ 128 KiB of b-panel, sized for typical L2; correctness does
+// not depend on the values.
+const (
+	blockK = 64
+	blockJ = 256
+)
+
+// MulInto computes dst = a·b without allocating. dst must be a.rows×b.cols
+// and must not overlap a or b; it is fully overwritten. The summation
+// order (and the skip of zero a-elements) matches Mul exactly, so results
+// are bit-identical to Mul(a, b).
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto dst %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	n := b.cols
+	for jb := 0; jb < n; jb += blockJ {
+		je := jb + blockJ
+		if je > n {
+			je = n
+		}
+		for i := 0; i < a.rows; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			orow := dst.data[i*n+jb : i*n+je]
+			for kb := 0; kb < a.cols; kb += blockK {
+				ke := kb + blockK
+				if ke > a.cols {
+					ke = a.cols
+				}
+				for k := kb; k < ke; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[k*n+jb : k*n+je]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// MulTransBInto computes dst = a·bᵀ without allocating or materializing
+// bᵀ: both operands are walked row-major, which is the cache win over
+// Mul(a, b.T()). dst must be a.rows×b.rows and must not overlap a or b.
+// Bit-identical to Mul(a, b.T()).
+func MulTransBInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTransBInto shape mismatch %dx%d · (%dx%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulTransBInto dst %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.rows))
+	}
+	k := a.cols
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := dst.data[i*b.rows : (i+1)*b.rows]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return dst
+}
+
+// SymRankKInto computes the Gram matrix dst = aᵀ·a, exploiting symmetry to
+// halve the FLOPs: only the lower triangle is accumulated (in one
+// row-major streaming pass over a) and then mirrored. The lower triangle
+// and diagonal are bit-identical to Mul(a.T(), a); the mirrored strict
+// upper triangle can differ from Mul's only in the sign of exact zeros
+// (Mul skips zero left factors, which on the transposed entry is the
+// other operand). Cholesky-based solvers read only the lower triangle, so
+// normal-equation paths stay bit-identical end to end. dst must be
+// a.cols×a.cols and must not overlap a.
+func SymRankKInto(dst, a *Dense) *Dense {
+	n := a.cols
+	if dst.rows != n || dst.cols != n {
+		panic(fmt.Sprintf("mat: SymRankKInto dst %dx%d, want %dx%d", dst.rows, dst.cols, n, n))
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for k := 0; k < a.rows; k++ {
+		row := a.data[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			av := row[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[i*n : i*n+i+1]
+			for j := 0; j <= i; j++ {
+				drow[j] += av * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			dst.data[j*n+i] = dst.data[i*n+j]
+		}
+	}
+	return dst
+}
+
+// TransposeInto computes dst = aᵀ without allocating. dst must be
+// a.cols×a.rows and must not overlap a.
+func TransposeInto(dst, a *Dense) *Dense {
+	if dst.rows != a.cols || dst.cols != a.rows {
+		panic(fmt.Sprintf("mat: TransposeInto dst %dx%d, want %dx%d", dst.rows, dst.cols, a.cols, a.rows))
+	}
+	for i := 0; i < a.rows; i++ {
+		base := i * a.cols
+		for j := 0; j < a.cols; j++ {
+			dst.data[j*a.rows+i] = a.data[base+j]
+		}
+	}
+	return dst
+}
+
+// AddInto computes dst = a+b element-wise. dst may alias a and/or b.
+func AddInto(dst, a, b *Dense) *Dense {
+	shapeCheck("AddInto", a, b)
+	shapeCheck("AddInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = v + b.data[i]
+	}
+	return dst
+}
+
+// SubInto computes dst = a−b element-wise. dst may alias a and/or b.
+func SubInto(dst, a, b *Dense) *Dense {
+	shapeCheck("SubInto", a, b)
+	shapeCheck("SubInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = v - b.data[i]
+	}
+	return dst
+}
+
+// ScaleInto computes dst = s·a element-wise. dst may alias a.
+func ScaleInto(dst *Dense, s float64, a *Dense) *Dense {
+	shapeCheck("ScaleInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = s * v
+	}
+	return dst
+}
+
+// MulVecInto computes dst = m·v without allocating; dst must have length
+// m.rows and must not overlap v. Bit-identical to MulVec.
+func (m *Dense) MulVecInto(dst, v []float64) []float64 {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: MulVecInto length %d, want %d", len(v), m.cols))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecInto dst length %d, want %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulTransVecInto computes dst = aᵀ·v without materializing aᵀ, walking a
+// row-major. dst must have length a.cols and must not overlap v.
+// Bit-identical to a.T().MulVec(v): for each output element the k
+// contributions arrive in ascending row order, exactly as the transposed
+// row-times-vector loop produces them.
+func MulTransVecInto(dst []float64, a *Dense, v []float64) []float64 {
+	if len(v) != a.rows {
+		panic(fmt.Sprintf("mat: MulTransVecInto length %d, want %d", len(v), a.rows))
+	}
+	if len(dst) != a.cols {
+		panic(fmt.Sprintf("mat: MulTransVecInto dst length %d, want %d", len(dst), a.cols))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for k := 0; k < a.rows; k++ {
+		row := a.data[k*a.cols : (k+1)*a.cols]
+		vk := v[k]
+		for i, rv := range row {
+			dst[i] += rv * vk
+		}
+	}
+	return dst
+}
+
+// Axpy computes y += a·x in place (the BLAS axpy kernel).
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// Reset re-dims m to r×c in place, zeroing the contents and reusing the
+// backing slice when its capacity allows. It is the re-dimension primitive
+// Workspace and the fit hot paths use to recycle one buffer across groups
+// or layers of different sizes without allocating.
+func (m *Dense) Reset(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	n := r * c
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = r, c
+	return m
+}

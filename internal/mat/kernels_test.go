@@ -1,0 +1,288 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// bitEqual reports exact per-element equality (==, so -0 and +0 compare
+// equal but any last-bit float difference fails). The kernels pin Mul's
+// summation order, so the property tests demand exactness, not tolerance.
+func bitEqual(a, b *Dense) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if v != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func bitEqualVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// testShapes covers the degenerate and block-boundary cases the blocked
+// kernels must get right: empty, 1×1, non-square, and sizes straddling
+// the blockK/blockJ tile edges.
+var testShapes = []int{0, 1, 2, 3, 7, blockK - 1, blockK, blockK + 1, 2*blockK + 3}
+
+// sprinkleZeros sets a fraction of entries to exact zero so the zero-skip
+// path of the kernels is exercised.
+func sprinkleZeros(m *Dense, rng *rand.Rand) {
+	for i := range m.data {
+		if rng.IntN(4) == 0 {
+			m.data[i] = 0
+		}
+	}
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	jShapes := []int{0, 1, 3, blockJ - 1, blockJ, blockJ + 1}
+	for _, m := range testShapes {
+		for _, k := range testShapes {
+			for _, n := range jShapes {
+				a := randomMatrixRNG(m, k, rng)
+				b := randomMatrixRNG(k, n, rng)
+				sprinkleZeros(a, rng)
+				sprinkleZeros(b, rng)
+				want := Mul(a, b)
+				got := MulInto(New(m, n), a, b)
+				if !bitEqual(got, want) {
+					t.Fatalf("MulInto != Mul at %dx%d·%dx%d", m, k, k, n)
+				}
+			}
+		}
+	}
+}
+
+func TestMulTransBIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, m := range testShapes {
+		for _, k := range testShapes {
+			for _, n := range testShapes {
+				a := randomMatrixRNG(m, k, rng)
+				b := randomMatrixRNG(n, k, rng)
+				sprinkleZeros(a, rng)
+				want := Mul(a, b.T())
+				got := MulTransBInto(New(m, n), a, b)
+				if !bitEqual(got, want) {
+					t.Fatalf("MulTransBInto != Mul(a, bᵀ) at %dx%d·(%dx%d)ᵀ", m, k, n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSymRankKIntoMatchesGram(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, r := range testShapes {
+		for _, c := range testShapes {
+			a := randomMatrixRNG(r, c, rng)
+			sprinkleZeros(a, rng)
+			want := Mul(a.T(), a)
+			got := SymRankKInto(New(c, c), a)
+			// Full matrix: equal under == (signed zeros compare equal).
+			if !bitEqual(got, want) {
+				t.Fatalf("SymRankKInto != AᵀA at %dx%d", r, c)
+			}
+			// Lower triangle incl. diagonal: bit-identical including the
+			// sign of zeros — this is the half Cholesky reads.
+			for i := 0; i < c; i++ {
+				for j := 0; j <= i; j++ {
+					g, w := got.At(i, j), want.At(i, j)
+					if g != w || (g == 0 && math.Signbit(g) != math.Signbit(w)) {
+						t.Fatalf("lower triangle differs at (%d,%d): %v vs %v", i, j, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeAddSubScaleInto(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, r := range testShapes {
+		for _, c := range testShapes {
+			a := randomMatrixRNG(r, c, rng)
+			b := randomMatrixRNG(r, c, rng)
+			if !bitEqual(TransposeInto(New(c, r), a), a.T()) {
+				t.Fatalf("TransposeInto != T at %dx%d", r, c)
+			}
+			if !bitEqual(AddInto(New(r, c), a, b), Add(a, b)) {
+				t.Fatalf("AddInto != Add at %dx%d", r, c)
+			}
+			if !bitEqual(SubInto(New(r, c), a, b), Sub(a, b)) {
+				t.Fatalf("SubInto != Sub at %dx%d", r, c)
+			}
+			if !bitEqual(ScaleInto(New(r, c), 1.7, a), Scale(1.7, a)) {
+				t.Fatalf("ScaleInto != Scale at %dx%d", r, c)
+			}
+			// Aliased forms.
+			sum := a.Clone()
+			AddInto(sum, sum, b)
+			if !bitEqual(sum, Add(a, b)) {
+				t.Fatal("aliased AddInto diverged")
+			}
+		}
+	}
+}
+
+func TestVecKernelsMatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for _, r := range testShapes {
+		for _, c := range testShapes {
+			a := randomMatrixRNG(r, c, rng)
+			v := make([]float64, c)
+			u := make([]float64, r)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			for i := range u {
+				u[i] = rng.NormFloat64()
+			}
+			if got := a.MulVecInto(make([]float64, r), v); !bitEqualVec(got, a.MulVec(v)) {
+				t.Fatalf("MulVecInto != MulVec at %dx%d", r, c)
+			}
+			if got := MulTransVecInto(make([]float64, c), a, u); !bitEqualVec(got, a.T().MulVec(u)) {
+				t.Fatalf("MulTransVecInto != Tᵀ·MulVec at %dx%d", r, c)
+			}
+			y := append([]float64(nil), v...)
+			x := make([]float64, c)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			Axpy(2.5, x, y)
+			for i := range y {
+				if y[i] != v[i]+2.5*x[i] {
+					t.Fatalf("Axpy wrong at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestIntoSolversMatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	var ws Workspace
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		// SPD matrix via Gram of a tall random design.
+		g := randomMatrixRNG(n+3, n, rng)
+		spd := Mul(g.T(), g)
+		for i := 0; i < n; i++ {
+			spd.Set(i, i, spd.At(i, i)+0.5)
+		}
+		wantL, err := Cholesky(spd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotL := ws.GetMatrix(n, n)
+		if err := CholeskyInto(gotL, spd); err != nil {
+			t.Fatal(err)
+		}
+		if !bitEqual(gotL, wantL) {
+			t.Fatalf("CholeskyInto != Cholesky at n=%d", n)
+		}
+		ws.PutMatrix(gotL)
+
+		b := make([]float64, n+3)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := SolveLeastSquares(g, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		if err := SolveLeastSquaresInto(got, g, b, &ws); err != nil {
+			t.Fatal(err)
+		}
+		if !bitEqualVec(got, want) {
+			t.Fatalf("SolveLeastSquaresInto != SolveLeastSquares at n=%d", n)
+		}
+
+		wantInv, err := Inverse(spd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotInv := ws.GetMatrix(n, n)
+		if err := InverseInto(gotInv, spd, &ws); err != nil {
+			t.Fatal(err)
+		}
+		if !bitEqual(gotInv, wantInv) {
+			t.Fatalf("InverseInto != Inverse at n=%d", n)
+		}
+		ws.PutMatrix(gotInv)
+	}
+}
+
+// TestWorkspaceReuse checks the amortization contract: buffers come back
+// zeroed, and a Get/Put cycle at steady state reuses storage instead of
+// allocating.
+func TestWorkspaceReuse(t *testing.T) {
+	var ws Workspace
+	m := ws.GetMatrix(4, 5)
+	m.Set(1, 2, 9)
+	d := m.Data()
+	ws.PutMatrix(m)
+	m2 := ws.GetMatrix(5, 4) // different dims, same capacity
+	if &m2.Data()[0] != &d[0] {
+		t.Fatal("workspace must reuse the backing slice across Get/Put")
+	}
+	for _, v := range m2.Data() {
+		if v != 0 {
+			t.Fatal("GetMatrix must return zeroed contents")
+		}
+	}
+	v := ws.GetVector(7)
+	v[3] = 1
+	ws.PutVector(v)
+	v2 := ws.GetVector(6)
+	if v2[3] != 0 {
+		t.Fatal("GetVector must return zeroed contents")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		mm := ws.GetMatrix(5, 5)
+		vv := ws.GetVector(9)
+		ws.PutVector(vv)
+		ws.PutMatrix(mm)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Get/Put allocated %.1f times per run", allocs)
+	}
+}
+
+func TestDenseReset(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 1, 5)
+	d := m.Data()
+	m.Reset(3, 2)
+	if r, c := m.Dims(); r != 3 || c != 2 {
+		t.Fatalf("Reset dims = %dx%d", r, c)
+	}
+	if &m.Data()[0] != &d[0] {
+		t.Fatal("Reset within capacity must keep the backing slice")
+	}
+	for _, v := range m.Data() {
+		if v != 0 {
+			t.Fatal("Reset must zero contents")
+		}
+	}
+	m.Reset(10, 10) // grows
+	if len(m.Data()) != 100 {
+		t.Fatal("Reset must grow when capacity is exceeded")
+	}
+}

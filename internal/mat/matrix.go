@@ -25,7 +25,9 @@ func New(r, c int) *Dense {
 	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
 }
 
-// NewFromData wraps data (length r*c, row-major) without copying.
+// NewFromData wraps data (length r*c, row-major) without copying: the
+// matrix and the caller's slice alias the same storage from then on, with
+// the same footgun as Data()/RawRow(). Copy first if you need isolation.
 func NewFromData(r, c int, data []float64) *Dense {
 	if len(data) != r*c {
 		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
@@ -97,7 +99,13 @@ func (m *Dense) Row(i int) []float64 {
 	return out
 }
 
-// RawRow returns row i without copying. The caller must not grow it.
+// RawRow returns row i without copying: the slice ALIASES the matrix's
+// backing storage. Writing through it mutates the matrix (and every other
+// alias of that row) silently — there is no copy-on-write. Use it for
+// read-only access in hot loops, or for in-place row updates where that
+// aliasing is the point; anywhere the row must outlive the matrix or be
+// mutated independently, use Row (a copy) instead. The caller must not
+// grow the slice. TestDataRawRowAliasing pins this contract.
 func (m *Dense) RawRow(i int) []float64 {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("mat: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
@@ -158,7 +166,12 @@ func (m *Dense) Clone() *Dense {
 	return out
 }
 
-// Data returns the backing slice (row-major). The caller must not resize it.
+// Data returns the backing slice (row-major) without copying: the slice
+// ALIASES the matrix, exactly like RawRow, so writes through it are writes
+// to the matrix. The read-only distance kernels rely on this for speed;
+// callers that need an independent buffer must Clone() first (or copy the
+// slice) rather than mutate the return value. The caller must not resize
+// it. TestDataRawRowAliasing pins this contract.
 func (m *Dense) Data() []float64 { return m.data }
 
 // T returns the transpose as a new matrix.

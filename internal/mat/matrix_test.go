@@ -55,6 +55,44 @@ func TestRowIsCopyRawRowIsNot(t *testing.T) {
 	}
 }
 
+// TestDataRawRowAliasing pins the aliasing contract documented on Data,
+// RawRow and NewFromData: the returned slices alias the matrix, so
+// mutating them mutates the matrix — and the safe pattern for independent
+// mutation is an explicit copy (Row / Clone / copy of Data).
+func TestDataRawRowAliasing(t *testing.T) {
+	orig := NewFromRows([][]float64{{1, 2}, {3, 4}})
+
+	// Footgun: writing through Data()/RawRow() corrupts the matrix.
+	m := orig.Clone()
+	m.Data()[0] = -7
+	if ApproxEqual(m, orig, 0) {
+		t.Fatal("mutating Data() must be visible through the matrix")
+	}
+	m = orig.Clone()
+	m.RawRow(1)[1] = -7
+	if got := m.At(1, 1); got != -7 {
+		t.Fatalf("mutating RawRow must be visible through the matrix, At(1,1) = %v", got)
+	}
+
+	// NewFromData aliases in the other direction too.
+	backing := []float64{1, 2, 3, 4}
+	w := NewFromData(2, 2, backing)
+	backing[3] = 9
+	if got := w.At(1, 1); got != 9 {
+		t.Fatalf("NewFromData must alias the caller's slice, At(1,1) = %v", got)
+	}
+
+	// Safe usage: copy before mutating. The matrix stays bit-identical.
+	m = orig.Clone()
+	row := append([]float64(nil), m.RawRow(0)...) // or m.Row(0)
+	row[0] = 100
+	buf := append([]float64(nil), m.Data()...)
+	buf[3] = 100
+	if !ApproxEqual(m, orig, 0) {
+		t.Fatal("copy-then-mutate must leave the matrix untouched")
+	}
+}
+
 func TestSetRowSetCol(t *testing.T) {
 	m := New(2, 3)
 	m.SetRow(1, []float64{7, 8, 9})

@@ -1,0 +1,70 @@
+package mat
+
+// Workspace is a free-list of matrices and vectors that amortizes kernel
+// scratch across calls: a fit loop borrows buffers with GetMatrix/
+// GetVector, uses them with the *Into kernels, and returns them with
+// PutMatrix/PutVector (typically via defer, which gives LIFO discipline —
+// repeated identical call sequences then receive the same buffers and
+// reach a zero-allocation steady state).
+//
+// Ownership rules (see "Kernel layer" in DESIGN.md):
+//   - A Workspace is single-owner state: models embed one and use it only
+//     from the goroutine running Fit. It is NOT safe for concurrent use;
+//     parallel fits must use one model (hence one workspace) per worker,
+//     which is how scalemodel's k-fold pool already operates.
+//   - Borrowed buffers are zeroed on Get, so Get is deterministic: results
+//     never depend on what a previous borrower left behind.
+//   - Putting a buffer you did not Get from the same workspace is allowed
+//     (it is just donated to the free list) but pointless.
+//
+// The zero value is ready to use.
+type Workspace struct {
+	mats []*Dense
+	vecs [][]float64
+}
+
+// GetMatrix borrows a zeroed r×c matrix, reusing a returned one when its
+// backing capacity suffices.
+func (w *Workspace) GetMatrix(r, c int) *Dense {
+	if n := len(w.mats); n > 0 {
+		m := w.mats[n-1]
+		w.mats = w.mats[:n-1]
+		return m.Reset(r, c)
+	}
+	return New(r, c)
+}
+
+// PutMatrix returns a borrowed matrix to the free list. The caller must
+// not use m afterwards.
+func (w *Workspace) PutMatrix(m *Dense) {
+	if m == nil {
+		return
+	}
+	w.mats = append(w.mats, m)
+}
+
+// GetVector borrows a zeroed length-n vector.
+func (w *Workspace) GetVector(n int) []float64 {
+	if k := len(w.vecs); k > 0 {
+		v := w.vecs[k-1]
+		w.vecs = w.vecs[:k-1]
+		if cap(v) < n {
+			return make([]float64, n)
+		}
+		v = v[:n]
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	return make([]float64, n)
+}
+
+// PutVector returns a borrowed vector to the free list. The caller must
+// not use v afterwards.
+func (w *Workspace) PutVector(v []float64) {
+	if v == nil {
+		return
+	}
+	w.vecs = append(w.vecs, v)
+}

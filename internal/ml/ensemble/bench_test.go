@@ -1,0 +1,32 @@
+package ensemble
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// BenchmarkFitGBM measures repeated gradient-boosting fits on one model
+// instance; the per-node split-search buffers inside the tree learner are
+// the allocation hot path.
+func BenchmarkFitGBM(b *testing.B) {
+	const n, c = 200, 10
+	rng := rand.New(rand.NewPCG(17, 0x77a))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 3*x.At(i, 0) - x.At(i, 1)*x.At(i, 2) + 0.1*rng.NormFloat64()
+	}
+	m := &GradientBoosting{NRounds: 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package linmodel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// benchData builds a deterministic regression problem: a dominant linear
+// signal plus noise, the shape of the scaling datasets in §6.
+func benchData(n, c int, seed uint64) (*mat.Dense, []float64) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xbe9c))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 3*x.At(i, 0) - 2*x.At(i, 1) + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// BenchmarkFitOLS measures repeated OLS fits on one model instance — the
+// rolling-retrain pattern where the workspace amortizes normal-equation
+// scratch across calls.
+func BenchmarkFitOLS(b *testing.B) {
+	x, y := benchData(200, 20, 1)
+	m := &LinearRegression{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitLASSO measures repeated coordinate-descent lasso fits on one
+// model instance.
+func BenchmarkFitLASSO(b *testing.B) {
+	x, y := benchData(300, 29, 2)
+	m := &Lasso{Alpha: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -30,6 +30,19 @@ type Lasso struct {
 	scaleX    []float64
 	meanY     float64
 	fitted    bool
+	ws        mat.Workspace
+}
+
+// growZeroed resizes s to n, reusing capacity, with all elements zero.
+func growZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 func (m *Lasso) params() (alpha, l1ratio float64, maxIter int, tol float64) {
@@ -78,12 +91,19 @@ func (m *Lasso) Fit(X *mat.Dense, y []float64) error {
 		return errors.New("linmodel: empty training set")
 	}
 
-	// Standardize X, center y.
-	m.meanX = make([]float64, c)
-	m.scaleX = make([]float64, c)
-	xs := mat.New(r, c)
+	// Standardize X, center y. The standardized design is stored
+	// TRANSPOSED (c×r): coordinate descent walks one column per update, so
+	// keeping each column contiguous turns the rho and residual loops into
+	// unit-stride sweeps. Values and operation order match the row-major
+	// form exactly.
+	m.meanX = growZeroed(m.meanX, c)
+	m.scaleX = growZeroed(m.scaleX, c)
+	xsT := m.ws.GetMatrix(c, r)
+	defer m.ws.PutMatrix(xsT)
+	colBuf := m.ws.GetVector(r)
+	defer m.ws.PutVector(colBuf)
 	for j := 0; j < c; j++ {
-		col := X.Col(j)
+		col := X.ColInto(colBuf, j)
 		mean := 0.0
 		for _, v := range col {
 			mean += v
@@ -100,8 +120,9 @@ func (m *Lasso) Fit(X *mat.Dense, y []float64) error {
 			scale = 1
 		}
 		m.meanX[j], m.scaleX[j] = mean, scale
+		xrow := xsT.RawRow(j)
 		for i := 0; i < r; i++ {
-			xs.Set(i, j, (col[i]-mean)/scale)
+			xrow[i] = (col[i] - mean) / scale
 		}
 	}
 	m.meanY = 0
@@ -109,21 +130,21 @@ func (m *Lasso) Fit(X *mat.Dense, y []float64) error {
 		m.meanY += v
 	}
 	m.meanY /= float64(r)
-	yc := make([]float64, r)
-	for i, v := range y {
-		yc[i] = v - m.meanY
-	}
 
 	n := float64(r)
-	beta := make([]float64, c)
-	resid := append([]float64(nil), yc...) // residual = yc − Xs·beta
+	beta := growZeroed(m.coef, c)
+	resid := m.ws.GetVector(r) // residual = yc − Xs·beta
+	defer m.ws.PutVector(resid)
+	for i, v := range y {
+		resid[i] = v - m.meanY
+	}
 	// Column squared norms (constant under standardization but compute to
 	// be safe with near-constant columns).
-	colSq := make([]float64, c)
+	colSq := m.ws.GetVector(c)
+	defer m.ws.PutVector(colSq)
 	for j := 0; j < c; j++ {
 		s := 0.0
-		for i := 0; i < r; i++ {
-			v := xs.At(i, j)
+		for _, v := range xsT.RawRow(j) {
 			s += v * v
 		}
 		colSq[j] = s
@@ -138,17 +159,18 @@ func (m *Lasso) Fit(X *mat.Dense, y []float64) error {
 				continue
 			}
 			old := beta[j]
+			xrow := xsT.RawRow(j)
 			// rho = x_jᵀ(resid + x_j·beta_j)
 			rho := 0.0
-			for i := 0; i < r; i++ {
-				rho += xs.At(i, j) * resid[i]
+			for i, xv := range xrow {
+				rho += xv * resid[i]
 			}
 			rho += colSq[j] * old
 			newBeta := softThreshold(rho, l1Pen) / (colSq[j] + l2Pen)
 			if newBeta != old {
 				d := newBeta - old
-				for i := 0; i < r; i++ {
-					resid[i] -= d * xs.At(i, j)
+				for i, xv := range xrow {
+					resid[i] -= d * xv
 				}
 				beta[j] = newBeta
 				if ad := math.Abs(d); ad > maxDelta {
@@ -162,7 +184,10 @@ func (m *Lasso) Fit(X *mat.Dense, y []float64) error {
 	}
 
 	m.coef = beta
-	m.rawCoef = make([]float64, c)
+	if cap(m.rawCoef) < c {
+		m.rawCoef = make([]float64, c)
+	}
+	m.rawCoef = m.rawCoef[:c]
 	m.intercept = m.meanY
 	for j := 0; j < c; j++ {
 		m.rawCoef[j] = beta[j] / m.scaleX[j]
@@ -273,8 +298,9 @@ func LassoPath(X *mat.Dense, y []float64, nAlphas int, epsRatio float64) ([]Path
 	path := make([]PathPoint, 0, nAlphas)
 	ratio := math.Pow(epsRatio, 1/float64(nAlphas-1))
 	alpha := alphaMax
+	m := &Lasso{} // one instance: workspace scratch amortizes across the path
 	for k := 0; k < nAlphas; k++ {
-		m := &Lasso{Alpha: alpha}
+		m.Alpha = alpha
 		if err := m.Fit(X, y); err != nil {
 			return nil, err
 		}

@@ -26,10 +26,13 @@ type LinearRegression struct {
 	intercept float64
 	fitted    bool
 	nClasses  int // set by FitClasses for PredictClass clamping
+	ws        mat.Workspace
 }
 
 // Fit estimates the coefficients by solving the (regularized) normal
-// equations.
+// equations. All scratch (augmented design, Gram matrix, Cholesky factor)
+// is borrowed from the model's workspace, so refitting the same instance —
+// the rolling-retrain pattern — is allocation-free at steady state.
 func (m *LinearRegression) Fit(X *mat.Dense, y []float64) error {
 	r, c := X.Dims()
 	if r != len(y) {
@@ -39,32 +42,43 @@ func (m *LinearRegression) Fit(X *mat.Dense, y []float64) error {
 		return errors.New("linmodel: empty training set")
 	}
 	// Augment with an intercept column.
-	aug := mat.New(r, c+1)
+	n := c + 1
+	aug := m.ws.GetMatrix(r, n)
+	defer m.ws.PutMatrix(aug)
 	for i := 0; i < r; i++ {
-		aug.Set(i, 0, 1)
-		for j := 0; j < c; j++ {
-			aug.Set(i, j+1, X.At(i, j))
-		}
+		row := aug.RawRow(i)
+		row[0] = 1
+		copy(row[1:], X.RawRow(i))
 	}
-	at := aug.T()
-	ata := mat.Mul(at, aug)
+	ata := m.ws.GetMatrix(n, n)
+	defer m.ws.PutMatrix(ata)
+	mat.SymRankKInto(ata, aug)
 	if m.Ridge > 0 {
-		n := c + 1
 		for j := 1; j < n; j++ { // do not penalize the intercept
 			ata.Set(j, j, ata.At(j, j)+m.Ridge)
 		}
 	}
-	atb := at.MulVec(y)
-	sol, err := mat.SolveCholesky(ata, atb)
-	if err != nil {
-		// Fall back to the regularized least-squares solver.
-		sol, err = mat.SolveLeastSquares(aug, y)
-		if err != nil {
-			return err
-		}
+	atb := m.ws.GetVector(n)
+	defer m.ws.PutVector(atb)
+	mat.MulTransVecInto(atb, aug, y)
+	l := m.ws.GetMatrix(n, n)
+	defer m.ws.PutMatrix(l)
+	sol := m.ws.GetVector(n)
+	defer m.ws.PutVector(sol)
+	scratch := m.ws.GetVector(n)
+	defer m.ws.PutVector(scratch)
+	if err := mat.CholeskyInto(l, ata); err == nil {
+		mat.CholSolveInto(sol, l, atb, scratch)
+	} else if err := mat.SolveLeastSquaresInto(sol, aug, y, &m.ws); err != nil {
+		// The regularized least-squares fallback also failed.
+		return err
 	}
 	m.intercept = sol[0]
-	m.coef = sol[1:]
+	if cap(m.coef) < c {
+		m.coef = make([]float64, c)
+	}
+	m.coef = m.coef[:c]
+	copy(m.coef, sol[1:])
 	m.fitted = true
 	return nil
 }

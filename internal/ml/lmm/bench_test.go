@@ -1,0 +1,34 @@
+package lmm
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// BenchmarkFitLMM measures repeated EM fits of the mixed model on one
+// instance: the per-group E step (ZΨZᵀ, inverse, conditional covariance)
+// is the allocation hot path the in-place kernels target.
+func BenchmarkFitLMM(b *testing.B) {
+	const n, c, groups = 96, 3, 4
+	rng := rand.New(rand.NewPCG(7, 0x1e44))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	g := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		g[i] = i % groups
+		y[i] = 2*x.At(i, 0) + float64(g[i])*0.5 + 0.1*rng.NormFloat64()
+	}
+	m := &LMM{Groups: g, MaxIter: 25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -32,6 +32,7 @@ type LMM struct {
 	sigma2  float64           // residual variance
 	nAug    int               // len(beta)
 	fitted  bool
+	ws      mat.Workspace // EM scratch, reused across Fit calls
 }
 
 func (m *LMM) params() (iters int, tol float64) {
@@ -89,15 +90,47 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 	}
 	sort.Ints(groupIDs)
 
-	// Design with intercept.
-	xa := mat.New(r, q)
+	// Design with intercept, built row-by-row from workspace storage.
+	ws := &m.ws
+	nG := len(groupIDs)
+	xa := ws.GetMatrix(r, q)
+	defer ws.PutMatrix(xa)
 	for i := 0; i < r; i++ {
-		xa.SetRow(i, augment(X.RawRow(i)))
+		row := xa.RawRow(i)
+		row[0] = 1
+		copy(row[1:], X.RawRow(i))
 	}
 
-	// Initialize with OLS.
-	beta, err := mat.SolveLeastSquares(xa, y)
-	if err != nil {
+	// The M step solves the same normal equations xaᵀxa·β = xaᵀrhs every
+	// iteration: xa never changes, so factor the Gram matrix ONCE and reuse
+	// the Cholesky factor for every solve. When the plain factorization
+	// fails we fall back to the full least-squares path (ridge ladder) per
+	// call, which is exactly what SolveLeastSquares did every iteration.
+	ata := ws.GetMatrix(q, q)
+	defer ws.PutMatrix(ata)
+	mat.SymRankKInto(ata, xa)
+	chol := ws.GetMatrix(q, q)
+	defer ws.PutMatrix(chol)
+	atb := ws.GetVector(q)
+	defer ws.PutVector(atb)
+	solveScratch := ws.GetVector(q)
+	defer ws.PutVector(solveScratch)
+	cholOK := mat.CholeskyInto(chol, ata) == nil
+	solve := func(dst, rhs []float64) error {
+		if cholOK {
+			mat.MulTransVecInto(atb, xa, rhs)
+			mat.CholSolveInto(dst, chol, atb, solveScratch)
+			return nil
+		}
+		return mat.SolveLeastSquaresInto(dst, xa, rhs, ws)
+	}
+
+	// Initialize with OLS. beta/newBeta and psi/newPsi are double buffers
+	// swapped each iteration; they are freshly allocated per fit because
+	// they survive as m.beta/m.psi after Fit returns.
+	beta := make([]float64, q)
+	newBeta := make([]float64, q)
+	if err := solve(beta, y); err != nil {
 		return err
 	}
 	resid := residuals(xa, y, beta)
@@ -105,70 +138,122 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 	if sigma2 < 1e-12 {
 		sigma2 = 1e-12
 	}
-	psi := mat.Identity(q)
+	psi := mat.New(q, q)
+	newPsi := mat.New(q, q)
 	for i := 0; i < q; i++ {
 		psi.Set(i, i, sigma2)
 	}
 
+	// Per-group design blocks Z depend only on the grouping, not the EM
+	// state: build them once, outside the loop. condCov buffers persist
+	// from the E step into the Ψ update of the same iteration.
+	zs := make([]*mat.Dense, nG)
+	condCov := make([]*mat.Dense, nG)
 	bhat := map[int][]float64{}
+	for gi, g := range groupIDs {
+		rows := rowsOf[g]
+		z := ws.GetMatrix(len(rows), q)
+		for k, i := range rows {
+			copy(z.RawRow(k), xa.RawRow(i))
+		}
+		zs[gi] = z
+		condCov[gi] = ws.GetMatrix(q, q)
+		bhat[g] = make([]float64, q)
+	}
+	defer func() {
+		for gi := nG - 1; gi >= 0; gi-- {
+			ws.PutMatrix(condCov[gi])
+			ws.PutMatrix(zs[gi])
+		}
+	}()
+	adj := ws.GetVector(r)
+	defer ws.PutVector(adj)
+
 	for iter := 0; iter < iters; iter++ {
-		// E step per group.
-		condCov := map[int]*mat.Dense{}
-		for _, g := range groupIDs {
+		// E step per group. Scratch is borrowed per group and returned at
+		// the end of the block; buffer capacities ratchet up to the largest
+		// group during the first iteration and reuse thereafter.
+		for gi, g := range groupIDs {
 			rows := rowsOf[g]
 			ng := len(rows)
-			z := mat.New(ng, q)
-			rg := make([]float64, ng)
+			z := zs[gi]
+			rg := ws.GetVector(ng)
 			for k, i := range rows {
-				z.SetRow(k, xa.RawRow(i))
 				rg[k] = y[i] - mat.Dot(xa.RawRow(i), beta)
 			}
-			// V = ZΨZᵀ + σ²I
-			v := mat.Mul(mat.Mul(z, psi), z.T())
+			// V = ZΨZᵀ + σ²I. ZΨZᵀ is NOT exactly symmetric in floating
+			// point, so it must be computed with the same orientation as
+			// the original Mul(Mul(z, psi), z.T()) chain — a symmetric
+			// rank-k kernel here would change low-order bits.
+			zp := ws.GetMatrix(ng, q)
+			mat.MulInto(zp, z, psi)
+			v := ws.GetMatrix(ng, ng)
+			mat.MulTransBInto(v, zp, z)
 			for i := 0; i < ng; i++ {
 				v.Set(i, i, v.At(i, i)+sigma2)
 			}
-			vInv, err := mat.Inverse(v)
-			if err != nil {
+			vInv := ws.GetMatrix(ng, ng)
+			if err := mat.InverseInto(vInv, v, ws); err != nil {
 				return fmt.Errorf("lmm: singular marginal covariance for group %d: %w", g, err)
 			}
-			pzt := mat.Mul(psi, z.T())
-			bg := mat.Mul(pzt, vInv).MulVec(rg)
-			bhat[g] = bg
+			pzt := ws.GetMatrix(q, ng)
+			mat.MulTransBInto(pzt, psi, z) // ΨZᵀ
+			pv := ws.GetMatrix(q, ng)
+			mat.MulInto(pv, pzt, vInv)
+			pv.MulVecInto(bhat[g], rg)
 			// C = Ψ − ΨZᵀV⁻¹ZΨ
-			condCov[g] = mat.Sub(psi, mat.Mul(mat.Mul(pzt, vInv), pzt.T()))
+			tmp := ws.GetMatrix(q, q)
+			mat.MulTransBInto(tmp, pv, pzt)
+			mat.SubInto(condCov[gi], psi, tmp)
+			ws.PutMatrix(tmp)
+			ws.PutMatrix(pv)
+			ws.PutMatrix(pzt)
+			ws.PutMatrix(vInv)
+			ws.PutMatrix(v)
+			ws.PutMatrix(zp)
+			ws.PutVector(rg)
 		}
 
 		// M step: β from residuals after subtracting random effects.
-		adj := make([]float64, r)
 		for i := 0; i < r; i++ {
 			adj[i] = y[i]
 			if bg, ok := bhat[groups[i]]; ok && groups[i] >= 0 {
 				adj[i] -= mat.Dot(xa.RawRow(i), bg)
 			}
 		}
-		newBeta, err := mat.SolveLeastSquares(xa, adj)
-		if err != nil {
+		if err := solve(newBeta, adj); err != nil {
 			return err
 		}
 
 		// σ² and Ψ updates.
 		sse := 0.0
-		for _, g := range groupIDs {
+		for gi, g := range groupIDs {
 			rows := rowsOf[g]
+			bg := bhat[g]
 			for _, i := range rows {
-				e := y[i] - mat.Dot(xa.RawRow(i), newBeta) - mat.Dot(xa.RawRow(i), bhat[g])
+				e := y[i] - mat.Dot(xa.RawRow(i), newBeta) - mat.Dot(xa.RawRow(i), bg)
 				sse += e * e
 			}
-			// Trace term: tr(Z C Zᵀ).
-			z := mat.New(len(rows), q)
-			for k, i := range rows {
-				z.SetRow(k, xa.RawRow(i))
+			// Trace term tr(Z C Zᵀ): only the diagonal of ZCZᵀ is needed,
+			// so compute ZC and accumulate each row's dot with the matching
+			// Z row — same contributions in the same order as the full
+			// product's diagonal, at O(ng·q) instead of O(ng²·q).
+			z := zs[gi]
+			ng := len(rows)
+			zc := ws.GetMatrix(ng, q)
+			mat.MulInto(zc, z, condCov[gi])
+			for i := 0; i < ng; i++ {
+				zrow := z.RawRow(i)
+				s := 0.0
+				for k, cv := range zc.RawRow(i) {
+					if cv == 0 {
+						continue
+					}
+					s += cv * zrow[k]
+				}
+				sse += s
 			}
-			zcz := mat.Mul(mat.Mul(z, condCov[g]), z.T())
-			for i := 0; i < len(rows); i++ {
-				sse += zcz.At(i, i)
-			}
+			ws.PutMatrix(zc)
 		}
 		// Rows outside any group contribute plain residuals.
 		for i, g := range groups {
@@ -182,17 +267,20 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 			newSigma2 = 1e-12
 		}
 
-		newPsi := mat.New(q, q)
-		if len(rowsOf) > 0 {
-			for _, g := range groupIDs {
+		for i := range newPsi.Data() {
+			newPsi.Data()[i] = 0
+		}
+		if nG > 0 {
+			for gi, g := range groupIDs {
 				bg := bhat[g]
+				cc := condCov[gi]
 				for a := 0; a < q; a++ {
 					for b := 0; b < q; b++ {
-						newPsi.Set(a, b, newPsi.At(a, b)+bg[a]*bg[b]+condCov[g].At(a, b))
+						newPsi.Set(a, b, newPsi.At(a, b)+bg[a]*bg[b]+cc.At(a, b))
 					}
 				}
 			}
-			newPsi = mat.Scale(1/float64(len(rowsOf)), newPsi)
+			mat.ScaleInto(newPsi, 1/float64(nG), newPsi)
 		}
 		// Keep Ψ from collapsing to exact singularity.
 		for i := 0; i < q; i++ {
@@ -203,7 +291,9 @@ func (m *LMM) Fit(X *mat.Dense, y []float64) error {
 		for j := range beta {
 			delta += math.Abs(newBeta[j] - beta[j])
 		}
-		beta, sigma2, psi = newBeta, newSigma2, newPsi
+		beta, newBeta = newBeta, beta
+		psi, newPsi = newPsi, psi
+		sigma2 = newSigma2
 		if delta < tol {
 			break
 		}

@@ -49,6 +49,7 @@ type MARS struct {
 	terms  []basis
 	coef   []float64
 	fitted bool
+	ws     mat.Workspace // refit scratch shared across the forward/pruning passes
 }
 
 func (m *MARS) params() (maxTerms int, penalty float64) {
@@ -98,7 +99,7 @@ func (m *MARS) Fit(X *mat.Dense, y []float64) error {
 				cand := append(append([]basis(nil), terms...),
 					basis{feature: j, knot: t},
 					basis{feature: j, knot: t, mirrored: true})
-				_, sse, err := fitCoef(cand, X, y)
+				_, sse, err := fitCoef(cand, X, y, &m.ws)
 				if err != nil {
 					continue
 				}
@@ -112,7 +113,7 @@ func (m *MARS) Fit(X *mat.Dense, y []float64) error {
 			break
 		}
 		// Require meaningful improvement to avoid degenerate knots.
-		_, curSSE, err := fitCoef(terms, X, y)
+		_, curSSE, err := fitCoef(terms, X, y, &m.ws)
 		if err == nil && bestSSE > curSSE*(1-1e-6) {
 			break
 		}
@@ -121,7 +122,7 @@ func (m *MARS) Fit(X *mat.Dense, y []float64) error {
 
 	// Backward pruning by GCV.
 	bestTerms := terms
-	bestGCV := gcvScore(terms, X, y, penalty)
+	bestGCV := gcvScore(terms, X, y, penalty, &m.ws)
 	pruned := terms
 	for len(pruned) > 1 {
 		bestSub := []basis(nil)
@@ -130,7 +131,7 @@ func (m *MARS) Fit(X *mat.Dense, y []float64) error {
 			sub := make([]basis, 0, len(pruned)-1)
 			sub = append(sub, pruned[:drop]...)
 			sub = append(sub, pruned[drop+1:]...)
-			g := gcvScore(sub, X, y, penalty)
+			g := gcvScore(sub, X, y, penalty, &m.ws)
 			if g < bestSubGCV {
 				bestSubGCV = g
 				bestSub = sub
@@ -146,7 +147,7 @@ func (m *MARS) Fit(X *mat.Dense, y []float64) error {
 		}
 	}
 
-	coef, _, err := fitCoef(bestTerms, X, y)
+	coef, _, err := fitCoef(bestTerms, X, y, &m.ws)
 	if err != nil {
 		return err
 	}
@@ -156,25 +157,28 @@ func (m *MARS) Fit(X *mat.Dense, y []float64) error {
 	return nil
 }
 
-func designFor(terms []basis, X *mat.Dense) *mat.Dense {
+// fitCoef solves the least-squares fit for one candidate term set. The
+// design matrix, solver scratch, and prediction buffer are all borrowed
+// from ws: the forward pass calls this for every candidate knot, so the
+// per-call allocation is just the returned coefficient slice.
+func fitCoef(terms []basis, X *mat.Dense, y []float64, ws *mat.Workspace) (coef []float64, sse float64, err error) {
 	r := X.Rows()
-	d := mat.New(r, len(terms))
+	d := ws.GetMatrix(r, len(terms))
+	defer ws.PutMatrix(d)
 	for i := 0; i < r; i++ {
 		row := X.RawRow(i)
+		drow := d.RawRow(i)
 		for k, t := range terms {
-			d.Set(i, k, t.eval(row))
+			drow[k] = t.eval(row)
 		}
 	}
-	return d
-}
-
-func fitCoef(terms []basis, X *mat.Dense, y []float64) (coef []float64, sse float64, err error) {
-	d := designFor(terms, X)
-	coef, err = mat.SolveLeastSquares(d, y)
-	if err != nil {
+	coef = make([]float64, len(terms))
+	if err = mat.SolveLeastSquaresInto(coef, d, y, ws); err != nil {
 		return nil, 0, err
 	}
-	pred := d.MulVec(coef)
+	pred := ws.GetVector(r)
+	defer ws.PutVector(pred)
+	d.MulVecInto(pred, coef)
 	for i, p := range pred {
 		diff := y[i] - p
 		sse += diff * diff
@@ -182,8 +186,8 @@ func fitCoef(terms []basis, X *mat.Dense, y []float64) (coef []float64, sse floa
 	return coef, sse, nil
 }
 
-func gcvScore(terms []basis, X *mat.Dense, y []float64, penalty float64) float64 {
-	_, sse, err := fitCoef(terms, X, y)
+func gcvScore(terms []basis, X *mat.Dense, y []float64, penalty float64, ws *mat.Workspace) float64 {
+	_, sse, err := fitCoef(terms, X, y, ws)
 	if err != nil {
 		return math.Inf(1)
 	}

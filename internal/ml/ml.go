@@ -94,6 +94,18 @@ func (s *Standardizer) Transform(X *mat.Dense) *mat.Dense {
 	return out
 }
 
+// TransformInto standardizes X into dst (same shape) without allocating
+// and returns dst. Bit-identical to Transform.
+func (s *Standardizer) TransformInto(dst, X *mat.Dense) *mat.Dense {
+	r, c := X.Dims()
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			dst.Set(i, j, (X.At(i, j)-s.Mean[j])/s.Scale[j])
+		}
+	}
+	return dst
+}
+
 // TransformRow standardizes a single observation.
 func (s *Standardizer) TransformRow(x []float64) []float64 {
 	out := make([]float64, len(x))

@@ -40,6 +40,7 @@ type MLP struct {
 	yMean   float64
 	yScale  float64
 	fitted  bool
+	ws      mat.Workspace // training scratch, reused across Fit calls
 }
 
 func (m *MLP) params() (hidden []int, epochs int, lr float64) {
@@ -70,11 +71,15 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 	}
 	hidden, epochs, lr := m.params()
 
+	ws := &m.ws
 	var xs *mat.Dense
-	ys := make([]float64, r)
+	ys := ws.GetVector(r)
+	defer ws.PutVector(ys)
 	if m.Standardize {
 		m.std = ml.FitStandardizer(X)
-		xs = m.std.Transform(X)
+		sx := ws.GetMatrix(r, c)
+		defer ws.PutMatrix(sx)
+		xs = m.std.TransformInto(sx, X)
 		m.yMean, m.yScale = meanStd(y)
 		for i, v := range y {
 			ys[i] = (v - m.yMean) / m.yScale
@@ -82,66 +87,93 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 	} else {
 		m.std = nil
 		m.yMean, m.yScale = 0, 1
-		xs = X.Clone()
+		xs = X // read-only below, no copy needed
 		copy(ys, y)
 	}
 
 	sizes := append(append([]int{c}, hidden...), 1)
 	nLayers := len(sizes) - 1
 	rng := rand.New(rand.NewPCG(m.Seed, m.Seed^0x5eed))
-	m.weights = make([]*mat.Dense, nLayers)
-	m.biases = make([][]float64, nLayers)
+	// Weights and biases persist as model state, so they are model-owned
+	// (not workspace-borrowed) and recycled across fits when shapes allow.
+	if len(m.weights) != nLayers {
+		m.weights = make([]*mat.Dense, nLayers)
+		m.biases = make([][]float64, nLayers)
+	}
 	for l := 0; l < nLayers; l++ {
 		in, out := sizes[l], sizes[l+1]
-		w := mat.New(out, in)
+		if m.weights[l] == nil {
+			m.weights[l] = mat.New(out, in)
+		} else {
+			m.weights[l].Reset(out, in)
+		}
+		w := m.weights[l]
 		scale := math.Sqrt(2 / float64(in)) // He initialization for ReLU
 		for i := 0; i < out; i++ {
 			for j := 0; j < in; j++ {
 				w.Set(i, j, rng.NormFloat64()*scale)
 			}
 		}
-		m.weights[l] = w
-		m.biases[l] = make([]float64, out)
+		if cap(m.biases[l]) < out {
+			m.biases[l] = make([]float64, out)
+		} else {
+			m.biases[l] = m.biases[l][:out]
+			for i := range m.biases[l] {
+				m.biases[l][i] = 0
+			}
+		}
 	}
 
-	// Adam state.
+	// Adam state (borrowed zeroed from the workspace, as Adam starts from
+	// zero moments each fit).
 	mw := make([]*mat.Dense, nLayers)
 	vw := make([]*mat.Dense, nLayers)
 	mb := make([][]float64, nLayers)
 	vb := make([][]float64, nLayers)
-	for l := 0; l < nLayers; l++ {
-		o, in := m.weights[l].Dims()
-		mw[l], vw[l] = mat.New(o, in), mat.New(o, in)
-		mb[l], vb[l] = make([]float64, o), make([]float64, o)
-	}
-	const beta1, beta2, epsAdam = 0.9, 0.999, 1e-8
-
-	// Per-sample activation and pre-activation buffers, allocated once:
-	// the training loop below reuses them every epoch.
-	acts := make([][][]float64, r) // per sample, per layer activation
-	pre := make([][][]float64, r)  // pre-activation values
-	for i := range acts {
-		acts[i] = make([][]float64, nLayers+1)
-		pre[i] = make([][]float64, nLayers)
-		acts[i][0] = xs.RawRow(i)
-		for l := 0; l < nLayers; l++ {
-			pre[i][l] = make([]float64, sizes[l+1])
-			acts[i][l+1] = make([]float64, sizes[l+1])
-		}
-	}
-	// Back-propagation delta buffers, one per layer width.
-	deltas := make([][]float64, nLayers+1)
-	for l := 0; l <= nLayers; l++ {
-		deltas[l] = make([]float64, sizes[l])
-	}
-
 	gw := make([]*mat.Dense, nLayers)
 	gb := make([][]float64, nLayers)
 	for l := 0; l < nLayers; l++ {
 		o, in := m.weights[l].Dims()
-		gw[l] = mat.New(o, in)
-		gb[l] = make([]float64, o)
+		mw[l], vw[l], gw[l] = ws.GetMatrix(o, in), ws.GetMatrix(o, in), ws.GetMatrix(o, in)
+		mb[l], vb[l], gb[l] = ws.GetVector(o), ws.GetVector(o), ws.GetVector(o)
 	}
+	defer func() {
+		for l := nLayers - 1; l >= 0; l-- {
+			ws.PutVector(gb[l])
+			ws.PutVector(vb[l])
+			ws.PutVector(mb[l])
+			ws.PutMatrix(gw[l])
+			ws.PutMatrix(vw[l])
+			ws.PutMatrix(mw[l])
+		}
+	}()
+	const beta1, beta2, epsAdam = 0.9, 0.999, 1e-8
+
+	// ONE set of per-layer activation / pre-activation buffers, shared by
+	// every sample: the forward pass fully overwrites them and the backward
+	// pass consumes them before the next sample, so per-sample storage
+	// (r copies) would be pure waste. acts[0] is repointed at the current
+	// sample's input row each step.
+	acts := make([][]float64, nLayers+1)
+	pre := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		pre[l] = ws.GetVector(sizes[l+1])
+		acts[l+1] = ws.GetVector(sizes[l+1])
+	}
+	// Back-propagation delta buffers, one per layer width.
+	deltas := make([][]float64, nLayers+1)
+	for l := 0; l <= nLayers; l++ {
+		deltas[l] = ws.GetVector(sizes[l])
+	}
+	defer func() {
+		for l := nLayers; l >= 0; l-- {
+			ws.PutVector(deltas[l])
+		}
+		for l := nLayers - 1; l >= 0; l-- {
+			ws.PutVector(acts[l+1])
+			ws.PutVector(pre[l])
+		}
+	}()
 
 	step := 0
 	for epoch := 0; epoch < epochs; epoch++ {
@@ -157,9 +189,10 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 		}
 		// Forward + backward, full batch.
 		for i := 0; i < r; i++ {
-			a := acts[i][0]
+			acts[0] = xs.RawRow(i)
+			a := acts[0]
 			for l := 0; l < nLayers; l++ {
-				z := pre[i][l]
+				z := pre[l]
 				for k := range z {
 					row := m.weights[l].RawRow(k)
 					s := m.biases[l][k]
@@ -168,7 +201,7 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 					}
 					z[k] = s
 				}
-				out := acts[i][l+1]
+				out := acts[l+1]
 				if l < nLayers-1 {
 					for k, v := range z {
 						if v > 0 {
@@ -182,12 +215,12 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 				}
 				a = out
 			}
-			diff := acts[i][nLayers][0] - ys[i]
+			diff := acts[nLayers][0] - ys[i]
 			// Backward.
 			delta := deltas[nLayers][:1]
 			delta[0] = 2 * diff / float64(r)
 			for l := nLayers - 1; l >= 0; l-- {
-				aPrev := acts[i][l]
+				aPrev := acts[l]
 				g := gw[l]
 				for o := range delta {
 					row := g.RawRow(o)
@@ -213,7 +246,7 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 					}
 				}
 				for j := range prevDelta {
-					if pre[i][l-1][j] <= 0 {
+					if pre[l-1][j] <= 0 {
 						prevDelta[j] = 0
 					}
 				}

@@ -1,0 +1,31 @@
+package svm
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// BenchmarkFitSVR measures repeated dual coordinate-descent SVR fits on
+// one model instance; the Gram-matrix build dominates allocation.
+func BenchmarkFitSVR(b *testing.B) {
+	const n, c = 60, 5
+	rng := rand.New(rand.NewPCG(13, 0x5e2))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 2*x.At(i, 0) + 0.1*rng.NormFloat64()
+	}
+	m := &SVR{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -47,6 +47,7 @@ type SVR struct {
 	yScale float64
 	gamma  float64
 	fitted bool
+	ws     mat.Workspace // fit scratch (kernel matrix, duals), reused across fits
 }
 
 func (m *SVR) params() (c, eps float64, iters int) {
@@ -91,7 +92,14 @@ func (m *SVR) Fit(X *mat.Dense, y []float64) error {
 	boxC, eps, iters := m.params()
 
 	m.std = ml.FitStandardizer(X)
-	xs := m.std.Transform(X)
+	// The standardized rows persist as support vectors, so they live in a
+	// model-owned matrix recycled across fits, not workspace scratch.
+	if m.sv == nil {
+		m.sv = mat.New(r, c)
+	} else {
+		m.sv.Reset(r, c)
+	}
+	xs := m.std.TransformInto(m.sv, X)
 
 	// Standardize the target so C and ε are scale-free.
 	m.yMean = 0
@@ -108,7 +116,8 @@ func (m *SVR) Fit(X *mat.Dense, y []float64) error {
 	if m.yScale < 1e-12 {
 		m.yScale = 1
 	}
-	ys := make([]float64, r)
+	ys := m.ws.GetVector(r)
+	defer m.ws.PutVector(ys)
 	for i, v := range y {
 		ys[i] = (v - m.yMean) / m.yScale
 	}
@@ -120,8 +129,10 @@ func (m *SVR) Fit(X *mat.Dense, y []float64) error {
 		m.gamma = 1 / float64(c)
 	}
 
-	// Precompute the kernel matrix.
-	K := mat.New(r, r)
+	// Precompute the kernel matrix in workspace scratch — at tens of rows
+	// this is the dominant allocation of a fit.
+	K := m.ws.GetMatrix(r, r)
+	defer m.ws.PutMatrix(K)
 	for i := 0; i < r; i++ {
 		for j := i; j < r; j++ {
 			k := m.kernel(xs.RawRow(i), xs.RawRow(j))
@@ -140,8 +151,16 @@ func (m *SVR) Fit(X *mat.Dense, y []float64) error {
 	// solved exactly one coordinate at a time: the 1-D subproblem has the
 	// closed form β_i = clip(soft(y_i − s_i, ε)/K_ii, ±C) with s_i the
 	// contribution of the other coordinates.
-	beta := make([]float64, r)
-	kb := make([]float64, r) // kb = K·β, maintained incrementally
+	if cap(m.beta) < r {
+		m.beta = make([]float64, r)
+	}
+	m.beta = m.beta[:r]
+	beta := m.beta
+	for i := range beta {
+		beta[i] = 0
+	}
+	kb := m.ws.GetVector(r) // kb = K·β, maintained incrementally
+	defer m.ws.PutVector(kb)
 	for it := 0; it < iters; it++ {
 		maxStep := 0.0
 		for i := 0; i < r; i++ {
@@ -197,8 +216,6 @@ func (m *SVR) Fit(X *mat.Dense, y []float64) error {
 		m.b /= float64(r)
 	}
 
-	m.sv = xs
-	m.beta = beta
 	m.fitted = true
 	return nil
 }

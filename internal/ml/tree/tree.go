@@ -51,6 +51,67 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// splitScratch is fit-scoped scratch for the split search, hoisted out of
+// the per-node loops: the sort buffers, candidate-feature list, partition
+// space and class counters are sized once per Fit and reused at every node
+// instead of being re-allocated per candidate feature per node.
+type splitScratch struct {
+	reg       regSorter
+	clf       clfSorter
+	cands     []int
+	part      []int
+	parentCnt []int
+	leftCnt   []int
+	rightCnt  []int
+	majCnt    []int
+}
+
+func (s *splitScratch) prepare(r int) {
+	if cap(s.part) < r {
+		s.part = make([]int, r)
+	}
+	s.part = s.part[:r]
+}
+
+// candidates returns the feature indices to scan at one node: the sampler
+// callback when set (random forests draw a fresh subset per node), else a
+// cached identity list.
+func (s *splitScratch) candidates(c int, p Params) []int {
+	if p.FeatureSel != nil {
+		return p.FeatureSel(c)
+	}
+	if cap(s.cands) < c {
+		s.cands = make([]int, c)
+		for i := range s.cands {
+			s.cands[i] = i
+		}
+	}
+	return s.cands[:c]
+}
+
+type regPair struct{ x, y float64 }
+
+// regSorter orders split pairs by feature value through sort.Sort; unlike
+// sort.Slice there is no per-call closure, and (both being the same
+// pattern-defeating quicksort) the permutation — including tie order — is
+// identical.
+type regSorter struct{ p []regPair }
+
+func (s *regSorter) Len() int           { return len(s.p) }
+func (s *regSorter) Less(a, b int) bool { return s.p[a].x < s.p[b].x }
+func (s *regSorter) Swap(a, b int)      { s.p[a], s.p[b] = s.p[b], s.p[a] }
+
+type clfPair struct {
+	x   float64
+	cls int
+}
+
+type clfSorter struct{ p []clfPair }
+
+func (s *clfSorter) Len() int           { return len(s.p) }
+func (s *clfSorter) Less(a, b int) bool { return s.p[a].x < s.p[b].x }
+func (s *clfSorter) Swap(a, b int)      { s.p[a], s.p[b] = s.p[b], s.p[a] }
+
 // Regressor is a CART regression tree minimizing within-node variance.
 type Regressor struct {
 	Params
@@ -58,6 +119,7 @@ type Regressor struct {
 	root        *node
 	importances []float64
 	fitted      bool
+	scr         splitScratch
 }
 
 // Fit grows the tree on X, y.
@@ -75,6 +137,10 @@ func (t *Regressor) Fit(X *mat.Dense, y []float64) error {
 		idx[i] = i
 	}
 	t.importances = make([]float64, c)
+	t.scr.prepare(r)
+	if cap(t.scr.reg.p) < r {
+		t.scr.reg.p = make([]regPair, r)
+	}
 	t.root = t.grow(X, y, idx, 0, p)
 	normalize(t.importances)
 	t.fitted = true
@@ -108,11 +174,11 @@ func (t *Regressor) grow(X *mat.Dense, y []float64, idx []int, depth int, p Para
 	if parentSSE < 1e-12 {
 		return n
 	}
-	feat, thr, gain := bestSplitReg(X, y, idx, p)
+	feat, thr, gain := bestSplitReg(X, y, idx, p, &t.scr)
 	if feat < 0 || gain <= 1e-12 {
 		return n
 	}
-	left, right := partition(X, idx, feat, thr)
+	left, right := partition(X, idx, feat, thr, t.scr.part)
 	if len(left) < p.MinSamplesLeaf || len(right) < p.MinSamplesLeaf {
 		return n
 	}
@@ -126,9 +192,9 @@ func (t *Regressor) grow(X *mat.Dense, y []float64, idx []int, depth int, p Para
 
 // bestSplitReg scans candidate features for the split maximizing SSE
 // reduction, using sorted prefix sums per feature.
-func bestSplitReg(X *mat.Dense, y []float64, idx []int, p Params) (feat int, thr, gain float64) {
+func bestSplitReg(X *mat.Dense, y []float64, idx []int, p Params, scr *splitScratch) (feat int, thr, gain float64) {
 	feat = -1
-	cands := candidateFeatures(X.Cols(), p)
+	cands := scr.candidates(X.Cols(), p)
 	// Parent statistics.
 	var sumAll, sqAll float64
 	for _, i := range idx {
@@ -138,13 +204,13 @@ func bestSplitReg(X *mat.Dense, y []float64, idx []int, p Params) (feat int, thr
 	n := float64(len(idx))
 	parentSSE := sqAll - sumAll*sumAll/n
 
-	type pair struct{ x, y float64 }
-	buf := make([]pair, len(idx))
+	scr.reg.p = scr.reg.p[:len(idx)]
+	buf := scr.reg.p
 	for _, f := range cands {
 		for k, i := range idx {
-			buf[k] = pair{X.At(i, f), y[i]}
+			buf[k] = regPair{X.At(i, f), y[i]}
 		}
-		sort.Slice(buf, func(a, b int) bool { return buf[a].x < buf[b].x })
+		sort.Sort(&scr.reg)
 		var sumL, sqL float64
 		for k := 0; k < len(buf)-1; k++ {
 			sumL += buf[k].y
@@ -172,26 +238,24 @@ func bestSplitReg(X *mat.Dense, y []float64, idx []int, p Params) (feat int, thr
 	return feat, thr, gain
 }
 
-func partition(X *mat.Dense, idx []int, feat int, thr float64) (left, right []int) {
+// partition splits idx in place: rows at or below the threshold are
+// compacted to the front (preserving order), the rest staged through tmp
+// and copied behind them. The returned slices alias disjoint halves of
+// idx, so sibling recursions stay independent, and the stable order
+// matches the old append-based partition exactly.
+func partition(X *mat.Dense, idx []int, feat int, thr float64, tmp []int) (left, right []int) {
+	nl, nr := 0, 0
 	for _, i := range idx {
 		if X.At(i, feat) <= thr {
-			left = append(left, i)
+			idx[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			tmp[nr] = i
+			nr++
 		}
 	}
-	return left, right
-}
-
-func candidateFeatures(c int, p Params) []int {
-	if p.FeatureSel != nil {
-		return p.FeatureSel(c)
-	}
-	out := make([]int, c)
-	for i := range out {
-		out[i] = i
-	}
-	return out
+	copy(idx[nl:], tmp[:nr])
+	return idx[:nl], idx[nl:]
 }
 
 // Predict walks the tree for x.
@@ -250,6 +314,7 @@ type Classifier struct {
 	nClasses    int
 	importances []float64
 	fitted      bool
+	scr         splitScratch
 }
 
 // FitClasses grows the classification tree.
@@ -273,14 +338,30 @@ func (t *Classifier) FitClasses(X *mat.Dense, y []int) error {
 		idx[i] = i
 	}
 	t.importances = make([]float64, c)
+	t.scr.prepare(r)
+	if cap(t.scr.clf.p) < r {
+		t.scr.clf.p = make([]clfPair, r)
+	}
+	if cap(t.scr.parentCnt) < t.nClasses {
+		t.scr.parentCnt = make([]int, t.nClasses)
+		t.scr.leftCnt = make([]int, t.nClasses)
+		t.scr.rightCnt = make([]int, t.nClasses)
+		t.scr.majCnt = make([]int, t.nClasses)
+	}
+	t.scr.parentCnt = t.scr.parentCnt[:t.nClasses]
+	t.scr.leftCnt = t.scr.leftCnt[:t.nClasses]
+	t.scr.rightCnt = t.scr.rightCnt[:t.nClasses]
+	t.scr.majCnt = t.scr.majCnt[:t.nClasses]
 	t.root = t.growClf(X, y, idx, 0, p)
 	normalize(t.importances)
 	t.fitted = true
 	return nil
 }
 
-func majority(y []int, idx []int, k int) int {
-	counts := make([]int, k)
+func majority(y []int, idx []int, counts []int) int {
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, i := range idx {
 		counts[y[i]]++
 	}
@@ -303,7 +384,7 @@ func gini(counts []int, n float64) float64 {
 }
 
 func (t *Classifier) growClf(X *mat.Dense, y []int, idx []int, d int, p Params) *node {
-	n := &node{feature: -1, value: float64(majority(y, idx, t.nClasses)), samples: len(idx)}
+	n := &node{feature: -1, value: float64(majority(y, idx, t.scr.majCnt)), samples: len(idx)}
 	if d >= p.MaxDepth || len(idx) < p.MinSamplesSplit {
 		return n
 	}
@@ -321,7 +402,7 @@ func (t *Classifier) growClf(X *mat.Dense, y []int, idx []int, d int, p Params) 
 	if feat < 0 || gain <= 1e-12 {
 		return n
 	}
-	left, right := partition(X, idx, feat, thr)
+	left, right := partition(X, idx, feat, thr, t.scr.part)
 	if len(left) < p.MinSamplesLeaf || len(right) < p.MinSamplesLeaf {
 		return n
 	}
@@ -335,26 +416,27 @@ func (t *Classifier) growClf(X *mat.Dense, y []int, idx []int, d int, p Params) 
 
 func (t *Classifier) bestSplitClf(X *mat.Dense, y []int, idx []int, p Params) (feat int, thr, gain float64) {
 	feat = -1
-	cands := candidateFeatures(X.Cols(), p)
+	scr := &t.scr
+	cands := scr.candidates(X.Cols(), p)
 	n := float64(len(idx))
-	parentCounts := make([]int, t.nClasses)
+	parentCounts := scr.parentCnt
+	for i := range parentCounts {
+		parentCounts[i] = 0
+	}
 	for _, i := range idx {
 		parentCounts[y[i]]++
 	}
 	parentGini := gini(parentCounts, n)
 
-	type pair struct {
-		x   float64
-		cls int
-	}
-	buf := make([]pair, len(idx))
-	leftCounts := make([]int, t.nClasses)
-	rightCounts := make([]int, t.nClasses)
+	scr.clf.p = scr.clf.p[:len(idx)]
+	buf := scr.clf.p
+	leftCounts := scr.leftCnt
+	rightCounts := scr.rightCnt
 	for _, f := range cands {
 		for k, i := range idx {
-			buf[k] = pair{X.At(i, f), y[i]}
+			buf[k] = clfPair{X.At(i, f), y[i]}
 		}
-		sort.Slice(buf, func(a, b int) bool { return buf[a].x < buf[b].x })
+		sort.Sort(&scr.clf)
 		for c := range leftCounts {
 			leftCounts[c] = 0
 		}
