@@ -11,7 +11,10 @@
 // with the median, which is robust to scheduler noise. Comparison prints
 // one row per benchmark present in either file with the ns/op delta; pass
 // -threshold P to exit non-zero when any shared benchmark regresses its
-// ns/op by more than P percent.
+// ns/op OR its allocs/op by more than P percent. Allocation regressions on
+// a zero-alloc baseline have no percentage, so any new allocation there
+// fails the gate outright — protecting the kernel layer's zero-alloc wins
+// behind `make bench-check`.
 package main
 
 import (
@@ -45,7 +48,7 @@ func main() {
 	var (
 		parse     = flag.String("parse", "", "parse `go test -bench` text output from this file (- for stdin)")
 		out       = flag.String("o", "BENCH.json", "with -parse: where to write the JSON snapshot")
-		threshold = flag.Float64("threshold", 0, "with two snapshots: exit 1 if any ns/op regression exceeds this percent (0 = report only)")
+		threshold = flag.Float64("threshold", 0, "with two snapshots: exit 1 if any ns/op or allocs/op regression exceeds this percent (any alloc increase over a zero-alloc baseline fails; 0 = report only)")
 	)
 	flag.Parse()
 
@@ -56,7 +59,7 @@ func main() {
 	case flag.NArg() == 2:
 		err = runDiff(flag.Arg(0), flag.Arg(1), *threshold)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse BENCH.txt [-o BENCH.json] | benchdiff old.json new.json [-threshold P]")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse BENCH.txt [-o BENCH.json] | benchdiff [-threshold P] old.json new.json")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -192,6 +195,11 @@ func runDiff(oldPath, newPath string, threshold float64) error {
 			if threshold > 0 && delta > threshold {
 				regressed = append(regressed, fmt.Sprintf("%s (+%.1f%%)", n, delta))
 			}
+			if threshold > 0 {
+				if bad, desc := allocRegressed(o.AllocsPerOp, nw.AllocsPerOp, threshold); bad {
+					regressed = append(regressed, fmt.Sprintf("%s (allocs %s)", n, desc))
+				}
+			}
 		}
 	}
 	if len(regressed) > 0 {
@@ -200,6 +208,25 @@ func runDiff(oldPath, newPath string, threshold float64) error {
 			len(regressed), threshold, strings.Join(regressed, ", "))
 	}
 	return nil
+}
+
+// allocRegressed decides whether an allocs/op change fails the gate. Both
+// snapshots need -benchmem data (-1 means absent). A benchmark whose
+// baseline is zero allocs/op fails on any increase — percentages are
+// meaningless against zero, and the zero-alloc steady states are exactly
+// the wins the gate exists to protect. Otherwise the same percentage
+// threshold as ns/op applies.
+func allocRegressed(old, cur, threshold float64) (bad bool, desc string) {
+	if old < 0 || cur < 0 || cur <= old {
+		return false, ""
+	}
+	if old == 0 {
+		return true, fmt.Sprintf("0→%.0f", cur)
+	}
+	if pct := 100 * (cur - old) / old; pct > threshold {
+		return true, fmt.Sprintf("+%.1f%%", pct)
+	}
+	return false, ""
 }
 
 func allocDelta(prev, cur float64) string {

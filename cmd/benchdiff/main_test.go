@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	name, ns, bytes, allocs, ok := parseBenchLine(
@@ -27,6 +33,65 @@ func TestParseBenchLine(t *testing.T) {
 		if _, _, _, _, ok := parseBenchLine(bad); ok {
 			t.Fatalf("line %q should not parse", bad)
 		}
+	}
+}
+
+func TestAllocRegressed(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, cur float64
+		want     bool
+		desc     string
+	}{
+		{"no benchmem old", -1, 5, false, ""},
+		{"no benchmem new", 5, -1, false, ""},
+		{"improvement", 10, 8, false, ""},
+		{"unchanged", 10, 10, false, ""},
+		{"both zero", 0, 0, false, ""},
+		{"zero baseline gains alloc", 0, 1, true, "0→1"},
+		{"under threshold", 100, 110, false, ""},
+		{"over threshold", 100, 150, true, "+50.0%"},
+	}
+	for _, c := range cases {
+		bad, desc := allocRegressed(c.old, c.cur, 20)
+		if bad != c.want || desc != c.desc {
+			t.Errorf("%s: allocRegressed(%v, %v, 20) = (%v, %q), want (%v, %q)",
+				c.name, c.old, c.cur, bad, desc, c.want, c.desc)
+		}
+	}
+}
+
+// TestRunDiffAllocGate runs the full diff path: a benchmark whose ns/op is
+// flat but whose allocs/op grew from zero must fail the -threshold gate.
+func TestRunDiffAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap := func(name string, allocs float64) string {
+		p := filepath.Join(dir, name)
+		s := Snapshot{Benchmarks: map[string]Result{
+			"BenchmarkFit-8": {Samples: 6, NsPerOp: 1000, BPerOp: 0, AllocsPerOp: allocs},
+		}}
+		data, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := writeSnap("old.json", 0)
+	newPath := writeSnap("new.json", 3)
+
+	if err := runDiff(oldPath, newPath, 20); err == nil {
+		t.Fatal("zero-alloc baseline gaining 3 allocs/op must fail the gate")
+	} else if !strings.Contains(err.Error(), "allocs 0→3") {
+		t.Fatalf("error should name the alloc regression, got: %v", err)
+	}
+	if err := runDiff(oldPath, newPath, 0); err != nil {
+		t.Fatalf("threshold 0 is report-only, got: %v", err)
+	}
+	if err := runDiff(oldPath, oldPath, 20); err != nil {
+		t.Fatalf("identical snapshots must pass, got: %v", err)
 	}
 }
 

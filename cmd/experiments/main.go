@@ -13,6 +13,12 @@
 // With -run all the experiments execute concurrently, bounded by -j
 // workers; outputs are still printed in paper order and are byte-identical
 // to a serial run (per-experiment timings go to stderr, not stdout).
+//
+// Observability: -metrics-addr ADDR serves Prometheus metrics on /metrics
+// and live pprof profiles under /debug/pprof/ while the suite runs;
+// -trace-out FILE dumps the pipeline stage-tracing spans as JSON on exit.
+// Both write only to stderr, files, and HTTP, so stdout stays
+// byte-identical with instrumentation on or off.
 package main
 
 import (
@@ -23,86 +29,114 @@ import (
 
 	"wpred/internal/bench"
 	"wpred/internal/experiments"
+	"wpred/internal/obs"
 	"wpred/internal/parallel"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		run    = flag.String("run", "", "experiment id to regenerate, or \"all\"")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		seed   = flag.Uint64("seed", 42, "randomness seed (42 reproduces EXPERIMENTS.md)")
-		quick  = flag.Bool("quick", false, "reduced-size runs: same shapes, faster")
-		format = flag.String("format", "text", "output format: text or markdown")
-		target = flag.String("target", "", "robustness experiment target workload (default YCSB)")
-		jobs   = flag.Int("j", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
+		runID       = flag.String("run", "", "experiment id to regenerate, or \"all\"")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		seed        = flag.Uint64("seed", 42, "randomness seed (42 reproduces EXPERIMENTS.md)")
+		quick       = flag.Bool("quick", false, "reduced-size runs: same shapes, faster")
+		format      = flag.String("format", "text", "output format: text or markdown")
+		target      = flag.String("target", "", "robustness experiment target workload (default YCSB)")
+		jobs        = flag.Int("j", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics (/metrics) and pprof profiles (/debug/pprof/) on this address, e.g. :9090")
+		traceOut    = flag.String("trace-out", "", "write stage-tracing spans as JSON to this file on exit")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "markdown" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
 	if *jobs < 0 {
 		fmt.Fprintf(os.Stderr, "experiments: -j must be >= 0, got %d\n", *jobs)
-		os.Exit(2)
+		return 2
 	}
 	parallel.SetMaxWorkers(*jobs)
 	if *target != "" {
 		w, err := bench.ByName(*target)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(2)
+			return 2
 		}
 		if w.PlanOnly {
 			fmt.Fprintf(os.Stderr, "experiments: workload %q is plan-only and cannot be a robustness target\n", *target)
-			os.Exit(2)
+			return 2
 		}
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: debug endpoint on http://%s (metrics: /metrics, pprof: /debug/pprof/)\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		obs.SetTracing(true)
+		obs.ResetTrace()
+		defer func() {
+			if err := obs.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+			}
+		}()
 	}
 
 	if *list {
 		for _, r := range experiments.Runners() {
 			fmt.Printf("%-10s %s\n", r.ID, r.Description)
 		}
-		return
+		return 0
 	}
-	if *run == "" {
+	if *runID == "" {
 		fmt.Fprintln(os.Stderr, "usage: experiments -run <id>|all [-seed N] [-quick] [-j N]; -list shows ids")
-		os.Exit(2)
+		return 2
 	}
 
 	suite := experiments.NewSuite(*seed)
 	suite.Quick = *quick
 	suite.RobustnessTarget = *target
 
-	if *run == "all" {
+	if *runID == "all" {
 		runners := experiments.Runners()
 		outs, err := parallel.Map(len(runners), func(i int) (string, error) {
 			return renderOne(suite, runners[i], *format)
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, out := range outs {
 			fmt.Print(out)
 		}
-		return
+		return 0
 	}
-	r, ok := experiments.RunnerByID(*run)
+	r, ok := experiments.RunnerByID(*runID)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *run)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *runID)
+		return 2
 	}
 	out, err := renderOne(suite, r, *format)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(out)
+	return 0
 }
 
 // renderOne runs one experiment and returns its formatted block. Wall-clock
 // timing goes to stderr so stdout stays deterministic across -j settings.
 func renderOne(suite *experiments.Suite, r experiments.Runner, format string) (string, error) {
+	sp := obs.StartSpan("experiment." + r.ID)
 	start := time.Now()
 	var out string
 	var err error
@@ -111,6 +145,7 @@ func renderOne(suite *experiments.Suite, r experiments.Runner, format string) (s
 	} else {
 		out, err = r.Run(suite)
 	}
+	sp.End()
 	if err != nil {
 		return "", fmt.Errorf("%s: %w", r.ID, err)
 	}

@@ -10,14 +10,54 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"wpred/internal/distance"
 	"wpred/internal/featsel"
 	"wpred/internal/fingerprint"
+	"wpred/internal/obs"
 	"wpred/internal/roofline"
 	"wpred/internal/scalemodel"
 	"wpred/internal/simeval"
 	"wpred/internal/telemetry"
+)
+
+// Pipeline telemetry (see "Observability" in DESIGN.md): per-stage
+// wall-clock histograms for Train (sanitize, featsel) and Predict
+// (sanitize, similarity, scalemodel), dropped-experiment counters fed by
+// the fault layer's sanitization rejections, and run counters by outcome.
+// The matching tracing spans are pipeline.train / pipeline.predict with
+// one child span per stage.
+func stageSeconds(op, stage string) *obs.Histogram {
+	return obs.GetHistogram("wpred_pipeline_stage_duration_seconds",
+		"Wall-clock duration of pipeline stages, by operation and stage.",
+		obs.DefBuckets, obs.Labels{"op": op, "stage": stage})
+}
+
+func runCounter(op, status string) *obs.Counter {
+	return obs.GetCounter("wpred_pipeline_runs_total",
+		"Pipeline Train/Predict calls, by operation and outcome.",
+		obs.Labels{"op": op, "status": status})
+}
+
+var (
+	trainSanitizeSeconds   = stageSeconds("train", "sanitize")
+	trainFeatselSeconds    = stageSeconds("train", "featsel")
+	predictSanitizeSeconds = stageSeconds("predict", "sanitize")
+	predictSimilarSeconds  = stageSeconds("predict", "similarity")
+	predictScaleSeconds    = stageSeconds("predict", "scalemodel")
+
+	droppedTrain = obs.GetCounter("wpred_pipeline_dropped_experiments_total",
+		"Experiments rejected by sanitization, by pipeline stage.",
+		obs.Labels{"stage": "train"})
+	droppedPredict = obs.GetCounter("wpred_pipeline_dropped_experiments_total",
+		"Experiments rejected by sanitization, by pipeline stage.",
+		obs.Labels{"stage": "predict"})
+
+	trainOK    = runCounter("train", "ok")
+	trainErr   = runCounter("train", "error")
+	predictOK  = runCounter("predict", "ok")
+	predictErr = runCounter("predict", "error")
 )
 
 // Config selects the pipeline's algorithms; the zero value reproduces the
@@ -126,6 +166,11 @@ func (p *Pipeline) sanitize(exps []*telemetry.Experiment, stage string) []*telem
 			p.dropped = append(p.dropped, DroppedExperiment{
 				ID: rep.ID, Workload: e.Workload, Stage: stage, Report: rep,
 			})
+			if stage == "train" {
+				droppedTrain.Inc()
+			} else {
+				droppedPredict.Inc()
+			}
 			continue
 		}
 		kept = append(kept, s)
@@ -140,11 +185,29 @@ func (p *Pipeline) sanitize(exps []*telemetry.Experiment, stage string) []*telem
 // ErrTooFewReferences only when fewer than Config.MinValidRefs references
 // survive sanitization.
 func (p *Pipeline) Train(refs []*telemetry.Experiment) error {
+	sp := obs.StartSpan("pipeline.train")
+	sp.SetAttr("refs", strconv.Itoa(len(refs)))
+	err := p.train(refs, sp)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		trainErr.Inc()
+	} else {
+		sp.SetAttr("selected", strconv.Itoa(len(p.selected)))
+		trainOK.Inc()
+	}
+	sp.End()
+	return err
+}
+
+func (p *Pipeline) train(refs []*telemetry.Experiment, sp *obs.Span) error {
 	if len(refs) == 0 {
 		return ErrNoReferences
 	}
 	p.dropped = nil
+	ssp := sp.Child("sanitize")
 	kept := p.sanitize(refs, "train")
+	ssp.SetAttr("dropped", strconv.Itoa(len(p.dropped)))
+	trainSanitizeSeconds.ObserveDuration(ssp.End())
 	if len(kept) < p.cfg.MinValidRefs {
 		return &InsufficientReferencesError{
 			Usable: len(kept), Total: len(refs), Min: p.cfg.MinValidRefs,
@@ -153,6 +216,8 @@ func (p *Pipeline) Train(refs []*telemetry.Experiment) error {
 	}
 	p.refs = kept
 
+	fsp := sp.Child("featsel")
+	defer func() { trainFeatselSeconds.ObserveDuration(fsp.End()) }()
 	// One sub-experiment row per systematic sample, labeled by workload.
 	var subs []*telemetry.Experiment
 	for _, e := range p.refs {
@@ -209,13 +274,31 @@ type Prediction struct {
 // SKU pair — for example because its runs were rejected during Train —
 // the next-nearest reference is used instead.
 func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) (*Prediction, error) {
+	sp := obs.StartSpan("pipeline.predict")
+	sp.SetAttr("targets", strconv.Itoa(len(target)))
+	sp.SetAttr("to_sku", toSKU.String())
+	pred, err := p.predict(target, toSKU, sp)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		predictErr.Inc()
+	} else {
+		sp.SetAttr("nearest", pred.NearestReference)
+		predictOK.Inc()
+	}
+	sp.End()
+	return pred, err
+}
+
+func (p *Pipeline) predict(target []*telemetry.Experiment, toSKU telemetry.SKU, sp *obs.Span) (*Prediction, error) {
 	if len(p.refs) == 0 {
 		return nil, ErrNotTrained
 	}
 	if len(target) == 0 {
 		return nil, ErrNoTargets
 	}
+	ssp := sp.Child("sanitize")
 	usable := p.sanitize(target, "predict")
+	predictSanitizeSeconds.ObserveDuration(ssp.End())
 	if len(usable) == 0 {
 		return nil, fmt.Errorf("%w: sanitization rejected all %d", ErrNoUsableTargets, len(target))
 	}
@@ -226,7 +309,9 @@ func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) 
 		}
 	}
 
+	msp := sp.Child("similarity")
 	ranked, dists, err := p.similarTo(usable, fromSKU)
+	predictSimilarSeconds.ObserveDuration(msp.End())
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +322,8 @@ func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) 
 	}
 	observed /= float64(len(usable))
 
+	csp := sp.Child("scalemodel")
+	defer func() { predictScaleSeconds.ObserveDuration(csp.End()) }()
 	var lastErr error
 	for _, nearest := range ranked {
 		pred, err := p.scaleVia(nearest, fromSKU, toSKU, observed)
@@ -244,6 +331,7 @@ func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) 
 			lastErr = err
 			continue
 		}
+		csp.SetAttr("reference", nearest)
 		pred.NearestReference = nearest
 		pred.Distances = dists
 		pred.FromSKU, pred.ToSKU = fromSKU, toSKU

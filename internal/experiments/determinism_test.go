@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
 	"wpred/internal/distance"
 	"wpred/internal/fingerprint"
+	"wpred/internal/obs"
 	"wpred/internal/parallel"
 	"wpred/internal/telemetry"
 )
@@ -143,6 +146,69 @@ func TestSimMatrixDeterministicAndCached(t *testing.T) {
 				t.Fatalf("matrix differs at (%d,%d): %v serial vs %v with 8 workers",
 					i, j, serial[i][j], wide[i][j])
 			}
+		}
+	}
+}
+
+// TestOutputUnchangedWithObservability is the instrumentation half of the
+// determinism contract: rendering an experiment with tracing enabled and
+// the metrics endpoint live must produce byte-identical output, because
+// the obs layer writes only to stderr, files, and HTTP. figure11 runs the
+// full end-to-end pipeline, so the run exercises the stage spans, the
+// parallel-pool metrics, the pairwise cache, and the workspace counters.
+func TestOutputUnchangedWithObservability(t *testing.T) {
+	render := func() string {
+		s := NewSuite(42)
+		s.Quick = true
+		r, ok := RunnerByID("figure11")
+		if !ok {
+			t.Fatal("figure11 runner missing")
+		}
+		out, err := r.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain := render()
+
+	prevTracing := obs.SetTracing(true)
+	defer obs.SetTracing(prevTracing)
+	srv, err := obs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	instrumented := render()
+	if instrumented != plain {
+		t.Fatalf("output changed with observability enabled:\n--- plain ---\n%s\n--- instrumented ---\n%s", plain, instrumented)
+	}
+
+	// The live endpoint must expose the metric families the run fed:
+	// pipeline stage durations, pool traffic, cache counters, workspace
+	// traffic — in Prometheus text format.
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"# TYPE wpred_pipeline_stage_duration_seconds histogram",
+		"wpred_pipeline_stage_duration_seconds_bucket",
+		"wpred_parallel_tasks_completed_total",
+		"wpred_paircache_misses_total",
+		"wpred_workspace_gets_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Fatalf("/metrics missing %q:\n%s", family, body)
 		}
 	}
 }

@@ -1,5 +1,23 @@
 package mat
 
+import "wpred/internal/obs"
+
+// Workspace traffic metrics, aggregated across every workspace in the
+// process. In a zero-allocation steady state gets equals puts and the
+// alloc/ratchet counters stop growing; a climbing ratchet count means call
+// sites keep borrowing ever-larger buffers and the free list never
+// stabilizes.
+var (
+	wsGets = obs.GetCounter("wpred_workspace_gets_total",
+		"Buffers borrowed from workspace free lists.", nil)
+	wsPuts = obs.GetCounter("wpred_workspace_puts_total",
+		"Buffers returned to workspace free lists.", nil)
+	wsAllocs = obs.GetCounter("wpred_workspace_allocs_total",
+		"Gets served by a fresh allocation because the free list was empty.", nil)
+	wsRatchets = obs.GetCounter("wpred_workspace_ratchets_total",
+		"Ratchet events: a recycled buffer's capacity had to grow to satisfy a Get.", nil)
+)
+
 // Workspace is a free-list of matrices and vectors that amortizes kernel
 // scratch across calls: a fit loop borrows buffers with GetMatrix/
 // GetVector, uses them with the *Into kernels, and returns them with
@@ -26,11 +44,16 @@ type Workspace struct {
 // GetMatrix borrows a zeroed r×c matrix, reusing a returned one when its
 // backing capacity suffices.
 func (w *Workspace) GetMatrix(r, c int) *Dense {
+	wsGets.Inc()
 	if n := len(w.mats); n > 0 {
 		m := w.mats[n-1]
 		w.mats = w.mats[:n-1]
+		if cap(m.data) < r*c {
+			wsRatchets.Inc()
+		}
 		return m.Reset(r, c)
 	}
+	wsAllocs.Inc()
 	return New(r, c)
 }
 
@@ -40,15 +63,18 @@ func (w *Workspace) PutMatrix(m *Dense) {
 	if m == nil {
 		return
 	}
+	wsPuts.Inc()
 	w.mats = append(w.mats, m)
 }
 
 // GetVector borrows a zeroed length-n vector.
 func (w *Workspace) GetVector(n int) []float64 {
+	wsGets.Inc()
 	if k := len(w.vecs); k > 0 {
 		v := w.vecs[k-1]
 		w.vecs = w.vecs[:k-1]
 		if cap(v) < n {
+			wsRatchets.Inc()
 			return make([]float64, n)
 		}
 		v = v[:n]
@@ -57,6 +83,7 @@ func (w *Workspace) GetVector(n int) []float64 {
 		}
 		return v
 	}
+	wsAllocs.Inc()
 	return make([]float64, n)
 }
 
@@ -66,5 +93,6 @@ func (w *Workspace) PutVector(v []float64) {
 	if v == nil {
 		return
 	}
+	wsPuts.Inc()
 	w.vecs = append(w.vecs, v)
 }

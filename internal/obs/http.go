@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug mux: /metrics serves the Default registry in
+// Prometheus text exposition format, and /debug/pprof/... serves the
+// standard runtime profiles (heap, goroutine, CPU profile, execution
+// trace). The root path lists the endpoints.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = defaultRegistry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "wpred debug endpoint\n\n/metrics\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	// Addr is the bound address (resolves ":0" to the chosen port).
+	Addr string
+	srv  *http.Server
+}
+
+// Serve starts the debug endpoint on addr in a background goroutine and
+// returns once the listener is bound, so the reported Addr is ready to
+// scrape. Close shuts it down.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close immediately shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of work — a pipeline stage, an experiment
+// runner, a fan-out batch. Spans always measure (End returns the duration
+// regardless of settings, so callers can feed duration histograms from the
+// same timestamps), but they are only *recorded* for later export when
+// tracing is enabled with SetTracing.
+//
+// A Span is owned by the goroutine that started it; Child spans may be
+// handed to other goroutines. All methods are nil-safe, so optional
+// instrumentation can pass spans around without guarding.
+type Span struct {
+	id, parent uint64
+	name       string
+	start      time.Time
+	attrs      map[string]string
+	ended      bool
+}
+
+var spanID atomic.Uint64
+
+// MaxTraceSpans bounds the in-memory trace buffer; once full, further
+// spans are counted as dropped rather than retained, so long-running
+// processes cannot leak memory through tracing.
+const MaxTraceSpans = 1 << 16
+
+var tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped uint64
+}
+
+// SetTracing enables or disables span recording and returns the previous
+// setting. Disabling does not clear already-recorded spans (see ResetTrace).
+func SetTracing(on bool) (prev bool) { return tracer.enabled.Swap(on) }
+
+// TracingEnabled reports whether spans are currently recorded.
+func TracingEnabled() bool { return tracer.enabled.Load() }
+
+// ResetTrace discards every recorded span and the dropped count.
+func ResetTrace() {
+	tracer.mu.Lock()
+	tracer.spans, tracer.dropped = nil, 0
+	tracer.mu.Unlock()
+}
+
+// StartSpan starts a root span.
+func StartSpan(name string) *Span {
+	return &Span{id: spanID.Add(1), name: name, start: time.Now()}
+}
+
+// Child starts a span parented to s. On a nil receiver it starts a root
+// span, so instrumented code need not check whether a parent exists.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return StartSpan(name)
+	}
+	return &Span{id: spanID.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// SetAttr attaches a key/value attribute to the span (last write per key
+// wins). Attributes are exported with the span when tracing is enabled.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End stops the span and returns its duration. The first End records the
+// span into the trace buffer when tracing is enabled; later Ends only
+// return the (re-measured) duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	if !tracer.enabled.Load() {
+		return d
+	}
+	rec := SpanRecord{
+		ID:            s.id,
+		Parent:        s.parent,
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		DurationNanos: d.Nanoseconds(),
+		Attrs:         s.attrs,
+	}
+	tracer.mu.Lock()
+	if len(tracer.spans) >= MaxTraceSpans {
+		tracer.dropped++
+	} else {
+		tracer.spans = append(tracer.spans, rec)
+	}
+	tracer.mu.Unlock()
+	return d
+}
+
+// SpanRecord is the exported form of one completed span. Records appear in
+// End order, so children precede their parents; consumers reconstruct the
+// tree through the Parent links.
+type SpanRecord struct {
+	ID            uint64            `json:"id"`
+	Parent        uint64            `json:"parent,omitempty"`
+	Name          string            `json:"name"`
+	StartUnixNano int64             `json:"start_unix_nano"`
+	DurationNanos int64             `json:"duration_ns"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+}
+
+// TakeTrace returns the recorded spans plus the number dropped at the
+// buffer cap, clearing both.
+func TakeTrace() (spans []SpanRecord, dropped uint64) {
+	tracer.mu.Lock()
+	spans, dropped = tracer.spans, tracer.dropped
+	tracer.spans, tracer.dropped = nil, 0
+	tracer.mu.Unlock()
+	return spans, dropped
+}
+
+type traceDoc struct {
+	Spans   []SpanRecord `json:"spans"`
+	Dropped uint64       `json:"dropped,omitempty"`
+}
+
+// WriteTraceJSON writes a snapshot of the recorded spans as indented JSON
+// without clearing the buffer.
+func WriteTraceJSON(w io.Writer) error {
+	tracer.mu.Lock()
+	doc := traceDoc{Spans: append([]SpanRecord(nil), tracer.spans...), Dropped: tracer.dropped}
+	tracer.mu.Unlock()
+	if doc.Spans == nil {
+		doc.Spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteTraceFile writes the trace snapshot to path (the -trace-out flag of
+// the binaries).
+func WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTraceJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

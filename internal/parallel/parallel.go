@@ -24,7 +24,28 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"wpred/internal/obs"
 )
+
+// Pool metrics (see "Observability" in DESIGN.md). Counters and gauges are
+// single atomic operations, so the per-task overhead is negligible next to
+// the model fits and distance evaluations the pool runs.
+var (
+	tasksStarted = obs.GetCounter("wpred_parallel_tasks_started_total",
+		"Tasks handed to a worker (or run inline when the bound is 1).", nil)
+	tasksCompleted = obs.GetCounter("wpred_parallel_tasks_completed_total",
+		"Tasks finished, successful or failed.", nil)
+	workersBusy = obs.GetGauge("wpred_parallel_workers_busy",
+		"Workers currently executing a task; utilization = busy/max.", nil)
+	workersMax = obs.GetGauge("wpred_parallel_workers_max",
+		"Process-wide worker bound (SetMaxWorkers, default GOMAXPROCS).", nil)
+	queueWait = obs.GetHistogram("wpred_parallel_queue_wait_seconds",
+		"Time a task waited between fan-out start and pickup.", obs.DefBuckets, nil)
+)
+
+func init() { workersMax.Set(float64(MaxWorkers())) }
 
 // maxWorkers is the process-wide worker bound; 0 means GOMAXPROCS.
 var maxWorkers atomic.Int64
@@ -38,6 +59,7 @@ func SetMaxWorkers(n int) int {
 		n = 0
 	}
 	maxWorkers.Store(int64(n))
+	workersMax.Set(float64(MaxWorkers()))
 	return prev
 }
 
@@ -66,9 +88,15 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	out := make([]T, n)
+	t0 := time.Now()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			tasksStarted.Inc()
+			queueWait.Observe(time.Since(t0).Seconds())
+			workersBusy.Add(1)
 			v, err := fn(i)
+			workersBusy.Add(-1)
+			tasksCompleted.Inc()
 			if err != nil {
 				return nil, err
 			}
@@ -97,7 +125,12 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 				if i > firstErr.Load() {
 					continue // short-circuit past the lowest known failure
 				}
+				tasksStarted.Inc()
+				queueWait.Observe(time.Since(t0).Seconds())
+				workersBusy.Add(1)
 				v, err := fn(int(i))
+				workersBusy.Add(-1)
+				tasksCompleted.Inc()
 				if err != nil {
 					errs[i] = err
 					for {

@@ -1,0 +1,50 @@
+package simeval
+
+import (
+	"testing"
+)
+
+// BenchmarkPairCacheLookupParallel measures lookup throughput on a
+// cache-hot key set under every-goroutine contention — the access pattern
+// of figures that revisit a distance matrix another experiment already
+// computed. Before lookups moved to RLock + atomic counters, every read
+// took the full write lock just to bump hit/miss counts, serializing all
+// workers; with the fix, parallel lookups scale with the core count
+// instead of degrading below the serial rate.
+func BenchmarkPairCacheLookupParallel(b *testing.B) {
+	c := NewPairCache()
+	const nkeys = 1024
+	keys := make([]pairKey, nkeys)
+	for i := range keys {
+		keys[i] = pairKey{ns: "bench", metric: "L2,1", i: i, j: i + 1}
+		c.store(keys[i], float64(i))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok := c.lookup(keys[i%nkeys]); !ok {
+				b.Fatal("prepopulated key missed")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkPairCacheLookupSerial is the single-goroutine baseline for the
+// parallel benchmark above.
+func BenchmarkPairCacheLookupSerial(b *testing.B) {
+	c := NewPairCache()
+	const nkeys = 1024
+	keys := make([]pairKey, nkeys)
+	for i := range keys {
+		keys[i] = pairKey{ns: "bench", metric: "L2,1", i: i, j: i + 1}
+		c.store(keys[i], float64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.lookup(keys[i%nkeys]); !ok {
+			b.Fatal("prepopulated key missed")
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wpred/internal/distance"
 	"wpred/internal/fingerprint"
+	"wpred/internal/obs"
 	"wpred/internal/parallel"
 	"wpred/internal/stat"
 )
@@ -50,16 +52,31 @@ type Matrix struct {
 	D     [][]float64
 }
 
+// Cache metrics aggregated across every PairCache in the process (in
+// practice one per experiment suite); the production-facing view of the
+// per-cache Stats counters.
+var (
+	cacheHits = obs.GetCounter("wpred_paircache_hits_total",
+		"Pairwise-distance cache lookups served from memory.", nil)
+	cacheMisses = obs.GetCounter("wpred_paircache_misses_total",
+		"Pairwise-distance cache lookups that required a metric evaluation.", nil)
+	cacheEntries = obs.GetGauge("wpred_paircache_entries",
+		"Live entries across all pairwise-distance caches.", nil)
+)
+
 // PairCache memoizes pairwise distances across matrix computations. Keys
 // combine a caller-chosen namespace (identifying the item set and its
 // representation — metric distances are only reusable between identically
 // fingerprinted item sets), the metric name, and the experiment pair, so
 // figures that revisit a matrix another experiment already computed skip
-// the O(n²·DTW) recomputation entirely. Safe for concurrent use.
+// the O(n²·DTW) recomputation entirely. Safe for concurrent use: lookups
+// take only the read lock and count hits/misses on atomics, so cache-hot
+// matrix computations never serialize the worker pool on the mutex (see
+// BenchmarkPairCacheLookupParallel).
 type PairCache struct {
 	mu           sync.RWMutex
 	m            map[pairKey]float64
-	hits, misses int
+	hits, misses atomic.Int64
 }
 
 type pairKey struct {
@@ -73,28 +90,38 @@ func NewPairCache() *PairCache {
 }
 
 func (c *PairCache) lookup(k pairKey) (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	v, ok := c.m[k]
+	c.mu.RUnlock()
 	if ok {
-		c.hits++
+		c.hits.Add(1)
+		cacheHits.Inc()
 	} else {
-		c.misses++
+		c.misses.Add(1)
+		cacheMisses.Inc()
 	}
 	return v, ok
 }
 
 func (c *PairCache) store(k pairKey, v float64) {
 	c.mu.Lock()
+	if _, exists := c.m[k]; !exists {
+		cacheEntries.Add(1)
+	}
 	c.m[k] = v
 	c.mu.Unlock()
 }
 
 // Stats reports cache hits and misses (for tests and capacity planning).
 func (c *PairCache) Stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}
+
+// Len reports the number of cached pairs.
+func (c *PairCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.hits, c.misses
+	return len(c.m)
 }
 
 // ComputeMatrix evaluates the metric on every item pair. The upper
