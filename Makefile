@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fuzz experiments bench bench-check
+.PHONY: build test vet race verify fuzz serve-test experiments bench bench-check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ verify: build vet race
 # committed seed corpus.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadExperiments -fuzztime 30s ./internal/telemetry/
+
+# serve-test is the focused gate for the serving layer: the wpredd e2e
+# lifecycle, registry single-flight/eviction stress, admission-queue
+# backpressure, and the /v1/predict decoder corpus — all under -race.
+serve-test:
+	$(GO) test -race -count 1 -timeout 10m ./internal/serve/ ./cmd/wpredd/
 
 # experiments regenerates every table and figure at the committed seed.
 experiments:

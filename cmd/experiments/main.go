@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -34,39 +35,45 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is main with injectable arguments and streams, so the golden-file
+// test can capture stdout exactly as a shell pipeline would see it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runID       = flag.String("run", "", "experiment id to regenerate, or \"all\"")
-		list        = flag.Bool("list", false, "list experiment ids and exit")
-		seed        = flag.Uint64("seed", 42, "randomness seed (42 reproduces EXPERIMENTS.md)")
-		quick       = flag.Bool("quick", false, "reduced-size runs: same shapes, faster")
-		format      = flag.String("format", "text", "output format: text or markdown")
-		target      = flag.String("target", "", "robustness experiment target workload (default YCSB)")
-		jobs        = flag.Int("j", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics (/metrics) and pprof profiles (/debug/pprof/) on this address, e.g. :9090")
-		traceOut    = flag.String("trace-out", "", "write stage-tracing spans as JSON to this file on exit")
+		runID       = fs.String("run", "", "experiment id to regenerate, or \"all\"")
+		list        = fs.Bool("list", false, "list experiment ids and exit")
+		seed        = fs.Uint64("seed", 42, "randomness seed (42 reproduces EXPERIMENTS.md)")
+		quick       = fs.Bool("quick", false, "reduced-size runs: same shapes, faster")
+		format      = fs.String("format", "text", "output format: text or markdown")
+		target      = fs.String("target", "", "robustness experiment target workload (default YCSB)")
+		jobs        = fs.Int("j", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus metrics (/metrics) and pprof profiles (/debug/pprof/) on this address, e.g. :9090")
+		traceOut    = fs.String("trace-out", "", "write stage-tracing spans as JSON to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *format != "text" && *format != "markdown" {
-		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		fmt.Fprintf(stderr, "experiments: unknown format %q\n", *format)
 		return 2
 	}
 	if *jobs < 0 {
-		fmt.Fprintf(os.Stderr, "experiments: -j must be >= 0, got %d\n", *jobs)
+		fmt.Fprintf(stderr, "experiments: -j must be >= 0, got %d\n", *jobs)
 		return 2
 	}
 	parallel.SetMaxWorkers(*jobs)
 	if *target != "" {
 		w, err := bench.ByName(*target)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			fmt.Fprintln(stderr, "experiments:", err)
 			return 2
 		}
 		if w.PlanOnly {
-			fmt.Fprintf(os.Stderr, "experiments: workload %q is plan-only and cannot be a robustness target\n", *target)
+			fmt.Fprintf(stderr, "experiments: workload %q is plan-only and cannot be a robustness target\n", *target)
 			return 2
 		}
 	}
@@ -74,30 +81,30 @@ func run() int {
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			fmt.Fprintln(stderr, "experiments:", err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "experiments: debug endpoint on http://%s (metrics: /metrics, pprof: /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(stderr, "experiments: debug endpoint on http://%s (metrics: /metrics, pprof: /debug/pprof/)\n", srv.Addr)
 	}
 	if *traceOut != "" {
 		obs.SetTracing(true)
 		obs.ResetTrace()
 		defer func() {
 			if err := obs.WriteTraceFile(*traceOut); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+				fmt.Fprintln(stderr, "experiments: trace-out:", err)
 			}
 		}()
 	}
 
 	if *list {
 		for _, r := range experiments.Runners() {
-			fmt.Printf("%-10s %s\n", r.ID, r.Description)
+			fmt.Fprintf(stdout, "%-10s %s\n", r.ID, r.Description)
 		}
 		return 0
 	}
 	if *runID == "" {
-		fmt.Fprintln(os.Stderr, "usage: experiments -run <id>|all [-seed N] [-quick] [-j N]; -list shows ids")
+		fmt.Fprintln(stderr, "usage: experiments -run <id>|all [-seed N] [-quick] [-j N]; -list shows ids")
 		return 2
 	}
 
@@ -108,34 +115,34 @@ func run() int {
 	if *runID == "all" {
 		runners := experiments.Runners()
 		outs, err := parallel.Map(len(runners), func(i int) (string, error) {
-			return renderOne(suite, runners[i], *format)
+			return renderOne(stderr, suite, runners[i], *format)
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
 			return 1
 		}
 		for _, out := range outs {
-			fmt.Print(out)
+			fmt.Fprint(stdout, out)
 		}
 		return 0
 	}
 	r, ok := experiments.RunnerByID(*runID)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *runID)
+		fmt.Fprintf(stderr, "experiments: unknown id %q (use -list)\n", *runID)
 		return 2
 	}
-	out, err := renderOne(suite, r, *format)
+	out, err := renderOne(stderr, suite, r, *format)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
 		return 1
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 	return 0
 }
 
 // renderOne runs one experiment and returns its formatted block. Wall-clock
 // timing goes to stderr so stdout stays deterministic across -j settings.
-func renderOne(suite *experiments.Suite, r experiments.Runner, format string) (string, error) {
+func renderOne(stderr io.Writer, suite *experiments.Suite, r experiments.Runner, format string) (string, error) {
 	sp := obs.StartSpan("experiment." + r.ID)
 	start := time.Now()
 	var out string
@@ -149,7 +156,7 @@ func renderOne(suite *experiments.Suite, r experiments.Runner, format string) (s
 	if err != nil {
 		return "", fmt.Errorf("%s: %w", r.ID, err)
 	}
-	fmt.Fprintf(os.Stderr, "experiments: %s finished in %s\n", r.ID, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "experiments: %s finished in %s\n", r.ID, time.Since(start).Round(time.Millisecond))
 	if format == "markdown" {
 		return fmt.Sprintf("## %s — %s\n\n%s\n", r.ID, r.Description, out), nil
 	}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wpred/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden file from the current -run all -quick output")
+
+const goldenPath = "testdata/run_all_quick.golden"
+
+// TestRunAllGolden pins the complete `experiments -run all -quick` stdout
+// against a committed golden file, with the wall-clock timing columns
+// masked. Any change to a table's numbers, layout, ordering, or headers —
+// however it sneaks in — shows up as a diff here instead of silently
+// shifting EXPERIMENTS.md. Regenerate deliberately with:
+//
+//	go test ./cmd/experiments -run TestRunAllGolden -update
+func TestRunAllGolden(t *testing.T) {
+	if raceEnabled {
+		t.Skip("a full quick-suite run exceeds the race-detector time budget; TestRunAllDeterministicAcrossWorkers covers the pooled paths")
+	}
+	if testing.Short() {
+		t.Skip("a full quick-suite run is slow")
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "all", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, stderr.String())
+	}
+	got := experiments.MaskTimingColumns(stdout.String())
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := range gl {
+		if i >= len(wl) || gl[i] != wl[i] {
+			w := "<missing>"
+			if i < len(wl) {
+				w = wl[i]
+			}
+			t.Fatalf("output diverges from golden at line %d:\ngot:    %q\ngolden: %q\n(rerun with -update if the change is intentional)", i+1, gl[i], w)
+		}
+	}
+	t.Fatalf("output shorter than golden: %d vs %d lines (rerun with -update if intentional)", len(gl), len(wl))
+}
+
+// TestListAndArgumentErrors covers the cheap CLI paths: -list output and
+// the fast-fail argument validations.
+func TestListAndArgumentErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d:\n%s", code, stderr.String())
+	}
+	for _, id := range []string{"table3", "table6", "figure11"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output missing %q:\n%s", id, stdout.String())
+		}
+	}
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no run id", nil},
+		{"unknown id", []string{"-run", "tableX"}},
+		{"bad format", []string{"-run", "table3", "-format", "yaml"}},
+		{"negative jobs", []string{"-run", "table3", "-j", "-1"}},
+		{"bad flag", []string{"-no-such-flag"}},
+		{"unknown target", []string{"-run", "robustness", "-target", "NoSuchWL"}},
+		{"plan-only target", []string{"-run", "robustness", "-target", "PW"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code == 0 {
+				t.Errorf("args %v: exit 0, want non-zero", tc.args)
+			}
+		})
+	}
+}

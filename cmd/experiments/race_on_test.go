@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this binary was built with the race
+// detector; the golden-file comparison skips under it because a full
+// quick-suite run exceeds the race-detector time budget (see
+// TestRunAllGolden).
+const raceEnabled = true

@@ -144,6 +144,18 @@ func New(cfg Config) *Pipeline {
 	return &Pipeline{cfg: cfg.withDefaults()}
 }
 
+// TrainPipeline constructs and trains a pipeline in one step — the entry
+// point for callers that hold a reference suite and want a ready predictor
+// (the wpredd model registry fits every cache entry through it). The
+// returned pipeline is safe for concurrent PredictWithReport calls.
+func TrainPipeline(cfg Config, refs []*telemetry.Experiment) (*Pipeline, error) {
+	p := New(cfg)
+	if err := p.Train(refs); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // SelectedFeatures returns the features chosen during Train (nil before).
 func (p *Pipeline) SelectedFeatures() []telemetry.Feature {
 	return append([]telemetry.Feature(nil), p.selected...)
@@ -157,13 +169,15 @@ func (p *Pipeline) Dropped() []DroppedExperiment {
 }
 
 // sanitize runs the corruption pass over a batch, recording rejections
-// under the given stage, and returns the usable sanitized experiments.
-func (p *Pipeline) sanitize(exps []*telemetry.Experiment, stage string) []*telemetry.Experiment {
+// under the given stage into dst, and returns the usable sanitized
+// experiments. The collector is caller-owned so concurrent Predict calls
+// never append to shared pipeline state.
+func (p *Pipeline) sanitize(exps []*telemetry.Experiment, stage string, dst *[]DroppedExperiment) []*telemetry.Experiment {
 	kept := make([]*telemetry.Experiment, 0, len(exps))
 	for _, e := range exps {
 		s, rep := telemetry.Sanitize(e, p.cfg.Sanitize)
 		if !rep.Usable() {
-			p.dropped = append(p.dropped, DroppedExperiment{
+			*dst = append(*dst, DroppedExperiment{
 				ID: rep.ID, Workload: e.Workload, Stage: stage, Report: rep,
 			})
 			if stage == "train" {
@@ -205,7 +219,7 @@ func (p *Pipeline) train(refs []*telemetry.Experiment, sp *obs.Span) error {
 	}
 	p.dropped = nil
 	ssp := sp.Child("sanitize")
-	kept := p.sanitize(refs, "train")
+	kept := p.sanitize(refs, "train", &p.dropped)
 	ssp.SetAttr("dropped", strconv.Itoa(len(p.dropped)))
 	trainSanitizeSeconds.ObserveDuration(ssp.End())
 	if len(kept) < p.cfg.MinValidRefs {
@@ -273,11 +287,31 @@ type Prediction struct {
 // and when the nearest reference cannot supply a scaling dataset for the
 // SKU pair — for example because its runs were rejected during Train —
 // the next-nearest reference is used instead.
+//
+// Predict appends rejected targets to the pipeline's shared Dropped
+// accounting and is therefore not safe for concurrent use; long-running
+// callers that share one trained pipeline across goroutines (the wpredd
+// serving layer) use PredictWithReport instead.
 func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) (*Prediction, error) {
+	pred, dropped, err := p.PredictWithReport(target, toSKU)
+	p.dropped = append(p.dropped, dropped...)
+	return pred, err
+}
+
+// PredictWithReport is Predict with per-call degradation accounting: the
+// experiments rejected by sanitization are returned to the caller instead
+// of being appended to the pipeline's shared Dropped slice. Because it
+// only reads pipeline state (the trained references, selected features,
+// and configuration), it is safe for any number of goroutines to call
+// concurrently on one trained pipeline, and — everything downstream being
+// deterministic in the config seed — always returns the same result for
+// the same inputs.
+func (p *Pipeline) PredictWithReport(target []*telemetry.Experiment, toSKU telemetry.SKU) (*Prediction, []DroppedExperiment, error) {
 	sp := obs.StartSpan("pipeline.predict")
 	sp.SetAttr("targets", strconv.Itoa(len(target)))
 	sp.SetAttr("to_sku", toSKU.String())
-	pred, err := p.predict(target, toSKU, sp)
+	var dropped []DroppedExperiment
+	pred, err := p.predict(target, toSKU, sp, &dropped)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 		predictErr.Inc()
@@ -286,10 +320,10 @@ func (p *Pipeline) Predict(target []*telemetry.Experiment, toSKU telemetry.SKU) 
 		predictOK.Inc()
 	}
 	sp.End()
-	return pred, err
+	return pred, dropped, err
 }
 
-func (p *Pipeline) predict(target []*telemetry.Experiment, toSKU telemetry.SKU, sp *obs.Span) (*Prediction, error) {
+func (p *Pipeline) predict(target []*telemetry.Experiment, toSKU telemetry.SKU, sp *obs.Span, dropped *[]DroppedExperiment) (*Prediction, error) {
 	if len(p.refs) == 0 {
 		return nil, ErrNotTrained
 	}
@@ -297,7 +331,7 @@ func (p *Pipeline) predict(target []*telemetry.Experiment, toSKU telemetry.SKU, 
 		return nil, ErrNoTargets
 	}
 	ssp := sp.Child("sanitize")
-	usable := p.sanitize(target, "predict")
+	usable := p.sanitize(target, "predict", dropped)
 	predictSanitizeSeconds.ObserveDuration(ssp.End())
 	if len(usable) == 0 {
 		return nil, fmt.Errorf("%w: sanitization rejected all %d", ErrNoUsableTargets, len(target))

@@ -13,69 +13,6 @@ import (
 	"wpred/internal/telemetry"
 )
 
-// maskedHeaders lists the wall-clock columns of the rendered tables
-// (Table 3's strategy timing, Table 6's training time). Their cells are
-// the one part of the suite output that legitimately varies between runs,
-// so the determinism tests blank them before comparing.
-var maskedHeaders = []string{"Time (sec)", "Train (s)"}
-
-// maskTimingColumns blanks every cell under a wall-clock header. Columns
-// are right-aligned, so a cell ends exactly where its header ends; the
-// cell's characters are replaced by spaces, leaving the rest of the line
-// byte-for-byte intact.
-func maskTimingColumns(text string) string {
-	lines := strings.Split(text, "\n")
-	for i := 1; i < len(lines); i++ {
-		if !isDivider(lines[i]) {
-			continue
-		}
-		header := lines[i-1]
-		var ends []int
-		for _, h := range maskedHeaders {
-			if p := strings.Index(header, h); p >= 0 {
-				ends = append(ends, p+len(h))
-			}
-		}
-		if len(ends) == 0 {
-			continue
-		}
-		for j := i + 1; j < len(lines); j++ {
-			if lines[j] == "" || strings.HasPrefix(lines[j], "note:") {
-				break
-			}
-			for _, end := range ends {
-				lines[j] = blankTokenEndingAt(lines[j], end)
-			}
-		}
-	}
-	return strings.Join(lines, "\n")
-}
-
-func isDivider(l string) bool {
-	if l == "" {
-		return false
-	}
-	for _, r := range l {
-		if r != '-' {
-			return false
-		}
-	}
-	return true
-}
-
-// blankTokenEndingAt replaces the non-space run ending at byte offset end
-// with spaces.
-func blankTokenEndingAt(line string, end int) string {
-	if end > len(line) {
-		end = len(line)
-	}
-	start := end
-	for start > 0 && line[start-1] != ' ' {
-		start--
-	}
-	return line[:start] + strings.Repeat(" ", end-start) + line[end:]
-}
-
 func TestMaskTimingColumns(t *testing.T) {
 	tbl := &Table{
 		Title:  "T",
@@ -91,11 +28,11 @@ func TestMaskTimingColumns(t *testing.T) {
 	if a == b {
 		t.Fatal("renders should differ before masking")
 	}
-	if maskTimingColumns(a) != maskTimingColumns(b) {
-		t.Fatalf("masked renders differ:\n%q\nvs\n%q", maskTimingColumns(a), maskTimingColumns(b))
+	if MaskTimingColumns(a) != MaskTimingColumns(b) {
+		t.Fatalf("masked renders differ:\n%q\nvs\n%q", MaskTimingColumns(a), MaskTimingColumns(b))
 	}
-	if !strings.Contains(maskTimingColumns(a), "slow one  0.8") {
-		t.Fatalf("non-timing cells must survive masking:\n%s", maskTimingColumns(a))
+	if !strings.Contains(MaskTimingColumns(a), "slow one  0.8") {
+		t.Fatalf("non-timing cells must survive masking:\n%s", MaskTimingColumns(a))
 	}
 }
 
@@ -239,8 +176,8 @@ func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full quick-suite runs are slow")
 	}
-	serial := maskTimingColumns(runAllAt(t, 1))
-	wide := maskTimingColumns(runAllAt(t, 8))
+	serial := MaskTimingColumns(runAllAt(t, 1))
+	wide := MaskTimingColumns(runAllAt(t, 8))
 	if serial == wide {
 		return
 	}

@@ -1,0 +1,69 @@
+package experiments
+
+import "strings"
+
+// maskedHeaders lists the wall-clock columns of the rendered tables
+// (Table 3's strategy timing, Table 6's training time). Their cells are
+// the one part of the suite output that legitimately varies between runs,
+// so output comparisons — the cross-worker determinism tests and the
+// cmd/experiments golden-file test — blank them before diffing.
+var maskedHeaders = []string{"Time (sec)", "Train (s)"}
+
+// MaskTimingColumns blanks every table cell under a wall-clock header in
+// the rendered experiment text. Columns are right-aligned, so a cell ends
+// exactly where its header ends; the cell's characters are replaced by
+// spaces, leaving the rest of the line byte-for-byte intact. Everything
+// outside the masked columns must therefore be reproducible — that is the
+// determinism contract the golden and cross-worker tests enforce.
+func MaskTimingColumns(text string) string {
+	lines := strings.Split(text, "\n")
+	for i := 1; i < len(lines); i++ {
+		if !isDivider(lines[i]) {
+			continue
+		}
+		header := lines[i-1]
+		var ends []int
+		for _, h := range maskedHeaders {
+			if p := strings.Index(header, h); p >= 0 {
+				ends = append(ends, p+len(h))
+			}
+		}
+		if len(ends) == 0 {
+			continue
+		}
+		for j := i + 1; j < len(lines); j++ {
+			if lines[j] == "" || strings.HasPrefix(lines[j], "note:") {
+				break
+			}
+			for _, end := range ends {
+				lines[j] = blankTokenEndingAt(lines[j], end)
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func isDivider(l string) bool {
+	if l == "" {
+		return false
+	}
+	for _, r := range l {
+		if r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// blankTokenEndingAt replaces the non-space run ending at byte offset end
+// with spaces.
+func blankTokenEndingAt(line string, end int) string {
+	if end > len(line) {
+		end = len(line)
+	}
+	start := end
+	for start > 0 && line[start-1] != ' ' {
+		start--
+	}
+	return line[:start] + strings.Repeat(" ", end-start) + line[end:]
+}

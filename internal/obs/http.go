@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // Handler returns the debug mux: /metrics serves the Default registry in
@@ -26,6 +27,53 @@ func Handler() http.Handler {
 		fmt.Fprint(w, "wpred debug endpoint\n\n/metrics\n/debug/pprof/\n")
 	})
 	return mux
+}
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label its request counter. An untouched handler that
+// never calls WriteHeader implicitly writes 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// InstrumentHandler wraps an HTTP handler with the serving-layer request
+// metrics on the Default registry:
+//
+//	wpred_http_requests_total{handler,code}      — completed requests
+//	wpred_http_request_duration_seconds{handler} — wall-clock latency
+//	wpred_http_requests_in_flight{handler}       — currently executing
+//
+// handler is the route's stable label (e.g. "predict"), never the raw URL
+// path, so cardinality stays bounded. The per-code counter series are
+// registered on first use; the duration histogram and in-flight gauge are
+// registered at wrap time.
+func InstrumentHandler(handler string, h http.Handler) http.Handler {
+	duration := GetHistogram("wpred_http_request_duration_seconds",
+		"Wall-clock HTTP request latency, by handler.",
+		DefBuckets, Labels{"handler": handler})
+	inFlight := GetGauge("wpred_http_requests_in_flight",
+		"HTTP requests currently executing, by handler.",
+		Labels{"handler": handler})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		inFlight.Add(1)
+		sp := StartSpan("http." + handler)
+		defer func() {
+			d := sp.End()
+			inFlight.Add(-1)
+			duration.ObserveDuration(d)
+			GetCounter("wpred_http_requests_total",
+				"Completed HTTP requests, by handler and status code.",
+				Labels{"handler": handler, "code": strconv.Itoa(rec.status)}).Inc()
+		}()
+		h.ServeHTTP(rec, r)
+	})
 }
 
 // Server is a running debug endpoint.

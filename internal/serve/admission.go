@@ -1,0 +1,56 @@
+package serve
+
+import "wpred/internal/obs"
+
+// Admission metrics: queue occupancy and backpressure rejections.
+var (
+	queueDepth = obs.GetGauge("wpred_serve_queue_depth",
+		"Prediction work items currently admitted (in flight or queued for a worker).", nil)
+	queueLimit = obs.GetGauge("wpred_serve_queue_limit",
+		"Admission-queue capacity; requests beyond it are rejected with 429.", nil)
+	queueRejected = obs.GetCounter("wpred_serve_rejected_total",
+		"Work items rejected with 429 because the admission queue was full.", nil)
+)
+
+// admission is the bounded work queue in front of the prediction
+// handlers: every target-prediction item (a single request admits one, a
+// batch admits one per element) holds a slot for its lifetime. When the
+// queue is full, acquisition fails immediately and the handler answers
+// 429, so load beyond capacity sheds instead of queuing without bound.
+type admission struct {
+	slots chan struct{}
+}
+
+func newAdmission(capacity int) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	queueLimit.Set(float64(capacity))
+	return &admission{slots: make(chan struct{}, capacity)}
+}
+
+// tryAcquire claims n slots without blocking. It either claims all n and
+// returns true, or claims none and returns false — a batch is admitted
+// whole or not at all, so two racing batches cannot deadlock on partial
+// grants.
+func (a *admission) tryAcquire(n int) bool {
+	for i := 0; i < n; i++ {
+		select {
+		case a.slots <- struct{}{}:
+		default:
+			a.release(i)
+			queueRejected.Add(uint64(n))
+			return false
+		}
+	}
+	queueDepth.Set(float64(len(a.slots)))
+	return true
+}
+
+// release returns n slots.
+func (a *admission) release(n int) {
+	for i := 0; i < n; i++ {
+		<-a.slots
+	}
+	queueDepth.Set(float64(len(a.slots)))
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"wpred/internal/core"
+	"wpred/internal/obs"
+)
+
+// Registry metrics (see "Serving layer" in DESIGN.md). The per-instance
+// atomic counters back the tests and the Stats accessor; the obs series
+// expose the same traffic on /metrics.
+var (
+	regFits = obs.GetCounter("wpred_serve_registry_fits_total",
+		"Pipelines trained into the model registry (one per distinct key under single-flight).", nil)
+	regHits = obs.GetCounter("wpred_serve_registry_hits_total",
+		"Registry lookups served by an existing entry.", nil)
+	regMisses = obs.GetCounter("wpred_serve_registry_misses_total",
+		"Registry lookups that had to train a pipeline.", nil)
+	regEvictions = obs.GetCounter("wpred_serve_registry_evictions_total",
+		"Entries displaced by the LRU bound.", nil)
+	regEntries = obs.GetGauge("wpred_serve_registry_entries",
+		"Entries currently resident in the model registry.", nil)
+)
+
+// Key identifies one trained pipeline in the model registry: the
+// feature-selection strategy × similarity measure × scaling-model family,
+// by their display names.
+type Key struct {
+	Selection string
+	Metric    string
+	Model     string
+}
+
+// withDefaults fills empty fields with the paper's recommended
+// configuration, so "{}" and the fully spelled-out default request share
+// one registry entry.
+func (k Key) withDefaults() Key {
+	if k.Selection == "" {
+		k.Selection = DefaultSelection
+	}
+	if k.Metric == "" {
+		k.Metric = DefaultMetric
+	}
+	if k.Model == "" {
+		k.Model = DefaultModel
+	}
+	return k
+}
+
+// String renders the key for logs and error messages.
+func (k Key) String() string { return k.Selection + " × " + k.Metric + " × " + k.Model }
+
+// regEntry is one registry slot. done closes when the fit finishes;
+// waiters then read p/err without further synchronization.
+type regEntry struct {
+	key  Key
+	elem *list.Element
+	done chan struct{}
+	p    *core.Pipeline
+	err  error
+}
+
+// Registry is the LRU-bounded, single-flight model cache: Get returns the
+// trained pipeline for a key, training it at most once no matter how many
+// requests race on a cold key. Eviction displaces the least-recently-used
+// entry; a displaced in-flight fit still completes and serves its waiting
+// callers, it just isn't retained. Failed fits are not cached, so a
+// transient training error does not poison the key forever — but every
+// caller waiting on the failed flight observes the same error.
+type Registry struct {
+	train func(Key) (*core.Pipeline, error)
+	cap   int
+
+	mu      sync.Mutex
+	entries map[Key]*regEntry
+	lru     *list.List // front = most recently used; values are *regEntry
+
+	fits, hits, misses, evictions atomic.Uint64
+}
+
+// NewRegistry returns a registry holding at most capacity trained
+// pipelines (minimum 1), fitting misses through train.
+func NewRegistry(capacity int, train func(Key) (*core.Pipeline, error)) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Registry{
+		train:   train,
+		cap:     capacity,
+		entries: map[Key]*regEntry{},
+		lru:     list.New(),
+	}
+}
+
+// RegistryStats is a consistent snapshot of the registry counters.
+type RegistryStats struct {
+	// Fits counts pipelines trained (single-flight: one per distinct cold
+	// key while no eviction intervenes).
+	Fits uint64
+	// Hits and Misses partition every Get call.
+	Hits, Misses uint64
+	// Evictions counts entries displaced by the LRU bound.
+	Evictions uint64
+	// Entries is the current resident count.
+	Entries int
+}
+
+// Stats returns the registry's lifetime counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	n := r.lru.Len()
+	r.mu.Unlock()
+	return RegistryStats{
+		Fits:      r.fits.Load(),
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Evictions: r.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// Get returns the trained pipeline for key, fitting it if absent. Blocks
+// while another goroutine fits the same key and shares that flight's
+// result. Keys must already be validated (withDefaults applied).
+func (r *Registry) Get(key Key) (*core.Pipeline, error) {
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.hits.Add(1)
+		regHits.Inc()
+		r.mu.Unlock()
+		<-e.done
+		return e.p, e.err
+	}
+	e := &regEntry{key: key, done: make(chan struct{})}
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	r.misses.Add(1)
+	regMisses.Inc()
+	for r.lru.Len() > r.cap {
+		back := r.lru.Back()
+		victim := back.Value.(*regEntry)
+		r.lru.Remove(back)
+		delete(r.entries, victim.key)
+		r.evictions.Add(1)
+		regEvictions.Inc()
+	}
+	regEntries.Set(float64(r.lru.Len()))
+	r.mu.Unlock()
+
+	r.fits.Add(1)
+	regFits.Inc()
+	e.p, e.err = r.train(key)
+	close(e.done)
+	if e.err != nil {
+		r.mu.Lock()
+		// Drop the failed entry unless eviction already removed it (or a
+		// successor replaced it after an eviction).
+		if cur, ok := r.entries[key]; ok && cur == e {
+			r.lru.Remove(e.elem)
+			delete(r.entries, key)
+		}
+		regEntries.Set(float64(r.lru.Len()))
+		r.mu.Unlock()
+	}
+	return e.p, e.err
+}

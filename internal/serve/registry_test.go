@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wpred/internal/core"
+)
+
+// fakeTrainer fits instantly-recognizable pipelines: it records which key
+// each returned pipeline was trained for, so Get results can be checked
+// for cross-key mixups, and counts fits per key.
+type fakeTrainer struct {
+	mu      sync.Mutex
+	perKey  map[Key]int
+	byPipe  map[*core.Pipeline]Key
+	delay   time.Duration
+	failKey Key
+	failLim int32 // how many times failKey fails before succeeding
+	fails   atomic.Int32
+}
+
+func newFakeTrainer(delay time.Duration) *fakeTrainer {
+	return &fakeTrainer{perKey: map[Key]int{}, byPipe: map[*core.Pipeline]Key{}, delay: delay}
+}
+
+func (f *fakeTrainer) train(k Key) (*core.Pipeline, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if k == f.failKey && f.fails.Add(1) <= f.failLim {
+		return nil, errors.New("transient fit failure")
+	}
+	p := core.New(core.Config{})
+	f.mu.Lock()
+	f.perKey[k]++
+	f.byPipe[p] = k
+	f.mu.Unlock()
+	return p, nil
+}
+
+func (f *fakeTrainer) keyOf(p *core.Pipeline) (Key, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k, ok := f.byPipe[p]
+	return k, ok
+}
+
+func testKey(i int) Key {
+	return Key{Selection: fmt.Sprintf("sel-%d", i), Metric: "m", Model: "mod"}
+}
+
+// TestRegistrySingleFlightUnderRace is the registry's concurrency
+// contract, meant to run under -race: 64 goroutines hammer 8 distinct
+// keys on a registry large enough to never evict, and the fit counter
+// must equal the number of distinct keys — every concurrent miss on a
+// cold key deduplicates into exactly one fit, and every Get returns the
+// pipeline fitted for its own key.
+func TestRegistrySingleFlightUnderRace(t *testing.T) {
+	const (
+		keys       = 8
+		goroutines = 64
+		iters      = 50
+	)
+	tr := newFakeTrainer(500 * time.Microsecond)
+	r := NewRegistry(keys, tr.train)
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := testKey((g + i) % keys)
+				p, err := r.Get(k)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if got, ok := tr.keyOf(p); !ok || got != k {
+					errs[g] = fmt.Errorf("Get(%v) returned pipeline trained for %v", k, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := r.Stats()
+	if st.Fits != keys {
+		t.Errorf("fits = %d, want exactly %d (one per distinct key under single-flight)", st.Fits, keys)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0 (capacity covers the key set)", st.Evictions)
+	}
+	if total := st.Hits + st.Misses; total != goroutines*iters {
+		t.Errorf("hits+misses = %d, want %d", total, goroutines*iters)
+	}
+	if st.Misses != st.Fits {
+		t.Errorf("misses = %d, fits = %d; every miss should fit exactly once", st.Misses, st.Fits)
+	}
+	if st.Entries != keys {
+		t.Errorf("entries = %d, want %d", st.Entries, keys)
+	}
+}
+
+// TestRegistryEvictionChurnUnderRace mixes hits, misses, and forced
+// evictions (16 keys against 4 slots) across 32 goroutines. Exact fit
+// counts are nondeterministic under eviction, but the books must still
+// balance and no Get may ever observe a wrong or nil pipeline.
+func TestRegistryEvictionChurnUnderRace(t *testing.T) {
+	const (
+		keys       = 16
+		capacity   = 4
+		goroutines = 32
+		iters      = 40
+	)
+	tr := newFakeTrainer(200 * time.Microsecond)
+	r := NewRegistry(capacity, tr.train)
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Skewed access: half the traffic on two hot keys keeps
+				// them resident while the cold tail churns the LRU.
+				var k Key
+				if i%2 == 0 {
+					k = testKey(g % 2)
+				} else {
+					k = testKey((g * 7 ^ i * 13) % keys)
+				}
+				p, err := r.Get(k)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if p == nil {
+					errs[g] = fmt.Errorf("Get(%v) returned nil pipeline without error", k)
+					return
+				}
+				if got, ok := tr.keyOf(p); !ok || got != k {
+					errs[g] = fmt.Errorf("Get(%v) returned pipeline trained for %v", k, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := r.Stats()
+	if total := st.Hits + st.Misses; total != goroutines*iters {
+		t.Errorf("hits+misses = %d, want %d", total, goroutines*iters)
+	}
+	if st.Fits != st.Misses {
+		t.Errorf("fits = %d, misses = %d; every miss fits exactly once", st.Fits, st.Misses)
+	}
+	if st.Fits < keys {
+		t.Errorf("fits = %d, want >= %d (every key trained at least once)", st.Fits, keys)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected evictions with 16 keys against 4 slots")
+	}
+	if st.Entries > capacity {
+		t.Errorf("entries = %d exceeds capacity %d", st.Entries, capacity)
+	}
+}
+
+// TestRegistryFailedFitNotCached asserts the error semantics: callers
+// racing on a failing flight all observe the failure, but the error is
+// not cached — the next Get retries and can succeed.
+func TestRegistryFailedFitNotCached(t *testing.T) {
+	tr := newFakeTrainer(time.Millisecond)
+	tr.failKey = testKey(0)
+	tr.failLim = 1
+	r := NewRegistry(4, tr.train)
+
+	const racers = 8
+	var wg sync.WaitGroup
+	outcomes := make([]error, racers)
+	for g := 0; g < racers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, outcomes[g] = r.Get(testKey(0))
+		}(g)
+	}
+	wg.Wait()
+
+	// The first flight fails exactly once; any caller that raced into
+	// that flight shares its error, later callers retry and succeed.
+	var failed int
+	for _, err := range outcomes {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("no caller observed the transient failure")
+	}
+
+	p, err := r.Get(testKey(0))
+	if err != nil || p == nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	if st := r.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (only the successful fit cached)", st.Entries)
+	}
+}

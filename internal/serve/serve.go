@@ -1,0 +1,327 @@
+// Package serve is the long-running prediction service behind cmd/wpredd:
+// it holds a reference telemetry suite in memory, trains prediction
+// pipelines ahead of requests into an LRU-bounded, single-flight model
+// registry, and serves single and micro-batched predictions over a
+// stdlib-only HTTP JSON API with bounded-queue admission control.
+//
+// The package holds the repository's determinism bar: responses for
+// identical request bodies are byte-identical regardless of worker count,
+// cache temperature, or how many requests raced on a cold registry key.
+// See "Serving layer" in DESIGN.md for the architecture.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"wpred/internal/core"
+	"wpred/internal/obs"
+	"wpred/internal/parallel"
+	"wpred/internal/scalemodel"
+	"wpred/internal/telemetry"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// production-safe default.
+type Config struct {
+	// Refs is the reference telemetry suite loaded once at startup; every
+	// registry pipeline trains on it.
+	Refs []*telemetry.Experiment
+	// Seed drives every randomized component, making responses
+	// reproducible across server restarts.
+	Seed uint64
+	// RegistryCap bounds the model registry (default 8 entries).
+	RegistryCap int
+	// QueueSlots bounds the admission queue (default 64 work items).
+	QueueSlots int
+	// MaxBodyBytes caps request bodies (default 8 MiB); larger bodies are
+	// rejected with 413.
+	MaxBodyBytes int64
+	// TopK, Subsamples, and Sanitize pass through to core.Config (zero
+	// values select the pipeline defaults).
+	TopK       int
+	Subsamples int
+	Sanitize   telemetry.SanitizePolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.RegistryCap == 0 {
+		c.RegistryCap = 8
+	}
+	if c.QueueSlots == 0 {
+		c.QueueSlots = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the prediction service: handlers, model registry, and
+// admission control. Create with New, optionally pre-train with Warmup,
+// then expose via Handler or ListenAndServe.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	adm      *admission
+	mux      http.Handler
+	ready    atomic.Bool
+
+	hs       *http.Server
+	listener net.Listener
+
+	// testHookAdmitted, when set, runs after a request's admission-queue
+	// slots are acquired and before prediction starts. Tests use it to
+	// hold requests in flight deterministically.
+	testHookAdmitted func()
+}
+
+// New returns a server holding the reference suite in cfg. It does not
+// train anything; call Warmup (or let the first request fit lazily).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	s.registry = NewRegistry(cfg.RegistryCap, s.trainKey)
+	s.adm = newAdmission(cfg.QueueSlots)
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/predict", obs.InstrumentHandler("predict", http.HandlerFunc(s.handlePredict)))
+	mux.Handle("POST /v1/predict/batch", obs.InstrumentHandler("predict_batch", http.HandlerFunc(s.handleBatch)))
+	mux.Handle("GET /healthz", obs.InstrumentHandler("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /readyz", obs.InstrumentHandler("readyz", http.HandlerFunc(s.handleReadyz)))
+	s.mux = mux
+	return s
+}
+
+// trainKey fits one registry entry: it resolves the key's components
+// (already validated by the request decoder or Warmup) and trains a
+// pipeline on the server's reference suite.
+func (s *Server) trainKey(k Key) (*core.Pipeline, error) {
+	sel, ok := selectionByName(k.Selection, s.cfg.Seed)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown selection %q", k.Selection)
+	}
+	met, ok := metricByName(k.Metric)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown metric %q", k.Metric)
+	}
+	mod, ok := scalemodel.StrategyByName(k.Model)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", k.Model)
+	}
+	return core.TrainPipeline(core.Config{
+		Selection:  sel,
+		Metric:     met,
+		Strategy:   mod,
+		TopK:       s.cfg.TopK,
+		Subsamples: s.cfg.Subsamples,
+		Sanitize:   s.cfg.Sanitize,
+		Seed:       s.cfg.Seed,
+	}, s.cfg.Refs)
+}
+
+// Warmup trains the given registry keys (defaults applied; the paper's
+// recommended configuration when none are given) and then marks the
+// server ready, flipping /readyz from 503 to 200. Call it after the
+// listener is up so health probes can watch the transition.
+func (s *Server) Warmup(keys ...Key) error {
+	if len(keys) == 0 {
+		keys = []Key{{}}
+	}
+	for _, k := range keys {
+		if _, err := s.registry.Get(k.withDefaults()); err != nil {
+			return fmt.Errorf("serve: warmup %s: %w", k.withDefaults(), err)
+		}
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether warmup has completed.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// RegistryStats exposes the model-registry counters (tests and the
+// daemon's shutdown log line).
+func (s *Server) RegistryStats() RegistryStats { return s.registry.Stats() }
+
+// Handler returns the service's HTTP handler (the /v1 API plus probes) so
+// tests can mount it on httptest servers.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves in a background goroutine,
+// returning the bound address once the listener is live (":0" resolves to
+// the chosen port). Shut down with Shutdown.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.hs = &http.Server{Handler: s.mux}
+	go func() { _ = s.hs.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: it first flips /readyz to 503 so
+// load balancers stop routing new work, then closes listeners and waits —
+// up to ctx's deadline — for every in-flight request to complete.
+// Requests still running when the deadline expires are abandoned
+// (context.DeadlineExceeded is returned, matching net/http semantics).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// httpError answers a request with a deterministic JSON error body.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// statusFor maps a prediction failure to an HTTP status: sentinel target
+// errors are the client's fault (422), anything else is the server's
+// (500).
+func statusFor(err error) int {
+	for _, sentinel := range []error{
+		core.ErrNoTargets, core.ErrNoUsableTargets, core.ErrMixedSKUs,
+	} {
+		if errors.Is(err, sentinel) {
+			return http.StatusUnprocessableEntity
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// predictOne resolves one validated request against the registry and runs
+// the prediction, returning the rendered response or an error with its
+// HTTP status.
+func (s *Server) predictOne(req *PredictRequest) (*predictResponse, int, error) {
+	p, err := s.registry.Get(req.Key)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	pred, dropped, err := p.PredictWithReport(req.Target, req.ToSKU)
+	if err != nil {
+		return nil, statusFor(err), err
+	}
+	resp, err := renderPrediction(req.Key, pred, dropped)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return resp, http.StatusOK, nil
+}
+
+// writeJSON encodes v with a stable encoder configuration. Encoding full
+// response structs in one shot keeps bodies byte-identical for identical
+// requests.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// decodeFailure answers a decoding error: 413 for oversized bodies, 400
+// for everything else.
+func decodeFailure(w http.ResponseWriter, err error) {
+	if errors.Is(err, errTooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge, errTooLarge.Error())
+		return
+	}
+	httpError(w, http.StatusBadRequest, err.Error())
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, err := decodePredictRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		decodeFailure(w, err)
+		return
+	}
+	if !s.adm.tryAcquire(1) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "serve: prediction queue full")
+		return
+	}
+	defer s.adm.release(1)
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+	resp, code, err := s.predictOne(req)
+	if err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+// batchItemResult is one element of a batch response: either a prediction
+// or that item's error, in input order.
+type batchItemResult struct {
+	Prediction *predictResponse `json:"prediction,omitempty"`
+	Error      string           `json:"error,omitempty"`
+}
+
+// handleBatch serves micro-batched predictions: the whole batch is
+// admitted against the bounded queue at once (429 when it does not fit),
+// then fans out through the deterministic parallel engine. Results come
+// back in input order and per-item failures do not fail their siblings.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqs, err := decodeBatchRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		decodeFailure(w, err)
+		return
+	}
+	if !s.adm.tryAcquire(len(reqs)) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("serve: %d batch items exceed the queue's free capacity", len(reqs)))
+		return
+	}
+	defer s.adm.release(len(reqs))
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+	results, _ := parallel.Map(len(reqs), func(i int) (batchItemResult, error) {
+		resp, _, err := s.predictOne(reqs[i])
+		if err != nil {
+			return batchItemResult{Error: err.Error()}, nil
+		}
+		return batchItemResult{Prediction: resp}, nil
+	})
+	writeJSON(w, http.StatusOK, struct {
+		Results []batchItemResult `json:"results"`
+	}{results})
+}
+
+// handleHealthz reports process liveness: 200 as long as the handler can
+// run at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleReadyz reports readiness: 503 until Warmup completes (and again
+// once Shutdown begins), 200 in between.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{"warming up"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ready"})
+}
