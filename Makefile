@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fuzz serve-test experiments bench bench-check
+.PHONY: build test vet race verify fuzz serve-test chaos-test experiments bench bench-check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,17 @@ fuzz:
 # backpressure, and the /v1/predict decoder corpus — all under -race.
 serve-test:
 	$(GO) test -race -count 1 -timeout 10m ./internal/serve/ ./cmd/wpredd/
+
+# chaos-test is the fleet-robustness gate: the router's fault-injection
+# suite plus the kill-and-warm-restart e2e (3 backends sharing a snapshot
+# directory, one killed and restarted mid-load; zero client-visible
+# failures and exactly one fit per key fleet-wide), all under -race.
+# The full router/faults/snapshot packages run (including the
+# FuzzDecodeSnapshot seed corpus: corrupt snapshots error, never panic);
+# serve is filtered to its snapshot/restart tests to keep the job short.
+chaos-test:
+	$(GO) test -race -count 1 -timeout 15m ./internal/router/ ./internal/faults/ ./internal/snapshot/
+	$(GO) test -race -count 1 -timeout 10m -run 'TestSnapshot|TestHealthPayloadsCarrySnapshotStatus|TestRetryAfterJitter|TestRejectedRequestCarriesJitteredRetryAfter' ./internal/serve/
 
 # experiments regenerates every table and figure at the committed seed.
 experiments:

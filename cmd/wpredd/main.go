@@ -8,6 +8,7 @@
 //	wpredd -addr :8080
 //	wpredd -addr :8080 -telemetry refs.json -seed 7
 //	wpredd -addr :8080 -warm "RFE LogReg|L2,1|SVM;Variance|Fro|Regression"
+//	wpredd -addr :8080 -snapshot-dir /var/lib/wpredd/snapshots
 //
 // Endpoints:
 //
@@ -17,7 +18,9 @@
 //	GET  /readyz            503 until warmup completes, 200 after
 //
 // Shutdown: SIGTERM/SIGINT flips /readyz to 503 and drains in-flight
-// requests for up to -drain-timeout before exiting.
+// requests for up to -drain-timeout before exiting; with -snapshot-dir
+// the drain also persists every trained pipeline, so the next start
+// serves byte-identical predictions without refitting.
 //
 // Observability: -metrics-addr ADDR serves Prometheus metrics on /metrics
 // and live pprof profiles under /debug/pprof/ on a private mux;
@@ -65,6 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queueSlots   = fs.Int("queue", 64, "admission-queue capacity in prediction items; excess load gets 429")
 		maxBody      = fs.Int64("max-body", 8<<20, "request-body cap in bytes; larger bodies get 413")
 		warm         = fs.String("warm", "", `extra registry keys to pre-train, semicolon-separated "selection|metric|model" triples (empty fields take the defaults; metric names may contain commas)`)
+		snapshotDir  = fs.String("snapshot-dir", "", "persist trained pipelines here and warm-restart from them; share the directory across replicas to train each key once fleet-wide")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to finish")
 		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus metrics (/metrics) and pprof profiles (/debug/pprof/) on this address, e.g. :9090")
 		traceOut     = fs.String("trace-out", "", "write stage-tracing spans as JSON to this file on exit")
@@ -111,6 +115,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RegistryCap:  *registryCap,
 		QueueSlots:   *queueSlots,
 		MaxBodyBytes: *maxBody,
+		SnapshotDir:  *snapshotDir,
 	})
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
@@ -118,6 +123,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stderr, "wpredd: listening on %s (not ready until warmup completes)\n", bound)
+
+	if *snapshotDir != "" {
+		restored, skipped, err := srv.RestoreSnapshots()
+		if err != nil {
+			fmt.Fprintln(stderr, "wpredd:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wpredd: restored %d snapshot(s) from %s, skipped %d\n", restored, *snapshotDir, skipped)
+	}
 
 	t0 := time.Now()
 	if err := srv.Warmup(warmKeys...); err != nil {

@@ -155,6 +155,55 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 }
 
+// TestDaemonWarmRestart runs two daemon lives against one -snapshot-dir:
+// the first trains the default pipeline and persists it on drain; the
+// second must restore it and report a warmup with zero fits.
+func TestDaemonWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-skus", "2,4",
+		"-runs", "1",
+		"-terminals", "2",
+		"-drain-timeout", "30s",
+		"-snapshot-dir", dir,
+	}
+
+	life := func(wantRestoreLine, wantWarmupLine string) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		stderr := newLineWatcher(`; ready`)
+		var stdout bytes.Buffer
+		exit := make(chan int, 1)
+		go func() { exit <- run(ctx, args, &stdout, stderr) }()
+		select {
+		case <-stderr.found:
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d:\n%s", code, stderr.String())
+		case <-time.After(120 * time.Second):
+			t.Fatalf("daemon never became ready:\n%s", stderr.String())
+		}
+		cancel()
+		select {
+		case code := <-exit:
+			if code != 0 {
+				t.Fatalf("exit code %d:\n%s", code, stderr.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("daemon did not exit:\n%s", stderr.String())
+		}
+		for _, want := range []string{wantRestoreLine, wantWarmupLine} {
+			if !strings.Contains(stderr.String(), want) {
+				t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+			}
+		}
+	}
+
+	life("restored 0 snapshot(s)", "warmup trained 1 pipeline(s)")
+	life("restored 1 snapshot(s)", "warmup trained 0 pipeline(s)")
+}
+
 // TestFlagValidation covers the daemon's fast-fail argument errors.
 func TestFlagValidation(t *testing.T) {
 	cases := []struct {

@@ -1,0 +1,154 @@
+// Command wpredrouter is the fault-tolerant front door of a wpredd fleet:
+// it consistent-hashes each prediction's registry key across the backends
+// (so every key is trained once fleet-wide — pair it with a shared
+// -snapshot-dir on the backends) and hides individual backend failures
+// behind retries, failover, circuit breakers, and per-tenant quotas.
+//
+// Usage:
+//
+//	wpredrouter -addr :8090 -backends http://10.0.0.1:8080,http://10.0.0.2:8080
+//	wpredrouter -addr :8090 -backends ... -quota-rate 50 -quota-burst 100
+//
+// Endpoints:
+//
+//	POST /v1/predict        routed to the key's backend, failover on error
+//	POST /v1/predict/batch  routed by the first item's key
+//	GET  /healthz           router liveness + per-backend health/breaker view
+//	GET  /readyz            503 until at least one backend is routable
+//
+// Shutdown: SIGTERM/SIGINT stops the health probes and drains in-flight
+// requests for up to -drain-timeout before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wpred/internal/obs"
+	"wpred/internal/router"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable context and streams, so tests drive the
+// full router lifecycle by cancelling ctx instead of delivering signals.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wpredrouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8090", "HTTP listen address for the routing front door")
+		backends     = fs.String("backends", "", "comma-separated wpredd base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+		replicas     = fs.Int("replicas", 64, "virtual nodes per backend on the consistent-hash ring")
+		timeout      = fs.Duration("timeout", 30*time.Second, "per-attempt timeout against one backend")
+		retries      = fs.Int("retries", 2, "max attempts beyond the first per request")
+		retryBudget  = fs.Float64("retry-budget", 0.1, "retry budget as a fraction of the request rate")
+		brkThreshold = fs.Int("breaker-threshold", 3, "consecutive failures that open a backend's circuit breaker")
+		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before a half-open probe")
+		backoffBase  = fs.Duration("backoff-base", 25*time.Millisecond, "first retry's backoff window (full jitter)")
+		backoffMax   = fs.Duration("backoff-max", time.Second, "backoff window cap")
+		healthEvery  = fs.Duration("health-interval", 2*time.Second, "active /healthz probe interval per backend")
+		quotaRate    = fs.Float64("quota-rate", 0, "per-tenant requests/second (X-Tenant header); 0 disables quotas")
+		quotaBurst   = fs.Float64("quota-burst", 0, "per-tenant burst depth (default max(rate, 1))")
+		maxTenants   = fs.Int("max-tenants", 1024, "tracked-tenant bound; tenants beyond it share one overflow bucket")
+		maxBody      = fs.Int64("max-body", 8<<20, "request-body cap in bytes")
+		seed         = fs.Uint64("seed", 42, "seed for the backoff jitter")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus metrics (/metrics) and pprof (/debug/pprof/) on this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	urls, err := parseBackends(*backends)
+	if err != nil {
+		fmt.Fprintln(stderr, "wpredrouter:", err)
+		return 2
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "wpredrouter:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "wpredrouter: debug endpoint on http://%s (metrics: /metrics, pprof: /debug/pprof/)\n", srv.Addr)
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:         urls,
+		Replicas:         *replicas,
+		Timeout:          *timeout,
+		Retries:          *retries,
+		RetryBudgetRatio: *retryBudget,
+		Breaker:          router.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		Backoff:          router.Backoff{Base: *backoffBase, Max: *backoffMax},
+		Quota:            router.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst, MaxTenants: *maxTenants},
+		HealthInterval:   *healthEvery,
+		MaxBodyBytes:     *maxBody,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "wpredrouter:", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "wpredrouter:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	rt.Start(ctx)
+	fmt.Fprintf(stderr, "wpredrouter: routing %d backend(s) on %s\n", len(urls), ln.Addr())
+
+	<-ctx.Done()
+	fmt.Fprintf(stderr, "wpredrouter: shutdown signal received; draining for up to %s\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = hs.Shutdown(drainCtx)
+	rt.Wait()
+	if err != nil {
+		fmt.Fprintln(stderr, "wpredrouter: drain incomplete:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "wpredrouter: drained cleanly")
+	return 0
+}
+
+// parseBackends validates the -backends list: non-empty, absolute
+// http/https URLs, no trailing slash ambiguity.
+func parseBackends(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("-backends is required (comma-separated wpredd base URLs)")
+	}
+	var urls []string
+	for _, tok := range strings.Split(s, ",") {
+		u := strings.TrimRight(strings.TrimSpace(tok), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("-backends: %q is not an absolute http(s) URL", tok)
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("-backends: no usable URLs")
+	}
+	return urls, nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lineWatcher mirrors the wpredd test helper: a threadsafe stderr sink
+// that signals when a pattern appears, so tests learn the bound address
+// of a router started with -addr 127.0.0.1:0.
+type lineWatcher struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	pattern *regexp.Regexp
+	found   chan []string
+	done    bool
+}
+
+func newLineWatcher(pattern string) *lineWatcher {
+	return &lineWatcher{pattern: regexp.MustCompile(pattern), found: make(chan []string, 1)}
+}
+
+func (w *lineWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.done {
+		if m := w.pattern.FindStringSubmatch(w.buf.String()); m != nil {
+			w.done = true
+			w.found <- m
+		}
+	}
+	return len(p), nil
+}
+
+func (w *lineWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestRouterDaemonLifecycle drives the full wpredrouter lifecycle: start
+// against a stub backend, proxy one request, drain cleanly on cancel.
+func TestRouterDaemonLifecycle(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		w.Write([]byte(`{"served":true}`))
+	}))
+	defer backend.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stderr := newLineWatcher(`routing 1 backend\(s\) on (\S+)`)
+	var stdout bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-backends", backend.URL,
+			"-health-interval", "50ms",
+		}, &stdout, stderr)
+	}()
+
+	var addr string
+	select {
+	case m := <-stderr.found:
+		addr = m[1]
+	case code := <-exit:
+		t.Fatalf("router exited early with %d:\n%s", code, stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("router never started:\n%s", stderr.String())
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/predict", "application/json",
+		strings.NewReader(`{"selection":"Variance","metric":"L2,1","model":"Regression"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte("served")) {
+		t.Fatalf("proxied request: status %d body %s", resp.StatusCode, body)
+	}
+	if resp, err := http.Get("http://" + addr + "/readyz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("readyz: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after graceful shutdown:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("router did not exit:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("drain log line missing:\n%s", stderr.String())
+	}
+}
+
+// TestRouterFlagValidation covers the fast-fail argument errors.
+func TestRouterFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no backends", nil},
+		{"blank backends", []string{"-backends", " , "}},
+		{"relative backend", []string{"-backends", "10.0.0.1:8080"}},
+		{"bad flag", []string{"-no-such-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if code := run(ctx, tc.args, &out, &errb); code == 0 {
+				t.Errorf("args %v: exit 0, want non-zero\nstderr: %s", tc.args, errb.String())
+			}
+		})
+	}
+}
+
+// TestParseBackends pins the -backends syntax.
+func TestParseBackends(t *testing.T) {
+	urls, err := parseBackends(" http://a:8080/ ,http://b:8080,, ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 2 || urls[0] != "http://a:8080" || urls[1] != "http://b:8080" {
+		t.Errorf("parseBackends = %v", urls)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"wpred/internal/bench"
+	"wpred/internal/telemetry"
+)
+
+// stateSuite simulates a small reference suite and a target for the
+// export/restore tests.
+func stateSuite(t *testing.T) (refs, target []*telemetry.Experiment) {
+	t.Helper()
+	skus := []telemetry.SKU{{CPUs: 2, MemoryGB: 16}, {CPUs: 4, MemoryGB: 32}}
+	src := telemetry.NewSource(42)
+	refs = bench.GenerateSuite(bench.Standard()[:3], skus, []int{4}, 2, src)
+	target = []*telemetry.Experiment{refs[0]}
+	if len(refs) == 0 {
+		t.Fatal("no experiments generated")
+	}
+	return refs, target
+}
+
+// TestStateRestoreRoundTrip trains a pipeline, exports its state, restores
+// a second pipeline from it, and asserts the two produce byte-identical
+// predictions — the contract the snapshot layer builds on.
+func TestStateRestoreRoundTrip(t *testing.T) {
+	refs, target := stateSuite(t)
+	cfg := Config{Seed: 42}
+
+	orig, err := TrainPipeline(cfg, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := orig.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	toSKU := telemetry.SKU{CPUs: 4, MemoryGB: 32}
+	p1, d1, err := orig.PredictWithReport(target, toSKU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, d2, err := restored.PredictWithReport(target, toSKU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(p1)
+	b2, _ := json.Marshal(p2)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("restored pipeline predicts differently:\n%s\nvs\n%s", b1, b2)
+	}
+	if len(d1) != len(d2) {
+		t.Errorf("dropped accounting differs: %d vs %d", len(d1), len(d2))
+	}
+	if got, want := restored.SelectedFeatures(), orig.SelectedFeatures(); len(got) != len(want) {
+		t.Errorf("selected features differ: %v vs %v", got, want)
+	}
+}
+
+// TestStateErrors covers the export/restore failure surface: exporting an
+// untrained pipeline and restoring empty or undersized states must all
+// fail loudly instead of yielding a pipeline that panics later.
+func TestStateErrors(t *testing.T) {
+	if _, err := New(Config{}).State(); err == nil {
+		t.Error("State on an untrained pipeline should fail")
+	}
+	if _, err := Restore(Config{}, PipelineState{}); err == nil {
+		t.Error("Restore with no references should fail")
+	}
+	refs, _ := stateSuite(t)
+	if _, err := Restore(Config{}, PipelineState{Refs: refs[:2]}); err == nil {
+		t.Error("Restore with no selected features should fail")
+	}
+	st := PipelineState{Refs: refs[:1], Selected: []telemetry.Feature{telemetry.CPUUtilization}}
+	if _, err := Restore(Config{MinValidRefs: 2}, st); err == nil {
+		t.Error("Restore below MinValidRefs should fail")
+	}
+}

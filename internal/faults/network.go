@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"wpred/internal/telemetry"
+)
+
+// NetworkPolicy is the HTTP-layer companion to the telemetry fault models:
+// it wraps a handler in the failure shapes a prediction fleet sees between
+// router and backend — refused connections, slow responses, and replies
+// that die mid-body. Chaos tests wrap a real wpredd handler in one and
+// assert the router's retry, breaker, and failover machinery hides every
+// injected fault from the client.
+//
+// Like the telemetry models, injection is deterministic: faults derive
+// from (Seed, request ordinal), so a chaos run replays exactly and a
+// failing schedule can be pinned in a regression test.
+type NetworkPolicy struct {
+	// Seed roots the fault randomness.
+	Seed uint64
+	// RefuseRate is the probability a request is aborted before any bytes
+	// are written — the client sees a connection reset, as if the backend
+	// refused or died pre-accept.
+	RefuseRate float64
+	// LatencyRate is the probability a response is delayed by Latency
+	// before the inner handler runs — the slow-backend shape that trips
+	// client timeouts.
+	LatencyRate float64
+	// Latency is the injected delay (default 50ms when a latency fault
+	// fires with no value set).
+	Latency time.Duration
+	// TruncateRate is the probability a response advertises its full
+	// Content-Length but aborts halfway through the body — the mid-stream
+	// crash that exercises the client's short-read handling.
+	TruncateRate float64
+}
+
+// enabled reports whether any fault can fire.
+func (p NetworkPolicy) enabled() bool {
+	return p.RefuseRate > 0 || p.LatencyRate > 0 || p.TruncateRate > 0
+}
+
+// Wrap returns h with the policy's network faults injected in front of it.
+// A zero policy returns h unchanged.
+func (p NetworkPolicy) Wrap(h http.Handler) http.Handler {
+	if !p.enabled() {
+		return h
+	}
+	w := &wrapped{policy: p, next: h}
+	return w
+}
+
+// wrapped is the fault-injecting handler; ordinal numbers requests so each
+// draws an independent, replayable randomness stream.
+type wrapped struct {
+	policy  NetworkPolicy
+	next    http.Handler
+	ordinal atomic.Uint64
+}
+
+func (wr *wrapped) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := wr.ordinal.Add(1)
+	src := telemetry.NewSource(wr.policy.Seed).Child(fmt.Sprintf("net/%d", n))
+
+	// Draw every fault decision up front so adding a fault mode never
+	// shifts the schedule of the ones after it.
+	refuse := src.Float64() < wr.policy.RefuseRate
+	delay := src.Float64() < wr.policy.LatencyRate
+	truncate := src.Float64() < wr.policy.TruncateRate
+
+	if refuse {
+		// ErrAbortHandler makes net/http drop the connection without
+		// writing a response: the client observes a transport error, not
+		// an HTTP status — exactly what a crashed backend looks like.
+		panic(http.ErrAbortHandler)
+	}
+	if delay {
+		d := wr.policy.Latency
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	if !truncate {
+		wr.next.ServeHTTP(w, r)
+		return
+	}
+
+	// Truncation: run the inner handler against a buffer, then advertise
+	// the full Content-Length but abort after half the body, so the
+	// client gets a short read mid-stream rather than a clean error.
+	rec := &bufferedResponse{header: http.Header{}, status: http.StatusOK}
+	wr.next.ServeHTTP(rec, r)
+	for k, vs := range rec.header {
+		w.Header()[k] = vs
+	}
+	body := rec.body.Bytes()
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(rec.status)
+	w.Write(body[:len(body)/2])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// bufferedResponse captures the inner handler's response so truncation can
+// advertise the real length before cutting the body short.
+type bufferedResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+	wrote  bool
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) {
+	if !b.wrote {
+		b.status = status
+		b.wrote = true
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.wrote = true
+	return b.body.Write(p)
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler answers 200 with a fixed body long enough to truncate.
+func okHandler() http.Handler {
+	body := strings.Repeat("wpred response payload ", 20)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+// classify performs one GET and reports what the client observed.
+func classify(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return "refused"
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	switch {
+	case err != nil:
+		return "truncated"
+	case resp.StatusCode == 200 && len(body) > 0:
+		return "ok"
+	default:
+		t.Fatalf("unclassifiable response: status %d, body %q, err %v", resp.StatusCode, body, err)
+		return ""
+	}
+}
+
+// TestNetworkPolicyZeroIsTransparent asserts a zero policy neither wraps
+// nor perturbs.
+func TestNetworkPolicyZeroIsTransparent(t *testing.T) {
+	mux := http.NewServeMux()
+	if got := (NetworkPolicy{}).Wrap(mux); got != http.Handler(mux) {
+		t.Error("zero policy should return the handler unchanged")
+	}
+	ts := httptest.NewServer(NetworkPolicy{Seed: 1}.Wrap(okHandler()))
+	defer ts.Close()
+	for i := 0; i < 10; i++ {
+		if got := classify(t, ts.URL); got != "ok" {
+			t.Fatalf("request %d under zero rates: %s", i, got)
+		}
+	}
+}
+
+// TestNetworkPolicyRefusal asserts refused requests surface as transport
+// errors (no HTTP status) at roughly the configured rate.
+func TestNetworkPolicyRefusal(t *testing.T) {
+	ts := httptest.NewServer(NetworkPolicy{Seed: 7, RefuseRate: 0.5}.Wrap(okHandler()))
+	defer ts.Close()
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		counts[classify(t, ts.URL)]++
+	}
+	if counts["refused"] < 10 || counts["ok"] < 10 {
+		t.Errorf("refusal mix off at rate 0.5: %v", counts)
+	}
+}
+
+// TestNetworkPolicyTruncation asserts truncated responses advertise the
+// full Content-Length, deliver a strict prefix, and error mid-read.
+func TestNetworkPolicyTruncation(t *testing.T) {
+	ts := httptest.NewServer(NetworkPolicy{Seed: 7, TruncateRate: 1}.Wrap(okHandler()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("truncation must deliver headers, got transport error %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || resp.ContentLength <= 0 {
+		t.Fatalf("status %d, Content-Length %d; want 200 with a positive length", resp.StatusCode, resp.ContentLength)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("full body read succeeded; want a mid-stream error")
+	}
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error %v should be an unexpected EOF, not a clean one", err)
+	}
+	if int64(len(body)) >= resp.ContentLength {
+		t.Errorf("read %d bytes of an advertised %d; want a strict prefix", len(body), resp.ContentLength)
+	}
+}
+
+// TestNetworkPolicyLatency asserts delayed responses still complete, just
+// later.
+func TestNetworkPolicyLatency(t *testing.T) {
+	const d = 30 * time.Millisecond
+	ts := httptest.NewServer(NetworkPolicy{Seed: 7, LatencyRate: 1, Latency: d}.Wrap(okHandler()))
+	defer ts.Close()
+	t0 := time.Now()
+	if got := classify(t, ts.URL); got != "ok" {
+		t.Fatalf("delayed request: %s", got)
+	}
+	if took := time.Since(t0); took < d {
+		t.Errorf("request took %s, want >= %s", took, d)
+	}
+}
+
+// TestNetworkPolicyDeterminism asserts the fault schedule is a pure
+// function of (Seed, request ordinal): two servers with the same policy
+// fail the same requests, and a different seed produces a different
+// schedule.
+func TestNetworkPolicyDeterminism(t *testing.T) {
+	schedule := func(seed uint64) string {
+		p := NetworkPolicy{Seed: seed, RefuseRate: 0.3, TruncateRate: 0.3}
+		ts := httptest.NewServer(p.Wrap(okHandler()))
+		defer ts.Close()
+		var b strings.Builder
+		for i := 0; i < 24; i++ {
+			b.WriteString(classify(t, ts.URL)[:1])
+		}
+		return b.String()
+	}
+	a, b := schedule(7), schedule(7)
+	if a != b {
+		t.Errorf("same seed, different schedules:\n%s\n%s", a, b)
+	}
+	if c := schedule(8); c == a {
+		t.Errorf("seeds 7 and 8 produced the same schedule %s", a)
+	}
+	if !strings.Contains(a, "r") || !strings.Contains(a, "t") || !strings.Contains(a, "o") {
+		t.Errorf("schedule %s should mix refusals, truncations, and successes", a)
+	}
+}

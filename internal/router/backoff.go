@@ -1,0 +1,86 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// Backoff is a capped exponential backoff with full jitter: retry n
+// (0-based) sleeps a uniform random duration in [0, min(Max, Base·2ⁿ)].
+// Full jitter desynchronizes the retry herd a failing backend creates —
+// deterministic schedules would have every client probe it in lockstep.
+type Backoff struct {
+	// Base scales the first retry's window (default 25ms).
+	Base time.Duration
+	// Max caps the window growth (default 1s).
+	Max time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 25 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	return b
+}
+
+// delay returns the sleep before retry attempt (0-based), drawing the
+// jitter fraction from rnd (uniform in [0,1)).
+func (b Backoff) delay(attempt int, rnd func() float64) time.Duration {
+	window := b.Base
+	for i := 0; i < attempt && window < b.Max; i++ {
+		window *= 2
+	}
+	if window > b.Max {
+		window = b.Max
+	}
+	return time.Duration(rnd() * float64(window))
+}
+
+// retryBudget bounds fleet-wide retry amplification: every incoming
+// request deposits Ratio tokens and every retry withdraws one, so retries
+// can never exceed Ratio× the request rate no matter how many backends
+// are failing. A token bucket over request counts needs no clock, which
+// keeps the limit exact under bursts.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	cap    float64
+}
+
+// newRetryBudget builds a budget allowing ratio retries per request
+// (default 0.1), with a burst allowance of max(1, 10·ratio) tokens.
+func newRetryBudget(ratio float64) *retryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	capTokens := 10 * ratio
+	if capTokens < 1 {
+		capTokens = 1
+	}
+	return &retryBudget{ratio: ratio, cap: capTokens, tokens: capTokens}
+}
+
+// onRequest deposits one request's worth of retry allowance.
+func (rb *retryBudget) onRequest() {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.cap {
+		rb.tokens = rb.cap
+	}
+}
+
+// trySpend withdraws one retry token, reporting whether one was available.
+func (rb *retryBudget) trySpend() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}

@@ -1,0 +1,77 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the exact window growth: with the jitter draw
+// held at its supremum the delays double from Base and clamp at Max, and
+// with jitter at zero every delay is zero (full jitter spans the whole
+// window).
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 60 * time.Millisecond}
+	one := func() float64 { return 1 } // supremum of the jitter draw
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 0: Base
+		20 * time.Millisecond, // attempt 1: Base·2
+		40 * time.Millisecond, // attempt 2: Base·4
+		60 * time.Millisecond, // attempt 3: clamped at Max (not 80ms)
+		60 * time.Millisecond, // attempt 4: stays clamped
+	}
+	for attempt, w := range want {
+		if got := b.delay(attempt, one); got != w {
+			t.Errorf("delay(%d) window = %s, want %s", attempt, got, w)
+		}
+		if got := b.delay(attempt, func() float64 { return 0 }); got != 0 {
+			t.Errorf("delay(%d) with zero jitter = %s, want 0", attempt, got)
+		}
+	}
+	// Mid-window draw scales linearly.
+	if got := b.delay(1, func() float64 { return 0.5 }); got != 10*time.Millisecond {
+		t.Errorf("delay(1) at jitter 0.5 = %s, want 10ms", got)
+	}
+}
+
+// TestBackoffDefaults pins the default window parameters.
+func TestBackoffDefaults(t *testing.T) {
+	b := Backoff{}.withDefaults()
+	if b.Base != 25*time.Millisecond || b.Max != time.Second {
+		t.Errorf("defaults = %+v, want base 25ms, max 1s", b)
+	}
+}
+
+// TestRetryBudget asserts the token-bucket arithmetic: deposits of Ratio
+// per request, withdrawals of 1 per retry, capped burst.
+func TestRetryBudget(t *testing.T) {
+	rb := newRetryBudget(0.5)
+	// Initial burst: cap = 10·0.5 = 5 tokens.
+	for i := 0; i < 5; i++ {
+		if !rb.trySpend() {
+			t.Fatalf("burst token %d unavailable", i)
+		}
+	}
+	if rb.trySpend() {
+		t.Fatal("spent more than the burst cap")
+	}
+	// Two requests deposit 1.0 tokens: exactly one retry.
+	rb.onRequest()
+	rb.onRequest()
+	if !rb.trySpend() {
+		t.Fatal("deposited token unavailable")
+	}
+	if rb.trySpend() {
+		t.Fatal("retry rate exceeded ratio × request rate")
+	}
+	// Deposits clamp at the cap.
+	for i := 0; i < 100; i++ {
+		rb.onRequest()
+	}
+	spent := 0
+	for rb.trySpend() {
+		spent++
+	}
+	if spent != 5 {
+		t.Errorf("cap allowed %d tokens, want 5", spent)
+	}
+}

@@ -1,0 +1,113 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig parameterizes a per-backend circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a three-state circuit breaker guarding one backend. Closed
+// passes everything; Threshold consecutive failures open it; an open
+// breaker rejects until Cooldown elapses, then admits exactly one
+// half-open probe — success closes it, failure re-opens it for another
+// cooldown. Time is passed in, never read, so tests replay exact
+// transition schedules.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether an attempt may proceed at time now. In the open
+// state it transitions to half-open (admitting the caller as the single
+// probe) once the cooldown has elapsed.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = stateHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is in flight, everyone else waits
+		return false
+	}
+}
+
+// Success records a successful attempt: the breaker closes and the
+// failure streak resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.failures = 0
+}
+
+// Failure records a failed attempt at time now: a failed half-open probe
+// re-opens immediately; in the closed state the streak grows and opens
+// the breaker at the threshold.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
+		b.openedAt = now
+		return
+	}
+	b.failures++
+	if b.state == stateClosed && b.failures >= b.cfg.Threshold {
+		b.state = stateOpen
+		b.openedAt = now
+	}
+}
+
+// State renders the current state for status payloads.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,92 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle replays the full closed → open → half-open →
+// closed cycle on a fake timeline, pinning every transition edge.
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second})
+	t0 := time.Unix(1_700_000_000, 0)
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(t0) {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		b.Failure(t0)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("after 2/3 failures: state %q", got)
+	}
+
+	// Third consecutive failure opens it.
+	b.Failure(t0)
+	if got := b.State(); got != "open" {
+		t.Fatalf("after 3/3 failures: state %q", got)
+	}
+	if b.Allow(t0.Add(9 * time.Second)) {
+		t.Fatal("open breaker admitted before the cooldown elapsed")
+	}
+
+	// Cooldown elapsed: exactly one half-open probe is admitted.
+	tProbe := t0.Add(10 * time.Second)
+	if !b.Allow(tProbe) {
+		t.Fatal("open breaker rejected after the cooldown elapsed")
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("post-cooldown state %q, want half-open", got)
+	}
+	if b.Allow(tProbe) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// A failed probe re-opens for a fresh cooldown from the failure time.
+	b.Failure(tProbe)
+	if got := b.State(); got != "open" {
+		t.Fatalf("after failed probe: state %q", got)
+	}
+	if b.Allow(tProbe.Add(9 * time.Second)) {
+		t.Fatal("re-opened breaker did not restart the cooldown")
+	}
+
+	// A successful probe closes it and resets the failure streak.
+	tProbe2 := tProbe.Add(10 * time.Second)
+	if !b.Allow(tProbe2) {
+		t.Fatal("re-opened breaker rejected after second cooldown")
+	}
+	b.Success()
+	if got := b.State(); got != "closed" {
+		t.Fatalf("after successful probe: state %q", got)
+	}
+	// Streak reset: two failures do not re-open.
+	b.Failure(tProbe2)
+	b.Failure(tProbe2)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("streak not reset by success: state %q", got)
+	}
+}
+
+// TestBreakerSuccessResetsStreak asserts interleaved successes keep a
+// flaky-but-mostly-up backend admitted: only *consecutive* failures open.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second})
+	now := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 10; i++ {
+		b.Failure(now)
+		b.Success()
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("alternating failure/success opened the breaker: %q", got)
+	}
+}
+
+// TestBreakerDefaults pins the default configuration.
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.Threshold != 3 || cfg.Cooldown != 5*time.Second {
+		t.Errorf("defaults = %+v, want threshold 3, cooldown 5s", cfg)
+	}
+}

@@ -1,0 +1,36 @@
+package router
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for the router's stateful machinery — circuit
+// breakers, backoff sleeps, quota refills, and health-probe pacing — so
+// tests drive exact schedules with a fake clock instead of real sleeps.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() when
+	// the wait was cut short.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,52 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock: Sleep returns instantly after
+// recording the requested duration and advancing the clock, so retry and
+// breaker tests assert exact schedules with no real waiting and stay
+// race-clean under concurrent use.
+type fakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slept = append(c.slept, d)
+	c.now = c.now.Add(d)
+	return nil
+}
+
+func (c *fakeClock) Slept() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.slept))
+	copy(out, c.slept)
+	return out
+}

@@ -1,0 +1,63 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Start launches one active health prober per backend: each probes
+// GET <backend>/healthz every HealthInterval and flips the backend's
+// alive flag on the result, so the attempt loop stops selecting a dead
+// backend within one interval instead of burning an attempt (and a
+// breaker failure) discovering it per request. Probes are the breaker's
+// complement: breakers react to request failures, probes re-admit a
+// backend that recovered while no requests were hitting it.
+//
+// Start returns immediately; probing stops when ctx is cancelled and
+// Wait returns once every prober has exited (tests use it to avoid
+// leaking goroutines).
+func (rt *Router) Start(ctx context.Context) {
+	for _, url := range rt.cfg.Backends {
+		rt.probeWG.Add(1)
+		go rt.probeLoop(ctx, rt.backends[url])
+	}
+}
+
+// Wait blocks until every prober launched by Start has exited.
+func (rt *Router) Wait() { rt.probeWG.Wait() }
+
+// probeLoop is one backend's prober.
+func (rt *Router) probeLoop(ctx context.Context, b *backendState) {
+	defer rt.probeWG.Done()
+	for {
+		b.alive.Store(rt.probeOnce(ctx, b.url))
+		if rt.cfg.Clock.Sleep(ctx, rt.cfg.HealthInterval) != nil {
+			return
+		}
+	}
+}
+
+// probeOnce performs one liveness probe. The timeout is generous (at
+// least 2s) rather than tied to the probe interval: a backend saturating
+// its cores on a model fit answers /healthz slowly but is alive, and the
+// failure mode probes exist to catch — a dead process — fails fast with a
+// connection refusal anyway.
+func (rt *Router) probeOnce(ctx context.Context, url string) bool {
+	timeout := 4 * rt.cfg.HealthInterval
+	if timeout < 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,93 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig parameterizes per-tenant admission quotas. The zero value
+// disables quotas entirely.
+type QuotaConfig struct {
+	// Rate is the steady-state allowance in requests per second; <= 0
+	// disables quotas.
+	Rate float64
+	// Burst is the bucket depth (default max(Rate, 1)).
+	Burst float64
+	// MaxTenants bounds the tracked-tenant table (default 1024); tenants
+	// beyond the bound share one overflow bucket, so an attacker minting
+	// tenant IDs degrades into one shared quota instead of unbounded
+	// memory.
+	MaxTenants int
+}
+
+func (c QuotaConfig) withDefaults() QuotaConfig {
+	if c.Burst <= 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 1024
+	}
+	return c
+}
+
+// bucket is one token bucket, refilled lazily on access.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas enforces per-tenant token buckets keyed by the X-Tenant header
+// (the empty tenant is a tenant like any other). Refill is computed from
+// the injected clock, so quota tests advance time instead of sleeping.
+type quotas struct {
+	cfg   QuotaConfig
+	clock Clock
+
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	overflow *bucket
+}
+
+// newQuotas builds the quota table, or nil when quotas are disabled.
+func newQuotas(cfg QuotaConfig, clock Clock) *quotas {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	return &quotas{cfg: cfg.withDefaults(), clock: clock, buckets: map[string]*bucket{}}
+}
+
+// Allow spends one token from the tenant's bucket, reporting whether the
+// request is within quota. A nil receiver admits everything.
+func (q *quotas) Allow(tenant string) bool {
+	if q == nil {
+		return true
+	}
+	now := q.clock.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		if len(q.buckets) >= q.cfg.MaxTenants {
+			if q.overflow == nil {
+				q.overflow = &bucket{tokens: q.cfg.Burst, last: now}
+			}
+			b = q.overflow
+		} else {
+			b = &bucket{tokens: q.cfg.Burst, last: now}
+			q.buckets[tenant] = b
+		}
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.cfg.Rate
+	if b.tokens > q.cfg.Burst {
+		b.tokens = q.cfg.Burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,78 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestQuotaPerTenant asserts tenants meter independently and refill at
+// Rate on the injected clock.
+func TestQuotaPerTenant(t *testing.T) {
+	clk := newFakeClock()
+	q := newQuotas(QuotaConfig{Rate: 1, Burst: 2}, clk)
+
+	for i := 0; i < 2; i++ {
+		if !q.Allow("a") {
+			t.Fatalf("tenant a burst request %d rejected", i)
+		}
+	}
+	if q.Allow("a") {
+		t.Fatal("tenant a admitted beyond its burst")
+	}
+	// Tenant b is unaffected by a's exhaustion.
+	if !q.Allow("b") {
+		t.Fatal("tenant b rejected by tenant a's quota")
+	}
+	// One second refills one token for a.
+	clk.Advance(time.Second)
+	if !q.Allow("a") {
+		t.Fatal("tenant a not refilled after 1s at rate 1")
+	}
+	if q.Allow("a") {
+		t.Fatal("tenant a over-refilled")
+	}
+	// Refill clamps at Burst, not unbounded accrual.
+	clk.Advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !q.Allow("a") {
+			t.Fatalf("tenant a post-idle request %d rejected", i)
+		}
+	}
+	if q.Allow("a") {
+		t.Fatal("idle time accrued beyond the burst cap")
+	}
+}
+
+// TestQuotaOverflowBucket asserts tenants beyond MaxTenants degrade into
+// one shared bucket instead of growing the table without bound.
+func TestQuotaOverflowBucket(t *testing.T) {
+	clk := newFakeClock()
+	q := newQuotas(QuotaConfig{Rate: 1, Burst: 1, MaxTenants: 2}, clk)
+	if !q.Allow("a") || !q.Allow("b") {
+		t.Fatal("tracked tenants rejected")
+	}
+	// Tenants c and d share the overflow bucket (burst 1 between them).
+	if !q.Allow("c") {
+		t.Fatal("first overflow tenant rejected")
+	}
+	if q.Allow("d") {
+		t.Fatal("overflow tenants did not share one bucket")
+	}
+	if len(q.buckets) != 2 {
+		t.Errorf("tenant table grew to %d entries despite MaxTenants 2", len(q.buckets))
+	}
+}
+
+// TestQuotaDisabled asserts the zero config admits everything.
+func TestQuotaDisabled(t *testing.T) {
+	q := newQuotas(QuotaConfig{}, newFakeClock())
+	if q != nil {
+		t.Fatal("zero config should disable quotas (nil table)")
+	}
+	for i := 0; i < 1000; i++ {
+		if !q.Allow(fmt.Sprint(i)) {
+			t.Fatal("disabled quotas rejected a request")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over the backend set: each backend owns
+// Replicas virtual nodes, and a key's preference order is the clockwise
+// walk from the key's hash, deduplicated. The first backend in the order
+// is the key's primary — with key-affine routing, one backend fits each
+// registry key and the rest restore it from the shared snapshot directory
+// — and the remainder is the deterministic failover order the retry loop
+// walks when the primary is down.
+type ring struct {
+	backends []string
+	vnodes   []vnode // sorted by hash
+}
+
+// vnode is one virtual node: a point on the hash circle owned by a backend.
+type vnode struct {
+	hash    uint64
+	backend int // index into backends
+}
+
+// hashOf positions a string on the ring: FNV-1a (64-bit) mixed through a
+// splitmix64 finalizer. Raw FNV clusters badly on vnode labels that
+// differ only in their numeric suffix; the finalizer's avalanche spreads
+// them over the whole circle.
+func hashOf(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring with replicas virtual nodes per backend.
+func newRing(backends []string, replicas int) *ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &ring{backends: backends}
+	for i, b := range backends {
+		for v := 0; v < replicas; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hashOf(fmt.Sprintf("%s#%d", b, v)), backend: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		return r.vnodes[a].backend < r.vnodes[b].backend
+	})
+	return r
+}
+
+// Lookup returns every backend in the key's preference order: the owner
+// of the first vnode at or after the key's hash, then each new backend
+// encountered continuing clockwise.
+func (r *ring) Lookup(key string) []string {
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	h := hashOf(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	order := make([]string, 0, len(r.backends))
+	seen := make([]bool, len(r.backends))
+	for i := 0; i < len(r.vnodes) && len(order) < len(r.backends); i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.backend] {
+			seen[v.backend] = true
+			order = append(order, r.backends[v.backend])
+		}
+	}
+	return order
+}

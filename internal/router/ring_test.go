@@ -1,0 +1,81 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingLookupProperties asserts the preference order is a permutation
+// of the backend set, stable across calls and ring rebuilds.
+func TestRingLookupProperties(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r1, r2 := newRing(backends, 64), newRing(backends, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("sel%d|met%d|mod%d", i, i%3, i%5)
+		order := r1.Lookup(key)
+		if len(order) != len(backends) {
+			t.Fatalf("key %q: order %v is not a full permutation", key, order)
+		}
+		seen := map[string]bool{}
+		for _, b := range order {
+			if seen[b] {
+				t.Fatalf("key %q: backend %s repeated in %v", key, b, order)
+			}
+			seen[b] = true
+		}
+		if got := fmt.Sprint(r2.Lookup(key)); got != fmt.Sprint(order) {
+			t.Fatalf("key %q: rebuilt ring disagrees: %v vs %s", key, order, got)
+		}
+	}
+}
+
+// TestRingDistribution asserts vnodes spread keys across backends — no
+// backend owns everything, none is starved.
+func TestRingDistribution(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := newRing(backends, 64)
+	counts := map[string]int{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for _, b := range backends {
+		if counts[b] < keys/len(backends)/3 {
+			t.Errorf("backend %s owns only %d/%d keys; distribution %v", b, counts[b], keys, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembershipChange asserts consistent hashing's
+// point: removing one backend only moves the keys it owned.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := newRing([]string{"http://a", "http://b", "http://c"}, 64)
+	reduced := newRing([]string{"http://a", "http://b"}, 64)
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Lookup(key)[0]
+		after := reduced.Lookup(key)[0]
+		if before == "http://c" {
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved > 0 {
+		t.Errorf("%d keys not owned by the removed backend still moved", moved)
+	}
+}
+
+// TestRingSingleAndEmpty covers the degenerate memberships.
+func TestRingSingleAndEmpty(t *testing.T) {
+	if got := newRing(nil, 8).Lookup("k"); got != nil {
+		t.Errorf("empty ring Lookup = %v, want nil", got)
+	}
+	one := newRing([]string{"http://solo"}, 8)
+	if got := one.Lookup("k"); len(got) != 1 || got[0] != "http://solo" {
+		t.Errorf("single-backend Lookup = %v", got)
+	}
+}

@@ -1,0 +1,433 @@
+// Package router is the fault-tolerant front door of a wpredd fleet: a
+// stdlib-only reverse proxy that consistent-hashes each prediction's
+// registry key (selection × metric × model) to a backend, so every key is
+// trained once fleet-wide, and hides individual backend failures behind
+// retries, failover, circuit breakers, and per-tenant quotas.
+//
+// The failure discipline, in one pass through a request:
+//
+//   - per-tenant token-bucket quota (X-Tenant header) → 429 when spent
+//   - key-affine preference order from the consistent-hash ring
+//   - per-attempt timeout; transport errors, short reads, 429, 502, and
+//     503 fail over to the next replica; other statuses (including a
+//     backend's deterministic 4xx/500 model errors) relay verbatim
+//   - capped exponential backoff with full jitter between attempts
+//   - a retry budget (retries ≤ ratio × request rate) bounds
+//     amplification when the whole fleet degrades
+//   - a per-backend circuit breaker (closed → open → half-open) stops
+//     hammering a dead backend; active /healthz probes re-admit it
+//
+// See "Durability & fleet" in DESIGN.md for how router affinity and the
+// shared snapshot directory together guarantee each key is fitted once.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wpred/internal/obs"
+)
+
+// Router metrics.
+var (
+	rtRequests = obs.GetCounter("wpred_router_requests_total",
+		"Prediction requests accepted by the router (after quota).", nil)
+	rtRetries = obs.GetCounter("wpred_router_retries_total",
+		"Attempts beyond the first, across all requests.", nil)
+	rtQuotaRejections = obs.GetCounter("wpred_router_quota_rejections_total",
+		"Requests rejected with 429 by per-tenant quotas.", nil)
+	rtExhausted = obs.GetCounter("wpred_router_exhausted_total",
+		"Requests that failed every admissible attempt and returned 502/503.", nil)
+	rtBreakerOpens = obs.GetCounter("wpred_router_breaker_opens_total",
+		"Circuit-breaker transitions into the open state.", nil)
+)
+
+// Config parameterizes a Router. Zero values select production defaults.
+type Config struct {
+	// Backends are the wpredd base URLs (e.g. "http://10.0.0.1:8080").
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (default 64).
+	Replicas int
+	// Timeout bounds each attempt against one backend (default 30s —
+	// a cold fit on an un-snapshotted key can take a while).
+	Timeout time.Duration
+	// Retries caps attempts beyond the first per request (default 2;
+	// negative disables retries entirely).
+	Retries int
+	// RetryBudgetRatio bounds fleet-wide retry amplification: retries
+	// may not exceed this fraction of the request rate (default 0.1).
+	RetryBudgetRatio float64
+	// Breaker parameterizes the per-backend circuit breakers.
+	Breaker BreakerConfig
+	// Backoff parameterizes the between-attempt sleeps.
+	Backoff Backoff
+	// Quota parameterizes per-tenant admission (zero disables).
+	Quota QuotaConfig
+	// HealthInterval paces the active /healthz probes (default 2s).
+	HealthInterval time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Seed drives the jitter randomness.
+	Seed uint64
+	// Clock injects time; nil selects the real clock.
+	Clock Clock
+	// Transport injects the backend round-tripper; nil selects
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	c.Backoff = c.Backoff.withDefaults()
+	return c
+}
+
+// backendState is the router's view of one backend: its breaker and the
+// health prober's verdict (optimistically alive until probed, so the
+// router works before — and without — Start).
+type backendState struct {
+	url     string
+	breaker *breaker
+	alive   atomic.Bool
+}
+
+// Router is the sharded, fault-tolerant reverse proxy. Create with New,
+// optionally Start the health probes, and mount Handler.
+type Router struct {
+	cfg      Config
+	ring     *ring
+	backends map[string]*backendState
+	budget   *retryBudget
+	quotas   *quotas
+	client   *http.Client
+	mux      http.Handler
+	probeWG  sync.WaitGroup
+
+	// jitterState drives backoff jitter (splitmix64 walk, like the serve
+	// admission queue's Retry-After jitter).
+	jitterState atomic.Uint64
+	// jitterHook, when set, replaces the jitter draw — tests inject exact
+	// schedules here.
+	jitterHook func() float64
+}
+
+// New builds a router over cfg.Backends. At least one backend is required.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: no backends configured")
+	}
+	rt := &Router{
+		cfg:      cfg,
+		ring:     newRing(cfg.Backends, cfg.Replicas),
+		backends: make(map[string]*backendState, len(cfg.Backends)),
+		budget:   newRetryBudget(cfg.RetryBudgetRatio),
+		quotas:   newQuotas(cfg.Quota, cfg.Clock),
+		client:   &http.Client{Transport: cfg.Transport},
+	}
+	rt.jitterState.Store(cfg.Seed)
+	for _, b := range cfg.Backends {
+		st := &backendState{url: b, breaker: newBreaker(cfg.Breaker)}
+		st.alive.Store(true)
+		rt.backends[b] = st
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/predict", obs.InstrumentHandler("route_predict", http.HandlerFunc(rt.handleProxy)))
+	mux.Handle("POST /v1/predict/batch", obs.InstrumentHandler("route_batch", http.HandlerFunc(rt.handleProxy)))
+	mux.Handle("GET /healthz", obs.InstrumentHandler("router_healthz", http.HandlerFunc(rt.handleHealthz)))
+	mux.Handle("GET /readyz", obs.InstrumentHandler("router_readyz", http.HandlerFunc(rt.handleReadyz)))
+	rt.mux = mux
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// jitter draws a uniform fraction in [0,1) for backoff delays.
+func (rt *Router) jitter() float64 {
+	if rt.jitterHook != nil {
+		return rt.jitterHook()
+	}
+	x := rt.jitterState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// keyFields is the lenient slice of a prediction request the router needs:
+// just the registry key. Unknown fields and malformed bodies are the
+// backend's problem — the router still routes them (consistently, by the
+// empty key).
+type keyFields struct {
+	Selection string `json:"selection"`
+	Metric    string `json:"metric"`
+	Model     string `json:"model"`
+}
+
+// routeKey extracts the registry key a request should shard on. Batch
+// requests shard on their first item's key: callers batching across keys
+// still get a deterministic backend, they just forgo per-key affinity.
+func routeKey(path string, body []byte) string {
+	var kf keyFields
+	if path == "/v1/predict/batch" {
+		var batch struct {
+			Requests []json.RawMessage `json:"requests"`
+		}
+		if json.Unmarshal(body, &batch) != nil || len(batch.Requests) == 0 {
+			return ""
+		}
+		body = batch.Requests[0]
+	}
+	if json.Unmarshal(body, &kf) != nil {
+		return ""
+	}
+	return kf.Selection + "|" + kf.Metric + "|" + kf.Model
+}
+
+// attemptResult is one backend attempt: a fully read response, or the
+// error that prevented one.
+type attemptResult struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// retryable reports whether the attempt should fail over to the next
+// replica: transport-level failures (connection refused, timeout, short
+// read) and the load-shedding statuses. Anything else — including 4xx and
+// the backend's deterministic 500s — relays verbatim: retrying a
+// deterministic failure elsewhere only duplicates work.
+func (a attemptResult) retryable() bool {
+	if a.err != nil {
+		return true
+	}
+	switch a.status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// countsAgainstBreaker reports whether a failed attempt indicts the
+// backend. A 429 is a healthy backend shedding load — opening the breaker
+// on it would amplify an overload into an outage.
+func (a attemptResult) countsAgainstBreaker() bool {
+	return a.err != nil || a.status == http.StatusBadGateway || a.status == http.StatusServiceUnavailable
+}
+
+// attempt performs one proxied request against backend, reading the whole
+// response body so a mid-stream disconnect surfaces here (retryable) and
+// never as a short read relayed to the client.
+func (rt *Router) attempt(ctx context.Context, backend string, r *http.Request, body []byte) attemptResult {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, backend+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return attemptResult{err: fmt.Errorf("router: reading %s response: %w", backend, err)}
+	}
+	return attemptResult{status: resp.StatusCode, header: resp.Header, body: b}
+}
+
+// handleProxy routes one prediction request: quota, key-affine candidate
+// order, then the attempt loop with failover, backoff, breakers, and the
+// retry budget.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if !rt.quotas.Allow(r.Header.Get("X-Tenant")) {
+		rtQuotaRejections.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "router: tenant quota exceeded")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "router: request body too large")
+		return
+	}
+	rtRequests.Inc()
+	rt.budget.onRequest()
+
+	candidates := rt.ring.Lookup(routeKey(r.URL.Path, body))
+	var last attemptResult
+	attempted := false
+	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if !rt.budget.trySpend() {
+				break // retry budget spent: relay what we have
+			}
+			rtRetries.Inc()
+			if rt.cfg.Clock.Sleep(r.Context(), rt.cfg.Backoff.delay(attempt-1, rt.jitter)) != nil {
+				break // client gave up mid-backoff
+			}
+		}
+		backend := rt.pickBackend(candidates, attempt)
+		if backend == nil {
+			break // every candidate is dead or breaker-rejected
+		}
+		attempted = true
+		last = rt.attempt(r.Context(), backend.url, r, body)
+		if !last.retryable() {
+			backend.breaker.Success()
+			relay(w, last)
+			return
+		}
+		if last.countsAgainstBreaker() {
+			rt.recordFailure(backend)
+		}
+	}
+	rtExhausted.Inc()
+	if !attempted || last.err != nil {
+		msg := "router: no healthy backend for this key"
+		if last.err != nil {
+			msg = "router: all attempts failed: " + last.err.Error()
+		}
+		httpError(w, http.StatusBadGateway, msg)
+		return
+	}
+	relay(w, last) // exhausted on load shedding: pass the 429/502/503 through
+}
+
+// pickBackend returns the first admissible candidate starting at position
+// attempt in the key's preference order (wrapping), skipping dead and
+// breaker-rejected backends; nil when none is admissible. Breakers are
+// only consulted for backends actually reached in the walk — Allow
+// transitions an open breaker to half-open, and that probe slot must go
+// to a backend this attempt will really hit.
+func (rt *Router) pickBackend(candidates []string, attempt int) *backendState {
+	now := rt.cfg.Clock.Now()
+	n := len(candidates)
+	for i := 0; i < n; i++ {
+		b := rt.backends[candidates[(attempt+i)%n]]
+		if b.alive.Load() && b.breaker.Allow(now) {
+			return b
+		}
+	}
+	return nil
+}
+
+// recordFailure counts a breaker-worthy failure, tracking transitions into
+// the open state for the metrics.
+func (rt *Router) recordFailure(b *backendState) {
+	before := b.breaker.State()
+	b.breaker.Failure(rt.cfg.Clock.Now())
+	if before != "open" && b.breaker.State() == "open" {
+		rtBreakerOpens.Inc()
+	}
+}
+
+// relay writes a fully read backend response to the client verbatim.
+func relay(w http.ResponseWriter, a attemptResult) {
+	for k, vs := range a.header {
+		w.Header()[k] = vs
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(a.body)))
+	w.WriteHeader(a.status)
+	w.Write(a.body)
+}
+
+// httpError mirrors the backend error shape so clients parse one format.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// backendStatusJSON is one backend's row in the router's health payload.
+type backendStatusJSON struct {
+	URL     string `json:"url"`
+	Alive   bool   `json:"alive"`
+	Breaker string `json:"breaker"`
+}
+
+// statusRows renders every backend in ring order.
+func (rt *Router) statusRows() []backendStatusJSON {
+	rows := make([]backendStatusJSON, 0, len(rt.cfg.Backends))
+	for _, url := range rt.cfg.Backends {
+		b := rt.backends[url]
+		rows = append(rows, backendStatusJSON{URL: url, Alive: b.alive.Load(), Breaker: b.breaker.State()})
+	}
+	return rows
+}
+
+// usable reports whether at least one backend is alive with a
+// non-rejecting breaker.
+func (rt *Router) usable() bool {
+	for _, url := range rt.cfg.Backends {
+		b := rt.backends[url]
+		if b.alive.Load() && b.breaker.State() != "open" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleHealthz reports router liveness plus the per-backend view.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status   string              `json:"status"`
+		Backends []backendStatusJSON `json:"backends"`
+	}{"ok", rt.statusRows()})
+}
+
+// handleReadyz reports 200 while at least one backend is routable.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ready", http.StatusOK
+	if !rt.usable() {
+		status, code = "no routable backend", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status   string              `json:"status"`
+		Backends []backendStatusJSON `json:"backends"`
+	}{status, rt.statusRows()})
+}
+
+// writeJSON encodes one response body in a single shot.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

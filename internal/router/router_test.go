@@ -1,0 +1,396 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wpred/internal/faults"
+)
+
+// echoBackend answers every POST with 200 and a body naming itself, and
+// 200 on /healthz, counting prediction attempts.
+type echoBackend struct {
+	name  string
+	hits  atomic.Uint64
+	ts    *httptest.Server
+	inner http.Handler
+}
+
+func newEchoBackend(t *testing.T, name string) *echoBackend {
+	t.Helper()
+	b := &echoBackend{name: name}
+	b.inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		b.hits.Add(1)
+		fmt.Fprintf(w, `{"served_by":%q}`, name)
+	})
+	b.ts = httptest.NewServer(b.inner)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+// failingBackend answers every POST with the given status.
+func failingBackend(t *testing.T, status int, hits *atomic.Uint64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		if hits != nil {
+			hits.Add(1)
+		}
+		httpError(w, status, "backend unhappy")
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newTestRouter builds a router over the given backend URLs with a fake
+// clock (no real backoff sleeps) and fast failure thresholds.
+func newTestRouter(t *testing.T, cfg Config, backends ...string) (*Router, *httptest.Server, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	cfg.Backends = backends
+	cfg.Clock = clk
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts, clk
+}
+
+func postJSON(t *testing.T, url, body string, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+const reqBody = `{"selection":"Variance","metric":"L2,1","model":"Regression"}`
+
+// TestRouterKeyAffinity asserts every request for one key lands on one
+// backend, and distinct keys spread across the fleet.
+func TestRouterKeyAffinity(t *testing.T) {
+	a, b, c := newEchoBackend(t, "a"), newEchoBackend(t, "b"), newEchoBackend(t, "c")
+	_, ts, _ := newTestRouter(t, Config{}, a.ts.URL, b.ts.URL, c.ts.URL)
+
+	served := map[string]map[string]bool{} // key -> set of serving backends
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf(`{"selection":"sel%d","metric":"m","model":"x"}`, i%6)
+		resp, body := postJSON(t, ts.URL+"/v1/predict", key, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var got struct {
+			ServedBy string `json:"served_by"`
+		}
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if served[key] == nil {
+			served[key] = map[string]bool{}
+		}
+		served[key][got.ServedBy] = true
+	}
+	backendsUsed := map[string]bool{}
+	for key, set := range served {
+		if len(set) != 1 {
+			t.Errorf("key %s served by %d backends: %v", key, len(set), set)
+		}
+		for b := range set {
+			backendsUsed[b] = true
+		}
+	}
+	if len(backendsUsed) < 2 {
+		t.Errorf("6 distinct keys all routed to %v; want spread", backendsUsed)
+	}
+}
+
+// TestRouterFailover asserts a load-shedding backend is failed over
+// transparently: the client sees 200 from a replica, and the backoff
+// schedule ran on the clock.
+func TestRouterFailover(t *testing.T) {
+	var badHits atomic.Uint64
+	bad := failingBackend(t, http.StatusServiceUnavailable, &badHits)
+	good := newEchoBackend(t, "good")
+	// Ratio 1 ⇒ every request may retry once more than it has earned.
+	_, ts, clk := newTestRouter(t, Config{RetryBudgetRatio: 1, Retries: 3},
+		bad.URL, good.ts.URL)
+
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/predict", reqBody, nil)
+		if resp.StatusCode != 200 || !bytes.Contains(body, []byte("good")) {
+			t.Fatalf("request %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	if badHits.Load() == 0 && good.hits.Load() < 5 {
+		t.Error("expected the good backend to absorb all requests")
+	}
+	// At least one request was retried (whenever bad was preferred), and
+	// its backoff used the clock, not a real sleep.
+	if badHits.Load() > 0 && len(clk.Slept()) == 0 {
+		t.Error("failover retried without consulting the backoff clock")
+	}
+}
+
+// TestRouterNoRetryOnDeterministicFailure asserts 4xx and 500 bodies
+// relay verbatim with exactly one attempt: retrying a deterministic model
+// error elsewhere only duplicates work.
+func TestRouterNoRetryOnDeterministicFailure(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusInternalServerError} {
+		var hits atomic.Uint64
+		bad := failingBackend(t, status, &hits)
+		_, ts, _ := newTestRouter(t, Config{Retries: 3, RetryBudgetRatio: 1}, bad.URL)
+		resp, body := postJSON(t, ts.URL+"/v1/predict", reqBody, nil)
+		if resp.StatusCode != status {
+			t.Errorf("status %d relayed as %d", status, resp.StatusCode)
+		}
+		if !bytes.Contains(body, []byte("backend unhappy")) {
+			t.Errorf("status %d: backend body not relayed verbatim: %s", status, body)
+		}
+		if hits.Load() != 1 {
+			t.Errorf("status %d: %d attempts, want exactly 1", status, hits.Load())
+		}
+	}
+}
+
+// TestRouterRetryBudgetBounds asserts a zero-ish budget stops retries
+// even with a generous retry cap: attempts == 1 + available tokens.
+func TestRouterRetryBudgetBounds(t *testing.T) {
+	var hits atomic.Uint64
+	bad := failingBackend(t, http.StatusServiceUnavailable, &hits)
+	rt, ts, _ := newTestRouter(t, Config{Retries: 10, RetryBudgetRatio: 0.1}, bad.URL)
+	// Drain the initial burst allowance so the budget is empty.
+	for rt.budget.trySpend() {
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/predict", reqBody, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want the relayed 503", resp.StatusCode)
+	}
+	// The request deposited 0.1 tokens — not enough for any retry.
+	if hits.Load() != 1 {
+		t.Errorf("%d attempts with an empty budget, want 1", hits.Load())
+	}
+}
+
+// TestRouterBreakerShedsDeadBackend asserts repeated transport failures
+// open the breaker, after which requests stop reaching for the dead
+// backend entirely (no attempts burned) until the cooldown readmits it.
+func TestRouterBreakerShedsDeadBackend(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+	good := newEchoBackend(t, "good")
+	rt, ts, clk := newTestRouter(t,
+		Config{Retries: 3, RetryBudgetRatio: 1, Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Minute}},
+		deadURL, good.ts.URL)
+
+	// Use a key whose ring primary is the dead backend, so every request
+	// must discover the refusal and fail over.
+	var deadKeyBody string
+	for i := 0; deadKeyBody == ""; i++ {
+		sel := fmt.Sprintf("sel%d", i)
+		if rt.ring.Lookup(sel + "|m|x")[0] == deadURL {
+			deadKeyBody = fmt.Sprintf(`{"selection":%q,"metric":"m","model":"x"}`, sel)
+		}
+	}
+
+	// Enough requests to push the dead backend past its threshold; all
+	// succeed via failover regardless.
+	for i := 0; i < 8; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/predict", deadKeyBody, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	if got := rt.backends[deadURL].breaker.State(); got != "open" {
+		t.Fatalf("dead backend's breaker is %q after repeated refusals, want open", got)
+	}
+	// With the breaker open, requests route straight to the survivor with
+	// no retries spent on the corpse.
+	before := len(clk.Slept())
+	for i := 0; i < 5; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/predict", deadKeyBody, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-open request %d failed", i)
+		}
+	}
+	if after := len(clk.Slept()); after != before {
+		t.Errorf("open breaker still burned %d backoff sleeps", after-before)
+	}
+	// /healthz names the open breaker.
+	hresp, hbody := postGet(t, ts.URL+"/healthz")
+	if hresp != 200 || !bytes.Contains(hbody, []byte(`"breaker":"open"`)) {
+		t.Errorf("healthz %d should report the open breaker: %s", hresp, hbody)
+	}
+}
+
+// postGet is a tiny GET helper returning status and body.
+func postGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// TestRouterTenantQuota asserts per-tenant 429s with Retry-After, tenant
+// isolation, and that quota rejections never reach a backend.
+func TestRouterTenantQuota(t *testing.T) {
+	good := newEchoBackend(t, "good")
+	_, ts, _ := newTestRouter(t, Config{Quota: QuotaConfig{Rate: 0.001, Burst: 2}}, good.ts.URL)
+
+	hdrA := map[string]string{"X-Tenant": "alice"}
+	for i := 0; i < 2; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/predict", reqBody, hdrA)
+		if resp.StatusCode != 200 {
+			t.Fatalf("alice burst request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", reqBody, hdrA)
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("alice over quota: status %d Retry-After %q body %s",
+			resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+	served := good.hits.Load()
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", reqBody, map[string]string{"X-Tenant": "bob"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("bob rejected by alice's quota: status %d", resp.StatusCode)
+	}
+	if good.hits.Load() != served+1 {
+		t.Error("quota-rejected request reached the backend")
+	}
+}
+
+// TestRouterBatchRoutesByFirstKey asserts batch bodies route on their
+// first element's key, deterministically.
+func TestRouterBatchRoutesByFirstKey(t *testing.T) {
+	a, b := newEchoBackend(t, "a"), newEchoBackend(t, "b")
+	_, ts, _ := newTestRouter(t, Config{}, a.ts.URL, b.ts.URL)
+	batch := `{"requests":[` + reqBody + `]}`
+	var first string
+	for i := 0; i < 6; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/predict/batch", batch, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("batch status %d", resp.StatusCode)
+		}
+		if first == "" {
+			first = string(body)
+		} else if string(body) != first {
+			t.Fatalf("batch key routed to different backends: %s vs %s", body, first)
+		}
+	}
+}
+
+// TestRouterSurvivesNetworkFaults wraps a backend in the chaos network
+// policy (refusals and mid-body truncation) and asserts the retry loop
+// hides every injected fault behind the healthy replica.
+func TestRouterSurvivesNetworkFaults(t *testing.T) {
+	flaky := newEchoBackend(t, "flaky")
+	flakyTS := httptest.NewServer(faults.NetworkPolicy{
+		Seed: 11, RefuseRate: 0.4, TruncateRate: 0.4,
+	}.Wrap(flaky.inner))
+	t.Cleanup(flakyTS.Close)
+	steady := newEchoBackend(t, "steady")
+	_, ts, _ := newTestRouter(t, Config{Retries: 4, RetryBudgetRatio: 1},
+		flakyTS.URL, steady.ts.URL)
+
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf(`{"selection":"sel%d","metric":"m","model":"x"}`, i%8)
+		resp, body := postJSON(t, ts.URL+"/v1/predict", key, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d not hidden from client: status %d body %s", i, resp.StatusCode, body)
+		}
+		if !bytes.Contains(body, []byte("served_by")) {
+			t.Fatalf("request %d: partial body relayed: %q", i, body)
+		}
+	}
+}
+
+// TestRouterReadyz asserts readiness follows backend usability.
+func TestRouterReadyz(t *testing.T) {
+	good := newEchoBackend(t, "good")
+	rt, ts, _ := newTestRouter(t, Config{}, good.ts.URL)
+	if code, _ := postGet(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz with a live backend: %d", code)
+	}
+	rt.backends[good.ts.URL].alive.Store(false)
+	if code, body := postGet(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with every backend dead: %d %s", code, body)
+	}
+}
+
+// TestRouterHealthProbesReviveBackend asserts the active prober flips a
+// backend dead while it is down and alive again once it returns.
+func TestRouterHealthProbesReviveBackend(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(false)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			httpError(w, http.StatusServiceUnavailable, "down")
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(backend.Close)
+
+	// Real clock here: the prober loop sleeps for real, so keep the
+	// interval tiny.
+	rt, err := New(Config{Backends: []string{backend.URL}, HealthInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); rt.Wait() }()
+	rt.Start(ctx)
+
+	waitFor := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.backends[backend.URL].alive.Load() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("prober never observed backend %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor(false, "down")
+	healthy.Store(true)
+	waitFor(true, "recovered")
+}

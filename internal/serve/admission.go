@@ -1,6 +1,11 @@
 package serve
 
-import "wpred/internal/obs"
+import (
+	"strconv"
+	"sync/atomic"
+
+	"wpred/internal/obs"
+)
 
 // Admission metrics: queue occupancy and backpressure rejections.
 var (
@@ -19,14 +24,46 @@ var (
 // 429, so load beyond capacity sheds instead of queuing without bound.
 type admission struct {
 	slots chan struct{}
+
+	// jitterState drives the Retry-After jitter (a splitmix64 walk seeded
+	// from the server seed, advanced atomically per rejection).
+	jitterState atomic.Uint64
+	// jitterHook, when set, replaces the jittered value — tests inject a
+	// deterministic source here.
+	jitterHook func() int
 }
 
-func newAdmission(capacity int) *admission {
+func newAdmission(capacity int, seed uint64) *admission {
 	if capacity < 1 {
 		capacity = 1
 	}
 	queueLimit.Set(float64(capacity))
-	return &admission{slots: make(chan struct{}, capacity)}
+	a := &admission{slots: make(chan struct{}, capacity)}
+	a.jitterState.Store(seed)
+	return a
+}
+
+// retryAfterMaxSecs bounds the jittered Retry-After hint: rejected clients
+// are told to come back after 1 to retryAfterMaxSecs seconds.
+const retryAfterMaxSecs = 3
+
+// retryAfter renders the Retry-After header for a 429. The value is
+// jittered across [1, retryAfterMaxSecs] seconds so the synchronized
+// clients produced by a burst rejection do not return as a synchronized
+// retry herd that the queue rejects again in lockstep. The jitter is a
+// seeded splitmix64 walk: deterministic for a given server seed and
+// rejection ordinal, concurrency-safe, and injectable for tests.
+func (a *admission) retryAfter() string {
+	if a.jitterHook != nil {
+		return strconv.Itoa(a.jitterHook())
+	}
+	x := a.jitterState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return strconv.Itoa(1 + int(x%retryAfterMaxSecs))
 }
 
 // tryAcquire claims n slots without blocking. It either claims all n and

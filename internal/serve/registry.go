@@ -23,6 +23,8 @@ var (
 		"Entries displaced by the LRU bound.", nil)
 	regEntries = obs.GetGauge("wpred_serve_registry_entries",
 		"Entries currently resident in the model registry.", nil)
+	regRestores = obs.GetCounter("wpred_serve_registry_restores_total",
+		"Entries restored from snapshots instead of being trained (warm restarts plus lazy per-key restores).", nil)
 )
 
 // Key identifies one trained pipeline in the model registry: the
@@ -72,13 +74,19 @@ type regEntry struct {
 // caller waiting on the failed flight observes the same error.
 type Registry struct {
 	train func(Key) (*core.Pipeline, error)
-	cap   int
+	// restore, when set (SetRestore), is consulted on a cold key before
+	// train: a hit counts as a restore rather than a fit. The snapshot
+	// layer uses it so a key another fleet member already trained — or
+	// that this process trained before a restart — is loaded from disk
+	// instead of refitted.
+	restore func(Key) (*core.Pipeline, bool)
+	cap     int
 
 	mu      sync.Mutex
 	entries map[Key]*regEntry
 	lru     *list.List // front = most recently used; values are *regEntry
 
-	fits, hits, misses, evictions atomic.Uint64
+	fits, hits, misses, evictions, restores atomic.Uint64
 }
 
 // NewRegistry returns a registry holding at most capacity trained
@@ -98,12 +106,16 @@ func NewRegistry(capacity int, train func(Key) (*core.Pipeline, error)) *Registr
 // RegistryStats is a consistent snapshot of the registry counters.
 type RegistryStats struct {
 	// Fits counts pipelines trained (single-flight: one per distinct cold
-	// key while no eviction intervenes).
+	// key while no eviction intervenes). Keys satisfied from snapshots
+	// never count here — the restart round-trip test pins that.
 	Fits uint64
 	// Hits and Misses partition every Get call.
 	Hits, Misses uint64
 	// Evictions counts entries displaced by the LRU bound.
 	Evictions uint64
+	// Restores counts entries satisfied from snapshots (startup warm
+	// restores plus lazy per-key restores on cold misses).
+	Restores uint64
 	// Entries is the current resident count.
 	Entries int
 }
@@ -118,7 +130,65 @@ func (r *Registry) Stats() RegistryStats {
 		Hits:      r.hits.Load(),
 		Misses:    r.misses.Load(),
 		Evictions: r.evictions.Load(),
+		Restores:  r.restores.Load(),
 		Entries:   n,
+	}
+}
+
+// SetRestore installs the snapshot-restore hook consulted on cold misses.
+// Call it before the registry starts serving Gets; the hook must be safe
+// for concurrent use.
+func (r *Registry) SetRestore(f func(Key) (*core.Pipeline, bool)) { r.restore = f }
+
+// Put warm-inserts an already trained pipeline (the startup restore path),
+// counting it as a restore. An existing or in-flight entry for the key is
+// left untouched — a restore never clobbers newer work — and the insert
+// respects the LRU bound like any fit.
+func (r *Registry) Put(key Key, p *core.Pipeline) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[key]; ok {
+		return
+	}
+	e := &regEntry{key: key, done: make(chan struct{}), p: p}
+	close(e.done)
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	r.restores.Add(1)
+	regRestores.Inc()
+	r.evictOverflow()
+	regEntries.Set(float64(r.lru.Len()))
+}
+
+// Resident returns the successfully trained pipelines currently resident,
+// skipping in-flight and failed entries. The shutdown path persists these
+// so the next start restores every warm model, not just the ones whose
+// on-fit snapshot write succeeded.
+func (r *Registry) Resident() map[Key]*core.Pipeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Key]*core.Pipeline, len(r.entries))
+	for k, e := range r.entries {
+		select {
+		case <-e.done:
+			if e.err == nil && e.p != nil {
+				out[k] = e.p
+			}
+		default: // fit still in flight
+		}
+	}
+	return out
+}
+
+// evictOverflow displaces LRU entries beyond the capacity. Caller holds mu.
+func (r *Registry) evictOverflow() {
+	for r.lru.Len() > r.cap {
+		back := r.lru.Back()
+		victim := back.Value.(*regEntry)
+		r.lru.Remove(back)
+		delete(r.entries, victim.key)
+		r.evictions.Add(1)
+		regEvictions.Inc()
 	}
 }
 
@@ -140,17 +210,23 @@ func (r *Registry) Get(key Key) (*core.Pipeline, error) {
 	r.entries[key] = e
 	r.misses.Add(1)
 	regMisses.Inc()
-	for r.lru.Len() > r.cap {
-		back := r.lru.Back()
-		victim := back.Value.(*regEntry)
-		r.lru.Remove(back)
-		delete(r.entries, victim.key)
-		r.evictions.Add(1)
-		regEvictions.Inc()
-	}
+	r.evictOverflow()
 	regEntries.Set(float64(r.lru.Len()))
 	r.mu.Unlock()
 
+	// Snapshot restore first (when enabled): a key another fleet member
+	// already trained — or this process trained before a restart — loads
+	// from disk instead of refitting. Waiters on the flight can't tell
+	// the difference; only the fit/restore accounting does.
+	if r.restore != nil {
+		if p, ok := r.restore(key); ok {
+			r.restores.Add(1)
+			regRestores.Inc()
+			e.p = p
+			close(e.done)
+			return e.p, nil
+		}
+	}
 	r.fits.Add(1)
 	regFits.Inc()
 	e.p, e.err = r.train(key)

@@ -47,6 +47,13 @@ type Config struct {
 	TopK       int
 	Subsamples int
 	Sanitize   telemetry.SanitizePolicy
+	// SnapshotDir, when non-empty, makes trained models durable: every
+	// fit is snapshotted there atomically, cold misses consult it before
+	// training (so a fleet sharing one directory never trains a key
+	// twice), RestoreSnapshots warm-starts from it, and shutdown persists
+	// every resident model. Empty disables durability (the prior
+	// in-memory-only behavior).
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +76,7 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	adm      *admission
+	snaps    *snapshots
 	mux      http.Handler
 	ready    atomic.Bool
 
@@ -87,7 +95,11 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
 	s.registry = NewRegistry(cfg.RegistryCap, s.trainKey)
-	s.adm = newAdmission(cfg.QueueSlots)
+	s.adm = newAdmission(cfg.QueueSlots, cfg.Seed)
+	s.snaps = newSnapshots(cfg)
+	if s.snaps != nil {
+		s.registry.SetRestore(s.tryRestore)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/predict", obs.InstrumentHandler("predict", http.HandlerFunc(s.handlePredict)))
@@ -98,23 +110,22 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// trainKey fits one registry entry: it resolves the key's components
-// (already validated by the request decoder or Warmup) and trains a
-// pipeline on the server's reference suite.
-func (s *Server) trainKey(k Key) (*core.Pipeline, error) {
+// pipelineConfig resolves a registry key's components into the pipeline
+// configuration this server trains (and restores) the key under.
+func (s *Server) pipelineConfig(k Key) (core.Config, error) {
 	sel, ok := selectionByName(k.Selection, s.cfg.Seed)
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown selection %q", k.Selection)
+		return core.Config{}, fmt.Errorf("serve: unknown selection %q", k.Selection)
 	}
 	met, ok := metricByName(k.Metric)
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown metric %q", k.Metric)
+		return core.Config{}, fmt.Errorf("serve: unknown metric %q", k.Metric)
 	}
 	mod, ok := scalemodel.StrategyByName(k.Model)
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown model %q", k.Model)
+		return core.Config{}, fmt.Errorf("serve: unknown model %q", k.Model)
 	}
-	return core.TrainPipeline(core.Config{
+	return core.Config{
 		Selection:  sel,
 		Metric:     met,
 		Strategy:   mod,
@@ -122,7 +133,28 @@ func (s *Server) trainKey(k Key) (*core.Pipeline, error) {
 		Subsamples: s.cfg.Subsamples,
 		Sanitize:   s.cfg.Sanitize,
 		Seed:       s.cfg.Seed,
-	}, s.cfg.Refs)
+	}, nil
+}
+
+// trainKey fits one registry entry: it resolves the key's components
+// (already validated by the request decoder or Warmup) and trains a
+// pipeline on the server's reference suite. With durability enabled, the
+// freshly fitted model is snapshotted before it starts serving; a failed
+// write degrades durability (counted, surfaced on /healthz) but never the
+// fit itself.
+func (s *Server) trainKey(k Key) (*core.Pipeline, error) {
+	cfg, err := s.pipelineConfig(k)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.TrainPipeline(cfg, s.cfg.Refs)
+	if err != nil {
+		return nil, err
+	}
+	if s.snaps.enabled() {
+		_ = s.saveSnapshot(k, p)
+	}
+	return p, nil
 }
 
 // Warmup trains the given registry keys (defaults applied; the paper's
@@ -172,12 +204,19 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 // up to ctx's deadline — for every in-flight request to complete.
 // Requests still running when the deadline expires are abandoned
 // (context.DeadlineExceeded is returned, matching net/http semantics).
+// With durability enabled, every resident model is snapshotted after the
+// drain — models are immutable once fitted, so this is safe even when the
+// drain times out — and a restarted daemon warm-starts from them.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
-	if s.hs == nil {
-		return nil
+	var drainErr error
+	if s.hs != nil {
+		drainErr = s.hs.Shutdown(ctx)
 	}
-	return s.hs.Shutdown(ctx)
+	if err := s.persistResident(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
 }
 
 // httpError answers a request with a deterministic JSON error body.
@@ -249,7 +288,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.adm.tryAcquire(1) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.adm.retryAfter())
 		httpError(w, http.StatusTooManyRequests, "serve: prediction queue full")
 		return
 	}
@@ -283,7 +322,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.adm.tryAcquire(len(reqs)) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.adm.retryAfter())
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("serve: %d batch items exceed the queue's free capacity", len(reqs)))
 		return
@@ -304,24 +343,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}{results})
 }
 
-// handleHealthz reports process liveness: 200 as long as the handler can
-// run at all.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{"ok"})
+// probeJSON is the health/readiness payload. The snapshot section (absent
+// when durability is off) lets the router and operators distinguish a
+// cold instance from a warm-restored one and watch durability degrade
+// (write errors, skipped restores) before a restart depends on it.
+type probeJSON struct {
+	Status    string              `json:"status"`
+	Snapshots *snapshotStatusJSON `json:"snapshots,omitempty"`
 }
 
-// handleReadyz reports readiness: 503 until Warmup completes (and again
-// once Shutdown begins), 200 in between.
+// handleHealthz reports process liveness: 200 as long as the handler can
+// run at all, with the snapshot/durability status alongside.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, probeJSON{Status: "ok", Snapshots: s.snapshotStatus()})
+}
+
+// handleReadyz reports readiness: 503 until RestoreSnapshots and Warmup
+// complete (and again once Shutdown begins), 200 in between.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ready", http.StatusOK
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, struct {
-			Status string `json:"status"`
-		}{"warming up"})
-		return
+		status, code = "warming up", http.StatusServiceUnavailable
+		if s.snaps != nil && s.snaps.restorePending.Load() {
+			status = "restoring snapshots"
+		}
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{"ready"})
+	writeJSON(w, code, probeJSON{Status: status, Snapshots: s.snapshotStatus()})
 }

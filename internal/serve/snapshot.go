@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"wpred/internal/core"
+	"wpred/internal/obs"
+	"wpred/internal/snapshot"
+)
+
+// Snapshot metrics (see "Durability & fleet" in DESIGN.md).
+var (
+	snapWrites = obs.GetCounter("wpred_serve_snapshot_writes_total",
+		"Snapshots written to the snapshot directory (on fit and on drain).", nil)
+	snapWriteErrs = obs.GetCounter("wpred_serve_snapshot_write_errors_total",
+		"Snapshot writes that failed; serving continues, durability degrades.", nil)
+	snapRestoreSkips = obs.GetCounter("wpred_serve_snapshot_skipped_total",
+		"Snapshots on disk that were not restored: corrupt, stale, or trained under a different configuration.", nil)
+	snapLastWrite = obs.GetGauge("wpred_serve_snapshot_last_write_unix",
+		"Unix time of the last successful snapshot write (0 before the first).", nil)
+)
+
+// snapshots is the server's durability state: the on-disk store, the
+// reference-suite fingerprint restores are validated against, and the
+// counters the health payloads expose.
+type snapshots struct {
+	store    *snapshot.Store
+	refsHash string
+	// hashErr records a failure to fingerprint the reference suite; saves
+	// and restores are disabled (never silently mismatched) when set.
+	hashErr error
+
+	restorePending atomic.Bool
+	restored       atomic.Uint64
+	written        atomic.Uint64
+	writeErrs      atomic.Uint64
+	skipped        atomic.Uint64
+	lastWriteUnix  atomic.Int64
+}
+
+// enabled reports whether durable snapshots are configured and usable.
+func (sn *snapshots) enabled() bool { return sn != nil && sn.store != nil && sn.hashErr == nil }
+
+// newSnapshots builds the durability state for a server, or nil when no
+// snapshot directory is configured.
+func newSnapshots(cfg Config) *snapshots {
+	if cfg.SnapshotDir == "" {
+		return nil
+	}
+	sn := &snapshots{store: snapshot.NewStore(cfg.SnapshotDir)}
+	sn.refsHash, sn.hashErr = snapshot.SuiteHash(cfg.Refs)
+	sn.restorePending.Store(true)
+	return sn
+}
+
+// snapshotFor wraps a trained pipeline in its on-disk form, stamping the
+// configuration identity restores are checked against.
+func (s *Server) snapshotFor(k Key, p *core.Pipeline) (*snapshot.Snapshot, error) {
+	st, err := p.State()
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot.Snapshot{
+		Selection:   k.Selection,
+		Metric:      k.Metric,
+		Model:       k.Model,
+		Seed:        s.cfg.Seed,
+		TopK:        s.cfg.TopK,
+		Subsamples:  s.cfg.Subsamples,
+		Sanitize:    s.cfg.Sanitize,
+		RefsHash:    s.snaps.refsHash,
+		CreatedUnix: time.Now().Unix(),
+		State:       st,
+	}, nil
+}
+
+// saveSnapshot persists one registry entry. Failures degrade durability,
+// not availability: they are counted and surfaced on /healthz but never
+// fail the fit that produced the model.
+func (s *Server) saveSnapshot(k Key, p *core.Pipeline) error {
+	snap, err := s.snapshotFor(k, p)
+	if err == nil {
+		err = s.snaps.store.Save(snap)
+	}
+	if err != nil {
+		s.snaps.writeErrs.Add(1)
+		snapWriteErrs.Inc()
+		return fmt.Errorf("serve: snapshot %s: %w", k, err)
+	}
+	s.snaps.written.Add(1)
+	snapWrites.Inc()
+	s.snaps.lastWriteUnix.Store(snap.CreatedUnix)
+	snapLastWrite.Set(float64(snap.CreatedUnix))
+	return nil
+}
+
+// compatible reports whether a snapshot was trained under this server's
+// exact configuration — same seed, pipeline knobs, sanitize policy, and
+// reference suite. Anything else would serve predictions that diverge
+// from what this server would train, so it is refit instead.
+func (s *Server) compatible(snap *snapshot.Snapshot) bool {
+	return snap.Seed == s.cfg.Seed &&
+		snap.TopK == s.cfg.TopK &&
+		snap.Subsamples == s.cfg.Subsamples &&
+		snap.Sanitize == s.cfg.Sanitize &&
+		snap.RefsHash == s.snaps.refsHash
+}
+
+// restorePipeline validates a snapshot's key against the live algorithm
+// catalog and reconstructs its trained pipeline without refitting.
+func (s *Server) restorePipeline(snap *snapshot.Snapshot) (Key, *core.Pipeline, error) {
+	k := Key{Selection: snap.Selection, Metric: snap.Metric, Model: snap.Model}
+	cfg, err := s.pipelineConfig(k)
+	if err != nil {
+		return k, nil, err
+	}
+	p, err := core.Restore(cfg, snap.State)
+	return k, p, err
+}
+
+// tryRestore is the registry's lazy restore hook: on a cold miss it loads
+// the key's snapshot if a compatible one exists on disk — covering both a
+// restarted daemon's own models and, with a shared snapshot directory,
+// models a fleet sibling already trained.
+func (s *Server) tryRestore(k Key) (*core.Pipeline, bool) {
+	if !s.snaps.enabled() {
+		return nil, false
+	}
+	snap, err := s.snaps.store.Load(k.Selection, k.Metric, k.Model)
+	if err != nil {
+		return nil, false
+	}
+	if !s.compatible(snap) {
+		s.snaps.skipped.Add(1)
+		snapRestoreSkips.Inc()
+		return nil, false
+	}
+	_, p, err := s.restorePipeline(snap)
+	if err != nil {
+		s.snaps.skipped.Add(1)
+		snapRestoreSkips.Inc()
+		return nil, false
+	}
+	return p, true
+}
+
+// RestoreSnapshots warm-starts the registry from the snapshot directory:
+// every compatible snapshot becomes a resident model with zero refits.
+// Corrupt, stale, or configuration-mismatched snapshots are skipped (and
+// counted), never served. Call it after New and before Warmup so /readyz
+// stays 503 until the restore has completed; the error return is reserved
+// for a durability setup so broken that snapshots cannot work at all.
+func (s *Server) RestoreSnapshots() (restored, skipped int, err error) {
+	if s.snaps == nil {
+		return 0, 0, nil
+	}
+	defer s.snaps.restorePending.Store(false)
+	if s.snaps.hashErr != nil {
+		return 0, 0, fmt.Errorf("serve: snapshots disabled: %w", s.snaps.hashErr)
+	}
+	snaps, errs := s.snaps.store.LoadAll()
+	skipped += len(errs)
+	for _, snap := range snaps {
+		if !s.compatible(snap) {
+			skipped++
+			continue
+		}
+		k, p, rerr := s.restorePipeline(snap)
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		s.registry.Put(k.withDefaults(), p)
+		restored++
+	}
+	s.snaps.restored.Add(uint64(restored))
+	s.snaps.skipped.Add(uint64(skipped))
+	for i := 0; i < skipped; i++ {
+		snapRestoreSkips.Inc()
+	}
+	return restored, skipped, nil
+}
+
+// persistResident snapshots every successfully trained resident model —
+// the SIGTERM drain path, which also repairs any on-fit snapshot write
+// that failed transiently. It returns the first error (all writes are
+// still attempted).
+func (s *Server) persistResident() error {
+	if !s.snaps.enabled() {
+		return nil
+	}
+	var first error
+	for k, p := range s.registry.Resident() {
+		if err := s.saveSnapshot(k, p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// snapshotStatusJSON is the snapshot section of the health payloads: it
+// lets the router and operators tell a cold instance from a warm one and
+// spot degrading durability (write errors) before a restart needs it.
+type snapshotStatusJSON struct {
+	Enabled          bool   `json:"enabled"`
+	RestorePending   bool   `json:"restore_pending"`
+	Restored         uint64 `json:"restored"`
+	Written          uint64 `json:"written"`
+	WriteErrors      uint64 `json:"write_errors"`
+	Skipped          uint64 `json:"skipped"`
+	LastSnapshotUnix int64  `json:"last_snapshot_unix"`
+}
+
+// snapshotStatus renders the health-payload section (nil when snapshots
+// are not configured, which omits the section entirely).
+func (s *Server) snapshotStatus() *snapshotStatusJSON {
+	if s.snaps == nil {
+		return nil
+	}
+	return &snapshotStatusJSON{
+		Enabled:          s.snaps.enabled(),
+		RestorePending:   s.snaps.restorePending.Load(),
+		Restored:         s.snaps.restored.Load(),
+		Written:          s.snaps.written.Load(),
+		WriteErrors:      s.snaps.writeErrs.Load(),
+		Skipped:          s.snaps.skipped.Load(),
+		LastSnapshotUnix: s.snaps.lastWriteUnix.Load(),
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testKey is the cheap registry key the durability tests train.
+func cheapKey() Key {
+	return Key{Selection: testSelection, Metric: testMetric, Model: testModel}
+}
+
+// TestSnapshotRestartRoundTrip is the acceptance test for durable warm
+// restart: predictions served after a snapshot + full server restart are
+// byte-identical to the pre-restart responses, with zero refits on the
+// restarted instance (pinned via the registry fit counter).
+func TestSnapshotRestartRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	body := predictBody(t, 4)
+
+	// First life: fit, serve, drain (persists snapshots).
+	s1 := newTestServer(t, Config{SnapshotDir: dir})
+	if restored, _, err := s1.RestoreSnapshots(); err != nil || restored != 0 {
+		t.Fatalf("first start restored %d snapshots (err %v), want 0", restored, err)
+	}
+	if err := s1.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	code, before := post(t, ts1.URL+"/v1/predict", body)
+	ts1.Close()
+	if code != 200 {
+		t.Fatalf("pre-restart predict: status %d: %s", code, before)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := s1.RegistryStats(); st.Fits != 1 {
+		t.Fatalf("first life fits = %d, want 1", st.Fits)
+	}
+
+	// Second life: same configuration, same directory.
+	s2 := newTestServer(t, Config{SnapshotDir: dir})
+	restored, skipped, err := s2.RestoreSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored < 1 || skipped != 0 {
+		t.Fatalf("restart restored %d / skipped %d, want >=1 / 0", restored, skipped)
+	}
+	if err := s2.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	code, after := post(t, ts2.URL+"/v1/predict", body)
+	if code != 200 {
+		t.Fatalf("post-restart predict: status %d: %s", code, after)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("post-restart response differs from pre-restart:\n%s\nvs\n%s", before, after)
+	}
+	st := s2.RegistryStats()
+	if st.Fits != 0 {
+		t.Errorf("restarted server trained %d pipelines, want 0 (warm restore)", st.Fits)
+	}
+	if st.Restores == 0 {
+		t.Error("restarted server recorded no restores")
+	}
+}
+
+// TestSnapshotLazyRestoreOnMiss covers the fleet path: a second server
+// sharing the snapshot directory — never warmed, never restarted — must
+// satisfy a cold miss from the sibling's snapshot instead of refitting.
+func TestSnapshotLazyRestoreOnMiss(t *testing.T) {
+	dir := t.TempDir()
+	body := predictBody(t, 4)
+
+	s1 := newTestServer(t, Config{SnapshotDir: dir})
+	if err := s1.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	_, before := post(t, ts1.URL+"/v1/predict", body)
+	ts1.Close()
+
+	// The sibling starts cold and is not told to restore; the lazy hook
+	// must still find the sibling's fit on the first miss.
+	s2 := newTestServer(t, Config{SnapshotDir: dir})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	code, after := post(t, ts2.URL+"/v1/predict", body)
+	if code != 200 {
+		t.Fatalf("sibling predict: status %d: %s", code, after)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("sibling response differs:\n%s\nvs\n%s", before, after)
+	}
+	if st := s2.RegistryStats(); st.Fits != 0 || st.Restores != 1 {
+		t.Errorf("sibling fits=%d restores=%d, want 0/1", st.Fits, st.Restores)
+	}
+}
+
+// TestSnapshotStaleIsRefitted changes the server's seed between lives:
+// the on-disk snapshot no longer matches the configuration and must be
+// skipped — a stale model is worse than a refit.
+func TestSnapshotStaleIsRefitted(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{SnapshotDir: dir, Seed: 42})
+	if err := s1.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, Config{SnapshotDir: dir, Seed: 43})
+	restored, skipped, err := s2.RestoreSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 || skipped != 1 {
+		t.Fatalf("stale snapshot: restored %d / skipped %d, want 0 / 1", restored, skipped)
+	}
+	if err := s2.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.RegistryStats(); st.Fits != 1 || st.Restores != 0 {
+		t.Errorf("stale restart fits=%d restores=%d, want 1/0", st.Fits, st.Restores)
+	}
+}
+
+// TestSnapshotCorruptFileNeverServes plants a truncated snapshot and
+// asserts the server refits rather than serving garbage.
+func TestSnapshotCorruptFileNeverServes(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{SnapshotDir: dir})
+	if err := s1.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate every snapshot file in place.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no snapshot files written (err %v)", err)
+	}
+	for _, e := range entries {
+		if err := os.Truncate(filepath.Join(dir, e.Name()), 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := newTestServer(t, Config{SnapshotDir: dir})
+	restored, skipped, err := s2.RestoreSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 || skipped == 0 {
+		t.Fatalf("corrupt snapshots: restored %d / skipped %d, want 0 / >0", restored, skipped)
+	}
+	if err := s2.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.RegistryStats(); st.Fits != 1 {
+		t.Errorf("corrupt restart fits=%d, want 1 (refit)", st.Fits)
+	}
+}
+
+// TestHealthPayloadsCarrySnapshotStatus asserts the probe endpoints let a
+// router distinguish cold from warm instances: restore_pending flips once
+// RestoreSnapshots runs, and writes/restores are visible.
+func TestHealthPayloadsCarrySnapshotStatus(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{SnapshotDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var probe probeJSON
+	_, body := get(t, ts.URL+"/readyz")
+	if err := json.Unmarshal(body, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Snapshots == nil || !probe.Snapshots.Enabled || !probe.Snapshots.RestorePending {
+		t.Fatalf("pre-restore readyz payload: %s", body)
+	}
+	if probe.Status != "restoring snapshots" {
+		t.Errorf("pre-restore status %q, want \"restoring snapshots\"", probe.Status)
+	}
+
+	if _, _, err := s.RestoreSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warmup(cheapKey()); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal(body, &probe); err != nil {
+		t.Fatal(err)
+	}
+	sn := probe.Snapshots
+	if sn == nil || sn.RestorePending || sn.Written != 1 || sn.LastSnapshotUnix == 0 {
+		t.Errorf("post-warmup healthz snapshot status: %s", body)
+	}
+
+	// Without a snapshot dir the section is omitted entirely.
+	s2 := newTestServer(t, Config{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	_, body = get(t, ts2.URL+"/healthz")
+	if bytes.Contains(body, []byte("snapshots")) {
+		t.Errorf("healthz without durability mentions snapshots: %s", body)
+	}
+}
+
+// TestRetryAfterJitter asserts 429 responses carry a jittered Retry-After
+// in [1,3] (not the old constant 1), that the jitter is deterministic for
+// a fixed seed, and that tests can inject their own source.
+func TestRetryAfterJitter(t *testing.T) {
+	a := newAdmission(1, 42)
+	b := newAdmission(1, 42)
+	var seqA, seqB []string
+	for i := 0; i < 16; i++ {
+		seqA = append(seqA, a.retryAfter())
+		seqB = append(seqB, b.retryAfter())
+	}
+	if strings.Join(seqA, ",") != strings.Join(seqB, ",") {
+		t.Errorf("same seed produced different jitter:\n%v\nvs\n%v", seqA, seqB)
+	}
+	distinct := map[string]bool{}
+	for _, v := range seqA {
+		distinct[v] = true
+		if v != "1" && v != "2" && v != "3" {
+			t.Errorf("Retry-After %q outside [1,3]", v)
+		}
+	}
+	if len(distinct) < 2 {
+		t.Errorf("no jitter: every Retry-After was %v", seqA)
+	}
+	c := newAdmission(1, 7)
+	c.jitterHook = func() int { return 9 }
+	if got := c.retryAfter(); got != "9" {
+		t.Errorf("injected source ignored: got %q", got)
+	}
+}
+
+// TestRejectedRequestCarriesJitteredRetryAfter exercises the jitter
+// through the HTTP surface: a saturated queue answers 429 with an
+// injected deterministic Retry-After.
+func TestRejectedRequestCarriesJitteredRetryAfter(t *testing.T) {
+	s := newTestServer(t, Config{QueueSlots: 1})
+	s.adm.jitterHook = func() int { return 2 }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := predictBody(t, 4)
+	batch := []byte(`{"requests":[` + string(body) + `,` + string(body) + `]}`)
+	resp, err := http.Post(ts.URL+"/v1/predict/batch", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want injected \"2\"", got)
+	}
+}

@@ -1,0 +1,137 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is a directory of snapshot files, one per registry key. File names
+// are content-addressed by the key (hex SHA-256 of "selection|metric|model",
+// truncated), so concurrent daemons sharing one directory — the fleet
+// deployment the router is built for — converge on one file per model, and
+// a fit on any instance becomes restorable by every other without
+// coordination. Saves are atomic (temp file + fsync + rename), so readers
+// never observe a torn file: they see the old snapshot or the new one.
+type Store struct {
+	dir string
+}
+
+// NewStore returns a store rooted at dir. No I/O happens until Save or a
+// load; the directory is created on first Save.
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// ext is the snapshot file suffix.
+const ext = ".snap"
+
+// Path returns the snapshot file path for a registry key.
+func (st *Store) Path(selection, metric, model string) string {
+	sum := sha256.Sum256([]byte(selection + "|" + metric + "|" + model))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:16])+ext)
+}
+
+// Save writes the snapshot atomically: a unique temp file in the same
+// directory is written, synced, and renamed over the final path. A crash
+// at any point leaves either the previous snapshot or the new one, never
+// a torn file; stray temp files from crashed writers are ignored by loads
+// (they lack the .snap suffix).
+func (st *Store) Save(s *Snapshot) error {
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return fmt.Errorf("snapshot: store dir: %w", err)
+	}
+	final := st.Path(s.Selection, s.Metric, s.Model)
+	tmp, err := os.CreateTemp(st.dir, "tmp-*"+ext+".partial")
+	if err != nil {
+		return fmt.Errorf("snapshot: temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := Encode(tmp, s); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", filepath.Base(final), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("snapshot: sync %s: %w", filepath.Base(final), err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return fmt.Errorf("snapshot: close %s: %w", filepath.Base(final), err)
+	}
+	tmp = nil
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("snapshot: publish %s: %w", filepath.Base(final), err)
+	}
+	return nil
+}
+
+// ErrNotFound marks a Load for a key with no snapshot on disk.
+var ErrNotFound = errors.New("snapshot: no snapshot for key")
+
+// Load reads and validates the snapshot for one registry key. It returns
+// ErrNotFound when no file exists and ErrCorrupt/ErrVersion wrapped errors
+// when one exists but cannot be trusted.
+func (st *Store) Load(selection, metric, model string) (*Snapshot, error) {
+	path := st.Path(selection, metric, model)
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s|%s|%s", ErrNotFound, selection, metric, model)
+	} else if err != nil {
+		return nil, fmt.Errorf("snapshot: open %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
+// LoadAll decodes every snapshot in the directory in deterministic (file
+// name) order. Undecodable files do not fail the whole load — a single
+// corrupt snapshot must not keep a daemon from warm-starting the rest —
+// they are reported in errs, one per bad file. A missing directory is an
+// empty store, not an error.
+func (st *Store) LoadAll() (snaps []*Snapshot, errs []error) {
+	entries, err := os.ReadDir(st.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	} else if err != nil {
+		return nil, []error{fmt.Errorf("snapshot: read dir %s: %w", st.dir, err)}
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ext {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(st.dir, name))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("snapshot: open %s: %w", name, err))
+			continue
+		}
+		s, err := Decode(f)
+		f.Close()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+			continue
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, errs
+}
