@@ -11,10 +11,12 @@
 // with the median, which is robust to scheduler noise. Comparison prints
 // one row per benchmark present in either file with the ns/op delta; pass
 // -threshold P to exit non-zero when any shared benchmark regresses its
-// ns/op OR its allocs/op by more than P percent. Allocation regressions on
-// a zero-alloc baseline have no percentage, so any new allocation there
+// ns/op, allocs/op, OR B/op by more than P percent. Allocation regressions
+// on a zero-alloc baseline have no percentage, so any new allocation there
 // fails the gate outright — protecting the kernel layer's zero-alloc wins
-// behind `make bench-check`.
+// behind `make bench-check`. Byte regressions on near-zero baselines
+// (< 64 B/op) instead get an absolute 64-byte floor, since a single pooled
+// buffer showing up as a few dozen bytes is measurement noise, not a leak.
 package main
 
 import (
@@ -48,7 +50,7 @@ func main() {
 	var (
 		parse     = flag.String("parse", "", "parse `go test -bench` text output from this file (- for stdin)")
 		out       = flag.String("o", "BENCH.json", "with -parse: where to write the JSON snapshot")
-		threshold = flag.Float64("threshold", 0, "with two snapshots: exit 1 if any ns/op or allocs/op regression exceeds this percent (any alloc increase over a zero-alloc baseline fails; 0 = report only)")
+		threshold = flag.Float64("threshold", 0, "with two snapshots: exit 1 if any ns/op, allocs/op, or B/op regression exceeds this percent (any alloc increase over a zero-alloc baseline fails; B/op under a 64-byte baseline only fails on a >64-byte increase; 0 = report only)")
 	)
 	flag.Parse()
 
@@ -199,6 +201,9 @@ func runDiff(oldPath, newPath string, threshold float64) error {
 				if bad, desc := allocRegressed(o.AllocsPerOp, nw.AllocsPerOp, threshold); bad {
 					regressed = append(regressed, fmt.Sprintf("%s (allocs %s)", n, desc))
 				}
+				if bad, desc := bytesRegressed(o.BPerOp, nw.BPerOp, threshold); bad {
+					regressed = append(regressed, fmt.Sprintf("%s (bytes %s)", n, desc))
+				}
 			}
 		}
 	}
@@ -222,6 +227,28 @@ func allocRegressed(old, cur, threshold float64) (bad bool, desc string) {
 	}
 	if old == 0 {
 		return true, fmt.Sprintf("0→%.0f", cur)
+	}
+	if pct := 100 * (cur - old) / old; pct > threshold {
+		return true, fmt.Sprintf("+%.1f%%", pct)
+	}
+	return false, ""
+}
+
+// bytesRegressed decides whether a B/op change fails the gate. Bytes are
+// noisier than allocation counts at the low end — one pooled buffer
+// ratcheting or a size-class change shows up as a few dozen bytes — so
+// baselines under 64 B/op get an absolute floor: the gate fails only when
+// the increase itself exceeds 64 bytes. Larger baselines use the same
+// percentage threshold as ns/op.
+func bytesRegressed(old, cur, threshold float64) (bad bool, desc string) {
+	if old < 0 || cur < 0 || cur <= old {
+		return false, ""
+	}
+	if old < 64 {
+		if cur-old > 64 {
+			return true, fmt.Sprintf("%.0f→%.0f B", old, cur)
+		}
+		return false, ""
 	}
 	if pct := 100 * (cur - old) / old; pct > threshold {
 		return true, fmt.Sprintf("+%.1f%%", pct)

@@ -61,6 +61,67 @@ func TestAllocRegressed(t *testing.T) {
 	}
 }
 
+func TestBytesRegressed(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, cur float64
+		want     bool
+		desc     string
+	}{
+		{"no benchmem old", -1, 500, false, ""},
+		{"no benchmem new", 500, -1, false, ""},
+		{"improvement", 1000, 800, false, ""},
+		{"unchanged", 1000, 1000, false, ""},
+		{"small baseline small growth", 0, 64, false, ""},
+		{"small baseline big growth", 0, 200, true, "0→200 B"},
+		{"small baseline just under floor", 48, 112, false, ""},
+		{"small baseline over floor", 48, 113, true, "48→113 B"},
+		{"under threshold", 1000, 1100, false, ""},
+		{"over threshold", 1000, 1500, true, "+50.0%"},
+	}
+	for _, c := range cases {
+		bad, desc := bytesRegressed(c.old, c.cur, 20)
+		if bad != c.want || desc != c.desc {
+			t.Errorf("%s: bytesRegressed(%v, %v, 20) = (%v, %q), want (%v, %q)",
+				c.name, c.old, c.cur, bad, desc, c.want, c.desc)
+		}
+	}
+}
+
+// TestRunDiffBytesGate runs the full diff path: flat ns/op and allocs/op
+// but B/op growing past the threshold must fail the gate.
+func TestRunDiffBytesGate(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap := func(name string, bytes float64) string {
+		p := filepath.Join(dir, name)
+		s := Snapshot{Benchmarks: map[string]Result{
+			"BenchmarkFit-8": {Samples: 6, NsPerOp: 1000, BPerOp: bytes, AllocsPerOp: 10},
+		}}
+		data, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := writeSnap("old.json", 1000)
+	newPath := writeSnap("new.json", 1500)
+
+	if err := runDiff(oldPath, newPath, 20); err == nil {
+		t.Fatal("B/op growing 50% must fail the gate")
+	} else if !strings.Contains(err.Error(), "bytes +50.0%") {
+		t.Fatalf("error should name the byte regression, got: %v", err)
+	}
+	if err := runDiff(oldPath, newPath, 0); err != nil {
+		t.Fatalf("threshold 0 is report-only, got: %v", err)
+	}
+	if err := runDiff(oldPath, oldPath, 20); err != nil {
+		t.Fatalf("identical snapshots must pass, got: %v", err)
+	}
+}
+
 // TestRunDiffAllocGate runs the full diff path: a benchmark whose ns/op is
 // flat but whose allocs/op grew from zero must fail the -threshold gate.
 func TestRunDiffAllocGate(t *testing.T) {

@@ -39,6 +39,8 @@ var (
 type Workspace struct {
 	mats []*Dense
 	vecs [][]float64
+	u8s  [][]uint8
+	i32s [][]int32
 }
 
 // GetMatrix borrows a zeroed r×c matrix, reusing a returned one when its
@@ -95,4 +97,71 @@ func (w *Workspace) PutVector(v []float64) {
 	}
 	wsPuts.Inc()
 	w.vecs = append(w.vecs, v)
+}
+
+// GetUint8 borrows a zeroed length-n byte vector. The histogram tree
+// learner uses these for its per-fit bin-code matrices (one uint8 per
+// row×feature cell); keeping them on the workspace free list gives
+// repeated fits the same zero-allocation steady state as the float
+// scratch.
+func (w *Workspace) GetUint8(n int) []uint8 {
+	wsGets.Inc()
+	if k := len(w.u8s); k > 0 {
+		v := w.u8s[k-1]
+		w.u8s = w.u8s[:k-1]
+		if cap(v) < n {
+			wsRatchets.Inc()
+			return make([]uint8, n)
+		}
+		v = v[:n]
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	wsAllocs.Inc()
+	return make([]uint8, n)
+}
+
+// PutUint8 returns a borrowed byte vector to the free list. The caller
+// must not use v afterwards.
+func (w *Workspace) PutUint8(v []uint8) {
+	if v == nil {
+		return
+	}
+	wsPuts.Inc()
+	w.u8s = append(w.u8s, v)
+}
+
+// GetInt32 borrows a zeroed length-n int32 vector; the histogram tree
+// learner keeps its per-bin row counts in these (counts are small
+// integers, and the narrower element doubles the bins per cache line on
+// the split scan's empty-bin skip path).
+func (w *Workspace) GetInt32(n int) []int32 {
+	wsGets.Inc()
+	if k := len(w.i32s); k > 0 {
+		v := w.i32s[k-1]
+		w.i32s = w.i32s[:k-1]
+		if cap(v) < n {
+			wsRatchets.Inc()
+			return make([]int32, n)
+		}
+		v = v[:n]
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	wsAllocs.Inc()
+	return make([]int32, n)
+}
+
+// PutInt32 returns a borrowed int32 vector to the free list. The caller
+// must not use v afterwards.
+func (w *Workspace) PutInt32(v []int32) {
+	if v == nil {
+		return
+	}
+	wsPuts.Inc()
+	w.i32s = append(w.i32s, v)
 }

@@ -30,3 +30,53 @@ func BenchmarkFitGBM(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFitForest measures repeated random-forest fits on one model
+// instance; trees share one binning per fit and reuse the model's tree
+// pool, so the steady state should be dominated by the per-tree bootstrap
+// index slices.
+func BenchmarkFitForest(b *testing.B) {
+	const n, c = 200, 10
+	rng := rand.New(rand.NewPCG(17, 0x77b))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 3*x.At(i, 0) - x.At(i, 1)*x.At(i, 2) + 0.1*rng.NormFloat64()
+	}
+	m := &RandomForestRegressor{ForestParams: ForestParams{NTrees: 30, Seed: 7}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictGBM measures single-row prediction on a fitted booster —
+// the wpredd serving hot path, which walks every stage's node arena.
+func BenchmarkPredictGBM(b *testing.B) {
+	const n, c = 200, 10
+	rng := rand.New(rand.NewPCG(17, 0x77c))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 3*x.At(i, 0) - x.At(i, 1)*x.At(i, 2) + 0.1*rng.NormFloat64()
+	}
+	m := &GradientBoosting{NRounds: 30}
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	row := x.RawRow(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(row)
+	}
+}

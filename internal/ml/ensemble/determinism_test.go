@@ -1,0 +1,115 @@
+package ensemble
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+	"wpred/internal/ml/tree"
+	"wpred/internal/parallel"
+)
+
+func detData(n, c int, seed uint64) (*mat.Dense, []float64) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 3*x.At(i, 0) - x.At(i, 1)*x.At(i, 2) + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// forceHistFanOut lowers the tree learner's histogram fan-out gate so the
+// small test fixtures actually exercise the parallel accumulation path.
+func forceHistFanOut(t *testing.T) {
+	t.Helper()
+	prev := tree.SetHistParallelMinRows(16)
+	t.Cleanup(func() { tree.SetHistParallelMinRows(prev) })
+}
+
+// TestGBMWorkerCountBitIdentity is the repo's hard invariant applied to
+// boosting: the fitted model is a pure function of (data, params, seed) —
+// never of the worker count, and never of what a previous fit left in the
+// model's recycled workspace.
+func TestGBMWorkerCountBitIdentity(t *testing.T) {
+	forceHistFanOut(t)
+	x, y := detData(240, 8, 21)
+
+	fitPreds := func(m *GradientBoosting) []float64 {
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, x.Rows())
+		for i := range out {
+			out[i] = m.Predict(x.RawRow(i))
+		}
+		return out
+	}
+
+	for _, sub := range []float64{0, 0.7} {
+		prev := parallel.SetMaxWorkers(1)
+		m1 := &GradientBoosting{NRounds: 12, Subsample: sub, Seed: 4}
+		ref := fitPreds(m1)
+
+		parallel.SetMaxWorkers(8)
+		m8 := &GradientBoosting{NRounds: 12, Subsample: sub, Seed: 4}
+		got := fitPreds(m8)
+		refit := fitPreds(m8) // recycled workspace, binning, and stage pool
+		parallel.SetMaxWorkers(prev)
+
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("subsample %v row %d: 8-worker fit %v != 1-worker fit %v", sub, i, got[i], ref[i])
+			}
+			if refit[i] != ref[i] {
+				t.Fatalf("subsample %v row %d: refit on recycled workspace %v != fresh fit %v", sub, i, refit[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestForestWorkerCountBitIdentity: every bootstrap tree derives its RNG
+// stream from (seed, tree index) and the importance reduction runs in tree
+// order, so the forest must be bit-identical at any worker count and
+// across refits on a warm model.
+func TestForestWorkerCountBitIdentity(t *testing.T) {
+	forceHistFanOut(t)
+	x, y := detData(240, 8, 33)
+
+	fit := func(m *RandomForestRegressor) ([]float64, []float64) {
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, x.Rows())
+		for i := range out {
+			out[i] = m.Predict(x.RawRow(i))
+		}
+		return out, m.FeatureImportances()
+	}
+
+	prev := parallel.SetMaxWorkers(1)
+	m1 := &RandomForestRegressor{ForestParams: ForestParams{NTrees: 20, Seed: 9}}
+	refPred, refImp := fit(m1)
+
+	parallel.SetMaxWorkers(8)
+	m8 := &RandomForestRegressor{ForestParams: ForestParams{NTrees: 20, Seed: 9}}
+	gotPred, gotImp := fit(m8)
+	refitPred, refitImp := fit(m8)
+	parallel.SetMaxWorkers(prev)
+
+	for i := range refPred {
+		if gotPred[i] != refPred[i] || refitPred[i] != refPred[i] {
+			t.Fatalf("row %d: predictions diverge across worker counts/refits: %v %v %v",
+				i, refPred[i], gotPred[i], refitPred[i])
+		}
+	}
+	for j := range refImp {
+		if gotImp[j] != refImp[j] || refitImp[j] != refImp[j] {
+			t.Fatalf("feature %d: importances diverge across worker counts/refits: %v %v %v",
+				j, refImp[j], gotImp[j], refitImp[j])
+		}
+	}
+}

@@ -3,6 +3,15 @@
 // importances for the embedded selection strategy) and gradient-boosted
 // regression trees (the best-performing scaling-model strategy in
 // Table 6).
+//
+// Both forests histogram-bin the design matrix once and train every
+// bootstrap tree against the shared binning, passing the bootstrap row
+// multiset straight to the tree learner instead of materializing a
+// resampled copy of the matrix. The regressor additionally fits its trees
+// in parallel: each tree derives an independent RNG stream from (Seed,
+// tree index), so the forest is bit-identical at every worker count. The
+// classifier keeps the historical serial single-stream draw order, which
+// pins down the exact ensembles behind the recorded experiment outputs.
 package ensemble
 
 import (
@@ -13,6 +22,7 @@ import (
 
 	"wpred/internal/mat"
 	"wpred/internal/ml/tree"
+	"wpred/internal/parallel"
 )
 
 // ForestParams configures a random forest.
@@ -46,9 +56,14 @@ type RandomForestRegressor struct {
 	trees       []*tree.Regressor
 	importances []float64
 	fitted      bool
+	ws          mat.Workspace
+	bn          tree.Binning
 }
 
-// Fit trains the ensemble.
+// Fit trains the ensemble. Trees train concurrently on the worker pool;
+// each tree's bootstrap and feature draws come from its own (Seed, tree
+// index)-derived PCG stream and the importance sum reduces in tree order,
+// so the fitted forest does not depend on the worker count.
 func (f *RandomForestRegressor) Fit(X *mat.Dense, y []float64) error {
 	r, c := X.Dims()
 	if r != len(y) {
@@ -65,29 +80,35 @@ func (f *RandomForestRegressor) Fit(X *mat.Dense, y []float64) error {
 			maxFeat = 1
 		}
 	}
-	rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0xabcdef12345))
-	f.trees = make([]*tree.Regressor, p.NTrees)
-	f.importances = make([]float64, c)
+	f.bn.Bin(X, tree.DefaultMaxBins, &f.ws)
+	defer f.bn.Release(&f.ws)
 
-	bx := mat.New(r, c)
-	by := make([]float64, r)
-	for t := 0; t < p.NTrees; t++ {
-		for i := 0; i < r; i++ {
-			src := rng.IntN(r)
-			bx.SetRow(i, X.RawRow(src))
-			by[i] = y[src]
+	for len(f.trees) < p.NTrees {
+		f.trees = append(f.trees, &tree.Regressor{})
+	}
+	f.trees = f.trees[:p.NTrees]
+
+	err := parallel.ForEach(p.NTrees, func(t int) error {
+		// Golden-ratio mixing keeps adjacent tree streams decorrelated.
+		rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0xabcdef12345^(uint64(t)+1)*0x9e3779b97f4a7c15))
+		rows := make([]int, r)
+		for i := range rows {
+			rows[i] = rng.IntN(r)
 		}
-		tr := &tree.Regressor{Params: tree.Params{
+		tr := f.trees[t]
+		tr.Params = tree.Params{
 			MaxDepth:   p.MaxDepth,
 			FeatureSel: featureSampler(rng, maxFeat),
-		}}
-		if err := tr.Fit(bx, by); err != nil {
-			return err
 		}
-		f.trees[t] = tr
-		for j, imp := range tr.FeatureImportances() {
-			f.importances[j] += imp
-		}
+		return tr.FitBinned(&f.bn, y, rows, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	f.importances = make([]float64, c)
+	for _, tr := range f.trees {
+		tr.FeatureImportancesInto(f.importances)
 	}
 	normalizeInPlace(f.importances)
 	f.fitted = true
@@ -120,9 +141,15 @@ type RandomForestClassifier struct {
 	nClasses    int
 	importances []float64
 	fitted      bool
+	ws          mat.Workspace
+	bn          tree.Binning
 }
 
-// FitClasses trains the ensemble.
+// FitClasses trains the ensemble. Trees train serially against the shared
+// binning from one RNG stream — the same draw sequence as the original
+// copy-the-matrix implementation, with identical splits whenever binning
+// is lossless (every feature ≤256 distinct values, true of all study
+// datasets).
 func (f *RandomForestClassifier) FitClasses(X *mat.Dense, y []int) error {
 	r, c := X.Dims()
 	if r != len(y) {
@@ -146,28 +173,29 @@ func (f *RandomForestClassifier) FitClasses(X *mat.Dense, y []int) error {
 		}
 	}
 	rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0xabcdef12345))
-	f.trees = make([]*tree.Classifier, p.NTrees)
+	f.bn.Bin(X, tree.DefaultMaxBins, &f.ws)
+	defer f.bn.Release(&f.ws)
+
+	for len(f.trees) < p.NTrees {
+		f.trees = append(f.trees, &tree.Classifier{})
+	}
+	f.trees = f.trees[:p.NTrees]
 	f.importances = make([]float64, c)
 
-	bx := mat.New(r, c)
-	by := make([]int, r)
+	rows := make([]int, r)
 	for t := 0; t < p.NTrees; t++ {
 		for i := 0; i < r; i++ {
-			src := rng.IntN(r)
-			bx.SetRow(i, X.RawRow(src))
-			by[i] = y[src]
+			rows[i] = rng.IntN(r)
 		}
-		tr := &tree.Classifier{Params: tree.Params{
+		tr := f.trees[t]
+		tr.Params = tree.Params{
 			MaxDepth:   p.MaxDepth,
 			FeatureSel: featureSampler(rng, maxFeat),
-		}}
-		if err := tr.FitClasses(bx, by); err != nil {
+		}
+		if err := tr.FitClassesBinned(&f.bn, y, rows); err != nil {
 			return err
 		}
-		f.trees[t] = tr
-		for j, imp := range tr.FeatureImportances() {
-			f.importances[j] += imp
-		}
+		tr.FeatureImportancesInto(f.importances)
 	}
 	normalizeInPlace(f.importances)
 	f.fitted = true

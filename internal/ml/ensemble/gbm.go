@@ -3,6 +3,8 @@ package ensemble
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"sort"
 
 	"wpred/internal/mat"
 	"wpred/internal/ml/tree"
@@ -11,6 +13,13 @@ import (
 // GradientBoosting is a stage-wise ensemble of shallow regression trees
 // fit to the residuals of the running prediction (squared-error gradient
 // boosting, Friedman 2001).
+//
+// The design matrix is histogram-binned once per Fit and shared read-only
+// by every boosting stage, and each stage reports the leaf value of every
+// training row as it grows, so the running-prediction update needs no
+// per-row tree walks. Stage trees and all scratch are recycled across
+// Fits on the same instance, giving repeated refits (SFS candidates, CV
+// folds, registry cold misses) a zero-allocation steady state.
 type GradientBoosting struct {
 	// NRounds is the number of boosting stages (default 100).
 	NRounds int
@@ -27,6 +36,8 @@ type GradientBoosting struct {
 	base   float64
 	stages []*tree.Regressor
 	fitted bool
+	ws     mat.Workspace
+	bn     tree.Binning
 }
 
 func (g *GradientBoosting) params() (rounds int, lr float64, depth int) {
@@ -62,27 +73,80 @@ func (g *GradientBoosting) Fit(X *mat.Dense, y []float64) error {
 	}
 	g.base /= float64(r)
 
-	pred := make([]float64, r)
+	g.bn.Bin(X, tree.DefaultMaxBins, &g.ws)
+	defer g.bn.Release(&g.ws)
+
+	pred := g.ws.GetVector(r)
+	resid := g.ws.GetVector(r)
+	step := g.ws.GetVector(r)
+	defer g.ws.PutVector(step)
+	defer g.ws.PutVector(resid)
+	defer g.ws.PutVector(pred)
 	for i := range pred {
 		pred[i] = g.base
 	}
-	resid := make([]float64, r)
-	g.stages = g.stages[:0]
+
+	// Stage trees persist across Fits so their arenas and histogram
+	// scratch are recycled.
+	for len(g.stages) < rounds {
+		g.stages = append(g.stages, &tree.Regressor{})
+	}
+	g.stages = g.stages[:rounds]
+
+	useSub := g.Subsample > 0 && g.Subsample < 1
+	var rows, perm []int
+	var rng *rand.Rand
+	if useSub {
+		k := int(g.Subsample*float64(r) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		rng = rand.New(rand.NewPCG(g.Seed, g.Seed^0x6b79d5a1e3c0f842))
+		rows = make([]int, k)
+		perm = make([]int, r)
+	}
+
 	for round := 0; round < rounds; round++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
-		tr := &tree.Regressor{Params: tree.Params{MaxDepth: depth}}
-		if err := tr.Fit(X, resid); err != nil {
-			return err
-		}
-		g.stages = append(g.stages, tr)
-		for i := 0; i < r; i++ {
-			pred[i] += lr * tr.Predict(X.RawRow(i))
+		tr := g.stages[round]
+		tr.Params = tree.Params{MaxDepth: depth}
+		if useSub {
+			sampleWithout(rng, perm, rows)
+			if err := tr.FitBinned(&g.bn, resid, rows, nil); err != nil {
+				return err
+			}
+			// Subsampled stages must still update every row's running
+			// prediction, including rows the stage never saw.
+			for i := 0; i < r; i++ {
+				pred[i] += lr * tr.Predict(X.RawRow(i))
+			}
+		} else {
+			if err := tr.FitBinned(&g.bn, resid, nil, step); err != nil {
+				return err
+			}
+			for i := 0; i < r; i++ {
+				pred[i] += lr * step[i]
+			}
 		}
 	}
 	g.fitted = true
 	return nil
+}
+
+// sampleWithout fills rows with a sorted uniform sample of distinct
+// indices from [0, len(perm)) via a partial Fisher-Yates shuffle.
+func sampleWithout(rng *rand.Rand, perm, rows []int) {
+	for i := range perm {
+		perm[i] = i
+	}
+	for j := range rows {
+		k := j + rng.IntN(len(perm)-j)
+		perm[j], perm[k] = perm[k], perm[j]
+		rows[j] = perm[j]
+	}
+	sort.Ints(rows)
 }
 
 // Predict sums the shrunken stage outputs.

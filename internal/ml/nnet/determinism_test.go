@@ -1,0 +1,66 @@
+package nnet
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+	"wpred/internal/parallel"
+)
+
+// TestMLPWorkerCountBitIdentity: at one worker Fit takes the inline
+// shared-buffer path, at eight the two-phase parallel batch path — the
+// trained weights must be bit-identical either way, and refitting a warm
+// model (recycled workspace buffers) must reproduce them again.
+func TestMLPWorkerCountBitIdentity(t *testing.T) {
+	prevGate := mlpParallelMinRows
+	mlpParallelMinRows = 16
+	defer func() { mlpParallelMinRows = prevGate }()
+
+	const n, c = 96, 5
+	rng := rand.New(rand.NewPCG(3, 0xabc))
+	x := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 2*x.At(i, 0) - x.At(i, 3) + 0.05*rng.NormFloat64()
+	}
+
+	newModel := func() *MLP {
+		return &MLP{Hidden: []int{16, 16}, Epochs: 40, Standardize: true, Seed: 11}
+	}
+	fitSnap := func(m *MLP) []float64 {
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for l := range m.weights {
+			out = append(out, m.weights[l].Data()...)
+			out = append(out, m.biases[l]...)
+		}
+		return out
+	}
+
+	prev := parallel.SetMaxWorkers(1)
+	ref := fitSnap(newModel())
+
+	parallel.SetMaxWorkers(8)
+	m8 := newModel()
+	got := fitSnap(m8)
+	refit := fitSnap(m8)
+	parallel.SetMaxWorkers(prev)
+
+	if len(got) != len(ref) || len(refit) != len(ref) {
+		t.Fatalf("parameter counts diverge: %d %d %d", len(ref), len(got), len(refit))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("param %d: 8-worker fit %v != 1-worker fit %v", i, got[i], ref[i])
+		}
+		if refit[i] != ref[i] {
+			t.Fatalf("param %d: refit on recycled workspace %v != fresh fit %v", i, refit[i], ref[i])
+		}
+	}
+}

@@ -13,7 +13,24 @@ import (
 
 	"wpred/internal/mat"
 	"wpred/internal/ml"
+	"wpred/internal/parallel"
 )
+
+// mlpParallelMinRows gates the parallel batch path: epochs fan the
+// per-sample forward/backward passes out across the worker pool only for
+// batches at least this large, because below it the fan-out bookkeeping
+// (and its per-epoch closure allocations) costs more than the math. The
+// parallel path is bit-identical to the inline one — phase one computes
+// each sample's activations and deltas into its own matrix row (disjoint
+// writes, deterministic per sample) and phase two accumulates gradients
+// serially in exactly the inline loop's sample/layer/unit order — so the
+// threshold affects speed only, never the fit. Variable (not const) so
+// tests can lower it to exercise the parallel path on small fixtures.
+var mlpParallelMinRows = 256
+
+// mlpBlockRows is the fan-out granularity of the parallel batch path;
+// block boundaries depend only on the row count, never the worker count.
+const mlpBlockRows = 64
 
 // MLP is a fully-connected feed-forward regressor with ReLU activations.
 type MLP struct {
@@ -147,8 +164,6 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 			ws.PutMatrix(mw[l])
 		}
 	}()
-	const beta1, beta2, epsAdam = 0.9, 0.999, 1e-8
-
 	// ONE set of per-layer activation / pre-activation buffers, shared by
 	// every sample: the forward pass fully overwrites them and the backward
 	// pass consumes them before the next sample, so per-sample storage
@@ -175,6 +190,36 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 		}
 	}()
 
+	// Large batches run each epoch's per-sample passes on the worker pool:
+	// phase one stores every sample's hidden pre-activations, activations,
+	// and deltas in its own matrix row (disjoint writes), phase two reduces
+	// them into the gradients serially in the inline loop's exact
+	// sample/layer/unit order — bit-identical to the inline path at every
+	// worker count.
+	useParallel := r >= mlpParallelMinRows && parallel.MaxWorkers() > 1
+	var preM, actsM, deltasM []*mat.Dense
+	if useParallel {
+		preM = make([]*mat.Dense, nLayers)
+		actsM = make([]*mat.Dense, nLayers)
+		deltasM = make([]*mat.Dense, nLayers+1)
+		for l := 1; l < nLayers; l++ {
+			preM[l] = ws.GetMatrix(r, sizes[l])
+			actsM[l] = ws.GetMatrix(r, sizes[l])
+		}
+		for l := 1; l <= nLayers; l++ {
+			deltasM[l] = ws.GetMatrix(r, sizes[l])
+		}
+		defer func() {
+			for l := nLayers; l >= 1; l-- {
+				ws.PutMatrix(deltasM[l])
+			}
+			for l := nLayers - 1; l >= 1; l-- {
+				ws.PutMatrix(actsM[l])
+				ws.PutMatrix(preM[l])
+			}
+		}()
+	}
+
 	step := 0
 	for epoch := 0; epoch < epochs; epoch++ {
 		// Zero gradients.
@@ -186,6 +231,33 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 			for i := range gb[l] {
 				gb[l][i] = 0
 			}
+		}
+		if useParallel {
+			parallel.ForEachBlock(r, mlpBlockRows, func(lo, hi int) error {
+				m.batchPass(xs, ys, preM, actsM, deltasM, lo, hi, nLayers, r)
+				return nil
+			})
+			for i := 0; i < r; i++ {
+				for l := nLayers - 1; l >= 0; l-- {
+					aPrev := xs.RawRow(i)
+					if l > 0 {
+						aPrev = actsM[l].RawRow(i)
+					}
+					dl := deltasM[l+1].RawRow(i)
+					g := gw[l]
+					for o := range dl {
+						row := g.RawRow(o)
+						d := dl[o]
+						for j := range aPrev {
+							row[j] += d * aPrev[j]
+						}
+						gb[l][o] += d
+					}
+				}
+			}
+			step++
+			adamStep(m, mw, vw, mb, vb, gw, gb, lr, step, nLayers)
+			continue
 		}
 		// Forward + backward, full batch.
 		for i := 0; i < r; i++ {
@@ -255,25 +327,90 @@ func (m *MLP) Fit(X *mat.Dense, y []float64) error {
 		}
 		// Adam update.
 		step++
-		bc1 := 1 - math.Pow(beta1, float64(step))
-		bc2 := 1 - math.Pow(beta2, float64(step))
-		for l := 0; l < nLayers; l++ {
-			wd, gd := m.weights[l].Data(), gw[l].Data()
-			md, vd := mw[l].Data(), vw[l].Data()
-			for k := range wd {
-				md[k] = beta1*md[k] + (1-beta1)*gd[k]
-				vd[k] = beta2*vd[k] + (1-beta2)*gd[k]*gd[k]
-				wd[k] -= lr * (md[k] / bc1) / (math.Sqrt(vd[k]/bc2) + epsAdam)
-			}
-			for k := range m.biases[l] {
-				mb[l][k] = beta1*mb[l][k] + (1-beta1)*gb[l][k]
-				vb[l][k] = beta2*vb[l][k] + (1-beta2)*gb[l][k]*gb[l][k]
-				m.biases[l][k] -= lr * (mb[l][k] / bc1) / (math.Sqrt(vb[l][k]/bc2) + epsAdam)
-			}
-		}
+		adamStep(m, mw, vw, mb, vb, gw, gb, lr, step, nLayers)
 	}
 	m.fitted = true
 	return nil
+}
+
+const adamBeta1, adamBeta2, adamEps = 0.9, 0.999, 1e-8
+
+// adamStep applies one full-batch Adam update to the weights and biases.
+func adamStep(m *MLP, mw, vw []*mat.Dense, mb, vb [][]float64, gw []*mat.Dense, gb [][]float64, lr float64, step, nLayers int) {
+	bc1 := 1 - math.Pow(adamBeta1, float64(step))
+	bc2 := 1 - math.Pow(adamBeta2, float64(step))
+	for l := 0; l < nLayers; l++ {
+		wd, gd := m.weights[l].Data(), gw[l].Data()
+		md, vd := mw[l].Data(), vw[l].Data()
+		for k := range wd {
+			md[k] = adamBeta1*md[k] + (1-adamBeta1)*gd[k]
+			vd[k] = adamBeta2*vd[k] + (1-adamBeta2)*gd[k]*gd[k]
+			wd[k] -= lr * (md[k] / bc1) / (math.Sqrt(vd[k]/bc2) + adamEps)
+		}
+		for k := range m.biases[l] {
+			mb[l][k] = adamBeta1*mb[l][k] + (1-adamBeta1)*gb[l][k]
+			vb[l][k] = adamBeta2*vb[l][k] + (1-adamBeta2)*gb[l][k]*gb[l][k]
+			m.biases[l][k] -= lr * (mb[l][k] / bc1) / (math.Sqrt(vb[l][k]/bc2) + adamEps)
+		}
+	}
+}
+
+// batchPass runs the forward and backward passes of samples [lo, hi)
+// into their private rows of preM/actsM/deltasM. Rows are disjoint, so
+// blocks may run concurrently in any order; each sample's row values match
+// the inline path's shared-buffer results exactly (including the pre ≤ 0
+// ReLU mask test, kept on stored pre-activations so even non-finite
+// values mask identically).
+func (m *MLP) batchPass(xs *mat.Dense, ys []float64, preM, actsM, deltasM []*mat.Dense, lo, hi, nLayers, r int) {
+	for i := lo; i < hi; i++ {
+		a := xs.RawRow(i)
+		for l := 0; l < nLayers-1; l++ {
+			z := preM[l+1].RawRow(i)
+			out := actsM[l+1].RawRow(i)
+			for k := range z {
+				row := m.weights[l].RawRow(k)
+				s := m.biases[l][k]
+				for j, av := range a {
+					s += row[j] * av
+				}
+				z[k] = s
+				if s > 0 {
+					out[k] = s
+				} else {
+					out[k] = 0
+				}
+			}
+			a = out
+		}
+		// Linear output layer (width 1) and the loss gradient.
+		row := m.weights[nLayers-1].RawRow(0)
+		s := m.biases[nLayers-1][0]
+		for j, av := range a {
+			s += row[j] * av
+		}
+		delta := deltasM[nLayers].RawRow(i)
+		delta[0] = 2 * (s - ys[i]) / float64(r)
+		for l := nLayers - 1; l >= 1; l-- {
+			prevDelta := deltasM[l].RawRow(i)
+			for j := range prevDelta {
+				prevDelta[j] = 0
+			}
+			for o := range delta {
+				wrow := m.weights[l].RawRow(o)
+				d := delta[o]
+				for j := range prevDelta {
+					prevDelta[j] += d * wrow[j]
+				}
+			}
+			z := preM[l].RawRow(i)
+			for j := range prevDelta {
+				if z[j] <= 0 {
+					prevDelta[j] = 0
+				}
+			}
+			delta = prevDelta
+		}
+	}
 }
 
 func meanStd(v []float64) (mean, std float64) {

@@ -1,0 +1,172 @@
+package tree
+
+import (
+	"sort"
+
+	"wpred/internal/mat"
+)
+
+// DefaultMaxBins is the histogram resolution: features are pre-binned into
+// at most this many buckets once per fit (the LightGBM trick), and split
+// search scans bins instead of sorting samples at every node. 256 keeps a
+// bin code in one byte and — crucially for this repository's determinism
+// guarantees — makes binning LOSSLESS for any feature with at most 256
+// distinct values: every distinct value gets its own bin, so the candidate
+// thresholds (midpoints between adjacent observed values) are exactly the
+// ones the classic sorted-sample scan would have produced. All of the
+// study's datasets are far below that bound, so the binned learner chooses
+// identical splits there; only features with >256 distinct values fall
+// back to equal-frequency bucketing, which is the standard
+// histogram-gradient-boosting approximation.
+const DefaultMaxBins = 256
+
+// Binning is the per-fit binned representation of a design matrix: one
+// uint8 bin code per (row, feature) cell stored feature-major (so the
+// per-feature histogram accumulation of the split search streams through
+// contiguous memory), plus each bin's observed value range for threshold
+// reconstruction. A Binning is built once per fit and shared read-only by
+// every tree trained on the same matrix — all boosting stages of a GBM,
+// all bootstrap trees of a forest — which is where the bulk of the
+// histogram speedup comes from. Buffers are borrowed from a mat.Workspace
+// at Bin and returned by Release, so repeated fits on a recycled model
+// reach the kernel layer's zero-allocation steady state.
+type Binning struct {
+	rows, cols int
+	total      int       // sum of nBins over features
+	nBins      []int     // bins per feature
+	offset     []int     // per feature: start index into lower/upper
+	codes      []uint8   // feature-major: codes[f*rows+i] is row i's bin of feature f
+	lower      []float64 // per global bin: smallest observed value in the bin
+	upper      []float64 // per global bin: largest observed value in the bin
+	lossless   bool      // every feature had ≤ maxBins distinct values
+}
+
+// Bin builds the binned representation of X with at most maxBins buckets
+// per feature (values ≤ 0 or > 256 select DefaultMaxBins). X must have at
+// least one row. Scratch is borrowed from ws; call Release(ws) when every
+// tree sharing the binning has been fit.
+func (b *Binning) Bin(X *mat.Dense, maxBins int, ws *mat.Workspace) {
+	if maxBins <= 0 || maxBins > 256 {
+		maxBins = DefaultMaxBins
+	}
+	r, c := X.Dims()
+	b.rows, b.cols = r, c
+	b.codes = ws.GetUint8(r * c)
+	b.lower = ws.GetVector(c * maxBins)
+	b.upper = ws.GetVector(c * maxBins)
+	b.nBins = resizeInts(b.nBins, c)
+	b.offset = resizeInts(b.offset, c)
+	b.lossless = true
+
+	vals := ws.GetVector(r)
+	defer ws.PutVector(vals)
+	data := X.Data() // read-only row-major access
+
+	total := 0
+	for f := 0; f < c; f++ {
+		for i := 0; i < r; i++ {
+			vals[i] = data[i*c+f]
+		}
+		sort.Float64s(vals)
+		b.offset[f] = total
+		lo, up := b.lower[total:], b.upper[total:]
+
+		distinct := 1
+		for i := 1; i < r; i++ {
+			if vals[i] != vals[i-1] {
+				distinct++
+			}
+		}
+		nb := 0
+		if distinct <= maxBins {
+			// Lossless: one bin per distinct value; the bin's range is the
+			// value itself, so thresholds reconstruct exactly.
+			lo[0], up[0] = vals[0], vals[0]
+			nb = 1
+			for i := 1; i < r; i++ {
+				if vals[i] != vals[i-1] {
+					lo[nb], up[nb] = vals[i], vals[i]
+					nb++
+				}
+			}
+		} else {
+			// Equal-frequency bucketing over distinct-value runs: fill each
+			// bin to ceil(remaining/binsLeft) samples, never splitting a run,
+			// so the bin count stays ≤ maxBins and the boundaries depend only
+			// on the data (deterministic).
+			b.lossless = false
+			binsLeft, remaining := maxBins, r
+			i := 0
+			for i < r {
+				target := (remaining + binsLeft - 1) / binsLeft
+				start, count := i, 0
+				for i < r && count < target {
+					v := vals[i]
+					j := i
+					for j < r && vals[j] == v {
+						j++
+					}
+					count += j - i
+					i = j
+				}
+				lo[nb], up[nb] = vals[start], vals[i-1]
+				nb++
+				remaining -= count
+				binsLeft--
+			}
+		}
+		b.nBins[f] = nb
+		total += nb
+	}
+	b.total = total
+
+	// Assign codes: the bin of v is the first whose upper bound is ≥ v.
+	for f := 0; f < c; f++ {
+		off, nb := b.offset[f], b.nBins[f]
+		ups := b.upper[off : off+nb]
+		base := f * r
+		if nb == 1 {
+			continue // codes are zeroed on Get; a single bin stays 0
+		}
+		for i := 0; i < r; i++ {
+			k := sort.SearchFloat64s(ups, data[i*c+f])
+			if k >= nb {
+				k = nb - 1 // non-finite values land in the last bin
+			}
+			b.codes[base+i] = uint8(k)
+		}
+	}
+}
+
+// Release returns the workspace-borrowed buffers. The Binning must not be
+// used again until the next Bin.
+func (b *Binning) Release(ws *mat.Workspace) {
+	ws.PutUint8(b.codes)
+	ws.PutVector(b.lower)
+	ws.PutVector(b.upper)
+	b.codes, b.lower, b.upper = nil, nil, nil
+	b.total = 0
+}
+
+// Rows returns the number of binned rows.
+func (b *Binning) Rows() int { return b.rows }
+
+// Cols returns the number of binned features.
+func (b *Binning) Cols() int { return b.cols }
+
+// Lossless reports whether every feature had at most maxBins distinct
+// values, i.e. whether the binned split search is exactly equivalent to
+// the sorted-sample scan.
+func (b *Binning) Lossless() bool { return b.lossless }
+
+// featCodes returns the code column of one feature.
+func (b *Binning) featCodes(f int) []uint8 {
+	return b.codes[f*b.rows : (f+1)*b.rows]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

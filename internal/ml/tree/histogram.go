@@ -1,0 +1,364 @@
+package tree
+
+import (
+	"wpred/internal/parallel"
+)
+
+// histParallelMinRows gates the per-feature fan-out of histogram
+// accumulation: a node's histogram build is parallelized across features
+// only when the node holds at least this many rows, because below it the
+// per-feature work (one add per row) is cheaper than scheduling a task.
+// Each feature writes a disjoint bin range and the bin scan reduces in
+// fixed feature order, so the fan-out is bit-identical to the serial build
+// at every worker count. Variable (not const) so tests can lower it to
+// exercise the parallel path on small fixtures.
+var histParallelMinRows = 4096
+
+// SetHistParallelMinRows overrides the histogram fan-out gate and returns
+// the previous value. Determinism tests in dependent packages use it to
+// force the parallel accumulation path on fixtures far smaller than the
+// production threshold; the gate affects scheduling only, never results.
+func SetHistParallelMinRows(n int) int {
+	prev := histParallelMinRows
+	histParallelMinRows = n
+	return prev
+}
+
+// regHist is a per-node regression histogram: for every global bin, the
+// row count and target sum of the node's rows. Counts are int32 — sixteen
+// bins per cache line for the split scan's empty-bin skip path, and no
+// float→int conversion when indexing the reciprocal table. No square-sum
+// is kept: with sqL+sqR constant per node, the SSE gain is maximized
+// exactly when sumL²/nl + sumR²/nr is, so selection needs only counts and
+// sums. Buffers are workspace-borrowed (zeroed on Get) and sized to the
+// binning's total bin count; at most one histogram per tree level is live
+// beyond the current node's, so the workspace free list stays at
+// O(depth × bins).
+type regHist struct {
+	cnt []int32
+	sum []float64
+}
+
+func (h regHist) valid() bool { return h.cnt != nil }
+
+func (t *Regressor) borrowHist(bn *Binning) regHist {
+	return regHist{
+		cnt: t.ws.GetInt32(bn.total),
+		sum: t.ws.GetVector(bn.total),
+	}
+}
+
+func (t *Regressor) releaseHist(h regHist) {
+	t.ws.PutVector(h.sum)
+	t.ws.PutInt32(h.cnt)
+}
+
+// buildRegHist accumulates the histogram of the rows in idx. Feature
+// blocks are independent (disjoint bin ranges), so large nodes fan the
+// accumulation out across features on the worker pool. The per-feature
+// work is a named function (not a closure) so the common serial path stays
+// allocation-free.
+func buildRegHist(bn *Binning, y []float64, idx []int, h regHist) {
+	if len(idx) >= histParallelMinRows && bn.cols > 1 && parallel.MaxWorkers() > 1 {
+		parallel.ForEach(bn.cols, func(f int) error {
+			regHistAccum(bn, y, idx, h, f)
+			return nil
+		})
+		return
+	}
+	for f := 0; f < bn.cols; f++ {
+		regHistAccum(bn, y, idx, h, f)
+	}
+}
+
+func regHistAccum(bn *Binning, y []float64, idx []int, h regHist, f int) {
+	off := bn.offset[f]
+	codes := bn.featCodes(f)
+	for _, i := range idx {
+		b := off + int(codes[i])
+		h.cnt[b]++
+		h.sum[b] += y[i]
+	}
+}
+
+// subtractRegHist computes the sibling histogram in place: parent -= child
+// leaves the other child's histogram in parent's buffers. Every cell holds
+// a sum over a superset of the child's rows, so the subtraction is the
+// standard parent-minus-sibling trick — only the smaller child is ever
+// scanned.
+func subtractRegHist(parent, child regHist) {
+	for b := range parent.cnt {
+		parent.cnt[b] -= child.cnt[b]
+	}
+	for b := range parent.sum {
+		parent.sum[b] -= child.sum[b]
+	}
+}
+
+// scanRegSplits finds feature f's best SSE-reduction split by one pass
+// over its bins, mirroring the classic sorted-sample scan: a candidate
+// sits between every pair of adjacent non-empty bins (exactly the distinct
+// adjacent observed values when the binning is lossless), prefix sums
+// replace the per-sample accumulation, and the threshold is the midpoint
+// of the two bins' facing value bounds.
+//
+// Candidates are ranked by score = sumL²/nl + sumR²/nr, which orders
+// splits identically to SSE gain (their difference, sqAll - sumAll²/n, is
+// constant across a node's candidates) while needing neither a square-sum
+// histogram nor the parent SSE inside the loop. recip[k] is 1/k,
+// precomputed once per fit — the side counts are always integers, so the
+// table turns the two divisions per candidate (the scan's dominant cost)
+// into multiplies. Only candidates scoring strictly above the incoming
+// best are reported, so the caller's in-order cross-feature reduction
+// keeps the lowest-feature-first tie-break of the sorted-sample
+// reference. Returns splitBin = -1 when no admissible candidate beat
+// best.
+func scanRegSplits(bn *Binning, h regHist, f, n int, sumAll, best float64, minLeaf int, recip []float64) (score, thr float64, splitBin int) {
+	off, nb := bn.offset[f], bn.nBins[f]
+	cnt := h.cnt[off : off+nb]
+	sum := h.sum[off : off+nb]
+	ups := bn.upper[off : off+nb]
+	los := bn.lower[off : off+nb]
+	score, splitBin = best, -1
+	// No candidate sits before the first non-empty bin.
+	b := 0
+	for ; b < nb; b++ {
+		if cnt[b] != 0 {
+			break
+		}
+	}
+	if b >= nb {
+		return score, thr, splitBin
+	}
+	cntL := int(cnt[b])
+	sumL := sum[b]
+	lastNE := b
+	if minLeaf <= 1 {
+		// Hot default path: with minLeaf 1 every boundary between
+		// non-empty bins is admissible (the current bin is non-empty, so
+		// both sides hold at least one row), which drops the per-candidate
+		// admissibility tests from the inner loop.
+		for b++; b < nb; b++ {
+			c := cnt[b]
+			if c == 0 {
+				continue
+			}
+			sumR := sumAll - sumL
+			sc := sumL*sumL*recip[cntL] + sumR*sumR*recip[n-cntL]
+			if sc > score {
+				score = sc
+				thr = (ups[lastNE] + los[b]) / 2
+				splitBin = lastNE
+			}
+			cntL += int(c)
+			sumL += sum[b]
+			lastNE = b
+		}
+		return score, thr, splitBin
+	}
+	for b++; b < nb; b++ {
+		c := cnt[b]
+		if c == 0 {
+			continue
+		}
+		if cntL >= minLeaf && n-cntL >= minLeaf {
+			sumR := sumAll - sumL
+			sc := sumL*sumL*recip[cntL] + sumR*sumR*recip[n-cntL]
+			if sc > score {
+				score = sc
+				thr = (ups[lastNE] + los[b]) / 2
+				splitBin = lastNE
+			}
+		}
+		cntL += int(c)
+		sumL += sum[b]
+		lastNE = b
+	}
+	return score, thr, splitBin
+}
+
+// bestSplitHist scans the candidate features for the split maximizing SSE
+// reduction over the node histogram. Candidates are scanned in feature
+// order with a strictly-greater comparison, so ties break toward the
+// lowest feature index — the same selection rule as the sorted-sample
+// reference. The returned gain is the winner's SSE reduction,
+// score - sumAll²/n.
+func (t *Regressor) bestSplitHist(bn *Binning, h regHist, y []float64, idx []int, p Params) (feat int, thr float64, splitBin int, gain float64) {
+	feat, splitBin = -1, -1
+	cands := t.scr.candidates(bn.cols, p)
+	var sumAll float64
+	for _, i := range idx {
+		sumAll += y[i]
+	}
+	n := len(idx)
+	base := sumAll * sumAll * t.scr.recip[n]
+	best := base
+	for _, f := range cands {
+		sc, th, sb := scanRegSplits(bn, h, f, n, sumAll, best, p.MinSamplesLeaf, t.scr.recip)
+		if sb >= 0 {
+			best, feat, thr, splitBin = sc, f, th, sb
+		}
+	}
+	if feat >= 0 {
+		gain = best - base
+	}
+	return feat, thr, splitBin, gain
+}
+
+// clfHist is a per-node classification histogram: per global bin, the row
+// count and the per-class row counts (bin-major, nClasses per bin). Counts
+// are stored as float64 — they are small integers, exactly representable,
+// and the Gini arithmetic consumes them as floats anyway, which keeps the
+// binned gains bit-identical to the sorted-sample scan.
+type clfHist struct {
+	cnt []float64 // per bin
+	cls []float64 // per bin × class: cls[b*nClasses+c]
+	k   int
+}
+
+func (h clfHist) valid() bool { return h.cnt != nil }
+
+func (t *Classifier) borrowHist(bn *Binning) clfHist {
+	return clfHist{
+		cnt: t.ws.GetVector(bn.total),
+		cls: t.ws.GetVector(bn.total * t.nClasses),
+		k:   t.nClasses,
+	}
+}
+
+func (t *Classifier) releaseHist(h clfHist) {
+	t.ws.PutVector(h.cls)
+	t.ws.PutVector(h.cnt)
+}
+
+func buildClfHist(bn *Binning, y []int, idx []int, h clfHist) {
+	if len(idx) >= histParallelMinRows && bn.cols > 1 && parallel.MaxWorkers() > 1 {
+		parallel.ForEach(bn.cols, func(f int) error {
+			clfHistAccum(bn, y, idx, h, f)
+			return nil
+		})
+		return
+	}
+	for f := 0; f < bn.cols; f++ {
+		clfHistAccum(bn, y, idx, h, f)
+	}
+}
+
+func clfHistAccum(bn *Binning, y []int, idx []int, h clfHist, f int) {
+	off := bn.offset[f]
+	codes := bn.featCodes(f)
+	for _, i := range idx {
+		b := off + int(codes[i])
+		h.cnt[b]++
+		h.cls[b*h.k+y[i]]++
+	}
+}
+
+func subtractClfHist(parent, child clfHist) {
+	for b := range parent.cnt {
+		parent.cnt[b] -= child.cnt[b]
+	}
+	for b := range parent.cls {
+		parent.cls[b] -= child.cls[b]
+	}
+}
+
+// scanClfSplits finds feature f's best Gini split over the node histogram.
+// leftCounts/rightCounts are caller scratch of length nClasses;
+// parentCounts is the node's class distribution. Because every count is an
+// exactly-represented integer and the Gini formula consumes the same
+// values in the same order as the sorted-sample scan, the gains — and
+// therefore the chosen splits and importances — are bit-identical to the
+// pre-histogram implementation whenever the binning is lossless.
+func scanClfSplits(bn *Binning, h clfHist, f int, n, parentGini float64, parentCounts, leftCounts, rightCounts []float64, minLeaf int) (gain, thr float64, splitBin int) {
+	off, nb := bn.offset[f], bn.nBins[f]
+	splitBin = -1
+	for c := range leftCounts {
+		leftCounts[c] = 0
+	}
+	copy(rightCounts, parentCounts)
+	cntL := 0.0
+	lastNE := -1
+	for b := 0; b < nb; b++ {
+		c := h.cnt[off+b]
+		if c == 0 {
+			continue
+		}
+		if lastNE >= 0 {
+			nl := cntL
+			nr := n - nl
+			if int(nl) >= minLeaf && int(nr) >= minLeaf {
+				g := parentGini - nl/n*giniF(leftCounts, nl) - nr/n*giniF(rightCounts, nr)
+				if g > gain {
+					gain = g
+					thr = (bn.upper[off+lastNE] + bn.lower[off+b]) / 2
+					splitBin = lastNE
+				}
+			}
+		}
+		base := (off + b) * h.k
+		for cls := 0; cls < h.k; cls++ {
+			v := h.cls[base+cls]
+			leftCounts[cls] += v
+			rightCounts[cls] -= v
+		}
+		cntL += c
+		lastNE = b
+	}
+	return gain, thr, splitBin
+}
+
+func (t *Classifier) bestSplitHist(bn *Binning, h clfHist, y []int, idx []int, p Params) (feat int, thr float64, splitBin int, gain float64) {
+	feat, splitBin = -1, -1
+	scr := &t.scr
+	cands := scr.candidates(bn.cols, p)
+	n := float64(len(idx))
+	parentCounts := scr.parentCnt
+	for i := range parentCounts {
+		parentCounts[i] = 0
+	}
+	for _, i := range idx {
+		parentCounts[y[i]]++
+	}
+	parentGini := giniF(parentCounts, n)
+	for _, f := range cands {
+		g, th, sb := scanClfSplits(bn, h, f, n, parentGini, parentCounts, scr.leftCnt, scr.rightCnt, p.MinSamplesLeaf)
+		if g > gain {
+			gain, feat, thr, splitBin = g, f, th, sb
+		}
+	}
+	return feat, thr, splitBin, gain
+}
+
+// giniF is the Gini impurity of a float-valued class-count vector holding
+// n samples; identical arithmetic to the integer-count version it
+// replaces, since the counts are exactly-represented integers.
+func giniF(counts []float64, n float64) float64 {
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+// partitionBinned splits idx in place by bin code: rows whose code on feat
+// is ≤ splitBin are compacted to the front (preserving order), the rest
+// staged through tmp and copied behind them. With lossless binning this is
+// exactly the value-threshold partition of the pre-histogram learner.
+func partitionBinned(bn *Binning, idx []int, feat, splitBin int, tmp []int) (left, right []int) {
+	codes := bn.featCodes(feat)
+	sb := uint8(splitBin)
+	nl, nr := 0, 0
+	for _, i := range idx {
+		if codes[i] <= sb {
+			idx[nl] = i
+			nl++
+		} else {
+			tmp[nr] = i
+			nr++
+		}
+	}
+	copy(idx[nl:], tmp[:nr])
+	return idx[:nl], idx[nl:]
+}

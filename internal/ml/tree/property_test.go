@@ -1,0 +1,285 @@
+package tree
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// histRootSplitReg runs the histogram learner's root split search exactly
+// as FitBinned would: bin, build the root histogram, scan candidates.
+func histRootSplitReg(X *mat.Dense, y []float64, minLeaf int) (feat int, thr, gain float64, lossless bool) {
+	var tr Regressor
+	var ws mat.Workspace
+	var bn Binning
+	bn.Bin(X, DefaultMaxBins, &ws)
+	defer bn.Release(&ws)
+	r := bn.Rows()
+	idx := tr.scr.rowSet(nil, r)
+	tr.scr.prepareRecip(r)
+	h := tr.borrowHist(&bn)
+	defer tr.releaseHist(h)
+	buildRegHist(&bn, y, idx, h)
+	p := Params{MinSamplesLeaf: minLeaf}.withDefaults()
+	f, th, _, g := tr.bestSplitHist(&bn, h, y, idx, p)
+	return f, th, g, bn.Lossless()
+}
+
+// exactBestSplitReg is the O(n log n) sorted-sample reference: per feature
+// it stable-sorts the rows, accumulates one target sum per distinct value
+// in row order (the histogram's bin-accumulation order), and scores every
+// boundary between adjacent distinct values with the same
+// sumL²/nl + sumR²/nr objective, strict-greater with features in order so
+// ties break toward the lowest feature index.
+func exactBestSplitReg(X *mat.Dense, y []float64, minLeaf int) (feat int, thr, gain float64) {
+	r, c := X.Dims()
+	feat = -1
+	var sumAll float64
+	for _, v := range y {
+		sumAll += v
+	}
+	base := sumAll * sumAll / float64(r)
+	best := base
+	ord := make([]int, r)
+	for f := 0; f < c; f++ {
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(a, b int) bool { return X.At(ord[a], f) < X.At(ord[b], f) })
+		cntL := 0
+		sumL := 0.0
+		for i := 0; i < r; {
+			v := X.At(ord[i], f)
+			j := i
+			group := 0.0
+			for j < r && X.At(ord[j], f) == v {
+				group += y[ord[j]]
+				j++
+			}
+			cntL += j - i
+			sumL += group
+			if j < r && cntL >= minLeaf && r-cntL >= minLeaf {
+				sumR := sumAll - sumL
+				sc := sumL*sumL/float64(cntL) + sumR*sumR/float64(r-cntL)
+				if sc > best {
+					best, feat = sc, f
+					thr = (v + X.At(ord[j], f)) / 2
+				}
+			}
+			i = j
+		}
+	}
+	if feat >= 0 {
+		gain = best - base
+	}
+	return feat, thr, gain
+}
+
+// TestHistogramSplitMatchesExactReference is the lossless-binning property:
+// whenever every feature has ≤256 distinct values, the binned split search
+// must choose the same (feature, threshold) as the exact sorted-sample
+// reference, including under heavy ties, constant features, and
+// MinSamplesLeaf constraints. Gains agree to rounding (the scan ranks with
+// a precomputed reciprocal table, the reference divides).
+func TestHistogramSplitMatchesExactReference(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, c    int
+		minLeaf int
+		val     func(rng *rand.Rand) float64
+	}{
+		{"continuous", 120, 6, 1, func(rng *rand.Rand) float64 { return rng.NormFloat64() }},
+		{"heavy ties", 200, 5, 1, func(rng *rand.Rand) float64 { return float64(rng.IntN(5)) }},
+		{"binary", 150, 8, 1, func(rng *rand.Rand) float64 { return float64(rng.IntN(2)) }},
+		{"min leaf 7", 90, 4, 7, func(rng *rand.Rand) float64 { return rng.Float64() * 10 }},
+		{"many rows few distinct", 600, 3, 1, func(rng *rand.Rand) float64 { return float64(rng.IntN(40)) / 7 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 8; seed++ {
+				rng := rand.New(rand.NewPCG(seed, 0xfeed^seed))
+				X := mat.New(tc.n, tc.c)
+				y := make([]float64, tc.n)
+				for i := 0; i < tc.n; i++ {
+					for j := 0; j < tc.c; j++ {
+						if j == 0 {
+							X.Set(i, j, 3.25) // constant column: never splittable
+						} else {
+							X.Set(i, j, tc.val(rng))
+						}
+					}
+					y[i] = 2*X.At(i, 1) - X.At(i, tc.c-1) + 0.3*rng.NormFloat64()
+				}
+				hf, hthr, hgain, lossless := histRootSplitReg(X, y, tc.minLeaf)
+				if !lossless {
+					t.Fatalf("seed %d: fixture exceeded 256 distinct values, binning not lossless", seed)
+				}
+				ef, ethr, egain := exactBestSplitReg(X, y, tc.minLeaf)
+				if hf != ef || hthr != ethr {
+					t.Fatalf("seed %d: histogram chose (feat %d, thr %v), exact reference (feat %d, thr %v)",
+						seed, hf, hthr, ef, ethr)
+				}
+				if hf == 0 || ef == 0 {
+					t.Fatalf("seed %d: constant feature 0 was chosen", seed)
+				}
+				if diff := math.Abs(hgain - egain); diff > 1e-9*(1+math.Abs(egain)) {
+					t.Fatalf("seed %d: gains diverge: histogram %v, exact %v", seed, hgain, egain)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramSplitAllConstant: a node whose every feature is constant has
+// no admissible boundary — both searches must report no split.
+func TestHistogramSplitAllConstant(t *testing.T) {
+	const n, c = 50, 3
+	X := mat.New(n, c)
+	y := make([]float64, n)
+	rng := rand.New(rand.NewPCG(5, 0xc0))
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			X.Set(i, j, float64(j))
+		}
+		y[i] = rng.NormFloat64()
+	}
+	hf, _, _, lossless := histRootSplitReg(X, y, 1)
+	ef, _, _ := exactBestSplitReg(X, y, 1)
+	if !lossless || hf != -1 || ef != -1 {
+		t.Fatalf("constant matrix: lossless=%v histogram feat=%d exact feat=%d, want true/-1/-1", lossless, hf, ef)
+	}
+}
+
+// TestHistogramSplitLossyBinning: past 256 distinct values binning is
+// approximate by design — the property guaranteed is only that Lossless
+// reports false and the scan still finds a positive-gain bin-boundary
+// split, not equality with the exact reference.
+func TestHistogramSplitLossyBinning(t *testing.T) {
+	const n, c = 600, 4
+	rng := rand.New(rand.NewPCG(11, 0x10551))
+	X := mat.New(n, c)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < c; j++ {
+			X.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 2*X.At(i, 1) + 0.1*rng.NormFloat64()
+	}
+	hf, _, hgain, lossless := histRootSplitReg(X, y, 1)
+	if lossless {
+		t.Fatal("600 unique values per feature must not bin losslessly")
+	}
+	if hf != 1 || hgain <= 0 {
+		t.Fatalf("lossy scan: feat=%d gain=%v, want the signal feature 1 with positive gain", hf, hgain)
+	}
+	ef, _, _ := exactBestSplitReg(X, y, 1)
+	if ef != 1 {
+		t.Fatalf("exact reference picked feat %d, want 1", ef)
+	}
+}
+
+// histRootSplitClf mirrors histRootSplitReg for the Gini classifier.
+func histRootSplitClf(X *mat.Dense, y []int, minLeaf int) (feat int, thr, gain float64, lossless bool) {
+	var tr Classifier
+	var ws mat.Workspace
+	var bn Binning
+	bn.Bin(X, DefaultMaxBins, &ws)
+	defer bn.Release(&ws)
+	k := 0
+	for _, v := range y {
+		if v+1 > k {
+			k = v + 1
+		}
+	}
+	tr.nClasses = k
+	tr.scr.parentCnt = make([]float64, k)
+	tr.scr.leftCnt = make([]float64, k)
+	tr.scr.rightCnt = make([]float64, k)
+	idx := tr.scr.rowSet(nil, bn.Rows())
+	h := tr.borrowHist(&bn)
+	defer tr.releaseHist(h)
+	buildClfHist(&bn, y, idx, h)
+	p := Params{MinSamplesLeaf: minLeaf}.withDefaults()
+	f, th, _, g := tr.bestSplitHist(&bn, h, y, idx, p)
+	return f, th, g, bn.Lossless()
+}
+
+// exactBestSplitClf is the sorted-sample Gini reference, accumulating
+// per-distinct-value class counts exactly as scanClfSplits consumes bins.
+func exactBestSplitClf(X *mat.Dense, y []int, k, minLeaf int) (feat int, thr, gain float64) {
+	r, c := X.Dims()
+	feat = -1
+	n := float64(r)
+	parent := make([]float64, k)
+	for _, v := range y {
+		parent[v]++
+	}
+	parentGini := giniF(parent, n)
+	left := make([]float64, k)
+	right := make([]float64, k)
+	ord := make([]int, r)
+	for f := 0; f < c; f++ {
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(a, b int) bool { return X.At(ord[a], f) < X.At(ord[b], f) })
+		for cls := range left {
+			left[cls] = 0
+		}
+		copy(right, parent)
+		cntL := 0.0
+		for i := 0; i < r; {
+			v := X.At(ord[i], f)
+			j := i
+			for j < r && X.At(ord[j], f) == v {
+				left[y[ord[j]]]++
+				right[y[ord[j]]]--
+				j++
+			}
+			cntL += float64(j - i)
+			if j < r && int(cntL) >= minLeaf && r-int(cntL) >= minLeaf {
+				nl, nr := cntL, n-cntL
+				g := parentGini - nl/n*giniF(left, nl) - nr/n*giniF(right, nr)
+				if g > gain {
+					gain, feat = g, f
+					thr = (v + X.At(ord[j], f)) / 2
+				}
+			}
+			i = j
+		}
+	}
+	return feat, thr, gain
+}
+
+// TestHistogramClassifierSplitMatchesExactReference: the Gini scan keeps
+// integer class counts in floats, so on lossless binnings the chosen split
+// AND the gain must be bit-identical to the sorted-sample reference.
+func TestHistogramClassifierSplitMatchesExactReference(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xc1a55^seed))
+		const n, c, k = 180, 5, 3
+		X := mat.New(n, c)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < c; j++ {
+				X.Set(i, j, float64(rng.IntN(6)))
+			}
+			y[i] = int(X.At(i, 2)) % k
+			if rng.Float64() < 0.15 {
+				y[i] = rng.IntN(k)
+			}
+		}
+		hf, hthr, hgain, lossless := histRootSplitClf(X, y, 1)
+		if !lossless {
+			t.Fatalf("seed %d: fixture must bin losslessly", seed)
+		}
+		ef, ethr, egain := exactBestSplitClf(X, y, k, 1)
+		if hf != ef || hthr != ethr || hgain != egain {
+			t.Fatalf("seed %d: histogram (feat %d, thr %v, gain %v) != exact (feat %d, thr %v, gain %v)",
+				seed, hf, hthr, hgain, ef, ethr, egain)
+		}
+	}
+}

@@ -2,23 +2,31 @@
 // regressor and a Gini-impurity classifier, both exposing impurity-based
 // feature importances. They are the weak learners of the ensemble package
 // and the "DecTree" estimator of the wrapper feature-selection strategies.
+//
+// Split search runs on binned feature histograms (see binning.go): the
+// design matrix is bucketed once per fit — or once per ensemble, via
+// FitBinned/FitClassesBinned on a shared Binning — and every node scans
+// per-bin aggregate histograms instead of sorting its samples, deriving
+// each larger child's histogram from the parent by subtraction. Nodes live
+// in a per-tree arena indexed by int32, so a fit performs no per-node
+// allocations.
 package tree
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"wpred/internal/mat"
 )
 
-// node is one tree node; leaves have feature == -1.
+// node is one tree node; leaves have feature == -1. left/right index into
+// the owning tree's arena.
 type node struct {
-	feature     int
+	feature     int32
+	left, right int32
+	samples     int32
 	threshold   float64
-	left, right *node
 	value       float64 // regression prediction or encoded class
-	samples     int
 }
 
 // Params configures tree growth.
@@ -52,25 +60,54 @@ func (p Params) withDefaults() Params {
 }
 
 // splitScratch is fit-scoped scratch for the split search, hoisted out of
-// the per-node loops: the sort buffers, candidate-feature list, partition
-// space and class counters are sized once per Fit and reused at every node
-// instead of being re-allocated per candidate feature per node.
+// the per-node loops: the candidate-feature list, row-index and partition
+// space and class counters are sized once per Fit and reused at every node.
 type splitScratch struct {
-	reg       regSorter
-	clf       clfSorter
 	cands     []int
+	idx       []int
 	part      []int
-	parentCnt []int
-	leftCnt   []int
-	rightCnt  []int
 	majCnt    []int
+	parentCnt []float64
+	leftCnt   []float64
+	rightCnt  []float64
+	recip     []float64 // recip[k] = 1/k for integer left/right row counts
+}
+
+// prepareRecip fills the reciprocal table for row counts up to n.
+func (s *splitScratch) prepareRecip(n int) {
+	if len(s.recip) > n {
+		return
+	}
+	if cap(s.recip) <= n {
+		s.recip = make([]float64, n+1)
+	} else {
+		s.recip = s.recip[:n+1]
+	}
+	for k := 1; k <= n; k++ {
+		s.recip[k] = 1 / float64(k)
+	}
 }
 
 func (s *splitScratch) prepare(r int) {
-	if cap(s.part) < r {
-		s.part = make([]int, r)
+	s.idx = resizeInts(s.idx, r)
+	s.part = resizeInts(s.part, r)
+}
+
+// rowSet fills the scratch index buffer with the training rows: a copy of
+// rows when given (callers keep ownership — partition mutates the buffer,
+// and bootstrap multisets with duplicate rows are fine), else the identity
+// permutation over r rows.
+func (s *splitScratch) rowSet(rows []int, r int) []int {
+	if rows != nil {
+		s.prepare(len(rows))
+		copy(s.idx, rows)
+		return s.idx
 	}
-	s.part = s.part[:r]
+	s.prepare(r)
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	return s.idx
 }
 
 // candidates returns the feature indices to scan at one node: the sampler
@@ -89,59 +126,53 @@ func (s *splitScratch) candidates(c int, p Params) []int {
 	return s.cands[:c]
 }
 
-type regPair struct{ x, y float64 }
-
-// regSorter orders split pairs by feature value through sort.Sort; unlike
-// sort.Slice there is no per-call closure, and (both being the same
-// pattern-defeating quicksort) the permutation — including tie order — is
-// identical.
-type regSorter struct{ p []regPair }
-
-func (s *regSorter) Len() int           { return len(s.p) }
-func (s *regSorter) Less(a, b int) bool { return s.p[a].x < s.p[b].x }
-func (s *regSorter) Swap(a, b int)      { s.p[a], s.p[b] = s.p[b], s.p[a] }
-
-type clfPair struct {
-	x   float64
-	cls int
-}
-
-type clfSorter struct{ p []clfPair }
-
-func (s *clfSorter) Len() int           { return len(s.p) }
-func (s *clfSorter) Less(a, b int) bool { return s.p[a].x < s.p[b].x }
-func (s *clfSorter) Swap(a, b int)      { s.p[a], s.p[b] = s.p[b], s.p[a] }
-
 // Regressor is a CART regression tree minimizing within-node variance.
 type Regressor struct {
 	Params
 
-	root        *node
+	nodes       []node
+	root        int32
 	importances []float64
 	fitted      bool
 	scr         splitScratch
+	ws          mat.Workspace
+	bn          Binning
 }
 
-// Fit grows the tree on X, y.
+// Fit grows the tree on X, y, binning X internally. Ensembles that train
+// many trees on one matrix should Bin once and use FitBinned instead.
 func (t *Regressor) Fit(X *mat.Dense, y []float64) error {
-	r, c := X.Dims()
+	r, _ := X.Dims()
 	if r != len(y) {
 		return fmt.Errorf("tree: %d rows but %d targets", r, len(y))
 	}
 	if r == 0 {
 		return errors.New("tree: empty training set")
 	}
+	t.bn.Bin(X, DefaultMaxBins, &t.ws)
+	defer t.bn.Release(&t.ws)
+	return t.FitBinned(&t.bn, y, nil, nil)
+}
+
+// FitBinned grows the tree on a pre-binned design matrix. rows selects the
+// training rows (nil means all; duplicates are allowed, so a bootstrap
+// multiset works) and is not modified. If fitted is non-nil it must have
+// length bn.Rows(); the tree writes its training prediction for every
+// selected row — the leaf value the row landed in — which lets boosting
+// update its running predictions without a per-row tree walk.
+func (t *Regressor) FitBinned(bn *Binning, y []float64, rows []int, fitted []float64) error {
+	if len(y) != bn.Rows() {
+		return fmt.Errorf("tree: %d binned rows but %d targets", bn.Rows(), len(y))
+	}
+	if bn.Rows() == 0 {
+		return errors.New("tree: empty training set")
+	}
 	p := t.Params.withDefaults()
-	idx := make([]int, r)
-	for i := range idx {
-		idx[i] = i
-	}
-	t.importances = make([]float64, c)
-	t.scr.prepare(r)
-	if cap(t.scr.reg.p) < r {
-		t.scr.reg.p = make([]regPair, r)
-	}
-	t.root = t.grow(X, y, idx, 0, p)
+	idx := t.scr.rowSet(rows, bn.Rows())
+	t.scr.prepareRecip(len(idx))
+	t.importances = resizeFloats(t.importances, bn.Cols())
+	t.nodes = t.nodes[:0]
+	t.root = t.grow(bn, y, idx, 0, p, regHist{}, fitted)
 	normalize(t.importances)
 	t.fitted = true
 	return nil
@@ -165,97 +196,106 @@ func sse(y []float64, idx []int) float64 {
 	return s
 }
 
-func (t *Regressor) grow(X *mat.Dense, y []float64, idx []int, depth int, p Params) *node {
-	n := &node{feature: -1, value: mean(y, idx), samples: len(idx)}
+// grow recursively grows the subtree over idx and returns its arena index.
+// h is the node's histogram when the parent derived it, or invalid — it is
+// then built here only once the cheap stopping rules have passed. grow owns
+// h: every return path either hands it to a child or releases it.
+func (t *Regressor) grow(bn *Binning, y []float64, idx []int, depth int, p Params, h regHist, fitted []float64) int32 {
+	m := mean(y, idx)
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, left: -1, right: -1, value: m, samples: int32(len(idx))})
+	leaf := func() int32 {
+		if h.valid() {
+			t.releaseHist(h)
+		}
+		if fitted != nil {
+			for _, i := range idx {
+				fitted[i] = m
+			}
+		}
+		return id
+	}
 	if depth >= p.MaxDepth || len(idx) < p.MinSamplesSplit {
-		return n
+		return leaf()
 	}
-	parentSSE := sse(y, idx)
-	if parentSSE < 1e-12 {
-		return n
+	if sse(y, idx) < 1e-12 {
+		return leaf()
 	}
-	feat, thr, gain := bestSplitReg(X, y, idx, p, &t.scr)
+	if !h.valid() {
+		h = t.borrowHist(bn)
+		buildRegHist(bn, y, idx, h)
+	}
+	feat, thr, splitBin, gain := t.bestSplitHist(bn, h, y, idx, p)
 	if feat < 0 || gain <= 1e-12 {
-		return n
+		return leaf()
 	}
-	left, right := partition(X, idx, feat, thr, t.scr.part)
+	left, right := partitionBinned(bn, idx, feat, splitBin, t.scr.part)
 	if len(left) < p.MinSamplesLeaf || len(right) < p.MinSamplesLeaf {
-		return n
+		return leaf()
 	}
 	t.importances[feat] += gain
-	n.feature = feat
-	n.threshold = thr
-	n.left = t.grow(X, y, left, depth+1, p)
-	n.right = t.grow(X, y, right, depth+1, p)
-	return n
-}
 
-// bestSplitReg scans candidate features for the split maximizing SSE
-// reduction, using sorted prefix sums per feature.
-func bestSplitReg(X *mat.Dense, y []float64, idx []int, p Params, scr *splitScratch) (feat int, thr, gain float64) {
-	feat = -1
-	cands := scr.candidates(X.Cols(), p)
-	// Parent statistics.
-	var sumAll, sqAll float64
-	for _, i := range idx {
-		sumAll += y[i]
-		sqAll += y[i] * y[i]
-	}
-	n := float64(len(idx))
-	parentSSE := sqAll - sumAll*sumAll/n
-
-	scr.reg.p = scr.reg.p[:len(idx)]
-	buf := scr.reg.p
-	for _, f := range cands {
-		for k, i := range idx {
-			buf[k] = regPair{X.At(i, f), y[i]}
+	// Derive child histograms before recursing. The larger child's can come
+	// from the parent-minus-sibling subtraction (O(total bins), inheriting
+	// the parent's buffers) or a direct rebuild (O(rows × features));
+	// subtraction wins once the node is large relative to the bin table,
+	// the rebuild wins deep in the tree where small nodes leave most bins
+	// empty. Counts are integers either way and sums only drift at ulp
+	// scale, so the choice is a pure cost decision made per node from the
+	// data alone — never from the worker count. Children that will
+	// trivially stop (depth or min-samples) get no histogram.
+	needL := depth+1 < p.MaxDepth && len(left) >= p.MinSamplesSplit
+	needR := depth+1 < p.MaxDepth && len(right) >= p.MinSamplesSplit
+	var hL, hR regHist
+	if needL || needR {
+		small, large, smallIsLeft := right, left, false
+		if len(left) <= len(right) {
+			small, large, smallIsLeft = left, right, true
 		}
-		sort.Sort(&scr.reg)
-		var sumL, sqL float64
-		for k := 0; k < len(buf)-1; k++ {
-			sumL += buf[k].y
-			sqL += buf[k].y * buf[k].y
-			if buf[k].x == buf[k+1].x {
-				continue
-			}
-			nl := float64(k + 1)
-			nr := n - nl
-			if int(nl) < p.MinSamplesLeaf || int(nr) < p.MinSamplesLeaf {
-				continue
-			}
-			sumR := sumAll - sumL
-			sqR := sqAll - sqL
-			sseL := sqL - sumL*sumL/nl
-			sseR := sqR - sumR*sumR/nr
-			g := parentSSE - sseL - sseR
-			if g > gain {
-				gain = g
-				feat = f
-				thr = (buf[k].x + buf[k+1].x) / 2
-			}
+		needSmall, needLarge := needR, needL
+		if smallIsLeft {
+			needSmall, needLarge = needL, needR
 		}
-	}
-	return feat, thr, gain
-}
-
-// partition splits idx in place: rows at or below the threshold are
-// compacted to the front (preserving order), the rest staged through tmp
-// and copied behind them. The returned slices alias disjoint halves of
-// idx, so sibling recursions stay independent, and the stable order
-// matches the old append-based partition exactly.
-func partition(X *mat.Dense, idx []int, feat int, thr float64, tmp []int) (left, right []int) {
-	nl, nr := 0, 0
-	for _, i := range idx {
-		if X.At(i, feat) <= thr {
-			idx[nl] = i
-			nl++
+		var hSmall, hLarge regHist
+		subtract := needLarge && len(large)*bn.cols >= bn.total
+		if needSmall || subtract {
+			hSmall = t.borrowHist(bn)
+			buildRegHist(bn, y, small, hSmall)
+		}
+		if needLarge {
+			if subtract {
+				subtractRegHist(h, hSmall)
+				hLarge = h
+			} else {
+				t.releaseHist(h)
+				hLarge = t.borrowHist(bn)
+				buildRegHist(bn, y, large, hLarge)
+			}
 		} else {
-			tmp[nr] = i
-			nr++
+			t.releaseHist(h)
 		}
+		if !needSmall && hSmall.valid() {
+			t.releaseHist(hSmall)
+			hSmall = regHist{}
+		}
+		if smallIsLeft {
+			hL, hR = hSmall, hLarge
+		} else {
+			hL, hR = hLarge, hSmall
+		}
+	} else {
+		t.releaseHist(h)
 	}
-	copy(idx[nl:], tmp[:nr])
-	return idx[:nl], idx[nl:]
+
+	// The arena may be reallocated by child appends, so node fields are set
+	// by index only after both recursions return.
+	l := t.grow(bn, y, left, depth+1, p, hL, fitted)
+	r := t.grow(bn, y, right, depth+1, p, hR, fitted)
+	t.nodes[id].feature = int32(feat)
+	t.nodes[id].threshold = thr
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
 }
 
 // Predict walks the tree for x.
@@ -263,12 +303,12 @@ func (t *Regressor) Predict(x []float64) float64 {
 	if !t.fitted {
 		panic(errors.New("tree: model is not fitted"))
 	}
-	n := t.root
+	n := &t.nodes[t.root]
 	for n.feature >= 0 {
 		if x[n.feature] <= n.threshold {
-			n = n.left
+			n = &t.nodes[n.left]
 		} else {
-			n = n.right
+			n = &t.nodes[n.right]
 		}
 	}
 	return n.value
@@ -279,14 +319,27 @@ func (t *Regressor) FeatureImportances() []float64 {
 	return append([]float64(nil), t.importances...)
 }
 
-// Depth returns the depth of the fitted tree (0 for a stump).
-func (t *Regressor) Depth() int { return depth(t.root) }
+// FeatureImportancesInto accumulates the tree's normalized importances
+// into dst (which must have one entry per feature), letting ensembles sum
+// importances without a per-tree copy.
+func (t *Regressor) FeatureImportancesInto(dst []float64) {
+	for i, v := range t.importances {
+		dst[i] += v
+	}
+}
 
-func depth(n *node) int {
-	if n == nil || n.feature < 0 {
+// Depth returns the depth of the fitted tree (0 for a stump).
+func (t *Regressor) Depth() int { return arenaDepth(t.nodes, t.root) }
+
+func arenaDepth(nodes []node, id int32) int {
+	if len(nodes) == 0 {
 		return 0
 	}
-	l, r := depth(n.left), depth(n.right)
+	n := &nodes[id]
+	if n.feature < 0 {
+		return 0
+	}
+	l, r := arenaDepth(nodes, n.left), arenaDepth(nodes, n.right)
 	if l > r {
 		return l + 1
 	}
@@ -306,53 +359,72 @@ func normalize(v []float64) {
 	}
 }
 
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // Classifier is a CART classification tree using Gini impurity.
 type Classifier struct {
 	Params
 
-	root        *node
+	nodes       []node
+	root        int32
 	nClasses    int
 	importances []float64
 	fitted      bool
 	scr         splitScratch
+	ws          mat.Workspace
+	bn          Binning
 }
 
-// FitClasses grows the classification tree.
+// FitClasses grows the classification tree, binning X internally.
 func (t *Classifier) FitClasses(X *mat.Dense, y []int) error {
-	r, c := X.Dims()
+	r, _ := X.Dims()
 	if r != len(y) {
 		return fmt.Errorf("tree: %d rows but %d labels", r, len(y))
 	}
 	if r == 0 {
 		return errors.New("tree: empty training set")
 	}
-	t.nClasses = 0
-	for _, v := range y {
-		if v+1 > t.nClasses {
-			t.nClasses = v + 1
-		}
+	t.bn.Bin(X, DefaultMaxBins, &t.ws)
+	defer t.bn.Release(&t.ws)
+	return t.FitClassesBinned(&t.bn, y, nil)
+}
+
+// FitClassesBinned grows the classification tree on a pre-binned design
+// matrix. rows selects the training rows (nil means all; duplicates are
+// allowed) and is not modified. Class labels are encoded 0..K-1; K is
+// taken from the selected rows.
+func (t *Classifier) FitClassesBinned(bn *Binning, y []int, rows []int) error {
+	if len(y) != bn.Rows() {
+		return fmt.Errorf("tree: %d binned rows but %d labels", bn.Rows(), len(y))
+	}
+	if bn.Rows() == 0 {
+		return errors.New("tree: empty training set")
 	}
 	p := t.Params.withDefaults()
-	idx := make([]int, r)
-	for i := range idx {
-		idx[i] = i
+	idx := t.scr.rowSet(rows, bn.Rows())
+	t.nClasses = 0
+	for _, i := range idx {
+		if y[i]+1 > t.nClasses {
+			t.nClasses = y[i] + 1
+		}
 	}
-	t.importances = make([]float64, c)
-	t.scr.prepare(r)
-	if cap(t.scr.clf.p) < r {
-		t.scr.clf.p = make([]clfPair, r)
-	}
-	if cap(t.scr.parentCnt) < t.nClasses {
-		t.scr.parentCnt = make([]int, t.nClasses)
-		t.scr.leftCnt = make([]int, t.nClasses)
-		t.scr.rightCnt = make([]int, t.nClasses)
-		t.scr.majCnt = make([]int, t.nClasses)
-	}
-	t.scr.parentCnt = t.scr.parentCnt[:t.nClasses]
-	t.scr.leftCnt = t.scr.leftCnt[:t.nClasses]
-	t.scr.rightCnt = t.scr.rightCnt[:t.nClasses]
-	t.scr.majCnt = t.scr.majCnt[:t.nClasses]
-	t.root = t.growClf(X, y, idx, 0, p)
+	t.importances = resizeFloats(t.importances, bn.Cols())
+	scr := &t.scr
+	scr.majCnt = resizeInts(scr.majCnt, t.nClasses)
+	scr.parentCnt = resizeFloats(scr.parentCnt, t.nClasses)
+	scr.leftCnt = resizeFloats(scr.leftCnt, t.nClasses)
+	scr.rightCnt = resizeFloats(scr.rightCnt, t.nClasses)
+	t.nodes = t.nodes[:0]
+	t.root = t.growClf(bn, y, idx, 0, p, clfHist{})
 	normalize(t.importances)
 	t.fitted = true
 	return nil
@@ -374,19 +446,21 @@ func majority(y []int, idx []int, counts []int) int {
 	return best
 }
 
-func gini(counts []int, n float64) float64 {
-	g := 1.0
-	for _, c := range counts {
-		p := float64(c) / n
-		g -= p * p
+func (t *Classifier) growClf(bn *Binning, y []int, idx []int, d int, p Params, h clfHist) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		feature: -1, left: -1, right: -1,
+		value:   float64(majority(y, idx, t.scr.majCnt)),
+		samples: int32(len(idx)),
+	})
+	leaf := func() int32 {
+		if h.valid() {
+			t.releaseHist(h)
+		}
+		return id
 	}
-	return g
-}
-
-func (t *Classifier) growClf(X *mat.Dense, y []int, idx []int, d int, p Params) *node {
-	n := &node{feature: -1, value: float64(majority(y, idx, t.scr.majCnt)), samples: len(idx)}
 	if d >= p.MaxDepth || len(idx) < p.MinSamplesSplit {
-		return n
+		return leaf()
 	}
 	pure := true
 	for _, i := range idx[1:] {
@@ -396,71 +470,57 @@ func (t *Classifier) growClf(X *mat.Dense, y []int, idx []int, d int, p Params) 
 		}
 	}
 	if pure {
-		return n
+		return leaf()
 	}
-	feat, thr, gain := t.bestSplitClf(X, y, idx, p)
+	if !h.valid() {
+		h = t.borrowHist(bn)
+		buildClfHist(bn, y, idx, h)
+	}
+	feat, thr, splitBin, gain := t.bestSplitHist(bn, h, y, idx, p)
 	if feat < 0 || gain <= 1e-12 {
-		return n
+		return leaf()
 	}
-	left, right := partition(X, idx, feat, thr, t.scr.part)
+	left, right := partitionBinned(bn, idx, feat, splitBin, t.scr.part)
 	if len(left) < p.MinSamplesLeaf || len(right) < p.MinSamplesLeaf {
-		return n
+		return leaf()
 	}
 	t.importances[feat] += gain * float64(len(idx))
-	n.feature = feat
-	n.threshold = thr
-	n.left = t.growClf(X, y, left, d+1, p)
-	n.right = t.growClf(X, y, right, d+1, p)
-	return n
-}
 
-func (t *Classifier) bestSplitClf(X *mat.Dense, y []int, idx []int, p Params) (feat int, thr, gain float64) {
-	feat = -1
-	scr := &t.scr
-	cands := scr.candidates(X.Cols(), p)
-	n := float64(len(idx))
-	parentCounts := scr.parentCnt
-	for i := range parentCounts {
-		parentCounts[i] = 0
+	needL := d+1 < p.MaxDepth && len(left) >= p.MinSamplesSplit
+	needR := d+1 < p.MaxDepth && len(right) >= p.MinSamplesSplit
+	var hL, hR clfHist
+	if needL || needR {
+		small, smallIsLeft := right, false
+		if len(left) <= len(right) {
+			small, smallIsLeft = left, true
+		}
+		hs := t.borrowHist(bn)
+		buildClfHist(bn, y, small, hs)
+		subtractClfHist(h, hs)
+		if smallIsLeft {
+			hL, hR = hs, h
+		} else {
+			hL, hR = h, hs
+		}
+		if !needL && hL.valid() {
+			t.releaseHist(hL)
+			hL = clfHist{}
+		}
+		if !needR && hR.valid() {
+			t.releaseHist(hR)
+			hR = clfHist{}
+		}
+	} else {
+		t.releaseHist(h)
 	}
-	for _, i := range idx {
-		parentCounts[y[i]]++
-	}
-	parentGini := gini(parentCounts, n)
 
-	scr.clf.p = scr.clf.p[:len(idx)]
-	buf := scr.clf.p
-	leftCounts := scr.leftCnt
-	rightCounts := scr.rightCnt
-	for _, f := range cands {
-		for k, i := range idx {
-			buf[k] = clfPair{X.At(i, f), y[i]}
-		}
-		sort.Sort(&scr.clf)
-		for c := range leftCounts {
-			leftCounts[c] = 0
-		}
-		copy(rightCounts, parentCounts)
-		for k := 0; k < len(buf)-1; k++ {
-			leftCounts[buf[k].cls]++
-			rightCounts[buf[k].cls]--
-			if buf[k].x == buf[k+1].x {
-				continue
-			}
-			nl := float64(k + 1)
-			nr := n - nl
-			if int(nl) < p.MinSamplesLeaf || int(nr) < p.MinSamplesLeaf {
-				continue
-			}
-			g := parentGini - nl/n*gini(leftCounts, nl) - nr/n*gini(rightCounts, nr)
-			if g > gain {
-				gain = g
-				feat = f
-				thr = (buf[k].x + buf[k+1].x) / 2
-			}
-		}
-	}
-	return feat, thr, gain
+	l := t.growClf(bn, y, left, d+1, p, hL)
+	r := t.growClf(bn, y, right, d+1, p, hR)
+	t.nodes[id].feature = int32(feat)
+	t.nodes[id].threshold = thr
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
 }
 
 // PredictClass walks the tree for x.
@@ -468,12 +528,12 @@ func (t *Classifier) PredictClass(x []float64) int {
 	if !t.fitted {
 		panic(errors.New("tree: model is not fitted"))
 	}
-	n := t.root
+	n := &t.nodes[t.root]
 	for n.feature >= 0 {
 		if x[n.feature] <= n.threshold {
-			n = n.left
+			n = &t.nodes[n.left]
 		} else {
-			n = n.right
+			n = &t.nodes[n.right]
 		}
 	}
 	return int(n.value)
@@ -482,4 +542,12 @@ func (t *Classifier) PredictClass(x []float64) int {
 // FeatureImportances returns normalized Gini-based importances.
 func (t *Classifier) FeatureImportances() []float64 {
 	return append([]float64(nil), t.importances...)
+}
+
+// FeatureImportancesInto accumulates the tree's normalized importances
+// into dst (one entry per feature).
+func (t *Classifier) FeatureImportancesInto(dst []float64) {
+	for i, v := range t.importances {
+		dst[i] += v
+	}
 }

@@ -161,3 +161,30 @@ func ForEach(n int, fn func(i int) error) error {
 	})
 	return err
 }
+
+// ForEachBlock partitions [0, n) into consecutive blocks of the given
+// fixed size (the last block may be short) and invokes fn(lo, hi) for each
+// on the pool, with Map's ordering and first-error semantics. Block
+// boundaries depend only on n and block — never on the worker count — so a
+// caller that accumulates per-block partial results and reduces them in
+// block order gets bit-identical output at every parallelism level. This
+// is the fan-out primitive of the intra-model parallel fit paths (tree
+// split search, MLP batch passes), whose per-item work is too small to
+// schedule individually.
+func ForEachBlock(n, block int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if block <= 0 {
+		block = 1
+	}
+	blocks := (n + block - 1) / block
+	return ForEach(blocks, func(b int) error {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wpred/internal/core"
 	"wpred/internal/obs"
@@ -25,6 +26,9 @@ var (
 		"Entries currently resident in the model registry.", nil)
 	regRestores = obs.GetCounter("wpred_serve_registry_restores_total",
 		"Entries restored from snapshots instead of being trained (warm restarts plus lazy per-key restores).", nil)
+	regFitSeconds = obs.GetHistogram("wpred_serve_registry_fit_seconds",
+		"Cold-miss pipeline training latency (the tail every waiter on the single-flight shares).",
+		obs.DefBuckets, nil)
 )
 
 // Key identifies one trained pipeline in the model registry: the
@@ -229,7 +233,9 @@ func (r *Registry) Get(key Key) (*core.Pipeline, error) {
 	}
 	r.fits.Add(1)
 	regFits.Inc()
+	t0 := time.Now()
 	e.p, e.err = r.train(key)
+	regFitSeconds.Observe(time.Since(t0).Seconds())
 	close(e.done)
 	if e.err != nil {
 		r.mu.Lock()
