@@ -20,10 +20,12 @@ race:
 # in the worker pool and the suite's shared caches are exercised here.
 verify: build vet race
 
-# fuzz runs the telemetry decoder fuzzer for a short burst beyond the
-# committed seed corpus.
+# fuzz runs the telemetry decoder and VP-tree query fuzzers for short
+# bursts beyond their committed seed corpora (the corpora themselves run
+# as plain tests under make test/verify).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadExperiments -fuzztime 30s ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz FuzzVPTreeQuery -fuzztime 30s ./internal/ann/
 
 # serve-test is the focused gate for the serving layer: the wpredd e2e
 # lifecycle, registry single-flight/eviction stress, admission-queue
@@ -54,16 +56,17 @@ bench:
 	$(GO) run ./cmd/benchdiff -parse BENCH.txt -o BENCH.json
 
 # bench-check is the fast perf-regression gate: it re-runs the Fit and
-# Predict macro-benchmarks with short settings and fails (non-zero exit)
+# Predict macro-benchmarks plus the DTW-cascade and nearest-reference
+# index micro-benchmarks with short settings and fails (non-zero exit)
 # when any median ns/op, allocs/op, or B/op regresses more than 20%
 # against the committed BENCH.baseline.json (zero-alloc baselines fail on
 # any new allocation; tiny B/op baselines get a 64-byte floor). The fresh
 # snapshot is left in BENCH.check.json so CI can archive it. Regenerate
 # the baseline on the same machine class after an intentional perf change:
-#   go test -run '^$$' -bench 'BenchmarkFit|BenchmarkPredict' -benchmem -count 3 -benchtime 0.3s ./internal/ml/... > bench.txt
+#   go test -run '^$$' -bench 'BenchmarkFit|BenchmarkPredict|BenchmarkDTW|BenchmarkNearest' -benchmem -count 3 -benchtime 0.3s ./internal/ml/... ./internal/distance/ ./internal/ann/ > bench.txt
 #   go run ./cmd/benchdiff -parse bench.txt -o BENCH.baseline.json
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkFit|BenchmarkPredict' -benchmem -count 3 -benchtime 0.3s -timeout 20m ./internal/ml/... > bench.check.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFit|BenchmarkPredict|BenchmarkDTW|BenchmarkNearest' -benchmem -count 3 -benchtime 0.3s -timeout 20m ./internal/ml/... ./internal/distance/ ./internal/ann/ > bench.check.txt
 	$(GO) run ./cmd/benchdiff -parse bench.check.txt -o BENCH.check.json
 	$(GO) run ./cmd/benchdiff -threshold 20 BENCH.baseline.json BENCH.check.json
 	@rm -f bench.check.txt

@@ -69,6 +69,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxBody      = fs.Int64("max-body", 8<<20, "request-body cap in bytes; larger bodies get 413")
 		warm         = fs.String("warm", "", `extra registry keys to pre-train, semicolon-separated "selection|metric|model" triples (empty fields take the defaults; metric names may contain commas)`)
 		snapshotDir  = fs.String("snapshot-dir", "", "persist trained pipelines here and warm-restart from them; share the directory across replicas to train each key once fleet-wide")
+		indexThresh  = fs.Int("index-threshold", 0, "route nearest-reference lookups through the VP-tree index once a same-SKU reference set reaches this size (0 = pipeline default 256, negative disables indexing)")
+		indexK       = fs.Int("index-k", 0, "neighbors retrieved per indexed reference lookup (0 = pipeline default 32)")
+		indexTau     = fs.Float64("index-tau", 0, "approximate-mode pruning slack for non-metric distances (DTW); larger recalls more, 0 prunes hardest")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to finish")
 		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus metrics (/metrics) and pprof profiles (/debug/pprof/) on this address, e.g. :9090")
 		traceOut     = fs.String("trace-out", "", "write stage-tracing spans as JSON to this file on exit")
@@ -110,12 +113,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "wpredd: reference suite loaded: %d experiments\n", len(refs))
 
 	srv := serve.New(serve.Config{
-		Refs:         refs,
-		Seed:         *seed,
-		RegistryCap:  *registryCap,
-		QueueSlots:   *queueSlots,
-		MaxBodyBytes: *maxBody,
-		SnapshotDir:  *snapshotDir,
+		Refs:           refs,
+		Seed:           *seed,
+		RegistryCap:    *registryCap,
+		QueueSlots:     *queueSlots,
+		MaxBodyBytes:   *maxBody,
+		SnapshotDir:    *snapshotDir,
+		IndexThreshold: *indexThresh,
+		IndexK:         *indexK,
+		IndexTau:       *indexTau,
 	})
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {

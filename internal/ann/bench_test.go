@@ -1,0 +1,101 @@
+package ann
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/mat"
+)
+
+// benchFP draws one fingerprint near one of 64 cluster centers — the
+// shape real reference libraries take (many SKUs × workload families,
+// each a tight cluster), and the regime a vantage-point tree is built
+// for. Uniform noise would instead flatten the distance distribution and
+// defeat any metric index.
+func benchFP(rows, cols int, seed uint64) *fingerprint.Fingerprint {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcde))
+	m := mat.New(rows, cols)
+	for j := 0; j < cols; j++ {
+		center := float64(rng.IntN(64)) * 0.25
+		for i := 0; i < rows; i++ {
+			m.Set(i, j, center+0.02*rng.Float64())
+		}
+	}
+	return &fingerprint.Fingerprint{Rep: fingerprint.HistFP, Features: testFeatures(cols), M: m}
+}
+
+const benchLibrarySize = 10000
+
+var benchOnce sync.Once
+var benchItems []Item
+var benchIndex *Index
+var benchQueries []*fingerprint.Fingerprint
+
+func benchSetup(b *testing.B) {
+	benchOnce.Do(func() {
+		benchItems = make([]Item, benchLibrarySize)
+		for i := range benchItems {
+			benchItems[i] = Item{Label: "ref", FP: benchFP(20, 4, uint64(i)+1)}
+		}
+		ix, err := Build(benchItems, distance.L21{}, Config{Seed: 17})
+		if err != nil {
+			panic(err)
+		}
+		benchIndex = ix
+		benchQueries = make([]*fingerprint.Fingerprint, 64)
+		for i := range benchQueries {
+			benchQueries[i] = benchFP(20, 4, uint64(100000+i))
+		}
+	})
+	if benchIndex == nil {
+		b.Fatal("bench setup failed")
+	}
+}
+
+// BenchmarkNearestExact is the baseline the index competes with: an
+// exhaustive nearest-neighbor scan over the 10k-item library.
+func BenchmarkNearestExact(b *testing.B) {
+	benchSetup(b)
+	m := distance.L21{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := benchQueries[i%len(benchQueries)]
+		best, bestIdx := 0.0, -1
+		for j, it := range benchItems {
+			d, err := m.Distance(q.M, it.FP.M)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bestIdx == -1 || d < best {
+				best, bestIdx = d, j
+			}
+		}
+		if bestIdx < 0 {
+			b.Fatal("no result")
+		}
+	}
+}
+
+// BenchmarkNearestIndexed is the same lookup through the VP-tree (exact
+// mode — identical answers to the scan, enforced by the recall check in
+// the annrecall experiment and TestKNNExactModeMatchesBruteForce).
+func BenchmarkNearestIndexed(b *testing.B) {
+	benchSetup(b)
+	buf := &QueryBuffer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := benchQueries[i%len(benchQueries)]
+		res, _, err := benchIndex.KNN(q, 1, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 1 {
+			b.Fatal("no result")
+		}
+	}
+}

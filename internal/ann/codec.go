@@ -1,0 +1,271 @@
+package ann
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/mat"
+	"wpred/internal/telemetry"
+)
+
+// The on-disk format follows the internal/snapshot conventions — a single
+// header line
+//
+//	wpredann v1 <sha256-hex-of-payload>\n
+//
+// followed by the JSON payload — so index files carry the same integrity
+// guarantees as pipeline snapshots: the decoder verifies magic, version,
+// and checksum before touching the payload, and corrupt or truncated
+// files always yield ErrCorrupt, never a panic or a silently wrong tree.
+// The distance itself is not serialized (metrics carry behavior, not just
+// state); Decode takes the metric from the caller and cross-checks its
+// name against the encoded one. DTW envelopes are recomputed on decode —
+// they are deterministic in the items, and rebuilding them is cheaper
+// than shipping two extra matrices per item.
+
+// CodecVersion is the current index format version. Decode rejects any
+// other version with ErrVersion.
+const CodecVersion = 1
+
+// codecMagic is the file-format tag in the header line.
+const codecMagic = "wpredann"
+
+// ErrCorrupt marks an index file that failed structural validation: bad
+// magic, checksum mismatch, malformed payload, or an inconsistent tree.
+var ErrCorrupt = errors.New("ann: corrupt or truncated index")
+
+// ErrVersion marks an index written by an incompatible format version.
+var ErrVersion = errors.New("ann: unsupported index version")
+
+// ErrMetricMismatch marks a decode attempted under a different distance
+// than the index was built with.
+var ErrMetricMismatch = errors.New("ann: index metric mismatch")
+
+type itemJSON struct {
+	Label    string    `json:"label"`
+	Rep      int       `json:"rep"`
+	Features []string  `json:"features"`
+	Rows     int       `json:"rows"`
+	Cols     int       `json:"cols"`
+	Data     []float64 `json:"data"`
+}
+
+type nodeJSON struct {
+	Item    int32   `json:"item"`
+	Inside  int32   `json:"inside"`
+	Outside int32   `json:"outside"`
+	Size    int32   `json:"size"`
+	Radius  float64 `json:"radius"`
+}
+
+type payloadJSON struct {
+	Metric string     `json:"metric"`
+	Seed   uint64     `json:"seed"`
+	Tau    float64    `json:"tau"`
+	Root   int32      `json:"root"`
+	Items  []itemJSON `json:"items"`
+	Nodes  []nodeJSON `json:"nodes"`
+}
+
+// Encode writes the index in the versioned, checksummed format. The
+// output is deterministic for a deterministic build, so re-encoding an
+// unchanged index is byte-identical.
+func (ix *Index) Encode(w io.Writer) error {
+	p := payloadJSON{
+		Metric: ix.metric.Name(),
+		Seed:   ix.seed,
+		Tau:    ix.tau,
+		Root:   ix.root,
+		Items:  make([]itemJSON, len(ix.items)),
+		Nodes:  make([]nodeJSON, len(ix.nodes)),
+	}
+	for i, it := range ix.items {
+		p.Items[i] = itemJSON{
+			Label:    it.Label,
+			Rep:      int(it.FP.Rep),
+			Features: telemetry.FeatureNames(it.FP.Features),
+			Rows:     it.FP.M.Rows(),
+			Cols:     it.FP.M.Cols(),
+			Data:     it.FP.M.Data(),
+		}
+	}
+	for i, nd := range ix.nodes {
+		p.Nodes[i] = nodeJSON{Item: nd.item, Inside: nd.inside, Outside: nd.outside, Size: nd.size, Radius: nd.radius}
+	}
+	body, err := json.Marshal(&p)
+	if err != nil {
+		return fmt.Errorf("ann: encode: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	if _, err := fmt.Fprintf(w, "%s v%d %s\n", codecMagic, CodecVersion, hex.EncodeToString(sum[:])); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// Decode reads an index written by Encode and revalidates it end to end.
+// The caller supplies the distance the index will query with; its name
+// must match the encoded one (ErrMetricMismatch otherwise). Any
+// structural damage — wrong magic, checksum mismatch, out-of-range tree
+// references, a cyclic arena — yields ErrCorrupt.
+func Decode(r io.Reader, m distance.Metric) (*Index, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ann: nil metric")
+	}
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrCorrupt)
+	}
+	var gotMagic, sumHex string
+	var version int
+	if _, err := fmt.Sscanf(header, "%s v%d %s", &gotMagic, &version, &sumHex); err != nil || gotMagic != codecMagic {
+		return nil, fmt.Errorf("%w: bad header %q", ErrCorrupt, header)
+	}
+	if version != CodecVersion {
+		return nil, fmt.Errorf("%w: v%d", ErrVersion, version)
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	sum := sha256.Sum256(body)
+	want, err := hex.DecodeString(sumHex)
+	if err != nil || !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	var p payloadJSON
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if p.Metric != m.Name() {
+		return nil, fmt.Errorf("%w: index built with %s, decoding with %s", ErrMetricMismatch, p.Metric, m.Name())
+	}
+	if p.Tau < 0 || math.IsNaN(p.Tau) {
+		return nil, fmt.Errorf("%w: invalid tau %v", ErrCorrupt, p.Tau)
+	}
+
+	items := make([]Item, len(p.Items))
+	cols := -1
+	for i, it := range p.Items {
+		if it.Rows < 0 || it.Cols < 0 || len(it.Data) != it.Rows*it.Cols {
+			return nil, fmt.Errorf("%w: item %d has %d values for a %dx%d matrix", ErrCorrupt, i, len(it.Data), it.Rows, it.Cols)
+		}
+		if cols == -1 {
+			cols = it.Cols
+		} else if it.Cols != cols {
+			return nil, fmt.Errorf("%w: item %d has %d columns, want %d", ErrCorrupt, i, it.Cols, cols)
+		}
+		feats := make([]telemetry.Feature, len(it.Features))
+		for j, name := range it.Features {
+			f, ok := telemetry.FeatureByName(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: unknown feature %q", ErrCorrupt, name)
+			}
+			feats[j] = f
+		}
+		items[i] = Item{Label: it.Label, FP: &fingerprint.Fingerprint{
+			Rep:      fingerprint.Representation(it.Rep),
+			Features: feats,
+			M:        mat.NewFromData(it.Rows, it.Cols, it.Data),
+		}}
+	}
+
+	nodes := make([]node, len(p.Nodes))
+	if err := validateArena(p, len(items)); err != nil {
+		return nil, err
+	}
+	for i, nd := range p.Nodes {
+		nodes[i] = node{item: nd.Item, inside: nd.Inside, outside: nd.Outside, size: nd.Size, radius: nd.Radius}
+	}
+
+	ix := &Index{
+		metric: m,
+		seed:   p.Seed,
+		tau:    p.Tau,
+		exact:  metricSpace(m.Name()),
+		items:  items,
+		nodes:  nodes,
+		root:   p.Root,
+	}
+	if d, ok := m.(distance.DTW); ok {
+		ix.dtw = d
+		ix.isDTW = true
+		ix.envs = make([]*distance.Envelope, len(items))
+		for i, it := range items {
+			env, err := d.NewEnvelope(it.FP.M)
+			if err != nil {
+				return nil, fmt.Errorf("%w: envelope for item %d: %v", ErrCorrupt, i, err)
+			}
+			ix.envs[i] = env
+		}
+	}
+	return ix, nil
+}
+
+// validateArena rejects trees a query could not traverse safely: child
+// references must point forward in the arena (Build appends children
+// after their parent, which also rules out cycles), every item index must
+// be in range and used exactly once, and the root must cover the arena.
+func validateArena(p payloadJSON, numItems int) error {
+	if len(p.Nodes) != numItems {
+		return fmt.Errorf("%w: %d nodes for %d items", ErrCorrupt, len(p.Nodes), numItems)
+	}
+	if numItems == 0 {
+		if p.Root != -1 {
+			return fmt.Errorf("%w: root %d in an empty index", ErrCorrupt, p.Root)
+		}
+		return nil
+	}
+	if p.Root < 0 || int(p.Root) >= len(p.Nodes) {
+		return fmt.Errorf("%w: root %d out of range", ErrCorrupt, p.Root)
+	}
+	itemSeen := make([]bool, numItems)
+	childSeen := make([]bool, len(p.Nodes))
+	for i, nd := range p.Nodes {
+		if nd.Item < 0 || int(nd.Item) >= numItems {
+			return fmt.Errorf("%w: node %d item %d out of range", ErrCorrupt, i, nd.Item)
+		}
+		if itemSeen[nd.Item] {
+			return fmt.Errorf("%w: item %d indexed twice", ErrCorrupt, nd.Item)
+		}
+		itemSeen[nd.Item] = true
+		if nd.Size < 1 || int(nd.Size) > numItems {
+			return fmt.Errorf("%w: node %d size %d out of range", ErrCorrupt, i, nd.Size)
+		}
+		if math.IsNaN(nd.Radius) || nd.Radius < 0 {
+			return fmt.Errorf("%w: node %d radius %v", ErrCorrupt, i, nd.Radius)
+		}
+		for _, child := range []int32{nd.Inside, nd.Outside} {
+			if child == -1 {
+				continue
+			}
+			if child <= int32(i) || int(child) >= len(p.Nodes) {
+				return fmt.Errorf("%w: node %d child %d not strictly forward", ErrCorrupt, i, child)
+			}
+			if childSeen[child] {
+				return fmt.Errorf("%w: node %d referenced twice", ErrCorrupt, child)
+			}
+			childSeen[child] = true
+		}
+	}
+	for i := range childSeen {
+		if int32(i) != p.Root && !childSeen[i] {
+			return fmt.Errorf("%w: node %d unreachable", ErrCorrupt, i)
+		}
+	}
+	if childSeen[p.Root] {
+		return fmt.Errorf("%w: root %d is also a child", ErrCorrupt, p.Root)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package ann
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/mat"
+)
+
+// FuzzVPTreeQuery derives a library, a query, and a configuration from the
+// fuzz input and checks the index invariants that must hold on every
+// input: no panics, exact-mode k-NN identical to the exhaustive scan,
+// DTW with τ=+Inf identical too, finite-τ results sorted with genuinely
+// exact distances, and work accounting that reconciles (exact + pruned ==
+// total). The seed corpus in testdata/fuzz covers both modes, tied
+// distances, and single-item trees.
+func FuzzVPTreeQuery(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint64(7), uint8(3))
+	f.Add([]byte{0, 0, 0, 0}, uint64(0), uint8(1))
+	f.Add([]byte{255, 128, 9, 33, 14, 2}, uint64(99), uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64, kByte uint8) {
+		if len(data) == 0 {
+			return
+		}
+		// Derive everything deterministically from one splitmix64 stream
+		// salted by the data bytes, so crashes replay exactly.
+		state := splitmix64(seed)
+		for _, b := range data {
+			state = splitmix64(state ^ uint64(b))
+		}
+		next := func() uint64 { state = splitmix64(state); return state }
+		val := func() float64 { return float64(next()%1000) / 250 }
+
+		n := 1 + int(next()%40)
+		rows := 1 + int(next()%10)
+		cols := 1 + int(next()%4)
+		useDTW := next()%2 == 0
+		tau := 0.0
+		var m distance.Metric
+		if useDTW {
+			m = distance.DTW{Dependent: next()%2 == 0, Window: int(next() % 6)}
+			if next()%2 == 0 {
+				tau = val()
+			} else {
+				tau = math.Inf(1)
+			}
+		} else {
+			m = exactMetrics[next()%uint64(len(exactMetrics))]
+		}
+
+		mk := func(r int) *fingerprint.Fingerprint {
+			d := mat.New(r, cols)
+			for i := 0; i < r; i++ {
+				for j := 0; j < cols; j++ {
+					d.Set(i, j, val())
+				}
+			}
+			return &fingerprint.Fingerprint{Rep: fingerprint.HistFP, Features: testFeatures(cols), M: d}
+		}
+		items := make([]Item, n)
+		for i := range items {
+			r := rows
+			if useDTW {
+				r = 1 + int(next()%10) // DTW tolerates ragged lengths
+			}
+			items[i] = Item{Label: "f", FP: mk(r)}
+		}
+		ix, err := Build(items, m, Config{Seed: next(), Tau: tau})
+		if err != nil {
+			// Degenerate fuzz inputs may be rejected by the distance
+			// (e.g. all-zero Canberra denominators); that is the typed
+			// error path, not a failure.
+			return
+		}
+		q := mk(rows)
+		k := 1 + int(kByte)%(n+2)
+		got, stats, err := ix.KNN(q, k, nil)
+		if err != nil {
+			return
+		}
+		if stats.Exact+stats.Pruned() != stats.Total || stats.Total != n {
+			t.Fatalf("stats do not reconcile: %+v", stats)
+		}
+		for i, r := range got {
+			d, err := m.Distance(q.M, items[r.Index].FP.M)
+			if err != nil || d != r.Distance {
+				t.Fatalf("result %d distance %v != recomputed %v (err %v)", i, r.Distance, d, err)
+			}
+			if i > 0 && worse(got[i-1], got[i]) {
+				t.Fatalf("results not sorted: %v", got)
+			}
+		}
+		if !useDTW || math.IsInf(tau, 1) {
+			want := make([]Result, 0, n)
+			for i, it := range items {
+				d, err := m.Distance(q.M, it.FP.M)
+				if err != nil {
+					return
+				}
+				want = append(want, Result{Index: i, Label: it.Label, Distance: d})
+			}
+			sort.Slice(want, func(a, b int) bool { return worse(want[b], want[a]) })
+			if k > len(want) {
+				k = len(want)
+			}
+			if !sameResults(got, want[:k]) {
+				t.Fatalf("indexed %v != exact %v (metric %s, tau %v)", got, want[:k], m.Name(), tau)
+			}
+		}
+	})
+}

@@ -152,3 +152,66 @@ func TestPipelineErrors(t *testing.T) {
 		t.Fatal("mixed-SKU target must error")
 	}
 }
+
+// TestPipelineIndexedSimilarity forces the VP-tree reference path by
+// dropping IndexThreshold to 1 and checks the end-to-end contract: the
+// prediction stays sane, and on this clustered reference suite the
+// indexed decision agrees with the exhaustive one (deterministic data, so
+// a pass is stable).
+func TestPipelineIndexedSimilarity(t *testing.T) {
+	src := telemetry.NewSource(12)
+	small := telemetry.SKU{CPUs: 2, MemoryGB: 16}
+	large := telemetry.SKU{CPUs: 8, MemoryGB: 64}
+	var refs []*telemetry.Experiment
+	for _, name := range []string{bench.TPCCName, bench.TwitterName, bench.TPCHName} {
+		w, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		terms := 8
+		if bench.Serial(name) {
+			terms = 1
+		}
+		for _, sku := range []telemetry.SKU{small, large} {
+			for r := 0; r < 3; r++ {
+				refs = append(refs, simulateQuick(w, sku, terms, r, src))
+			}
+		}
+	}
+	indexed := New(Config{Seed: 12, Subsamples: 5, IndexThreshold: 1})
+	if err := indexed.Train(refs); err != nil {
+		t.Fatal(err)
+	}
+	exhaustive := New(Config{Seed: 12, Subsamples: 5, IndexThreshold: -1})
+	if err := exhaustive.Train(refs); err != nil {
+		t.Fatal(err)
+	}
+
+	tsrc := telemetry.NewSource(13)
+	ycsb, _ := bench.ByName(bench.YCSBName)
+	var target []*telemetry.Experiment
+	for r := 0; r < 3; r++ {
+		target = append(target, simulateQuick(ycsb, small, 8, r, tsrc))
+	}
+	got, err := indexed.Predict(target, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exhaustive.Predict(target, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NearestReference == "" || len(got.Distances) == 0 {
+		t.Fatalf("indexed path returned no similarity evidence: %+v", got)
+	}
+	if got.NearestReference != want.NearestReference {
+		t.Fatalf("indexed nearest %q != exhaustive %q", got.NearestReference, want.NearestReference)
+	}
+	if got.PredictedThroughput <= 0 {
+		t.Fatalf("implausible indexed prediction %v", got.PredictedThroughput)
+	}
+	// Second Predict reuses the cached index (covered by -race).
+	if _, err := indexed.Predict(target, large); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"wpred/internal/mat"
+)
+
+// Envelope is the per-series precomputation of the DTW lower-bound
+// cascade: the running minimum and maximum of every dimension inside the
+// Sakoe-Chiba band (the LB_Keogh envelope), built once per indexed series
+// by DTW.NewEnvelope and reused across every query. The reference series
+// itself rides along so LB_Kim — and the exact refinement, should the pair
+// survive the cascade — need no second lookup.
+type Envelope struct {
+	// Series is the enveloped reference series.
+	Series *mat.Dense
+	// Window is the Sakoe-Chiba half-width the envelope was built with
+	// (<= 0: unconstrained, the envelope degenerates to global min/max).
+	Window int
+	// Lo and Hi have the series' shape: Lo[i][k] (Hi[i][k]) is the minimum
+	// (maximum) of dimension k over rows [i-Window, i+Window].
+	Lo, Hi *mat.Dense
+}
+
+// NewEnvelope precomputes the LB_Keogh band envelope of series b under the
+// metric's Sakoe-Chiba window. Build it once per indexed series; LowerBound
+// then bounds DTW(query, b) for any query without running the dynamic
+// program.
+func (d DTW) NewEnvelope(b *mat.Dense) (*Envelope, error) {
+	n, c := b.Dims()
+	if n == 0 || c == 0 {
+		return nil, fmt.Errorf("%w: DTW envelope of %dx%d series", ErrEmpty, n, c)
+	}
+	w := d.Window
+	if w <= 0 || w > n {
+		w = n // unconstrained: the band covers the whole series
+	}
+	lo := mat.New(n, c)
+	hi := mat.New(n, c)
+	for i := 0; i < n; i++ {
+		jlo := i - w
+		if jlo < 0 {
+			jlo = 0
+		}
+		jhi := i + w
+		if jhi > n-1 {
+			jhi = n - 1
+		}
+		for k := 0; k < c; k++ {
+			mn, mx := b.At(jlo, k), b.At(jlo, k)
+			for j := jlo + 1; j <= jhi; j++ {
+				v := b.At(j, k)
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			lo.Set(i, k, mn)
+			hi.Set(i, k, mx)
+		}
+	}
+	return &Envelope{Series: b, Window: d.Window, Lo: lo, Hi: hi}, nil
+}
+
+// LowerBound is the cheap tier of the distance cascade: a lower bound on
+// Distance(a, env.Series) computed in O(m·dims) — no dynamic program. It
+// combines LB_Kim (every warping path pays the endpoint-to-endpoint costs,
+// the corners being pinned) with LB_Keogh against the precomputed band
+// envelope (each query row must match some reference point inside its
+// band, which the envelope brackets). LB_Keogh requires equal lengths —
+// only then does the envelope's band geometry match the pair's effective
+// window — and degrades to LB_Kim alone otherwise.
+//
+// The bound is sound for both variants: per dimension it bounds the
+// univariate squared-cost DP, and the dependent DP's cost decomposes into
+// the per-dimension sums along the shared path. The property suite asserts
+// LowerBound(a, env) <= Distance(a, env.Series) on randomized, tied, and
+// constant series.
+func (d DTW) LowerBound(a *mat.Dense, env *Envelope) (float64, error) {
+	if env == nil || env.Series == nil {
+		return 0, fmt.Errorf("%w: DTW lower bound without an envelope", ErrEmpty)
+	}
+	if env.Window != d.Window {
+		return 0, fmt.Errorf("%w: envelope built with window %d, metric has %d", ErrShape, env.Window, d.Window)
+	}
+	b := env.Series
+	if a.Cols() != b.Cols() {
+		return 0, fmt.Errorf("%w: DTW dimension mismatch %d vs %d", ErrShape, a.Cols(), b.Cols())
+	}
+	m, n := a.Rows(), b.Rows()
+	if m == 0 {
+		return 0, fmt.Errorf("%w: DTW on empty series", ErrEmpty)
+	}
+	keogh := m == n
+	total := 0.0 // independent: sum over dims of sqrt(bound_k)
+	depKim, depKeogh := 0.0, 0.0
+	for k := 0; k < a.Cols(); k++ {
+		// LB_Kim on the pinned corners. When the path is a single cell the
+		// two corners coincide and must be charged once.
+		d0 := a.At(0, k) - b.At(0, k)
+		kim := d0 * d0
+		if m > 1 || n > 1 {
+			dn := a.At(m-1, k) - b.At(n-1, k)
+			kim += dn * dn
+		}
+		kg := 0.0
+		if keogh {
+			for i := 0; i < m; i++ {
+				v := a.At(i, k)
+				if up := env.Hi.At(i, k); v > up {
+					diff := v - up
+					kg += diff * diff
+				} else if dn := env.Lo.At(i, k); v < dn {
+					diff := dn - v
+					kg += diff * diff
+				}
+			}
+		}
+		if d.Dependent {
+			depKim += kim
+			depKeogh += kg
+		} else {
+			bound := kim
+			if kg > bound {
+				bound = kg
+			}
+			total += math.Sqrt(bound)
+		}
+	}
+	if d.Dependent {
+		bound := depKim
+		if depKeogh > bound {
+			bound = depKeogh
+		}
+		return math.Sqrt(bound), nil
+	}
+	return total, nil
+}

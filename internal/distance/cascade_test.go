@@ -1,0 +1,234 @@
+package distance
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// cascadeSeries generates the adversarial shapes the cascade invariants
+// must hold on: random, heavily tied (values drawn from a 3-point grid),
+// and constant series.
+func cascadeSeries(rows, cols int, seed uint64, kind int) *mat.Dense {
+	rng := rand.New(rand.NewPCG(seed, seed^0xbeef))
+	m := mat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			switch kind {
+			case 1: // tied values
+				m.Set(i, j, float64(rng.IntN(3))*0.5)
+			case 2: // constant
+				m.Set(i, j, 0.25)
+			default:
+				m.Set(i, j, rng.Float64())
+			}
+		}
+	}
+	return m
+}
+
+var cascadeDTWs = []DTW{
+	{Dependent: true, Window: 40},
+	{Dependent: false, Window: 40},
+	{Dependent: true, Window: 5},
+	{Dependent: false, Window: 5},
+	{Dependent: true},
+	{Dependent: false},
+}
+
+// TestLowerBoundNeverExceedsDistance is the cascade's soundness property:
+// for every variant, window, and series shape — random, tied, constant,
+// equal and unequal lengths — LB(a, b) <= DTW(a, b).
+func TestLowerBoundNeverExceedsDistance(t *testing.T) {
+	lengths := [][2]int{{24, 24}, {24, 30}, {1, 1}, {1, 8}, {16, 16}}
+	for _, d := range cascadeDTWs {
+		for _, ln := range lengths {
+			for kindA := 0; kindA < 3; kindA++ {
+				for kindB := 0; kindB < 3; kindB++ {
+					for seed := uint64(0); seed < 4; seed++ {
+						a := cascadeSeries(ln[0], 3, seed, kindA)
+						b := cascadeSeries(ln[1], 3, seed+100, kindB)
+						env, err := d.NewEnvelope(b)
+						if err != nil {
+							t.Fatal(err)
+						}
+						lb, err := d.LowerBound(a, env)
+						if err != nil {
+							t.Fatal(err)
+						}
+						exact, err := d.Distance(a, b)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if lb > exact*(1+1e-12)+1e-12 {
+							t.Fatalf("%s window=%d %dx%d/%dx%d kinds=%d/%d seed=%d: LB %v > DTW %v",
+								d.Name(), d.Window, ln[0], 3, ln[1], 3, kindA, kindB, seed, lb, exact)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundIsZeroOnSelf pins LB(a, env(a)) == 0: a series is inside
+// its own envelope and shares its endpoints.
+func TestLowerBoundIsZeroOnSelf(t *testing.T) {
+	for _, d := range cascadeDTWs {
+		a := cascadeSeries(20, 4, 9, 0)
+		env, err := d.NewEnvelope(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := d.LowerBound(a, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb != 0 {
+			t.Fatalf("%s: LB(a, a) = %v, want 0", d.Name(), lb)
+		}
+	}
+}
+
+// TestEnvelopeBracketsSeries checks the defining invariant Lo <= series <= Hi
+// and that a point at row i stays inside the envelopes of every row within
+// the window.
+func TestEnvelopeBracketsSeries(t *testing.T) {
+	d := DTW{Dependent: true, Window: 6}
+	b := cascadeSeries(30, 2, 3, 0)
+	env, err := d.NewEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for k := 0; k < 2; k++ {
+			v := b.At(i, k)
+			if env.Lo.At(i, k) > v || env.Hi.At(i, k) < v {
+				t.Fatalf("envelope excludes its own series at (%d,%d)", i, k)
+			}
+			for j := i - 6; j <= i+6; j++ {
+				if j < 0 || j >= 30 {
+					continue
+				}
+				w := b.At(j, k)
+				if w < env.Lo.At(i, k) || w > env.Hi.At(i, k) {
+					t.Fatalf("row %d value outside envelope of row %d", j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeWindowMismatch pins the guard against mixing an envelope
+// with a differently-windowed metric: the band geometries differ, so the
+// bound would be unsound.
+func TestEnvelopeWindowMismatch(t *testing.T) {
+	b := cascadeSeries(10, 2, 1, 0)
+	env, err := DTW{Window: 5}.NewEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (DTW{Window: 10}).LowerBound(cascadeSeries(10, 2, 2, 0), env); !errors.Is(err, ErrShape) {
+		t.Fatalf("window mismatch error = %v, want ErrShape", err)
+	}
+}
+
+// TestEarlyAbandonExactness is the cascade's equality property: whenever a
+// pair survives (ok=true), the early-abandoning DP must return a value
+// bit-identical to the exact Distance; whenever it abandons, the exact
+// distance must provably exceed the cutoff.
+func TestEarlyAbandonExactness(t *testing.T) {
+	ws := &mat.Workspace{}
+	for _, d := range cascadeDTWs {
+		for seed := uint64(0); seed < 6; seed++ {
+			for kind := 0; kind < 3; kind++ {
+				a := cascadeSeries(25, 3, seed, kind)
+				b := cascadeSeries(28, 3, seed+50, (kind+1)%3)
+				exact, err := d.Distance(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, cutoff := range []float64{0, exact * 0.5, exact, exact * 1.5, math.Inf(1)} {
+					got, ok, err := d.DistanceEarlyAbandon(a, b, cutoff, ws)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						if got != exact {
+							t.Fatalf("%s cutoff=%v: survivor %v != exact %v (must be bit-identical)",
+								d.Name(), cutoff, got, exact)
+						}
+					} else if exact <= cutoff {
+						t.Fatalf("%s cutoff=%v: abandoned but exact %v <= cutoff", d.Name(), cutoff, exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEarlyAbandonAtExactCutoff pins the boundary semantics the VP-tree
+// pruning relies on: a pair at distance exactly equal to the cutoff must
+// survive (abandonment only proves strict >).
+func TestEarlyAbandonAtExactCutoff(t *testing.T) {
+	d := DTW{Dependent: true, Window: 40}
+	a := cascadeSeries(20, 2, 1, 0)
+	b := cascadeSeries(20, 2, 2, 0)
+	exact, err := d.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.DistanceEarlyAbandon(a, b, exact, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != exact {
+		t.Fatalf("pair at cutoff distance must survive exactly: ok=%v got=%v want %v", ok, got, exact)
+	}
+}
+
+// TestDistanceWSBitIdentical reuses one workspace across many pairs and
+// checks every result equals the allocating path bit-for-bit.
+func TestDistanceWSBitIdentical(t *testing.T) {
+	ws := &mat.Workspace{}
+	for _, d := range cascadeDTWs {
+		for seed := uint64(0); seed < 8; seed++ {
+			a := cascadeSeries(22, 4, seed, int(seed)%3)
+			b := cascadeSeries(26, 4, seed+31, int(seed+1)%3)
+			plain, err := d.Distance(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := d.DistanceWS(a, b, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain != reused {
+				t.Fatalf("%s seed=%d: DistanceWS %v != Distance %v", d.Name(), seed, reused, plain)
+			}
+		}
+	}
+}
+
+// TestDistanceWSZeroAlloc verifies the workspace path reaches a
+// zero-allocation steady state after warmup.
+func TestDistanceWSZeroAlloc(t *testing.T) {
+	ws := &mat.Workspace{}
+	d := DTW{Dependent: false, Window: 40}
+	a := cascadeSeries(60, 4, 1, 0)
+	b := cascadeSeries(60, 4, 2, 0)
+	if _, err := d.DistanceWS(a, b, ws); err != nil { // warmup populates the free list
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := d.DistanceWS(a, b, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DistanceWS allocates %v per op after warmup, want 0", allocs)
+	}
+}

@@ -30,50 +30,98 @@ func (d DTW) Name() string {
 // Distance implements Metric. Series may differ in length but must share
 // the dimension count.
 func (d DTW) Distance(a, b *mat.Dense) (float64, error) {
+	return d.DistanceWS(a, b, nil)
+}
+
+// DistanceWS is Distance with caller-provided workspace scratch: the DP
+// rolling rows (and the independent variant's column buffers) are borrowed
+// from ws instead of allocated per pair, so query loops that evaluate many
+// pairs — the VP-tree refinement path, matrix sweeps owned by a single
+// goroutine — run allocation-free after the first call. A nil ws falls
+// back to fresh allocations. The result is bit-identical to Distance: the
+// dynamic program fully initializes its scratch on every call.
+//
+// Workspaces are single-owner (see mat.Workspace); concurrent callers must
+// use one workspace per goroutine.
+func (d DTW) DistanceWS(a, b *mat.Dense, ws *mat.Workspace) (float64, error) {
+	v, _, err := d.distance(a, b, ws, math.Inf(1))
+	return v, err
+}
+
+// DistanceEarlyAbandon is Distance with a best-so-far cutoff: the dynamic
+// program stops as soon as every cell of the current band row — a lower
+// bound on any completion of the alignment — already exceeds cutoff. It
+// returns ok=false only when Distance(a, b) is provably > cutoff; when the
+// pair survives (ok=true) the returned value is bit-identical to Distance,
+// because the surviving DP is the unmodified one. Scratch is borrowed from
+// ws as in DistanceWS (nil allocates).
+func (d DTW) DistanceEarlyAbandon(a, b *mat.Dense, cutoff float64, ws *mat.Workspace) (float64, bool, error) {
+	return d.distance(a, b, ws, cutoff)
+}
+
+func (d DTW) distance(a, b *mat.Dense, ws *mat.Workspace, cutoff float64) (float64, bool, error) {
 	if a.Cols() != b.Cols() {
-		return 0, fmt.Errorf("distance: DTW dimension mismatch %d vs %d", a.Cols(), b.Cols())
+		return 0, false, fmt.Errorf("%w: DTW dimension mismatch %d vs %d", ErrShape, a.Cols(), b.Cols())
 	}
 	if a.Rows() == 0 || b.Rows() == 0 {
-		return 0, fmt.Errorf("distance: DTW on empty series")
+		return 0, false, fmt.Errorf("%w: DTW on empty series", ErrEmpty)
 	}
 	// One pair of DP rows serves the whole call: O(m) scratch instead of
 	// per-dimension allocations. The independent variant additionally
 	// reuses two column buffers across dimensions.
-	prev := make([]float64, b.Rows()+1)
-	cur := make([]float64, b.Rows()+1)
+	prev := borrowVec(ws, b.Rows()+1)
+	cur := borrowVec(ws, b.Rows()+1)
+	defer returnVec(ws, prev)
+	defer returnVec(ws, cur)
 	if d.Dependent {
-		return dtwCore(a.Rows(), b.Rows(), d.Window, prev, cur, func(i, j int) float64 {
-			ra, rb := a.RawRow(i), b.RawRow(j)
-			s := 0.0
-			for k := range ra {
-				diff := ra[k] - rb[k]
-				s += diff * diff
-			}
-			return s
-		}), nil
+		// The DP runs on squared costs; translate the cutoff to that scale.
+		v, ok := dtwCoreDep(a, b, d.Window, prev, cur, cutoff*cutoff)
+		return v, ok, nil
 	}
-	ca := make([]float64, a.Rows())
-	cb := make([]float64, b.Rows())
+	ca := borrowVec(ws, a.Rows())
+	cb := borrowVec(ws, b.Rows())
+	defer returnVec(ws, ca)
+	defer returnVec(ws, cb)
 	total := 0.0
 	for k := 0; k < a.Cols(); k++ {
+		// Each dimension adds a non-negative distance, so the budget left
+		// for this dimension is cutoff minus what prior dimensions spent.
+		budget := cutoff - total
+		if budget < 0 {
+			return 0, false, nil
+		}
 		a.ColInto(ca, k)
 		b.ColInto(cb, k)
-		total += dtwCore(len(ca), len(cb), d.Window, prev, cur, func(i, j int) float64 {
-			diff := ca[i] - cb[j]
-			return diff * diff
-		})
+		v, ok := dtwCoreUni(ca, cb, d.Window, prev, cur, budget*budget)
+		if !ok {
+			return 0, false, nil
+		}
+		total += v
 	}
-	return total, nil
+	return total, true, nil
 }
 
-// dtwCore runs the O(m·n) dynamic program over caller-provided rolling
-// rows (each of length n+1), so repeated calls share O(m) scratch instead
-// of allocating per invocation.
-func dtwCore(m, n, window int, prev, cur []float64, cost func(i, j int) float64) float64 {
+// borrowVec gets a length-n scratch vector from ws, or allocates when the
+// caller brought no workspace.
+func borrowVec(ws *mat.Workspace, n int) []float64 {
+	if ws != nil {
+		return ws.GetVector(n)
+	}
+	return make([]float64, n)
+}
+
+func returnVec(ws *mat.Workspace, v []float64) {
+	if ws != nil {
+		ws.PutVector(v)
+	}
+}
+
+// effectiveWindow widens the Sakoe-Chiba half-width so the band connects
+// the DP corners (and spans everything when unconstrained).
+func effectiveWindow(m, n, window int) int {
 	if window <= 0 {
 		window = m + n // unconstrained
 	}
-	// Ensure the band is wide enough to connect the corners.
 	if d := m - n; d < 0 {
 		if window < -d {
 			window = -d
@@ -81,6 +129,26 @@ func dtwCore(m, n, window int, prev, cur []float64, cost func(i, j int) float64)
 	} else if window < d {
 		window = d
 	}
+	return window
+}
+
+// The two DP cores below run the O(m·n) dynamic program over
+// caller-provided rolling rows (each of length n+1), so repeated calls
+// share O(m) scratch instead of allocating per invocation. They are
+// specialized per cost function — the per-cell cost is the innermost
+// operation of the whole similarity stage, and a closure call there costs
+// both the indirect call and a heap allocation per pair. sqCutoff is a
+// squared-scale abandonment threshold: once the minimum of a band row —
+// which only ever grows along any path completion, all cell costs being
+// non-negative — exceeds it, the final distance provably does too and the
+// DP returns ok=false. Passing +Inf disables abandonment, and the
+// surviving arithmetic is identical either way.
+
+// dtwCoreUni is the univariate core over two column slices.
+func dtwCoreUni(ca, cb []float64, window int, prev, cur []float64, sqCutoff float64) (float64, bool) {
+	m, n := len(ca), len(cb)
+	window = effectiveWindow(m, n, window)
+	abandoning := !math.IsInf(sqCutoff, 1)
 	inf := math.Inf(1)
 	for j := range prev {
 		prev[j] = inf
@@ -98,8 +166,11 @@ func dtwCore(m, n, window int, prev, cur []float64, cost func(i, j int) float64)
 		if hi > n {
 			hi = n
 		}
+		ai := ca[i-1]
+		rowMin := inf
 		for j := lo; j <= hi; j++ {
-			c := cost(i-1, j-1)
+			diff := ai - cb[j-1]
+			c := diff * diff
 			best := prev[j] // insertion
 			if prev[j-1] < best {
 				best = prev[j-1] // match
@@ -108,10 +179,68 @@ func dtwCore(m, n, window int, prev, cur []float64, cost func(i, j int) float64)
 				best = cur[j-1] // deletion
 			}
 			cur[j] = c + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if abandoning && rowMin > sqCutoff {
+			return 0, false
 		}
 		prev, cur = cur, prev
 	}
-	return math.Sqrt(prev[n])
+	return math.Sqrt(prev[n]), true
+}
+
+// dtwCoreDep is the shared-alignment core with squared-Euclidean point
+// costs over matrix rows.
+func dtwCoreDep(a, b *mat.Dense, window int, prev, cur []float64, sqCutoff float64) (float64, bool) {
+	m, n := a.Rows(), b.Rows()
+	window = effectiveWindow(m, n, window)
+	abandoning := !math.IsInf(sqCutoff, 1)
+	inf := math.Inf(1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := i - window
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + window
+		if hi > n {
+			hi = n
+		}
+		ra := a.RawRow(i - 1)
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			rb := b.RawRow(j - 1)
+			c := 0.0
+			for k := range ra {
+				diff := ra[k] - rb[k]
+				c += diff * diff
+			}
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = c + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if abandoning && rowMin > sqCutoff {
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[n]), true
 }
 
 // LCSS is the longest-common-subsequence similarity turned into a
@@ -140,11 +269,11 @@ func (l LCSS) Name() string {
 // Distance implements Metric.
 func (l LCSS) Distance(a, b *mat.Dense) (float64, error) {
 	if a.Cols() != b.Cols() {
-		return 0, fmt.Errorf("distance: LCSS dimension mismatch %d vs %d", a.Cols(), b.Cols())
+		return 0, fmt.Errorf("%w: LCSS dimension mismatch %d vs %d", ErrShape, a.Cols(), b.Cols())
 	}
 	m, n := a.Rows(), b.Rows()
 	if m == 0 || n == 0 {
-		return 0, fmt.Errorf("distance: LCSS on empty series")
+		return 0, fmt.Errorf("%w: LCSS on empty series", ErrEmpty)
 	}
 	eps := l.Epsilon
 	if eps == 0 {

@@ -22,10 +22,13 @@ func benchSeries(rows, cols int, phase float64) *mat.Dense {
 	return mat.NewFromRows(data)
 }
 
-// BenchmarkDTWDistanceVariants covers the four DTW configurations used in
-// the suite: Sakoe-Chiba windowed (the Table 4 setting) and unconstrained,
+// BenchmarkDTWDistanceVariants covers the DTW configurations used in the
+// suite: Sakoe-Chiba windowed (the Table 4 setting) and unconstrained,
 // each in the dependent (shared alignment) and independent (per-dimension)
-// variants. ReportAllocs tracks the rolling-buffer scratch reuse.
+// variants, plus the cascade tiers — workspace-backed scratch reuse,
+// envelope lower bound, and early abandonment at a tight cutoff.
+// ReportAllocs tracks the rolling-buffer scratch reuse; `make bench-check`
+// gates every case against BENCH.baseline.json.
 func BenchmarkDTWDistanceVariants(b *testing.B) {
 	x := benchSeries(120, 8, 0)
 	y := benchSeries(120, 8, 1.3)
@@ -47,5 +50,42 @@ func BenchmarkDTWDistanceVariants(b *testing.B) {
 				}
 			}
 		})
+		b.Run(tc.name+"_ws", func(b *testing.B) {
+			ws := &mat.Workspace{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.m.DistanceWS(x, y, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+
+	windowed := DTW{Dependent: true, Window: 40}
+	exact, err := windowed.Distance(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("lower_bound", func(b *testing.B) {
+		env, err := windowed.NewEnvelope(y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := windowed.LowerBound(x, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("early_abandon_tight", func(b *testing.B) {
+		ws := &mat.Workspace{}
+		cutoff := exact * 0.5 // provokes abandonment partway down the DP
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := windowed.DistanceEarlyAbandon(x, y, cutoff, ws); err != nil || ok {
+				b.Fatalf("ok=%v err=%v, want abandonment", ok, err)
+			}
+		}
+	})
 }

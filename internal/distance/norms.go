@@ -6,6 +6,7 @@
 package distance
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -23,11 +24,32 @@ type Metric interface {
 	Distance(a, b *mat.Dense) (float64, error)
 }
 
+// Typed sentinel errors. Degenerate inputs fail loudly with one of these
+// instead of silently producing 0 or NaN distances that would corrupt a
+// nearest-neighbor ranking; callers that can tolerate a degenerate pair
+// match with errors.Is.
+var (
+	// ErrShape marks operands whose dimensions are incompatible with the
+	// metric (norms need equal shapes, time-series measures equal column
+	// counts).
+	ErrShape = errors.New("distance: shape mismatch")
+	// ErrEmpty marks an operand with no rows or no columns: no metric in
+	// this package is defined on an empty fingerprint.
+	ErrEmpty = errors.New("distance: empty fingerprint")
+	// ErrDegenerate marks operand pairs on which the metric is undefined
+	// even though the shapes agree: Canberra/Chi2 with every denominator
+	// zero, Correlation of a constant series.
+	ErrDegenerate = errors.New("distance: degenerate input")
+)
+
 func shapeEqual(name string, a, b *mat.Dense) error {
 	ar, ac := a.Dims()
 	br, bc := b.Dims()
 	if ar != br || ac != bc {
-		return fmt.Errorf("distance: %s requires equal shapes, got %dx%d vs %dx%d", name, ar, ac, br, bc)
+		return fmt.Errorf("%w: %s requires equal shapes, got %dx%d vs %dx%d", ErrShape, name, ar, ac, br, bc)
+	}
+	if ar == 0 || ac == 0 {
+		return fmt.Errorf("%w: %s on %dx%d fingerprint", ErrEmpty, name, ar, ac)
 	}
 	return nil
 }
@@ -118,12 +140,17 @@ func (Canberra) Distance(a, b *mat.Dense) (float64, error) {
 	}
 	da, db := a.Data(), b.Data()
 	s := 0.0
+	informative := false
 	for i := range da {
 		denom := math.Abs(da[i]) + math.Abs(db[i])
 		if denom < 1e-300 {
 			continue
 		}
+		informative = true
 		s += math.Abs(da[i]-db[i]) / denom
+	}
+	if !informative {
+		return 0, fmt.Errorf("%w: Canb with every denominator zero", ErrDegenerate)
 	}
 	return s, nil
 }
@@ -142,13 +169,18 @@ func (Chi2) Distance(a, b *mat.Dense) (float64, error) {
 	}
 	da, db := a.Data(), b.Data()
 	s := 0.0
+	informative := false
 	for i := range da {
 		denom := da[i] + db[i]
 		if math.Abs(denom) < 1e-300 {
 			continue
 		}
+		informative = true
 		d := da[i] - db[i]
 		s += d * d / denom
+	}
+	if !informative {
+		return 0, fmt.Errorf("%w: Chi2 with every denominator zero", ErrDegenerate)
 	}
 	return s, nil
 }
@@ -165,6 +197,12 @@ func (Correlation) Name() string { return "Corr" }
 func (Correlation) Distance(a, b *mat.Dense) (float64, error) {
 	if err := shapeEqual("Corr", a, b); err != nil {
 		return 0, err
+	}
+	// A constant series has no variance, so its Pearson correlation with
+	// anything is undefined — reject instead of letting the 0/0 collapse to
+	// a silent "distance 1".
+	if stat.StdDev(a.Data()) < 1e-300 || stat.StdDev(b.Data()) < 1e-300 {
+		return 0, fmt.Errorf("%w: Corr of a constant series", ErrDegenerate)
 	}
 	return 1 - stat.Pearson(a.Data(), b.Data()), nil
 }

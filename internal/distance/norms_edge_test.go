@@ -1,0 +1,109 @@
+package distance
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wpred/internal/mat"
+)
+
+// TestNormEdgeCases is the table-driven degenerate-input suite: every norm
+// must answer a typed sentinel error — never NaN, never a silent 0 — on
+// zero-row matrices, mismatched dimensions, all-zero Canberra/Chi2
+// denominators, and constant-series Correlation.
+func TestNormEdgeCases(t *testing.T) {
+	zeroRows := mat.New(0, 3)
+	zeroCols := mat.New(3, 0)
+	small := mat.NewFromRows([][]float64{{1, 2, 3}})
+	wide := mat.NewFromRows([][]float64{{1, 2, 3, 4}})
+	allZero := mat.New(2, 2)
+	negMirror := mat.NewFromRows([][]float64{{1, -2}, {3, -4}})
+	negMirrorOpp := mat.NewFromRows([][]float64{{-1, 2}, {-3, 4}})
+	constant := mat.NewFromRows([][]float64{{5, 5}, {5, 5}})
+	varied := mat.NewFromRows([][]float64{{1, 2}, {3, 4}})
+
+	cases := []struct {
+		name string
+		m    Metric
+		a, b *mat.Dense
+		want error
+	}{
+		{"L11 zero rows", L11{}, zeroRows, zeroRows, ErrEmpty},
+		{"L21 zero rows", L21{}, zeroRows, zeroRows, ErrEmpty},
+		{"Fro zero cols", Frobenius{}, zeroCols, zeroCols, ErrEmpty},
+		{"Canb zero rows", Canberra{}, zeroRows, zeroRows, ErrEmpty},
+		{"Chi2 zero rows", Chi2{}, zeroRows, zeroRows, ErrEmpty},
+		{"Corr zero rows", Correlation{}, zeroRows, zeroRows, ErrEmpty},
+
+		{"L11 mismatched dims", L11{}, small, wide, ErrShape},
+		{"L21 mismatched dims", L21{}, small, wide, ErrShape},
+		{"Fro mismatched dims", Frobenius{}, small, wide, ErrShape},
+		{"Canb mismatched dims", Canberra{}, small, wide, ErrShape},
+		{"Chi2 mismatched dims", Chi2{}, small, wide, ErrShape},
+		{"Corr mismatched dims", Correlation{}, small, wide, ErrShape},
+
+		{"Canb all-zero denominators", Canberra{}, allZero, allZero, ErrDegenerate},
+		{"Chi2 all-zero denominators (zeros)", Chi2{}, allZero, allZero, ErrDegenerate},
+		{"Chi2 all-zero denominators (cancellation)", Chi2{}, negMirror, negMirrorOpp, ErrDegenerate},
+
+		{"Corr constant left", Correlation{}, constant, varied, ErrDegenerate},
+		{"Corr constant right", Correlation{}, varied, constant, ErrDegenerate},
+		{"Corr constant both", Correlation{}, constant, constant, ErrDegenerate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.m.Distance(tc.a, tc.b)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("%s(%v): err = %v, want %v", tc.m.Name(), tc.name, err, tc.want)
+			}
+			if math.IsNaN(got) {
+				t.Fatalf("%s returned NaN alongside the error", tc.m.Name())
+			}
+		})
+	}
+}
+
+// TestNormPartialZeroDenominatorsStillWork pins that only fully degenerate
+// inputs error: a single zero-denominator entry keeps contributing zero,
+// exactly as before.
+func TestNormPartialZeroDenominatorsStillWork(t *testing.T) {
+	a := mat.NewFromRows([][]float64{{0, 1}})
+	b := mat.NewFromRows([][]float64{{0, 3}})
+	if got, err := (Canberra{}).Distance(a, b); err != nil || math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Canberra = %v, %v; want 0.5, nil", got, err)
+	}
+	if got, err := (Chi2{}).Distance(a, b); err != nil || math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Chi2 = %v, %v; want 1, nil", got, err)
+	}
+}
+
+// TestNormErrorsNeverNaN sweeps every norm over a grid of degenerate and
+// near-degenerate operands asserting the invariant: either a real value or
+// a typed error, never NaN.
+func TestNormErrorsNeverNaN(t *testing.T) {
+	shapes := []*mat.Dense{
+		mat.New(0, 0),
+		mat.New(0, 2),
+		mat.New(2, 0),
+		mat.New(2, 2),
+		mat.NewFromRows([][]float64{{1, 1}, {1, 1}}),
+		mat.NewFromRows([][]float64{{0, 0}, {0, 1e-308}}),
+	}
+	for _, m := range Norms() {
+		for ai, a := range shapes {
+			for bi, b := range shapes {
+				got, err := m.Distance(a, b)
+				if err != nil {
+					if !errors.Is(err, ErrShape) && !errors.Is(err, ErrEmpty) && !errors.Is(err, ErrDegenerate) {
+						t.Fatalf("%s(%d,%d): untyped error %v", m.Name(), ai, bi, err)
+					}
+					continue
+				}
+				if math.IsNaN(got) {
+					t.Fatalf("%s(%d,%d) = NaN without error", m.Name(), ai, bi)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wpred/internal/ann"
+	"wpred/internal/bench"
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/mat"
+	"wpred/internal/simdb"
+	"wpred/internal/telemetry"
+)
+
+// AnnRecallSizes are the swept reference-library sizes. Quick mode keeps
+// the first annRecallQuickSizes entries so the golden harness stays fast;
+// the full sweep reaches the 10k-reference regime where the exhaustive
+// scan is visibly unaffordable.
+var AnnRecallSizes = []int{6, 48, 240, 1200, 10000}
+
+const (
+	annRecallQuickSizes = 3
+	// annRecallQueries is the held-out query count (distinct simdb runs,
+	// never inserted into the library).
+	annRecallQueries = 12
+	// annRecallFitSample is how many library experiments the fingerprint
+	// builders are fitted on. Fixed (rather than "all n") so the
+	// normalization ranges — and therefore every fingerprint — are
+	// identical across library sizes: a row's recall difference is then
+	// attributable to the index, never to a shifted encoding.
+	annRecallFitSample = 48
+	// annRecallDTWCap bounds the DTW rows: the point of the sweep is the
+	// index-vs-scan comparison, and an exhaustive DTW scan over thousands
+	// of full-length MTS fingerprints would dominate the whole suite's
+	// runtime without changing the story the capped sizes already tell.
+	annRecallDTWCap = 240
+)
+
+// annRecallConfig is one (representation, metric, τ) column of the sweep.
+type annRecallConfig struct {
+	label   string
+	builder *fingerprint.Builder
+	metric  distance.Metric
+	tau     float64
+	maxN    int // largest library size this config participates in
+
+	items []ann.Item // grows as the streamed library reaches each size
+}
+
+// AnnRecallRow is one (config, library size) outcome.
+type AnnRecallRow struct {
+	Config string
+	N      int
+	// Recall1 and Recall5 compare the indexed k-NN against the exhaustive
+	// scan, tie-robustly: a retrieved neighbor counts when its (exact)
+	// distance is within the scan's k-th best distance. Exact-mode
+	// configs are guaranteed 1.000 (the VP-tree answers identically);
+	// DTW rows measure what the τ slack actually costs.
+	Recall1 float64
+	Recall5 float64
+	// PrunedFrac is the fraction of library items the index skipped
+	// without an exact distance evaluation (tree bound, envelope lower
+	// bound, or early-abandoned DP), over all queries.
+	PrunedFrac float64
+	// Speedup is exhaustive-scan time over indexed-query time for the
+	// same queries (wall clock; masked in golden comparisons).
+	Speedup float64
+}
+
+// AnnRecallResult is the index-quality sweep.
+type AnnRecallResult struct {
+	Rows []AnnRecallRow
+}
+
+// annRecallLibraryCfg derives the i-th library experiment's simulation
+// config: workloads cycle fastest, then run index; terminals and data
+// group rotate with the run so large libraries are not 1600 copies of one
+// operating point.
+func annRecallLibraryCfg(i int, ticks int) (string, simdb.Config) {
+	workloads := annRecallWorkloads()
+	run := i / len(workloads)
+	return workloads[i%len(workloads)], simdb.Config{
+		SKU:       SKU16,
+		Terminals: StandardTerminals[run%len(StandardTerminals)],
+		Run:       run,
+		DataGroup: run % 3,
+		Ticks:     ticks,
+	}
+}
+
+// annRecallWorkloads are the simulated library workloads: the five
+// resource-bearing benchmarks (PW is plan-only and has no resource
+// telemetry for the MTS and Hist-FP representations).
+func annRecallWorkloads() []string {
+	return []string{bench.TPCCName, bench.TPCDSName, bench.TPCHName, bench.TwitterName, bench.YCSBName}
+}
+
+// AnnRecall sweeps the VP-tree reference index (internal/ann) against the
+// exhaustive scan over growing simulated libraries: recall@1/recall@5,
+// the fraction of pairs pruned without an exact distance evaluation, and
+// the wall-clock speedup. Libraries are streamed out of internal/simdb —
+// experiments are simulated, fingerprinted, and discarded one at a time —
+// so the 10k-reference row costs fingerprint memory, not telemetry memory.
+func (s *Suite) AnnRecall() (*AnnRecallResult, error) {
+	sizes := AnnRecallSizes
+	if s.Quick {
+		sizes = sizes[:annRecallQuickSizes]
+	}
+	maxN := sizes[len(sizes)-1]
+
+	configs := []*annRecallConfig{
+		{
+			label:   "Hist-FP / L2,1 (exact)",
+			builder: &fingerprint.Builder{Rep: fingerprint.HistFP, Features: telemetry.AllFeatures()},
+			metric:  distance.L21{},
+			maxN:    maxN,
+		},
+		{
+			label:   "Template-FP / L1,1 (exact)",
+			builder: &fingerprint.Builder{Rep: fingerprint.TemplateFP},
+			metric:  distance.L11{},
+			maxN:    maxN,
+		},
+		{
+			label:   "MTS / Dep-DTW tau=0",
+			builder: &fingerprint.Builder{Rep: fingerprint.MTS, Features: telemetry.ResourceFeatures()},
+			metric:  distance.DTW{Dependent: true, Window: 40},
+			tau:     0,
+			maxN:    annRecallDTWCap,
+		},
+		{
+			label:   "MTS / Dep-DTW tau=0.05",
+			builder: &fingerprint.Builder{Rep: fingerprint.MTS, Features: telemetry.ResourceFeatures()},
+			metric:  distance.DTW{Dependent: true, Window: 40},
+			tau:     0.05,
+			maxN:    annRecallDTWCap,
+		},
+	}
+
+	simulate := func(name string, cfg simdb.Config) (*telemetry.Experiment, error) {
+		w, err := s.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		return simdb.Simulate(w, cfg, s.src), nil
+	}
+
+	// Fit every builder on the same fixed prefix of the library stream.
+	fitSample := make([]*telemetry.Experiment, 0, annRecallFitSample)
+	for i := 0; i < annRecallFitSample; i++ {
+		name, cfg := annRecallLibraryCfg(i, s.Ticks())
+		e, err := simulate(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fitSample = append(fitSample, e)
+	}
+	for _, c := range configs {
+		if err := c.builder.Fit(fitSample); err != nil {
+			return nil, fmt.Errorf("experiments: annrecall fit %s: %w", c.label, err)
+		}
+	}
+
+	// Held-out queries: run indices far past any library run, so the
+	// derived randomness streams are disjoint from every library item.
+	type query struct {
+		fps []*fingerprint.Fingerprint // one per config
+	}
+	queries := make([]query, annRecallQueries)
+	for qi := range queries {
+		name := annRecallWorkloads()[qi%len(annRecallWorkloads())]
+		cfg := simdb.Config{
+			SKU:       SKU16,
+			Terminals: StandardTerminals[qi%len(StandardTerminals)],
+			Run:       1_000_000 + qi/len(annRecallWorkloads()),
+			DataGroup: qi % 3,
+			Ticks:     s.Ticks(),
+		}
+		e, err := simulate(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		queries[qi].fps = make([]*fingerprint.Fingerprint, len(configs))
+		for ci, c := range configs {
+			fp, err := c.builder.Build(e)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: annrecall query %s: %w", c.label, err)
+			}
+			queries[qi].fps[ci] = fp
+		}
+	}
+
+	res := &AnnRecallResult{}
+	next := 0 // next library index to simulate
+	for _, n := range sizes {
+		for ; next < n; next++ {
+			name, cfg := annRecallLibraryCfg(next, s.Ticks())
+			e, err := simulate(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range configs {
+				if next >= c.maxN {
+					continue
+				}
+				fp, err := c.builder.Build(e)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: annrecall %s: %w", c.label, err)
+				}
+				c.items = append(c.items, ann.Item{Label: name, FP: fp})
+			}
+		}
+		for ci, c := range configs {
+			if n > c.maxN {
+				continue
+			}
+			qfps := make([]*fingerprint.Fingerprint, len(queries))
+			for qi := range queries {
+				qfps[qi] = queries[qi].fps[ci]
+			}
+			row, err := annRecallEvaluate(c, n, qfps, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// annRecallEvaluate measures one (config, size) cell: exhaustive top-5 per
+// query via a full scan, then the indexed top-5, scored tie-robustly by
+// distance against the scan's k-th best.
+func annRecallEvaluate(c *annRecallConfig, n int, queries []*fingerprint.Fingerprint, seed uint64) (AnnRecallRow, error) {
+	row := AnnRecallRow{Config: c.label, N: n}
+	items := c.items[:n]
+	ix, err := ann.Build(items, c.metric, ann.Config{Seed: seed, Tau: c.tau})
+	if err != nil {
+		return row, fmt.Errorf("experiments: annrecall build %s n=%d: %w", c.label, n, err)
+	}
+
+	k := 5
+	if k > n {
+		k = n
+	}
+	dtw, isDTW := c.metric.(distance.DTW)
+	var ws mat.Workspace
+	dists := make([]float64, n)
+
+	var hit1, hit5, prunedPairs, totalPairs int
+	var scanTime, indexTime time.Duration
+	buf := &ann.QueryBuffer{}
+	for _, fp := range queries {
+		t0 := time.Now()
+		for i := range items {
+			var d float64
+			var err error
+			if isDTW {
+				d, err = dtw.DistanceWS(fp.M, items[i].FP.M, &ws)
+			} else {
+				d, err = c.metric.Distance(fp.M, items[i].FP.M)
+			}
+			if err != nil {
+				return row, fmt.Errorf("experiments: annrecall scan %s: %w", c.label, err)
+			}
+			dists[i] = d
+		}
+		scanTime += time.Since(t0)
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		d1, dk := sorted[0], sorted[k-1]
+
+		t0 = time.Now()
+		got, stats, err := ix.KNN(fp, k, buf)
+		indexTime += time.Since(t0)
+		if err != nil {
+			return row, fmt.Errorf("experiments: annrecall query %s: %w", c.label, err)
+		}
+		prunedPairs += stats.Pruned()
+		totalPairs += stats.Total
+		if len(got) > 0 && got[0].Distance <= d1 {
+			hit1++
+		}
+		for _, r := range got {
+			if r.Distance <= dk {
+				hit5++
+			}
+		}
+	}
+	nq := float64(len(queries))
+	row.Recall1 = float64(hit1) / nq
+	row.Recall5 = float64(hit5) / (nq * float64(k))
+	row.PrunedFrac = float64(prunedPairs) / float64(totalPairs)
+	if indexTime > 0 {
+		row.Speedup = float64(scanTime) / float64(indexTime)
+	}
+	return row, nil
+}
+
+// Table renders the sweep. The Speedup column is wall clock and is masked
+// by MaskTimingColumns in golden comparisons; everything else is
+// deterministic.
+func (r *AnnRecallResult) Table() *Table {
+	t := &Table{
+		Title:  "ANN recall: VP-tree index vs exhaustive scan",
+		Header: []string{"Index", "N", "recall@1", "recall@5", "pruned", "Speedup (x)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Config, fmt.Sprintf("%d", row.N), f3(row.Recall1), f3(row.Recall5),
+			f3(row.PrunedFrac), f1(row.Speedup))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d held-out queries per cell; recall counts retrieved neighbors within the scan's k-th best distance", annRecallQueries),
+		fmt.Sprintf("exact-mode rows are recall 1.000 by construction; DTW rows stop at N=%d (see DESIGN.md \"Sublinear similarity\")", annRecallDTWCap))
+	return t
+}

@@ -178,6 +178,13 @@ func Runners() []Runner {
 			}
 			return r.Table(), nil
 		})},
+		{"annrecall", "VP-tree index recall/pruning/speedup vs exhaustive scan", one(func(s *Suite) (*Table, error) {
+			r, err := s.AnnRecall()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
 	}
 }
 

@@ -33,6 +33,13 @@ const (
 	// PhaseFP encodes per-phase statistics found by Bayesian change-point
 	// detection.
 	PhaseFP
+	// TemplateFP encodes the workload as its query-template distribution:
+	// a hashed histogram over the template names of the plan observations
+	// (the LearnedWMP representation). It ignores resource telemetry
+	// entirely, which makes it the cheapest representation to build and
+	// the natural key for indexing very large reference libraries where
+	// full traces are not retained.
+	TemplateFP
 )
 
 func (r Representation) String() string {
@@ -43,6 +50,8 @@ func (r Representation) String() string {
 		return "Hist-FP"
 	case PhaseFP:
 		return "Phase-FP"
+	case TemplateFP:
+		return "Template-FP"
 	default:
 		return fmt.Sprintf("Representation(%d)", int(r))
 	}
@@ -74,6 +83,11 @@ type Builder struct {
 	PlainFrequency bool
 	// MaxPhases bounds/pads the Phase-FP phase axis (default 4).
 	MaxPhases int
+	// TemplateBins is the Template-FP hash-bucket count (default 32).
+	// Two workloads collide in a bucket only when their template names
+	// hash together, so the bucket count trades fingerprint size against
+	// collision-induced similarity inflation.
+	TemplateBins int
 
 	lo, hi map[telemetry.Feature]float64
 	fitted bool
@@ -91,6 +105,13 @@ func (b *Builder) maxPhases() int {
 		return 4
 	}
 	return b.MaxPhases
+}
+
+func (b *Builder) templateBins() int {
+	if b.TemplateBins == 0 {
+		return 32
+	}
+	return b.TemplateBins
 }
 
 // featureValues extracts the raw value sequence of one feature from an
@@ -112,6 +133,13 @@ func featureValues(e *telemetry.Experiment, f telemetry.Feature) []float64 {
 func (b *Builder) Fit(exps []*telemetry.Experiment) error {
 	if len(exps) == 0 {
 		return fmt.Errorf("fingerprint: no experiments to fit")
+	}
+	if b.Rep == TemplateFP {
+		// The template distribution needs no shared normalization ranges:
+		// every histogram is already a relative frequency over the same
+		// hashed bucket space.
+		b.fitted = true
+		return nil
 	}
 	if len(b.Features) == 0 {
 		b.Features = telemetry.AllFeatures()
@@ -185,6 +213,8 @@ func (b *Builder) Build(e *telemetry.Experiment) (*Fingerprint, error) {
 		return b.buildHist(e)
 	case PhaseFP:
 		return b.buildPhase(e)
+	case TemplateFP:
+		return b.buildTemplate(e)
 	default:
 		return nil, fmt.Errorf("fingerprint: unknown representation %v", b.Rep)
 	}
@@ -261,4 +291,29 @@ func (b *Builder) buildPhase(e *telemetry.Experiment) (*Fingerprint, error) {
 		// Remaining phases stay zero-padded.
 	}
 	return &Fingerprint{Rep: PhaseFP, Features: b.Features, M: m}, nil
+}
+
+// templateHash is FNV-1a over the template name: a stable, dependency-free
+// hash so fingerprints are comparable across processes and restarts.
+func templateHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func (b *Builder) buildTemplate(e *telemetry.Experiment) (*Fingerprint, error) {
+	bins := b.templateBins()
+	m := mat.New(bins, 1)
+	if len(e.Plans) == 0 {
+		return nil, fmt.Errorf("fingerprint: %s has no plan observations for Template-FP", e.ID())
+	}
+	w := 1 / float64(len(e.Plans))
+	for i := range e.Plans {
+		bin := int(templateHash(e.Plans[i].Query) % uint64(bins))
+		m.Set(bin, 0, m.At(bin, 0)+w)
+	}
+	return &Fingerprint{Rep: TemplateFP, M: m}, nil
 }

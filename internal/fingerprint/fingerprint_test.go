@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"wpred/internal/distance"
 	"wpred/internal/telemetry"
 )
 
@@ -199,5 +200,76 @@ func TestRepresentationString(t *testing.T) {
 	}
 	if Representation(9).String() == "" {
 		t.Fatal("unknown representation needs fallback")
+	}
+}
+
+// TestTemplateFP covers the template-distribution representation: the
+// histogram is a relative frequency over hashed template buckets (sums to
+// one), identical template mixes produce identical fingerprints regardless
+// of resource telemetry, different mixes diverge, and an experiment
+// without plan observations is rejected.
+func TestTemplateFP(t *testing.T) {
+	mix := func(base float64, queries ...string) *telemetry.Experiment {
+		e := sampleExperiment(20, base)
+		e.Plans = nil
+		for _, q := range queries {
+			e.Plans = append(e.Plans, telemetry.PlanObservation{Query: q})
+		}
+		return e
+	}
+	a := mix(0, "select-item", "select-item", "update-stock", "pay")
+	b := mix(50, "select-item", "select-item", "update-stock", "pay") // same mix, different telemetry
+	c := mix(0, "pay", "pay", "pay", "pay")
+
+	bl := &Builder{Rep: TemplateFP}
+	if err := bl.Fit([]*telemetry.Experiment{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := bl.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Rep != TemplateFP || fa.M.Rows() != 32 || fa.M.Cols() != 1 {
+		t.Fatalf("Template-FP shape = %dx%d rep=%v", fa.M.Rows(), fa.M.Cols(), fa.Rep)
+	}
+	sum := 0.0
+	for i := 0; i < fa.M.Rows(); i++ {
+		sum += fa.M.At(i, 0)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("Template-FP mass = %v, want 1", sum)
+	}
+	fb, err := bl.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := bl.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := (distance.L11{}).Distance(fa.M, fb.M)
+	if err != nil || same != 0 {
+		t.Fatalf("identical template mixes should coincide: d=%v err=%v", same, err)
+	}
+	diff, err := (distance.L11{}).Distance(fa.M, fc.M)
+	if err != nil || diff == 0 {
+		t.Fatalf("different template mixes should diverge: d=%v err=%v", diff, err)
+	}
+
+	small := &Builder{Rep: TemplateFP, TemplateBins: 8}
+	if err := small.Fit([]*telemetry.Experiment{a}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := small.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.M.Rows() != 8 {
+		t.Fatalf("TemplateBins override ignored: rows=%d", fs.M.Rows())
+	}
+
+	empty := mix(0)
+	if _, err := bl.Build(empty); err == nil {
+		t.Fatal("Template-FP without plan observations must error")
 	}
 }

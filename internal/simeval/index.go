@@ -1,0 +1,132 @@
+package simeval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wpred/internal/ann"
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/obs"
+)
+
+// Pair-evaluation accounting across the similarity stage, by outcome:
+// "exact" pairs paid a full metric evaluation, "cached" pairs were served
+// by a PairCache, "pruned" pairs were skipped by the reference index
+// (tree bound, envelope lower bound, or early-abandoned DP) without an
+// exact evaluation. exact + cached + pruned always equals the pairs the
+// stage was asked about (TestPairAccountingReconciles).
+var (
+	simPairsExact = obs.GetCounter("wpred_simeval_pairs_total",
+		"Similarity-stage pair evaluations by outcome.", obs.Labels{"outcome": "exact"})
+	simPairsCached = obs.GetCounter("wpred_simeval_pairs_total",
+		"Similarity-stage pair evaluations by outcome.", obs.Labels{"outcome": "cached"})
+	simPairsPruned = obs.GetCounter("wpred_simeval_pairs_total",
+		"Similarity-stage pair evaluations by outcome.", obs.Labels{"outcome": "pruned"})
+)
+
+// MatrixStats accounts for one matrix computation: every upper-triangle
+// pair either hit the cache or was evaluated exactly.
+type MatrixStats struct {
+	// Total is the number of upper-triangle pairs.
+	Total int
+	// Exact is the number of pairs that paid a metric evaluation.
+	Exact int
+	// Cached is the number of pairs served from the PairCache.
+	Cached int
+}
+
+// ReferenceIndex is a VP-tree over a fingerprinted reference library,
+// answering nearest-workload lookups without the O(N) sweep of
+// Matrix.NearestWorkload. Build once per (reference set, metric), query
+// many times; queries are safe for concurrent use with one
+// ann.QueryBuffer per goroutine.
+type ReferenceIndex struct {
+	ix *ann.Index
+	// perWorkload counts references per workload label, used to extend k
+	// when a query excludes its own workload.
+	perWorkload map[string]int
+}
+
+// BuildReferenceIndex indexes the items under the metric. Exactness
+// follows the metric (see ann.Index): metric-space distances answer
+// identically to the exhaustive scan; DTW runs the lower-bound cascade in
+// approximate mode with the τ slack from cfg.
+func BuildReferenceIndex(items []Item, m distance.Metric, cfg ann.Config) (*ReferenceIndex, error) {
+	annItems := make([]ann.Item, len(items))
+	perWorkload := map[string]int{}
+	for i, it := range items {
+		annItems[i] = ann.Item{Label: it.Workload, FP: it.FP}
+		perWorkload[it.Workload]++
+	}
+	ix, err := ann.Build(annItems, m, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("simeval: reference index: %w", err)
+	}
+	return &ReferenceIndex{ix: ix, perWorkload: perWorkload}, nil
+}
+
+// Index exposes the underlying ann.Index (for serialization and metrics).
+func (r *ReferenceIndex) Index() *ann.Index { return r.ix }
+
+// Len reports the number of indexed references.
+func (r *ReferenceIndex) Len() int { return r.ix.Len() }
+
+// NearestWorkloadIndexed returns the reference workload nearest to the
+// query fingerprint, plus the per-workload mean distances it decided on.
+// The decision rule mirrors Matrix.NearestWorkload — smallest mean
+// distance per workload — computed over the k nearest references instead
+// of the full library; k references bounds the work, and with k >=
+// library size the two rules coincide (TestNearestWorkloadIndexedMatches
+// pins this). exclude drops references of one workload (the exhaustive
+// rule's own-workload exclusion); pass "" to rank every workload.
+func (r *ReferenceIndex) NearestWorkloadIndexed(fp *fingerprint.Fingerprint, k int, exclude string, buf *ann.QueryBuffer) (string, map[string]float64, ann.QueryStats, error) {
+	if k <= 0 {
+		return "", nil, ann.QueryStats{}, fmt.Errorf("simeval: k must be positive, got %d", k)
+	}
+	// Extend the retrieval so the exclusion cannot starve the vote.
+	kEff := k + r.perWorkload[exclude]
+	res, stats, err := r.ix.KNN(fp, kEff, buf)
+	if err != nil {
+		return "", nil, stats, err
+	}
+	simPairsExact.Add(uint64(stats.Exact))
+	simPairsPruned.Add(uint64(stats.Pruned()))
+
+	kept := make([]ann.Result, 0, k)
+	for _, x := range res {
+		if exclude != "" && x.Label == exclude {
+			continue
+		}
+		kept = append(kept, x)
+		if len(kept) == k {
+			break
+		}
+	}
+	// Accumulate in ascending item order — the same order the exhaustive
+	// Matrix.NearestWorkload sums in — so that when k covers the library
+	// the two rules agree bit-for-bit, not just approximately.
+	sort.Slice(kept, func(a, b int) bool { return kept[a].Index < kept[b].Index })
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, x := range kept {
+		sums[x.Label] += x.Distance
+		counts[x.Label]++
+	}
+	names := make([]string, 0, len(sums))
+	for w := range sums {
+		sums[w] /= float64(counts[w])
+		names = append(names, w)
+	}
+	// Deterministic winner: smallest mean, name as the tie-break.
+	sort.Strings(names)
+	best := ""
+	bestD := math.Inf(1)
+	for _, w := range names {
+		if sums[w] < bestD {
+			best, bestD = w, sums[w]
+		}
+	}
+	return best, sums, stats, nil
+}

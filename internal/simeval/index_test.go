@@ -1,0 +1,165 @@
+package simeval
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wpred/internal/ann"
+	"wpred/internal/distance"
+	"wpred/internal/fingerprint"
+	"wpred/internal/mat"
+	"wpred/internal/telemetry"
+)
+
+// indexItem builds one reference item: a fingerprint clustered around a
+// per-workload center so similarity structure is real.
+func indexItem(workload string, center float64, seed uint64) Item {
+	rng := rand.New(rand.NewPCG(seed, seed^0x51))
+	m := mat.New(10, 3)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, center+0.1*rng.Float64())
+		}
+	}
+	return Item{
+		Workload: workload,
+		FP: &fingerprint.Fingerprint{
+			Rep:      fingerprint.HistFP,
+			Features: []telemetry.Feature{0, 1, 2},
+			M:        m,
+		},
+	}
+}
+
+func indexLibrary() []Item {
+	workloads := []struct {
+		name   string
+		center float64
+	}{{"tpcc", 0}, {"tpch", 1}, {"web", 2}, {"epinions", 3}}
+	var items []Item
+	seed := uint64(1)
+	for _, w := range workloads {
+		for r := 0; r < 6; r++ {
+			items = append(items, indexItem(w.name, w.center, seed))
+			seed++
+		}
+	}
+	return items
+}
+
+// TestNearestWorkloadIndexedMatchesExhaustive pins the decision-rule
+// equivalence: with k covering the whole library and a metric-space
+// distance, the indexed lookup must name the same workload, with the same
+// per-workload mean distances, as Matrix.NearestWorkload — including the
+// own-workload exclusion.
+func TestNearestWorkloadIndexedMatchesExhaustive(t *testing.T) {
+	items := indexLibrary()
+	m := distance.L21{}
+	mx, err := ComputeMatrix(items, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := BuildReferenceIndex(items, m, ann.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range items {
+		wantW, wantSums := mx.NearestWorkload(q)
+		gotW, gotSums, stats, err := ri.NearestWorkloadIndexed(items[q].FP, len(items), items[q].Workload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotW != wantW {
+			t.Fatalf("q=%d: indexed winner %q != exhaustive %q", q, gotW, wantW)
+		}
+		if len(gotSums) != len(wantSums) {
+			t.Fatalf("q=%d: sums differ: %v vs %v", q, gotSums, wantSums)
+		}
+		for w, want := range wantSums {
+			got := gotSums[w]
+			// The exhaustive rule sums full-matrix distances; the indexed
+			// rule re-evaluates them through the same metric, so the means
+			// must match exactly.
+			if got != want {
+				t.Fatalf("q=%d workload %s: mean %v != %v", q, w, got, want)
+			}
+		}
+		if stats.Exact+stats.Pruned() != stats.Total {
+			t.Fatalf("q=%d: stats do not reconcile: %+v", q, stats)
+		}
+	}
+}
+
+// TestNearestWorkloadIndexedSmallK checks the bounded-work path: with
+// small k the lookup still returns a workload whose nearest reference is
+// genuinely closest (by construction of the clustered library).
+func TestNearestWorkloadIndexedSmallK(t *testing.T) {
+	items := indexLibrary()
+	ri, err := BuildReferenceIndex(items, distance.L21{}, ann.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &ann.QueryBuffer{}
+	for q := range items {
+		got, sums, _, err := ri.NearestWorkloadIndexed(items[q].FP, 3, items[q].Workload, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == "" || len(sums) == 0 {
+			t.Fatalf("q=%d: empty result", q)
+		}
+		if got == items[q].Workload {
+			t.Fatalf("q=%d: excluded workload won", q)
+		}
+	}
+	if _, _, _, err := ri.NearestWorkloadIndexed(items[0].FP, 0, "", nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestPairAccountingReconciles is the satellite reconciliation property:
+// across a cold matrix computation, a warm (fully cached) recomputation,
+// and a batch of indexed lookups, the wpred_simeval_pairs_total counters
+// must satisfy exact + cached + pruned == total pairs asked about.
+func TestPairAccountingReconciles(t *testing.T) {
+	items := indexLibrary()
+	m := distance.L21{}
+
+	e0, c0, p0 := simPairsExact.Value(), simPairsCached.Value(), simPairsPruned.Value()
+	asked := uint64(0)
+
+	cache := NewPairCache()
+	cold, err := ComputeMatrixCached(items, m, cache, "recon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asked += uint64(cold.Stats.Total)
+	if cold.Stats.Exact+cold.Stats.Cached != cold.Stats.Total || cold.Stats.Cached != 0 {
+		t.Fatalf("cold stats inconsistent: %+v", cold.Stats)
+	}
+	warm, err := ComputeMatrixCached(items, m, cache, "recon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asked += uint64(warm.Stats.Total)
+	if warm.Stats.Cached != warm.Stats.Total {
+		t.Fatalf("warm recomputation missed the cache: %+v", warm.Stats)
+	}
+
+	ri, err := BuildReferenceIndex(items, m, ann.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 5; q++ {
+		_, _, stats, err := ri.NearestWorkloadIndexed(items[q].FP, 4, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asked += uint64(stats.Total)
+	}
+
+	got := (simPairsExact.Value() - e0) + (simPairsCached.Value() - c0) + (simPairsPruned.Value() - p0)
+	if got != asked {
+		t.Fatalf("pair accounting: exact+cached+pruned = %d, want %d", got, asked)
+	}
+}

@@ -50,6 +50,8 @@ func (m *Matrix) excluded(q, j int) bool {
 type Matrix struct {
 	Items []Item
 	D     [][]float64
+	// Stats accounts for how the upper-triangle pairs were resolved.
+	Stats MatrixStats
 }
 
 // Cache metrics aggregated across every PairCache in the process (in
@@ -151,11 +153,13 @@ func ComputeMatrixCached(items []Item, m distance.Metric, cache *PairCache, ns s
 			p++
 		}
 	}
+	var fromCache atomic.Int64
 	vals, err := parallel.Map(npairs, func(p int) (float64, error) {
 		i, j := rows[p], cols[p]
 		key := pairKey{ns: ns, metric: m.Name(), i: i, j: j}
 		if cache != nil {
 			if v, ok := cache.lookup(key); ok {
+				fromCache.Add(1)
 				return v, nil
 			}
 		}
@@ -175,7 +179,11 @@ func ComputeMatrixCached(items []Item, m distance.Metric, cache *PairCache, ns s
 		d[rows[p]][cols[p]] = v
 		d[cols[p]][rows[p]] = v
 	}
-	return &Matrix{Items: items, D: d}, nil
+	stats := MatrixStats{Total: npairs, Cached: int(fromCache.Load())}
+	stats.Exact = stats.Total - stats.Cached
+	simPairsExact.Add(uint64(stats.Exact))
+	simPairsCached.Add(uint64(stats.Cached))
+	return &Matrix{Items: items, D: d, Stats: stats}, nil
 }
 
 // OneNNAccuracy is the leave-one-out nearest-neighbor accuracy: the
