@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fuzz serve-test chaos-test experiments bench bench-check
+.PHONY: build test vet race verify fuzz serve-test chaos-test experiments bench bench-check slo-check
 
 build:
 	$(GO) build ./...
@@ -70,3 +70,13 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -parse bench.check.txt -o BENCH.check.json
 	$(GO) run ./cmd/benchdiff -threshold 20 BENCH.baseline.json BENCH.check.json
 	@rm -f bench.check.txt
+
+# slo-check is the serving-SLO gate: wpredload spins up a seeded
+# in-process server, runs the deterministic quick profile against it
+# (same seed, same request sequence — the report's schedule_digest proves
+# it), and slodiff fails (non-zero exit) when the run violates the
+# committed SLO.baseline.json limits. The fresh report is left in
+# SLO.check.json so CI can archive it.
+slo-check:
+	$(GO) run ./cmd/wpredload -self -profile quick -o SLO.check.json
+	$(GO) run ./cmd/slodiff -report SLO.check.json -baseline SLO.baseline.json

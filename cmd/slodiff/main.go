@@ -1,0 +1,88 @@
+// Command slodiff gates a wpredload report against committed SLO limits,
+// the same shape benchdiff gives microbenchmarks: a JSON artifact, a
+// committed baseline, and a non-zero exit when the run regressed.
+//
+// Usage:
+//
+//	wpredload -self -profile quick -o SLO.check.json
+//	slodiff -report SLO.check.json -baseline SLO.baseline.json
+//
+// The baseline maps profile names to limits; the report's own profile
+// name picks the entry (override with -profile). Zero-valued limits are
+// not enforced, so a baseline states exactly what it checks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wpred/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slodiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		reportPath   = fs.String("report", "SLO.check.json", "wpredload JSON report to check")
+		baselinePath = fs.String("baseline", "SLO.baseline.json", "committed SLO limits (profile name -> limits)")
+		profile      = fs.String("profile", "", "baseline entry to check against (default: the report's own profile name)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var rep loadgen.Report
+	if err := readJSON(*reportPath, &rep); err != nil {
+		fmt.Fprintln(stderr, "slodiff:", err)
+		return 2
+	}
+	var base loadgen.Baseline
+	if err := readJSON(*baselinePath, &base); err != nil {
+		fmt.Fprintln(stderr, "slodiff:", err)
+		return 2
+	}
+
+	name := *profile
+	if name == "" {
+		name = rep.Profile.Name
+	}
+	slo, ok := base.Profiles[name]
+	if !ok {
+		fmt.Fprintf(stderr, "slodiff: baseline %s has no profile %q (have: %s)\n",
+			*baselinePath, name, strings.Join(base.ProfileNames(), ", "))
+		return 2
+	}
+
+	violations := slo.Evaluate(&rep)
+	if len(violations) == 0 {
+		fmt.Fprintf(stdout, "slodiff: PASS profile %s: %d requests, %.1f rps, p50 %.2fms p95 %.2fms p99 %.2fms, %d shed, %d errors\n",
+			name, rep.Requests.Sent, rep.ThroughputRPS,
+			rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms,
+			rep.Requests.Shed, rep.Requests.ServerErr+rep.Requests.TransportErr)
+		return 0
+	}
+	fmt.Fprintf(stdout, "slodiff: FAIL profile %s: %d violation(s)\n", name, len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(stdout, "slodiff:   %s: %s\n", v.Check, v.Detail)
+	}
+	return 1
+}
+
+func readJSON(path string, v any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(blob, v); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return nil
+}

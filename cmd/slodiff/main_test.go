@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wpred/internal/loadgen"
+)
+
+func writeJSON(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshalling %s: %v", name, err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("writing %s: %v", name, err)
+	}
+	return path
+}
+
+func testReport() *loadgen.Report {
+	return &loadgen.Report{
+		Profile:       loadgen.Profile{Name: "quick"},
+		ThroughputRPS: 40,
+		Requests:      loadgen.RequestStats{Sent: 100, OK: 100},
+		Latency:       loadgen.LatencyStats{Count: 100, P50Ms: 5, P95Ms: 20, P99Ms: 40},
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	rep := writeJSON(t, dir, "report.json", testReport())
+	base := writeJSON(t, dir, "baseline.json", loadgen.Baseline{Profiles: map[string]loadgen.SLO{
+		"quick": {MaxP50Ms: 100, MaxP95Ms: 200, MaxP99Ms: 500, MinThroughputRPS: 10, RequireAllOK: true},
+	}})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-report", rep, "-baseline", base}, &stdout, &stderr); code != 0 {
+		t.Fatalf("healthy report exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Errorf("stdout does not say PASS: %s", stdout.String())
+	}
+}
+
+// TestGateFailsOnInjectedRegression is the acceptance check that the SLO
+// gate actually gates: tighten the baseline below the measured values and
+// the exit code must flip to 1 with the violations named.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	rep := writeJSON(t, dir, "report.json", testReport())
+	base := writeJSON(t, dir, "baseline.json", loadgen.Baseline{Profiles: map[string]loadgen.SLO{
+		"quick": {MaxP50Ms: 1, MinThroughputRPS: 1000},
+	}})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-report", rep, "-baseline", base}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed report exited %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	for _, want := range []string{"FAIL", "p50", "throughput"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q: %s", want, stdout.String())
+		}
+	}
+}
+
+func TestGateBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	rep := writeJSON(t, dir, "report.json", testReport())
+	base := writeJSON(t, dir, "baseline.json", loadgen.Baseline{Profiles: map[string]loadgen.SLO{
+		"steady": {},
+	}})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-report", rep, "-baseline", base}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing baseline profile exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "steady") {
+		t.Errorf("stderr does not list available profiles: %s", stderr.String())
+	}
+	if code := run([]string{"-report", filepath.Join(dir, "absent.json"), "-baseline", base}, &stdout, &stderr); code != 2 {
+		t.Error("missing report file should exit 2")
+	}
+}

@@ -1,0 +1,197 @@
+// Command wpredload is the deterministic load generator for the serving
+// tier: it offers a seeded request schedule to a live wpredd (or a
+// wpredrouter fleet), measures client-side latency coordinated-omission-
+// safely, scrapes the server's /metrics before and after, and writes the
+// machine-readable report cmd/slodiff gates against SLO.baseline.json.
+//
+// Usage:
+//
+//	wpredload -target http://localhost:8080 -profile quick -o report.json
+//	wpredload -target http://localhost:8080 -scrape http://localhost:9090/metrics -profile saturation
+//	wpredload -self -profile quick -o SLO.check.json     # in-process server (the `make slo-check` path)
+//
+// Profiles (quick, steady, saturation, chaos) are built in; flags
+// override individual knobs. The same seed always produces the same
+// request sequence — the report's schedule_digest proves it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"wpred/internal/bench"
+	"wpred/internal/loadgen"
+	"wpred/internal/obs"
+	"wpred/internal/serve"
+	"wpred/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable context and streams, so tests can drive
+// the full generator (including the -self in-process server) directly.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wpredload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target  = fs.String("target", "", "base URL of the server under load (wpredd or wpredrouter)")
+		self    = fs.Bool("self", false, "ignore -target and load an in-process seeded server (hermetic SLO checks)")
+		scrape  = fs.String("scrape", "", "/metrics URL for the two-sided report (with -self the in-process registry is scraped directly)")
+		profile = fs.String("profile", "quick", "built-in profile: "+strings.Join(loadgen.BuiltinProfileNames(), ", "))
+		out     = fs.String("o", "-", "write the JSON report here (- for stdout)")
+
+		seed     = fs.Uint64("seed", 0, "override the profile's schedule seed (0 keeps the preset)")
+		rps      = fs.Float64("rps", 0, "override the open-loop request rate")
+		duration = fs.Duration("duration", 0, "override the open-loop schedule horizon")
+		conns    = fs.Int("connections", 0, "override the closed-loop connection count")
+		requests = fs.Int("requests", 0, "override the closed-loop request count")
+		cpus     = fs.Int("target-cpus", 0, "override the prediction's target SKU size")
+		retry    = fs.Int("retry-429", -1, "override how many times a 429 is retried before counting as shed")
+
+		queueSlots  = fs.Int("queue", 0, "with -self: the server's admission-queue capacity (0 = server default)")
+		registryCap = fs.Int("registry-cap", 0, "with -self: the server's model-registry capacity (0 = server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	p, ok := loadgen.BuiltinProfile(*profile)
+	if !ok {
+		fmt.Fprintf(stderr, "wpredload: unknown profile %q (have: %s)\n", *profile, strings.Join(loadgen.BuiltinProfileNames(), ", "))
+		return 2
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *rps > 0 {
+		p.RPS = *rps
+	}
+	if *duration > 0 {
+		p.Duration = *duration
+	}
+	if *conns > 0 {
+		p.Connections = *conns
+	}
+	if *requests > 0 {
+		p.Requests = *requests
+	}
+	if *cpus > 0 {
+		p.TargetCPUs = *cpus
+	}
+	if *retry >= 0 {
+		p.Retry429 = *retry
+	}
+
+	r := &loadgen.Runner{Profile: p}
+	switch {
+	case *self:
+		// Hermetic mode: a real serve.Server on a loopback port, fed the
+		// same simulated reference suite wpredd builds by default, scraped
+		// straight from the in-process metrics registry.
+		// The SKU ladder must reach the profiles' TargetCPUs: pairwise
+		// scaling models need references profiled on the exact target SKU.
+		skus := []telemetry.SKU{{CPUs: 2, MemoryGB: 16}, {CPUs: 4, MemoryGB: 32}, {CPUs: 8, MemoryGB: 64}}
+		refs := bench.GenerateSuite(bench.Standard()[:3], skus, []int{4}, 2, telemetry.NewSource(p.Seed))
+		srv := serve.New(serve.Config{
+			Refs: refs, Seed: p.Seed,
+			QueueSlots: *queueSlots, RegistryCap: *registryCap,
+		})
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, "wpredload: self server:", err)
+			return 1
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+		r.Target = "http://" + addr
+		r.Scrape = func() (string, error) {
+			var b strings.Builder
+			err := obs.Default().WritePrometheus(&b)
+			return b.String(), err
+		}
+		fmt.Fprintf(stderr, "wpredload: self server on %s (%d reference experiments)\n", addr, len(refs))
+	case *target != "":
+		r.Target = strings.TrimRight(*target, "/")
+		if *scrape != "" {
+			url := *scrape
+			r.Scrape = func() (string, error) {
+				m, err := loadgen.ScrapeURL(url)
+				if err != nil {
+					return "", err
+				}
+				return renderScrape(m), nil
+			}
+		}
+	default:
+		fmt.Fprintln(stderr, "wpredload: need -target URL or -self")
+		return 2
+	}
+
+	fmt.Fprintf(stderr, "wpredload: profile %s (seed %d, mode %s) against %s\n", p.Name, p.Seed, p.Mode, r.Target)
+	rep, err := r.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, "wpredload:", err)
+		return 1
+	}
+	summarize(stderr, rep)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "wpredload: encoding report:", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(blob)
+	} else {
+		err = os.WriteFile(*out, blob, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "wpredload: writing report:", err)
+		return 1
+	}
+	return 0
+}
+
+// renderScrape turns a parsed scrape back into exposition lines so the
+// runner's one Scrape contract (text in, parse inside) serves both the
+// in-process and the remote paths.
+func renderScrape(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %g\n", k, m[k])
+	}
+	return b.String()
+}
+
+// summarize prints the human-readable run digest to stderr; the JSON
+// report is the machine-readable artifact.
+func summarize(w io.Writer, rep *loadgen.Report) {
+	rq := rep.Requests
+	fmt.Fprintf(w, "wpredload: %d requests in %.2fs (%.1f rps): %d ok, %d shed, %d client-err, %d server-err, %d transport-err, %d retries\n",
+		rq.Sent, rep.WallSeconds, rep.ThroughputRPS, rq.OK, rq.Shed, rq.ClientErr, rq.ServerErr, rq.TransportErr, rq.Retries429)
+	fmt.Fprintf(w, "wpredload: latency ms p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f mean=%.2f\n",
+		rep.Latency.P50Ms, rep.Latency.P90Ms, rep.Latency.P95Ms, rep.Latency.P99Ms, rep.Latency.MaxMs, rep.Latency.MeanMs)
+	fmt.Fprintf(w, "wpredload: schedule digest %s\n", rep.ScheduleDigest)
+}

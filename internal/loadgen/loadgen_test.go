@@ -1,0 +1,247 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wpred/internal/bench"
+	"wpred/internal/obs"
+	"wpred/internal/serve"
+	"wpred/internal/telemetry"
+)
+
+var (
+	refsOnce sync.Once
+	testRefs []*telemetry.Experiment
+)
+
+// testServer starts an in-process serving stack: a real serve.Server on
+// an httptest listener, fed the same kind of reference suite wpredd
+// loads at startup.
+func testServer(t *testing.T, cfg serve.Config) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	refsOnce.Do(func() {
+		skus := []telemetry.SKU{{CPUs: 2, MemoryGB: 16}, {CPUs: 4, MemoryGB: 32}}
+		testRefs = bench.GenerateSuite(bench.Standard()[:3], skus, []int{4}, 2, telemetry.NewSource(42))
+	})
+	if len(testRefs) == 0 {
+		t.Fatal("reference suite generation produced no experiments")
+	}
+	if cfg.Refs == nil {
+		cfg.Refs = testRefs
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// scrapeDefault reads the process-wide obs registry the serve handlers
+// record into — the in-process equivalent of GET /metrics.
+func scrapeDefault() (string, error) {
+	var b strings.Builder
+	err := obs.Default().WritePrometheus(&b)
+	return b.String(), err
+}
+
+// TestRunOpenLoopHealthy drives a small open-loop profile against a
+// healthy server: every request should return 2xx and the report should
+// carry both the client-side latency view and the server-side deltas.
+func TestRunOpenLoopHealthy(t *testing.T) {
+	ts, _ := testServer(t, serve.Config{})
+	p := Profile{
+		Name: "test-open", Seed: 42, Mode: OpenLoop,
+		RPS: 100, Duration: 500 * time.Millisecond,
+		BatchFraction: 0.2, BatchSize: 3,
+		ColdFraction: 0.1, ColdKeys: 2,
+		TargetCPUs: 4,
+	}
+	r := &Runner{Profile: p, Target: ts.URL, Scrape: scrapeDefault}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests.Sent != 50 {
+		t.Fatalf("sent %d requests, want 50", rep.Requests.Sent)
+	}
+	if rep.Requests.OK != rep.Requests.Sent {
+		t.Fatalf("only %d/%d requests returned 2xx: %+v", rep.Requests.OK, rep.Requests.Sent, rep.Requests.ByStatus)
+	}
+	if rep.Latency.Count != uint64(rep.Requests.Sent) {
+		t.Errorf("latency count %d != sent %d", rep.Latency.Count, rep.Requests.Sent)
+	}
+	if rep.Latency.P50Ms <= 0 || rep.Latency.MaxMs < rep.Latency.P50Ms {
+		t.Errorf("implausible latency stats: %+v", rep.Latency)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %v, want > 0", rep.ThroughputRPS)
+	}
+	if _, ok := rep.PerKind["single"]; !ok {
+		t.Error("per-kind stats missing the single kind")
+	}
+	if rep.Server == nil {
+		t.Fatal("report has no server-side view despite a scrape func")
+	}
+	found := false
+	for k := range rep.Server.Deltas {
+		if strings.HasPrefix(k, "wpred_http_requests_total") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("server deltas carry no wpred_http_requests_total series: %v", rep.Server.Deltas)
+	}
+
+	// Determinism across runs: the offered sequence is identical.
+	rep2, err := (&Runner{Profile: p, Target: ts.URL}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if rep2.ScheduleDigest != rep.ScheduleDigest {
+		t.Error("same profile produced different schedule digests across runs")
+	}
+}
+
+// TestRunSaturationBatchOverCapacity is the load-level regression test
+// for the batch-livelock bug: batches larger than the whole admission
+// queue must come back 413 (non-retryable client error) immediately —
+// not 429, which a compliant retrying client would obey forever. Before
+// the fix this profile would burn its full retry budget on every batch;
+// now it must record zero 429 retries.
+func TestRunSaturationBatchOverCapacity(t *testing.T) {
+	ts, _ := testServer(t, serve.Config{QueueSlots: 4})
+	p := Profile{
+		Name: "test-overcap", Seed: 42, Mode: ClosedLoop,
+		Connections: 4, Requests: 24,
+		BatchFraction: 1.0, BatchSize: 8, // every batch exceeds the 4-slot queue
+		TargetCPUs: 4,
+		Retry429:   3, Retry429Delay: 5 * time.Millisecond,
+	}
+	rep, err := (&Runner{Profile: p, Target: ts.URL}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests.Sent != 24 {
+		t.Fatalf("sent %d requests, want 24", rep.Requests.Sent)
+	}
+	if got := rep.Requests.ByStatus[http.StatusRequestEntityTooLarge]; got != 24 {
+		t.Fatalf("%d/24 requests returned 413: %+v", got, rep.Requests.ByStatus)
+	}
+	if rep.Requests.ClientErr != 24 {
+		t.Errorf("413s classified as %+v, want 24 client errors", rep.Requests)
+	}
+	if rep.Requests.Retries429 != 0 {
+		t.Errorf("over-capacity batches triggered %d 429-retries; the server is shedding them as retryable", rep.Requests.Retries429)
+	}
+	if rep.Requests.Shed != 0 {
+		t.Errorf("over-capacity batches recorded as shed (429): %+v", rep.Requests)
+	}
+}
+
+// TestRunShedRetryAccounting checks the generator's 429 handling against
+// a deterministic shedding server: every odd-numbered arrival is shed
+// with a huge Retry-After hint. The generator must retry (counting it),
+// cap the hint at Retry429Delay so the run stays bounded, and classify
+// the final statuses correctly. (The real admission queue's 429 path is
+// covered by the serve package's own tests; predictions there are too
+// fast for a load test to shed reliably.)
+func TestRunShedRetryAccounting(t *testing.T) {
+	var arrivals atomic.Int64
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if arrivals.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "60") // must be capped, or the test times out
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(shed.Close)
+
+	p := Profile{
+		Name: "test-shed", Seed: 42, Mode: ClosedLoop,
+		Connections: 4, Requests: 40,
+		TargetCPUs: 4,
+		Retry429:   1, Retry429Delay: 5 * time.Millisecond,
+	}
+	start := time.Now()
+	rep, err := (&Runner{Profile: p, Target: shed.URL}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("run took %v; the Retry-After hint was not capped at Retry429Delay", elapsed)
+	}
+	if rep.Requests.Sent != 40 {
+		t.Fatalf("sent %d requests, want 40", rep.Requests.Sent)
+	}
+	if rep.Requests.Retries429 == 0 {
+		t.Errorf("a shedding server triggered no 429 retries: %+v", rep.Requests)
+	}
+	if rep.Requests.OK == 0 {
+		t.Errorf("no request succeeded on retry: %+v", rep.Requests.ByStatus)
+	}
+	if rep.Requests.OK+rep.Requests.Shed != rep.Requests.Sent {
+		t.Errorf("outcomes beyond OK and shed against a 200/429 server: %+v", rep.Requests.ByStatus)
+	}
+	if rep.Requests.ClientErr != 0 || rep.Requests.ServerErr != 0 || rep.Requests.TransportErr != 0 {
+		t.Errorf("unexpected error classes: %+v", rep.Requests)
+	}
+}
+
+// TestRunFaultProfile sends fault-injected payloads; the server must
+// answer every one with a definite status (2xx for repaired targets, 4xx
+// for unusable ones) and never crash into 5xx.
+func TestRunFaultProfile(t *testing.T) {
+	ts, _ := testServer(t, serve.Config{})
+	p := Profile{
+		Name: "test-faults", Seed: 42, Mode: ClosedLoop,
+		Connections: 4, Requests: 40,
+		FaultFraction: 1.0, FaultRate: 0.3,
+		TargetCPUs: 4,
+	}
+	rep, err := (&Runner{Profile: p, Target: ts.URL}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests.Sent != 40 {
+		t.Fatalf("sent %d requests, want 40", rep.Requests.Sent)
+	}
+	if rep.Requests.ServerErr != 0 || rep.Requests.TransportErr != 0 {
+		t.Errorf("fault-injected payloads caused hard failures: %+v", rep.Requests.ByStatus)
+	}
+	if rep.Requests.OK == 0 {
+		t.Errorf("no fault-injected request succeeded at rate 0.3: %+v", rep.Requests.ByStatus)
+	}
+}
+
+// TestRunContextCancel stops issuing requests when the context ends.
+func TestRunContextCancel(t *testing.T) {
+	ts, _ := testServer(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	p := Profile{
+		Name: "test-cancel", Seed: 42, Mode: OpenLoop,
+		RPS: 10, Duration: 30 * time.Second, // would run far past the deadline
+		TargetCPUs: 4,
+	}
+	start := time.Now()
+	rep, err := (&Runner{Profile: p, Target: ts.URL}).Run(ctx)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if rep.Requests.Sent >= 300 {
+		t.Errorf("cancelled run still sent %d requests", rep.Requests.Sent)
+	}
+}

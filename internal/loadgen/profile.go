@@ -1,0 +1,241 @@
+// Package loadgen is the load-generation and SLO harness that closes the
+// loop on the serving tier: it drives a live wpredd (or a wpredrouter
+// fleet) with a deterministic, seeded request schedule, measures
+// client-side latency into obs fixed-bucket histograms, scrapes the
+// server's /metrics before and after for a two-sided view, and emits a
+// machine-readable report that cmd/slodiff gates against committed SLO
+// limits (`make slo-check`).
+//
+// Determinism contract: the request *sequence* — payload bytes, key mix,
+// single/batch shape, fault injection, and open-loop send offsets — is a
+// pure function of the profile (seed included), locked in by the
+// schedule-digest tests. Wall-clock measurements naturally vary; the
+// schedule never does, so a failing load run can be replayed exactly.
+//
+// Open-loop mode is coordinated-omission-safe: every request has an
+// intended send time on the fixed-RPS schedule and its latency is
+// measured from that intended time, not from when a stalled client got
+// around to sending it — a server that stalls for a second is charged
+// that second on every request scheduled during the stall.
+//
+// See "Load & SLO harness" in DESIGN.md.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode selects how load is offered.
+type Mode string
+
+const (
+	// OpenLoop offers a fixed request rate regardless of completions,
+	// like arrival traffic from a large population of independent users.
+	OpenLoop Mode = "open"
+	// ClosedLoop runs N connections that each issue the next request as
+	// soon as the previous one completes, like a small worker pool.
+	ClosedLoop Mode = "closed"
+)
+
+// Key is a registry key in the serving tier's selection × metric × model
+// space (the same shape serve.Key resolves).
+type Key struct {
+	Selection string `json:"selection"`
+	Metric    string `json:"metric"`
+	Model     string `json:"model"`
+}
+
+func (k Key) String() string { return k.Selection + "|" + k.Metric + "|" + k.Model }
+
+// Profile parameterizes one load run. The zero value of every field
+// selects a usable default; BuiltinProfile returns the named presets the
+// Makefile and CI run.
+type Profile struct {
+	// Name labels the run in reports and picks the SLO baseline entry.
+	Name string `json:"name"`
+	// Seed drives the whole request schedule: payloads, key mix,
+	// batch shape, fault injection, and open-loop offsets.
+	Seed uint64 `json:"seed"`
+	// Mode is open (fixed RPS) or closed (N connections); default open.
+	Mode Mode `json:"mode"`
+
+	// RPS is the open-loop offered rate (default 50).
+	RPS float64 `json:"rps,omitempty"`
+	// Duration is the open-loop schedule horizon (default 2s). The run
+	// takes longer when the server cannot keep up — that is the point.
+	Duration time.Duration `json:"duration_ns,omitempty"`
+
+	// Connections is the closed-loop concurrency (default 8).
+	Connections int `json:"connections,omitempty"`
+	// Requests is the closed-loop total request count (default 200).
+	Requests int `json:"requests,omitempty"`
+
+	// BatchFraction of requests go to /v1/predict/batch (default 0).
+	BatchFraction float64 `json:"batch_fraction,omitempty"`
+	// BatchSize is the item count per batch request (default 4).
+	BatchSize int `json:"batch_size,omitempty"`
+	// ColdFraction of requests target a cold registry key drawn from the
+	// cold-key pool instead of WarmKey (default 0).
+	ColdFraction float64 `json:"cold_fraction,omitempty"`
+	// ColdKeys bounds the cold-key pool (default 4, max 8). More distinct
+	// keys than the server's registry cap forces LRU eviction and refits.
+	ColdKeys int `json:"cold_keys,omitempty"`
+	// FaultFraction of requests carry fault-injected telemetry payloads
+	// (default 0). Corruption uses the internal/faults models that remain
+	// JSON-serializable (flatlines, truncation, duplicates, noise — the
+	// wire format cannot carry NaN), exercising the server's sanitize and
+	// dropped-experiment paths.
+	FaultFraction float64 `json:"fault_fraction,omitempty"`
+	// FaultRate is the per-model corruption severity for faulted payloads
+	// (default 0.2).
+	FaultRate float64 `json:"fault_rate,omitempty"`
+
+	// WarmKey is the hot registry key (default Variance|L2,1|Regression,
+	// a cheap fit). The runner warms it before measuring unless SkipWarm.
+	WarmKey Key `json:"warm_key"`
+	// TargetCPUs is the prediction's target SKU size (default 8).
+	TargetCPUs int `json:"target_cpus,omitempty"`
+	// Retry429 is how many times a rejected (429) request is re-sent
+	// before being reported as shed (default 0: report the 429). The
+	// retried request's latency keeps accruing from its original intended
+	// send time, so retries cannot hide queueing delay.
+	Retry429 int `json:"retry_429,omitempty"`
+	// Retry429Delay paces those retries (default 25ms). It caps the
+	// server's Retry-After hint — the generator waits min(hint, this) —
+	// so saturation runs stay bounded while still backing off.
+	Retry429Delay time.Duration `json:"retry_429_delay_ns,omitempty"`
+	// RequestTimeout bounds one HTTP attempt (default 30s — a cold fit
+	// on a saturated box can be slow).
+	RequestTimeout time.Duration `json:"request_timeout_ns,omitempty"`
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Name == "" {
+		p.Name = "custom"
+	}
+	if p.Mode == "" {
+		p.Mode = OpenLoop
+	}
+	if p.RPS <= 0 {
+		p.RPS = 50
+	}
+	if p.Duration <= 0 {
+		p.Duration = 2 * time.Second
+	}
+	if p.Connections <= 0 {
+		p.Connections = 8
+	}
+	if p.Requests <= 0 {
+		p.Requests = 200
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = 4
+	}
+	if p.ColdKeys <= 0 {
+		p.ColdKeys = 4
+	}
+	if p.ColdKeys > len(coldKeyPool) {
+		p.ColdKeys = len(coldKeyPool)
+	}
+	if p.FaultRate <= 0 {
+		p.FaultRate = 0.2
+	}
+	if p.WarmKey == (Key{}) {
+		p.WarmKey = Key{Selection: "Variance", Metric: "L2,1", Model: "Regression"}
+	}
+	if p.TargetCPUs <= 0 {
+		p.TargetCPUs = 8
+	}
+	if p.Retry429Delay <= 0 {
+		p.Retry429Delay = 25 * time.Millisecond
+	}
+	if p.RequestTimeout <= 0 {
+		p.RequestTimeout = 30 * time.Second
+	}
+	return p
+}
+
+// validate rejects fractions outside [0,1].
+func (p Profile) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"batch fraction", p.BatchFraction},
+		{"cold fraction", p.ColdFraction},
+		{"fault fraction", p.FaultFraction},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("loadgen: %s %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if p.Mode != OpenLoop && p.Mode != ClosedLoop {
+		return fmt.Errorf("loadgen: unknown mode %q", p.Mode)
+	}
+	return nil
+}
+
+// coldKeyPool is the deterministic pool cold requests draw from: cheap
+// filter selections crossed with the four matrix norms, all on the linear
+// scaling model so a cold fit costs milliseconds, not minutes. Eight
+// distinct keys comfortably exceed wpredd's default registry cap.
+var coldKeyPool = []Key{
+	{Selection: "Variance", Metric: "Fro", Model: "Regression"},
+	{Selection: "Variance", Metric: "L1,1", Model: "Regression"},
+	{Selection: "Variance", Metric: "Canb", Model: "Regression"},
+	{Selection: "Pearson", Metric: "L2,1", Model: "Regression"},
+	{Selection: "Pearson", Metric: "Fro", Model: "Regression"},
+	{Selection: "Pearson", Metric: "L1,1", Model: "Regression"},
+	{Selection: "Variance", Metric: "L2,1", Model: "SVM"},
+	{Selection: "Pearson", Metric: "Canb", Model: "Regression"},
+}
+
+// BuiltinProfile returns one of the named presets:
+//
+//   - quick: the CI gate — open loop, modest rate, no faults, a small
+//     cold mix; finishes in a few seconds on a shared runner.
+//   - steady: a longer open-loop soak at a higher rate.
+//   - saturation: closed loop with more connections than queue slots and
+//     a heavy batch/cold mix, deliberately driving 429 backpressure,
+//     registry eviction, and the batch-capacity (413) path.
+//   - chaos: saturation plus fault-injected payloads and 429 retries.
+func BuiltinProfile(name string) (Profile, bool) {
+	switch name {
+	case "quick":
+		return Profile{
+			Name: "quick", Seed: 42, Mode: OpenLoop,
+			RPS: 40, Duration: 3 * time.Second,
+			BatchFraction: 0.2, BatchSize: 4,
+			ColdFraction: 0.1, ColdKeys: 4,
+		}, true
+	case "steady":
+		return Profile{
+			Name: "steady", Seed: 42, Mode: OpenLoop,
+			RPS: 200, Duration: 30 * time.Second,
+			BatchFraction: 0.25, BatchSize: 8,
+			ColdFraction: 0.1, ColdKeys: 6,
+		}, true
+	case "saturation":
+		return Profile{
+			Name: "saturation", Seed: 42, Mode: ClosedLoop,
+			Connections: 32, Requests: 800,
+			BatchFraction: 0.5, BatchSize: 16,
+			ColdFraction: 0.3, ColdKeys: 8,
+			Retry429: 2,
+		}, true
+	case "chaos":
+		return Profile{
+			Name: "chaos", Seed: 42, Mode: ClosedLoop,
+			Connections: 16, Requests: 400,
+			BatchFraction: 0.3, BatchSize: 8,
+			ColdFraction: 0.2, ColdKeys: 6,
+			FaultFraction: 0.3, FaultRate: 0.25,
+			Retry429: 2,
+		}, true
+	}
+	return Profile{}, false
+}
+
+// BuiltinProfileNames lists the presets for CLI help and errors.
+func BuiltinProfileNames() []string { return []string{"quick", "steady", "saturation", "chaos"} }

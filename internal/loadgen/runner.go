@@ -1,0 +1,270 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wpred/internal/obs"
+)
+
+// Runner drives one profile against one target.
+type Runner struct {
+	// Profile is the load shape; zero fields take defaults.
+	Profile Profile
+	// Target is the server's base URL (wpredd or wpredrouter).
+	Target string
+	// Client overrides the HTTP client; nil builds one sized for the
+	// profile (enough idle connections for the concurrency, per-request
+	// timeout from the profile).
+	Client *http.Client
+	// Scrape, when set, fetches the server's /metrics text for the
+	// two-sided report; it runs once before and once after the load.
+	// Use ScrapeURL for a remote server, or wire it straight to
+	// obs.Default().WritePrometheus for an in-process one.
+	Scrape func() (string, error)
+}
+
+// outcome classifies one finished request.
+type outcome struct {
+	status  int // 0 on transport error
+	retries int
+}
+
+// run-wide mutable state, shared by the per-request goroutines.
+type runState struct {
+	client  *http.Client
+	target  string
+	profile Profile
+
+	latAll   *obs.Histogram
+	latKind  map[string]*obs.Histogram
+	maxAll   atomic.Uint64 // float64 bits; monotonic max latency seconds
+	maxKind  map[string]*atomic.Uint64
+	mu       sync.Mutex
+	byStatus map[int]int
+	stats    RequestStats
+}
+
+func storeMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Run offers the schedule to the target and assembles the report. ctx
+// cancellation stops issuing new requests; in-flight ones finish or time
+// out on their own.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	sched, err := BuildSchedule(r.Profile)
+	if err != nil {
+		return nil, err
+	}
+	p := sched.Profile
+	if r.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+
+	client := r.Client
+	if client == nil {
+		tr := &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
+		client = &http.Client{Transport: tr, Timeout: p.RequestTimeout}
+		defer tr.CloseIdleConnections()
+	}
+
+	// Client-side latency lands in obs-style fixed-bucket histograms on a
+	// private registry: same bucket math as the server's, but invisible
+	// to the server's own /metrics when running in-process.
+	reg := obs.NewRegistry()
+	st := &runState{
+		client: client, target: r.Target, profile: p,
+		latAll:   reg.Histogram("wpredload_latency_seconds", "Client-observed request latency.", obs.DefBuckets, nil),
+		latKind:  map[string]*obs.Histogram{},
+		maxKind:  map[string]*atomic.Uint64{},
+		byStatus: map[int]int{},
+	}
+	for _, kind := range []string{"single", "batch"} {
+		st.latKind[kind] = reg.Histogram("wpredload_kind_latency_seconds",
+			"Client-observed request latency by request kind.", obs.DefBuckets, obs.Labels{"kind": kind})
+		st.maxKind[kind] = &atomic.Uint64{}
+	}
+
+	// Two-sided view: scrape the server's metrics before and after the
+	// load so the report can carry counter deltas (fits, rejections,
+	// per-code request counts) alongside the client-side measurements.
+	var before, after map[string]float64
+	if r.Scrape != nil {
+		if text, err := r.Scrape(); err == nil {
+			before, _ = ParsePrometheus(strings.NewReader(text))
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	switch p.Mode {
+	case OpenLoop:
+		timer := time.NewTimer(0)
+		defer timer.Stop()
+	schedule:
+		for i := range sched.Requests {
+			req := &sched.Requests[i]
+			wait := time.Until(start.Add(req.offset))
+			if wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-ctx.Done():
+					break schedule
+				case <-timer.C:
+				}
+			} else if ctx.Err() != nil {
+				break schedule
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Coordinated-omission-safe: latency runs from the
+				// intended send time on the fixed schedule.
+				st.fire(ctx, req, start.Add(req.offset))
+			}()
+		}
+	case ClosedLoop:
+		var next atomic.Int64
+		for c := 0; c < p.Connections; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(sched.Requests) {
+						return
+					}
+					st.fire(ctx, &sched.Requests[i], time.Now())
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Profile:        p,
+		Target:         r.Target,
+		ScheduleDigest: sched.Digest(),
+		WallSeconds:    wall.Seconds(),
+		Requests:       st.snapshotStats(),
+		Latency:        latencyStats(st.latAll, math.Float64frombits(st.maxAll.Load())),
+		PerKind:        map[string]LatencyStats{},
+	}
+	for kind, h := range st.latKind {
+		if h.Count() > 0 || h.Dropped() > 0 {
+			rep.PerKind[kind] = latencyStats(h, math.Float64frombits(st.maxKind[kind].Load()))
+		}
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.Requests.Sent-rep.Requests.TransportErr) / wall.Seconds()
+	}
+	if r.Scrape != nil {
+		if text, err := r.Scrape(); err == nil {
+			after, _ = ParsePrometheus(strings.NewReader(text))
+		}
+		rep.Server = diffScrapes(before, after)
+	}
+	return rep, nil
+}
+
+// snapshotStats copies the final counters out from under the mutex.
+func (st *runState) snapshotStats() RequestStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.stats
+	out.ByStatus = make(map[int]int, len(st.byStatus))
+	for k, v := range st.byStatus {
+		out.ByStatus[k] = v
+	}
+	return out
+}
+
+// fire issues one scheduled request (plus its 429 retries) and records
+// the outcome. Latency is measured from intendedStart to the *final*
+// response, so retries keep paying for the time the request spent shed.
+func (st *runState) fire(ctx context.Context, req *request, intendedStart time.Time) {
+	p := st.profile
+	out := outcome{}
+	for attempt := 0; ; attempt++ {
+		status, retryAfter := st.once(ctx, req)
+		out.status = status
+		if status != http.StatusTooManyRequests || attempt >= p.Retry429 {
+			break
+		}
+		out.retries++
+		delay := p.Retry429Delay
+		if retryAfter > 0 && retryAfter < delay {
+			delay = retryAfter
+		}
+		select {
+		case <-ctx.Done():
+			attempt = p.Retry429 // stop retrying, record the 429
+		case <-time.After(delay):
+		}
+	}
+	lat := time.Since(intendedStart).Seconds()
+	st.latAll.Observe(lat)
+	st.latKind[req.kind].Observe(lat)
+	storeMax(&st.maxAll, lat)
+	storeMax(st.maxKind[req.kind], lat)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stats.Sent++
+	st.stats.Retries429 += out.retries
+	st.byStatus[out.status]++
+	switch {
+	case out.status == 0:
+		st.stats.TransportErr++
+	case out.status == http.StatusTooManyRequests:
+		st.stats.Shed++
+	case out.status >= 500:
+		st.stats.ServerErr++
+	case out.status >= 400:
+		st.stats.ClientErr++
+	default:
+		st.stats.OK++
+	}
+}
+
+// once performs a single HTTP attempt, returning the status (0 on
+// transport error) and any Retry-After hint.
+func (st *runState) once(ctx context.Context, req *request) (int, time.Duration) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, st.target+req.path, bytes.NewReader(req.body))
+	if err != nil {
+		return 0, 0
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := st.client.Do(hr)
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	var ra time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, ra
+}

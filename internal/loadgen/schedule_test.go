@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic locks in the determinism contract: equal
+// profiles produce byte-identical schedules (equal digests), and the
+// seed actually matters.
+func TestScheduleDeterministic(t *testing.T) {
+	p := Profile{
+		Name: "det", Seed: 7, Mode: OpenLoop,
+		RPS: 100, Duration: time.Second,
+		BatchFraction: 0.3, BatchSize: 4,
+		ColdFraction: 0.2, ColdKeys: 4,
+		FaultFraction: 0.25,
+	}
+	a, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	b, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("same profile produced different schedule digests")
+	}
+	if len(a.Requests) != 100 {
+		t.Fatalf("open loop at 100 rps for 1s built %d requests, want 100", len(a.Requests))
+	}
+
+	p.Seed = 8
+	c, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced identical schedule digests")
+	}
+}
+
+// TestScheduleShape checks the materialized requests: offsets lie on the
+// fixed-RPS grid, the batch/cold mixes land near their fractions, and
+// every body is a valid wire-shaped JSON document.
+func TestScheduleShape(t *testing.T) {
+	p := Profile{
+		Name: "shape", Seed: 42, Mode: OpenLoop,
+		RPS: 200, Duration: 2 * time.Second,
+		BatchFraction: 0.5, BatchSize: 3,
+		ColdFraction: 0.5, ColdKeys: 8,
+	}
+	s, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	var batches, colds int
+	for i, r := range s.Requests {
+		if want := time.Duration(float64(i) / 200 * float64(time.Second)); r.offset != want {
+			t.Fatalf("request %d offset %v, want %v", i, r.offset, want)
+		}
+		switch r.kind {
+		case "single":
+			var w predictWire
+			if err := json.Unmarshal(r.body, &w); err != nil {
+				t.Fatalf("request %d body does not parse: %v", i, err)
+			}
+			if w.Selection == "" || w.Metric == "" || w.Model == "" || len(w.Target) != 1 {
+				t.Fatalf("request %d wire shape incomplete: %+v", i, w)
+			}
+			if r.path != "/v1/predict" || r.items != 1 {
+				t.Fatalf("single request %d routed as %q items=%d", i, r.path, r.items)
+			}
+		case "batch":
+			batches++
+			var w struct {
+				Requests []json.RawMessage `json:"requests"`
+			}
+			if err := json.Unmarshal(r.body, &w); err != nil {
+				t.Fatalf("batch %d body does not parse: %v", i, err)
+			}
+			if len(w.Requests) != 3 {
+				t.Fatalf("batch %d carries %d items, want 3", i, len(w.Requests))
+			}
+			if r.path != "/v1/predict/batch" || r.items != 3 {
+				t.Fatalf("batch request %d routed as %q items=%d", i, r.path, r.items)
+			}
+		default:
+			t.Fatalf("request %d has unknown kind %q", i, r.kind)
+		}
+		if r.key != p.WarmKey && r.key == (Key{}) {
+			t.Fatalf("request %d has empty key", i)
+		}
+		if r.key != (Profile{}.withDefaults()).WarmKey {
+			colds++
+		}
+	}
+	n := len(s.Requests)
+	if batches < n/4 || batches > 3*n/4 {
+		t.Errorf("batch mix %d/%d far from the 0.5 fraction", batches, n)
+	}
+	if colds < n/4 || colds > 3*n/4 {
+		t.Errorf("cold mix %d/%d far from the 0.5 fraction", colds, n)
+	}
+}
+
+// TestScheduleClosedLoopCount pins the closed-loop request count to the
+// profile's Requests field with zero offsets.
+func TestScheduleClosedLoopCount(t *testing.T) {
+	s, err := BuildSchedule(Profile{Name: "cl", Seed: 1, Mode: ClosedLoop, Requests: 37})
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	if len(s.Requests) != 37 {
+		t.Fatalf("closed loop built %d requests, want 37", len(s.Requests))
+	}
+	for i, r := range s.Requests {
+		if r.offset != 0 {
+			t.Fatalf("closed-loop request %d has offset %v", i, r.offset)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if _, err := BuildSchedule(Profile{BatchFraction: 1.5}); err == nil {
+		t.Error("batch fraction 1.5 accepted")
+	}
+	if _, err := BuildSchedule(Profile{ColdFraction: -0.1}); err == nil {
+		t.Error("cold fraction -0.1 accepted")
+	}
+	if _, err := BuildSchedule(Profile{Mode: Mode("bogus")}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestBuiltinProfiles checks every preset materializes.
+func TestBuiltinProfiles(t *testing.T) {
+	for _, name := range BuiltinProfileNames() {
+		p, ok := BuiltinProfile(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if p.Name != name {
+			t.Fatalf("preset %q reports name %q", name, p.Name)
+		}
+		if err := p.withDefaults().validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := BuiltinProfile("no-such-profile"); ok {
+		t.Fatal("unknown preset resolved")
+	}
+}

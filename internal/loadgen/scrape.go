@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsePrometheus reads text exposition format (0.0.4) into a flat
+// series → value map keyed "name{labels}" exactly as rendered. It is the
+// inverse of obs.Registry.WritePrometheus for the subset obs emits:
+// comment and blank lines are skipped, the last sample wins on
+// duplicates, and unparsable values are ignored rather than fatal — a
+// scrape is telemetry, not a contract.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; the series key —
+		// name plus optional {labels} — is everything before it. Label
+		// values in obs exposition never contain raw spaces outside
+		// braces, and a brace-aware split stays correct if they ever do.
+		idx := -1
+		depth := 0
+		for i, c := range line {
+			switch c {
+			case '{':
+				depth++
+			case '}':
+				depth--
+			case ' ':
+				if depth == 0 {
+					idx = i
+				}
+			}
+		}
+		if idx <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[idx+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[line[:idx]] = v
+	}
+	return out, sc.Err()
+}
+
+// ScrapeURL fetches and parses a /metrics endpoint.
+func ScrapeURL(url string) (map[string]float64, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: status %d", url, resp.StatusCode)
+	}
+	return ParsePrometheus(resp.Body)
+}
+
+// servingPrefixes selects the serving-layer series worth carrying in a
+// report; everything else (pipeline internals, workspace counters) stays
+// on the server.
+var servingPrefixes = []string{"wpred_serve_", "wpred_router_", "wpred_http_"}
+
+func servingSeries(key string) bool {
+	for _, p := range servingPrefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// diffScrapes builds the two-sided server view from before/after scrapes:
+// counter-style series (_total, _count, _sum) get deltas, everything else
+// (gauges) reports the after value. Histogram bucket series are dropped —
+// the client-side histograms already carry the latency shape.
+func diffScrapes(before, after map[string]float64) *ServerSide {
+	if before == nil && after == nil {
+		return nil
+	}
+	ss := &ServerSide{Deltas: map[string]float64{}, Gauges: map[string]float64{}}
+	for key, av := range after {
+		if !servingSeries(key) || strings.Contains(key, "_bucket") {
+			continue
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		switch {
+		case strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_count") || strings.HasSuffix(name, "_sum"):
+			ss.Deltas[key] = av - before[key]
+		default:
+			ss.Gauges[key] = av
+		}
+	}
+	return ss
+}

@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePrometheus(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP wpred_serve_fits_total Registry fits.",
+		"# TYPE wpred_serve_fits_total counter",
+		"wpred_serve_fits_total 12",
+		`wpred_http_requests_total{handler="predict",code="200"} 340`,
+		`wpred_http_requests_total{handler="predict",code="200"} 341`, // last wins
+		`wpred_serve_queue_depth 3.5`,
+		"",
+		"not a sample line",
+		`wpred_bad_value{x="y"} not-a-number`,
+	}, "\n")
+	m, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	want := map[string]float64{
+		"wpred_serve_fits_total":                                  12,
+		`wpred_http_requests_total{handler="predict",code="200"}`: 341,
+		"wpred_serve_queue_depth":                                 3.5,
+	}
+	for k, v := range want {
+		if got, ok := m[k]; !ok || got != v {
+			t.Errorf("series %q = %v (present=%v), want %v", k, got, ok, v)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("parsed %d series, want %d: %v", len(m), len(want), m)
+	}
+}
+
+func TestDiffScrapes(t *testing.T) {
+	before := map[string]float64{
+		"wpred_serve_fits_total":                               2,
+		"wpred_serve_queue_depth":                              1,
+		`wpred_http_request_duration_seconds_bucket{le="0.1"}`: 5,
+		"wpred_pipeline_train_seconds_sum":                     9, // not a serving series
+	}
+	after := map[string]float64{
+		"wpred_serve_fits_total":                               7,
+		"wpred_serve_queue_depth":                              4,
+		`wpred_http_request_duration_seconds_bucket{le="0.1"}`: 50,
+		"wpred_pipeline_train_seconds_sum":                     90,
+		"wpred_router_retries_total":                           3, // appeared during the run
+	}
+	ss := diffScrapes(before, after)
+	if ss == nil {
+		t.Fatal("diffScrapes returned nil for non-nil scrapes")
+	}
+	if got := ss.Deltas["wpred_serve_fits_total"]; got != 5 {
+		t.Errorf("fits delta = %v, want 5", got)
+	}
+	if got := ss.Deltas["wpred_router_retries_total"]; got != 3 {
+		t.Errorf("new-series delta = %v, want 3", got)
+	}
+	if got := ss.Gauges["wpred_serve_queue_depth"]; got != 4 {
+		t.Errorf("gauge after-value = %v, want 4", got)
+	}
+	for k := range ss.Deltas {
+		if strings.Contains(k, "_bucket") || strings.HasPrefix(k, "wpred_pipeline_") {
+			t.Errorf("series %q should have been filtered out", k)
+		}
+	}
+	if diffScrapes(nil, nil) != nil {
+		t.Error("diffScrapes(nil, nil) should be nil")
+	}
+}

@@ -1,0 +1,71 @@
+package loadgen
+
+import "testing"
+
+// healthyReport is a plausible passing run: 100 requests, all 2xx, fast.
+func healthyReport() *Report {
+	return &Report{
+		ThroughputRPS: 40,
+		Requests:      RequestStats{Sent: 100, OK: 100},
+		Latency:       LatencyStats{Count: 100, P50Ms: 5, P95Ms: 20, P99Ms: 40},
+	}
+}
+
+func checks(vs []Violation) map[string]bool {
+	m := map[string]bool{}
+	for _, v := range vs {
+		m[v.Check] = true
+	}
+	return m
+}
+
+func TestSLOEvaluatePasses(t *testing.T) {
+	slo := SLO{
+		MaxP50Ms: 100, MaxP95Ms: 200, MaxP99Ms: 500,
+		MaxErrorRate: 0.01, MaxShedRate: 0.05, MaxClientErrorRate: 0.01,
+		MinThroughputRPS: 10, RequireAllOK: true,
+	}
+	if vs := slo.Evaluate(healthyReport()); len(vs) != 0 {
+		t.Fatalf("healthy report violated the SLO: %v", vs)
+	}
+}
+
+// TestSLOEvaluateInjectedRegression turns every knob past the measured
+// values and checks each one fires — this is the "injected SLO
+// regression fails the gate" guarantee the acceptance criteria name.
+func TestSLOEvaluateInjectedRegression(t *testing.T) {
+	rep := healthyReport()
+	rep.Requests = RequestStats{Sent: 100, OK: 80, ClientErr: 5, Shed: 10, ServerErr: 3, TransportErr: 2}
+	slo := SLO{
+		MaxP50Ms: 1, MaxP95Ms: 1, MaxP99Ms: 1,
+		MaxErrorRate: 0.01, MaxShedRate: 0.01, MaxClientErrorRate: 0.01,
+		MinThroughputRPS: 1000, RequireAllOK: true,
+	}
+	got := checks(slo.Evaluate(rep))
+	for _, want := range []string{
+		"p50", "p95", "p99", "error_rate", "shed_rate",
+		"client_error_rate", "throughput", "all_ok",
+	} {
+		if !got[want] {
+			t.Errorf("check %q did not fire: %v", want, got)
+		}
+	}
+}
+
+// TestSLOEvaluateZeroLimitsUnchecked pins the contract that a zero limit
+// means "not enforced" — a baseline states only what it checks.
+func TestSLOEvaluateZeroLimitsUnchecked(t *testing.T) {
+	rep := healthyReport()
+	rep.Requests.OK = 0
+	rep.Requests.ServerErr = 100 // terrible run, but the SLO is empty
+	if vs := (SLO{}).Evaluate(rep); len(vs) != 0 {
+		t.Fatalf("empty SLO produced violations: %v", vs)
+	}
+}
+
+func TestSLOEvaluateEmptyReport(t *testing.T) {
+	vs := (SLO{}).Evaluate(&Report{})
+	if len(vs) != 1 || vs[0].Check != "sent" {
+		t.Fatalf("empty report should fail the sent check, got %v", vs)
+	}
+}

@@ -74,18 +74,26 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // counts observations <= bounds[i], plus an implicit +Inf bucket). All
 // methods are safe for concurrent use.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
-	sum    atomic.Uint64   // float64 bits
-	n      atomic.Uint64
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum     atomic.Uint64   // float64 bits
+	n       atomic.Uint64
+	dropped atomic.Uint64 // non-finite observations rejected by Observe
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// Observe records one observation.
+// Observe records one observation. Non-finite values (NaN, ±Inf) are
+// dropped and counted instead of recorded: a single NaN would otherwise
+// poison _sum permanently and land silently in the +Inf bucket, corrupting
+// every later quantile and rate derived from the series.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped.Add(1)
+		return
+	}
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 	addFloat(&h.sum, v)
 	h.n.Add(1)
@@ -99,6 +107,68 @@ func (h *Histogram) Count() uint64 { return h.n.Load() }
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Dropped returns how many non-finite observations Observe rejected.
+func (h *Histogram) Dropped() uint64 { return h.dropped.Load() }
+
+// Buckets returns the bucket upper bounds and a snapshot of the
+// per-bucket counts (non-cumulative; the final count is the +Inf bucket,
+// one longer than the bounds). The snapshot is not atomic across buckets:
+// concurrent Observe calls may be partially visible, which quantile
+// estimation over thousands of samples tolerates.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly inside the containing bucket the way Prometheus'
+// histogram_quantile does: the first bucket interpolates from 0 when its
+// upper bound is positive (from the bound itself otherwise), and a
+// quantile landing in the +Inf bucket reports the highest finite bound —
+// the layout cannot resolve beyond it. An empty histogram reports NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	_, counts := h.Buckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(h.bounds) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) { // +Inf bucket
+			return h.bounds[len(h.bounds)-1]
+		}
+		hi := h.bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		} else if hi <= 0 {
+			lo = hi
+		}
+		if c == 0 {
+			return hi
+		}
+		inBucket := rank - float64(cum-c)
+		return lo + (hi-lo)*(inBucket/float64(c))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // addFloat atomically adds delta to the float64 stored as bits.
 func addFloat(bits *atomic.Uint64, delta float64) {

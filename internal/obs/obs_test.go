@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -234,5 +235,61 @@ func TestServeMetricsAndPprof(t *testing.T) {
 	}
 	if body := get("/debug/pprof/heap?debug=1"); body == "" {
 		t.Fatal("empty heap profile")
+	}
+}
+
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_guard_seconds", "Guarded.", []float64{1, 10}, nil)
+	h.Observe(2)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h.Observe(v)
+	}
+	h.Observe(0.5)
+
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2 (non-finite observations must not count)", got)
+	}
+	if got := h.Sum(); got != 2.5 || math.IsNaN(got) {
+		t.Fatalf("sum = %v, want 2.5 (a NaN observation must not poison the sum)", got)
+	}
+	if got := h.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	_, counts := h.Buckets()
+	if counts[len(counts)-1] != 0 {
+		t.Fatalf("+Inf bucket = %d, want 0 (non-finite values must not land there)", counts[len(counts)-1])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q_seconds", "Quantiles.", []float64{1, 2, 4, 8}, nil)
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", q)
+	}
+	// 100 observations spread 25 per bucket across (0,1], (1,2], (2,4], (4,8].
+	for i := 0; i < 25; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(3)
+		h.Observe(6)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0},     // first bucket interpolates from 0
+		{0.25, 1},  // exactly the first bound
+		{0.5, 2},   // exactly the second bound
+		{0.75, 4},  // exactly the third bound
+		{0.875, 6}, // halfway through (4,8]
+		{1, 8},     // top finite bound
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	h.Observe(100) // +Inf bucket: quantiles there clamp to the top bound
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("Quantile(1) with +Inf mass = %v, want 8", got)
 	}
 }

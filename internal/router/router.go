@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/textproto"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -283,7 +285,16 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, "router: request body too large")
+		// Only the MaxBytesReader cap is a 413. Everything else — a client
+		// that disconnected or truncated mid-upload — is that client's
+		// malformed request, not an oversized one: answer 400 so a
+		// compliant client does not conclude a smaller body would help.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "router: request body too large")
+			return
+		}
+		httpError(w, http.StatusBadRequest, "router: reading request body: "+err.Error())
 		return
 	}
 	rtRequests.Inc()
@@ -357,10 +368,35 @@ func (rt *Router) recordFailure(b *backendState) {
 	}
 }
 
-// relay writes a fully read backend response to the client verbatim.
+// hopByHopHeaders are the RFC 9110/7230 connection-level headers. They
+// describe the backend↔router connection, not the payload, and must not
+// be copied onto the router↔client connection: relaying the backend's
+// Transfer-Encoding: chunked alongside the Content-Length the router sets
+// for its fully buffered body is protocol corruption.
+var hopByHopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// relay writes a fully read backend response to the client verbatim,
+// minus hop-by-hop headers (the standard set plus anything the backend
+// named in Connection).
 func relay(w http.ResponseWriter, a attemptResult) {
+	drop := make(map[string]bool, len(hopByHopHeaders))
+	for _, h := range hopByHopHeaders {
+		drop[h] = true
+	}
+	for _, v := range a.header.Values("Connection") {
+		for _, name := range strings.Split(v, ",") {
+			if name = textproto.CanonicalMIMEHeaderKey(strings.TrimSpace(name)); name != "" {
+				drop[name] = true
+			}
+		}
+	}
 	for k, vs := range a.header {
-		w.Header()[k] = vs
+		if !drop[textproto.CanonicalMIMEHeaderKey(k)] {
+			w.Header()[k] = vs
+		}
 	}
 	w.Header().Set("Content-Length", fmt.Sprint(len(a.body)))
 	w.WriteHeader(a.status)

@@ -1,13 +1,16 @@
 package router
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -393,4 +396,91 @@ func TestRouterHealthProbesReviveBackend(t *testing.T) {
 	waitFor(false, "down")
 	healthy.Store(true)
 	waitFor(true, "recovered")
+}
+
+// TestRouterTruncatedUploadReturns400 regression-locks the 413-conflation
+// fix: a client that advertises a Content-Length and then disconnects
+// mid-upload used to be answered "request body too large" (413), telling
+// it a smaller body would help when the body size was never the problem.
+// A mid-read failure must be a 400.
+func TestRouterTruncatedUploadReturns400(t *testing.T) {
+	b := newEchoBackend(t, "b1")
+	_, ts, _ := newTestRouter(t, Config{}, b.ts.URL)
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Advertise 1 MiB (well under the 8 MiB default cap), send 10 bytes,
+	// then FIN the write half: the router's body read fails mid-stream.
+	fmt.Fprintf(conn, "POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", 1<<20)
+	conn.Write([]byte(`{"selectio`))
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("reading router response after truncated upload: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated upload: status %d, want 400 (not a body-size problem): %s", resp.StatusCode, body)
+	}
+	if b.hits.Load() != 0 {
+		t.Errorf("truncated upload reached the backend %d times, want 0", b.hits.Load())
+	}
+}
+
+// TestRouterOversizeBodyReturns413 keeps the genuine over-cap rejection on
+// 413: only *http.MaxBytesError means "too large".
+func TestRouterOversizeBodyReturns413(t *testing.T) {
+	b := newEchoBackend(t, "b1")
+	_, ts, _ := newTestRouter(t, Config{MaxBodyBytes: 64}, b.ts.URL)
+
+	big := `{"selection":"` + strings.Repeat("x", 256) + `"}`
+	resp, body := postJSON(t, ts.URL+"/v1/predict", big, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d, want 413: %s", resp.StatusCode, body)
+	}
+}
+
+// TestRelayStripsHopByHopHeaders asserts relay copies end-to-end headers
+// only: the RFC connection-level set, plus anything the backend named in
+// Connection, must not leak — relaying Transfer-Encoding: chunked next to
+// the Content-Length relay sets is protocol corruption.
+func TestRelayStripsHopByHopHeaders(t *testing.T) {
+	rec := httptest.NewRecorder()
+	relay(rec, attemptResult{
+		status: http.StatusOK,
+		header: http.Header{
+			"Content-Type":      {"application/json"},
+			"X-Model-Version":   {"7"},
+			"Transfer-Encoding": {"chunked"},
+			"Connection":        {"keep-alive, X-Internal-Debug"},
+			"Keep-Alive":        {"timeout=5"},
+			"Trailer":           {"X-Checksum"},
+			"Upgrade":           {"h2c"},
+			"X-Internal-Debug":  {"breaker=closed"},
+		},
+		body: []byte(`{"ok":true}`),
+	})
+
+	for _, kept := range []string{"Content-Type", "X-Model-Version"} {
+		if rec.Header().Get(kept) == "" {
+			t.Errorf("end-to-end header %s was dropped", kept)
+		}
+	}
+	for _, dropped := range []string{
+		"Transfer-Encoding", "Connection", "Keep-Alive", "Trailer", "Upgrade",
+		"X-Internal-Debug", // named in Connection, so hop-by-hop too
+	} {
+		if v := rec.Header().Get(dropped); v != "" {
+			t.Errorf("hop-by-hop header %s relayed as %q, want stripped", dropped, v)
+		}
+	}
+	if got := rec.Header().Get("Content-Length"); got != fmt.Sprint(len(`{"ok":true}`)) {
+		t.Errorf("Content-Length = %q, want the buffered body length", got)
+	}
 }

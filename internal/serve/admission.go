@@ -43,6 +43,10 @@ func newAdmission(capacity int, seed uint64) *admission {
 	return a
 }
 
+// capacity is the queue's total slot count: the largest batch that could
+// ever be admitted, even against an idle server.
+func (a *admission) capacity() int { return cap(a.slots) }
+
 // retryAfterMaxSecs bounds the jittered Retry-After hint: rejected clients
 // are told to come back after 1 to retryAfterMaxSecs seconds.
 const retryAfterMaxSecs = 3

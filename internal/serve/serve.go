@@ -327,10 +327,20 @@ type batchItemResult struct {
 // admitted against the bounded queue at once (429 when it does not fit),
 // then fans out through the deterministic parallel engine. Results come
 // back in input order and per-item failures do not fail their siblings.
+//
+// A batch larger than the queue itself can never be admitted — tryAcquire
+// cannot grant more slots than exist — so answering it 429 + Retry-After
+// would livelock a compliant client into retrying forever. Those batches
+// get a non-retryable 413 instead: the client must split the batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	reqs, err := decodeBatchRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		decodeFailure(w, err)
+		return
+	}
+	if len(reqs) > s.adm.capacity() {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("serve: batch of %d items exceeds the queue capacity of %d; split the batch", len(reqs), s.adm.capacity()))
 		return
 	}
 	if !s.adm.tryAcquire(len(reqs)) {

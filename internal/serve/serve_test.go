@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -299,10 +300,14 @@ func TestBatchRoundTripDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestBatchQueueSaturationReturns429 fills the admission queue with a
-// batch larger than its capacity and expects immediate backpressure, then
-// verifies the queue was not leaked: a small request still succeeds.
-func TestBatchQueueSaturationReturns429(t *testing.T) {
+// TestBatchOverCapacityReturns413 sends a batch larger than the whole
+// admission queue. tryAcquire can never grant more slots than the queue
+// holds, so a 429 + Retry-After here would livelock a compliant client
+// into retrying a request that cannot ever succeed (the bug this test
+// regression-locks); the server must answer a non-retryable 413 telling
+// the client to split the batch. Then it verifies the queue was not
+// leaked: a small request still succeeds.
+func TestBatchOverCapacityReturns413(t *testing.T) {
 	s := newTestServer(t, Config{QueueSlots: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -318,15 +323,69 @@ func TestBatchQueueSaturationReturns429(t *testing.T) {
 	}
 	b, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("3-item batch against 2 queue slots: status %d, want 429: %s", resp.StatusCode, b)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("3-item batch against 2 queue slots: status %d, want non-retryable 413: %s", resp.StatusCode, b)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 response missing Retry-After")
+	if resp.Header.Get("Retry-After") != "" {
+		t.Error("413 response carries Retry-After; an unservable batch must not invite retries")
+	}
+	if !strings.Contains(string(b), "queue capacity") {
+		t.Errorf("413 body should name the queue capacity so clients know to split: %s", b)
 	}
 
 	if code, out := post(t, ts.URL+"/v1/predict", body); code != http.StatusOK {
 		t.Fatalf("single request after rejected batch: status %d (queue slots leaked?): %s", code, out)
+	}
+}
+
+// TestBatchQueueBusyReturns429 sends a batch that fits the queue's total
+// capacity but not its current free space: that rejection is transient, so
+// it must keep the retryable 429 + Retry-After shape.
+func TestBatchQueueBusyReturns429(t *testing.T) {
+	s := newTestServer(t, Config{QueueSlots: 2})
+	admitted := make(chan struct{})
+	unblock := make(chan struct{})
+	var hookOnce sync.Once
+	s.testHookAdmitted = func() {
+		hookOnce.Do(func() {
+			close(admitted)
+			<-unblock
+		})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := predictBody(t, 4)
+	errc := make(chan error, 1)
+	go func() {
+		code, out := post(t, ts.URL+"/v1/predict", body)
+		if code != http.StatusOK {
+			errc <- fmt.Errorf("held request: status %d: %s", code, out)
+			return
+		}
+		errc <- nil
+	}()
+	<-admitted // one of two slots held in flight
+
+	batch, err := json.Marshal(batchRequest{Requests: []json.RawMessage{body, body}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict/batch", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("2-item batch with 1 of 2 slots free: status %d, want 429: %s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	close(unblock)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
 	}
 }
 

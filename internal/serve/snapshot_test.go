@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -250,17 +252,38 @@ func TestRetryAfterJitter(t *testing.T) {
 }
 
 // TestRejectedRequestCarriesJitteredRetryAfter exercises the jitter
-// through the HTTP surface: a saturated queue answers 429 with an
-// injected deterministic Retry-After.
+// through the HTTP surface: a queue whose only slot is held in flight
+// answers 429 with an injected deterministic Retry-After. (An oversize
+// batch would be the wrong probe here — that is a permanent condition
+// and answers 413 with no Retry-After at all.)
 func TestRejectedRequestCarriesJitteredRetryAfter(t *testing.T) {
 	s := newTestServer(t, Config{QueueSlots: 1})
 	s.adm.jitterHook = func() int { return 2 }
+	admitted := make(chan struct{})
+	unblock := make(chan struct{})
+	var hookOnce sync.Once
+	s.testHookAdmitted = func() {
+		hookOnce.Do(func() {
+			close(admitted)
+			<-unblock
+		})
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	body := predictBody(t, 4)
-	batch := []byte(`{"requests":[` + string(body) + `,` + string(body) + `]}`)
-	resp, err := http.Post(ts.URL+"/v1/predict/batch", "application/json", bytes.NewReader(batch))
+	errc := make(chan error, 1)
+	go func() {
+		code, out := post(t, ts.URL+"/v1/predict", body)
+		if code != http.StatusOK {
+			errc <- fmt.Errorf("held request: status %d: %s", code, out)
+			return
+		}
+		errc <- nil
+	}()
+	<-admitted // the queue's single slot is held in flight
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,5 +293,10 @@ func TestRejectedRequestCarriesJitteredRetryAfter(t *testing.T) {
 	}
 	if got := resp.Header.Get("Retry-After"); got != "2" {
 		t.Errorf("Retry-After = %q, want injected \"2\"", got)
+	}
+
+	close(unblock)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
 	}
 }
