@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fuzz serve-test chaos-test experiments bench bench-check slo-check
+.PHONY: build test vet race verify fuzz serve-test chaos-test drift-test experiments bench bench-check slo-check
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,19 @@ serve-test:
 chaos-test:
 	$(GO) test -race -count 1 -timeout 15m ./internal/router/ ./internal/faults/ ./internal/snapshot/
 	$(GO) test -race -count 1 -timeout 10m -run 'TestSnapshot|TestHealthPayloadsCarrySnapshotStatus|TestRetryAfterJitter|TestRejectedRequestCarriesJitteredRetryAfter' ./internal/serve/
+
+# drift-test is the focused gate for the streaming drift loop: the
+# changepoint property tests, the internal/drift detector suite, the
+# /v1/observe → background-refit e2e (stale model served during the
+# refit, byte-identical same-seed runs), the refit-vs-restore race
+# stress, and the forecast experiment's quick-mode golden (timing
+# masked; regenerate deliberately with
+#   go test ./cmd/experiments -run TestForecastGolden -update
+# ) — all under -race.
+drift-test:
+	$(GO) test -race -count 1 -timeout 10m ./internal/changepoint/ ./internal/drift/
+	$(GO) test -race -count 1 -timeout 10m -run 'TestObserveRejects|TestDriftE2E|TestDriftState|TestHealthCarriesDrift|TestRegistryRefit' ./internal/serve/
+	$(GO) test -race -count 1 -timeout 10m -run 'TestForecastGolden' ./cmd/experiments/
 
 # experiments regenerates every table and figure at the committed seed.
 experiments:

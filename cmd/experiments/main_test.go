@@ -67,6 +67,42 @@ func TestRunAllGolden(t *testing.T) {
 	t.Fatalf("output shorter than golden: %d vs %d lines (rerun with -update if intentional)", len(gl), len(wl))
 }
 
+const forecastGoldenPath = "testdata/forecast_quick.golden"
+
+// TestForecastGolden pins the `experiments -run forecast -quick` stdout —
+// the drift-gate (`make drift-test`) check that the forecast experiment's
+// NRMSE/fit-count/detection-delay table is deterministic. It is cheap
+// enough to run under the race detector, unlike the full-suite golden.
+// Regenerate deliberately with:
+//
+//	go test ./cmd/experiments -run TestForecastGolden -update
+func TestForecastGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "forecast", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, stderr.String())
+	}
+	got := experiments.MaskTimingColumns(stdout.String())
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(forecastGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(forecastGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s (%d bytes)", forecastGoldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(forecastGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("forecast output diverges from golden (rerun with -update if intentional):\ngot:\n%s\ngolden:\n%s", got, want)
+	}
+}
+
 // TestListAndArgumentErrors covers the cheap CLI paths: -list output and
 // the fast-fail argument validations.
 func TestListAndArgumentErrors(t *testing.T) {

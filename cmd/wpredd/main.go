@@ -14,7 +14,9 @@
 //
 //	POST /v1/predict        one prediction (see README for the request shape)
 //	POST /v1/predict/batch  micro-batched predictions, 429 when the queue is full
-//	GET  /healthz           process liveness
+//	POST /v1/observe        feedback observations for streaming drift detection;
+//	                        confirmed non-cyclic drift refits the key in the background
+//	GET  /healthz           process liveness, with snapshot and drift status
 //	GET  /readyz            503 until warmup completes, 200 after
 //
 // Shutdown: SIGTERM/SIGINT flips /readyz to 503 and drains in-flight
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"wpred"
+	"wpred/internal/drift"
 	"wpred/internal/obs"
 	"wpred/internal/serve"
 	"wpred/internal/telemetry"
@@ -72,6 +75,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		indexThresh  = fs.Int("index-threshold", 0, "route nearest-reference lookups through the VP-tree index once a same-SKU reference set reaches this size (0 = pipeline default 256, negative disables indexing)")
 		indexK       = fs.Int("index-k", 0, "neighbors retrieved per indexed reference lookup (0 = pipeline default 32)")
 		indexTau     = fs.Float64("index-tau", 0, "approximate-mode pruning slack for non-metric distances (DTW); larger recalls more, 0 prunes hardest")
+		driftWindow  = fs.Int("drift-window", 0, "observation window per key for /v1/observe drift detection (0 = default 128)")
+		driftHazard  = fs.Float64("drift-hazard", 0, "prior regime-change probability per observation for the drift detector (0 = default 1/100)")
+		driftSeason  = fs.Int("drift-season", 0, "seasonal period in observations for cyclic-drift classification (0 = default 24, negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to finish")
 		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus metrics (/metrics) and pprof profiles (/debug/pprof/) on this address, e.g. :9090")
 		traceOut     = fs.String("trace-out", "", "write stage-tracing spans as JSON to this file on exit")
@@ -122,6 +128,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		IndexThreshold: *indexThresh,
 		IndexK:         *indexK,
 		IndexTau:       *indexTau,
+		Drift: drift.Config{
+			Window: *driftWindow,
+			Hazard: *driftHazard,
+			Season: *driftSeason,
+		},
 	})
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wpred/internal/telemetry"
+)
+
+// Demand drift scenarios. The forecast experiment and the serving-layer
+// drift tests replay these seeded demand series as the "observed" side of
+// a feedback stream whose predictions assume the initial regime, so every
+// consumer agrees on where the true regime changes are.
+const (
+	DriftNone    = "none"    // stationary demand, no regime change
+	DriftAbrupt  = "abrupt"  // one step change to a higher level
+	DriftGradual = "gradual" // one ramp to a higher level
+	DriftCyclic  = "cyclic"  // time-of-day periodicity, no regime change
+)
+
+// DriftSeason is the period, in ticks, of the cyclic scenario's
+// time-of-day component (the study's three executions per day motivate a
+// 24-tick day).
+const DriftSeason = 24
+
+// DemandScenario is one seeded drift scenario: the observed demand per
+// tick, the level the pre-drift regime centers on (what a model fitted
+// before the change would predict), and the ground-truth onset ticks.
+type DemandScenario struct {
+	Kind  string
+	Level float64
+	// Series is the observed demand, one value per tick.
+	Series []float64
+	// Changes lists the ticks at which a new regime truly begins; empty
+	// for the stationary and cyclic scenarios (a forecastable cycle is
+	// not a regime change, which is exactly what the false-positive
+	// accounting of the forecast experiment measures).
+	Changes []int
+}
+
+// DriftKinds lists the scenario kinds in lexical order.
+func DriftKinds() []string {
+	kinds := []string{DriftNone, DriftAbrupt, DriftGradual, DriftCyclic}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// GenerateDemand builds the named scenario over the given horizon. The
+// series is a pure function of (kind, ticks, src): the same seeded source
+// always reproduces it, which the golden-file and e2e determinism tests
+// rely on. The step and ramp land at fixed fractions of the horizon so a
+// quick run exercises the same shape as a full one.
+func GenerateDemand(kind string, ticks int, src *telemetry.Source) (*DemandScenario, error) {
+	if ticks < 2 {
+		return nil, fmt.Errorf("bench: drift scenario needs >= 2 ticks, got %d", ticks)
+	}
+	const (
+		level = 100.0 // pre-drift demand level
+		high  = 170.0 // post-drift demand level
+		noise = 2.0   // per-tick observation noise (σ)
+	)
+	s := &DemandScenario{Kind: kind, Level: level, Series: make([]float64, ticks)}
+	onset := ticks * 2 / 5
+	rampLen := ticks / 4
+	if rampLen < 1 {
+		rampLen = 1
+	}
+	var shape func(t int) float64
+	switch kind {
+	case DriftNone:
+		shape = func(int) float64 { return level }
+	case DriftAbrupt:
+		s.Changes = []int{onset}
+		shape = func(t int) float64 {
+			if t >= onset {
+				return high
+			}
+			return level
+		}
+	case DriftGradual:
+		s.Changes = []int{onset}
+		shape = func(t int) float64 {
+			switch {
+			case t < onset:
+				return level
+			case t < onset+rampLen:
+				return level + (high-level)*float64(t-onset)/float64(rampLen)
+			default:
+				return high
+			}
+		}
+	case DriftCyclic:
+		shape = func(t int) float64 {
+			return level + 40*math.Sin(2*math.Pi*float64(t)/DriftSeason)
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown drift scenario %q (have %v)", kind, DriftKinds())
+	}
+	for t := range s.Series {
+		s.Series[t] = shape(t) + src.Normal(0, noise)
+	}
+	return s, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"wpred/internal/telemetry"
+)
+
+// TestGenerateDemandDeterministic pins the seeded-reproducibility
+// contract every drift consumer relies on: same kind, horizon, and seed
+// ⇒ identical series and change ticks.
+func TestGenerateDemandDeterministic(t *testing.T) {
+	for _, kind := range DriftKinds() {
+		a, err := GenerateDemand(kind, 360, telemetry.NewSource(7).Child("scen"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateDemand(kind, 360, telemetry.NewSource(7).Child("scen"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different scenarios", kind)
+		}
+		c, err := GenerateDemand(kind, 360, telemetry.NewSource(8).Child("scen"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Series, c.Series) {
+			t.Errorf("%s: different seeds produced identical series", kind)
+		}
+	}
+}
+
+// TestGenerateDemandShapes checks the ground truth per kind: onset count
+// and placement, and that post-change demand actually departs from the
+// pre-drift level.
+func TestGenerateDemandShapes(t *testing.T) {
+	const ticks = 360
+	src := telemetry.NewSource(3)
+	for _, kind := range DriftKinds() {
+		s, err := GenerateDemand(kind, ticks, src.Child(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Series) != ticks {
+			t.Fatalf("%s: %d ticks, want %d", kind, len(s.Series), ticks)
+		}
+		switch kind {
+		case DriftNone, DriftCyclic:
+			if len(s.Changes) != 0 {
+				t.Errorf("%s: unexpected change ticks %v", kind, s.Changes)
+			}
+		case DriftAbrupt, DriftGradual:
+			if len(s.Changes) != 1 {
+				t.Fatalf("%s: change ticks %v, want exactly 1", kind, s.Changes)
+			}
+			at := s.Changes[0]
+			if at <= 0 || at >= ticks {
+				t.Fatalf("%s: change tick %d outside (0,%d)", kind, at, ticks)
+			}
+			tail := mean(s.Series[ticks-ticks/10:])
+			head := mean(s.Series[:at])
+			if tail-head < 30 {
+				t.Errorf("%s: post-change level %.1f not well above pre-change %.1f", kind, tail, head)
+			}
+		}
+	}
+	if _, err := GenerateDemand("sideways", ticks, src.Child("bad")); err == nil {
+		t.Error("unknown scenario kind accepted")
+	}
+	if _, err := GenerateDemand(DriftNone, 1, src.Child("short")); err == nil {
+		t.Error("degenerate horizon accepted")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

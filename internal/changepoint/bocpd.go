@@ -2,7 +2,9 @@
 // (Adams & MacKay 2007) for univariate series with unknown mean and
 // variance, using a Normal-Gamma conjugate prior and Student-t predictive
 // distribution. Phase-FP uses it to segment resource time series into
-// statistically homogeneous phases (§5.1.1).
+// statistically homogeneous phases (§5.1.1), and the streaming drift layer
+// (internal/drift) runs the incremental Online form over live residual
+// streams.
 package changepoint
 
 import "math"
@@ -66,10 +68,141 @@ func lgamma(x float64) float64 {
 	return v
 }
 
+// suff holds the per-run-length Normal-Gamma sufficient statistics.
+type suff struct {
+	kappa, alpha, beta, mu float64
+}
+
+// Online is the incremental form of the detector: feed observations one at
+// a time with Step and read back run-length collapses as they happen.
+// Unlike Detect, which estimates its prior scale from the whole series, an
+// Online detector fixes its hyperparameters up front (zero-valued
+// structural fields — Hazard, Kappa0, Alpha0, MinSegment, Truncate — still
+// take their defaults; a zero Beta0 falls back to 1 and a zero Mu0 anchors
+// the prior mean at 0, which suits centered streams such as residuals).
+//
+// Step is deterministic: the same observation sequence always yields the
+// same emissions, which the drift layer's replay-based snapshot restore
+// relies on.
+type Online struct {
+	cfg   Detector
+	prior suff
+
+	logR  []float64
+	stats []suff
+
+	t       int
+	lastMAP int
+	lastCP  int
+
+	logH, log1mH float64
+}
+
+// NewOnline returns an incremental detector with the given configuration
+// (defaults applied as described on Online).
+func NewOnline(cfg Detector) *Online {
+	cfg = cfg.withDefaults(cfg.Mu0, cfg.Beta0)
+	prior := suff{kappa: cfg.Kappa0, alpha: cfg.Alpha0, beta: cfg.Beta0, mu: cfg.Mu0}
+	return &Online{
+		cfg:    cfg,
+		prior:  prior,
+		logR:   []float64{0},
+		stats:  []suff{prior},
+		logH:   math.Log(cfg.Hazard),
+		log1mH: math.Log(1 - cfg.Hazard),
+	}
+}
+
+// Steps returns how many observations the detector has consumed.
+func (o *Online) Steps() int { return o.t }
+
+// RunLength returns the current MAP run length (0 before any Step).
+func (o *Online) RunLength() int { return o.lastMAP }
+
+// Step consumes one observation and reports whether the MAP run length
+// collapsed on it: cp is the estimated index at which the new phase begins
+// (in observation coordinates: 0 is the first Step), emitted is true when
+// a change point fired. Emissions are rate-limited by MinSegment ticks,
+// matching Detect's in-loop suppression; Detect applies one further
+// de-duplication pass over the emitted indices (see Dedup).
+func (o *Online) Step(x float64) (cp int, emitted bool) {
+	t := o.t
+	k := len(o.logR)
+	// Predictive probability under each run length.
+	pred := make([]float64, k)
+	for r := 0; r < k; r++ {
+		s := o.stats[r]
+		nu := 2 * s.alpha
+		sigma2 := s.beta * (s.kappa + 1) / (s.alpha * s.kappa)
+		pred[r] = studentLogPDF(x, nu, s.mu, sigma2)
+	}
+	// Growth and change-point probabilities.
+	newLogR := make([]float64, k+1)
+	cpMass := math.Inf(-1)
+	for r := 0; r < k; r++ {
+		newLogR[r+1] = o.logR[r] + pred[r] + o.log1mH
+		cpMass = logAdd(cpMass, o.logR[r]+pred[r]+o.logH)
+	}
+	newLogR[0] = cpMass
+	// Truncate the run-length support by folding overflow mass into the
+	// last retained run, which becomes an absorbing long-run state.
+	// Dropping the tail outright (the previous behavior) discards exactly
+	// the mass a long stationary stream concentrates there, which fired a
+	// spurious collapse at tick Truncate on constant series.
+	if len(newLogR) > o.cfg.Truncate+1 {
+		last := o.cfg.Truncate
+		newLogR[last] = logAdd(newLogR[last], newLogR[last+1])
+		newLogR = newLogR[:last+1]
+		k = last
+	}
+	// Normalize.
+	total := math.Inf(-1)
+	for _, lv := range newLogR {
+		total = logAdd(total, lv)
+	}
+	for i := range newLogR {
+		newLogR[i] -= total
+	}
+	// Update sufficient statistics. grow(r) is run r extended by x; the
+	// absorbing last slot, when truncation folded runs together, carries
+	// the longest run's statistics.
+	grow := func(s suff) suff {
+		return suff{
+			kappa: s.kappa + 1,
+			alpha: s.alpha + 0.5,
+			beta:  s.beta + s.kappa*(x-s.mu)*(x-s.mu)/(2*(s.kappa+1)),
+			mu:    (s.kappa*s.mu + x) / (s.kappa + 1),
+		}
+	}
+	newStats := make([]suff, k+1)
+	newStats[0] = o.prior
+	for r := 0; r < k; r++ {
+		newStats[r+1] = grow(o.stats[r])
+	}
+	if len(o.stats) > k {
+		newStats[k] = grow(o.stats[len(o.stats)-1])
+	}
+	o.logR, o.stats = newLogR, newStats
+
+	// MAP run length; a collapse signals a change point.
+	mapR := 0
+	for r := 1; r < len(o.logR); r++ {
+		if o.logR[r] > o.logR[mapR] {
+			mapR = r
+		}
+	}
+	defer func() { o.lastMAP = mapR; o.t = t + 1 }()
+	if mapR < o.lastMAP-2 && t-o.lastCP >= o.cfg.MinSegment {
+		o.lastCP = t
+		return t - mapR + 1, true
+	}
+	return 0, false
+}
+
 // Detect returns the change-point indices of the series (positions where a
-// new phase begins, excluding 0). The detector tracks the run-length
-// posterior online; a change point is emitted when the MAP run length
-// collapses.
+// new phase begins, excluding 0). It drives an Online detector whose prior
+// scale is estimated from the whole series, then de-duplicates the emitted
+// indices with Dedup.
 func (d Detector) Detect(series []float64) []int {
 	n := len(series)
 	if n < 2 {
@@ -89,88 +222,26 @@ func (d Detector) Detect(series []float64) []int {
 	spread /= float64(n)
 	cfg := d.withDefaults(series[0], spread/4+1e-9)
 
-	maxRun := cfg.Truncate
-	// Per-run-length sufficient statistics.
-	type suff struct {
-		kappa, alpha, beta, mu float64
-	}
-	prior := suff{kappa: cfg.Kappa0, alpha: cfg.Alpha0, beta: cfg.Beta0, mu: cfg.Mu0}
-
-	// logR[r] is the log run-length probability for run length r.
-	logR := []float64{0}
-	stats := []suff{prior}
-	lastMAP := 0
+	o := NewOnline(cfg)
 	var cps []int
-	lastCP := 0
-
-	logH := math.Log(cfg.Hazard)
-	log1mH := math.Log(1 - cfg.Hazard)
-
-	for t := 0; t < n; t++ {
-		x := series[t]
-		k := len(logR)
-		if k > maxRun {
-			k = maxRun
+	for _, x := range series {
+		if cp, ok := o.Step(x); ok {
+			cps = append(cps, cp)
 		}
-		// Predictive probability under each run length.
-		pred := make([]float64, k)
-		for r := 0; r < k; r++ {
-			s := stats[r]
-			nu := 2 * s.alpha
-			sigma2 := s.beta * (s.kappa + 1) / (s.alpha * s.kappa)
-			pred[r] = studentLogPDF(x, nu, s.mu, sigma2)
-		}
-		// Growth and change-point probabilities.
-		newLogR := make([]float64, k+1)
-		cp := math.Inf(-1)
-		for r := 0; r < k; r++ {
-			newLogR[r+1] = logR[r] + pred[r] + log1mH
-			cp = logAdd(cp, logR[r]+pred[r]+logH)
-		}
-		newLogR[0] = cp
-		// Normalize.
-		total := math.Inf(-1)
-		for _, lv := range newLogR {
-			total = logAdd(total, lv)
-		}
-		for i := range newLogR {
-			newLogR[i] -= total
-		}
-		// Update sufficient statistics.
-		newStats := make([]suff, k+1)
-		newStats[0] = prior
-		for r := 0; r < k; r++ {
-			s := stats[r]
-			newStats[r+1] = suff{
-				kappa: s.kappa + 1,
-				alpha: s.alpha + 0.5,
-				beta:  s.beta + s.kappa*(x-s.mu)*(x-s.mu)/(2*(s.kappa+1)),
-				mu:    (s.kappa*s.mu + x) / (s.kappa + 1),
-			}
-		}
-		logR, stats = newLogR, newStats
-
-		// MAP run length; a collapse signals a change point.
-		mapR := 0
-		for r := 1; r < len(logR); r++ {
-			if logR[r] > logR[mapR] {
-				mapR = r
-			}
-		}
-		if mapR < lastMAP-2 && t-lastCP >= cfg.MinSegment {
-			cps = append(cps, t-mapR+1)
-			lastCP = t
-		}
-		lastMAP = mapR
 	}
-	// De-duplicate and clamp.
+	return Dedup(cps, n, cfg.MinSegment)
+}
+
+// Dedup clamps raw change-point emissions to (0, n) and drops points
+// closer than minSegment to their predecessor, in place.
+func Dedup(cps []int, n, minSegment int) []int {
 	out := cps[:0]
-	prev := -cfg.MinSegment
+	prev := -minSegment
 	for _, c := range cps {
 		if c <= 0 || c >= n {
 			continue
 		}
-		if c-prev >= cfg.MinSegment {
+		if c-prev >= minSegment {
 			out = append(out, c)
 			prev = c
 		}

@@ -1,0 +1,166 @@
+package changepoint
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestOnlineMatchesDetect drives an Online detector with the exact
+// configuration Detect derives and checks that the raw emissions, after
+// Dedup, reproduce Detect's output on a mix of shifted and stationary
+// series. Detect is implemented on top of Online, so this pins the
+// equivalence against accidental divergence in either path.
+func TestOnlineMatchesDetect(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		series := shifted(40+int(seed), 60, 5, 5+float64(seed*7), 1, seed)
+		want := Detector{}.Detect(series)
+
+		// Re-derive the same data-dependent prior Detect builds.
+		n := len(series)
+		mean := 0.0
+		for _, v := range series {
+			mean += v
+		}
+		mean /= float64(n)
+		spread := 0.0
+		for _, v := range series {
+			diff := v - mean
+			spread += diff * diff
+		}
+		spread /= float64(n)
+		cfg := Detector{}.withDefaults(series[0], spread/4+1e-9)
+
+		o := NewOnline(cfg)
+		var raw []int
+		for _, x := range series {
+			if cp, ok := o.Step(x); ok {
+				raw = append(raw, cp)
+			}
+		}
+		if o.Steps() != n {
+			t.Fatalf("seed %d: Steps() = %d, want %d", seed, o.Steps(), n)
+		}
+		got := Dedup(raw, n, cfg.MinSegment)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: online %v != Detect %v", seed, got, want)
+		}
+	}
+}
+
+// TestPropertyKnownShiftBoundedDelay sweeps seeds and shift magnitudes:
+// a large, well-separated mean shift must always be detected, and the
+// reported change point must land within a bounded delay of the truth.
+func TestPropertyKnownShiftBoundedDelay(t *testing.T) {
+	const tol = 10 // ticks of allowed localization error
+	for seed := uint64(1); seed <= 20; seed++ {
+		shift := 10 + float64(seed%5)*8
+		series := shifted(70, 70, 5, 5+shift, 1, seed)
+		cps := Detector{}.Detect(series)
+		if len(cps) == 0 {
+			t.Fatalf("seed %d: %gσ shift at 70 undetected", seed, shift)
+		}
+		found := false
+		for _, c := range cps {
+			if c >= 70-tol && c <= 70+tol {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seed %d: change points %v all farther than %d ticks from the true shift at 70", seed, cps, tol)
+		}
+	}
+}
+
+// TestPropertyConstantSeriesQuiet asserts a perfectly constant series
+// yields no change points at any of several lengths and levels.
+func TestPropertyConstantSeriesQuiet(t *testing.T) {
+	for _, n := range []int{2, 10, 100, 500} {
+		for _, level := range []float64{0, 1, -3.5, 1e6} {
+			series := make([]float64, n)
+			for i := range series {
+				series[i] = level
+			}
+			if cps := (Detector{}).Detect(series); len(cps) != 0 {
+				t.Errorf("constant series (n=%d, level=%g) produced change points %v", n, level, cps)
+			}
+		}
+	}
+}
+
+// TestPropertySegmentsPartition checks that Segments always produces an
+// exact partition of [0, n): contiguous, ordered, covering, and
+// non-empty — including for unsorted, duplicated, and out-of-range
+// change-point inputs.
+func TestPropertySegmentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	check := func(cps []int, n int) {
+		t.Helper()
+		segs := Segments(cps, n)
+		if n <= 0 {
+			if segs != nil {
+				t.Fatalf("Segments(%v, %d) = %v, want nil", cps, n, segs)
+			}
+			return
+		}
+		if len(segs) == 0 {
+			t.Fatalf("Segments(%v, %d) produced no segments", cps, n)
+		}
+		if segs[0][0] != 0 {
+			t.Fatalf("Segments(%v, %d): first segment %v does not start at 0", cps, n, segs[0])
+		}
+		if segs[len(segs)-1][1] != n {
+			t.Fatalf("Segments(%v, %d): last segment %v does not end at n", cps, n, segs[len(segs)-1])
+		}
+		for i, s := range segs {
+			if s[0] >= s[1] {
+				t.Fatalf("Segments(%v, %d): empty or inverted segment %v", cps, n, s)
+			}
+			if i > 0 && segs[i-1][1] != s[0] {
+				t.Fatalf("Segments(%v, %d): gap between %v and %v", cps, n, segs[i-1], s)
+			}
+		}
+	}
+	check(nil, 0)
+	check(nil, 1)
+	check([]int{3}, -1)
+	check(nil, 10)
+	check([]int{5}, 10)
+	check([]int{-2, 0, 5, 5, 9, 10, 99}, 10)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(50)
+		cps := make([]int, rng.IntN(8))
+		for i := range cps {
+			cps[i] = rng.IntN(n+4) - 2
+		}
+		check(cps, n)
+	}
+	// Detect's own output must always partition cleanly too.
+	series := shifted(50, 50, 0, 25, 1, 9)
+	check(Detector{}.Detect(series), len(series))
+}
+
+// TestDetectDeterministicAcrossRuns replays the same series many times —
+// concurrently, so the race detector also sweeps the detector — and
+// requires identical change-point indices on every run.
+func TestDetectDeterministicAcrossRuns(t *testing.T) {
+	series := shifted(80, 80, 3, 40, 2, 21)
+	want := Detector{}.Detect(series)
+	const runs = 16
+	got := make([][]int, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = Detector{}.Detect(series)
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if !reflect.DeepEqual(g, want) {
+			t.Fatalf("run %d produced %v, first run produced %v", i, g, want)
+		}
+	}
+}

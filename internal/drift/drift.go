@@ -1,0 +1,461 @@
+// Package drift is the streaming drift layer: it ingests per-key telemetry
+// observations incrementally (ring-buffered windows), runs online BOCPD
+// (internal/changepoint) over the relative-residual stream — observed vs
+// predicted resource usage — classifies confirmed regime changes as
+// abrupt, gradual, or cyclic against a seasonal-naive baseline, and emits
+// deterministic, seeded near-future demand forecasts with uncertainty
+// bands.
+//
+// The serving tier (internal/serve) feeds a Tracker from its /v1/observe
+// endpoint and reacts to confirmed events by invalidating and refitting
+// the affected model-registry keys; the forecast experiment
+// (internal/experiments) sweeps the same Monitor over synthetic drift
+// scenarios. Everything is a pure function of the observation sequence and
+// the configuration — no wall clock, no global randomness — so the whole
+// layer replays deterministically, which both the snapshot restore path
+// and the e2e tests rely on. See "Drift & forecasting" in DESIGN.md.
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wpred/internal/changepoint"
+	"wpred/internal/telemetry"
+)
+
+// Kind classifies a confirmed regime change.
+type Kind string
+
+const (
+	// Abrupt marks a step change: the post-change level is reached within
+	// a few ticks of the onset.
+	Abrupt Kind = "abrupt"
+	// Gradual marks a ramp: the level is still moving toward the new
+	// regime when the change is confirmed.
+	Gradual Kind = "gradual"
+	// Cyclic marks a shift that a seasonal-naive baseline explains: the
+	// stream is periodic and the "change" tracks the season, not a new
+	// regime.
+	Cyclic Kind = "cyclic"
+)
+
+// Config parameterizes a Monitor. The zero value of every field selects a
+// production-safe default.
+type Config struct {
+	// Window is the ring-buffer capacity in observations (default 128).
+	// It bounds memory per key, the classification context, and the
+	// forecast fit; snapshots persist exactly this window.
+	Window int
+	// Hazard is the BOCPD change-point hazard (default 1/100: regimes of
+	// ~100 observations expected a priori).
+	Hazard float64
+	// MinSegment suppresses change points closer than this many
+	// observations (default 8).
+	MinSegment int
+	// Cooldown suppresses further events for this many observations after
+	// a confirmed one (default 2×MinSegment), so one regime change
+	// triggers one invalidation even while refits are in flight.
+	Cooldown int
+	// Season is the seasonal period in observations for the cyclic
+	// classification and the seasonal forecast component (default 24, the
+	// time-of-day period of the simulated suites; 0 disables seasonality).
+	Season int
+	// Seed drives the bootstrap that widens forecast uncertainty bands.
+	// The same seed and window always produce the same bands.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 128
+	}
+	if c.Hazard == 0 {
+		c.Hazard = 1.0 / 100
+	}
+	if c.MinSegment == 0 {
+		c.MinSegment = 8
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2 * c.MinSegment
+	}
+	if c.Season == 0 {
+		c.Season = 24
+	} else if c.Season < 0 {
+		c.Season = 0
+	}
+	return c
+}
+
+// Observation is one feedback sample: the resource usage a key's model
+// predicted and what was actually observed, at a caller-supplied logical
+// tick. Ticks only label events; detection runs on observation order.
+type Observation struct {
+	Tick      int64   `json:"tick"`
+	Observed  float64 `json:"observed"`
+	Predicted float64 `json:"predicted"`
+}
+
+// Event is one confirmed regime change.
+type Event struct {
+	// Tick is the logical tick of the observation that confirmed the
+	// change; OnsetIndex is the estimated first observation of the new
+	// regime (stream coordinates: 0 is the monitor's first observation).
+	Tick       int64
+	OnsetIndex int
+	// DelayObs is the confirmation delay in observations past the onset.
+	DelayObs int
+	// Kind classifies the change (abrupt, gradual, cyclic).
+	Kind Kind
+	// PreMean and PostMean are the mean relative residuals on either side
+	// of the onset within the retained window.
+	PreMean, PostMean float64
+}
+
+// Monitor tracks one key's residual stream. Not safe for concurrent use;
+// Tracker adds the locking for the multi-key serving path.
+type Monitor struct {
+	cfg Config
+
+	// ring is the retained observation window; next indexes the slot the
+	// next observation lands in, n counts all observations ever seen.
+	ring []Observation
+	next int
+	n    int
+
+	online   *changepoint.Online
+	lastCP   int // onset index of the last confirmed event
+	eventObs int // stream index at which the last event confirmed
+	pending  int // onset of a collapse awaiting seasonal context (-1 none)
+	events   int
+	sup      int // events suppressed by cooldown
+}
+
+// NewMonitor returns a monitor with defaults applied.
+func NewMonitor(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:      cfg,
+		ring:     make([]Observation, 0, cfg.Window),
+		online:   newOnline(cfg),
+		lastCP:   -cfg.Window,
+		eventObs: -cfg.Cooldown - 1,
+		pending:  -1,
+	}
+}
+
+// newOnline builds the residual detector: relative residuals are centered
+// near 0 with spread well under 1 on a healthy stream, so a unit-scale
+// prior anchored at 0 is appropriate without seeing data first.
+func newOnline(cfg Config) *changepoint.Online {
+	return changepoint.NewOnline(changepoint.Detector{
+		Hazard:     cfg.Hazard,
+		MinSegment: cfg.MinSegment,
+		Beta0:      0.25,
+		Truncate:   4 * cfg.Window,
+	})
+}
+
+// residual is the detector's input: the relative prediction error, bounded
+// away from division blow-ups on near-zero predictions.
+func residual(o Observation) float64 {
+	denom := math.Abs(o.Predicted)
+	if denom < 1e-9 {
+		denom = 1e-9
+	}
+	return (o.Observed - o.Predicted) / denom
+}
+
+// Count returns how many observations the monitor has consumed.
+func (m *Monitor) Count() int { return m.n }
+
+// Events returns how many regime changes have been confirmed.
+func (m *Monitor) Events() int { return m.events }
+
+// Suppressed returns how many detector emissions the cooldown swallowed.
+func (m *Monitor) Suppressed() int { return m.sup }
+
+// Window returns the retained observations, oldest first.
+func (m *Monitor) Window() []Observation {
+	out := make([]Observation, 0, len(m.ring))
+	if m.n >= m.cfg.Window {
+		out = append(out, m.ring[m.next:]...)
+	}
+	return append(out, m.ring[:m.next]...)
+}
+
+// Observe consumes one observation and reports a confirmed regime change,
+// if this observation confirmed one. A collapse that confirms before the
+// window holds enough observations to rule cyclicity in or out (Season+8)
+// is held pending and emitted — with its original onset — once that
+// context accrues, so an early seasonal swing is recognized as cyclic
+// instead of acted on blindly, and an early genuine shift is still
+// reported rather than lost.
+func (m *Monitor) Observe(o Observation) (Event, bool) {
+	if !finite(o.Observed) || !finite(o.Predicted) {
+		return Event{}, false
+	}
+	idx := m.n
+	if len(m.ring) < m.cfg.Window {
+		m.ring = append(m.ring, o)
+	} else {
+		m.ring[m.next] = o
+	}
+	m.next = (m.next + 1) % m.cfg.Window
+	m.n++
+
+	cp, emitted := m.online.Step(residual(o))
+	if emitted && cp > 0 {
+		if cp-m.lastCP < m.cfg.MinSegment || idx-m.eventObs <= m.cfg.Cooldown {
+			m.sup++
+		} else if m.contextReady() {
+			m.lastCP = cp
+			return m.emit(o.Tick, idx, cp), true
+		} else if m.pending < 0 {
+			m.lastCP = cp
+			m.pending = cp
+		}
+	}
+	if m.pending >= 0 && m.contextReady() {
+		cp := m.pending
+		m.pending = -1
+		return m.emit(o.Tick, idx, cp), true
+	}
+	return Event{}, false
+}
+
+// contextReady reports whether the window can support the cyclic test (a
+// window too small to ever hold a season counts as ready when full).
+func (m *Monitor) contextReady() bool {
+	if m.cfg.Season == 0 {
+		return true
+	}
+	need := m.cfg.Season + 8
+	if need > m.cfg.Window {
+		need = m.cfg.Window
+	}
+	return len(m.ring) >= need
+}
+
+// emit confirms the regime change with onset cp at observation idx.
+func (m *Monitor) emit(tick int64, idx, cp int) Event {
+	m.eventObs = idx
+	m.events++
+	ev := Event{
+		Tick:       tick,
+		OnsetIndex: cp,
+		DelayObs:   idx - cp + 1,
+		Kind:       m.classify(cp),
+	}
+	ev.PreMean, ev.PostMean = m.sideMeans(cp)
+	return ev
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// windowResiduals returns the retained relative residuals, oldest first,
+// plus the stream index of the first retained observation.
+func (m *Monitor) windowResiduals() (res []float64, first int) {
+	w := m.Window()
+	res = make([]float64, len(w))
+	for i, o := range w {
+		res[i] = residual(o)
+	}
+	return res, m.n - len(w)
+}
+
+// sideMeans splits the retained residuals at stream index cp and returns
+// the mean on each side (sides that fell out of the window are empty and
+// report 0).
+func (m *Monitor) sideMeans(cp int) (pre, post float64) {
+	res, first := m.windowResiduals()
+	split := cp - first
+	if split < 0 {
+		split = 0
+	}
+	if split > len(res) {
+		split = len(res)
+	}
+	return mean(res[:split]), mean(res[split:])
+}
+
+// classify types a confirmed change at stream index cp:
+//
+//   - cyclic when a seasonal-naive baseline explains the stream better
+//     than persistence (the residual stream is periodic, so the apparent
+//     shift tracks the season);
+//   - abrupt when the post-onset segment sits at a flat new level (a step
+//     change reaches its level immediately);
+//   - gradual when the post-onset segment is still rising or falling
+//     toward the new regime at confirmation (a ramp).
+func (m *Monitor) classify(cp int) Kind {
+	// The cyclic test runs on the observed demand, not the residual: a
+	// workload's periodicity is a property of the stream itself, whereas
+	// the residual carries step discontinuities every time the serving
+	// tier swaps models, which would let one mistaken refit poison every
+	// later classification.
+	if s := m.cfg.Season; s > 0 {
+		w := m.Window()
+		if len(w) >= s+8 {
+			var seasonal, persistence float64
+			for i := s; i < len(w); i++ {
+				seasonal += math.Abs(w[i].Observed - w[i-s].Observed)
+				persistence += math.Abs(w[i].Observed - w[i-1].Observed)
+			}
+			if seasonal < 0.5*persistence {
+				return Cyclic
+			}
+		}
+	}
+	res, first := m.windowResiduals()
+	split := cp - first
+	if split < 1 || split >= len(res) {
+		return Abrupt
+	}
+	post := res[split:]
+	const k = 3
+	if len(post) < 2*k {
+		return Abrupt
+	}
+	gap := mean(post) - mean(res[:split])
+	if math.Abs(gap) < 1e-12 {
+		return Abrupt
+	}
+	// A step change sits at its new level throughout the post segment;
+	// a ramp's tail is still moving away from its head relative to the
+	// overall pre/post gap.
+	slope := (mean(post[len(post)-k:]) - mean(post[:k])) / gap
+	if slope >= 0.25 {
+		return Gradual
+	}
+	return Abrupt
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Forecast is a near-future demand forecast: point values for horizons
+// 1..h plus a central uncertainty band per horizon.
+type Forecast struct {
+	// Values[i] is the forecast i+1 observations ahead, in observed units.
+	Values []float64
+	// Lo and Hi bound the central 95% band per horizon, from a seeded
+	// bootstrap over the window's one-step forecast errors.
+	Lo, Hi []float64
+}
+
+// Forecast extrapolates the observed stream h steps ahead: a trailing
+// level plus an OLS trend, with a centered seasonal profile when the
+// window covers at least two seasons. Bands come from a seeded bootstrap
+// of the baseline's in-window one-step errors, so the same window and
+// seed always produce the same forecast — byte for byte.
+func (m *Monitor) Forecast(h int) *Forecast {
+	if h < 1 {
+		h = 1
+	}
+	w := m.Window()
+	obs := make([]float64, len(w))
+	for i, o := range w {
+		obs[i] = o.Observed
+	}
+	f := &Forecast{
+		Values: make([]float64, h),
+		Lo:     make([]float64, h),
+		Hi:     make([]float64, h),
+	}
+	if len(obs) == 0 {
+		return f
+	}
+
+	// Seasonal profile: mean per phase, centered, when two full seasons
+	// are retained.
+	season := m.cfg.Season
+	var seas []float64
+	if season > 0 && len(obs) >= 2*season {
+		seas = make([]float64, season)
+		counts := make([]int, season)
+		for i, v := range obs {
+			p := (len(obs) - i) % season // phase relative to the window end
+			seas[p] += v
+			counts[p]++
+		}
+		overall := mean(obs)
+		for p := range seas {
+			seas[p] = seas[p]/float64(counts[p]) - overall
+		}
+	}
+
+	// Deseasonalized level and trend over the trailing fit window.
+	fit := make([]float64, len(obs))
+	for i, v := range obs {
+		fit[i] = v
+		if seas != nil {
+			fit[i] -= seas[(len(obs)-i)%season]
+		}
+	}
+	k := 2 * m.cfg.MinSegment
+	if k > len(fit) {
+		k = len(fit)
+	}
+	tail := fit[len(fit)-k:]
+	level := mean(tail)
+	trend := 0.0
+	if k >= 2 {
+		// OLS slope over the tail with x = 0..k-1.
+		xm := float64(k-1) / 2
+		var num, den float64
+		for i, v := range tail {
+			dx := float64(i) - xm
+			num += dx * (v - level)
+			den += dx * dx
+		}
+		trend = num / den
+	}
+
+	// One-step baseline errors over the window feed the bootstrap.
+	errs := make([]float64, 0, len(fit))
+	for i := 1; i < len(fit); i++ {
+		errs = append(errs, fit[i]-fit[i-1])
+	}
+	if len(errs) == 0 {
+		errs = []float64{0}
+	}
+
+	src := telemetry.NewSource(m.cfg.Seed).Child(fmt.Sprintf("drift/forecast/%d", m.n))
+	const boot = 64
+	paths := make([]float64, boot)
+	for step := 1; step <= h; step++ {
+		v := level + trend*(float64(k-1)/2+float64(step))
+		if seas != nil {
+			v += seas[(season-step%season)%season]
+		}
+		f.Values[step-1] = v
+		for b := range paths {
+			paths[b] += errs[src.IntN(len(errs))]
+		}
+		lo, hi := centralBand(paths)
+		f.Lo[step-1] = v + lo
+		f.Hi[step-1] = v + hi
+	}
+	return f
+}
+
+// centralBand returns the empirical 2.5th and 97.5th percentiles of xs.
+func centralBand(xs []float64) (lo, hi float64) {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.025), at(0.975)
+}

@@ -1,0 +1,76 @@
+package drift
+
+// State is the serializable form of a Monitor: the retained observation
+// window plus the counters a warm restart must not forget. It is small
+// (≤ Window observations), JSON-encodable, and round-trips through the
+// snapshot store alongside the model snapshots.
+//
+// Restore rebuilds the detector by replaying the window's residuals
+// through a fresh online BOCPD instance. The replayed detector conditions
+// on the retained window rather than the full pre-restart history, so its
+// posterior is not bit-identical to an uninterrupted monitor's — but the
+// restore itself is a pure function of (Config, State): every restart
+// from the same state behaves identically, which is the property the
+// serving tier's determinism tests pin.
+type State struct {
+	// Window holds the retained observations, oldest first.
+	Window []Observation `json:"window"`
+	// Events and Suppressed carry the lifetime counters across restarts.
+	Events     int `json:"events"`
+	Suppressed int `json:"suppressed"`
+	// SinceEvent is how many observations ago the last event confirmed
+	// (-1 when none has), so the post-restart cooldown picks up where
+	// the pre-restart one left off.
+	SinceEvent int `json:"since_event"`
+	// PendingCP is the onset of a collapse still awaiting seasonal
+	// context (-1 none). It can only be non-negative early in a
+	// monitor's life, while the window is still growing, so its stream
+	// coordinates survive the restore replay unchanged.
+	PendingCP int `json:"pending_cp"`
+}
+
+// State captures the monitor for persistence.
+func (m *Monitor) State() State {
+	since := -1
+	if m.events > 0 {
+		since = m.n - 1 - m.eventObs
+	}
+	return State{
+		Window:     m.Window(),
+		Events:     m.events,
+		Suppressed: m.sup,
+		SinceEvent: since,
+		PendingCP:  m.pending,
+	}
+}
+
+// Restore rebuilds a monitor from a persisted state, replaying the window
+// through a fresh detector without re-emitting the events that were
+// already acted on before the restart.
+func Restore(cfg Config, st State) *Monitor {
+	m := NewMonitor(cfg)
+	for _, o := range st.Window {
+		if !finite(o.Observed) || !finite(o.Predicted) {
+			continue
+		}
+		if len(m.ring) < m.cfg.Window {
+			m.ring = append(m.ring, o)
+		} else {
+			m.ring[m.next] = o
+		}
+		m.next = (m.next + 1) % m.cfg.Window
+		m.n++
+		if cp, ok := m.online.Step(residual(o)); ok && cp > 0 {
+			m.lastCP = cp
+		}
+	}
+	m.events = st.Events
+	m.sup = st.Suppressed
+	if st.SinceEvent >= 0 && st.Events > 0 {
+		m.eventObs = m.n - 1 - st.SinceEvent
+	}
+	if st.PendingCP >= 0 {
+		m.pending = st.PendingCP
+	}
+	return m
+}

@@ -132,8 +132,8 @@ func TestSuiteQuickSettings(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(ids))
 	}
 	for _, id := range ids {
 		if _, ok := RunnerByID(id); !ok {

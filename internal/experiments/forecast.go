@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"wpred/internal/bench"
+	"wpred/internal/drift"
+	"wpred/internal/telemetry"
+)
+
+// Forecast policies, in presentation order: never refit after warmup,
+// refit only on confirmed drift, refit on a fixed cadence regardless.
+var ForecastPolicies = []string{"serve-stale", "refit-on-drift", "refit-always"}
+
+// forecastRefitEvery is the refit-always cadence in ticks.
+const forecastRefitEvery = 30
+
+// forecastFitWindow is the trailing window a (re)fit averages over, and
+// the warmup length before predictions are scored.
+const forecastFitWindow = 24
+
+// ForecastCell is one (scenario, policy) outcome.
+type ForecastCell struct {
+	// NRMSE is the demand-prediction error over the post-warmup horizon,
+	// normalized by the observed mean.
+	NRMSE float64
+	// Fits counts model fits, including the warmup fit.
+	Fits int
+}
+
+// ForecastRow is one drift scenario's sweep across the three policies.
+type ForecastRow struct {
+	Scenario string
+	// Cells holds one outcome per entry of ForecastPolicies.
+	Cells []ForecastCell
+	// DetectDelay is the refit-on-drift policy's detection delay in ticks
+	// after the first true regime change (-1 when the scenario has none
+	// or the change went undetected).
+	DetectDelay int
+	// FalsePos counts refit-on-drift refits not explained by a true
+	// regime change (cyclic-classified events never refit, so a clean
+	// cyclic scenario should score 0 here).
+	FalsePos int
+}
+
+// ForecastResult is the drift-policy experiment: seeded demand scenarios
+// from internal/bench replayed against a trailing-mean demand model under
+// the three refit policies, scored on prediction error and fit cost.
+type ForecastResult struct {
+	Ticks int
+	Rows  []ForecastRow
+}
+
+// Forecast sweeps the drift scenarios (none, abrupt, gradual, cyclic)
+// through the serving policies. The demand model is deliberately simple —
+// the trailing-window mean at fit time — so the table isolates the value
+// of *when* to refit from the question of what model is fitted: a stale
+// model's error is entirely regime drift, and a refit's gain is entirely
+// the drift layer's timing. Detection runs the same drift.Monitor the
+// serving tier uses, over the same relative-residual stream.
+func (s *Suite) Forecast() (*ForecastResult, error) {
+	ticks := s.Ticks()
+	res := &ForecastResult{Ticks: ticks}
+	for _, kind := range []string{bench.DriftNone, bench.DriftAbrupt, bench.DriftGradual, bench.DriftCyclic} {
+		scen, err := bench.GenerateDemand(kind, ticks, telemetry.NewSource(s.Seed).Child("forecast/"+kind))
+		if err != nil {
+			return nil, err
+		}
+		row := ForecastRow{Scenario: kind, DetectDelay: -1}
+		for _, policy := range ForecastPolicies {
+			cell, delay, fps := s.forecastPolicy(scen, policy)
+			row.Cells = append(row.Cells, cell)
+			if policy == "refit-on-drift" {
+				row.DetectDelay = delay
+				row.FalsePos = fps
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// forecastPolicy replays one scenario under one refit policy and returns
+// the cell plus the drift policy's detection delay and false positives.
+func (s *Suite) forecastPolicy(scen *bench.DemandScenario, policy string) (cell ForecastCell, delay int, falsePos int) {
+	series := scen.Series
+	fit := func(lo, hi int) float64 { // mean demand model over series[lo:hi)
+		if lo < hi-forecastFitWindow {
+			lo = hi - forecastFitWindow
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		sum := 0.0
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		return sum / float64(hi-lo)
+	}
+
+	var mon *drift.Monitor
+	if policy == "refit-on-drift" {
+		mon = drift.NewMonitor(drift.Config{Seed: s.Seed, Season: bench.DriftSeason})
+	}
+
+	model := fit(0, forecastFitWindow)
+	cell.Fits = 1
+	delay = -1
+	var sqErr, obsSum float64
+	n := 0
+	for t := forecastFitWindow; t < len(series); t++ {
+		pred := model
+		obs := series[t]
+		sqErr += (pred - obs) * (pred - obs)
+		obsSum += obs
+		n++
+
+		switch policy {
+		case "serve-stale":
+			// Never refits: the warmup model serves the whole horizon.
+		case "refit-always":
+			if t > forecastFitWindow && (t-forecastFitWindow)%forecastRefitEvery == 0 {
+				model = fit(t-forecastFitWindow, t)
+				cell.Fits++
+			}
+		case "refit-on-drift":
+			ev, ok := mon.Observe(drift.Observation{Tick: int64(t), Observed: obs, Predicted: pred})
+			if !ok || ev.Kind == drift.Cyclic {
+				break // no confirmed regime change: keep serving
+			}
+			// Refit on the new regime only: the detector localized the
+			// onset, so the fit window starts there (monitor observation
+			// 0 is tick forecastFitWindow) and includes the current tick.
+			model = fit(forecastFitWindow+ev.OnsetIndex, t+1)
+			cell.Fits++
+			if explained, d := explainRefit(scen.Changes, t); explained {
+				if delay < 0 {
+					delay = d
+				}
+			} else {
+				falsePos++
+			}
+		}
+	}
+	rmse := math.Sqrt(sqErr / float64(n))
+	cell.NRMSE = rmse / (obsSum / float64(n))
+	return cell, delay, falsePos
+}
+
+// explainRefit reports whether a refit at tick t is attributable to a true
+// regime change (the nearest preceding change tick), and its delay.
+func explainRefit(changes []int, t int) (bool, int) {
+	for i := len(changes) - 1; i >= 0; i-- {
+		if changes[i] <= t {
+			return true, t - changes[i]
+		}
+	}
+	return false, 0
+}
+
+// Table renders the policy sweep: one row per scenario, NRMSE and fit
+// count per policy, plus the drift policy's detection delay and false
+// positives.
+func (r *ForecastResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Forecast: drift-policy NRMSE over %d ticks (trailing-mean demand model)", r.Ticks),
+		Header: []string{"Scenario"},
+	}
+	for _, p := range ForecastPolicies {
+		t.Header = append(t.Header, p+" NRMSE", p+" fits")
+	}
+	t.Header = append(t.Header, "Detect delay", "False pos")
+	for _, row := range r.Rows {
+		cells := []string{row.Scenario}
+		for _, c := range row.Cells {
+			cells = append(cells, f3(c.NRMSE), fmt.Sprintf("%d", c.Fits))
+		}
+		d := "-"
+		if row.DetectDelay >= 0 {
+			d = fmt.Sprintf("%d", row.DetectDelay)
+		}
+		cells = append(cells, d, fmt.Sprintf("%d", row.FalsePos))
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -185,6 +185,13 @@ func Runners() []Runner {
 			}
 			return r.Table(), nil
 		})},
+		{"forecast", "drift refit policies: NRMSE, detection delay, fit cost", one(func(s *Suite) (*Table, error) {
+			r, err := s.Forecast()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})},
 	}
 }
 

@@ -90,6 +90,13 @@ type Profile struct {
 	// FaultRate is the per-model corruption severity for faulted payloads
 	// (default 0.2).
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// DriftAt, when positive, shifts the cold-key distribution mid-run:
+	// requests scheduled before DriftAt (as a fraction of the run) draw
+	// cold keys from the first half of the pool, requests after it from
+	// the second half — a workload-mix regime change at a known boundary.
+	// The shift is part of the schedule, so the digest still proves
+	// same-seed ⇒ same-traffic across it.
+	DriftAt float64 `json:"drift_at,omitempty"`
 
 	// WarmKey is the hot registry key (default Variance|L2,1|Regression,
 	// a cheap fit). The runner warms it before measuring unless SkipWarm.
@@ -135,6 +142,9 @@ func (p Profile) withDefaults() Profile {
 	if p.ColdKeys <= 0 {
 		p.ColdKeys = 4
 	}
+	if p.DriftAt > 0 && p.ColdKeys < 2 {
+		p.ColdKeys = 2 // the shift needs a non-empty pool on each side
+	}
 	if p.ColdKeys > len(coldKeyPool) {
 		p.ColdKeys = len(coldKeyPool)
 	}
@@ -165,6 +175,7 @@ func (p Profile) validate() error {
 		{"batch fraction", p.BatchFraction},
 		{"cold fraction", p.ColdFraction},
 		{"fault fraction", p.FaultFraction},
+		{"drift point", p.DriftAt},
 	} {
 		if f.v < 0 || f.v > 1 {
 			return fmt.Errorf("loadgen: %s %v outside [0,1]", f.name, f.v)
@@ -200,6 +211,9 @@ var coldKeyPool = []Key{
 //     a heavy batch/cold mix, deliberately driving 429 backpressure,
 //     registry eviction, and the batch-capacity (413) path.
 //   - chaos: saturation plus fault-injected payloads and 429 retries.
+//   - drift: the quick gate with a heavier cold mix whose key
+//     distribution shifts to a disjoint pool half at 40% of the run —
+//     the client-side twin of the serving tier's drift scenarios.
 func BuiltinProfile(name string) (Profile, bool) {
 	switch name {
 	case "quick":
@@ -224,6 +238,14 @@ func BuiltinProfile(name string) (Profile, bool) {
 			ColdFraction: 0.3, ColdKeys: 8,
 			Retry429: 2,
 		}, true
+	case "drift":
+		return Profile{
+			Name: "drift", Seed: 42, Mode: OpenLoop,
+			RPS: 40, Duration: 3 * time.Second,
+			BatchFraction: 0.2, BatchSize: 4,
+			ColdFraction: 0.3, ColdKeys: 8,
+			DriftAt: 0.4,
+		}, true
 	case "chaos":
 		return Profile{
 			Name: "chaos", Seed: 42, Mode: ClosedLoop,
@@ -238,4 +260,6 @@ func BuiltinProfile(name string) (Profile, bool) {
 }
 
 // BuiltinProfileNames lists the presets for CLI help and errors.
-func BuiltinProfileNames() []string { return []string{"quick", "steady", "saturation", "chaos"} }
+func BuiltinProfileNames() []string {
+	return []string{"quick", "steady", "saturation", "chaos", "drift"}
+}

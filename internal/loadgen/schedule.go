@@ -122,7 +122,20 @@ func BuildSchedule(p Profile) (*Schedule, error) {
 			r.kind, r.items, r.path = "batch", p.BatchSize, "/v1/predict/batch"
 		}
 		if rsrc.Float64() < p.ColdFraction {
-			r.key = coldKeyPool[rsrc.IntN(p.ColdKeys)]
+			// With a drift point set, the cold-key distribution shifts to a
+			// disjoint pool half at the boundary; either way exactly one
+			// IntN draw is consumed, so the per-request child sources stay
+			// aligned across profiles that differ only in DriftAt.
+			pool := coldKeyPool[:p.ColdKeys]
+			if p.DriftAt > 0 {
+				half := p.ColdKeys / 2
+				if i < int(p.DriftAt*float64(n)) {
+					pool = pool[:half]
+				} else {
+					pool = pool[half:]
+				}
+			}
+			r.key = pool[rsrc.IntN(len(pool))]
 		}
 		r.faulted = rsrc.Float64() < p.FaultFraction
 

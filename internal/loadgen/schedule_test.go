@@ -153,3 +153,70 @@ func TestBuiltinProfiles(t *testing.T) {
 		t.Fatal("unknown preset resolved")
 	}
 }
+
+// TestScheduleDriftShift pins the drift profile's mid-run regime change:
+// cold keys before the boundary come exclusively from the first pool
+// half, cold keys after it exclusively from the second, the two sides are
+// disjoint, and the schedule digest still proves same-seed ⇒ same-traffic
+// across the shift.
+func TestScheduleDriftShift(t *testing.T) {
+	p := Profile{
+		Name: "drift-shift", Seed: 11, Mode: OpenLoop,
+		RPS: 200, Duration: 2 * time.Second,
+		ColdFraction: 0.5, ColdKeys: 8,
+		DriftAt: 0.4,
+	}
+	a, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	b, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("same drift profile produced different schedule digests across the shift boundary")
+	}
+
+	half := p.ColdKeys / 2
+	pre, post := map[Key]bool{}, map[Key]bool{}
+	for _, k := range coldKeyPool[:half] {
+		pre[k] = true
+	}
+	for _, k := range coldKeyPool[half:p.ColdKeys] {
+		post[k] = true
+	}
+	boundary := int(p.DriftAt * float64(len(a.Requests)))
+	var preColds, postColds int
+	warm := (Profile{}.withDefaults()).WarmKey
+	for i, r := range a.Requests {
+		if r.key == warm {
+			continue
+		}
+		if i < boundary {
+			preColds++
+			if !pre[r.key] {
+				t.Fatalf("request %d (pre-shift) drew cold key %v from outside the first pool half", i, r.key)
+			}
+		} else {
+			postColds++
+			if !post[r.key] {
+				t.Fatalf("request %d (post-shift) drew cold key %v from outside the second pool half", i, r.key)
+			}
+		}
+	}
+	if preColds == 0 || postColds == 0 {
+		t.Fatalf("cold traffic missing on one side of the shift: %d pre, %d post", preColds, postColds)
+	}
+
+	// The shift itself must show up in the traffic: the same profile
+	// without a drift point yields a different digest.
+	p.DriftAt = 0
+	c, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("drift point did not change the offered traffic")
+	}
+}

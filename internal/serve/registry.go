@@ -29,6 +29,10 @@ var (
 	regFitSeconds = obs.GetHistogram("wpred_serve_registry_fit_seconds",
 		"Cold-miss pipeline training latency (the tail every waiter on the single-flight shares).",
 		obs.DefBuckets, nil)
+	regRefits = obs.GetCounter("wpred_serve_registry_refits_total",
+		"Background refits triggered by drift invalidation (one per coalesced invalidation burst).", nil)
+	regRefitErrs = obs.GetCounter("wpred_serve_registry_refit_errors_total",
+		"Background refits that failed; the previous model keeps serving.", nil)
 )
 
 // Key identifies one trained pipeline in the model registry: the
@@ -89,8 +93,11 @@ type Registry struct {
 	mu      sync.Mutex
 	entries map[Key]*regEntry
 	lru     *list.List // front = most recently used; values are *regEntry
+	// refitting coalesces concurrent drift invalidations per key: every
+	// Refit call while a flight is up joins it instead of training again.
+	refitting map[Key]*RefitFlight
 
-	fits, hits, misses, evictions, restores atomic.Uint64
+	fits, hits, misses, evictions, restores, refits, refitErrs atomic.Uint64
 }
 
 // NewRegistry returns a registry holding at most capacity trained
@@ -100,10 +107,11 @@ func NewRegistry(capacity int, train func(Key) (*core.Pipeline, error)) *Registr
 		capacity = 1
 	}
 	return &Registry{
-		train:   train,
-		cap:     capacity,
-		entries: map[Key]*regEntry{},
-		lru:     list.New(),
+		train:     train,
+		cap:       capacity,
+		entries:   map[Key]*regEntry{},
+		lru:       list.New(),
+		refitting: map[Key]*RefitFlight{},
 	}
 }
 
@@ -120,6 +128,11 @@ type RegistryStats struct {
 	// Restores counts entries satisfied from snapshots (startup warm
 	// restores plus lazy per-key restores on cold misses).
 	Restores uint64
+	// Refits counts background drift-invalidation refits that ran (every
+	// coalesced invalidation burst counts once; failed refits included).
+	Refits uint64
+	// RefitErrors counts refits that failed, leaving the old model serving.
+	RefitErrors uint64
 	// Entries is the current resident count.
 	Entries int
 }
@@ -130,12 +143,14 @@ func (r *Registry) Stats() RegistryStats {
 	n := r.lru.Len()
 	r.mu.Unlock()
 	return RegistryStats{
-		Fits:      r.fits.Load(),
-		Hits:      r.hits.Load(),
-		Misses:    r.misses.Load(),
-		Evictions: r.evictions.Load(),
-		Restores:  r.restores.Load(),
-		Entries:   n,
+		Fits:        r.fits.Load(),
+		Hits:        r.hits.Load(),
+		Misses:      r.misses.Load(),
+		Evictions:   r.evictions.Load(),
+		Restores:    r.restores.Load(),
+		Refits:      r.refits.Load(),
+		RefitErrors: r.refitErrs.Load(),
+		Entries:     n,
 	}
 }
 
@@ -249,4 +264,79 @@ func (r *Registry) Get(key Key) (*core.Pipeline, error) {
 		r.mu.Unlock()
 	}
 	return e.p, e.err
+}
+
+// RefitFlight is one in-flight background refit. Every invalidation that
+// coalesced onto the flight shares the same completion signal and error.
+type RefitFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the refit completes and returns its error (nil when
+// the new model is serving).
+func (f *RefitFlight) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Refit retrains key in the background — the drift-invalidation path. It
+// is single-flight twice over: concurrent Refit calls for the same key
+// coalesce onto one flight, and the flight first waits out any in-flight
+// Get fit or lazy snapshot restore for the key before training, so an
+// invalidation landing mid-restore can never race a second fit of the
+// same key. Training bypasses the snapshot-restore hook — a refit exists
+// precisely because the persisted model is suspect — and the old entry
+// keeps serving until the new model is ready (and indefinitely when the
+// refit fails), so there is no cold-start cliff. The returned flight
+// resolves when the swap (or failure) has happened.
+func (r *Registry) Refit(key Key) *RefitFlight {
+	r.mu.Lock()
+	if f, ok := r.refitting[key]; ok {
+		r.mu.Unlock()
+		return f
+	}
+	f := &RefitFlight{done: make(chan struct{})}
+	r.refitting[key] = f
+	cur := r.entries[key]
+	r.mu.Unlock()
+
+	go func() {
+		if cur != nil {
+			<-cur.done // never train concurrently with the key's own flight
+		}
+		r.refits.Add(1)
+		regRefits.Inc()
+		t0 := time.Now()
+		p, err := r.train(key)
+		regFitSeconds.Observe(time.Since(t0).Seconds())
+
+		r.mu.Lock()
+		delete(r.refitting, key)
+		if err != nil {
+			r.refitErrs.Add(1)
+			regRefitErrs.Inc()
+		} else {
+			// Swap in a fresh, already-done entry. The old entry is never
+			// mutated: Get callers that already hold it finish against the
+			// stale-but-consistent model.
+			e := &regEntry{key: key, done: make(chan struct{}), p: p}
+			close(e.done)
+			if old, ok := r.entries[key]; ok {
+				e.elem = old.elem
+				e.elem.Value = e
+				r.entries[key] = e
+				r.lru.MoveToFront(e.elem)
+			} else {
+				e.elem = r.lru.PushFront(e)
+				r.entries[key] = e
+				r.evictOverflow()
+			}
+			regEntries.Set(float64(r.lru.Len()))
+		}
+		r.mu.Unlock()
+		f.err = err
+		close(f.done)
+	}()
+	return f
 }

@@ -225,3 +225,184 @@ func TestRegistryFailedFitNotCached(t *testing.T) {
 		t.Errorf("entries = %d, want 1 (only the successful fit cached)", st.Entries)
 	}
 }
+
+// TestRegistryRefitCoalescesAndSwaps pins the background-refit semantics:
+// concurrent Refit calls while a flight is up coalesce onto it, the old
+// model serves until the flight completes, and the swap installs the
+// freshly trained pipeline without counting as a fit.
+func TestRegistryRefitCoalescesAndSwaps(t *testing.T) {
+	gate := make(chan struct{})
+	var trains atomic.Int32
+	r := NewRegistry(4, func(k Key) (*core.Pipeline, error) {
+		if trains.Add(1) > 1 {
+			<-gate // refit trains block until released; the Get fit passes
+		}
+		return core.New(core.Config{}), nil
+	})
+	k := testKey(0)
+	old, err := r.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f1 := r.Refit(k)
+	f2 := r.Refit(k)
+	if f1 != f2 {
+		t.Error("concurrent Refit calls did not coalesce onto one flight")
+	}
+	// The swap has not happened: Get still serves the old model.
+	if p, _ := r.Get(k); p != old {
+		t.Error("Get returned a different pipeline while the refit was in flight")
+	}
+	close(gate)
+	if err := f1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == old {
+		t.Error("Get still returns the stale pipeline after the refit swapped")
+	}
+	st := r.Stats()
+	if st.Fits != 1 || st.Refits != 1 || st.RefitErrors != 0 {
+		t.Errorf("stats = fits %d / refits %d / refit errors %d, want 1 / 1 / 0",
+			st.Fits, st.Refits, st.RefitErrors)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (swap must replace, not duplicate)", st.Entries)
+	}
+}
+
+// TestRegistryRefitFailureServesStale asserts the no-cold-start-cliff
+// contract: a failed refit leaves the previous model serving indefinitely
+// and is visible only in the error counter.
+func TestRegistryRefitFailureServesStale(t *testing.T) {
+	var trains atomic.Int32
+	r := NewRegistry(4, func(k Key) (*core.Pipeline, error) {
+		if trains.Add(1) > 1 {
+			return nil, errors.New("refit blew up")
+		}
+		return core.New(core.Config{}), nil
+	})
+	k := testKey(0)
+	old, err := r.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Refit(k).Wait(); err == nil {
+		t.Fatal("refit flight reported success for a failed train")
+	}
+	p, err := r.Get(k)
+	if err != nil || p != old {
+		t.Errorf("Get after failed refit = (%p, %v), want the stale model (%p) with no error", p, err, old)
+	}
+	st := r.Stats()
+	if st.Refits != 1 || st.RefitErrors != 1 {
+		t.Errorf("refits = %d, refit errors = %d, want 1 and 1", st.Refits, st.RefitErrors)
+	}
+}
+
+// TestRegistryRefitDuringRestoreUnderRace is the regression test for the
+// warmup/lazy-restore/invalidation race: a drift invalidation landing
+// while the key's lazy snapshot restore is still in flight must wait the
+// restore out and train exactly once — never a double fit. Eight keys are
+// held mid-restore while 64 goroutines hammer Get and Refit on all of
+// them; after release, every key has trained exactly once (the refit),
+// with zero Get-path fits.
+func TestRegistryRefitDuringRestoreUnderRace(t *testing.T) {
+	const (
+		keys       = 8
+		goroutines = 64
+	)
+	var (
+		trainMu sync.Mutex
+		trained = map[Key]int{}
+	)
+	r := NewRegistry(keys, func(k Key) (*core.Pipeline, error) {
+		trainMu.Lock()
+		trained[k]++
+		trainMu.Unlock()
+		return core.New(core.Config{}), nil
+	})
+	restoreGate := make(chan struct{})
+	var restoresEntered sync.WaitGroup
+	restoresEntered.Add(keys)
+	r.SetRestore(func(k Key) (*core.Pipeline, bool) {
+		restoresEntered.Done()
+		<-restoreGate
+		return core.New(core.Config{}), true
+	})
+
+	// Phase 1: one cold Get per key, each now parked inside the restore hook.
+	var getters sync.WaitGroup
+	getErrs := make([]error, keys)
+	for i := 0; i < keys; i++ {
+		getters.Add(1)
+		go func(i int) {
+			defer getters.Done()
+			_, getErrs[i] = r.Get(testKey(i))
+		}(i)
+	}
+	restoresEntered.Wait()
+
+	// Phase 2: invalidations land mid-restore from 64 goroutines, mixed
+	// with more Gets that pile onto the in-flight entries (those block
+	// until release, so they join the getters wait group). Every Refit
+	// call must coalesce per key, because no flight can finish before
+	// release.
+	var stress sync.WaitGroup
+	flights := make([]*RefitFlight, goroutines*keys)
+	for g := 0; g < goroutines; g++ {
+		stress.Add(1)
+		go func(g int) {
+			defer stress.Done()
+			for i := 0; i < keys; i++ {
+				k := testKey((g + i) % keys)
+				flights[g*keys+i] = r.Refit(k)
+				if g%2 == 0 {
+					getters.Add(1)
+					go func(k Key) {
+						defer getters.Done()
+						_, _ = r.Get(k)
+					}(k)
+				}
+			}
+		}(g)
+	}
+	stress.Wait()
+	close(restoreGate)
+	getters.Wait()
+	for i, err := range getErrs {
+		if err != nil {
+			t.Fatalf("Get(%v): %v", testKey(i), err)
+		}
+	}
+	for _, f := range flights {
+		if err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	trainMu.Lock()
+	defer trainMu.Unlock()
+	for i := 0; i < keys; i++ {
+		if n := trained[testKey(i)]; n != 1 {
+			t.Errorf("key %v trained %d times, want exactly 1 (the coalesced refit)", testKey(i), n)
+		}
+	}
+	st := r.Stats()
+	if st.Fits != 0 {
+		t.Errorf("fits = %d, want 0 (every cold Get was satisfied by the restore)", st.Fits)
+	}
+	if st.Restores != keys {
+		t.Errorf("restores = %d, want %d", st.Restores, keys)
+	}
+	if st.Refits != keys {
+		t.Errorf("refits = %d, want %d (one coalesced flight per key)", st.Refits, keys)
+	}
+	if st.Entries != keys {
+		t.Errorf("entries = %d, want %d", st.Entries, keys)
+	}
+}

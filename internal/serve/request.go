@@ -138,23 +138,31 @@ func decodeErr(err error) error {
 	return fmt.Errorf("serve: decode request: %w", err)
 }
 
-func validatePredictRequest(raw *predictRequest) (*PredictRequest, error) {
-	req := &PredictRequest{Key: Key{
-		Selection: raw.Selection, Metric: raw.Metric, Model: raw.Model,
-	}.withDefaults()}
+// validateKey applies defaults and resolves the key's algorithm names
+// against the live catalogs, shared by the predict and observe decoders.
+func validateKey(selection, metric, model string) (Key, error) {
+	k := Key{Selection: selection, Metric: metric, Model: model}.withDefaults()
+	if _, ok := selectionByName(k.Selection, 0); !ok {
+		return Key{}, fmt.Errorf("serve: unknown selection %q (one of %s)",
+			k.Selection, knownNames(featsel.AllStrategies(0), featsel.Strategy.Name))
+	}
+	if _, ok := metricByName(k.Metric); !ok {
+		return Key{}, fmt.Errorf("serve: unknown metric %q (one of %s)",
+			k.Metric, knownNames(append(distance.Norms(), distance.TimeSeriesMetrics()...), distance.Metric.Name))
+	}
+	if _, ok := scalemodel.StrategyByName(k.Model); !ok {
+		return Key{}, fmt.Errorf("serve: unknown model %q (one of %s)",
+			k.Model, knownNames(scalemodel.Strategies(), scalemodel.Strategy.String))
+	}
+	return k, nil
+}
 
-	if _, ok := selectionByName(req.Key.Selection, 0); !ok {
-		return nil, fmt.Errorf("serve: unknown selection %q (one of %s)",
-			req.Key.Selection, knownNames(featsel.AllStrategies(0), featsel.Strategy.Name))
+func validatePredictRequest(raw *predictRequest) (*PredictRequest, error) {
+	key, err := validateKey(raw.Selection, raw.Metric, raw.Model)
+	if err != nil {
+		return nil, err
 	}
-	if _, ok := metricByName(req.Key.Metric); !ok {
-		return nil, fmt.Errorf("serve: unknown metric %q (one of %s)",
-			req.Key.Metric, knownNames(append(distance.Norms(), distance.TimeSeriesMetrics()...), distance.Metric.Name))
-	}
-	if _, ok := scalemodel.StrategyByName(req.Key.Model); !ok {
-		return nil, fmt.Errorf("serve: unknown model %q (one of %s)",
-			req.Key.Model, knownNames(scalemodel.Strategies(), scalemodel.Strategy.String))
-	}
+	req := &PredictRequest{Key: key}
 
 	if raw.ToSKU.CPUs < 1 || raw.ToSKU.CPUs > maxSKUCPUs {
 		return nil, fmt.Errorf("serve: to_sku.cpus must be in [1, %d], got %d", maxSKUCPUs, raw.ToSKU.CPUs)

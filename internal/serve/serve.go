@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"wpred/internal/core"
+	"wpred/internal/drift"
 	"wpred/internal/obs"
 	"wpred/internal/parallel"
 	"wpred/internal/scalemodel"
@@ -63,6 +64,10 @@ type Config struct {
 	// every resident model. Empty disables durability (the prior
 	// in-memory-only behavior).
 	SnapshotDir string
+	// Drift parameterizes the streaming drift detector behind /v1/observe
+	// (see "Drift & forecasting" in DESIGN.md). Zero values select the
+	// drift package defaults; a zero Drift.Seed inherits Seed.
+	Drift drift.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -86,8 +91,16 @@ type Server struct {
 	registry *Registry
 	adm      *admission
 	snaps    *snapshots
+	tracker  *drift.Tracker
 	mux      http.Handler
 	ready    atomic.Bool
+
+	// refs is the current reference suite every fit and refit trains
+	// against; SetRefs swaps it atomically when the workload regime moves.
+	refs atomic.Pointer[[]*telemetry.Experiment]
+
+	driftEvents atomic.Uint64
+	driftRefits atomic.Uint64
 
 	hs       *http.Server
 	listener net.Listener
@@ -96,6 +109,14 @@ type Server struct {
 	// slots are acquired and before prediction starts. Tests use it to
 	// hold requests in flight deterministically.
 	testHookAdmitted func()
+	// testHookTrain, when set, runs at the start of every pipeline fit
+	// (warmup, cold miss, or refit). Tests use it to hold refits in
+	// flight and to count trains.
+	testHookTrain func(Key)
+	// testHookRefitDone, when set, runs after a drift-triggered refit
+	// flight resolves, with the flight's error. Tests use it to wait for
+	// background refits without sleeping.
+	testHookRefitDone func(Key, error)
 }
 
 // New returns a server holding the reference suite in cfg. It does not
@@ -103,20 +124,43 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
+	s.refs.Store(&cfg.Refs)
 	s.registry = NewRegistry(cfg.RegistryCap, s.trainKey)
 	s.adm = newAdmission(cfg.QueueSlots, cfg.Seed)
 	s.snaps = newSnapshots(cfg)
 	if s.snaps != nil {
 		s.registry.SetRestore(s.tryRestore)
 	}
+	dcfg := cfg.Drift
+	if dcfg.Seed == 0 {
+		dcfg.Seed = cfg.Seed
+	}
+	s.tracker = drift.NewTracker(dcfg)
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/predict", obs.InstrumentHandler("predict", http.HandlerFunc(s.handlePredict)))
 	mux.Handle("POST /v1/predict/batch", obs.InstrumentHandler("predict_batch", http.HandlerFunc(s.handleBatch)))
+	mux.Handle("POST /v1/observe", obs.InstrumentHandler("observe", http.HandlerFunc(s.handleObserve)))
 	mux.Handle("GET /healthz", obs.InstrumentHandler("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /readyz", obs.InstrumentHandler("readyz", http.HandlerFunc(s.handleReadyz)))
 	s.mux = mux
 	return s
+}
+
+// Refs returns the reference suite fits currently train against.
+func (s *Server) Refs() []*telemetry.Experiment { return *s.refs.Load() }
+
+// SetRefs atomically swaps the reference telemetry suite — the operator's
+// lever when the workload regime has genuinely moved. Models already
+// resident keep serving (and stay byte-stable) until a drift event
+// invalidates their key; fits, refits, and snapshot-compatibility checks
+// from this point on see the new suite, so stale snapshots trained on the
+// old suite are refit instead of restored.
+func (s *Server) SetRefs(refs []*telemetry.Experiment) {
+	s.refs.Store(&refs)
+	if s.snaps != nil {
+		s.snaps.setRefs(refs)
+	}
 }
 
 // pipelineConfig resolves a registry key's components into the pipeline
@@ -155,11 +199,14 @@ func (s *Server) pipelineConfig(k Key) (core.Config, error) {
 // write degrades durability (counted, surfaced on /healthz) but never the
 // fit itself.
 func (s *Server) trainKey(k Key) (*core.Pipeline, error) {
+	if s.testHookTrain != nil {
+		s.testHookTrain(k)
+	}
 	cfg, err := s.pipelineConfig(k)
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.TrainPipeline(cfg, s.cfg.Refs)
+	p, err := core.TrainPipeline(cfg, s.Refs())
 	if err != nil {
 		return nil, err
 	}
@@ -226,6 +273,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		drainErr = s.hs.Shutdown(ctx)
 	}
 	if err := s.persistResident(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if err := s.persistDriftState(); err != nil && drainErr == nil {
 		drainErr = err
 	}
 	return drainErr
@@ -372,12 +422,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 type probeJSON struct {
 	Status    string              `json:"status"`
 	Snapshots *snapshotStatusJSON `json:"snapshots,omitempty"`
+	Drift     *driftStatusJSON    `json:"drift,omitempty"`
 }
 
 // handleHealthz reports process liveness: 200 as long as the handler can
-// run at all, with the snapshot/durability status alongside.
+// run at all, with the snapshot/durability and drift status alongside.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, probeJSON{Status: "ok", Snapshots: s.snapshotStatus()})
+	writeJSON(w, http.StatusOK, probeJSON{
+		Status:    "ok",
+		Snapshots: s.snapshotStatus(),
+		Drift:     s.driftStatus(),
+	})
 }
 
 // handleReadyz reports readiness: 503 until RestoreSnapshots and Warmup

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"wpred/internal/core"
 	"wpred/internal/obs"
 	"wpred/internal/snapshot"
+	"wpred/internal/telemetry"
 )
 
 // Snapshot metrics (see "Durability & fleet" in DESIGN.md).
@@ -26,11 +28,16 @@ var (
 // reference-suite fingerprint restores are validated against, and the
 // counters the health payloads expose.
 type snapshots struct {
-	store    *snapshot.Store
+	store *snapshot.Store
+
+	// hashMu guards the reference-suite fingerprint, which SetRefs swaps
+	// at runtime: snapshots trained against a superseded suite must fail
+	// the compatibility check from the moment the swap happens. hashErr
+	// records a failure to fingerprint the suite; saves and restores are
+	// disabled (never silently mismatched) while set.
+	hashMu   sync.RWMutex
 	refsHash string
-	// hashErr records a failure to fingerprint the reference suite; saves
-	// and restores are disabled (never silently mismatched) when set.
-	hashErr error
+	hashErr  error
 
 	restorePending atomic.Bool
 	restored       atomic.Uint64
@@ -40,8 +47,30 @@ type snapshots struct {
 	lastWriteUnix  atomic.Int64
 }
 
+// setRefs re-fingerprints the reference suite after a SetRefs swap.
+func (sn *snapshots) setRefs(refs []*telemetry.Experiment) {
+	h, err := snapshot.SuiteHash(refs)
+	sn.hashMu.Lock()
+	sn.refsHash, sn.hashErr = h, err
+	sn.hashMu.Unlock()
+}
+
+// fingerprint returns the current reference-suite hash (or the error that
+// disabled durability).
+func (sn *snapshots) fingerprint() (string, error) {
+	sn.hashMu.RLock()
+	defer sn.hashMu.RUnlock()
+	return sn.refsHash, sn.hashErr
+}
+
 // enabled reports whether durable snapshots are configured and usable.
-func (sn *snapshots) enabled() bool { return sn != nil && sn.store != nil && sn.hashErr == nil }
+func (sn *snapshots) enabled() bool {
+	if sn == nil || sn.store == nil {
+		return false
+	}
+	_, err := sn.fingerprint()
+	return err == nil
+}
 
 // newSnapshots builds the durability state for a server, or nil when no
 // snapshot directory is configured.
@@ -50,7 +79,7 @@ func newSnapshots(cfg Config) *snapshots {
 		return nil
 	}
 	sn := &snapshots{store: snapshot.NewStore(cfg.SnapshotDir)}
-	sn.refsHash, sn.hashErr = snapshot.SuiteHash(cfg.Refs)
+	sn.setRefs(cfg.Refs)
 	sn.restorePending.Store(true)
 	return sn
 }
@@ -62,6 +91,10 @@ func (s *Server) snapshotFor(k Key, p *core.Pipeline) (*snapshot.Snapshot, error
 	if err != nil {
 		return nil, err
 	}
+	hash, err := s.snaps.fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	return &snapshot.Snapshot{
 		Selection:   k.Selection,
 		Metric:      k.Metric,
@@ -70,7 +103,7 @@ func (s *Server) snapshotFor(k Key, p *core.Pipeline) (*snapshot.Snapshot, error
 		TopK:        s.cfg.TopK,
 		Subsamples:  s.cfg.Subsamples,
 		Sanitize:    s.cfg.Sanitize,
-		RefsHash:    s.snaps.refsHash,
+		RefsHash:    hash,
 		CreatedUnix: time.Now().Unix(),
 		State:       st,
 	}, nil
@@ -101,11 +134,13 @@ func (s *Server) saveSnapshot(k Key, p *core.Pipeline) error {
 // reference suite. Anything else would serve predictions that diverge
 // from what this server would train, so it is refit instead.
 func (s *Server) compatible(snap *snapshot.Snapshot) bool {
-	return snap.Seed == s.cfg.Seed &&
+	hash, err := s.snaps.fingerprint()
+	return err == nil &&
+		snap.Seed == s.cfg.Seed &&
 		snap.TopK == s.cfg.TopK &&
 		snap.Subsamples == s.cfg.Subsamples &&
 		snap.Sanitize == s.cfg.Sanitize &&
-		snap.RefsHash == s.snaps.refsHash
+		snap.RefsHash == hash
 }
 
 // restorePipeline validates a snapshot's key against the live algorithm
@@ -157,8 +192,8 @@ func (s *Server) RestoreSnapshots() (restored, skipped int, err error) {
 		return 0, 0, nil
 	}
 	defer s.snaps.restorePending.Store(false)
-	if s.snaps.hashErr != nil {
-		return 0, 0, fmt.Errorf("serve: snapshots disabled: %w", s.snaps.hashErr)
+	if _, err := s.snaps.fingerprint(); err != nil {
+		return 0, 0, fmt.Errorf("serve: snapshots disabled: %w", err)
 	}
 	snaps, errs := s.snaps.store.LoadAll()
 	skipped += len(errs)
@@ -180,6 +215,7 @@ func (s *Server) RestoreSnapshots() (restored, skipped int, err error) {
 	for i := 0; i < skipped; i++ {
 		snapRestoreSkips.Inc()
 	}
+	s.restoreDriftState()
 	return restored, skipped, nil
 }
 
